@@ -1,0 +1,82 @@
+"""Shared benchmark fixtures and helpers.
+
+Figures 12-16 sweep the paper's document-size axis for five engines.  The
+corpus is cached per process (see :mod:`repro.bench.corpus`); set
+``REPRO_BENCH_SCALE=1.0`` for the paper's full sizes or
+``REPRO_BENCH_SIZES=1,5`` to narrow the axis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.corpus import corpus_sizes, get_corpus_document
+from repro.bench.runner import ENGINE_NAMES, prepare_engine, run_all_engines
+from repro.bench.reporting import format_figure_table
+from repro.errors import DocumentTooLargeError, UnsupportedFeatureError
+
+SIZES = corpus_sizes()
+
+
+def engine_callable(engine_name: str, query: str, document):
+    """A zero-arg callable running one query once, or None if unsupported."""
+    try:
+        engine = prepare_engine(engine_name, document)
+    except DocumentTooLargeError:
+        return None
+    if engine_name in ("VQP", "VQP-OPT"):
+        optimize = engine_name == "VQP-OPT"
+        plan, _trace = engine.plan(query, optimize)
+
+        def run():
+            return engine.execute(plan)
+
+    else:
+
+        def run():
+            return engine.evaluate(query)
+
+    try:
+        run()  # probe once: unsupported axes raise here
+    except UnsupportedFeatureError:
+        return None
+    return run
+
+
+def bench_query(benchmark, engine_name: str, query: str, size_mb: int):
+    """Benchmark one (engine, query, size) cell; skip missing data points."""
+    document = get_corpus_document(size_mb)
+    run = engine_callable(engine_name, query, document)
+    if run is None:
+        pytest.skip(f"{engine_name} has no data point at {size_mb} MB for {query!r}")
+    result = benchmark(run)
+    benchmark.extra_info["result_count"] = len(result)
+    benchmark.extra_info["nominal_mb"] = size_mb
+
+
+def run_once(benchmark, func):
+    """Register ``func`` as a single-shot benchmark and return its value.
+
+    Shape/summary checks must still run under ``--benchmark-only`` (which
+    skips tests that never touch the benchmark fixture), but repeating a
+    whole figure sweep dozens of times would be wasteful — one measured
+    round is enough.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def figure_summary(title: str, query: str, capsys=None) -> dict:
+    """A best-of-3 pass over the whole figure; prints the paper-style table."""
+    outcomes = {
+        size: run_all_engines(query, get_corpus_document(size), repeats=3)
+        for size in SIZES
+    }
+    table = format_figure_table(title, outcomes, ENGINE_NAMES)
+    print()
+    print(table)
+    return outcomes
+
+
+def seconds(outcomes, size, engine):
+    outcome = next(o for o in outcomes[size] if o.engine == engine)
+    return outcome.seconds if outcome.supported else None

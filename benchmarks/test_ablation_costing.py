@@ -1,0 +1,61 @@
+"""Ablation: counted-B+-tree costing vs scan-based costing.
+
+DESIGN.md calls out the counted B+-tree as the enabler of cheap, always
+exact statistics.  This bench quantifies it: COUNT via the counted
+descent (O(log n)) against COUNT via an index scan (O(matches)) and
+against what a DOM engine would do (O(document)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZES, run_once
+from repro.bench.corpus import get_corpus_document
+from repro.model import NodeTest
+
+
+@pytest.fixture(scope="module")
+def store():
+    return get_corpus_document(max(SIZES)).store
+
+
+def scan_count(store, name: str) -> int:
+    """The ablated alternative: count by scanning the name index run."""
+    return sum(1 for _ in store.name_index.scan(name))
+
+
+class TestCountedVsScan:
+    @pytest.mark.parametrize("name", ["person", "name", "bidder", "province"])
+    def test_counts_agree(self, benchmark, store, name):
+        assert run_once(benchmark, lambda: store.count(NodeTest.name_test(name))) == scan_count(store, name)
+
+    @pytest.mark.parametrize("name", ["person", "name"])
+    def test_counted_descent_benchmark(self, benchmark, store, name):
+        test = NodeTest.name_test(name)
+        benchmark(lambda: store.count(test))
+
+    @pytest.mark.parametrize("name", ["person", "name"])
+    def test_scan_count_benchmark(self, benchmark, store, name):
+        benchmark(lambda: scan_count(store, name))
+
+    def test_counted_descent_touches_logarithmic_entries(self, benchmark, store):
+        store.reset_metrics()
+        run_once(benchmark, lambda: store.count(NodeTest.name_test("name")))
+        counted = store.io_snapshot()["entries_scanned"]
+        store.reset_metrics()
+        scan_count(store, "name")
+        scanned = store.io_snapshot()["entries_scanned"]
+        print(f"\ncounted descent entries={counted}, scan entries={scanned}")
+        assert counted == 0
+        assert scanned >= store.count(NodeTest.name_test("name"))
+
+
+class TestTextCount:
+    def test_tc_benchmark(self, benchmark, store):
+        benchmark(lambda: store.text_count("Yung Flach"))
+
+    def test_tc_is_probe_not_scan(self, benchmark, store):
+        store.reset_metrics()
+        run_once(benchmark, lambda: store.text_count("Yung Flach"))
+        assert store.io_snapshot()["entries_scanned"] == 0

@@ -1,0 +1,79 @@
+"""Ablation: drop each rewrite rule and measure what it costs.
+
+Not in the paper, but it answers the natural question its Section VI
+raises: which rules carry the speedups on which query?  For each paper
+query we run the optimizer with each single rule removed and report the
+measured index work of the resulting plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZES, run_once
+from repro.bench.corpus import get_corpus_document
+from repro.engine.engine import VamanaEngine
+from repro.algebra.execution import execute_plan
+from repro.optimizer.rules import DEFAULT_RULES
+
+PAPER_QUERIES = {
+    "Q1": "//person/address",
+    "Q2": "//watches/watch/ancestor::person",
+    "Q3": "/descendant::name/parent::*/self::person/address",
+    "Q4": "//itemref/following-sibling::price/parent::*",
+    "Q5": "//province[text()='Vermont']/ancestor::person",
+}
+
+#: Which ablation must hurt which query (the load-bearing rule).
+LOAD_BEARING = {
+    "Q2": "duplicate-elimination",
+    "Q5": "value-index",
+}
+
+
+@pytest.fixture(scope="module")
+def document():
+    return get_corpus_document(max(SIZES))
+
+
+def work_without(document, query, dropped_rule: str | None):
+    rules = tuple(rule for rule in DEFAULT_RULES if rule.name != dropped_rule)
+    engine = VamanaEngine(document.store, rules=rules)
+    plan, _trace = engine.plan(query, optimize=True)
+    document.store.reset_metrics()
+    result = set(execute_plan(plan, document.store))
+    snapshot = document.store.io_snapshot()
+    return len(result), snapshot["logical_reads"] + snapshot["entries_scanned"]
+
+
+@pytest.mark.parametrize("label,query", PAPER_QUERIES.items(), ids=PAPER_QUERIES.keys())
+def test_rule_ablation(benchmark, document, label, query):
+    full_count, full_work = run_once(benchmark, lambda: work_without(document, query, None))
+    print(f"\n{label}: full library work={full_work}")
+    for rule in DEFAULT_RULES:
+        count, work = work_without(document, query, rule.name)
+        print(f"  - without {rule.name:25s} work={work}")
+        assert count == full_count, "ablation changed results"
+        # removing a rule can never *help*: the library is cost-gated
+        assert work >= full_work * 0.95 - 10
+
+
+@pytest.mark.parametrize("label", list(LOAD_BEARING), ids=list(LOAD_BEARING))
+def test_load_bearing_rules_matter(benchmark, document, label):
+    query = PAPER_QUERIES[label]
+    rule_name = LOAD_BEARING[label]
+    _count, full_work = work_without(document, query, None)
+    _count2, ablated_work = run_once(
+        benchmark, lambda: work_without(document, query, rule_name)
+    )
+    assert ablated_work > full_work, (
+        f"{rule_name} should be load-bearing for {label}: "
+        f"{ablated_work} vs {full_work}"
+    )
+
+
+@pytest.mark.parametrize("label,query", PAPER_QUERIES.items(), ids=PAPER_QUERIES.keys())
+def test_full_library_benchmark(benchmark, document, label, query):
+    engine = VamanaEngine(document.store)
+    plan, _trace = engine.plan(query, optimize=True)
+    benchmark(lambda: engine.execute(plan))

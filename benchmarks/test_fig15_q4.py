@@ -1,0 +1,37 @@
+"""Figure 15 — Q4: ``//itemref/following-sibling::price/parent::*``.
+
+Paper shape: the sibling axis knocks engines out — Galax and eXist have
+*no data points at all* (missing axis), Jaxen runs but only below its
+size ceiling; VAMANA (which supports all 13 axes) runs everywhere and
+fastest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZES, bench_query, figure_summary, run_once, seconds
+from repro.bench.runner import ENGINE_NAMES
+from repro.bench.reporting import supported_sizes
+
+QUERY = "//itemref/following-sibling::price/parent::*"
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_fig15_cell(benchmark, engine, size):
+    bench_query(benchmark, engine, QUERY, size)
+
+
+def test_fig15_shape(benchmark):
+    outcomes = run_once(benchmark, lambda: figure_summary("Figure 15 - Q4 (seconds)", QUERY))
+    # engines lacking following-sibling have empty series
+    assert supported_sizes(outcomes, "galax") == []
+    assert supported_sizes(outcomes, "exist") == []
+    # jaxen runs, but only below its cap
+    jaxen_sizes = supported_sizes(outcomes, "jaxen")
+    assert jaxen_sizes and all(size < 10 for size in jaxen_sizes)
+    # VAMANA covers the full axis range and beats jaxen where both run
+    assert supported_sizes(outcomes, "VQP-OPT") == list(SIZES)
+    for size in jaxen_sizes:
+        assert seconds(outcomes, size, "VQP-OPT") < seconds(outcomes, size, "jaxen")

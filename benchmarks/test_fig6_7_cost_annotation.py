@@ -1,0 +1,74 @@
+"""Figures 6 & 7 — cost annotation of the running examples.
+
+Built on the calibrated factor-0.1 document (the paper's "10 MB"
+``auction.xml``), independent of ``REPRO_BENCH_SCALE``: the annotations
+must read COUNT(name)=4825, COUNT(person)=2550, COUNT(address)=1256 and
+TC('Yung Flach')=1 exactly, and producing them must be index-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.loader import load_xml
+from repro.xmark.generator import generate_document
+from repro.algebra.builder import build_default_plan
+from repro.cost.estimator import CostEstimator
+from repro.optimizer.cleanup import cleanup_plan
+from benchmarks.conftest import run_once
+
+Q1 = "descendant::name/parent::*/self::person/address"
+Q2 = "//name[text() = 'Yung Flach']/following-sibling::emailaddress"
+
+
+@pytest.fixture(scope="module")
+def store():
+    return load_xml(generate_document(0.1, seed=42), name="paper-10mb")
+
+
+def chain(plan):
+    nodes = []
+    node = plan.root.context_child
+    while node is not None:
+        nodes.append(node)
+        node = node.context_child
+    return nodes
+
+
+def test_figure6_annotation(benchmark, store):
+    plan = build_default_plan(Q1)
+    cleanup_plan(plan)
+    run_once(benchmark, lambda: CostEstimator(store).estimate(plan))
+    print("\n" + plan.explain())
+    address, person, name = chain(plan)
+    assert (name.cost.count, name.cost.tuples_in, name.cost.tuples_out) == (4825, 4825, 4825)
+    assert (person.cost.count, person.cost.tuples_in, person.cost.tuples_out) == (2550, 4825, 4825)
+    assert (address.cost.count, address.cost.tuples_in, address.cost.tuples_out) == (1256, 4825, 1256)
+
+
+def test_figure7_annotation(benchmark, store):
+    plan = build_default_plan(Q2)
+    run_once(benchmark, lambda: CostEstimator(store).estimate(plan))
+    print("\n" + plan.explain())
+    sibling, name = chain(plan)
+    assert (name.cost.count, name.cost.tuples_in, name.cost.tuples_out) == (4825, 4825, 1)
+    beta = name.predicates[0]
+    assert (beta.cost.tuples_in, beta.cost.tuples_out, beta.cost.text_count) == (4825, 1, 1)
+    assert (sibling.cost.tuples_in, sibling.cost.tuples_out) == (1, 1)
+
+
+def test_annotation_speed(benchmark, store):
+    """Costing a plan is O(log n) counts: microseconds, not query time."""
+    plan = build_default_plan(Q1)
+    cleanup_plan(plan)
+    estimator = CostEstimator(store)
+    benchmark(lambda: estimator.estimate(plan))
+
+
+def test_annotation_is_index_only(benchmark, store):
+    plan = build_default_plan(Q2)
+    store.reset_metrics()
+    run_once(benchmark, lambda: CostEstimator(store).estimate(plan))
+    snapshot = store.io_snapshot()
+    assert snapshot["record_fetches"] == 0
+    assert snapshot["entries_scanned"] == 0

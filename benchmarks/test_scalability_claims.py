@@ -1,0 +1,97 @@
+"""The scalability headline: index-only plans read a fraction of the data.
+
+Not one numbered figure but the paper's title claim ("scalable ... engine",
+"queries evaluated while reading only a fraction of the data").  We measure
+VAMANA's index work as a share of the document across the size axis, and
+the growth exponents of each engine class.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZES, run_once
+from repro.bench.corpus import get_corpus_document
+from repro.bench.runner import prepare_engine
+from repro.algebra.execution import execute_plan
+
+POINT_QUERY = "//name[text()='Yung Flach']/following-sibling::emailaddress"
+SELECTIVE_QUERY = "//province[text()='Vermont']/ancestor::person"
+
+
+def vamana_work(document, query):
+    engine = prepare_engine("VQP-OPT", document)
+    plan, _trace = engine.plan(query, optimize=True)
+    document.store.reset_metrics()
+    list(execute_plan(plan, document.store))
+    snapshot = document.store.io_snapshot()
+    return snapshot["logical_reads"] + snapshot["entries_scanned"]
+
+
+@pytest.mark.parametrize("query", [POINT_QUERY, SELECTIVE_QUERY], ids=["point", "selective"])
+def test_fraction_of_data_read(benchmark, query):
+    document = get_corpus_document(max(SIZES))
+    work = run_once(benchmark, lambda: vamana_work(document, query))
+    nodes = len(document.store.node_index)
+    fraction = work / nodes
+    print(f"\n{query}: work={work} over {nodes} nodes ({100 * fraction:.2f}% of data)")
+    assert fraction < 0.05, "an index-only plan must read a small fraction"
+
+
+def test_point_query_growth_is_sublinear(benchmark):
+    """Work for a TC=1 probe grows ~log(document), not linearly."""
+
+    def measure():
+        return {size: vamana_work(get_corpus_document(size), POINT_QUERY) for size in SIZES}
+
+    work_by_size = run_once(benchmark, measure)
+    smallest, largest = min(SIZES), max(SIZES)
+    data_growth = largest / smallest
+    work_growth = work_by_size[largest] / max(work_by_size[smallest], 1)
+    print(f"\ndata grew {data_growth:.0f}x, point-query work grew {work_growth:.1f}x")
+    assert work_growth < data_growth / 3
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_vamana_point_query_bench(benchmark, size):
+    document = get_corpus_document(size)
+    engine = prepare_engine("VQP-OPT", document)
+    plan, _trace = engine.plan(POINT_QUERY, optimize=True)
+    benchmark(lambda: engine.execute(plan))
+
+
+class TestBufferPoolAblation:
+    """Warm vs cold buffer pool: how much the LRU pool actually saves."""
+
+    def test_warm_vs_cold_page_reads(self, benchmark):
+        from repro.mass.loader import load_xml
+
+        document = get_corpus_document(max(SIZES))
+        # cold store: zero-capacity pool — every touch is a physical read
+        cold = load_xml(document.text, name="cold", buffer_capacity=0)
+        warm = document.store
+        query = "//person/address"
+
+        from repro.engine.engine import VamanaEngine
+
+        warm_engine = VamanaEngine(warm)
+        cold_engine = VamanaEngine(cold)
+        warm_engine.evaluate(query)  # populate the pool
+
+        warm.reset_metrics()
+        run_once(benchmark, lambda: warm_engine.evaluate(query))
+        warm_physical = warm.io_snapshot()["pages_read"]
+
+        cold.reset_metrics()
+        cold_engine.evaluate(query)
+        cold_physical = cold.io_snapshot()["pages_read"]
+        print(f"\nphysical page reads: warm={warm_physical}, cold={cold_physical}")
+        assert warm_physical < cold_physical
+
+    def test_hit_ratio_reported(self, benchmark):
+        document = get_corpus_document(max(SIZES))
+        engine = prepare_engine("VQP-OPT", document)
+        engine.evaluate("//person/address")
+        document.store.buffer.stats.reset()
+        run_once(benchmark, lambda: engine.evaluate("//person/address"))
+        assert document.store.buffer.stats.hit_ratio > 0.5

@@ -1,0 +1,79 @@
+"""Table I — the cost table, validated empirically per axis.
+
+For every axis group the benchmark compares the Table I OUT bound against
+the actual tuple stream measured on the corpus document, and benchmarks
+the cost of *obtaining* the estimate (the index-only counting the model
+depends on).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIZES, run_once
+from repro.bench.corpus import get_corpus_document
+from repro.algebra.builder import build_default_plan
+from repro.algebra.execution import execute_plan
+from repro.cost.estimator import CostEstimator
+from repro.optimizer.cleanup import cleanup_plan
+
+#: One representative query per Table I axis row (axis under test is the
+#: top step).
+AXIS_QUERIES = {
+    "child": "//person/address",
+    "descendant": "//people//city",
+    "descendant-or-self": "//address/descendant-or-self::city",
+    "attribute": "//person/@id",
+    "parent": "//name/parent::person",
+    "ancestor": "//watch/ancestor::person",
+    "ancestor-or-self": "//address/ancestor-or-self::person",
+    "following": "//categories/following::person",
+    "preceding": "//open_auctions/preceding::name",
+    "following-sibling": "//itemref/following-sibling::price",
+    "preceding-sibling": "//price/preceding-sibling::itemref",
+    "self": "//person/self::person",
+}
+
+_SOUND = {
+    "child", "descendant", "descendant-or-self", "attribute",
+    "parent", "self", "following-sibling", "preceding-sibling",
+}
+
+
+@pytest.fixture(scope="module")
+def document():
+    return get_corpus_document(min(SIZES))
+
+
+def annotated_plan(store, query):
+    plan = build_default_plan(query)
+    cleanup_plan(plan)
+    CostEstimator(store).estimate(plan)
+    return plan
+
+
+@pytest.mark.parametrize("axis,query", AXIS_QUERIES.items(), ids=AXIS_QUERIES.keys())
+def test_table1_bound_vs_actual(benchmark, document, axis, query):
+    store = document.store
+    plan = annotated_plan(store, query)
+    top = plan.root.context_child
+    bound = top.cost.raw_out
+    actual = run_once(benchmark, lambda: sum(1 for _ in execute_plan(plan, store)))
+    print(f"\nTable I {axis:20s} bound={bound:7d} actual={actual:7d} {query}")
+    if axis in _SOUND:
+        assert bound >= actual
+    assert bound >= 0
+
+
+@pytest.mark.parametrize("axis,query", AXIS_QUERIES.items(), ids=AXIS_QUERIES.keys())
+def test_table1_estimation_speed(benchmark, document, axis, query):
+    """Estimation must be index-only and cheap — this is what makes the
+    optimizer's per-rule re-costing affordable."""
+    store = document.store
+    plan = build_default_plan(query)
+    cleanup_plan(plan)
+    estimator = CostEstimator(store)
+    benchmark(lambda: estimator.estimate(plan))
+    store.reset_metrics()
+    estimator.estimate(plan)
+    assert store.io_snapshot()["record_fetches"] == 0

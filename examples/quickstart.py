@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: index a document, run XPath, inspect plans and costs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import VamanaEngine, load_xml
+
+DOCUMENT = """\
+<site>
+  <person id="person144">
+    <name>Yung Flach</name>
+    <emailaddress>Flach@auth.gr</emailaddress>
+    <address>
+      <street>92 Pfisterer St</street>
+      <city>Monroe</city>
+      <country>United States</country>
+      <province>Vermont</province>
+      <zipcode>12</zipcode>
+    </address>
+    <watches>
+      <watch open_auction="open_auction108"/>
+      <watch open_auction="open_auction94"/>
+      <watch open_auction="open_auction110"/>
+    </watches>
+  </person>
+  <person id="person145">
+    <name>Wilhelmina Sterling</name>
+    <emailaddress>Sterling@example.net</emailaddress>
+  </person>
+</site>
+"""
+
+
+def main() -> None:
+    # 1. Parse and index the document into a MASS store: three counted
+    #    B+-trees (node / name / value index) over FLEX structural keys.
+    store = load_xml(DOCUMENT, name="quickstart")
+    print("store:", store)
+    print(store.statistics().describe())
+    print()
+
+    # 2. Create the engine and run queries.  evaluate() compiles the
+    #    expression, runs the cost-driven optimizer, and executes the plan
+    #    over the indexes.
+    engine = VamanaEngine(store)
+
+    for query in (
+        "//person/name",
+        "//person[address/province = 'Vermont']/emailaddress",
+        "//watch/@open_auction",
+        "//name[text() = 'Yung Flach']/following-sibling::emailaddress",
+    ):
+        result = engine.evaluate(query)
+        print(f"{query}")
+        for label in result.labels():
+            print(f"   -> {label}")
+        print(f"   [{result.metrics.describe()}]")
+        print()
+
+    # 3. Value expressions work too.
+    print("count(//watch)         =", engine.evaluate_value("count(//watch)"))
+    print("string(//person/name)  =", engine.evaluate_value("string(//person/name)"))
+    print()
+
+    # 4. Look inside: the physical plan with its cost annotations
+    #    (COUNT/IN/OUT of Section VI-B) and the optimizer trace.
+    print(engine.explain("//name[text() = 'Yung Flach']/following-sibling::emailaddress"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim so `python setup.py develop` works offline (no wheel pkg)."""
+
+from setuptools import setup
+
+setup()

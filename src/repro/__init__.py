@@ -1,0 +1,92 @@
+"""VAMANA — a scalable, cost-driven XPath engine (ICDE 2005), reproduced.
+
+This package is a from-scratch Python implementation of the complete
+VAMANA system of Raghavan, Deschler and Rundensteiner, together with every
+substrate it depends on:
+
+* :mod:`repro.mass` — the MASS storage structure: FLEX keys, counted
+  B+-trees, name/value indexes, all 13 XPath axes as index range scans;
+* :mod:`repro.xpath` — the XPath 1.0 compiler;
+* :mod:`repro.algebra` — the pipelined physical algebra (Algorithms 1/2);
+* :mod:`repro.cost` — the index-derived cost model (Table I, cases 1-6);
+* :mod:`repro.optimizer` — clean-up, the transformation library, and the
+  selectivity-ordered, cost-gated rewrite loop;
+* :mod:`repro.engine` — the :class:`VamanaEngine` facade and multi-document
+  :class:`Database`;
+* :mod:`repro.baselines` — the paper's comparison systems rebuilt (DOM
+  traversal for Galax/Jaxen, structural path joins for eXist);
+* :mod:`repro.xmark` — the XMark-style workload generator, calibrated to
+  the paper's document statistics;
+* :mod:`repro.bench` — the harness regenerating every evaluation figure.
+
+Quickstart::
+
+    from repro import VamanaEngine, load_xml
+
+    store = load_xml("<site><person><name>Ada</name></person></site>")
+    engine = VamanaEngine(store)
+    for record in engine.evaluate("//person/name").records():
+        print(record.label())
+"""
+
+from repro.errors import (
+    DocumentTooLargeError,
+    ExecutionError,
+    PlanError,
+    ReproError,
+    StorageError,
+    UnsupportedFeatureError,
+    XmlError,
+    XPathSyntaxError,
+)
+from repro.model import Axis, NodeTest, NodeTestKind
+from repro.mass import FlexKey, MassStore, NodeKind, NodeRecord, load_document, load_xml
+from repro.xpath import parse_xpath
+from repro.algebra import build_default_plan, execute_plan
+from repro.cost import CostEstimator, plan_cost
+from repro.optimizer import Optimizer, optimize_plan
+from repro.engine import Database, ExecutionMetrics, QueryResult, VamanaEngine
+from repro.xmark import XmarkGenerator, generate_document, paper_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "XmlError",
+    "XPathSyntaxError",
+    "StorageError",
+    "PlanError",
+    "ExecutionError",
+    "UnsupportedFeatureError",
+    "DocumentTooLargeError",
+    # model
+    "Axis",
+    "NodeTest",
+    "NodeTestKind",
+    "NodeKind",
+    # storage
+    "FlexKey",
+    "NodeRecord",
+    "MassStore",
+    "load_xml",
+    "load_document",
+    # compiler / algebra / optimizer
+    "parse_xpath",
+    "build_default_plan",
+    "execute_plan",
+    "CostEstimator",
+    "plan_cost",
+    "Optimizer",
+    "optimize_plan",
+    # engine
+    "VamanaEngine",
+    "Database",
+    "QueryResult",
+    "ExecutionMetrics",
+    # workload
+    "XmarkGenerator",
+    "generate_document",
+    "paper_profile",
+]

@@ -1,0 +1,46 @@
+"""VAMANA's physical algebra (Section V of the paper).
+
+The algebra separates the *plan* — a cheap-to-transform tree of
+:mod:`repro.algebra.plan` nodes carrying cost annotations — from the
+*executors* — the stateful pipelined operators of
+:mod:`repro.algebra.execution` that implement the paper's
+INITIAL / FETCHING / OUT_OF_TUPLES protocol (Algorithms 1 and 2).
+
+:mod:`repro.algebra.builder` maps each parse-tree node onto exactly one
+plan node, producing the *default query plan* the optimizer starts from.
+"""
+
+from repro.algebra.plan import (
+    BinaryPredicateNode,
+    ExistsNode,
+    ExprNode,
+    FunctionNode,
+    LiteralNode,
+    NumberNode,
+    PlanNode,
+    QueryPlan,
+    RootNode,
+    StepNode,
+    UnionNode,
+    ValueStepNode,
+)
+from repro.algebra.builder import build_default_plan
+from repro.algebra.execution import OperatorState, execute_plan
+
+__all__ = [
+    "QueryPlan",
+    "PlanNode",
+    "RootNode",
+    "StepNode",
+    "ValueStepNode",
+    "UnionNode",
+    "ExprNode",
+    "ExistsNode",
+    "BinaryPredicateNode",
+    "LiteralNode",
+    "NumberNode",
+    "FunctionNode",
+    "build_default_plan",
+    "execute_plan",
+    "OperatorState",
+]

@@ -1,0 +1,208 @@
+"""Default-plan construction: parse tree → physical plan (Section V-A).
+
+Each parse-tree node maps to exactly one VAMANA operator.  The parse tree
+of ``descendant::name/parent::*/self::person/address`` becomes the chain
+
+    R1 ← φ(child::address) ← φ(self::person) ← φ(parent::*) ← φ(descendant::name)
+
+where arrows point at context children (compare Figure 4a), and every
+XPath predicate becomes an expression tree attached to its step.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+from repro.xpath import ast
+from repro.xpath.parser import parse_xpath
+from repro.algebra.plan import (
+    BinaryPredicateNode,
+    ExistsNode,
+    ExprNode,
+    FunctionNode,
+    LiteralNode,
+    NegateNode,
+    NumberNode,
+    PathExprNode,
+    PlanNode,
+    QueryPlan,
+    RootNode,
+    StepNode,
+    UnionNode,
+)
+
+
+def build_default_plan(expression: str | ast.XPathNode) -> QueryPlan:
+    """Compile an XPath expression into the default (unoptimized) plan.
+
+    Accepts either source text or an already-parsed tree.  Raises
+    :class:`PlanError` if the expression is not a node-set query (use the
+    engine's ``evaluate_value`` for general value expressions).
+    """
+    if isinstance(expression, str):
+        source = expression
+        tree = parse_xpath(expression)
+    else:
+        source = expression.unparse()
+        tree = expression
+    path = _build_path_node(tree)
+    if path is None:
+        raise PlanError(
+            f"not a node-set expression: {source!r} "
+            "(general expressions are evaluated by VamanaEngine.evaluate_value)"
+        )
+    plan = QueryPlan(RootNode(path), expression=source)
+    plan.renumber()
+    return plan
+
+
+def _build_path_node(tree: ast.XPathNode) -> PlanNode | None:
+    """Build the tuple-producing operator chain, or None for value exprs."""
+    if isinstance(tree, ast.LocationPath):
+        return _build_location_path(tree)
+    if isinstance(tree, ast.UnionExpr):
+        branches = []
+        for branch in tree.branches:
+            node = _build_path_node(branch)
+            if node is None:
+                raise PlanError("union branches must be location paths")
+            branches.append(node)
+        return UnionNode(branches)
+    return None
+
+
+def _build_location_path(path: ast.LocationPath) -> PlanNode:
+    if not path.steps:
+        # Bare '/': the document node itself.
+        from repro.model import Axis, NodeTest
+
+        return StepNode(Axis.SELF, NodeTest.node())
+    node: PlanNode | None = None
+    for step in _collapse_abbreviations(path.steps):
+        step_node = StepNode(step.axis, step.test, context_child=node)
+        for predicate in step.predicates:
+            step_node.predicates.append(build_expr(predicate))
+        node = step_node
+    assert node is not None
+    return node
+
+
+def _collapse_abbreviations(steps: tuple[ast.Step, ...]) -> list[ast.Step]:
+    """Fold ``descendant-or-self::node()/child::x`` into ``descendant::x``.
+
+    The parser expands ``//`` into two steps; the paper's *default* plans
+    already show the pair as the single operator ``φ^{//::x}`` (Figure 4),
+    so the fold belongs to compilation, not optimization.  It is skipped
+    when the child step carries positional predicates, whose meaning
+    depends on per-context candidate numbering.
+    """
+    from repro.model import Axis, NodeTestKind
+
+    collapsed: list[ast.Step] = []
+    for step in steps:
+        previous = collapsed[-1] if collapsed else None
+        if (
+            previous is not None
+            and previous.axis is Axis.DESCENDANT_OR_SELF
+            and previous.test.kind is NodeTestKind.NODE
+            and not previous.predicates
+            and step.axis is Axis.CHILD
+            and not any(_positional_ast(predicate) for predicate in step.predicates)
+        ):
+            collapsed[-1] = ast.Step(Axis.DESCENDANT, step.test, step.predicates)
+            continue
+        collapsed.append(step)
+    return collapsed
+
+
+_NUMERIC_FUNCTIONS = frozenset(
+    {"position", "last", "count", "string-length", "sum", "number",
+     "floor", "ceiling", "round"}
+)
+
+
+def _positional_ast(tree: ast.XPathNode) -> bool:
+    """Does a predicate's meaning depend on candidate order?
+
+    True when the predicate mentions ``position()``/``last()`` anywhere,
+    or when its top level can evaluate to a number (the ``[3]`` rule).
+    """
+    if _mentions_position(tree):
+        return True
+    if isinstance(tree, (ast.NumberLiteral, ast.Negate, ast.BinaryOp)):
+        return True
+    if isinstance(tree, ast.FunctionCall) and tree.name in _NUMERIC_FUNCTIONS:
+        return True
+    return False
+
+
+def _mentions_position(tree: ast.XPathNode) -> bool:
+    if isinstance(tree, ast.FunctionCall):
+        if tree.name in ("position", "last"):
+            return True
+        return any(_mentions_position(arg) for arg in tree.args)
+    for attribute in ("left", "right", "operand"):
+        child = getattr(tree, attribute, None)
+        if child is not None and _mentions_position(child):
+            return True
+    if isinstance(tree, ast.LocationPath):
+        return any(
+            _mentions_position(predicate)
+            for step in tree.steps
+            for predicate in step.predicates
+        )
+    return False
+
+
+def build_expr(tree: ast.XPathNode) -> ExprNode:
+    """Compile a predicate expression into its operator tree.
+
+    A relative location path used as a boolean becomes an exist predicate
+    ``ξ``; one used as a comparison operand stays a path expression whose
+    tuples are compared by the enclosing binary predicate ``β`` — exactly
+    the Figure 4b shape for ``text() = 'Yung Flach'``.
+    """
+    if isinstance(tree, (ast.LocationPath, ast.UnionExpr)):
+        path = _build_path_node(tree)
+        if path is None:
+            raise PlanError(f"unsupported path expression {tree.unparse()!r}")
+        return ExistsNode(path)
+    return _build_value_expr(tree)
+
+
+def _build_value_expr(tree: ast.XPathNode) -> ExprNode:
+    if isinstance(tree, (ast.LocationPath, ast.UnionExpr)):
+        path = _build_path_node(tree)
+        if path is None:
+            raise PlanError(f"unsupported path expression {tree.unparse()!r}")
+        return PathExprNode(path)
+    if isinstance(tree, ast.StringLiteral):
+        return LiteralNode(tree.value)
+    if isinstance(tree, ast.NumberLiteral):
+        return NumberNode(tree.value)
+    if isinstance(tree, ast.Comparison):
+        return BinaryPredicateNode(
+            tree.op, _build_value_expr(tree.left), _build_value_expr(tree.right)
+        )
+    if isinstance(tree, ast.AndExpr):
+        return BinaryPredicateNode("and", build_expr(tree.left), build_expr(tree.right))
+    if isinstance(tree, ast.OrExpr):
+        return BinaryPredicateNode("or", build_expr(tree.left), build_expr(tree.right))
+    if isinstance(tree, ast.BinaryOp):
+        return BinaryPredicateNode(
+            tree.op, _build_value_expr(tree.left), _build_value_expr(tree.right)
+        )
+    if isinstance(tree, ast.Negate):
+        return NegateNode(_build_value_expr(tree.operand))
+    if isinstance(tree, ast.FunctionCall):
+        args = []
+        for arg in tree.args:
+            if isinstance(arg, (ast.LocationPath, ast.UnionExpr)):
+                args.append(_build_value_expr(arg))
+            else:
+                args.append(_build_value_expr(arg))
+        return FunctionNode(tree.name, args)
+    if isinstance(tree, ast.PathExpr):
+        raise PlanError(
+            f"filter expressions are not supported: {tree.unparse()!r}"
+        )
+    raise PlanError(f"cannot compile expression node {type(tree).__name__}")

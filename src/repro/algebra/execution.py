@@ -1,0 +1,858 @@
+"""Pipelined, index-driven plan execution (Section VII, Algorithms 1 & 2).
+
+Every tuple-producing plan node becomes a stateful operator with the
+paper's three states:
+
+* ``INITIAL`` — never asked for a tuple,
+* ``FETCHING`` — iterating the index, or waiting on its context child /
+  predicate evaluation,
+* ``OUT_OF_TUPLES`` — both the index range and the context child are
+  exhausted.
+
+Operators exchange FLEX keys, not materialised nodes: a record is fetched
+from the node index only when a predicate needs a string value or the
+caller asks for records (the paper's "document nodes do not need to be
+materialised … unless they are actually used").
+
+Predicate expressions are evaluated per candidate tuple by dynamically
+setting the context of the predicate path's leaf operator (Section V-B)
+and follow full XPath 1.0 value semantics: existential node-set
+comparisons, numeric coercion for relational operators, the number-rule
+for positional predicates (``[3]`` ≡ ``[position() = 3]``), and the core
+function library.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+from typing import Callable, Iterator
+
+from repro.errors import ExecutionError, PlanError
+from repro.mass.flexkey import FlexKey
+from repro.mass.records import NodeKind
+from repro.mass.store import MassStore
+from repro.algebra.plan import (
+    BinaryPredicateNode,
+    ExistsNode,
+    ExprNode,
+    FunctionNode,
+    JoinNode,
+    LiteralNode,
+    NegateNode,
+    NumberNode,
+    PathExprNode,
+    PlanNode,
+    QueryPlan,
+    RootNode,
+    StepNode,
+    UnionNode,
+    ValueStepNode,
+)
+
+
+class OperatorState(Enum):
+    INITIAL = "INITIAL"
+    FETCHING = "FETCHING"
+    OUT_OF_TUPLES = "OUT_OF_TUPLES"
+
+
+# -- value model ------------------------------------------------------------------
+
+
+class NodeSetValue:
+    """A lazily re-iterable node-set produced by a predicate path."""
+
+    def __init__(self, iterate: Callable[[], Iterator[FlexKey]], store: MassStore):
+        self._iterate = iterate
+        self._store = store
+
+    def keys(self) -> Iterator[FlexKey]:
+        return self._iterate()
+
+    def is_empty(self) -> bool:
+        for _ in self._iterate():
+            return False
+        return True
+
+    def count(self) -> int:
+        return sum(1 for _ in self._iterate())
+
+    def first_key(self) -> FlexKey | None:
+        """First node in *document* order (XPath's string() rule)."""
+        best: FlexKey | None = None
+        for key in self._iterate():
+            if best is None or key < best:
+                best = key
+        return best
+
+    def string_values(self) -> Iterator[str]:
+        for key in self._iterate():
+            yield self._store.string_value(key)
+
+
+XPathValue = "bool | float | str | NodeSetValue"
+
+
+def to_boolean(value) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value != 0 and not math.isnan(value)
+    if isinstance(value, str):
+        return bool(value)
+    if isinstance(value, NodeSetValue):
+        return not value.is_empty()
+    raise ExecutionError(f"cannot convert {type(value).__name__} to boolean")
+
+
+def to_number(value) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return math.nan
+    if isinstance(value, NodeSetValue):
+        return to_number(to_string(value))
+    raise ExecutionError(f"cannot convert {type(value).__name__} to number")
+
+
+def to_string(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if value == int(value) and abs(value) < 1e16:
+            return str(int(value))
+        return repr(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, NodeSetValue):
+        first = value.first_key()
+        return "" if first is None else value._store.string_value(first)
+    raise ExecutionError(f"cannot convert {type(value).__name__} to string")
+
+
+# -- evaluation context --------------------------------------------------------------
+
+
+class EvalContext:
+    """Per-candidate evaluation state for predicate expressions."""
+
+    __slots__ = ("store", "key", "position", "_last")
+
+    def __init__(
+        self,
+        store: MassStore,
+        key: FlexKey,
+        position: int = 1,
+        last: Callable[[], int] | int = 1,
+    ):
+        self.store = store
+        self.key = key
+        self.position = position
+        self._last = last
+
+    def last(self) -> int:
+        if callable(self._last):
+            self._last = self._last()
+        return self._last
+
+
+# -- operators ----------------------------------------------------------------------
+
+
+class Operator:
+    """Base of the pipelined operators; subclasses fill ``_produce``."""
+
+    def __init__(self, store: MassStore):
+        self.store = store
+        self.state = OperatorState.INITIAL
+
+    def reset(self, context: FlexKey | None) -> None:
+        """(Re-)arm the operator with a fresh leaf context."""
+        raise NotImplementedError
+
+    def next_tuple(self) -> FlexKey | None:
+        """The next result key, or None once out of tuples."""
+        raise NotImplementedError
+
+    def iterate(self) -> Iterator[FlexKey]:
+        while True:
+            key = self.next_tuple()
+            if key is None:
+                return
+            yield key
+
+
+class StepOperator(Operator):
+    """``φ^{axis::nodetest}`` — Algorithm 1 (Execute) and 2 (GetNextContext).
+
+    A *leaf* step (no context child) consumes the context the engine or
+    the enclosing predicate evaluation set via :meth:`reset`; a non-leaf
+    step pulls context tuples from its child on demand, so the whole chain
+    is fully pipelined.
+    """
+
+    def __init__(
+        self,
+        store: MassStore,
+        plan: StepNode,
+        context_child: "Operator | None",
+        predicates: list["CompiledPredicate"],
+    ):
+        super().__init__(store)
+        self.plan = plan
+        self.context_child = context_child
+        self.predicates = predicates
+        self._leaf_context: FlexKey | None = None
+        self._leaf_consumed = False
+        self._candidates: Iterator[FlexKey] | None = None
+
+    def reset(self, context: FlexKey | None) -> None:
+        self.state = OperatorState.INITIAL
+        self._candidates = None
+        if self.context_child is not None:
+            self.context_child.reset(context)
+            self._leaf_context = None
+        else:
+            self._leaf_context = context
+        self._leaf_consumed = False
+
+    def _get_next_context(self) -> FlexKey | None:
+        """Algorithm 2: advance to the next context node."""
+        if self.context_child is None:
+            if self._leaf_consumed or self._leaf_context is None:
+                return None
+            self._leaf_consumed = True
+            return self._leaf_context
+        return self.context_child.next_tuple()
+
+    def _axis_hits(self, context: FlexKey) -> Iterator[FlexKey]:
+        for key, _record in self.store.axis(context, self.plan.axis, self.plan.test):
+            yield key
+
+    def _filtered_candidates(self, context: FlexKey) -> Iterator[FlexKey]:
+        """Axis hits for one context, run through the predicate stages."""
+        candidates: Iterator[FlexKey] = self._axis_hits(context)
+        for predicate in self.predicates:
+            candidates = predicate.filter(self.store, candidates)
+        return candidates
+
+    def next_tuple(self) -> FlexKey | None:
+        while self.state is not OperatorState.OUT_OF_TUPLES:
+            if self._candidates is None:
+                context = self._get_next_context()
+                if context is None:
+                    self.state = OperatorState.OUT_OF_TUPLES
+                    return None
+                self.state = OperatorState.FETCHING
+                self._candidates = self._filtered_candidates(context)
+            key = next(self._candidates, None)
+            if key is not None:
+                return key
+            self._candidates = None
+        return None
+
+
+class ValueStepOperator(Operator):
+    """``φ^{value::'v'}`` — leaf step over the value index (Figure 9)."""
+
+    def __init__(
+        self,
+        store: MassStore,
+        value: str,
+        predicates: list["CompiledPredicate"],
+        text_only: bool = True,
+    ):
+        super().__init__(store)
+        self.value = value
+        self.text_only = text_only
+        self.predicates = predicates
+        self._candidates: Iterator[FlexKey] | None = None
+        self._armed = False
+
+    def reset(self, context: FlexKey | None) -> None:
+        # The value index is document-global; the context only arms the
+        # operator (one full pass per context, mirroring a leaf step).
+        self.state = OperatorState.INITIAL
+        self._candidates = None
+        self._armed = context is not None
+
+    def _value_hits(self) -> Iterator[FlexKey]:
+        for key, kind in self.store.value_keys(self.value):
+            if self.text_only and kind is not NodeKind.TEXT:
+                continue
+            yield key
+
+    def next_tuple(self) -> FlexKey | None:
+        if self.state is OperatorState.OUT_OF_TUPLES or not self._armed:
+            return None
+        if self._candidates is None:
+            self.state = OperatorState.FETCHING
+            candidates: Iterator[FlexKey] = self._value_hits()
+            for predicate in self.predicates:
+                candidates = predicate.filter(self.store, candidates)
+            self._candidates = candidates
+        key = next(self._candidates, None)
+        if key is None:
+            self.state = OperatorState.OUT_OF_TUPLES
+        return key
+
+
+class UnionOperator(Operator):
+    """Document-order, duplicate-free union of branch results."""
+
+    def __init__(self, store: MassStore, branches: list[Operator]):
+        super().__init__(store)
+        self.branches = branches
+        self._result: Iterator[FlexKey] | None = None
+
+    def reset(self, context: FlexKey | None) -> None:
+        self.state = OperatorState.INITIAL
+        self._result = None
+        for branch in self.branches:
+            branch.reset(context)
+
+    def next_tuple(self) -> FlexKey | None:
+        if self.state is OperatorState.OUT_OF_TUPLES:
+            return None
+        if self._result is None:
+            self.state = OperatorState.FETCHING
+            merged: set[FlexKey] = set()
+            for branch in self.branches:
+                merged.update(branch.iterate())
+            self._result = iter(sorted(merged))
+        key = next(self._result, None)
+        if key is None:
+            self.state = OperatorState.OUT_OF_TUPLES
+        return key
+
+
+class JoinOperator(Operator):
+    """``J^cond`` — joins two context children, emitting matching right
+    tuples (document order, distinct).
+
+    The left side is materialised once into the form the condition needs
+    (a value set or a key list); the right side then streams against it —
+    the conventional build/probe split.
+    """
+
+    def __init__(self, store: MassStore, left: Operator, right: Operator, condition: str):
+        super().__init__(store)
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self._result: Iterator[FlexKey] | None = None
+
+    def reset(self, context: FlexKey | None) -> None:
+        self.state = OperatorState.INITIAL
+        self._result = None
+        self.left.reset(context)
+        self.right.reset(context)
+
+    def _matches(self) -> Iterator[FlexKey]:
+        left_keys = list(self.left.iterate())
+        if self.condition == "value-eq":
+            build = {self.store.string_value(key) for key in left_keys}
+            for key in self.right.iterate():
+                if self.store.string_value(key) in build:
+                    yield key
+        elif self.condition == "ancestor":
+            build = set(left_keys)
+            for key in self.right.iterate():
+                if any(ancestor in build for ancestor in key.ancestors()):
+                    yield key
+        else:  # precedes
+            if not left_keys:
+                return
+            earliest = min(left_keys)
+            for key in self.right.iterate():
+                if earliest < key and not earliest.is_ancestor_of(key):
+                    yield key
+
+    def next_tuple(self) -> FlexKey | None:
+        if self.state is OperatorState.OUT_OF_TUPLES:
+            return None
+        if self._result is None:
+            self.state = OperatorState.FETCHING
+            self._result = iter(sorted(set(self._matches())))
+        key = next(self._result, None)
+        if key is None:
+            self.state = OperatorState.OUT_OF_TUPLES
+        return key
+
+
+class RootOperator(Operator):
+    """``R1`` — passes its context child's tuples through."""
+
+    def __init__(self, store: MassStore, child: Operator | None):
+        super().__init__(store)
+        self.child = child
+
+    def reset(self, context: FlexKey | None) -> None:
+        self.state = OperatorState.INITIAL
+        if self.child is not None:
+            self.child.reset(context)
+
+    def next_tuple(self) -> FlexKey | None:
+        if self.child is None or self.state is OperatorState.OUT_OF_TUPLES:
+            self.state = OperatorState.OUT_OF_TUPLES
+            return None
+        self.state = OperatorState.FETCHING
+        key = self.child.next_tuple()
+        if key is None:
+            self.state = OperatorState.OUT_OF_TUPLES
+        return key
+
+
+# -- predicates -----------------------------------------------------------------------
+
+
+def _expr_uses_last(expr: ExprNode) -> bool:
+    if isinstance(expr, FunctionNode) and expr.name == "last":
+        return True
+    for child in expr.children():
+        if isinstance(child, ExprNode) and _expr_uses_last(child):
+            return True
+    return False
+
+
+def _position_stop_bound(expr: ExprNode) -> int | None:
+    """The largest position a predicate can accept, if statically known.
+
+    ``[3]`` accepts only position 3; ``[position() <= k]`` and
+    ``[position() < k]`` accept nothing past k.  Knowing the bound lets
+    the stage stop pulling candidates from the index — the "position
+    predicates with use of clustered indexes" support the paper claims.
+    """
+    if isinstance(expr, NumberNode):
+        if expr.value == int(expr.value) and expr.value >= 1:
+            return int(expr.value)
+        return 0  # a non-integral position matches nothing
+    if isinstance(expr, BinaryPredicateNode):
+        sides = (expr.left, expr.right)
+        position = next(
+            (side for side in sides
+             if isinstance(side, FunctionNode) and side.name == "position"),
+            None,
+        )
+        number = next((side for side in sides if isinstance(side, NumberNode)), None)
+        if position is None or number is None:
+            return None
+        # normalise to position OP number
+        op = expr.op
+        if sides[0] is number:
+            op = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+        value = number.value
+        if op == "=":
+            return int(value) if value == int(value) and value >= 1 else 0
+        if op == "<=":
+            return max(0, int(math.floor(value)))
+        if op == "<":
+            bound = math.ceil(value) - 1 if value == int(value) else math.floor(value)
+            return max(0, int(bound))
+    return None
+
+
+class CompiledPredicate:
+    """One predicate stage of a step operator.
+
+    Implements the XPath filtering rule: evaluate the expression for every
+    candidate with ``position()`` = its 1-based index in this stage (in
+    axis order); a numeric result keeps only that position, anything else
+    is taken as a boolean.  Stages that mention ``last()`` buffer the
+    stage input (the only place pipelining must pause); stages with a
+    statically-known position ceiling stop pulling candidates at it.
+    """
+
+    def __init__(self, expr: ExprNode, evaluator: "ExpressionEvaluator"):
+        self.expr = expr
+        self.evaluator = evaluator
+        self.uses_last = _expr_uses_last(expr)
+        self.stop_after = None if self.uses_last else _position_stop_bound(expr)
+
+    def _keep(self, store: MassStore, key: FlexKey, position: int, last) -> bool:
+        context = EvalContext(store, key, position, last)
+        value = self.evaluator.evaluate(self.expr, context)
+        if isinstance(value, float):
+            return float(position) == value
+        return to_boolean(value)
+
+    def filter(
+        self, store: MassStore, candidates: Iterator[FlexKey]
+    ) -> Iterator[FlexKey]:
+        if self.uses_last:
+            buffered = list(candidates)
+            total = len(buffered)
+            for position, key in enumerate(buffered, start=1):
+                if self._keep(store, key, position, total):
+                    yield key
+            return
+        position = 0
+        for key in candidates:
+            position += 1
+            if self._keep(store, key, position, _no_last):
+                yield key
+            if self.stop_after is not None and position >= self.stop_after:
+                return  # no later candidate can satisfy the position bound
+
+
+def _no_last() -> int:
+    raise ExecutionError("last() used in a non-buffered predicate stage")
+
+
+class ExpressionEvaluator:
+    """Evaluates predicate-expression trees against an :class:`EvalContext`."""
+
+    def __init__(self, store: MassStore):
+        self.store = store
+
+    # -- dispatch -----------------------------------------------------------
+
+    def evaluate(self, expr: ExprNode, context: EvalContext):
+        if isinstance(expr, LiteralNode):
+            return expr.value
+        if isinstance(expr, NumberNode):
+            return expr.value
+        if isinstance(expr, ExistsNode):
+            return not self._node_set(expr.path, context).is_empty()
+        if isinstance(expr, PathExprNode):
+            return self._node_set(expr.path, context)
+        if isinstance(expr, NegateNode):
+            return -to_number(self.evaluate(expr.operand, context))
+        if isinstance(expr, BinaryPredicateNode):
+            return self._binary(expr, context)
+        if isinstance(expr, FunctionNode):
+            return self._function(expr, context)
+        raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+    # -- node sets ------------------------------------------------------------
+
+    def _node_set(self, path: PlanNode, context: EvalContext) -> NodeSetValue:
+        operator = build_operators(self.store, path, self)
+        key = context.key
+
+        def iterate() -> Iterator[FlexKey]:
+            operator.reset(key)
+            return operator.iterate()
+
+        return NodeSetValue(iterate, self.store)
+
+    # -- binary operators --------------------------------------------------------
+
+    def _binary(self, expr: BinaryPredicateNode, context: EvalContext):
+        op = expr.op
+        if op == "and":
+            return to_boolean(self.evaluate(expr.left, context)) and to_boolean(
+                self.evaluate(expr.right, context)
+            )
+        if op == "or":
+            return to_boolean(self.evaluate(expr.left, context)) or to_boolean(
+                self.evaluate(expr.right, context)
+            )
+        left = self.evaluate(expr.left, context)
+        right = self.evaluate(expr.right, context)
+        if op in ("=", "!="):
+            return self._equality(op, left, right)
+        if op in ("<", "<=", ">", ">="):
+            return self._relational(op, left, right)
+        return self._arithmetic(op, left, right)
+
+    def _equality(self, op: str, left, right) -> bool:
+        if isinstance(left, NodeSetValue) or isinstance(right, NodeSetValue):
+            return self._node_set_compare(op, left, right)
+        if isinstance(left, bool) or isinstance(right, bool):
+            result = to_boolean(left) == to_boolean(right)
+        elif isinstance(left, float) or isinstance(right, float):
+            result = to_number(left) == to_number(right)
+        else:
+            result = to_string(left) == to_string(right)
+        return result if op == "=" else not result
+
+    def _relational(self, op: str, left, right) -> bool:
+        if isinstance(left, NodeSetValue) or isinstance(right, NodeSetValue):
+            return self._node_set_compare(op, left, right)
+        return _numeric_compare(op, to_number(left), to_number(right))
+
+    def _node_set_compare(self, op: str, left, right) -> bool:
+        """Existential node-set comparison semantics of XPath 1.0."""
+        if isinstance(left, NodeSetValue) and isinstance(right, NodeSetValue):
+            right_values = list(right.string_values())
+            for left_value in left.string_values():
+                for right_value in right_values:
+                    if _string_pair_compare(op, left_value, right_value):
+                        return True
+            return False
+        if isinstance(right, NodeSetValue):
+            flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+            return self._node_set_compare(flipped, right, left)
+        assert isinstance(left, NodeSetValue)
+        if isinstance(right, bool):
+            return _boolean_pair_compare(op, to_boolean(left), right)
+        for value in left.string_values():
+            if isinstance(right, float):
+                if _numeric_compare_eq(op, to_number(value), right):
+                    return True
+            elif op in ("=", "!="):
+                if (value == right) == (op == "="):
+                    return True
+            else:
+                if _numeric_compare(op, to_number(value), to_number(right)):
+                    return True
+        return False
+
+    def _arithmetic(self, op: str, left, right) -> float:
+        a = to_number(left)
+        b = to_number(right)
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "div":
+            if b == 0:
+                return math.nan if a == 0 else math.copysign(math.inf, a)
+            return a / b
+        if op == "mod":
+            if b == 0:
+                return math.nan
+            return math.fmod(a, b)
+        raise ExecutionError(f"unknown operator {op!r}")
+
+    # -- functions ----------------------------------------------------------------
+
+    def _function(self, expr: FunctionNode, context: EvalContext):
+        name = expr.name
+        args = expr.args
+        if name == "position":
+            return float(context.position)
+        if name == "last":
+            return float(context.last())
+        if name == "count":
+            value = self.evaluate(args[0], context)
+            if not isinstance(value, NodeSetValue):
+                raise ExecutionError("count() requires a node-set")
+            return float(value.count())
+        if name == "not":
+            return not to_boolean(self.evaluate(args[0], context))
+        if name == "true":
+            return True
+        if name == "false":
+            return False
+        if name == "contains":
+            return to_string(self.evaluate(args[0], context)) .find(
+                to_string(self.evaluate(args[1], context))
+            ) >= 0
+        if name == "starts-with":
+            return to_string(self.evaluate(args[0], context)).startswith(
+                to_string(self.evaluate(args[1], context))
+            )
+        if name == "string":
+            if not args:
+                return self.store.string_value(context.key)
+            return to_string(self.evaluate(args[0], context))
+        if name == "number":
+            if not args:
+                return to_number(self.store.string_value(context.key))
+            return to_number(self.evaluate(args[0], context))
+        if name == "string-length":
+            if not args:
+                return float(len(self.store.string_value(context.key)))
+            return float(len(to_string(self.evaluate(args[0], context))))
+        if name == "normalize-space":
+            text = (
+                self.store.string_value(context.key)
+                if not args
+                else to_string(self.evaluate(args[0], context))
+            )
+            return " ".join(text.split())
+        if name in ("name", "local-name"):
+            key = context.key
+            if args:
+                value = self.evaluate(args[0], context)
+                if not isinstance(value, NodeSetValue):
+                    raise ExecutionError(f"{name}() requires a node-set")
+                key = value.first_key()
+                if key is None:
+                    return ""
+            record = self.store.require(key)
+            if name == "local-name" and ":" in record.name:
+                return record.name.split(":", 1)[1]
+            return record.name
+        if name == "concat":
+            return "".join(to_string(self.evaluate(arg, context)) for arg in args)
+        if name == "sum":
+            value = self.evaluate(args[0], context)
+            if not isinstance(value, NodeSetValue):
+                raise ExecutionError("sum() requires a node-set")
+            return float(sum(to_number(text) for text in value.string_values()))
+        if name == "boolean":
+            return to_boolean(self.evaluate(args[0], context))
+        if name == "substring":
+            return _substring(
+                to_string(self.evaluate(args[0], context)),
+                to_number(self.evaluate(args[1], context)),
+                to_number(self.evaluate(args[2], context)) if len(args) > 2 else None,
+            )
+        if name == "substring-before":
+            haystack = to_string(self.evaluate(args[0], context))
+            needle = to_string(self.evaluate(args[1], context))
+            index = haystack.find(needle)
+            return haystack[:index] if index >= 0 else ""
+        if name == "substring-after":
+            haystack = to_string(self.evaluate(args[0], context))
+            needle = to_string(self.evaluate(args[1], context))
+            index = haystack.find(needle)
+            return haystack[index + len(needle):] if index >= 0 else ""
+        if name == "translate":
+            return _translate(
+                to_string(self.evaluate(args[0], context)),
+                to_string(self.evaluate(args[1], context)),
+                to_string(self.evaluate(args[2], context)),
+            )
+        if name == "floor":
+            return float(math.floor(to_number(self.evaluate(args[0], context))))
+        if name == "ceiling":
+            return float(math.ceil(to_number(self.evaluate(args[0], context))))
+        if name == "round":
+            number = to_number(self.evaluate(args[0], context))
+            if math.isnan(number) or math.isinf(number):
+                return number
+            return float(math.floor(number + 0.5))
+        raise ExecutionError(f"unimplemented function {name}()")
+
+
+def _round_half_up(value: float) -> float:
+    """XPath round(): floor(x + 0.5), passing infinities through."""
+    if math.isinf(value) or math.isnan(value):
+        return value
+    return math.floor(value + 0.5)
+
+
+def _substring(text: str, start: float, length: float | None) -> str:
+    """XPath 1.0 substring(): 1-based, round() on both arguments, and the
+    spec's infinity/NaN corner cases (§4.2)."""
+    begin = _round_half_up(start)
+    if math.isnan(begin):
+        return ""
+    if length is None:
+        end = math.inf
+    else:
+        end = begin + _round_half_up(length)  # -inf + inf = NaN: matches nothing
+    if math.isnan(end):
+        return ""
+    pieces = []
+    for index, char in enumerate(text, start=1):
+        if index >= begin and index < end:
+            pieces.append(char)
+    return "".join(pieces)
+
+
+def _translate(text: str, source: str, target: str) -> str:
+    """XPath 1.0 translate(): map/remove characters, first mapping wins."""
+    mapping: dict[str, str | None] = {}
+    for index, char in enumerate(source):
+        if char not in mapping:
+            mapping[char] = target[index] if index < len(target) else None
+    pieces = []
+    for char in text:
+        if char in mapping:
+            replacement = mapping[char]
+            if replacement is not None:
+                pieces.append(replacement)
+        else:
+            pieces.append(char)
+    return "".join(pieces)
+
+
+def _numeric_compare(op: str, a: float, b: float) -> bool:
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    raise ExecutionError(f"not a relational operator: {op!r}")
+
+
+def _numeric_compare_eq(op: str, a: float, b: float) -> bool:
+    if op == "=":
+        return a == b
+    if op == "!=":
+        return a != b
+    return _numeric_compare(op, a, b)
+
+
+def _string_pair_compare(op: str, a: str, b: str) -> bool:
+    if op == "=":
+        return a == b
+    if op == "!=":
+        return a != b
+    return _numeric_compare(op, to_number(a), to_number(b))
+
+
+def _boolean_pair_compare(op: str, a: bool, b: bool) -> bool:
+    if op == "=":
+        return a == b
+    if op == "!=":
+        return a != b
+    return _numeric_compare(op, to_number(a), to_number(b))
+
+
+# -- plan → operators --------------------------------------------------------------------
+
+
+def build_operators(
+    store: MassStore, node: PlanNode, evaluator: "ExpressionEvaluator | None" = None
+) -> Operator:
+    """Instantiate the runtime operator tree for a plan subtree."""
+    if evaluator is None:
+        evaluator = ExpressionEvaluator(store)
+    predicates = [CompiledPredicate(expr, evaluator) for expr in node.predicates]
+    if isinstance(node, RootNode):
+        child = (
+            build_operators(store, node.context_child, evaluator)
+            if node.context_child is not None
+            else None
+        )
+        return RootOperator(store, child)
+    if isinstance(node, StepNode):
+        child = (
+            build_operators(store, node.context_child, evaluator)
+            if node.context_child is not None
+            else None
+        )
+        return StepOperator(store, node, child, predicates)
+    if isinstance(node, ValueStepNode):
+        return ValueStepOperator(store, node.value, predicates, node.text_only)
+    if isinstance(node, UnionNode):
+        branches = [build_operators(store, branch, evaluator) for branch in node.branches]
+        return UnionOperator(store, branches)
+    if isinstance(node, JoinNode):
+        left = build_operators(store, node.left, evaluator)
+        right = build_operators(store, node.right, evaluator)
+        return JoinOperator(store, left, right, node.condition)
+    raise PlanError(f"cannot execute plan node {type(node).__name__}")
+
+
+def execute_plan(
+    plan: QueryPlan, store: MassStore, context: FlexKey | None = None
+) -> Iterator[FlexKey]:
+    """Run a plan, yielding result keys in pipeline order.
+
+    ``context`` defaults to the document root — the engine's "dynamic
+    setting of context" for the leaf operator of the context path.  An
+    XQuery host would pass other context keys here.
+    """
+    operator = build_operators(store, plan.root)
+    operator.reset(context if context is not None else FlexKey.document())
+    return operator.iterate()

@@ -1,0 +1,454 @@
+"""Physical plan nodes.
+
+A VAMANA query plan is a tree of operators, each denoted in the paper as
+``op^cond_id``.  Two node families exist:
+
+* **tuple-producing operators** (:class:`PlanNode` subclasses): the root,
+  step operators ``φ^{axis::nodetest}``, the value-index step
+  ``φ^{value::'v'}`` introduced by the Figure 9 rewrite, and unions.
+  Each has at most one *context child* providing its context tuples, and
+  an optional predicate expression tree.
+* **predicate expressions** (:class:`ExprNode` subclasses): the exist
+  predicate ``ξ``, the binary predicate ``β^cond``, literals ``L^v``,
+  numbers, functions, and boolean/arithmetic combinators.  A predicate
+  path (a chain of steps whose innermost context child is None) has its
+  leaf context set per candidate tuple — the "dynamic setting of context"
+  of Section V-B.
+
+Every node carries mutable cost annotations (``count``, ``tuples_in``,
+``tuples_out``, ``selectivity``) written by the estimator and read by the
+optimizer; ``clone()`` deep-copies a plan so rewrites never alias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro.model import Axis, NodeTest
+
+
+@dataclass
+class CostInfo:
+    """The per-operator statistics of Section VI-B."""
+
+    count: int | None = None  # COUNT(op): index matches for the node test
+    text_count: int | None = None  # TC(op): literal occurrences
+    tuples_in: int | None = None  # IN(op)
+    tuples_out: int | None = None  # OUT(op), after predicate bounds
+    raw_out: int | None = None  # OUT(op) before predicate bounds (Table I)
+    selectivity: float | None = None  # scaled IN/OUT ratio
+
+    def annotate(self) -> str:
+        parts = []
+        if self.count is not None:
+            parts.append(f"COUNT={self.count}")
+        if self.text_count is not None:
+            parts.append(f"TC={self.text_count}")
+        if self.tuples_in is not None:
+            parts.append(f"IN={self.tuples_in}")
+        if self.tuples_out is not None:
+            parts.append(f"OUT={self.tuples_out}")
+        if self.selectivity is not None:
+            parts.append(f"sel={self.selectivity:.3f}")
+        return " ".join(parts)
+
+
+class PlanBase:
+    """Shared identity/cost plumbing for plan and expression nodes."""
+
+    def __init__(self) -> None:
+        self.op_id: int = 0
+        self.cost = CostInfo()
+
+    def symbol(self) -> str:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{self.symbol()}_{self.op_id}"
+
+
+class PlanNode(PlanBase):
+    """A tuple-producing operator (context path member)."""
+
+    def __init__(self, context_child: "PlanNode | None" = None):
+        super().__init__()
+        self.context_child = context_child
+        self.predicates: list[ExprNode] = []
+
+    # -- tree plumbing ------------------------------------------------------
+
+    def children(self) -> Iterator["PlanBase"]:
+        if self.context_child is not None:
+            yield self.context_child
+        yield from self.predicates
+
+    def clone(self) -> "PlanNode":
+        raise NotImplementedError
+
+    def _clone_shared(self, copy: "PlanNode") -> "PlanNode":
+        copy.op_id = self.op_id
+        copy.cost = replace(self.cost)
+        copy.context_child = (
+            self.context_child.clone() if self.context_child is not None else None
+        )
+        copy.predicates = [predicate.clone() for predicate in self.predicates]
+        return copy
+
+    def leaf(self) -> "PlanNode":
+        """The innermost operator of this context path."""
+        node = self
+        while node.context_child is not None:
+            node = node.context_child
+        return node
+
+
+class RootNode(PlanNode):
+    """``R1`` — marks the plan top; returns its context child's tuples.
+
+    ``distinct`` requests document-order duplicate elimination on output
+    (the XPath node-*set* semantics); the optimizer may exploit it.
+    """
+
+    def __init__(self, context_child: PlanNode | None = None, distinct: bool = True):
+        super().__init__(context_child)
+        self.distinct = distinct
+
+    def symbol(self) -> str:
+        return "R"
+
+    def clone(self) -> "RootNode":
+        copy = RootNode(distinct=self.distinct)
+        self._clone_shared(copy)
+        return copy
+
+
+class StepNode(PlanNode):
+    """``φ^{axis::nodetest}`` — one location step evaluated on the index."""
+
+    def __init__(
+        self,
+        axis: Axis,
+        test: NodeTest,
+        context_child: PlanNode | None = None,
+    ):
+        super().__init__(context_child)
+        self.axis = axis
+        self.test = test
+
+    def symbol(self) -> str:
+        return "Phi"
+
+    def describe(self) -> str:
+        return f"Phi_{self.op_id}[{self.axis.value}::{self.test}]"
+
+    def clone(self) -> "StepNode":
+        copy = StepNode(self.axis, self.test)
+        self._clone_shared(copy)
+        return copy
+
+
+class ValueStepNode(PlanNode):
+    """``φ^{value::'v'}`` — the value-index step of the Figure 9 rewrite.
+
+    Yields the nodes whose stored value equals ``value``, straight from
+    the value index: the one-lookup evaluation eXist lacks.  ``text_only``
+    restricts hits to text nodes (the shape a ``text() = 'v'`` rewrite
+    requires — an attribute holding the same string must not match).
+    """
+
+    def __init__(
+        self,
+        value: str,
+        context_child: PlanNode | None = None,
+        text_only: bool = True,
+    ):
+        super().__init__(context_child)
+        self.value = value
+        self.text_only = text_only
+
+    def symbol(self) -> str:
+        return "Phi"
+
+    def describe(self) -> str:
+        return f"Phi_{self.op_id}[value::{self.value!r}]"
+
+    def clone(self) -> "ValueStepNode":
+        copy = ValueStepNode(self.value, text_only=self.text_only)
+        self._clone_shared(copy)
+        return copy
+
+
+class UnionNode(PlanNode):
+    """Node-set union of several context paths (``|``)."""
+
+    def __init__(self, branches: list[PlanNode]):
+        super().__init__(None)
+        self.branches = branches
+
+    def symbol(self) -> str:
+        return "U"
+
+    def children(self) -> Iterator[PlanBase]:
+        yield from self.branches
+        yield from self.predicates
+
+    def clone(self) -> "UnionNode":
+        copy = UnionNode([branch.clone() for branch in self.branches])
+        copy.op_id = self.op_id
+        copy.cost = replace(self.cost)
+        copy.predicates = [predicate.clone() for predicate in self.predicates]
+        return copy
+
+
+class JoinNode(PlanNode):
+    """``J^cond`` — the paper's join operator: two context children.
+
+    Tuples are fetched from both children and the join condition applied
+    to each pair; the operator emits the *right* tuple of every satisfying
+    pair (deduplicated, document order).  VAMANA itself only needs joins
+    when hosting XQuery, so the conditions are the structural/value kinds
+    an XQuery front-end would generate:
+
+    * ``value-eq`` — string-values equal (id/idref style),
+    * ``ancestor`` — left is an ancestor of right,
+    * ``precedes`` — left precedes right in document order.
+    """
+
+    CONDITIONS = ("value-eq", "ancestor", "precedes")
+
+    def __init__(self, left: PlanNode, right: PlanNode, condition: str = "value-eq"):
+        super().__init__(None)
+        if condition not in self.CONDITIONS:
+            raise ValueError(f"unknown join condition {condition!r}")
+        self.left = left
+        self.right = right
+        self.condition = condition
+
+    def symbol(self) -> str:
+        return "J"
+
+    def describe(self) -> str:
+        return f"J_{self.op_id}[{self.condition}]"
+
+    def children(self) -> Iterator[PlanBase]:
+        yield self.left
+        yield self.right
+        yield from self.predicates
+
+    def clone(self) -> "JoinNode":
+        copy = JoinNode(self.left.clone(), self.right.clone(), self.condition)
+        copy.op_id = self.op_id
+        copy.cost = replace(self.cost)
+        copy.predicates = [predicate.clone() for predicate in self.predicates]
+        return copy
+
+
+# -- predicate expressions ----------------------------------------------------------
+
+
+class ExprNode(PlanBase):
+    """A predicate-expression operator."""
+
+    def children(self) -> Iterator[PlanBase]:
+        return iter(())
+
+    def clone(self) -> "ExprNode":
+        raise NotImplementedError
+
+    def _finish_clone(self, copy: "ExprNode") -> "ExprNode":
+        copy.op_id = self.op_id
+        copy.cost = replace(self.cost)
+        return copy
+
+
+class ExistsNode(ExprNode):
+    """``ξ`` — true iff the predicate path yields at least one tuple."""
+
+    def __init__(self, path: PlanNode):
+        super().__init__()
+        self.path = path
+
+    def symbol(self) -> str:
+        return "Xi"
+
+    def children(self) -> Iterator[PlanBase]:
+        yield self.path
+
+    def clone(self) -> "ExistsNode":
+        return self._finish_clone(ExistsNode(self.path.clone()))  # type: ignore[return-value]
+
+
+class BinaryPredicateNode(ExprNode):
+    """``β^cond`` — comparison or boolean connector over two children.
+
+    ``op`` is one of ``= != < <= > >= and or + - * div mod``.
+    """
+
+    def __init__(self, op: str, left: ExprNode, right: ExprNode):
+        super().__init__()
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def symbol(self) -> str:
+        return "Beta"
+
+    def describe(self) -> str:
+        return f"Beta_{self.op_id}[{self.op}]"
+
+    def children(self) -> Iterator[PlanBase]:
+        yield self.left
+        yield self.right
+
+    def clone(self) -> "BinaryPredicateNode":
+        return self._finish_clone(
+            BinaryPredicateNode(self.op, self.left.clone(), self.right.clone())
+        )  # type: ignore[return-value]
+
+
+class PathExprNode(ExprNode):
+    """A predicate path used as a value (string-value of its first node)."""
+
+    def __init__(self, path: PlanNode):
+        super().__init__()
+        self.path = path
+
+    def symbol(self) -> str:
+        return "P"
+
+    def children(self) -> Iterator[PlanBase]:
+        yield self.path
+
+    def clone(self) -> "PathExprNode":
+        return self._finish_clone(PathExprNode(self.path.clone()))  # type: ignore[return-value]
+
+
+class LiteralNode(ExprNode):
+    """``L^v`` — a string literal."""
+
+    def __init__(self, value: str):
+        super().__init__()
+        self.value = value
+
+    def symbol(self) -> str:
+        return "L"
+
+    def describe(self) -> str:
+        return f"L_{self.op_id}[{self.value!r}]"
+
+    def clone(self) -> "LiteralNode":
+        return self._finish_clone(LiteralNode(self.value))  # type: ignore[return-value]
+
+
+class NumberNode(ExprNode):
+    """A numeric literal; a bare ``[n]`` predicate is position() = n."""
+
+    def __init__(self, value: float):
+        super().__init__()
+        self.value = value
+
+    def symbol(self) -> str:
+        return "N"
+
+    def clone(self) -> "NumberNode":
+        return self._finish_clone(NumberNode(self.value))  # type: ignore[return-value]
+
+
+class FunctionNode(ExprNode):
+    """A core-library function call (position, last, count, not, …)."""
+
+    def __init__(self, name: str, args: list[ExprNode]):
+        super().__init__()
+        self.name = name
+        self.args = args
+
+    def symbol(self) -> str:
+        return "F"
+
+    def describe(self) -> str:
+        return f"F_{self.op_id}[{self.name}]"
+
+    def children(self) -> Iterator[PlanBase]:
+        yield from self.args
+
+    def clone(self) -> "FunctionNode":
+        return self._finish_clone(
+            FunctionNode(self.name, [arg.clone() for arg in self.args])
+        )  # type: ignore[return-value]
+
+
+class NegateNode(ExprNode):
+    """Unary arithmetic negation."""
+
+    def __init__(self, operand: ExprNode):
+        super().__init__()
+        self.operand = operand
+
+    def symbol(self) -> str:
+        return "Neg"
+
+    def children(self) -> Iterator[PlanBase]:
+        yield self.operand
+
+    def clone(self) -> "NegateNode":
+        return self._finish_clone(NegateNode(self.operand.clone()))  # type: ignore[return-value]
+
+
+# -- the plan wrapper -----------------------------------------------------------------
+
+
+@dataclass
+class QueryPlan:
+    """A complete physical plan: a root operator plus bookkeeping."""
+
+    root: RootNode
+    expression: str = ""
+
+    def clone(self) -> "QueryPlan":
+        return QueryPlan(self.root.clone(), self.expression)
+
+    def renumber(self) -> None:
+        """Assign operator ids in depth-first order (stable for traces)."""
+        next_id = 1
+        for node in self.walk():
+            node.op_id = next_id
+            next_id += 1
+
+    def walk(self) -> Iterator[PlanBase]:
+        """Every operator in the plan, root first, depth-first."""
+
+        def visit(node: PlanBase) -> Iterator[PlanBase]:
+            yield node
+            for child in node.children():
+                yield from visit(child)
+
+        return visit(self.root)
+
+    def operators(self) -> list[PlanBase]:
+        return list(self.walk())
+
+    def explain(self, costs: bool = True) -> str:
+        """Pretty-print the plan tree with cost annotations."""
+        lines: list[str] = []
+
+        def visit(node: PlanBase, indent: int, label: str) -> None:
+            annotation = node.cost.annotate() if costs else ""
+            suffix = f"    ({annotation})" if annotation else ""
+            lines.append("  " * indent + f"{label}{node.describe()}{suffix}")
+            if isinstance(node, PlanNode):
+                for predicate in node.predicates:
+                    visit(predicate, indent + 1, "pred: ")
+                if isinstance(node, UnionNode):
+                    for branch in node.branches:
+                        visit(branch, indent + 1, "ctx: ")
+                elif node.context_child is not None:
+                    visit(node.context_child, indent + 1, "ctx: ")
+            elif isinstance(node, (ExistsNode, PathExprNode)):
+                visit(node.path, indent + 1, "path: ")
+            else:
+                for child in node.children():
+                    visit(child, indent + 1, "")
+
+        visit(self.root, 0, "")
+        return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Baseline engines — the paper's comparison systems, rebuilt.
+
+The evaluation (Section VIII) compares VAMANA against Galax, Jaxen and
+eXist.  Those binaries are long gone; what matters for reproduction is
+their *algorithmic class* and their documented limitations, so this
+package implements both classes from scratch:
+
+* :class:`DomTraversalEngine` — the Galax/Jaxen class: parse the whole
+  document into a DOM, then evaluate location steps top-down with
+  materialised node-sets.  No indexes; memory and time grow with the
+  document, and the profiles encode the axis gaps and size ceilings the
+  paper reports (Galax lacks the sibling axes; Jaxen rejects documents
+  ≥ 10 MB).
+* :class:`PathJoinEngine` — the eXist class: an element-name inverted
+  index plus interval-based structural joins for child/descendant steps,
+  **falling back to memory-based tree traversal for value predicates**
+  (the weakness Q5 exposes) and lacking the ordered axes.
+
+Every engine shares one contract — ``evaluate(xpath) -> list[DomNode]``
+in document order — so correctness tests can cross-check all engines,
+including VAMANA, node for node.
+"""
+
+from repro.baselines.profiles import (
+    EngineProfile,
+    EXIST_PROFILE,
+    GALAX_PROFILE,
+    JAXEN_PROFILE,
+    XINDICE_PROFILE,
+)
+from repro.baselines.dom_engine import DomTraversalEngine
+from repro.baselines.pathjoin import PathJoinEngine
+
+__all__ = [
+    "EngineProfile",
+    "GALAX_PROFILE",
+    "JAXEN_PROFILE",
+    "EXIST_PROFILE",
+    "XINDICE_PROFILE",
+    "DomTraversalEngine",
+    "PathJoinEngine",
+]

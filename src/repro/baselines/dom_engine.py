@@ -1,0 +1,502 @@
+"""The DOM-traversal baseline (the Galax/Jaxen algorithmic class).
+
+Evaluation is textbook node-set-at-a-time: the whole document is parsed
+into a DOM up front, each location step maps the current node-set through
+an axis walk, and intermediate node-sets are fully materialised and
+sorted between steps.  Predicates are evaluated recursively with the same
+machinery.  There is no index anywhere — exactly the cost profile the
+paper contrasts with VAMANA's index-only plans.
+
+The engine honours an :class:`~repro.baselines.profiles.EngineProfile`:
+oversized documents raise :class:`DocumentTooLargeError` at load and
+unsupported axes raise :class:`UnsupportedFeatureError` at evaluation,
+mirroring how the original systems produced no data points for some
+figure configurations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import (
+    DocumentTooLargeError,
+    ExecutionError,
+    UnsupportedFeatureError,
+)
+from repro.mass.records import NodeKind
+from repro.model import Axis, NodeTest
+from repro.xpath import ast
+from repro.xpath.parser import parse_xpath
+from repro.xmlkit.dom import DomDocument, DomNode, build_dom
+
+
+class DomNodeSet:
+    """A materialised node list (document order, distinct)."""
+
+    def __init__(self, nodes: Iterable[DomNode]):
+        seen: dict[int, DomNode] = {}
+        for node in nodes:
+            seen.setdefault(id(node), node)
+        self.nodes = sorted(seen.values(), key=lambda node: node.order)
+
+    def __iter__(self) -> Iterator[DomNode]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class DomTraversalEngine:
+    """Galax/Jaxen stand-in: full-document DOM + top-down evaluation."""
+
+    def __init__(self, profile=None):
+        from repro.baselines.profiles import GALAX_PROFILE
+
+        self.profile = profile or GALAX_PROFILE
+        self.document: DomDocument | None = None
+        #: Work counter: nodes touched by axis walks and value reads.
+        self.nodes_visited = 0
+
+    # -- loading -------------------------------------------------------------
+
+    def load(self, xml_text: str) -> DomDocument:
+        size = len(xml_text.encode("utf-8", errors="ignore"))
+        if not self.profile.accepts_size(size):
+            raise DocumentTooLargeError(
+                self.profile.name, size, self.profile.max_document_bytes
+            )
+        self.document = build_dom(xml_text)
+        return self.document
+
+    def load_dom(self, document: DomDocument, size_bytes: int = 0) -> None:
+        """Adopt an existing DOM (sharing parse cost across engines)."""
+        if size_bytes and not self.profile.accepts_size(size_bytes):
+            raise DocumentTooLargeError(
+                self.profile.name, size_bytes, self.profile.max_document_bytes
+            )
+        self.document = document
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(self, expression: str) -> list[DomNode]:
+        """Evaluate an XPath returning a node-set, in document order."""
+        if self.document is None:
+            raise ExecutionError("no document loaded")
+        tree = parse_xpath(expression)
+        value = self._eval_expr(tree, self.document.document_node, 1, lambda: 1)
+        if not isinstance(value, DomNodeSet):
+            raise ExecutionError(f"{expression!r} is not a node-set expression")
+        return list(value)
+
+    def evaluate_value(self, expression: str):
+        """Evaluate any XPath expression to a Python value."""
+        if self.document is None:
+            raise ExecutionError("no document loaded")
+        tree = parse_xpath(expression)
+        value = self._eval_expr(tree, self.document.document_node, 1, lambda: 1)
+        if isinstance(value, DomNodeSet):
+            return list(value)
+        return value
+
+    # -- axis walks ---------------------------------------------------------------
+
+    def _axis_nodes(self, node: DomNode, axis: Axis) -> Iterator[DomNode]:
+        if not self.profile.supports_axis(axis):
+            raise UnsupportedFeatureError(self.profile.name, f"axis {axis.value}")
+        if axis is Axis.SELF:
+            yield node
+        elif axis is Axis.CHILD:
+            yield from node.children
+        elif axis is Axis.DESCENDANT:
+            yield from node.descendants()
+        elif axis is Axis.DESCENDANT_OR_SELF:
+            yield node
+            yield from node.descendants()
+        elif axis is Axis.PARENT:
+            if node.parent is not None:
+                yield node.parent
+        elif axis is Axis.ANCESTOR:
+            yield from node.ancestors()
+        elif axis is Axis.ANCESTOR_OR_SELF:
+            yield node
+            yield from node.ancestors()
+        elif axis is Axis.FOLLOWING_SIBLING:
+            yield from node.following_siblings()
+        elif axis is Axis.PRECEDING_SIBLING:
+            yield from node.preceding_siblings()
+        elif axis is Axis.FOLLOWING:
+            yield from self._following(node)
+        elif axis is Axis.PRECEDING:
+            yield from self._preceding(node)
+        elif axis is Axis.ATTRIBUTE:
+            yield from node.attributes
+        elif axis is Axis.NAMESPACE:
+            return
+        else:  # pragma: no cover - exhaustive
+            raise UnsupportedFeatureError(self.profile.name, f"axis {axis.value}")
+
+    def _following(self, node: DomNode) -> Iterator[DomNode]:
+        if node.kind in (NodeKind.ATTRIBUTE, NodeKind.NAMESPACE):
+            # document order places an attribute before its element's
+            # content, and an attribute has no descendants, so everything
+            # with a larger order number follows it.
+            assert self.document is not None
+            for candidate in self.document.all_nodes():
+                if candidate.order > node.order:
+                    yield candidate
+            return
+        anchor = node
+        while anchor is not None:
+            for sibling in anchor.following_siblings():
+                yield sibling
+                yield from sibling.descendants()
+            anchor = anchor.parent
+
+    def _preceding(self, node: DomNode) -> Iterator[DomNode]:
+        if node.kind in (NodeKind.ATTRIBUTE, NodeKind.NAMESPACE):
+            assert self.document is not None
+            ancestors = {id(ancestor) for ancestor in node.ancestors()}
+            preceding = [
+                candidate
+                for candidate in self.document.all_nodes()
+                if candidate.order < node.order
+                and id(candidate) not in ancestors
+                and candidate.kind is not NodeKind.DOCUMENT
+            ]
+            yield from sorted(preceding, key=lambda c: c.order, reverse=True)
+            return
+        results: list[DomNode] = []
+        anchor = node
+        while anchor is not None:
+            for sibling in anchor.preceding_siblings():
+                results.append(sibling)
+                results.extend(sibling.descendants())
+            anchor = anchor.parent
+        results.sort(key=lambda candidate: candidate.order, reverse=True)
+        yield from results
+
+    def _match_test(
+        self, node: DomNode, axis: Axis, test: NodeTest, context: DomNode | None = None
+    ) -> bool:
+        if node.kind in (NodeKind.ATTRIBUTE, NodeKind.NAMESPACE) and axis not in (
+            Axis.ATTRIBUTE,
+            Axis.NAMESPACE,
+        ):
+            # a *-or-self axis does include the context attribute itself
+            if node is not context or axis not in (
+                Axis.SELF,
+                Axis.ANCESTOR_OR_SELF,
+                Axis.DESCENDANT_OR_SELF,
+            ):
+                return False
+        return test.matches(node.kind, node.name, axis.principal_kind)
+
+    # -- steps ---------------------------------------------------------------------
+
+    def _eval_steps(
+        self, start_nodes: Iterable[DomNode], steps: tuple[ast.Step, ...]
+    ) -> DomNodeSet:
+        current = DomNodeSet(start_nodes)
+        for step in steps:
+            produced: list[DomNode] = []
+            for context in current:
+                candidates: list[DomNode] = []
+                for candidate in self._axis_nodes(context, step.axis):
+                    self.nodes_visited += 1
+                    if self._match_test(candidate, step.axis, step.test, context):
+                        candidates.append(candidate)
+                produced.extend(self._filter_predicates(candidates, step.predicates))
+            current = DomNodeSet(produced)
+        return current
+
+    def _filter_predicates(
+        self, candidates: list[DomNode], predicates: tuple[ast.XPathNode, ...]
+    ) -> list[DomNode]:
+        current = candidates
+        for predicate in predicates:
+            survivors: list[DomNode] = []
+            total = len(current)
+            for position, node in enumerate(current, start=1):
+                value = self._eval_expr(predicate, node, position, lambda: total)
+                if isinstance(value, float):
+                    keep = float(position) == value
+                else:
+                    keep = self._to_boolean(value)
+                if keep:
+                    survivors.append(node)
+            current = survivors
+        return current
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _eval_expr(
+        self,
+        tree: ast.XPathNode,
+        context: DomNode,
+        position: int,
+        last: Callable[[], int],
+    ):
+        if isinstance(tree, ast.LocationPath):
+            start = self._path_start(context, tree)
+            return self._eval_steps([start], tree.steps)
+        if isinstance(tree, ast.UnionExpr):
+            nodes: list[DomNode] = []
+            for branch in tree.branches:
+                value = self._eval_expr(branch, context, position, last)
+                if not isinstance(value, DomNodeSet):
+                    raise ExecutionError("union branches must be node-sets")
+                nodes.extend(value)
+            return DomNodeSet(nodes)
+        if isinstance(tree, ast.StringLiteral):
+            return tree.value
+        if isinstance(tree, ast.NumberLiteral):
+            return tree.value
+        if isinstance(tree, ast.Negate):
+            return -self._to_number(self._eval_expr(tree.operand, context, position, last))
+        if isinstance(tree, ast.AndExpr):
+            return self._to_boolean(
+                self._eval_expr(tree.left, context, position, last)
+            ) and self._to_boolean(self._eval_expr(tree.right, context, position, last))
+        if isinstance(tree, ast.OrExpr):
+            return self._to_boolean(
+                self._eval_expr(tree.left, context, position, last)
+            ) or self._to_boolean(self._eval_expr(tree.right, context, position, last))
+        if isinstance(tree, ast.Comparison):
+            return self._compare(
+                tree.op,
+                self._eval_expr(tree.left, context, position, last),
+                self._eval_expr(tree.right, context, position, last),
+            )
+        if isinstance(tree, ast.BinaryOp):
+            return self._arithmetic(
+                tree.op,
+                self._eval_expr(tree.left, context, position, last),
+                self._eval_expr(tree.right, context, position, last),
+            )
+        if isinstance(tree, ast.FunctionCall):
+            return self._function(tree, context, position, last)
+        raise ExecutionError(f"cannot evaluate {type(tree).__name__}")
+
+    def _path_start(self, context: DomNode, path: ast.LocationPath) -> DomNode:
+        if not path.absolute:
+            return context
+        assert self.document is not None
+        return self.document.document_node
+
+    # -- value semantics ------------------------------------------------------------------
+
+    def _string_value(self, node: DomNode) -> str:
+        self.nodes_visited += 1
+        return node.string_value()
+
+    def _to_boolean(self, value) -> bool:
+        if isinstance(value, DomNodeSet):
+            return len(value) > 0
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, float):
+            return value != 0 and not math.isnan(value)
+        if isinstance(value, str):
+            return bool(value)
+        raise ExecutionError(f"cannot convert {type(value).__name__} to boolean")
+
+    def _to_number(self, value) -> float:
+        if isinstance(value, DomNodeSet):
+            return self._to_number(self._to_string(value))
+        if isinstance(value, bool):
+            return 1.0 if value else 0.0
+        if isinstance(value, float):
+            return value
+        if isinstance(value, str):
+            try:
+                return float(value.strip())
+            except ValueError:
+                return math.nan
+        raise ExecutionError(f"cannot convert {type(value).__name__} to number")
+
+    def _to_string(self, value) -> str:
+        if isinstance(value, DomNodeSet):
+            if not len(value):
+                return ""
+            return self._string_value(value.nodes[0])
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, float):
+            if math.isnan(value):
+                return "NaN"
+            if value == int(value) and abs(value) < 1e16:
+                return str(int(value))
+            return repr(value)
+        if isinstance(value, str):
+            return value
+        raise ExecutionError(f"cannot convert {type(value).__name__} to string")
+
+    def _compare(self, op: str, left, right) -> bool:
+        left_set = isinstance(left, DomNodeSet)
+        right_set = isinstance(right, DomNodeSet)
+        if left_set and right_set:
+            right_values = [self._string_value(node) for node in right]
+            for node in left:
+                left_value = self._string_value(node)
+                for right_value in right_values:
+                    if self._scalar_compare(op, left_value, right_value, strings=True):
+                        return True
+            return False
+        if right_set:
+            flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+            return self._compare(flipped, right, left)
+        if left_set:
+            if isinstance(right, bool):
+                return self._scalar_compare(op, self._to_boolean(left), right)
+            for node in left:
+                value = self._string_value(node)
+                if isinstance(right, float):
+                    if self._scalar_compare(op, self._to_number(value), right):
+                        return True
+                elif self._scalar_compare(op, value, right, strings=op in ("=", "!=")):
+                    return True
+            return False
+        if isinstance(left, bool) or isinstance(right, bool):
+            return self._scalar_compare(op, self._to_boolean(left), self._to_boolean(right))
+        if op in ("=", "!=") and isinstance(left, str) and isinstance(right, str):
+            return (left == right) == (op == "=")
+        return self._scalar_compare(op, self._to_number(left), self._to_number(right))
+
+    def _scalar_compare(self, op: str, left, right, strings: bool = False) -> bool:
+        if strings and op in ("=", "!="):
+            return (left == right) == (op == "=")
+        if not strings and isinstance(left, bool):
+            left, right = self._to_number(left), self._to_number(right)
+        if isinstance(left, str):
+            left = self._to_number(left)
+        if isinstance(right, str):
+            right = self._to_number(right)
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise ExecutionError(f"unknown comparison {op!r}")
+
+    def _arithmetic(self, op: str, left, right) -> float:
+        a = self._to_number(left)
+        b = self._to_number(right)
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "div":
+            if b == 0:
+                return math.nan if a == 0 else math.copysign(math.inf, a)
+            return a / b
+        if op == "mod":
+            return math.fmod(a, b) if b else math.nan
+        raise ExecutionError(f"unknown operator {op!r}")
+
+    def _function(
+        self,
+        call: ast.FunctionCall,
+        context: DomNode,
+        position: int,
+        last: Callable[[], int],
+    ):
+        name = call.name
+        evaluate = lambda index: self._eval_expr(call.args[index], context, position, last)
+        if name == "position":
+            return float(position)
+        if name == "last":
+            return float(last())
+        if name == "count":
+            value = evaluate(0)
+            if not isinstance(value, DomNodeSet):
+                raise ExecutionError("count() requires a node-set")
+            return float(len(value))
+        if name == "not":
+            return not self._to_boolean(evaluate(0))
+        if name == "true":
+            return True
+        if name == "false":
+            return False
+        if name == "contains":
+            return self._to_string(evaluate(0)).find(self._to_string(evaluate(1))) >= 0
+        if name == "starts-with":
+            return self._to_string(evaluate(0)).startswith(self._to_string(evaluate(1)))
+        if name == "string":
+            return self._string_value(context) if not call.args else self._to_string(evaluate(0))
+        if name == "number":
+            if not call.args:
+                return self._to_number(self._string_value(context))
+            return self._to_number(evaluate(0))
+        if name == "string-length":
+            text = self._string_value(context) if not call.args else self._to_string(evaluate(0))
+            return float(len(text))
+        if name == "normalize-space":
+            text = self._string_value(context) if not call.args else self._to_string(evaluate(0))
+            return " ".join(text.split())
+        if name in ("name", "local-name"):
+            node = context
+            if call.args:
+                value = evaluate(0)
+                if not isinstance(value, DomNodeSet):
+                    raise ExecutionError(f"{name}() requires a node-set")
+                if not len(value):
+                    return ""
+                node = value.nodes[0]
+            if name == "local-name" and ":" in node.name:
+                return node.name.split(":", 1)[1]
+            return node.name
+        if name == "concat":
+            return "".join(self._to_string(evaluate(index)) for index in range(len(call.args)))
+        if name == "sum":
+            value = evaluate(0)
+            if not isinstance(value, DomNodeSet):
+                raise ExecutionError("sum() requires a node-set")
+            return float(sum(self._to_number(self._string_value(node)) for node in value))
+        if name == "boolean":
+            return self._to_boolean(evaluate(0))
+        if name == "substring":
+            from repro.algebra.execution import _substring
+
+            return _substring(
+                self._to_string(evaluate(0)),
+                self._to_number(evaluate(1)),
+                self._to_number(evaluate(2)) if len(call.args) > 2 else None,
+            )
+        if name == "substring-before":
+            haystack = self._to_string(evaluate(0))
+            needle = self._to_string(evaluate(1))
+            index = haystack.find(needle)
+            return haystack[:index] if index >= 0 else ""
+        if name == "substring-after":
+            haystack = self._to_string(evaluate(0))
+            needle = self._to_string(evaluate(1))
+            index = haystack.find(needle)
+            return haystack[index + len(needle):] if index >= 0 else ""
+        if name == "translate":
+            from repro.algebra.execution import _translate
+
+            return _translate(
+                self._to_string(evaluate(0)),
+                self._to_string(evaluate(1)),
+                self._to_string(evaluate(2)),
+            )
+        if name == "floor":
+            return float(math.floor(self._to_number(evaluate(0))))
+        if name == "ceiling":
+            return float(math.ceil(self._to_number(evaluate(0))))
+        if name == "round":
+            number = self._to_number(evaluate(0))
+            if math.isnan(number) or math.isinf(number):
+                return number
+            return float(math.floor(number + 0.5))
+        raise UnsupportedFeatureError(self.profile.name, f"function {name}()")

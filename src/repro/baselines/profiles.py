@@ -1,0 +1,87 @@
+"""Capability profiles for the baseline engines.
+
+Each profile encodes the limitations Section VIII reports for the real
+system: missing axes and maximum document sizes.  The limits are enforced
+at load/evaluate time with the same observable behaviour the paper saw —
+a query on an unsupported axis fails, an oversized document refuses to
+load — which is why some series in Figures 12-16 simply have no points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model import Axis
+
+_ALL_AXES = frozenset(Axis)
+
+_MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Name, axis support and size ceiling of one baseline engine."""
+
+    name: str
+    supported_axes: frozenset[Axis]
+    max_document_bytes: int | None = None
+    #: eXist's documented behaviour: value comparisons leave the index and
+    #: traverse the in-memory tree.
+    value_predicate_fallback: bool = False
+
+    def supports_axis(self, axis: Axis) -> bool:
+        return axis in self.supported_axes
+
+    def accepts_size(self, size_bytes: int) -> bool:
+        return self.max_document_bytes is None or size_bytes < self.max_document_bytes
+
+
+#: Galax: DOM-based, no sibling axes ("Galax does not support certain axes
+#: like following-sibling"), handles up to ~30 MB in reasonable time but
+#: loads anything.
+GALAX_PROFILE = EngineProfile(
+    name="galax",
+    supported_axes=_ALL_AXES
+    - {Axis.FOLLOWING_SIBLING, Axis.PRECEDING_SIBLING},
+    max_document_bytes=None,
+)
+
+#: Jaxen: full axis support, but "does not support large XML documents of
+#: sizes >= 10Mb".
+JAXEN_PROFILE = EngineProfile(
+    name="jaxen",
+    supported_axes=_ALL_AXES,
+    max_document_bytes=10 * _MB,
+)
+
+#: eXist: path-join evaluation over name indexes; no ordered axes
+#: ("currently fails to execute all XPath axes like following-sibling,
+#: previous-sibling"); "unable to store large complex documents having
+#: sizes >= 20Mb"; value predicates fall back to tree traversal.
+EXIST_PROFILE = EngineProfile(
+    name="exist",
+    supported_axes=_ALL_AXES
+    - {
+        Axis.FOLLOWING_SIBLING,
+        Axis.PRECEDING_SIBLING,
+        Axis.FOLLOWING,
+        Axis.PRECEDING,
+    },
+    max_document_bytes=20 * _MB,
+    value_predicate_fallback=True,
+)
+
+#: Xindice: "user-defined pattern indexes for small to medium size
+#: documents < 5Mb".
+XINDICE_PROFILE = EngineProfile(
+    name="xindice",
+    supported_axes=_ALL_AXES
+    - {
+        Axis.FOLLOWING_SIBLING,
+        Axis.PRECEDING_SIBLING,
+        Axis.FOLLOWING,
+        Axis.PRECEDING,
+    },
+    max_document_bytes=5 * _MB,
+    value_predicate_fallback=True,
+)

@@ -1,0 +1,27 @@
+"""Benchmark harness shared by ``benchmarks/`` and the examples.
+
+* :mod:`repro.bench.corpus` — builds and caches the XMark document corpus
+  for the paper's document-size axis (1-30 "MB" labels);
+* :mod:`repro.bench.runner` — runs one query on every engine (VAMANA
+  default plan, VAMANA optimized, galax, jaxen, eXist profiles) with
+  wall-clock and work counters;
+* :mod:`repro.bench.reporting` — renders the per-figure tables the paper
+  plots, and checks the qualitative *shape* claims (who wins, which series
+  stop early, optimizer never slower).
+"""
+
+from repro.bench.corpus import CorpusDocument, get_corpus_document, corpus_sizes
+from repro.bench.runner import EngineOutcome, run_all_engines, run_query, ENGINE_NAMES
+from repro.bench.reporting import format_figure_table, render_series
+
+__all__ = [
+    "CorpusDocument",
+    "get_corpus_document",
+    "corpus_sizes",
+    "EngineOutcome",
+    "run_query",
+    "run_all_engines",
+    "ENGINE_NAMES",
+    "format_figure_table",
+    "render_series",
+]

@@ -1,0 +1,78 @@
+"""Terminal charts for the figure tables.
+
+The paper presents Figures 12-16 as line charts; in a terminal the closest
+faithful rendering is a log-scale dot matrix: one column per document
+size, one glyph per engine, missing data points simply absent — the same
+visual the paper uses to show series stopping at their size caps.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.reporting import render_series
+from repro.bench.runner import EngineOutcome
+
+#: Stable glyph per engine, used in the plot body and the legend.
+GLYPHS = {"VQP": "v", "VQP-OPT": "V", "galax": "g", "jaxen": "j", "exist": "e"}
+
+
+def ascii_figure(
+    title: str,
+    outcomes: dict[int, list[EngineOutcome]],
+    engines: tuple[str, ...],
+    height: int = 12,
+    column_width: int = 8,
+) -> str:
+    """Render one figure as a log-scale ASCII chart."""
+    sizes = sorted(outcomes)
+    series = {engine: render_series(outcomes, engine) for engine in engines}
+    values = [
+        value
+        for engine_series in series.values()
+        for value in engine_series
+        if value is not None and value > 0
+    ]
+    if not values:
+        return f"{title}\n  (no data)"
+    low = math.log10(min(values))
+    high = math.log10(max(values))
+    span = max(high - low, 1e-9)
+
+    def row_of(value: float) -> int:
+        """0 = bottom row, height-1 = top row."""
+        fraction = (math.log10(value) - low) / span
+        return min(height - 1, max(0, round(fraction * (height - 1))))
+
+    # grid[row][column] = glyphs stacked at that point
+    grid = [["" for _ in sizes] for _ in range(height)]
+    for engine in engines:
+        glyph = GLYPHS.get(engine, engine[0])
+        for column, value in enumerate(series[engine]):
+            if value is None or value <= 0:
+                continue
+            cell = grid[row_of(value)][column]
+            if glyph not in cell:
+                grid[row_of(value)][column] = cell + glyph
+
+    lines = [title, f"  seconds (log scale, {10 ** low:.2g} .. {10 ** high:.2g})"]
+    for row in range(height - 1, -1, -1):
+        label = ""
+        if row == height - 1:
+            label = f"{10 ** high:8.3f} "
+        elif row == 0:
+            label = f"{10 ** low:8.3f} "
+        else:
+            label = " " * 9
+        body = "".join(
+            (grid[row][column] or ("." if row == 0 else " ")).center(column_width)
+            for column in range(len(sizes))
+        )
+        lines.append(label + "|" + body)
+    axis = " " * 9 + "+" + "-" * (column_width * len(sizes))
+    labels = " " * 10 + "".join(f"{size}MB".center(column_width) for size in sizes)
+    legend = "  legend: " + "  ".join(
+        f"{GLYPHS.get(engine, engine[0])}={engine}" for engine in engines
+    )
+    lines.extend([axis, labels, legend])
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Rendering figure tables and checking the paper's shape claims."""
+
+from __future__ import annotations
+
+from repro.bench.runner import EngineOutcome
+
+
+def format_figure_table(
+    title: str,
+    outcomes: dict[int, list[EngineOutcome]],
+    engines: tuple[str, ...],
+) -> str:
+    """Render one figure as the table its chart plots.
+
+    ``outcomes`` maps a document size label (MB) to the engine outcomes
+    at that size.  Missing data points print as '-' exactly like the
+    paper's charts omit them.
+    """
+    sizes = sorted(outcomes)
+    header = ["size(MB)"] + list(engines)
+    rows = [header]
+    for size in sizes:
+        per_engine = {outcome.engine: outcome for outcome in outcomes[size]}
+        row = [str(size)]
+        for engine in engines:
+            outcome = per_engine.get(engine)
+            row.append(outcome.cell() if outcome is not None else "-")
+        rows.append(row)
+    widths = [max(len(row[column]) for row in rows) for column in range(len(header))]
+    lines = [title]
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def render_series(outcomes: dict[int, list[EngineOutcome]], engine: str) -> list[float | None]:
+    """One engine's time series over the size axis (None = missing point)."""
+    series: list[float | None] = []
+    for size in sorted(outcomes):
+        outcome = next((o for o in outcomes[size] if o.engine == engine), None)
+        if outcome is None or not outcome.supported:
+            series.append(None)
+        else:
+            series.append(outcome.seconds)
+    return series
+
+
+def supported_sizes(outcomes: dict[int, list[EngineOutcome]], engine: str) -> list[int]:
+    """The size labels at which an engine produced a data point."""
+    sizes = []
+    for size in sorted(outcomes):
+        outcome = next((o for o in outcomes[size] if o.engine == engine), None)
+        if outcome is not None and outcome.supported:
+            sizes.append(size)
+    return sizes

@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — produce an XMark-style auction document,
+* ``index``    — parse an XML file and save the MASS store to disk,
+* ``stats``    — show store statistics (node counts, pages, index heights),
+* ``query``    — run an XPath query against an XML file or a saved store,
+  with ``--explain`` for the annotated plan and optimizer trace.
+
+Files ending in ``.mass`` are treated as saved stores everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.mass.loader import load_document
+from repro.mass.persistence import open_store, save_store
+from repro.mass.store import MassStore
+from repro.engine.engine import VamanaEngine
+from repro.xmark.generator import XmarkGenerator
+from repro.xmark.profile import factor_for_megabytes
+
+
+def _load_any(path: str) -> MassStore:
+    """Open a ``.mass`` store or parse+index an XML file."""
+    if path.endswith(".mass"):
+        return open_store(path)
+    return load_document(path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    factor = args.factor
+    if factor is None:
+        factor = factor_for_megabytes(args.megabytes)
+    generator = XmarkGenerator(seed=args.seed)
+    started = time.perf_counter()
+    with open(args.output, "w", encoding="utf-8") as out:
+        written = generator.write(out, factor)
+    elapsed = time.perf_counter() - started
+    print(f"wrote {written / 1e6:.2f} MB to {args.output} "
+          f"(factor {factor}, seed {args.seed}) in {elapsed:.2f}s")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
+    store = load_document(args.input)
+    built = time.perf_counter() - started
+    size = save_store(store, args.output)
+    print(f"indexed {len(store.node_index)} nodes in {built:.2f}s; "
+          f"saved {size / 1e6:.2f} MB to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    store = _load_any(args.input)
+    print(f"document: {store.name}")
+    print(store.statistics().describe())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    store = _load_any(args.input)
+    engine = VamanaEngine(store)
+    if args.explain:
+        print(engine.explain(args.xpath, optimize=not args.no_optimize))
+        print()
+    result = engine.evaluate(args.xpath, optimize=not args.no_optimize)
+    if args.xml:
+        for fragment in result.to_xml():
+            print(fragment)
+    else:
+        limit = args.limit if args.limit > 0 else len(result)
+        for label in result.labels()[:limit]:
+            print(label)
+        if limit < len(result):
+            print(f"... ({len(result) - limit} more)")
+    print(f"-- {result.metrics.describe()}", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VAMANA — a scalable cost-driven XPath engine (ICDE 2005)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate an XMark auction document")
+    scale = generate.add_mutually_exclusive_group()
+    scale.add_argument("--factor", type=float, default=None, help="XMark scale factor")
+    scale.add_argument("--megabytes", type=float, default=10.0,
+                       help="paper-style size label (100 MB = factor 1.0)")
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("-o", "--output", required=True)
+    generate.set_defaults(handler=_cmd_generate)
+
+    index = commands.add_parser("index", help="index an XML file into a .mass store")
+    index.add_argument("input", help="XML file")
+    index.add_argument("-o", "--output", required=True, help="store file (.mass)")
+    index.set_defaults(handler=_cmd_index)
+
+    stats = commands.add_parser("stats", help="show store statistics")
+    stats.add_argument("input", help="XML file or .mass store")
+    stats.set_defaults(handler=_cmd_stats)
+
+    query = commands.add_parser("query", help="run an XPath query")
+    query.add_argument("input", help="XML file or .mass store")
+    query.add_argument("xpath", help="XPath 1.0 expression")
+    query.add_argument("--no-optimize", action="store_true",
+                       help="run the default plan (VQP) instead of VQP-OPT")
+    query.add_argument("--explain", action="store_true",
+                       help="print the annotated plan and optimizer trace")
+    query.add_argument("--xml", action="store_true",
+                       help="print result subtrees as XML")
+    query.add_argument("--limit", type=int, default=20,
+                       help="max result labels to print (0 = all)")
+    query.set_defaults(handler=_cmd_query)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

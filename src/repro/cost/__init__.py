@@ -1,0 +1,16 @@
+"""VAMANA's cost estimation model (Section VI-B).
+
+Statistics come straight from the MASS indexes at optimization time —
+COUNT via name-index range counts, TC via value-index range counts — so
+they are exact and immune to update drift (no histograms to maintain).
+
+:mod:`repro.cost.table` implements Table I (per-axis OUT bounds);
+:mod:`repro.cost.estimator` runs the bottom-up IN/OUT propagation over a
+physical plan and produces the selectivity-ordered operator list the
+optimizer consumes.
+"""
+
+from repro.cost.table import output_bound
+from repro.cost.estimator import CostEstimator, OrderedOperator, plan_cost
+
+__all__ = ["output_bound", "CostEstimator", "OrderedOperator", "plan_cost"]

@@ -1,0 +1,286 @@
+"""Bottom-up cost estimation over a physical plan (Section VI-B).
+
+For every operator the estimator gathers, straight from the MASS indexes:
+
+* ``COUNT(op)`` — stored nodes satisfying the step's node test,
+* ``TC(op)`` — occurrences of a literal's value (value index),
+* ``IN(op)`` — the maximum tuples the operator will receive (cases 1-3),
+* ``OUT(op)`` — the maximum tuples it can emit (cases 1-6 + Table I),
+* ``δ(op) = IN/OUT`` — the selectivity ratio, later min-max scaled to
+  [0, 1] across the plan.
+
+The walk is bottom-up along context paths; predicate trees are annotated
+with the tuple count of the operator they filter (their "parent operator"
+in the paper's terminology).  The estimator performs **no data access** —
+every number is an O(log n) index count, which is why VAMANA can afford to
+re-cost plans inside the optimization loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mass.records import NodeKind
+from repro.mass.store import MassStore
+from repro.model import Axis, NodeTestKind
+from repro.cost.table import output_bound
+from repro.algebra.plan import (
+    BinaryPredicateNode,
+    ExistsNode,
+    ExprNode,
+    FunctionNode,
+    JoinNode,
+    LiteralNode,
+    NegateNode,
+    NumberNode,
+    PathExprNode,
+    PlanBase,
+    PlanNode,
+    QueryPlan,
+    RootNode,
+    StepNode,
+    UnionNode,
+    ValueStepNode,
+)
+
+
+@dataclass(frozen=True)
+class OrderedOperator:
+    """One entry of the ordered list L(P): an operator and its δ ratio."""
+
+    node: PlanBase
+    ratio: float
+    scaled: float
+
+
+class CostEstimator:
+    """Annotates plans with COUNT/TC/IN/OUT and produces L(P)."""
+
+    def __init__(self, store: MassStore):
+        self.store = store
+
+    # -- public -----------------------------------------------------------------
+
+    def estimate(self, plan: QueryPlan) -> list[OrderedOperator]:
+        """Annotate every operator and return the selectivity-ordered list."""
+        self._annotate_plan_node(plan.root, predicate_input=None)
+        return self.ordered_list(plan)
+
+    def ordered_list(self, plan: QueryPlan) -> list[OrderedOperator]:
+        """L(P): candidate operators sorted by selectivity, then by id."""
+        entries: list[tuple[PlanBase, float]] = []
+        for node in plan.walk():
+            if not isinstance(node, (StepNode, ValueStepNode, BinaryPredicateNode)):
+                continue
+            cost = node.cost
+            if cost.tuples_in is None or cost.tuples_out is None:
+                continue
+            if cost.tuples_out == 0:
+                ratio = float("inf") if cost.tuples_in else 1.0
+            else:
+                ratio = cost.tuples_in / cost.tuples_out
+            entries.append((node, ratio))
+        if not entries:
+            return []
+        finite = [ratio for _node, ratio in entries if ratio != float("inf")]
+        top = max(finite) if finite else 1.0
+        top = max(top, 1e-9)
+        ordered = []
+        for node, ratio in entries:
+            scaled = 1.0 if ratio == float("inf") else min(1.0, ratio / top)
+            node.cost.selectivity = scaled
+            ordered.append(OrderedOperator(node, ratio, scaled))
+        ordered.sort(key=lambda entry: (-entry.ratio, entry.node.op_id))
+        return ordered
+
+    # -- step counts ---------------------------------------------------------------
+
+    def _step_count(self, node: StepNode) -> int:
+        """COUNT(op): document-wide population of the node test."""
+        return self.store.count(node.test, node.axis.principal_kind)
+
+    # -- plan nodes -------------------------------------------------------------------
+
+    def _annotate_plan_node(self, node: PlanNode, predicate_input: int | None) -> int:
+        """Annotate one tuple-producing operator; returns its OUT bound.
+
+        ``predicate_input`` is set when the node lives on a predicate path
+        (case 3 of IN): its leaf receives the tuples of the operator the
+        predicate filters.
+        """
+        if isinstance(node, RootNode):
+            if node.context_child is None:
+                node.cost.tuples_in = node.cost.tuples_out = 1
+                return 1
+            child_out = self._annotate_plan_node(node.context_child, predicate_input)
+            node.cost.tuples_in = child_out
+            node.cost.tuples_out = child_out
+            return child_out
+        if isinstance(node, UnionNode):
+            total = 0
+            for branch in node.branches:
+                total += self._annotate_plan_node(branch, predicate_input)
+            node.cost.tuples_in = total
+            node.cost.tuples_out = total
+            return total
+        if isinstance(node, JoinNode):
+            left_out = self._annotate_plan_node(node.left, predicate_input)
+            right_out = self._annotate_plan_node(node.right, predicate_input)
+            node.cost.tuples_in = left_out + right_out
+            # the join emits right tuples only, at most once each
+            node.cost.raw_out = right_out
+            out = right_out
+            for predicate in node.predicates:
+                out = min(out, self._annotate_expr(predicate, out))
+            node.cost.tuples_out = out
+            return out
+        if isinstance(node, ValueStepNode):
+            # A value-index step: IN = OUT = TC(value)  (case 2 / Figure 9).
+            text_count = self.store.text_count(node.value)
+            node.cost.text_count = text_count
+            node.cost.count = text_count
+            node.cost.tuples_in = text_count
+            node.cost.raw_out = text_count
+            out = text_count
+            for predicate in node.predicates:
+                out = min(out, self._annotate_expr(predicate, out))
+            node.cost.tuples_out = out
+            return out
+        if isinstance(node, StepNode):
+            return self._annotate_step(node, predicate_input)
+        raise TypeError(f"cannot cost {type(node).__name__}")
+
+    def _annotate_step(self, node: StepNode, predicate_input: int | None) -> int:
+        count = self._step_count(node)
+        node.cost.count = count
+        if node.context_child is not None:
+            # Case 2 (IN): a non-leaf operator receives OUT of its child.
+            tuples_in = self._annotate_plan_node(node.context_child, predicate_input)
+        elif predicate_input is not None:
+            # Case 3 (IN): a predicate-path leaf receives the tuples of the
+            # operator its predicate filters.
+            tuples_in = predicate_input
+        else:
+            # Case 1 (IN): a context-path leaf drains the index.
+            tuples_in = count
+        node.cost.tuples_in = tuples_in
+        if node.context_child is None and predicate_input is None:
+            # Case 1 (OUT): the leaf returns every index match.
+            out = count
+        else:
+            # Cases 3/4 (OUT): Table I.
+            out = output_bound(node.axis, count, tuples_in)
+        node.cost.raw_out = out
+        for predicate in node.predicates:
+            out = min(out, self._annotate_expr(predicate, out))
+        node.cost.tuples_out = out
+        return out
+
+    # -- predicate expressions ------------------------------------------------------------
+
+    def _annotate_expr(self, expr: ExprNode, parent_tuples: int) -> int:
+        """Annotate a predicate tree; returns the bound it puts on the
+        filtered operator's output (cases 5 and 6)."""
+        if isinstance(expr, LiteralNode):
+            expr.cost.text_count = self.store.text_count(expr.value)
+            return parent_tuples
+        if isinstance(expr, NumberNode):
+            # A numeric predicate keeps at most one position per context.
+            return parent_tuples
+        if isinstance(expr, ExistsNode):
+            path_out = self._annotate_plan_node(expr.path, parent_tuples)
+            expr.cost.tuples_in = path_out
+            expr.cost.tuples_out = path_out
+            return parent_tuples
+        if isinstance(expr, PathExprNode):
+            path_out = self._annotate_plan_node(expr.path, parent_tuples)
+            expr.cost.tuples_in = path_out
+            expr.cost.tuples_out = path_out
+            return parent_tuples
+        if isinstance(expr, NegateNode):
+            self._annotate_expr(expr.operand, parent_tuples)
+            return parent_tuples
+        if isinstance(expr, FunctionNode):
+            for arg in expr.args:
+                self._annotate_expr(arg, parent_tuples)
+            return parent_tuples
+        if isinstance(expr, BinaryPredicateNode):
+            return self._annotate_binary(expr, parent_tuples)
+        return parent_tuples
+
+    def _annotate_binary(self, expr: BinaryPredicateNode, parent_tuples: int) -> int:
+        left_bound = self._annotate_expr(expr.left, parent_tuples)
+        right_bound = self._annotate_expr(expr.right, parent_tuples)
+        expr.cost.tuples_in = parent_tuples
+        literal_count = self.value_equivalence_count(expr)
+        if literal_count is not None:
+            # Case 5 (OUT): value-based equivalence — the literal occurs
+            # TC times, so at most min(parent, TC) tuples can satisfy it.
+            expr.cost.text_count = literal_count
+            out = min(parent_tuples, literal_count)
+        elif expr.op == "and":
+            out = min(left_bound, right_bound)
+        elif expr.op == "or":
+            out = parent_tuples
+        else:
+            # Case 6 (OUT): no index-derivable reduction.
+            out = parent_tuples
+        expr.cost.tuples_out = out
+        return out
+
+    def value_equivalence_count(self, expr: BinaryPredicateNode) -> int | None:
+        """TC for a ``path = 'literal'`` predicate, or None.
+
+        This is the pattern the value-index rewrite (Figure 9) targets:
+        an equality between a text()-reaching predicate path and a string
+        literal, answerable from the value index alone.
+        """
+        if expr.op != "=":
+            return None
+        sides = [expr.left, expr.right]
+        literal = next((side for side in sides if isinstance(side, LiteralNode)), None)
+        path = next((side for side in sides if isinstance(side, PathExprNode)), None)
+        if literal is None or path is None:
+            return None
+        if not reaches_text_values(path.path):
+            return None
+        return self.store.text_count(literal.value)
+
+
+def reaches_text_values(path: PlanNode) -> bool:
+    """True if a predicate path ends in text or attribute nodes.
+
+    Such paths compare raw stored values, which is exactly what the value
+    index holds — the precondition for cases 5's TC bound and for the
+    value-index rewrite.
+    """
+    if isinstance(path, StepNode):
+        if path.test.kind is NodeTestKind.TEXT:
+            return True
+        if path.axis is Axis.ATTRIBUTE:
+            return True
+        if path.axis.principal_kind is NodeKind.ATTRIBUTE:
+            return True
+    return False
+
+
+def plan_cost(plan: QueryPlan) -> int:
+    """The optimizer's whole-plan cost: estimated tuples *touched*.
+
+    Every tuple-producing operator contributes its pre-predicate output
+    bound (Table I applied to its IN): that is how many candidates it
+    generates and how many predicate evaluations it triggers.  Predicate
+    paths were annotated with the filtered operator's tuple count as
+    input, so their raw bounds already aggregate across invocations.  The
+    optimizer accepts a rewrite only if this figure strictly drops, which
+    both reproduces the paper's accept decisions on Q1/Q2 and guarantees
+    termination of the rewrite loop.
+    """
+    total = 0
+    for node in plan.walk():
+        if isinstance(node, PlanNode) and not isinstance(node, RootNode):
+            if node.cost.raw_out is not None:
+                total += node.cost.raw_out
+            elif node.cost.tuples_out is not None:
+                total += node.cost.tuples_out
+    return total

@@ -1,0 +1,61 @@
+"""Table I — the per-axis upper bound on a step operator's output.
+
+The table groups the axes by how their fan-out composes with the input
+tuple stream:
+
+* **down axes** (child, descendant, descendant-or-self, and — in our
+  store — attribute/namespace): one input may reach many matches, but the
+  targets reached from distinct contexts are disjoint, so the *node test's
+  total population* COUNT bounds the output.
+* **up and order axes** (parent, ancestor, ancestor-or-self, following,
+  following-sibling, preceding, preceding-sibling): the pipeline emits at
+  most a bounded number of tuples per input in the paper's model, so the
+  *input* IN bounds the output.  (The paper's Figure 6 walk-through pins
+  this down: ``parent::person`` with COUNT = 2550 but IN = 4825 gets
+  OUT = 4825, because the pipeline does not eliminate the duplicate
+  parents.)
+* **self**: a pure filter — both bounds hold, so OUT = min(COUNT, IN).
+  (The printed table's self row is garbled in the PDF; min is the only
+  reading under which both of its cases are sound bounds.)
+"""
+
+from __future__ import annotations
+
+from repro.model import Axis
+
+_DOWN_AXES = frozenset(
+    {
+        Axis.CHILD,
+        Axis.DESCENDANT,
+        Axis.DESCENDANT_OR_SELF,
+        Axis.ATTRIBUTE,
+        Axis.NAMESPACE,
+    }
+)
+
+_UP_AND_ORDER_AXES = frozenset(
+    {
+        Axis.PARENT,
+        Axis.ANCESTOR,
+        Axis.ANCESTOR_OR_SELF,
+        Axis.FOLLOWING,
+        Axis.FOLLOWING_SIBLING,
+        Axis.PRECEDING,
+        Axis.PRECEDING_SIBLING,
+    }
+)
+
+
+def output_bound(axis: Axis, count: int, tuples_in: int) -> int:
+    """OUT(op) for a step operator per Table I.
+
+    ``count`` is COUNT(op) — how many stored nodes satisfy the node test —
+    and ``tuples_in`` is IN(op), the tuples arriving from the context
+    child.
+    """
+    if axis in _DOWN_AXES:
+        return count
+    if axis in _UP_AND_ORDER_AXES:
+        return tuples_in
+    # Axis.SELF
+    return min(count, tuples_in)

@@ -1,0 +1,14 @@
+"""The VAMANA query engine facade.
+
+:class:`~repro.engine.engine.VamanaEngine` wires the four components of
+Figure 2 together — XPath compiler, optimizer, cost estimator, query
+execution engine — over one MASS store.  :class:`~repro.engine.database.Database`
+manages a collection of named documents (the paper's "database that may
+contain many XML documents") and routes queries to their stores.
+"""
+
+from repro.engine.engine import VamanaEngine
+from repro.engine.result import ExecutionMetrics, QueryResult
+from repro.engine.database import Database
+
+__all__ = ["VamanaEngine", "QueryResult", "ExecutionMetrics", "Database"]

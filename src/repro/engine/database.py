@@ -1,0 +1,107 @@
+"""A database of named XML documents.
+
+The paper's costing "can calculate the cost over the entire database that
+may contain many XML documents or can be specific to a particular XML
+document".  :class:`Database` provides that scope: each document is one
+MASS store with its own engine; counts aggregate across documents and
+queries run per document or over all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ReproError
+from repro.mass.loader import load_xml
+from repro.mass.records import NodeKind
+from repro.mass.store import MassStore
+from repro.model import NodeTest
+from repro.engine.engine import VamanaEngine
+from repro.engine.result import QueryResult
+
+
+class Database:
+    """Named collection of indexed documents."""
+
+    def __init__(self) -> None:
+        self._stores: dict[str, MassStore] = {}
+        self._engines: dict[str, VamanaEngine] = {}
+
+    # -- document management -----------------------------------------------------
+
+    def add_document(self, name: str, xml_text: str, **store_options) -> MassStore:
+        """Parse, index and register one document under ``name``."""
+        if name in self._stores:
+            raise ReproError(f"document {name!r} already loaded")
+        store = load_xml(xml_text, name=name, **store_options)
+        self._stores[name] = store
+        self._engines[name] = VamanaEngine(store)
+        return store
+
+    def add_store(self, name: str, store: MassStore) -> None:
+        if name in self._stores:
+            raise ReproError(f"document {name!r} already loaded")
+        self._stores[name] = store
+        self._engines[name] = VamanaEngine(store)
+
+    def drop_document(self, name: str) -> None:
+        if name not in self._stores:
+            raise ReproError(f"no document named {name!r}")
+        del self._stores[name]
+        del self._engines[name]
+
+    def documents(self) -> list[str]:
+        return list(self._stores)
+
+    def store(self, name: str) -> MassStore:
+        try:
+            return self._stores[name]
+        except KeyError:
+            raise ReproError(f"no document named {name!r}") from None
+
+    def engine(self, name: str) -> VamanaEngine:
+        try:
+            return self._engines[name]
+        except KeyError:
+            raise ReproError(f"no document named {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._stores)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stores
+
+    # -- queries -------------------------------------------------------------------
+
+    def evaluate(
+        self, expression: str, document: str | None = None, optimize: bool = True
+    ) -> dict[str, QueryResult]:
+        """Run a query on one document or on every document.
+
+        Returns per-document results keyed by document name.
+        """
+        names = [document] if document is not None else self.documents()
+        results: dict[str, QueryResult] = {}
+        for name in names:
+            results[name] = self.engine(name).evaluate(expression, optimize=optimize)
+        return results
+
+    def count(
+        self,
+        test: NodeTest,
+        document: str | None = None,
+        principal: NodeKind = NodeKind.ELEMENT,
+    ) -> int:
+        """COUNT over one document or the whole database (paper VI-B)."""
+        if document is not None:
+            return self.store(document).count(test, principal)
+        return sum(store.count(test, principal) for store in self._stores.values())
+
+    def text_count(self, value: str, document: str | None = None) -> int:
+        """TC over one document or the whole database."""
+        if document is not None:
+            return self.store(document).text_count(value)
+        return sum(store.text_count(value) for store in self._stores.values())
+
+    def iter_stores(self) -> Iterator[tuple[str, MassStore]]:
+        return iter(self._stores.items())

@@ -1,0 +1,155 @@
+"""``VamanaEngine`` — compile, optimize, execute (Figure 2).
+
+The engine is the one object applications touch::
+
+    store = load_xml(document_text)
+    engine = VamanaEngine(store)
+    result = engine.evaluate("//person/address")
+    print(result.labels(), result.metrics.describe())
+
+``evaluate`` runs the full pipeline (default plan → cost-driven
+optimization → pipelined index execution) and returns a
+:class:`~repro.engine.result.QueryResult` whose metrics separate
+optimization overhead from execution cost — the split Figure 14 reports.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import PlanError
+from repro.mass.flexkey import FlexKey
+from repro.mass.store import MassStore
+from repro.xpath import ast
+from repro.xpath.parser import parse_xpath
+from repro.algebra.builder import build_default_plan, build_expr
+from repro.algebra.execution import (
+    EvalContext,
+    ExpressionEvaluator,
+    NodeSetValue,
+    execute_plan,
+    to_boolean,
+    to_number,
+    to_string,
+)
+from repro.algebra.plan import QueryPlan
+from repro.cost.estimator import CostEstimator
+from repro.engine.result import ExecutionMetrics, QueryResult
+from repro.optimizer.optimizer import OptimizationTrace, Optimizer
+from repro.optimizer.rules import DEFAULT_RULES, RewriteRule
+
+
+class VamanaEngine:
+    """A cost-driven XPath engine over one MASS store."""
+
+    def __init__(
+        self,
+        store: MassStore,
+        rules: tuple[RewriteRule, ...] = DEFAULT_RULES,
+        plan_cache_size: int = 128,
+    ):
+        self.store = store
+        self.optimizer = Optimizer(store, rules)
+        self.estimator = CostEstimator(store)
+        self._plan_cache: dict[tuple[str, bool], tuple[QueryPlan, OptimizationTrace | None]] = {}
+        self._plan_cache_size = plan_cache_size
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile(self, expression: str) -> QueryPlan:
+        """Parse and build the default (unoptimized) physical plan."""
+        return build_default_plan(expression)
+
+    def optimize(self, plan: QueryPlan) -> tuple[QueryPlan, OptimizationTrace]:
+        """Run the cost-driven optimizer; the input plan is untouched."""
+        return self.optimizer.optimize(plan)
+
+    def plan(
+        self, expression: str, optimize: bool = True
+    ) -> tuple[QueryPlan, OptimizationTrace | None]:
+        """Cached compile(+optimize)."""
+        cache_key = (expression, optimize)
+        cached = self._plan_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        default = self.compile(expression)
+        if optimize:
+            plan, trace = self.optimize(default)
+        else:
+            plan, trace = default, None
+        if self._plan_cache_size > 0:
+            if len(self._plan_cache) >= self._plan_cache_size:
+                self._plan_cache.pop(next(iter(self._plan_cache)))
+            self._plan_cache[cache_key] = (plan, trace)
+        return plan, trace
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(
+        self,
+        plan: QueryPlan,
+        context: FlexKey | None = None,
+        trace: OptimizationTrace | None = None,
+    ) -> QueryResult:
+        """Run a plan and collect the result node-set with metrics."""
+        before = self.store.io_snapshot()
+        started = time.perf_counter()
+        raw_keys = list(execute_plan(plan, self.store, context))
+        elapsed = time.perf_counter() - started
+        keys = sorted(set(raw_keys)) if plan.root.distinct else raw_keys
+        after = self.store.io_snapshot()
+        metrics = ExecutionMetrics(
+            wall_seconds=elapsed,
+            optimize_seconds=trace.elapsed_seconds if trace else 0.0,
+            tuples_returned=len(keys),
+            record_fetches=after["record_fetches"] - before["record_fetches"],
+            pages_read=after["pages_read"] - before["pages_read"],
+            logical_reads=after["logical_reads"] - before["logical_reads"],
+            key_comparisons=after["key_comparisons"] - before["key_comparisons"],
+            entries_scanned=after["entries_scanned"] - before["entries_scanned"],
+        )
+        metrics.counters["raw_tuples"] = len(raw_keys)
+        return QueryResult(self.store, keys, metrics, trace, plan.expression)
+
+    def evaluate(
+        self,
+        expression: str,
+        optimize: bool = True,
+        context: FlexKey | None = None,
+    ) -> QueryResult:
+        """The full pipeline: compile → optimize → execute."""
+        plan, trace = self.plan(expression, optimize)
+        return self.execute(plan, context, trace)
+
+    def evaluate_value(self, expression: str, context: FlexKey | None = None):
+        """Evaluate a general (non-node-set) XPath expression.
+
+        Returns a Python bool/float/str, or a list of keys if the
+        expression turns out to be a node-set after all.
+        """
+        tree = parse_xpath(expression)
+        if isinstance(tree, (ast.LocationPath, ast.UnionExpr)):
+            return list(self.evaluate(expression, context=context))
+        expr = build_expr(tree)
+        evaluator = ExpressionEvaluator(self.store)
+        eval_context = EvalContext(
+            self.store, context if context is not None else FlexKey.document()
+        )
+        value = evaluator.evaluate(expr, eval_context)
+        if isinstance(value, NodeSetValue):
+            return sorted(set(value.keys()))
+        return value
+
+    # -- inspection ---------------------------------------------------------------
+
+    def explain(self, expression: str, optimize: bool = True) -> str:
+        """The annotated plan tree, plus the optimization trace if any."""
+        plan, trace = self.plan(expression, optimize)
+        self.estimator.estimate(plan)
+        sections = [plan.explain()]
+        if trace is not None:
+            sections.append(trace.describe())
+        return "\n\n".join(sections)
+
+    def __repr__(self) -> str:
+        return f"<VamanaEngine over {self.store!r}>"

@@ -1,0 +1,83 @@
+"""Exception hierarchy for the VAMANA reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller can catch one type to handle anything the engine may raise.  Subsystem
+errors form their own branches (XML parsing, XPath compilation, storage,
+planning, execution) to let tests and applications discriminate precisely.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class XmlError(ReproError):
+    """Raised by the XML tokenizer/parser on malformed input."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class XPathSyntaxError(ReproError):
+    """Raised by the XPath lexer/parser on a malformed expression."""
+
+    def __init__(self, message: str, expression: str = "", position: int = -1):
+        self.expression = expression
+        self.position = position
+        if position >= 0 and expression:
+            pointer = " " * position + "^"
+            message = f"{message}\n  {expression}\n  {pointer}"
+        super().__init__(message)
+
+
+class UnsupportedFeatureError(ReproError):
+    """Raised when a query uses a feature an engine does not implement.
+
+    Baseline engines deliberately raise this for axes and predicate forms
+    outside their capability profile, mirroring the gaps the paper reports
+    for Galax, Jaxen and eXist.
+    """
+
+    def __init__(self, engine: str, feature: str):
+        self.engine = engine
+        self.feature = feature
+        super().__init__(f"{engine} does not support {feature}")
+
+
+class DocumentTooLargeError(ReproError):
+    """Raised by a baseline engine whose profile caps document size."""
+
+    def __init__(self, engine: str, size_bytes: int, limit_bytes: int):
+        self.engine = engine
+        self.size_bytes = size_bytes
+        self.limit_bytes = limit_bytes
+        super().__init__(
+            f"{engine} cannot load a {size_bytes}-byte document "
+            f"(limit {limit_bytes} bytes)"
+        )
+
+
+class StorageError(ReproError):
+    """Raised by the MASS storage layer (pages, buffer pool, B+-trees)."""
+
+
+class KeyOrderError(StorageError):
+    """Raised when records would be inserted out of FLEX-key order."""
+
+
+class PlanError(ReproError):
+    """Raised while building or validating a physical query plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the pipelined execution engine at run time."""
+
+
+class OptimizerError(ReproError):
+    """Raised when a rewrite rule produces an inconsistent plan."""

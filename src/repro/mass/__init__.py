@@ -1,0 +1,56 @@
+"""MASS — Multi-Axis Storage Structure (CIKM 2003), rebuilt in Python.
+
+MASS is the storage and indexing substrate VAMANA runs on.  This package
+provides:
+
+* :mod:`repro.mass.flexkey` — FLEX structural keys: variable-length
+  lexicographic keys where document order equals key order, the parent key is
+  a prefix, and new keys can be inserted between any two siblings without
+  relabeling existing nodes.
+* :mod:`repro.mass.records` — the node record stored per XML node.
+* :mod:`repro.mass.pages` / :mod:`repro.mass.buffer pool` — a paged storage
+  model with an LRU buffer pool and I/O accounting, so index plans can be
+  compared by pages touched as well as wall time.
+* :mod:`repro.mass.btree` — a counted B+-tree: range scans in both
+  directions plus O(log n) range *counts* that never touch leaf data beyond
+  the two boundary paths ("count on the index level without going to data").
+* :mod:`repro.mass.indexes` — the three clustered indexes MASS maintains per
+  store: the document-order node index, the name index and the value index.
+* :mod:`repro.mass.axes` — translation of all 13 XPath axes into key ranges
+  and filters over those indexes.
+* :mod:`repro.mass.store` — the :class:`MassStore` facade: load documents,
+  look up nodes, iterate axes, count node tests and text values.
+"""
+
+from repro.mass.flexkey import FlexKey
+from repro.mass.records import NodeKind, NodeRecord
+
+__all__ = [
+    "FlexKey",
+    "NodeKind",
+    "NodeRecord",
+    "MassStore",
+    "StoreStatistics",
+    "load_document",
+    "load_xml",
+]
+
+
+def __getattr__(name):  # lazy imports avoid cycles during module bring-up
+    if name == "MassStore":
+        from repro.mass.store import MassStore
+
+        return MassStore
+    if name == "StoreStatistics":
+        from repro.mass.stats import StoreStatistics
+
+        return StoreStatistics
+    if name in ("load_document", "load_xml"):
+        from repro.mass import loader
+
+        return getattr(loader, name)
+    if name in ("save_store", "open_store"):
+        from repro.mass import persistence
+
+        return getattr(persistence, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,304 @@
+"""All 13 XPath axes as key-range computations over the MASS indexes.
+
+This module is the heart of MASS's "multi-axis" claim: every axis reduces
+to either pure FLEX-key arithmetic (parent, ancestor, self) or one
+contiguous scan of the name index / node index (everything else), in the
+direction the axis requires.  No structural joins, no per-step node-set
+materialisation.
+
+The generic entry point is :func:`axis_iter`.  It yields ``(key, record)``
+pairs where ``record`` is ``None`` when the hit came from the name index —
+the caller decides whether materialising the record is necessary, which is
+how VAMANA avoids fetching data for nodes that only flow through a plan.
+
+Counting twins (:func:`axis_count_upper`) provide the index-only COUNT
+numbers the cost model consumes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.mass.flexkey import FlexKey
+from repro.mass.indexes import index_name_for_test
+from repro.mass.records import NodeKind, NodeRecord
+from repro.model import Axis, NodeTest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mass.store import MassStore
+
+AxisHit = tuple[FlexKey, NodeRecord | None]
+
+#: Node kinds that only the attribute / namespace axes may deliver.
+_SPECIAL_KINDS = frozenset({NodeKind.ATTRIBUTE, NodeKind.NAMESPACE})
+
+
+def axis_iter(
+    store: "MassStore", context: FlexKey, axis: Axis, test: NodeTest
+) -> Iterator[AxisHit]:
+    """Iterate the nodes reached from ``context`` along ``axis``.
+
+    Hits arrive in axis order (document order for forward axes, reverse
+    document order for reverse axes) and satisfy ``test``.
+    """
+    handler = _HANDLERS[axis]
+    return handler(store, context, axis, test)
+
+
+def _record_matches(
+    record: NodeRecord, axis: Axis, test: NodeTest, selfish: bool = False
+) -> bool:
+    """Axis membership + node test.
+
+    Attribute/namespace nodes are reachable only via their dedicated axes
+    — except as the *context node itself* on the self-including axes
+    (``selfish=True``): ``self::node()`` of an attribute is the attribute.
+    """
+    if record.kind in _SPECIAL_KINDS and not selfish:
+        if axis not in (Axis.ATTRIBUTE, Axis.NAMESPACE):
+            return False
+    if axis is Axis.ATTRIBUTE and record.kind is not NodeKind.ATTRIBUTE:
+        return False
+    if axis is Axis.NAMESPACE and record.kind is not NodeKind.NAMESPACE:
+        return False
+    return test.matches(record.kind, record.name, axis.principal_kind)
+
+
+def _subtree_range(context: FlexKey) -> tuple[FlexKey | None, FlexKey | None]:
+    """Key range (exclusive of context itself) covering context's subtree."""
+    if context.is_document():
+        return context, None  # everything after the document key
+    return context, context.subtree_upper_bound()
+
+
+# -- key-arithmetic axes -------------------------------------------------------
+
+
+def _iter_self(store, context, axis, test):
+    record = store.fetch(context)
+    if record is not None and _record_matches(record, axis, test, selfish=True):
+        yield context, record
+
+
+def _iter_parent(store, context, axis, test):
+    parent = context.parent()
+    if parent is None:
+        return
+    record = store.fetch(parent)
+    if record is not None and _record_matches(record, axis, test):
+        yield parent, record
+
+
+def _iter_ancestor(store, context, axis, test):
+    for key in context.ancestors():
+        record = store.fetch(key)
+        if record is not None and _record_matches(record, axis, test):
+            yield key, record
+
+
+def _iter_ancestor_or_self(store, context, axis, test):
+    yield from _iter_self(store, context, axis, test)
+    yield from _iter_ancestor(store, context, axis, test)
+
+
+# -- range-scan axes -----------------------------------------------------------
+
+
+def _scan(
+    store,
+    axis: Axis,
+    test: NodeTest,
+    lo: FlexKey | None,
+    hi: FlexKey | None,
+    inclusive_lo: bool,
+    reverse: bool = False,
+    depth: int | None = None,
+    skip_ancestors_of: FlexKey | None = None,
+) -> Iterator[AxisHit]:
+    """One contiguous index scan with the per-axis filters applied.
+
+    Uses the name index when the node test pins an index name (no record
+    fetches at all — depth filtering is key arithmetic); otherwise scans
+    the clustered node index and filters records.
+    """
+    index_name = index_name_for_test(test, axis.principal_kind)
+    if index_name is not None:
+        for key, kind in store.name_index.scan(
+            index_name, lo=lo, hi=hi, inclusive_lo=inclusive_lo, reverse=reverse
+        ):
+            if kind in _SPECIAL_KINDS and axis not in (Axis.ATTRIBUTE, Axis.NAMESPACE):
+                continue
+            if axis is Axis.ATTRIBUTE and kind is not NodeKind.ATTRIBUTE:
+                continue
+            if axis is Axis.NAMESPACE and kind is not NodeKind.NAMESPACE:
+                continue
+            if depth is not None and key.depth != depth:
+                continue
+            if skip_ancestors_of is not None and key.is_ancestor_of(skip_ancestors_of):
+                continue
+            yield key, None
+        return
+    for record in store.node_index.scan(
+        lo, hi, inclusive_lo=inclusive_lo, reverse=reverse
+    ):
+        if depth is not None and record.key.depth != depth:
+            continue
+        if skip_ancestors_of is not None and record.key.is_ancestor_of(skip_ancestors_of):
+            continue
+        if _record_matches(record, axis, test):
+            yield record.key, record
+
+
+def _iter_child(store, context, axis, test):
+    lo, hi = _subtree_range(context)
+    yield from _scan(
+        store, axis, test, lo, hi, inclusive_lo=False, depth=context.depth + 1
+    )
+
+
+def _iter_attribute(store, context, axis, test):
+    lo, hi = _subtree_range(context)
+    yield from _scan(
+        store, axis, test, lo, hi, inclusive_lo=False, depth=context.depth + 1
+    )
+
+
+def _iter_namespace(store, context, axis, test):
+    lo, hi = _subtree_range(context)
+    yield from _scan(
+        store, axis, test, lo, hi, inclusive_lo=False, depth=context.depth + 1
+    )
+
+
+def _iter_descendant(store, context, axis, test):
+    lo, hi = _subtree_range(context)
+    yield from _scan(store, axis, test, lo, hi, inclusive_lo=False)
+
+
+def _iter_descendant_or_self(store, context, axis, test):
+    yield from _iter_self(store, context, axis, test)
+    yield from _iter_descendant(store, context, axis, test)
+
+
+def _iter_following(store, context, axis, test):
+    if context.is_document():
+        return
+    bound = context.subtree_upper_bound()
+    yield from _scan(store, axis, test, bound, None, inclusive_lo=True)
+
+
+def _iter_preceding(store, context, axis, test):
+    if context.is_document():
+        return
+    yield from _scan(
+        store,
+        axis,
+        test,
+        None,
+        context,
+        inclusive_lo=True,
+        reverse=True,
+        skip_ancestors_of=context,
+    )
+
+
+def _context_has_siblings(store, context: FlexKey) -> bool:
+    """Attribute and namespace nodes have no siblings (XPath 1.0 §2.2)."""
+    record = store.fetch(context)
+    return record is None or record.kind not in _SPECIAL_KINDS
+
+
+def _iter_following_sibling(store, context, axis, test):
+    parent = context.parent()
+    if parent is None or not _context_has_siblings(store, context):
+        return
+    lo = context.subtree_upper_bound()
+    hi = None if parent.is_document() else parent.subtree_upper_bound()
+    yield from _scan(
+        store, axis, test, lo, hi, inclusive_lo=True, depth=context.depth
+    )
+
+
+def _iter_preceding_sibling(store, context, axis, test):
+    parent = context.parent()
+    if parent is None or not _context_has_siblings(store, context):
+        return
+    yield from _scan(
+        store,
+        axis,
+        test,
+        parent,
+        context,
+        inclusive_lo=False,
+        reverse=True,
+        depth=context.depth,
+    )
+
+
+_HANDLERS = {
+    Axis.SELF: _iter_self,
+    Axis.PARENT: _iter_parent,
+    Axis.ANCESTOR: _iter_ancestor,
+    Axis.ANCESTOR_OR_SELF: _iter_ancestor_or_self,
+    Axis.CHILD: _iter_child,
+    Axis.ATTRIBUTE: _iter_attribute,
+    Axis.NAMESPACE: _iter_namespace,
+    Axis.DESCENDANT: _iter_descendant,
+    Axis.DESCENDANT_OR_SELF: _iter_descendant_or_self,
+    Axis.FOLLOWING: _iter_following,
+    Axis.PRECEDING: _iter_preceding,
+    Axis.FOLLOWING_SIBLING: _iter_following_sibling,
+    Axis.PRECEDING_SIBLING: _iter_preceding_sibling,
+}
+
+
+# -- index-only counting -------------------------------------------------------
+
+
+def axis_count_upper(
+    store: "MassStore", context: FlexKey, axis: Axis, test: NodeTest
+) -> int | None:
+    """Index-only upper bound on the hits of one axis step, or None.
+
+    For name-test steps this is the exact count of matching index entries
+    in the relevant key range (exact for child-free ranges like descendant,
+    an upper bound where a depth filter applies).  Returns None when only a
+    data scan could answer, in which case the cost model falls back to the
+    whole-store COUNT.
+    """
+    index_name = index_name_for_test(test, axis.principal_kind)
+    if index_name is None:
+        return None
+    if axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF, Axis.CHILD, Axis.ATTRIBUTE):
+        lo, hi = _subtree_range(context)
+        count = store.name_index.count_between(index_name, lo, hi, inclusive_lo=False)
+        if axis is Axis.DESCENDANT_OR_SELF:
+            record = store.fetch(context)
+            if record is not None and _record_matches(record, axis, test):
+                count += 1
+        return count
+    if axis is Axis.FOLLOWING:
+        if context.is_document():
+            return 0
+        return store.name_index.count_between(
+            index_name, context.subtree_upper_bound(), None
+        )
+    if axis is Axis.PRECEDING:
+        return store.name_index.count_between(index_name, None, context)
+    if axis in (Axis.FOLLOWING_SIBLING, Axis.PRECEDING_SIBLING):
+        parent = context.parent()
+        if parent is None:
+            return 0
+        if axis is Axis.FOLLOWING_SIBLING:
+            lo = context.subtree_upper_bound()
+            hi = None if parent.is_document() else parent.subtree_upper_bound()
+            return store.name_index.count_between(index_name, lo, hi)
+        # preceding-sibling: the parent's own entry must not count.
+        return store.name_index.count_between(
+            index_name, parent, context, inclusive_lo=False
+        )
+    if axis in (Axis.SELF, Axis.PARENT):
+        return 1
+    if axis in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+        return context.depth
+    return None

@@ -1,0 +1,590 @@
+"""A counted B+-tree with paged nodes and bidirectional range scans.
+
+This is the index structure behind all three MASS indexes.  Two features
+beyond a textbook B+-tree matter for VAMANA:
+
+* **Subtree counts.**  Every node knows how many entries live beneath it, so
+  :meth:`BPlusTree.range_count` answers "how many keys in [lo, hi)?" in
+  O(log n) by walking only the two boundary paths — never touching the leaf
+  data in between.  This is MASS's "compute count on the index level without
+  going to data", and it is what makes VAMANA's cost estimation cheap enough
+  to run before every query.
+* **Reverse scans.**  Leaves are doubly linked, so reverse axes (preceding,
+  preceding-sibling, ancestor verification scans) cost the same as forward
+  ones.
+
+Every node lives on a page; traversals route through the owning store's
+buffer pool so that benchmarks can report pages touched per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.errors import StorageError
+from repro.mass.pages import BufferPool, Page, PageKind, PageManager
+
+#: Simulated bytes per entry used to derive node fan-out from the page size.
+DEFAULT_ENTRY_BYTES = 48
+
+
+@dataclass(slots=True)
+class TreeMetrics:
+    """Counters a single tree accumulates across operations."""
+
+    key_comparisons: int = 0
+    node_visits: int = 0
+    entries_scanned: int = 0
+
+    def reset(self) -> None:
+        self.key_comparisons = 0
+        self.node_visits = 0
+        self.entries_scanned = 0
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next", "prev", "page")
+
+    def __init__(self, page: Page):
+        self.keys: list[Any] = []
+        self.values: list[Any] = []
+        self.next: _Leaf | None = None
+        self.prev: _Leaf | None = None
+        self.page = page
+
+    @property
+    def count(self) -> int:
+        return len(self.keys)
+
+
+class _Internal:
+    __slots__ = ("separators", "children", "counts", "page")
+
+    def __init__(self, page: Page):
+        # children[i] holds keys < separators[i]; children[-1] the rest.
+        self.separators: list[Any] = []
+        self.children: list[Any] = []
+        self.counts: list[int] = []
+        self.page = page
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+
+class BPlusTree:
+    """Counted B+-tree mapping comparable keys to values.
+
+    Keys must be unique; composite indexes append the FLEX key to the index
+    key to guarantee this.  ``order`` (maximum entries per node) is derived
+    from the page size unless given explicitly.
+    """
+
+    def __init__(
+        self,
+        manager: PageManager,
+        buffer_pool: BufferPool,
+        order: int | None = None,
+        entry_bytes: int = DEFAULT_ENTRY_BYTES,
+    ):
+        self._manager = manager
+        self._buffer = buffer_pool
+        if order is None:
+            order = max(4, manager.page_size // entry_bytes)
+        if order < 4:
+            raise StorageError(f"B+-tree order must be >= 4, got {order}")
+        self._order = order
+        self.metrics = TreeMetrics()
+        self._root: _Leaf | _Internal = self._new_leaf()
+        self._size = 0
+
+    # -- node/page plumbing -------------------------------------------------
+
+    def _new_leaf(self) -> _Leaf:
+        page = self._manager.allocate(PageKind.LEAF)
+        leaf = _Leaf(page)
+        page.payload = leaf
+        return leaf
+
+    def _new_internal(self) -> _Internal:
+        page = self._manager.allocate(PageKind.INTERNAL)
+        node = _Internal(page)
+        page.payload = node
+        return node
+
+    def _visit(self, node: _Leaf | _Internal) -> None:
+        self.metrics.node_visits += 1
+        self._buffer.touch(node.page)
+
+    def _update_page_usage(self, node: _Leaf | _Internal) -> None:
+        entries = len(node.keys) if isinstance(node, _Leaf) else len(node.children)
+        node.page.used_bytes = entries * DEFAULT_ENTRY_BYTES
+        self._manager.mark_write(node.page)
+
+    # -- comparison helpers (instrumented binary search) ---------------------
+
+    def _bisect_left(self, keys: list[Any], key: Any) -> int:
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self.metrics.key_comparisons += 1
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _bisect_right(self, keys: list[Any], key: Any) -> int:
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self.metrics.key_comparisons += 1
+            if key < keys[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    # -- public: size -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    def height(self) -> int:
+        height = 1
+        node = self._root
+        while isinstance(node, _Internal):
+            height += 1
+            node = node.children[0]
+        return height
+
+    # -- public: point operations --------------------------------------------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        leaf, index = self._find_leaf(key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            self.metrics.entries_scanned += 1
+            return leaf.values[index]
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def insert(self, key: Any, value: Any = None) -> None:
+        """Insert a new entry; replaces the value if the key exists."""
+        split = self._insert_into(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = self._new_internal()
+            new_root.separators = [separator]
+            new_root.children = [self._root, right]
+            new_root.counts = [_node_count(self._root), _node_count(right)]
+            self._update_page_usage(new_root)
+            self._root = new_root
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; returns True if it was present.
+
+        Underflowed nodes are left slightly under-full rather than eagerly
+        rebalanced — deletes are rare in this workload and counts stay
+        exact either way.
+        """
+        removed = self._delete_from(self._root, key)
+        if removed:
+            if isinstance(self._root, _Internal) and len(self._root.children) == 1:
+                old = self._root
+                self._root = old.children[0]
+                self._buffer.forget(old.page)
+                self._manager.free(old.page)
+        return removed
+
+    # -- public: ordered access ----------------------------------------------
+
+    def first(self) -> tuple[Any, Any] | None:
+        if not self._size:
+            return None
+        node = self._root
+        while isinstance(node, _Internal):
+            self._visit(node)
+            node = node.children[0]
+        self._visit(node)
+        return node.keys[0], node.values[0]
+
+    def last(self) -> tuple[Any, Any] | None:
+        if not self._size:
+            return None
+        node = self._root
+        while isinstance(node, _Internal):
+            self._visit(node)
+            node = node.children[-1]
+        self._visit(node)
+        return node.keys[-1], node.values[-1]
+
+    def seek(self, key: Any) -> Iterator[tuple[Any, Any]]:
+        """Iterate entries with keys >= ``key`` in ascending order."""
+        return self.scan(lo=key, inclusive_lo=True)
+
+    def scan(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        inclusive_lo: bool = True,
+        inclusive_hi: bool = False,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Forward range scan over [lo, hi) by default.
+
+        ``None`` bounds are open.  The iterator touches each visited leaf
+        page once and charges one entry-scan per yielded entry.
+        """
+        if not self._size:
+            return
+        if lo is None:
+            leaf, index = self._leftmost_leaf(), 0
+        else:
+            leaf, index = self._find_leaf(
+                lo, bisect=self._bisect_left if inclusive_lo else self._bisect_right
+            )
+        while leaf is not None:
+            if index >= len(leaf.keys):
+                leaf = leaf.next
+                index = 0
+                if leaf is not None:
+                    self._visit(leaf)
+                continue
+            key = leaf.keys[index]
+            if hi is not None:
+                self.metrics.key_comparisons += 1
+                past = key > hi if inclusive_hi else key >= hi
+                if past:
+                    return
+            self.metrics.entries_scanned += 1
+            yield key, leaf.values[index]
+            index += 1
+
+    def scan_reverse(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        inclusive_lo: bool = True,
+        inclusive_hi: bool = False,
+    ) -> Iterator[tuple[Any, Any]]:
+        """Descending scan of the same range as :meth:`scan`."""
+        if not self._size:
+            return
+        if hi is None:
+            leaf = self._rightmost_leaf()
+            index = len(leaf.keys) - 1
+        else:
+            bisect = self._bisect_right if inclusive_hi else self._bisect_left
+            leaf, index = self._find_leaf(hi, bisect=bisect)
+            index -= 1
+            if index < 0:
+                leaf = leaf.prev
+                if leaf is None:
+                    return
+                self._visit(leaf)
+                index = len(leaf.keys) - 1
+        while leaf is not None:
+            if index < 0:
+                leaf = leaf.prev
+                if leaf is None:
+                    return
+                self._visit(leaf)
+                index = len(leaf.keys) - 1
+                continue
+            key = leaf.keys[index]
+            if lo is not None:
+                self.metrics.key_comparisons += 1
+                past = key < lo if inclusive_lo else key <= lo
+                if past:
+                    return
+            self.metrics.entries_scanned += 1
+            yield key, leaf.values[index]
+            index -= 1
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        return self.scan()
+
+    # -- public: counting ------------------------------------------------------
+
+    def rank(self, key: Any, inclusive: bool = False) -> int:
+        """Number of stored keys < ``key`` (<= if ``inclusive``).
+
+        O(log n): one root-to-leaf descent adding up the counts of skipped
+        siblings.  No leaf data outside the boundary path is touched.
+        """
+        bisect = self._bisect_right if inclusive else self._bisect_left
+        node = self._root
+        rank = 0
+        while isinstance(node, _Internal):
+            self._visit(node)
+            child_index = bisect(node.separators, key)
+            rank += sum(node.counts[:child_index])
+            node = node.children[child_index]
+        self._visit(node)
+        rank += bisect(node.keys, key)
+        return rank
+
+    def range_count(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        inclusive_lo: bool = True,
+        inclusive_hi: bool = False,
+    ) -> int:
+        """Count keys in the range without fetching them."""
+        high_rank = self._size if hi is None else self.rank(hi, inclusive=inclusive_hi)
+        low_rank = 0 if lo is None else self.rank(lo, inclusive=not inclusive_lo)
+        return max(0, high_rank - low_rank)
+
+    # -- public: bulk load -------------------------------------------------------
+
+    def bulk_load(self, items: Iterator[tuple[Any, Any]] | list[tuple[Any, Any]]) -> None:
+        """Build the tree bottom-up from key-sorted unique items.
+
+        Replaces current content.  Loading a document this way produces
+        ~69%-full leaves like a real clustered bulk load would.
+        """
+        pairs = list(items)
+        for earlier, later in zip(pairs, pairs[1:]):
+            if not earlier[0] < later[0]:
+                raise StorageError(
+                    f"bulk_load input not strictly sorted: {earlier[0]!r} !< {later[0]!r}"
+                )
+        self._dispose(self._root)
+        self._size = 0
+        if not pairs:
+            self._root = self._new_leaf()
+            return
+        per_leaf = max(2, (self._order * 2) // 3)
+        leaves: list[_Leaf] = []
+        previous: _Leaf | None = None
+        for start in range(0, len(pairs), per_leaf):
+            chunk = pairs[start : start + per_leaf]
+            leaf = self._new_leaf()
+            leaf.keys = [key for key, _ in chunk]
+            leaf.values = [value for _, value in chunk]
+            leaf.prev = previous
+            if previous is not None:
+                previous.next = leaf
+            self._update_page_usage(leaf)
+            leaves.append(leaf)
+            previous = leaf
+        self._size = len(pairs)
+        level: list[_Leaf | _Internal] = leaves
+        per_node = max(2, (self._order * 2) // 3)
+        while len(level) > 1:
+            parents: list[_Internal] = []
+            for start in range(0, len(level), per_node):
+                group = level[start : start + per_node]
+                parent = self._new_internal()
+                parent.children = list(group)
+                parent.separators = [_subtree_min(child) for child in group[1:]]
+                parent.counts = [_node_count(child) for child in group]
+                self._update_page_usage(parent)
+                parents.append(parent)
+            level = parents
+        self._root = level[0]
+
+    # -- internal: descent ---------------------------------------------------------
+
+    def _find_leaf(
+        self, key: Any, bisect: Callable[[list[Any], Any], int] | None = None
+    ) -> tuple[_Leaf, int]:
+        """Descend to the leaf for ``key``; returns (leaf, slot index)."""
+        if bisect is None:
+            bisect = self._bisect_left
+        node = self._root
+        while isinstance(node, _Internal):
+            self._visit(node)
+            child_index = self._bisect_right(node.separators, key)
+            node = node.children[child_index]
+        self._visit(node)
+        return node, bisect(node.keys, key)
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            self._visit(node)
+            node = node.children[0]
+        self._visit(node)
+        return node
+
+    def _rightmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            self._visit(node)
+            node = node.children[-1]
+        self._visit(node)
+        return node
+
+    # -- internal: insert ------------------------------------------------------------
+
+    def _insert_into(
+        self, node: _Leaf | _Internal, key: Any, value: Any
+    ) -> tuple[Any, _Leaf | _Internal] | None:
+        """Recursive insert; returns (separator, new right sibling) on split."""
+        self._visit(node)
+        if isinstance(node, _Leaf):
+            index = self._bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+                self._manager.mark_write(node.page)
+                return None
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            self._size += 1
+            self._update_page_usage(node)
+            if len(node.keys) <= self._order:
+                return None
+            return self._split_leaf(node)
+        child_index = self._bisect_right(node.separators, key)
+        had = _node_count(node.children[child_index])
+        split = self._insert_into(node.children[child_index], key, value)
+        node.counts[child_index] += _node_count(node.children[child_index]) - had
+        if split is not None:
+            separator, right = split
+            node.separators.insert(child_index, separator)
+            node.children.insert(child_index + 1, right)
+            node.counts[child_index] = _node_count(node.children[child_index])
+            node.counts.insert(child_index + 1, _node_count(right))
+        self._update_page_usage(node)
+        if len(node.children) <= self._order:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, leaf: _Leaf) -> tuple[Any, _Leaf]:
+        middle = len(leaf.keys) // 2
+        right = self._new_leaf()
+        right.keys = leaf.keys[middle:]
+        right.values = leaf.values[middle:]
+        leaf.keys = leaf.keys[:middle]
+        leaf.values = leaf.values[:middle]
+        right.next = leaf.next
+        if right.next is not None:
+            right.next.prev = right
+        right.prev = leaf
+        leaf.next = right
+        self._update_page_usage(leaf)
+        self._update_page_usage(right)
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal) -> tuple[Any, _Internal]:
+        middle = len(node.children) // 2
+        right = self._new_internal()
+        separator = node.separators[middle - 1]
+        right.separators = node.separators[middle:]
+        right.children = node.children[middle:]
+        right.counts = node.counts[middle:]
+        node.separators = node.separators[: middle - 1]
+        node.children = node.children[:middle]
+        node.counts = node.counts[:middle]
+        self._update_page_usage(node)
+        self._update_page_usage(right)
+        return separator, right
+
+    # -- internal: delete ----------------------------------------------------------------
+
+    def _delete_from(self, node: _Leaf | _Internal, key: Any) -> bool:
+        self._visit(node)
+        if isinstance(node, _Leaf):
+            index = self._bisect_left(node.keys, key)
+            if index >= len(node.keys) or node.keys[index] != key:
+                return False
+            del node.keys[index]
+            del node.values[index]
+            self._size -= 1
+            self._update_page_usage(node)
+            return True
+        child_index = self._bisect_right(node.separators, key)
+        child = node.children[child_index]
+        removed = self._delete_from(child, key)
+        if removed:
+            node.counts[child_index] -= 1
+            if _node_count(child) == 0 and len(node.children) > 1:
+                self._unlink_empty_child(node, child_index)
+            self._update_page_usage(node)
+        return removed
+
+    def _unlink_empty_child(self, node: _Internal, child_index: int) -> None:
+        child = node.children[child_index]
+        if isinstance(child, _Leaf):
+            if child.prev is not None:
+                child.prev.next = child.next
+            if child.next is not None:
+                child.next.prev = child.prev
+        node.children.pop(child_index)
+        node.counts.pop(child_index)
+        if child_index < len(node.separators):
+            node.separators.pop(child_index)
+        else:
+            node.separators.pop()
+        self._buffer.forget(child.page)
+        self._manager.free(child.page)
+
+    # -- internal: teardown -----------------------------------------------------------------
+
+    def _dispose(self, node: _Leaf | _Internal) -> None:
+        if isinstance(node, _Internal):
+            for child in node.children:
+                self._dispose(child)
+        self._buffer.forget(node.page)
+        self._manager.free(node.page)
+
+    # -- diagnostics ---------------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate ordering, linkage and counts; raises StorageError if broken.
+
+        Used by property tests after randomized insert/delete sequences.
+        """
+        total, _first, _last = self._check_node(self._root, None, None)
+        if total != self._size:
+            raise StorageError(f"size mismatch: counted {total}, recorded {self._size}")
+        # Leaf chain must enumerate exactly the sorted key set.
+        chained = [key for key, _ in self.scan()]
+        if chained != sorted(chained):
+            raise StorageError("leaf chain out of order")
+        if len(chained) != self._size:
+            raise StorageError("leaf chain length mismatch")
+
+    def _check_node(self, node: _Leaf | _Internal, lo: Any, hi: Any) -> tuple[int, Any, Any]:
+        if isinstance(node, _Leaf):
+            for earlier, later in zip(node.keys, node.keys[1:]):
+                if not earlier < later:
+                    raise StorageError("leaf keys not strictly sorted")
+            for key in node.keys:
+                if lo is not None and key < lo:
+                    raise StorageError("leaf key below subtree bound")
+                if hi is not None and not key < hi:
+                    raise StorageError("leaf key above subtree bound")
+            if not node.keys:
+                return 0, None, None
+            return len(node.keys), node.keys[0], node.keys[-1]
+        total = 0
+        for index, child in enumerate(node.children):
+            child_lo = node.separators[index - 1] if index > 0 else lo
+            child_hi = node.separators[index] if index < len(node.separators) else hi
+            count, _cf, _cl = self._check_node(child, child_lo, child_hi)
+            if count != node.counts[index]:
+                raise StorageError(
+                    f"count mismatch: child has {count}, parent records {node.counts[index]}"
+                )
+            total += count
+        return total, None, None
+
+
+def _node_count(node: _Leaf | _Internal) -> int:
+    return node.count
+
+
+def _subtree_min(node: _Leaf | _Internal) -> Any:
+    while isinstance(node, _Internal):
+        node = node.children[0]
+    return node.keys[0]

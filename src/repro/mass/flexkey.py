@@ -1,0 +1,322 @@
+"""FLEX keys — Fast Lexicographical Keys for structural XML encoding.
+
+MASS assigns every node of an XML document a *FLEX key*.  The keys have
+three properties that the whole engine relies on:
+
+1. **Order**: lexicographic key order equals document order.
+2. **Structure**: the parent's key is a proper prefix of the child's key, so
+   parent / ancestor computation is pure key arithmetic and the subtree of a
+   node is one contiguous key range.
+3. **Insertability**: a fresh key can be generated strictly between any two
+   existing sibling keys without touching any other key, so documents accept
+   updates with no relabeling (this is what keeps MASS statistics always
+   accurate under updates — a core claim of the VAMANA paper).
+
+Representation
+--------------
+
+A key is a tuple of *components*, one per tree level; each component is
+itself a non-empty tuple of positive integers.  A freshly bulk-loaded
+document uses single-integer components ``(2,), (3,), (4,) …`` for the
+first, second, third sibling.  Inserting between two siblings extends a
+component, e.g. ``(2,) < (2, 2) < (3,)``.
+
+Two reserved values keep the arithmetic sound:
+
+* integer ``0`` appears only in the *subtree sentinel* produced by
+  :meth:`FlexKey.subtree_upper_bound`; it is never stored, and it sorts
+  after every descendant of a node but before every following node.
+* real components never **end** with the integer ``1`` (interior ``1`` s are
+  fine).  This guarantees :func:`component_between` always has room to
+  produce a new component between two existing ones.
+
+The paper renders keys as dotted letters (``a.d.y.c``); :meth:`FlexKey.pretty`
+reproduces that rendering (bijective base-26, ``~`` separating the integers
+of an extended component).
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterator, Sequence
+
+Component = tuple[int, ...]
+
+#: First ordinal handed to a bulk-loaded sibling.  Starting at 2 keeps the
+#: "never ends with 1" invariant without special cases.
+FIRST_ORDINAL = 2
+
+
+def _check_component(component: Component) -> None:
+    if not component:
+        raise ValueError("FLEX component must be non-empty")
+    if any(part < 1 for part in component):
+        raise ValueError(f"FLEX component parts must be >= 1: {component!r}")
+    if component[-1] == 1:
+        raise ValueError(f"FLEX component must not end with 1: {component!r}")
+
+
+def component_between(low: Component, high: Component) -> Component:
+    """Return a component strictly between ``low`` and ``high``.
+
+    Both inputs must be valid stored components with ``low < high``.  The
+    result is a valid stored component (positive integers, does not end in
+    ``1``), so insertion capacity is never exhausted.
+    """
+    if not low < high:
+        raise ValueError(f"need low < high, got {low!r} >= {high!r}")
+    # Find the first position where the components diverge.
+    limit = min(len(low), len(high))
+    for index in range(limit):
+        if low[index] == high[index]:
+            continue
+        if high[index] - low[index] >= 2:
+            # Room for a fresh integer at the divergence point.
+            return low[:index] + (low[index] + 1,)
+        # Adjacent integers: extend the *whole* of low — the result is
+        # strictly above low (proper extension) and stays below high
+        # (it still carries low's smaller integer at the divergence).
+        return low + (2,)
+    # No divergence before one ran out: low is a proper prefix of high.
+    rest = high[limit:]
+    return low + _component_before(rest)
+
+
+def _component_before(component: Component) -> Component:
+    """Return a valid component tail strictly below ``component``.
+
+    Helper for the prefix case of :func:`component_between` and for
+    inserting before the first sibling.
+    """
+    head = component[0]
+    if head >= 3:
+        return (head - 1,)
+    if head == 2:
+        return (1, 2)
+    # head == 1: a stored component cannot *be* just (1,), so there is a
+    # remainder to recurse into.
+    return (1,) + _component_before(component[1:])
+
+
+def component_after(component: Component) -> Component:
+    """Return a single-integer component strictly above ``component``."""
+    return (component[0] + 1,)
+
+
+def component_before(component: Component) -> Component:
+    """Return a valid component strictly below ``component``."""
+    return _component_before(component)
+
+
+@total_ordering
+class FlexKey:
+    """An immutable FLEX key: a tuple of components, one per tree level.
+
+    The empty key ``FlexKey.document()`` denotes the document node itself
+    (depth 0); the document element of the paper's examples gets key ``a``.
+    """
+
+    __slots__ = ("_components",)
+
+    def __init__(self, components: Sequence[Component] = ()):
+        components = tuple(tuple(part) for part in components)
+        for component in components:
+            _check_component(component)
+        self._components = components
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def document(cls) -> "FlexKey":
+        """The key of the (virtual) document node."""
+        return _DOCUMENT_KEY
+
+    @classmethod
+    def from_ordinals(cls, ordinals: Sequence[int]) -> "FlexKey":
+        """Build a key from plain sibling ordinals (0-based, bulk-load style).
+
+        ``from_ordinals([0, 2])`` is the third child of the first child of
+        the document node.
+        """
+        return cls(tuple((ordinal + FIRST_ORDINAL,) for ordinal in ordinals))
+
+    # -- basic structure ---------------------------------------------------
+
+    @property
+    def components(self) -> tuple[Component, ...]:
+        return self._components
+
+    @property
+    def depth(self) -> int:
+        """Tree depth: 0 for the document node, 1 for the document element."""
+        return len(self._components)
+
+    def is_document(self) -> bool:
+        return not self._components
+
+    def parent(self) -> "FlexKey | None":
+        """The parent key, or ``None`` for the document node."""
+        if not self._components:
+            return None
+        return FlexKey(self._components[:-1])
+
+    def ancestors(self) -> Iterator["FlexKey"]:
+        """All proper ancestors, nearest first, ending at the document node."""
+        for length in range(len(self._components) - 1, -1, -1):
+            yield FlexKey(self._components[:length])
+
+    def child(self, ordinal: int) -> "FlexKey":
+        """The bulk-load key of the ``ordinal``-th (0-based) child."""
+        return FlexKey(self._components + ((ordinal + FIRST_ORDINAL,),))
+
+    def last_component(self) -> Component:
+        if not self._components:
+            raise ValueError("document key has no components")
+        return self._components[-1]
+
+    # -- relationships -----------------------------------------------------
+
+    def is_ancestor_of(self, other: "FlexKey") -> bool:
+        """True if self is a *proper* ancestor of other."""
+        mine = self._components
+        theirs = other._components
+        return len(mine) < len(theirs) and theirs[: len(mine)] == mine
+
+    def is_descendant_of(self, other: "FlexKey") -> bool:
+        return other.is_ancestor_of(self)
+
+    def is_parent_of(self, other: "FlexKey") -> bool:
+        return (
+            len(self._components) + 1 == len(other._components)
+            and other._components[: len(self._components)] == self._components
+        )
+
+    def is_sibling_of(self, other: "FlexKey") -> bool:
+        """True if both keys share a parent (a key is not its own sibling)."""
+        if self == other:
+            return False
+        return (
+            len(self._components) == len(other._components)
+            and self._components[:-1] == other._components[:-1]
+        )
+
+    def common_ancestor(self, other: "FlexKey") -> "FlexKey":
+        """The deepest key that is an ancestor-or-self of both keys."""
+        shared: list[Component] = []
+        for mine, theirs in zip(self._components, other._components):
+            if mine != theirs:
+                break
+            shared.append(mine)
+        return FlexKey(tuple(shared))
+
+    # -- range bounds ------------------------------------------------------
+
+    def subtree_upper_bound(self) -> "FlexKey":
+        """Exclusive upper bound of this node's subtree key range.
+
+        Every descendant key sorts strictly below the bound and every
+        following node's key sorts at or above it.  The bound itself uses
+        the reserved integer 0 and is never a stored key.
+        """
+        if not self._components:
+            raise ValueError("the document subtree has no upper bound")
+        sentinel = self._components[-1] + (0,)
+        result = FlexKey.__new__(FlexKey)
+        result._components = self._components[:-1] + (sentinel,)
+        return result
+
+    # -- sibling key generation (update support) ----------------------------
+
+    def sibling_between(self, right: "FlexKey") -> "FlexKey":
+        """A fresh sibling key strictly between ``self`` and ``right``.
+
+        Both keys must be siblings with ``self < right``.
+        """
+        if not self.is_sibling_of(right):
+            raise ValueError(f"{self} and {right} are not siblings")
+        if not self < right:
+            raise ValueError(f"need self < right, got {self} >= {right}")
+        component = component_between(self.last_component(), right.last_component())
+        return FlexKey(self._components[:-1] + (component,))
+
+    def sibling_after(self) -> "FlexKey":
+        """A fresh sibling key strictly after ``self`` (append position)."""
+        component = component_after(self.last_component())
+        return FlexKey(self._components[:-1] + (component,))
+
+    def sibling_before(self) -> "FlexKey":
+        """A fresh sibling key strictly before ``self`` (prepend position)."""
+        component = component_before(self.last_component())
+        return FlexKey(self._components[:-1] + (component,))
+
+    # -- rendering ----------------------------------------------------------
+
+    def pretty(self) -> str:
+        """Paper-style rendering: ``a.d.y.c`` (``~`` joins extended parts)."""
+        if not self._components:
+            return "<doc>"
+        return ".".join(
+            "~".join(_int_to_letters(part) for part in component)
+            for component in self._components
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FlexKey":
+        """Inverse of :meth:`pretty` (accepts ``<doc>`` for the document)."""
+        if text == "<doc>":
+            return cls.document()
+        components = tuple(
+            tuple(_letters_to_int(part) for part in chunk.split("~"))
+            for chunk in text.split(".")
+        )
+        return cls(components)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlexKey):
+            return NotImplemented
+        return self._components == other._components
+
+    def __lt__(self, other: "FlexKey") -> bool:
+        if not isinstance(other, FlexKey):
+            return NotImplemented
+        return self._components < other._components
+
+    def __hash__(self) -> int:
+        return hash(self._components)
+
+    def __repr__(self) -> str:
+        return f"FlexKey({self.pretty()!r})"
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+
+def _int_to_letters(value: int) -> str:
+    """Bijective base-26 rendering: 1 -> a, 2 -> b, …, 27 -> aa.
+
+    The reserved sentinel integer 0 renders as ``*`` so bounds print
+    legibly in traces.
+    """
+    if value == 0:
+        return "*"
+    letters: list[str] = []
+    while value > 0:
+        value, remainder = divmod(value - 1, 26)
+        letters.append(chr(ord("a") + remainder))
+    return "".join(reversed(letters))
+
+
+def _letters_to_int(text: str) -> int:
+    if text == "*":
+        return 0
+    value = 0
+    for char in text:
+        if not "a" <= char <= "z":
+            raise ValueError(f"invalid FLEX letter {char!r} in {text!r}")
+        value = value * 26 + (ord(char) - ord("a") + 1)
+    return value
+
+
+_DOCUMENT_KEY = FlexKey(())

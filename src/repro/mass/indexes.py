@@ -1,0 +1,219 @@
+"""The three clustered MASS indexes.
+
+MASS keeps every document in three counted B+-trees:
+
+* **node index** — FLEX key → :class:`NodeRecord`; clustered in document
+  order, so any axis whose result is a key range becomes one sequential
+  leaf walk.
+* **name index** — ``(index name, FLEX key) → node kind``; one namespaced
+  entry per named node (elements under their name, attributes under
+  ``@name``, text under ``#text``, comments under ``#comment``, processing
+  instructions under ``?target``).  Per-name counts and per-name subtree
+  counts are O(log n) range counts.
+* **value index** — ``(string value, FLEX key) → node kind``; one entry per
+  text node and attribute value.  This is the index that lets VAMANA answer
+  ``text() = 'Yung Flach'`` with a single lookup (where eXist falls back to
+  tree traversal) and gives the cost model exact text counts (TC).
+
+The composite keys compare as plain Python tuples: the string first, the
+FLEX key second, so all entries for one name/value form one contiguous run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.mass.btree import BPlusTree
+from repro.mass.flexkey import FlexKey
+from repro.mass.pages import BufferPool, PageManager
+from repro.mass.records import NodeKind, NodeRecord
+from repro.model import NodeTest, NodeTestKind
+
+
+def index_name_for(kind: NodeKind, name: str) -> str | None:
+    """The name-index namespace key for a node, or None if unindexed."""
+    if kind is NodeKind.ELEMENT:
+        return name
+    if kind is NodeKind.ATTRIBUTE:
+        return "@" + name
+    if kind is NodeKind.TEXT:
+        return "#text"
+    if kind is NodeKind.COMMENT:
+        return "#comment"
+    if kind is NodeKind.PROCESSING_INSTRUCTION:
+        return "?" + name
+    return None
+
+
+def index_name_for_test(test: NodeTest, principal: NodeKind) -> str | None:
+    """The name-index key a node test maps to, or None if it needs a scan.
+
+    ``*`` and ``node()`` cannot be served by a single name run; they return
+    None and the axis machinery falls back to a node-index range scan.
+    A targetless ``processing-instruction()`` likewise needs a scan.
+    """
+    if test.kind is NodeTestKind.NAME:
+        if principal is NodeKind.ATTRIBUTE:
+            return "@" + test.name
+        if principal is NodeKind.ELEMENT:
+            return test.name
+        return None
+    if test.kind is NodeTestKind.TEXT:
+        return "#text"
+    if test.kind is NodeTestKind.COMMENT:
+        return "#comment"
+    if test.kind is NodeTestKind.PROCESSING_INSTRUCTION and test.name:
+        return "?" + test.name
+    return None
+
+
+def _upper_bound(text: str) -> tuple[str]:
+    """Exclusive composite-key bound covering every entry for ``text``."""
+    return (text + "\x00",)
+
+
+class NodeIndex:
+    """FLEX key → node record, clustered in document order."""
+
+    def __init__(self, manager: PageManager, buffer_pool: BufferPool):
+        self.tree = BPlusTree(manager, buffer_pool, entry_bytes=96)
+
+    def bulk_load(self, records: list[NodeRecord]) -> None:
+        self.tree.bulk_load([(record.key, record) for record in records])
+
+    def insert(self, record: NodeRecord) -> None:
+        self.tree.insert(record.key, record)
+
+    def delete(self, key: FlexKey) -> bool:
+        return self.tree.delete(key)
+
+    def get(self, key: FlexKey) -> NodeRecord | None:
+        return self.tree.get(key)
+
+    def scan(
+        self,
+        lo: FlexKey | None,
+        hi: FlexKey | None,
+        inclusive_lo: bool = True,
+        inclusive_hi: bool = False,
+        reverse: bool = False,
+    ) -> Iterator[NodeRecord]:
+        scan = self.tree.scan_reverse if reverse else self.tree.scan
+        for _key, record in scan(lo, hi, inclusive_lo, inclusive_hi):
+            yield record
+
+    def count_range(self, lo: FlexKey | None, hi: FlexKey | None) -> int:
+        return self.tree.range_count(lo, hi)
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+
+class NameIndex:
+    """(namespaced name, FLEX key) → node kind."""
+
+    def __init__(self, manager: PageManager, buffer_pool: BufferPool):
+        self.tree = BPlusTree(manager, buffer_pool, entry_bytes=56)
+
+    def bulk_load(self, entries: list[tuple[str, FlexKey, NodeKind]]) -> None:
+        self.tree.bulk_load([((name, key), kind) for name, key, kind in entries])
+
+    def insert(self, name: str, key: FlexKey, kind: NodeKind) -> None:
+        self.tree.insert((name, key), kind)
+
+    def delete(self, name: str, key: FlexKey) -> bool:
+        return self.tree.delete((name, key))
+
+    def count(self, name: str) -> int:
+        """How many nodes carry this index name — O(log n), no data touched."""
+        return self.tree.range_count((name,), _upper_bound(name))
+
+    def count_between(
+        self,
+        name: str,
+        lo: FlexKey | None,
+        hi: FlexKey | None,
+        inclusive_lo: bool = True,
+    ) -> int:
+        """Count entries for ``name`` with FLEX keys in [lo, hi)."""
+        low_key = (name,) if lo is None else (name, lo)
+        high_key = _upper_bound(name) if hi is None else (name, hi)
+        return self.tree.range_count(
+            low_key, high_key, inclusive_lo=lo is None or inclusive_lo
+        )
+
+    def scan(
+        self,
+        name: str,
+        lo: FlexKey | None = None,
+        hi: FlexKey | None = None,
+        inclusive_lo: bool = True,
+        reverse: bool = False,
+    ) -> Iterator[tuple[FlexKey, NodeKind]]:
+        """All keys for ``name`` within [lo, hi), forward or reverse."""
+        low_key = (name,) if lo is None else (name, lo)
+        high_key = _upper_bound(name) if hi is None else (name, hi)
+        scan = self.tree.scan_reverse if reverse else self.tree.scan
+        for (_name, key), kind in scan(low_key, high_key, inclusive_lo, False):
+            yield key, kind
+
+    def first(self, name: str, at_or_after: FlexKey | None = None) -> FlexKey | None:
+        """Seek the first key for ``name`` at/after a FLEX key (or None)."""
+        for key, _kind in self.scan(name, lo=at_or_after):
+            return key
+        return None
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+
+class ValueIndex:
+    """(text value, FLEX key) → node kind, for text and attribute nodes."""
+
+    def __init__(self, manager: PageManager, buffer_pool: BufferPool):
+        self.tree = BPlusTree(manager, buffer_pool, entry_bytes=72)
+
+    def bulk_load(self, entries: list[tuple[str, FlexKey, NodeKind]]) -> None:
+        self.tree.bulk_load([((value, key), kind) for value, key, kind in entries])
+
+    def insert(self, value: str, key: FlexKey, kind: NodeKind) -> None:
+        self.tree.insert((value, key), kind)
+
+    def delete(self, value: str, key: FlexKey) -> bool:
+        return self.tree.delete((value, key))
+
+    def text_count(self, value: str) -> int:
+        """TC(value): exact occurrence count — O(log n), index-only."""
+        return self.tree.range_count((value,), _upper_bound(value))
+
+    def scan(
+        self,
+        value: str,
+        lo: FlexKey | None = None,
+        hi: FlexKey | None = None,
+        reverse: bool = False,
+    ) -> Iterator[tuple[FlexKey, NodeKind]]:
+        low_key = (value,) if lo is None else (value, lo)
+        high_key = _upper_bound(value) if hi is None else (value, hi)
+        scan = self.tree.scan_reverse if reverse else self.tree.scan
+        for (_value, key), kind in scan(low_key, high_key, True, False):
+            yield key, kind
+
+    def scan_value_range(
+        self, low_value: str | None, high_value: str | None, inclusive: bool = True
+    ) -> Iterator[tuple[str, FlexKey, NodeKind]]:
+        """Entries for values in a string range (supports range predicates)."""
+        lo = None if low_value is None else (low_value,)
+        hi = None if high_value is None else _upper_bound(high_value) if inclusive else (high_value,)
+        for (value, key), kind in self.tree.scan(lo, hi):
+            yield value, key, kind
+
+    def count_value_range(
+        self, low_value: str | None, high_value: str | None, inclusive: bool = True
+    ) -> int:
+        lo = None if low_value is None else (low_value,)
+        hi = None if high_value is None else _upper_bound(high_value) if inclusive else (high_value,)
+        return self.tree.range_count(lo, hi)
+
+    def __len__(self) -> int:
+        return len(self.tree)

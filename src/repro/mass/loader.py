@@ -1,0 +1,112 @@
+"""Streaming document loader: XML events → a bulk-loaded MASS store.
+
+The loader walks the event stream once with O(depth) transient state,
+assigning FLEX keys as it goes (attributes first, then content children,
+matching document order), and bulk-loads the three indexes at the end.
+This mirrors the MASS loader of Figure 2 and is how multi-gigabyte
+documents would be ingested without ever holding a tree in memory — only
+the flat record list, which is what the indexes store anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.mass.flexkey import FlexKey
+from repro.mass.records import NodeKind, NodeRecord
+from repro.mass.store import MassStore
+from repro.xmlkit.events import (
+    Characters,
+    Comment,
+    EndElement,
+    ProcessingInstruction,
+    StartElement,
+    XmlEvent,
+)
+from repro.xmlkit.parser import parse_events
+
+
+def load_events(events: Iterable[XmlEvent], name: str = "document", **store_options) -> MassStore:
+    """Index an event stream into a fresh :class:`MassStore`."""
+    records: list[NodeRecord] = [NodeRecord(FlexKey.document(), NodeKind.DOCUMENT)]
+    # Stack of (element key, next child ordinal).
+    stack: list[tuple[FlexKey, int]] = [(FlexKey.document(), 0)]
+    pending_text: list[str] = []
+
+    def flush_text() -> None:
+        if not pending_text:
+            return
+        text = "".join(pending_text)
+        pending_text.clear()
+        parent_key, ordinal = stack[-1]
+        records.append(NodeRecord(parent_key.child(ordinal), NodeKind.TEXT, value=text))
+        stack[-1] = (parent_key, ordinal + 1)
+
+    for event in events:
+        if isinstance(event, Characters):
+            # Adjacent character events merge into one text node.
+            pending_text.append(event.text)
+            continue
+        flush_text()
+        parent_key, ordinal = stack[-1]
+        if isinstance(event, StartElement):
+            key = parent_key.child(ordinal)
+            stack[-1] = (parent_key, ordinal + 1)
+            records.append(NodeRecord(key, NodeKind.ELEMENT, name=event.name))
+            attr_ordinal = 0
+            for attr_name, attr_value in event.attributes:
+                if attr_name == "xmlns" or attr_name.startswith("xmlns:"):
+                    prefix = "" if attr_name == "xmlns" else attr_name.split(":", 1)[1]
+                    records.append(
+                        NodeRecord(
+                            key.child(attr_ordinal),
+                            NodeKind.NAMESPACE,
+                            name=prefix,
+                            value=attr_value,
+                        )
+                    )
+                else:
+                    records.append(
+                        NodeRecord(
+                            key.child(attr_ordinal),
+                            NodeKind.ATTRIBUTE,
+                            name=attr_name,
+                            value=attr_value,
+                        )
+                    )
+                attr_ordinal += 1
+            stack.append((key, attr_ordinal))
+        elif isinstance(event, EndElement):
+            stack.pop()
+        elif isinstance(event, Comment):
+            records.append(
+                NodeRecord(parent_key.child(ordinal), NodeKind.COMMENT, value=event.text)
+            )
+            stack[-1] = (parent_key, ordinal + 1)
+        elif isinstance(event, ProcessingInstruction):
+            records.append(
+                NodeRecord(
+                    parent_key.child(ordinal),
+                    NodeKind.PROCESSING_INSTRUCTION,
+                    name=event.target,
+                    value=event.data,
+                )
+            )
+            stack[-1] = (parent_key, ordinal + 1)
+    flush_text()
+
+    store = MassStore(name=name, **store_options)
+    store.bulk_load(records)
+    return store
+
+
+def load_xml(text: str, name: str = "document", **store_options) -> MassStore:
+    """Parse and index an XML document string."""
+    return load_events(parse_events(text), name=name, **store_options)
+
+
+def load_document(path: str, **store_options) -> MassStore:
+    """Parse and index an XML file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return load_xml(text, name=path, **store_options)

@@ -1,0 +1,120 @@
+"""On-disk persistence for MASS stores.
+
+A real MASS instance lives on disk; this module gives the reproduction the
+same workflow — index once, reopen instantly — with a compact custom
+binary format (no pickle: the format is versioned, endian-stable and
+readable by any implementation).
+
+Layout (little-endian):
+
+.. code-block:: text
+
+    header    magic "MASS" | u16 version | u32 record count | u16 name len
+              | document name (utf-8)
+    records   per node:
+                u8   kind tag
+                u8   key depth, then per component: u8 part count,
+                     u32 parts...
+                u16  name length  | utf-8 bytes
+                u32  value length | utf-8 bytes
+    footer    u32 adler32 of everything after the magic
+
+Indexes are rebuilt via bulk load on open — they are derived data, and
+bulk loading is a single sorted pass (the file stores records in document
+order, which is exactly bulk-load order).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from repro.errors import StorageError
+from repro.mass.flexkey import FlexKey
+from repro.mass.records import NodeKind, NodeRecord
+from repro.mass.store import MassStore
+
+MAGIC = b"MASS"
+VERSION = 1
+
+_KIND_TAGS = {kind: index for index, kind in enumerate(NodeKind)}
+_KINDS_BY_TAG = {index: kind for kind, index in _KIND_TAGS.items()}
+
+
+def _read_key(data: memoryview, offset: int) -> tuple[FlexKey, int]:
+    depth = data[offset]
+    offset += 1
+    components = []
+    for _ in range(depth):
+        count = data[offset]
+        offset += 1
+        parts = struct.unpack_from(f"<{count}I", data, offset)
+        offset += 4 * count
+        components.append(tuple(parts))
+    return FlexKey(tuple(components)), offset
+
+
+def save_store(store: MassStore, path: str) -> int:
+    """Write the store to ``path``; returns bytes written."""
+    records = list(store.node_index.scan(None, None))
+    checksum = zlib.adler32(b"")
+    with open(path, "wb") as out:
+        out.write(MAGIC)
+        body: list[bytes] = []
+        name_bytes = store.name.encode("utf-8")
+        body.append(struct.pack("<HIH", VERSION, len(records), len(name_bytes)))
+        body.append(name_bytes)
+        for record in records:
+            chunks = [struct.pack("<B", _KIND_TAGS[record.kind])]
+            chunks.append(struct.pack("<B", record.key.depth))
+            for component in record.key.components:
+                chunks.append(struct.pack("<B", len(component)))
+                chunks.append(struct.pack(f"<{len(component)}I", *component))
+            record_name = record.name.encode("utf-8")
+            record_value = record.value.encode("utf-8")
+            chunks.append(struct.pack("<H", len(record_name)))
+            chunks.append(record_name)
+            chunks.append(struct.pack("<I", len(record_value)))
+            chunks.append(record_value)
+            body.append(b"".join(chunks))
+        blob = b"".join(body)
+        checksum = zlib.adler32(blob)
+        out.write(blob)
+        out.write(struct.pack("<I", checksum))
+        return out.tell()
+
+
+def open_store(path: str, **store_options) -> MassStore:
+    """Open a store file written by :func:`save_store`."""
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    if len(raw) < 14 or raw[:4] != MAGIC:
+        raise StorageError(f"{path}: not a MASS store file")
+    body = memoryview(raw)[4:-4]
+    (stored_checksum,) = struct.unpack_from("<I", raw, len(raw) - 4)
+    if zlib.adler32(bytes(body)) != stored_checksum:
+        raise StorageError(f"{path}: checksum mismatch (corrupt file)")
+    version, record_count, name_length = struct.unpack_from("<HIH", body, 0)
+    if version != VERSION:
+        raise StorageError(f"{path}: unsupported version {version}")
+    offset = 8
+    document_name = bytes(body[offset : offset + name_length]).decode("utf-8")
+    offset += name_length
+    records: list[NodeRecord] = []
+    for _ in range(record_count):
+        kind = _KINDS_BY_TAG.get(body[offset])
+        if kind is None:
+            raise StorageError(f"{path}: invalid node kind tag {body[offset]}")
+        offset += 1
+        key, offset = _read_key(body, offset)
+        (name_size,) = struct.unpack_from("<H", body, offset)
+        offset += 2
+        name = bytes(body[offset : offset + name_size]).decode("utf-8")
+        offset += name_size
+        (value_size,) = struct.unpack_from("<I", body, offset)
+        offset += 4
+        value = bytes(body[offset : offset + value_size]).decode("utf-8")
+        offset += value_size
+        records.append(NodeRecord(key, kind, name=name, value=value))
+    store = MassStore(name=document_name, **store_options)
+    store.bulk_load(records)
+    return store

@@ -1,0 +1,91 @@
+"""Node records — the unit of storage in MASS.
+
+Every XML node (document, element, attribute, text, comment, processing
+instruction, namespace declaration) is stored as one :class:`NodeRecord`
+keyed by its FLEX key.  VAMANA operators pass FLEX keys between each other
+and only materialise records when a node test, value comparison or final
+result requires it — record fetches are therefore counted separately from
+index seeks by the metrics layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.mass.flexkey import FlexKey
+
+
+class NodeKind(Enum):
+    """The seven node kinds of the XPath 1.0 data model."""
+
+    DOCUMENT = "document"
+    ELEMENT = "element"
+    ATTRIBUTE = "attribute"
+    TEXT = "text"
+    COMMENT = "comment"
+    PROCESSING_INSTRUCTION = "processing-instruction"
+    NAMESPACE = "namespace"
+
+
+#: Node kinds that take part in the *principal node type* of most axes.
+PRINCIPAL_KINDS = frozenset({NodeKind.ELEMENT})
+
+
+@dataclass(frozen=True, slots=True)
+class NodeRecord:
+    """One stored XML node.
+
+    ``name`` is the element/attribute/PI name (empty for text, comment and
+    document nodes).  ``value`` is the text content for text nodes, the
+    attribute value for attributes, and the data for comments/PIs.
+    """
+
+    key: FlexKey
+    kind: NodeKind
+    name: str = ""
+    value: str = ""
+
+    @property
+    def depth(self) -> int:
+        return self.key.depth
+
+    def matches_name(self, name_test: str) -> bool:
+        """True if this record satisfies a name test (``*`` matches any)."""
+        if name_test == "*":
+            return self.kind in (NodeKind.ELEMENT, NodeKind.ATTRIBUTE)
+        return self.name == name_test
+
+    def storage_size(self) -> int:
+        """Approximate on-page size in bytes, used by the page model.
+
+        Key components cost four bytes per integer plus one per component;
+        strings are stored UTF-8 with a two-byte length prefix; a fixed
+        header covers kind and slot bookkeeping.
+        """
+        key_size = sum(1 + 4 * len(component) for component in self.key.components)
+        name_size = 2 + len(self.name.encode("utf-8"))
+        value_size = 2 + len(self.value.encode("utf-8"))
+        return 4 + key_size + name_size + value_size
+
+    def label(self) -> str:
+        """Short human-readable form used by traces and explain output."""
+        if self.kind is NodeKind.ELEMENT:
+            return f"<{self.name}> [{self.key.pretty()}]"
+        if self.kind is NodeKind.ATTRIBUTE:
+            return f"@{self.name}={self.value!r} [{self.key.pretty()}]"
+        if self.kind is NodeKind.TEXT:
+            text = self.value if len(self.value) <= 24 else self.value[:21] + "..."
+            return f"text({text!r}) [{self.key.pretty()}]"
+        if self.kind is NodeKind.DOCUMENT:
+            return "document()"
+        return f"{self.kind.value}({self.name}) [{self.key.pretty()}]"
+
+
+@dataclass(slots=True)
+class StringEntry:
+    """Aggregated per-string statistics kept by the value index."""
+
+    value: str
+    occurrences: int = 0
+    keys: list[FlexKey] = field(default_factory=list)

@@ -1,0 +1,85 @@
+"""Reconstructing XML text from the store.
+
+MASS stores a document as flat keyed records; this module walks a subtree
+key range once (one sequential leaf scan) and re-emits markup.  Used by
+``QueryResult.to_xml()`` and by the round-trip tests that prove the store
+preserves full document fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mass.flexkey import FlexKey
+from repro.mass.records import NodeKind, NodeRecord
+from repro.model import Axis, NodeTest
+from repro.xmlkit.serializer import escape_attribute, escape_text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mass.store import MassStore
+
+
+def serialize_subtree(store: "MassStore", key: FlexKey) -> str:
+    """Serialize the node at ``key`` (and its subtree) back to XML text.
+
+    Attribute order, text content, comments and processing instructions
+    are preserved; the output re-parses to an identical store.
+    """
+    root = store.require(key)
+    if root.kind is NodeKind.DOCUMENT:
+        pieces: list[str] = []
+        for child_key, _record in store.axis(key, Axis.CHILD, NodeTest.node()):
+            pieces.append(serialize_subtree(store, child_key))
+        return "".join(pieces)
+    if root.kind in (NodeKind.ATTRIBUTE, NodeKind.NAMESPACE):
+        # an attribute has no XML-fragment form of its own; follow the
+        # XQuery serialization convention and emit its string value
+        return root.value
+    records = [root]
+    if root.kind is NodeKind.ELEMENT:
+        lo, hi = key, key.subtree_upper_bound()
+        records.extend(store.node_index.scan(lo, hi, inclusive_lo=False))
+    return _render(records)
+
+
+def _render(records: list[NodeRecord]) -> str:
+    pieces: list[str] = []
+    open_stack: list[tuple[NodeRecord, bool]] = []  # (element, tag closed?)
+
+    def close_deeper_than(depth: int) -> None:
+        while open_stack and open_stack[-1][0].depth >= depth:
+            element, closed = open_stack.pop()
+            if not closed:
+                pieces.append("/>")
+            else:
+                pieces.append(f"</{element.name}>")
+
+    def ensure_tag_closed() -> None:
+        if open_stack and not open_stack[-1][1]:
+            element, _ = open_stack[-1]
+            open_stack[-1] = (element, True)
+            pieces.append(">")
+
+    for record in records:
+        if record.kind is NodeKind.ATTRIBUTE:
+            # attributes belong to the still-open start tag
+            pieces.append(f' {record.name}="{escape_attribute(record.value)}"')
+            continue
+        if record.kind is NodeKind.NAMESPACE:
+            name = "xmlns" if not record.name else f"xmlns:{record.name}"
+            pieces.append(f' {name}="{escape_attribute(record.value)}"')
+            continue
+        close_deeper_than(record.depth)
+        ensure_tag_closed()
+        if record.kind is NodeKind.ELEMENT:
+            pieces.append(f"<{record.name}")
+            open_stack.append((record, False))
+        elif record.kind is NodeKind.TEXT:
+            pieces.append(escape_text(record.value))
+        elif record.kind is NodeKind.COMMENT:
+            pieces.append(f"<!--{record.value}-->")
+        elif record.kind is NodeKind.PROCESSING_INSTRUCTION:
+            data = f" {record.value}" if record.value else ""
+            pieces.append(f"<?{record.name}{data}?>")
+    close_deeper_than(0)
+    return "".join(pieces)

@@ -1,0 +1,98 @@
+"""Store statistics — the numbers the VAMANA cost model reads.
+
+Unlike histogram approaches (Timber's position histograms, StatiX), MASS
+derives statistics *from the indexes themselves* at query time: counts are
+O(log n) range counts on the counted B+-trees, so they are exact and stay
+exact under inserts and deletes with zero maintenance — the property the
+paper leans on for "cost accuracy is not affected by updates".
+
+:class:`StoreStatistics` is a snapshot object for reporting; the live
+queries (`count`, `text_count`, scoped variants) go through
+:class:`~repro.mass.store.MassStore` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mass.records import NodeKind
+
+
+@dataclass(frozen=True)
+class StoreStatistics:
+    """A point-in-time summary of one document store."""
+
+    total_nodes: int
+    nodes_by_kind: dict[NodeKind, int]
+    distinct_names: int
+    distinct_values: int
+    pages: int
+    page_size: int
+    node_index_height: int
+    name_index_height: int
+    value_index_height: int
+
+    @property
+    def elements(self) -> int:
+        return self.nodes_by_kind.get(NodeKind.ELEMENT, 0)
+
+    @property
+    def attributes(self) -> int:
+        return self.nodes_by_kind.get(NodeKind.ATTRIBUTE, 0)
+
+    @property
+    def text_nodes(self) -> int:
+        return self.nodes_by_kind.get(NodeKind.TEXT, 0)
+
+    @property
+    def tuples_per_page(self) -> float:
+        """Average node records per page — one of the MASS-provided figures."""
+        return self.total_nodes / self.pages if self.pages else 0.0
+
+    def describe(self) -> str:
+        lines = [
+            f"nodes            {self.total_nodes}",
+            f"  elements       {self.elements}",
+            f"  attributes     {self.attributes}",
+            f"  text           {self.text_nodes}",
+            f"distinct names   {self.distinct_names}",
+            f"distinct values  {self.distinct_values}",
+            f"pages            {self.pages} x {self.page_size}B "
+            f"({self.tuples_per_page:.1f} tuples/page)",
+            f"index heights    node={self.node_index_height} "
+            f"name={self.name_index_height} value={self.value_index_height}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class StoreMetrics:
+    """Cumulative per-store work counters, resettable per query.
+
+    These are the machine-independent cost measures the benchmark harness
+    reports next to wall time: a plan that fetches fewer records and
+    touches fewer pages is cheaper on any hardware.
+    """
+
+    record_fetches: int = 0
+    axis_requests: int = 0
+    count_calls: int = 0
+    value_lookups: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.record_fetches = 0
+        self.axis_requests = 0
+        self.count_calls = 0
+        self.value_lookups = 0
+        self.extra.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        data = {
+            "record_fetches": self.record_fetches,
+            "axis_requests": self.axis_requests,
+            "count_calls": self.count_calls,
+            "value_lookups": self.value_lookups,
+        }
+        data.update(self.extra)
+        return data

@@ -1,0 +1,341 @@
+"""The MASS store facade.
+
+One :class:`MassStore` holds one indexed XML document (a database holding
+many documents is a collection of stores managed at the engine layer).  It
+owns the page manager, buffer pool and the three clustered indexes, and
+exposes exactly the operations the paper attributes to MASS:
+
+* index-based iteration of *all 13 axes* from any context node,
+* value-based lookups in one index probe,
+* exact counts for node tests and text values — globally, per document, or
+  scoped to any subtree — computed on the index level without touching
+  data, and
+* node-level updates (insert/delete) that keep every index and therefore
+  every statistic exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.mass.axes import AxisHit, axis_count_upper, axis_iter
+from repro.mass.flexkey import FlexKey
+from repro.mass.indexes import NameIndex, NodeIndex, ValueIndex, index_name_for
+from repro.mass.pages import BufferPool, PageManager
+from repro.mass.records import NodeKind, NodeRecord
+from repro.mass.stats import StoreMetrics, StoreStatistics
+from repro.model import Axis, NodeTest, NodeTestKind
+
+
+class MassStore:
+    """An indexed XML document: three counted B+-trees over FLEX keys."""
+
+    def __init__(
+        self,
+        name: str = "document",
+        page_size: int = 4096,
+        buffer_capacity: int | None = 4096,
+    ):
+        self.name = name
+        self.pages = PageManager(page_size)
+        self.buffer = BufferPool(self.pages, capacity=buffer_capacity)
+        self.node_index = NodeIndex(self.pages, self.buffer)
+        self.name_index = NameIndex(self.pages, self.buffer)
+        self.value_index = ValueIndex(self.pages, self.buffer)
+        self.metrics = StoreMetrics()
+
+    # -- loading ------------------------------------------------------------
+
+    def bulk_load(self, records: list[NodeRecord]) -> None:
+        """Load a complete document from key-sorted node records."""
+        for earlier, later in zip(records, records[1:]):
+            if not earlier.key < later.key:
+                raise StorageError("records not in document order")
+        self.node_index.bulk_load(records)
+        name_entries = []
+        value_entries = []
+        for record in records:
+            index_name = index_name_for(record.kind, record.name)
+            if index_name is not None:
+                name_entries.append((index_name, record.key, record.kind))
+            if record.kind in (NodeKind.TEXT, NodeKind.ATTRIBUTE) and record.value:
+                value_entries.append((record.value, record.key, record.kind))
+        name_entries.sort(key=lambda entry: (entry[0], entry[1]))
+        value_entries.sort(key=lambda entry: (entry[0], entry[1]))
+        self.name_index.bulk_load(name_entries)
+        self.value_index.bulk_load(value_entries)
+
+    # -- node access ----------------------------------------------------------
+
+    def fetch(self, key: FlexKey) -> NodeRecord | None:
+        """Materialise one node record (counted as a data fetch)."""
+        self.metrics.record_fetches += 1
+        return self.node_index.get(key)
+
+    def require(self, key: FlexKey) -> NodeRecord:
+        record = self.fetch(key)
+        if record is None:
+            raise StorageError(f"no node with key {key.pretty()}")
+        return record
+
+    def document_record(self) -> NodeRecord:
+        return self.require(FlexKey.document())
+
+    def root_element(self) -> NodeRecord:
+        """The document element's record."""
+        for _key, record in self.axis(FlexKey.document(), Axis.CHILD, NodeTest.name_test("*")):
+            if record is not None and record.kind is NodeKind.ELEMENT:
+                return record
+        raise StorageError("store has no document element")
+
+    # -- axes -------------------------------------------------------------------
+
+    def axis(
+        self, context: FlexKey, axis: Axis, test: NodeTest
+    ) -> Iterator[AxisHit]:
+        """Iterate ``axis::test`` from ``context`` (see :mod:`repro.mass.axes`)."""
+        self.metrics.axis_requests += 1
+        return axis_iter(self, context, axis, test)
+
+    def axis_records(
+        self, context: FlexKey, axis: Axis, test: NodeTest
+    ) -> Iterator[NodeRecord]:
+        """Axis iteration that always materialises records."""
+        for key, record in self.axis(context, axis, test):
+            yield record if record is not None else self.require(key)
+
+    def axis_count(self, context: FlexKey, axis: Axis, test: NodeTest) -> int | None:
+        """Index-only count (upper bound) for one axis step, if available."""
+        self.metrics.count_calls += 1
+        return axis_count_upper(self, context, axis, test)
+
+    # -- statistics (the cost model's API) ----------------------------------------
+
+    def count(self, test: NodeTest, principal: NodeKind = NodeKind.ELEMENT) -> int:
+        """COUNT(nodetest): document-wide matches, index-only.
+
+        This is the number Figure 6 annotates on every step operator
+        (e.g. COUNT(name) = 4825 on the paper's 10 MB document).
+        """
+        self.metrics.count_calls += 1
+        if test.kind is NodeTestKind.NAME:
+            prefix = "@" + test.name if principal is NodeKind.ATTRIBUTE else test.name
+            return self.name_index.count(prefix)
+        if test.kind is NodeTestKind.TEXT:
+            return self.name_index.count("#text")
+        if test.kind is NodeTestKind.COMMENT:
+            return self.name_index.count("#comment")
+        if test.kind is NodeTestKind.PROCESSING_INSTRUCTION and test.name:
+            return self.name_index.count("?" + test.name)
+        if test.kind is NodeTestKind.NODE:
+            return len(self.node_index)
+        # '*' or targetless processing-instruction(): derive from the node
+        # index via kind bookkeeping (scan-free: counts are maintained).
+        return self._kind_count(
+            NodeKind.ELEMENT if test.kind is NodeTestKind.ANY else
+            NodeKind.PROCESSING_INSTRUCTION
+        )
+
+    def count_under(self, context: FlexKey, test: NodeTest) -> int:
+        """COUNT scoped to one subtree — "specific to a point within one
+        document" in the paper's terms."""
+        self.metrics.count_calls += 1
+        count = self.axis_count(context, Axis.DESCENDANT, test)
+        if count is not None:
+            return count
+        lo = context
+        hi = None if context.is_document() else context.subtree_upper_bound()
+        total = 0
+        for record in self.node_index.scan(lo, hi, inclusive_lo=False):
+            if test.matches(record.kind, record.name, NodeKind.ELEMENT):
+                total += 1
+        return total
+
+    def text_count(self, value: str) -> int:
+        """TC(value): exact occurrences of a text value, one index probe."""
+        self.metrics.count_calls += 1
+        return self.value_index.text_count(value)
+
+    def value_keys(
+        self, value: str, reverse: bool = False
+    ) -> Iterator[tuple[FlexKey, NodeKind]]:
+        """Keys of text/attribute nodes carrying ``value`` (document order)."""
+        self.metrics.value_lookups += 1
+        return self.value_index.scan(value, reverse=reverse)
+
+    def _kind_count(self, kind: NodeKind) -> int:
+        if kind is NodeKind.ELEMENT:
+            # Elements = all name-index entries minus the reserved
+            # namespaces: '#text'/'#comment', '?target' (PIs) and '@name'
+            # (attributes).  '?' and '@' sort just below 'A', so one range
+            # count covers both prefixes (element names start with a letter
+            # or underscore, which sort above 'A').
+            reserved = (
+                self.name_index.count("#text")
+                + self.name_index.count("#comment")
+            )
+            prefixed = self.name_index.tree.range_count(("?",), ("A",))
+            return len(self.name_index) - reserved - prefixed
+        total = 0
+        for record in self.node_index.scan(None, None):
+            if record.kind is kind:
+                total += 1
+        return total
+
+    # -- content helpers ------------------------------------------------------------
+
+    def string_value(self, key: FlexKey) -> str:
+        """The XPath string-value of the node at ``key``."""
+        record = self.require(key)
+        if record.kind in (
+            NodeKind.TEXT,
+            NodeKind.ATTRIBUTE,
+            NodeKind.COMMENT,
+            NodeKind.PROCESSING_INSTRUCTION,
+        ):
+            return record.value
+        pieces = []
+        for text_key, _kind in self.name_index.scan(
+            "#text",
+            lo=key,
+            hi=None if key.is_document() else key.subtree_upper_bound(),
+            inclusive_lo=False,
+        ):
+            pieces.append(self.require(text_key).value)
+        return "".join(pieces)
+
+    def serialize_subtree(self, key: FlexKey) -> str:
+        """Re-emit the XML text of the subtree rooted at ``key``."""
+        from repro.mass.serialize import serialize_subtree
+
+        return serialize_subtree(self, key)
+
+    # -- updates -----------------------------------------------------------------------
+
+    def insert_record(self, record: NodeRecord) -> None:
+        """Insert one node; all three indexes (and thus statistics) update."""
+        if self.node_index.get(record.key) is not None:
+            raise StorageError(f"key {record.key.pretty()} already stored")
+        parent = record.key.parent()
+        if parent is not None and self.node_index.get(parent) is None:
+            raise StorageError(f"parent {parent.pretty()} not stored")
+        self.node_index.insert(record)
+        index_name = index_name_for(record.kind, record.name)
+        if index_name is not None:
+            self.name_index.insert(index_name, record.key, record.kind)
+        if record.kind in (NodeKind.TEXT, NodeKind.ATTRIBUTE) and record.value:
+            self.value_index.insert(record.value, record.key, record.kind)
+
+    def insert_element(
+        self,
+        parent: FlexKey,
+        name: str,
+        text: str = "",
+        after: FlexKey | None = None,
+    ) -> FlexKey:
+        """Insert ``<name>text</name>`` under ``parent``.
+
+        Placed after sibling ``after`` if given, else appended as the last
+        child.  Returns the new element's key.  Demonstrates the no-relabel
+        update path: only the new keys are written.
+        """
+        if after is not None:
+            if after.parent() != parent:
+                raise StorageError("'after' is not a child of 'parent'")
+            next_sibling = self._next_sibling_key(after)
+            key = after.sibling_between(next_sibling) if next_sibling else after.sibling_after()
+        else:
+            last = self._last_child_key(parent)
+            key = last.sibling_after() if last is not None else parent.child(0)
+        self.insert_record(NodeRecord(key, NodeKind.ELEMENT, name=name))
+        if text:
+            self.insert_record(NodeRecord(key.child(0), NodeKind.TEXT, value=text))
+        return key
+
+    def delete_subtree(self, key: FlexKey) -> int:
+        """Delete the node at ``key`` and everything below it."""
+        doomed = [self.require(key)]
+        lo, hi = key, key.subtree_upper_bound()
+        doomed.extend(self.node_index.scan(lo, hi, inclusive_lo=False))
+        for record in doomed:
+            self.node_index.delete(record.key)
+            index_name = index_name_for(record.kind, record.name)
+            if index_name is not None:
+                self.name_index.delete(index_name, record.key)
+            if record.kind in (NodeKind.TEXT, NodeKind.ATTRIBUTE) and record.value:
+                self.value_index.delete(record.value, record.key)
+        return len(doomed)
+
+    def _last_child_key(self, parent: FlexKey) -> FlexKey | None:
+        last = None
+        lo = parent
+        hi = None if parent.is_document() else parent.subtree_upper_bound()
+        for record in self.node_index.scan(lo, hi, inclusive_lo=False):
+            if record.key.depth == parent.depth + 1:
+                last = record.key
+        return last
+
+    def _next_sibling_key(self, key: FlexKey) -> FlexKey | None:
+        parent = key.parent()
+        if parent is None:
+            return None
+        lo = key.subtree_upper_bound()
+        hi = None if parent.is_document() else parent.subtree_upper_bound()
+        for record in self.node_index.scan(lo, hi):
+            if record.key.depth == key.depth:
+                return record.key
+        return None
+
+    # -- reporting ------------------------------------------------------------------------
+
+    def statistics(self) -> StoreStatistics:
+        by_kind: dict[NodeKind, int] = {}
+        for record in self.node_index.scan(None, None):
+            by_kind[record.kind] = by_kind.get(record.kind, 0) + 1
+        names = {name for (name, _key), _ in self.name_index.tree.items()}
+        values = {value for (value, _key), _ in self.value_index.tree.items()}
+        return StoreStatistics(
+            total_nodes=len(self.node_index),
+            nodes_by_kind=by_kind,
+            distinct_names=len(names),
+            distinct_values=len(values),
+            pages=self.pages.live_pages,
+            page_size=self.pages.page_size,
+            node_index_height=self.node_index.tree.height(),
+            name_index_height=self.name_index.tree.height(),
+            value_index_height=self.value_index.tree.height(),
+        )
+
+    def reset_metrics(self) -> None:
+        """Zero all per-query counters (store, pages, buffer, trees)."""
+        self.metrics.reset()
+        self.pages.stats.reset_io()
+        self.buffer.stats.reset()
+        for tree in (self.node_index.tree, self.name_index.tree, self.value_index.tree):
+            tree.metrics.reset()
+
+    def io_snapshot(self) -> dict[str, int]:
+        """All work counters in one dict (for benchmark reporting)."""
+        data = self.metrics.snapshot()
+        data.update(
+            {
+                "pages_read": self.pages.stats.physical_reads,
+                "logical_reads": self.pages.stats.logical_reads,
+                "buffer_hits": self.buffer.stats.hits,
+                "key_comparisons": (
+                    self.node_index.tree.metrics.key_comparisons
+                    + self.name_index.tree.metrics.key_comparisons
+                    + self.value_index.tree.metrics.key_comparisons
+                ),
+                "entries_scanned": (
+                    self.node_index.tree.metrics.entries_scanned
+                    + self.name_index.tree.metrics.entries_scanned
+                    + self.value_index.tree.metrics.entries_scanned
+                ),
+            }
+        )
+        return data
+
+    def __repr__(self) -> str:
+        return f"<MassStore {self.name!r}: {len(self.node_index)} nodes>"

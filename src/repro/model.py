@@ -1,0 +1,149 @@
+"""Shared query-model vocabulary: the 13 XPath axes and node tests.
+
+Both the storage layer (which turns axes into key ranges) and the XPath
+compiler (which parses them) speak this vocabulary, so it lives above both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.mass.records import NodeKind
+
+
+class Axis(Enum):
+    """All 13 axes of the XPath 1.0 specification."""
+
+    ANCESTOR = "ancestor"
+    ANCESTOR_OR_SELF = "ancestor-or-self"
+    ATTRIBUTE = "attribute"
+    CHILD = "child"
+    DESCENDANT = "descendant"
+    DESCENDANT_OR_SELF = "descendant-or-self"
+    FOLLOWING = "following"
+    FOLLOWING_SIBLING = "following-sibling"
+    NAMESPACE = "namespace"
+    PARENT = "parent"
+    PRECEDING = "preceding"
+    PRECEDING_SIBLING = "preceding-sibling"
+    SELF = "self"
+
+    @property
+    def is_reverse(self) -> bool:
+        """True for axes that deliver nodes in reverse document order."""
+        return self in _REVERSE_AXES
+
+    @property
+    def principal_kind(self) -> NodeKind:
+        """The principal node type a name test selects on this axis."""
+        if self is Axis.ATTRIBUTE:
+            return NodeKind.ATTRIBUTE
+        if self is Axis.NAMESPACE:
+            return NodeKind.NAMESPACE
+        return NodeKind.ELEMENT
+
+    @property
+    def inverse(self) -> "Axis | None":
+        """The axis navigating the same edge backwards (used by rewrites).
+
+        ``child``/``parent``, ``descendant``/``ancestor`` and the sibling
+        and document-order pairs invert exactly; ``self`` is its own
+        inverse.  ``attribute`` inverts to ``parent`` (an attribute's
+        parent is its owner element).  Axes without a clean inverse
+        (``namespace``, the ``-or-self`` variants) return None.
+        """
+        return _INVERSES.get(self)
+
+
+_REVERSE_AXES = frozenset(
+    {Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF, Axis.PRECEDING, Axis.PRECEDING_SIBLING}
+)
+
+_INVERSES = {
+    Axis.CHILD: Axis.PARENT,
+    Axis.PARENT: Axis.CHILD,
+    Axis.DESCENDANT: Axis.ANCESTOR,
+    Axis.ANCESTOR: Axis.DESCENDANT,
+    Axis.DESCENDANT_OR_SELF: Axis.ANCESTOR_OR_SELF,
+    Axis.ANCESTOR_OR_SELF: Axis.DESCENDANT_OR_SELF,
+    Axis.FOLLOWING: Axis.PRECEDING,
+    Axis.PRECEDING: Axis.FOLLOWING,
+    Axis.FOLLOWING_SIBLING: Axis.PRECEDING_SIBLING,
+    Axis.PRECEDING_SIBLING: Axis.FOLLOWING_SIBLING,
+    Axis.SELF: Axis.SELF,
+    Axis.ATTRIBUTE: Axis.PARENT,
+}
+
+#: Forward axes in document order (everything not reverse; ``self`` counts
+#: as forward).
+FORWARD_AXES = frozenset(axis for axis in Axis if not axis.is_reverse)
+
+
+class NodeTestKind(Enum):
+    """The node-test families of XPath 1.0."""
+
+    NAME = "name"  # foo — principal-kind nodes named foo
+    ANY = "any"  # *   — any principal-kind node
+    TEXT = "text"  # text()
+    NODE = "node"  # node()
+    COMMENT = "comment"  # comment()
+    PROCESSING_INSTRUCTION = "processing-instruction"  # processing-instruction(t?)
+
+
+@dataclass(frozen=True, slots=True)
+class NodeTest:
+    """A node test: a name test or one of the kind tests."""
+
+    kind: NodeTestKind
+    name: str = ""
+
+    @classmethod
+    def name_test(cls, name: str) -> "NodeTest":
+        if name == "*":
+            return cls(NodeTestKind.ANY)
+        return cls(NodeTestKind.NAME, name)
+
+    @classmethod
+    def text(cls) -> "NodeTest":
+        return cls(NodeTestKind.TEXT)
+
+    @classmethod
+    def node(cls) -> "NodeTest":
+        return cls(NodeTestKind.NODE)
+
+    @classmethod
+    def comment(cls) -> "NodeTest":
+        return cls(NodeTestKind.COMMENT)
+
+    @classmethod
+    def processing_instruction(cls, target: str = "") -> "NodeTest":
+        return cls(NodeTestKind.PROCESSING_INSTRUCTION, target)
+
+    def matches(self, kind: NodeKind, name: str, principal: NodeKind) -> bool:
+        """Does a node of ``kind``/``name`` satisfy this test on an axis
+        whose principal node type is ``principal``?"""
+        if self.kind is NodeTestKind.NODE:
+            return True
+        if self.kind is NodeTestKind.TEXT:
+            return kind is NodeKind.TEXT
+        if self.kind is NodeTestKind.COMMENT:
+            return kind is NodeKind.COMMENT
+        if self.kind is NodeTestKind.PROCESSING_INSTRUCTION:
+            if kind is not NodeKind.PROCESSING_INSTRUCTION:
+                return False
+            return not self.name or name == self.name
+        if kind is not principal:
+            return False
+        if self.kind is NodeTestKind.ANY:
+            return True
+        return name == self.name
+
+    def __str__(self) -> str:
+        if self.kind is NodeTestKind.NAME:
+            return self.name
+        if self.kind is NodeTestKind.ANY:
+            return "*"
+        if self.kind is NodeTestKind.PROCESSING_INSTRUCTION and self.name:
+            return f"processing-instruction('{self.name}')"
+        return f"{self.kind.value}()"

@@ -1,0 +1,33 @@
+"""VAMANA's cost-driven, rule-based optimizer (Section VI).
+
+One optimization iteration runs three phases:
+
+1. **expression clean-up** (:mod:`repro.optimizer.cleanup`) — merge
+   ``self`` steps into their context children and collapse the
+   ``descendant-or-self::node()/child::x`` pairs that the ``//``
+   abbreviation produces (Figure 5),
+2. **cost gathering** — the estimator annotates every operator and sorts
+   them by selectivity ratio,
+3. **re-writing** — starting from the most selective operator, try the
+   transformation library; a rewrite is kept only if the re-estimated plan
+   cost strictly drops.
+
+Iterations repeat until no rule improves the plan; because each accepted
+rewrite strictly lowers the integer cost figure, the loop always
+terminates, and the final plan is never estimated worse than the default —
+the paper's "guaranteed to produce a query plan that has the same or
+better execution time".
+"""
+
+from repro.optimizer.optimizer import Optimizer, OptimizationTrace, optimize_plan
+from repro.optimizer.cleanup import cleanup_plan
+from repro.optimizer.rules import DEFAULT_RULES, RewriteRule
+
+__all__ = [
+    "Optimizer",
+    "OptimizationTrace",
+    "optimize_plan",
+    "cleanup_plan",
+    "DEFAULT_RULES",
+    "RewriteRule",
+]

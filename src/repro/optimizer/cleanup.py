@@ -1,0 +1,126 @@
+"""Query clean-up (Section VI-A, Figure 5).
+
+Two normalisations run before every costing pass:
+
+* **self-merge** — ``parent::*/self::person`` becomes ``parent::person``:
+  a ``self`` step is a pure filter, so its node test intersects into its
+  context child and its predicates append to the child's.
+* **descendant collapse** — the parser expands ``//name`` into
+  ``descendant-or-self::node()/child::name``; clean-up rewrites that pair
+  into the single operator ``descendant::name`` (the paper's ``//::name``
+  step).
+
+Both preserve candidate *sets*; they are skipped when positional
+predicates would change meaning.
+"""
+
+from __future__ import annotations
+
+from repro.model import Axis, NodeTest, NodeTestKind
+from repro.algebra.plan import ExistsNode, PathExprNode, PlanNode, QueryPlan, StepNode, UnionNode
+from repro.optimizer.util import has_positional_predicates
+
+
+def intersect_tests(outer: NodeTest, inner: NodeTest) -> NodeTest | None:
+    """The node test matched by both, or None if they cannot be merged.
+
+    ``node()`` is the universal test; ``*`` matches any principal-kind
+    node; two distinct names are contradictory (the merge would be the
+    empty step — clean-up leaves that to execution, which yields nothing
+    either way).
+    """
+    if outer.kind is NodeTestKind.NODE:
+        return inner
+    if inner.kind is NodeTestKind.NODE:
+        return outer
+    if outer.kind is NodeTestKind.ANY and inner.kind in (
+        NodeTestKind.ANY,
+        NodeTestKind.NAME,
+    ):
+        return inner
+    if inner.kind is NodeTestKind.ANY and outer.kind is NodeTestKind.NAME:
+        return outer
+    if outer == inner:
+        return outer
+    return None
+
+
+def cleanup_plan(plan: QueryPlan) -> bool:
+    """Apply clean-up rewrites to a fixpoint; returns True if changed."""
+    changed = False
+    while _cleanup_pass(plan):
+        changed = True
+    if changed:
+        plan.renumber()
+    return changed
+
+
+def _cleanup_pass(plan: QueryPlan) -> bool:
+    """One sweep over every context chain in the plan (predicates too)."""
+    for node in plan.walk():
+        if isinstance(node, UnionNode):
+            for index, branch in enumerate(node.branches):
+                replacement = _rewrite_step(branch)
+                if replacement is not None:
+                    node.branches[index] = replacement
+                    return True
+        elif isinstance(node, PlanNode):
+            if _cleanup_chain(node, "context_child"):
+                return True
+        if isinstance(node, (ExistsNode, PathExprNode)):
+            if _cleanup_chain(node, "path"):
+                return True
+    return False
+
+
+def _rewrite_step(node) -> StepNode | None:
+    if not isinstance(node, StepNode):
+        return None
+    return _merge_self(node) or _collapse_descendant(node)
+
+
+def _cleanup_chain(parent, attribute: str) -> bool:
+    """Try to rewrite the operator held by ``parent.attribute``."""
+    node = getattr(parent, attribute)
+    replacement = _rewrite_step(node)
+    if replacement is not None:
+        setattr(parent, attribute, replacement)
+        return True
+    return False
+
+
+def _merge_self(node: StepNode) -> StepNode | None:
+    """``child.axis::T1 / self::T2``  →  ``child.axis::(T1 ∩ T2)``."""
+    if node.axis is not Axis.SELF:
+        return None
+    child = node.context_child
+    if not isinstance(child, StepNode):
+        return None
+    if has_positional_predicates(node) or has_positional_predicates(child):
+        return None
+    merged_test = intersect_tests(child.test, node.test)
+    if merged_test is None:
+        return None
+    merged = StepNode(child.axis, merged_test, context_child=child.context_child)
+    merged.predicates = list(child.predicates) + list(node.predicates)
+    merged.op_id = child.op_id
+    return merged
+
+
+def _collapse_descendant(node: StepNode) -> StepNode | None:
+    """``descendant-or-self::node() / child::T``  →  ``descendant::T``."""
+    if node.axis is not Axis.CHILD:
+        return None
+    child = node.context_child
+    if not isinstance(child, StepNode):
+        return None
+    if child.axis is not Axis.DESCENDANT_OR_SELF:
+        return None
+    if child.test.kind is not NodeTestKind.NODE:
+        return None
+    if child.predicates or has_positional_predicates(node):
+        return None
+    merged = StepNode(Axis.DESCENDANT, node.test, context_child=child.context_child)
+    merged.predicates = list(node.predicates)
+    merged.op_id = node.op_id
+    return merged

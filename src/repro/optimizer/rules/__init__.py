@@ -1,0 +1,47 @@
+"""The transformation library.
+
+Each rule is an equivalence rewrite over physical plans, adapted from the
+"XPath looking forward" rule set the paper cites, specialised to VAMANA's
+index-centric algebra:
+
+* :class:`ReverseAxisRule` — Figure 8: ``descendant::A/parent::B`` becomes
+  ``descendant::B[child::A]`` (and the ancestor variants), replacing an
+  up-navigation over many tuples with an index-driven scan plus an
+  existence probe.
+* :class:`PredicatePushdownRule` — Figure 11: pushes a selective step to
+  the front of the plan, turning its former context chain into a nested
+  exist predicate (``//person[child::name]/address`` →
+  ``//address[parent::person[child::name]]``).
+* :class:`ValueIndexRule` — Figure 9: turns a ``text() = 'literal'``
+  predicate into a ``value::'literal'`` leaf step over the value index
+  followed by a ``parent`` step.
+* :class:`DuplicateEliminationRule` — the Q2 rewrite:
+  ``//watches/watch/ancestor::person`` becomes
+  ``//watches[watch]/ancestor-or-self::person`` when set semantics allow
+  it, shrinking the tuple stream feeding the ancestor step.
+
+Rules only *propose* plans; the optimizer keeps a proposal when the
+re-estimated cost strictly improves.
+"""
+
+from repro.optimizer.rules.base import RewriteRule
+from repro.optimizer.rules.reverse_axis import ReverseAxisRule
+from repro.optimizer.rules.pushdown import PredicatePushdownRule
+from repro.optimizer.rules.value_index import ValueIndexRule
+from repro.optimizer.rules.duplicate_elim import DuplicateEliminationRule
+
+DEFAULT_RULES: tuple[RewriteRule, ...] = (
+    ValueIndexRule(),
+    ReverseAxisRule(),
+    PredicatePushdownRule(),
+    DuplicateEliminationRule(),
+)
+
+__all__ = [
+    "RewriteRule",
+    "ReverseAxisRule",
+    "PredicatePushdownRule",
+    "ValueIndexRule",
+    "DuplicateEliminationRule",
+    "DEFAULT_RULES",
+]

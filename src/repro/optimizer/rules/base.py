@@ -1,0 +1,29 @@
+"""The rewrite-rule contract."""
+
+from __future__ import annotations
+
+from repro.algebra.plan import PlanBase, QueryPlan
+
+
+class RewriteRule:
+    """One equivalence transformation over physical plans.
+
+    ``matches`` inspects an operator *in place*; ``apply`` receives a
+    *cloned* plan plus the clone's copy of that operator (located by id)
+    and mutates the clone.  Rules never decide profitability — the
+    optimizer re-estimates and compares costs.
+    """
+
+    #: Short identifier used in traces and ablation benchmarks.
+    name: str = "rule"
+    #: Where the paper introduces this rewrite.
+    paper_ref: str = ""
+
+    def matches(self, plan: QueryPlan, node: PlanBase) -> bool:
+        raise NotImplementedError
+
+    def apply(self, plan: QueryPlan, node: PlanBase) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

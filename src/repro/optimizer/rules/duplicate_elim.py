@@ -1,0 +1,66 @@
+"""The duplicate-elimination rewrite (the paper's Q2 example, Section VIII).
+
+Pattern::
+
+    φ(ancestor::B)  ←ctx—  φ(child::A)  ←ctx—  X
+
+rewrites to::
+
+    φ(ancestor-or-self::B)  ←ctx—  X[ ξ( φ(child::A) ) ]
+
+For every child ``a`` of ``x``: ``ancestor(a) = {x} ∪ ancestor(x) =
+ancestor-or-self(x)``, so the rewrite preserves the result *set* exactly
+while the ancestor step now receives one tuple per qualifying ``x``
+instead of one per child — that is how
+``//watches/watch/ancestor::person`` becomes
+``//watches[watch]/ancestor::person`` in the paper.  Because the pipeline
+would otherwise emit one (duplicate) person per watch, the paper applies
+this "only when duplicate elimination is desired"; the optimizer mirrors
+that with its ``distinct_output`` flag.
+"""
+
+from __future__ import annotations
+
+from repro.model import Axis
+from repro.algebra.plan import ExistsNode, PlanBase, QueryPlan, StepNode
+from repro.optimizer.rules.base import RewriteRule
+from repro.optimizer.util import find_by_id, has_positional_predicates, on_context_path
+
+
+class DuplicateEliminationRule(RewriteRule):
+    name = "duplicate-elimination"
+    paper_ref = "Section VIII (Q2 discussion)"
+
+    #: This rewrite changes tuple multiplicity, so it is only valid under
+    #: node-set (distinct) output semantics.
+    requires_distinct = True
+
+    def matches(self, plan: QueryPlan, node: PlanBase) -> bool:
+        if not isinstance(node, StepNode) or node.axis is not Axis.ANCESTOR:
+            return False
+        middle = node.context_child
+        if not isinstance(middle, StepNode) or middle.axis is not Axis.CHILD:
+            return False
+        if middle.context_child is None:
+            return False  # need an X step to carry the exist predicate
+        if not on_context_path(plan, node):
+            return False
+        if not plan.root.distinct:
+            return False
+        if has_positional_predicates(node) or has_positional_predicates(middle):
+            return False
+        return True
+
+    def apply(self, plan: QueryPlan, node: PlanBase) -> None:
+        step = find_by_id(plan, node.op_id)
+        assert isinstance(step, StepNode)
+        middle = step.context_child
+        assert isinstance(middle, StepNode)
+        carrier = middle.context_child
+        assert carrier is not None
+        probe = StepNode(Axis.CHILD, middle.test)
+        probe.predicates = list(middle.predicates)
+        carrier.predicates = carrier.predicates + [ExistsNode(probe)]
+        step.axis = Axis.ANCESTOR_OR_SELF
+        step.context_child = carrier
+        plan.renumber()

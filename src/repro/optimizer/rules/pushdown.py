@@ -1,0 +1,68 @@
+"""Selective-step push-down (Figure 11).
+
+Pattern::
+
+    φ(child::B)  ←ctx—  φ(descendant[-or-self]::A)   (context-path leaf)
+
+rewrites to::
+
+    φ(descendant::B)[ ξ( φ(parent::A)[A's predicates] ) ]
+
+(and the ``descendant::B`` / ``ancestor::A`` variant), making the *most
+selective* node test drive the index scan: ``//person[child::name]/address``
+becomes ``//address[parent::person[child::name]]``, which reads 1256
+addresses instead of 2550 persons on the paper's 10 MB document — the
+"at least 40%" fetch reduction quoted in Section VIII.
+
+Chained paths optimise in multiple optimizer iterations: each application
+leaves a new context-path leaf for the next one.
+"""
+
+from __future__ import annotations
+
+from repro.model import Axis, NodeTestKind
+from repro.algebra.plan import ExistsNode, PlanBase, QueryPlan, StepNode
+from repro.optimizer.rules.base import RewriteRule
+from repro.optimizer.util import find_by_id, has_positional_predicates, on_context_path
+
+_PUSHABLE_AXES = {Axis.CHILD: Axis.PARENT, Axis.DESCENDANT: Axis.ANCESTOR}
+_DOWN_LEAF_AXES = frozenset({Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF})
+
+
+class PredicatePushdownRule(RewriteRule):
+    name = "predicate-pushdown"
+    paper_ref = "Figure 11 (optimized plan of Q1)"
+
+    def matches(self, plan: QueryPlan, node: PlanBase) -> bool:
+        if not isinstance(node, StepNode) or node.axis not in _PUSHABLE_AXES:
+            return False
+        if node.test.kind is NodeTestKind.NODE:
+            return False  # descendant::node() would re-match everything
+        leaf = node.context_child
+        if not isinstance(leaf, StepNode) or leaf.context_child is not None:
+            return False
+        if leaf.axis not in _DOWN_LEAF_AXES:
+            return False
+        if leaf.test.kind is NodeTestKind.NODE:
+            # The inverted probe (parent::node()/ancestor::node()) would
+            # also match the document node, which the original leaf's
+            # descendant axis excluded.
+            return False
+        if not on_context_path(plan, node):
+            return False
+        if has_positional_predicates(node) or has_positional_predicates(leaf):
+            return False
+        return True
+
+    def apply(self, plan: QueryPlan, node: PlanBase) -> None:
+        step = find_by_id(plan, node.op_id)
+        assert isinstance(step, StepNode)
+        leaf = step.context_child
+        assert isinstance(leaf, StepNode)
+        probe_axis = _PUSHABLE_AXES[step.axis]
+        probe = StepNode(probe_axis, leaf.test)
+        probe.predicates = list(leaf.predicates)
+        step.axis = Axis.DESCENDANT
+        step.context_child = None
+        step.predicates = [ExistsNode(probe)] + step.predicates
+        plan.renumber()

@@ -1,0 +1,68 @@
+"""The reverse-axis rewrite (Figure 8).
+
+Pattern::
+
+    φ(up::B)  ←ctx—  φ(descendant[-or-self]::A)   (context-path leaf)
+
+with ``up`` ∈ {parent, ancestor, ancestor-or-self}, rewrites to::
+
+    φ(descendant::B)[ ξ( φ(inverse(up)::A) ) ]    (context-path leaf)
+
+i.e. ``descendant::name/parent::person`` → ``//person[child::name]``.
+The leaf's own predicates travel into the new existence path.
+
+Soundness rests on the leaf's context being the document node: every
+candidate B reachable as an ancestor/parent of a document descendant is
+itself a document descendant (or the document, which only a ``node()``
+test could match — that case keeps ``descendant-or-self``).
+"""
+
+from __future__ import annotations
+
+from repro.model import Axis, NodeTestKind
+from repro.algebra.plan import ExistsNode, PlanBase, QueryPlan, StepNode
+from repro.optimizer.rules.base import RewriteRule
+from repro.optimizer.util import find_by_id, has_positional_predicates, on_context_path
+
+_UP_AXES = frozenset({Axis.PARENT, Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF})
+_DOWN_LEAF_AXES = frozenset({Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF})
+
+
+class ReverseAxisRule(RewriteRule):
+    name = "reverse-axis"
+    paper_ref = "Figure 8 (optimization of Q1)"
+
+    def matches(self, plan: QueryPlan, node: PlanBase) -> bool:
+        if not isinstance(node, StepNode) or node.axis not in _UP_AXES:
+            return False
+        if node.axis.inverse is None:
+            return False
+        leaf = node.context_child
+        if not isinstance(leaf, StepNode) or leaf.context_child is not None:
+            return False
+        if leaf.axis not in _DOWN_LEAF_AXES:
+            return False
+        if not on_context_path(plan, node):
+            return False
+        if has_positional_predicates(node) or has_positional_predicates(leaf):
+            return False
+        return True
+
+    def apply(self, plan: QueryPlan, node: PlanBase) -> None:
+        step = find_by_id(plan, node.op_id)
+        assert isinstance(step, StepNode)
+        leaf = step.context_child
+        assert isinstance(leaf, StepNode)
+        inverse_axis = step.axis.inverse
+        assert inverse_axis is not None
+        probe = StepNode(inverse_axis, leaf.test)
+        probe.predicates = list(leaf.predicates)
+        new_axis = (
+            Axis.DESCENDANT_OR_SELF
+            if step.test.kind is NodeTestKind.NODE
+            else Axis.DESCENDANT
+        )
+        step.axis = new_axis
+        step.context_child = None
+        step.predicates = [ExistsNode(probe)] + step.predicates
+        plan.renumber()

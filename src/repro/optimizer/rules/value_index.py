@@ -1,0 +1,89 @@
+"""The value-index rewrite (Figure 9).
+
+Pattern: a context-path leaf step with a text-equality predicate::
+
+    φ(descendant::B)[ β=( path(child::text()), L'value' ) ]
+
+rewrites to a value-index probe followed by a parent step::
+
+    φ(parent::B)  ←ctx—  φ(value::'value')
+
+The value step reads exactly TC('value') index entries — one lookup — so
+``//name[text()='Yung Flach']`` touches 1 tuple instead of evaluating a
+predicate on all 4825 names.  This is the capability the paper contrasts
+with eXist, which must fall back to memory-based tree traversal for value
+comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.model import Axis, NodeTestKind
+from repro.algebra.plan import (
+    BinaryPredicateNode,
+    LiteralNode,
+    PathExprNode,
+    PlanBase,
+    QueryPlan,
+    StepNode,
+    ValueStepNode,
+)
+from repro.optimizer.rules.base import RewriteRule
+from repro.optimizer.util import find_by_id, is_positional, on_context_path
+
+_DOWN_LEAF_AXES = frozenset({Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF})
+
+
+def _text_equality_literal(predicate) -> str | None:
+    """The literal of a ``text() = 'v'`` predicate, else None."""
+    if not isinstance(predicate, BinaryPredicateNode) or predicate.op != "=":
+        return None
+    sides = (predicate.left, predicate.right)
+    literal = next((side for side in sides if isinstance(side, LiteralNode)), None)
+    path = next((side for side in sides if isinstance(side, PathExprNode)), None)
+    if literal is None or path is None:
+        return None
+    step = path.path
+    if not isinstance(step, StepNode) or step.context_child is not None:
+        return None
+    if step.axis is not Axis.CHILD or step.test.kind is not NodeTestKind.TEXT:
+        return None
+    if step.predicates:
+        return None
+    return literal.value
+
+
+class ValueIndexRule(RewriteRule):
+    name = "value-index"
+    paper_ref = "Figure 9 (optimization of Q2)"
+
+    def matches(self, plan: QueryPlan, node: PlanBase) -> bool:
+        if not isinstance(node, StepNode) or node.context_child is not None:
+            return False
+        if node.axis not in _DOWN_LEAF_AXES or node.test.kind is not NodeTestKind.NAME:
+            return False
+        if not on_context_path(plan, node):
+            return False
+        if any(is_positional(predicate) for predicate in node.predicates):
+            return False
+        return any(
+            _text_equality_literal(predicate) is not None
+            for predicate in node.predicates
+        )
+
+    def apply(self, plan: QueryPlan, node: PlanBase) -> None:
+        step = find_by_id(plan, node.op_id)
+        assert isinstance(step, StepNode)
+        remaining = []
+        value: str | None = None
+        for predicate in step.predicates:
+            if value is None:
+                candidate = _text_equality_literal(predicate)
+                if candidate is not None:
+                    value = candidate
+                    continue
+            remaining.append(predicate)
+        assert value is not None
+        step.axis = Axis.PARENT
+        step.context_child = ValueStepNode(value)
+        step.predicates = remaining
+        plan.renumber()

@@ -1,0 +1,109 @@
+"""Plan-navigation helpers shared by the clean-up pass and rewrite rules."""
+
+from __future__ import annotations
+
+from repro.algebra.plan import (
+    BinaryPredicateNode,
+    ExprNode,
+    FunctionNode,
+    NegateNode,
+    NumberNode,
+    PlanBase,
+    PlanNode,
+    QueryPlan,
+    StepNode,
+)
+
+
+def find_by_id(plan: QueryPlan, op_id: int) -> PlanBase | None:
+    """Locate the operator with a given id (ids survive ``clone``)."""
+    for node in plan.walk():
+        if node.op_id == op_id:
+            return node
+    return None
+
+
+def context_path(plan: QueryPlan) -> list[PlanNode]:
+    """The plan's context path, outermost (root's child) first.
+
+    These are the operators whose leaf receives the document root from
+    the execution engine — the only operators the context-sensitive
+    rewrites may touch (predicate-path leaves get per-tuple contexts).
+    """
+    path: list[PlanNode] = []
+    node = plan.root.context_child
+    while node is not None:
+        path.append(node)
+        node = node.context_child
+    return path
+
+
+def on_context_path(plan: QueryPlan, node: PlanNode) -> bool:
+    return any(candidate is node for candidate in context_path(plan))
+
+
+def context_parent(plan: QueryPlan, node: PlanNode) -> PlanNode | None:
+    """The operator whose ``context_child`` is ``node`` (root included)."""
+    if plan.root.context_child is node:
+        return plan.root
+    for candidate in plan.walk():
+        if isinstance(candidate, PlanNode) and candidate.context_child is node:
+            return candidate
+    return None
+
+
+_NUMERIC_FUNCTIONS = frozenset(
+    {"position", "last", "count", "string-length", "sum", "number",
+     "floor", "ceiling", "round"}
+)
+
+
+def is_positional(expr: ExprNode) -> bool:
+    """True if a predicate's meaning depends on candidate order.
+
+    A predicate is positional when it mentions ``position()``/``last()``
+    anywhere, or when its *top level* can evaluate to a number (XPath's
+    ``[3]`` ≡ ``[position() = 3]`` rule).  A number nested inside a
+    comparison (``[price > 5]``) is an ordinary boolean predicate and must
+    not block rewrites.
+    """
+    if _mentions_position(expr):
+        return True
+    if isinstance(expr, (NumberNode, NegateNode)):
+        return True
+    if isinstance(expr, BinaryPredicateNode) and expr.op in ("+", "-", "*", "div", "mod"):
+        return True
+    if isinstance(expr, FunctionNode) and expr.name in _NUMERIC_FUNCTIONS:
+        return True
+    return False
+
+
+def _mentions_position(expr: ExprNode) -> bool:
+    if isinstance(expr, FunctionNode) and expr.name in ("position", "last"):
+        return True
+    for child in expr.children():
+        if isinstance(child, ExprNode) and _mentions_position(child):
+            return True
+        if isinstance(child, PlanNode) and _plan_mentions_position(child):
+            return True
+    return False
+
+
+def _plan_mentions_position(node: PlanNode) -> bool:
+    for predicate in node.predicates:
+        if _mentions_position(predicate):
+            return True
+    child = node.context_child
+    return child is not None and _plan_mentions_position(child)
+
+
+def has_positional_predicates(node: PlanNode) -> bool:
+    return any(is_positional(predicate) for predicate in node.predicates)
+
+
+def step_on_context_path_is_document_leaf(plan: QueryPlan, node: PlanNode) -> bool:
+    """True if ``node`` is the context-path leaf (its context is the root)."""
+    if not isinstance(node, StepNode) and node.context_child is not None:
+        return False
+    path = context_path(plan)
+    return bool(path) and path[-1] is node and node.context_child is None

@@ -1,0 +1,31 @@
+"""XMark-style auction document generator.
+
+The paper's entire evaluation runs over ``auction.xml`` documents produced
+by the XMark benchmark generator at different sizes.  The original
+generator is a C program; this package is a deterministic, seeded Python
+re-implementation of its auction-site schema with one extra property: it is
+*calibrated* so that the statistics the paper quotes for its 10 MB document
+come out exactly —
+
+* 2550 ``person`` elements,
+* 1256 ``address`` elements,
+* 4825 ``name`` elements (person + item + category names),
+* exactly one person named ``Yung Flach`` (with id ``person144``), and
+* ``province`` values drawn from US states, including ``Vermont``.
+
+Scale is controlled by a single ``factor`` (the XMark convention:
+``factor=1.0`` is the ~100 MB document, ``factor=0.1`` the paper's 10 MB
+one); all element populations scale linearly, and optional elements are
+assigned by deterministic even spreading so counts are reproducible
+bit-for-bit across runs and platforms.
+"""
+
+from repro.xmark.profile import XmarkProfile, paper_profile
+from repro.xmark.generator import XmarkGenerator, generate_document
+
+__all__ = [
+    "XmarkProfile",
+    "paper_profile",
+    "XmarkGenerator",
+    "generate_document",
+]

@@ -1,0 +1,325 @@
+"""The XMark-style auction-site document generator.
+
+Produces the ``auction.xml`` schema the paper's evaluation uses::
+
+    site
+    ├── regions/{africa,asia,australia,europe,namerica,samerica}/item*
+    ├── categories/category*          (name, description)
+    ├── catgraph/edge*
+    ├── people/person*                (name, emailaddress, phone?, address?,
+    │                                  homepage?, creditcard?, profile?,
+    │                                  watches/watch*)
+    ├── open_auctions/open_auction*   (initial, reserve?, bidder*, current,
+    │                                  itemref, seller, annotation?, quantity,
+    │                                  type, interval)
+    └── closed_auctions/closed_auction* (seller, buyer, itemref, price, date,
+                                         quantity, type, annotation?)
+
+Everything the paper's five benchmark queries touch is faithful:
+``person/name/address/province/watches/watch`` for Q1/Q2/Q3/Q5 and
+``itemref`` immediately followed by ``price`` inside ``closed_auction``
+for Q4's ``following-sibling`` step.
+
+Determinism: one ``random.Random(seed)`` drives all content; optional
+elements are placed by even spreading (zero variance), so every count the
+cost model reads is an exact function of ``(profile, factor, seed)``.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+from typing import IO
+
+from repro.xmark import vocabulary as vocab
+from repro.xmark.profile import XmarkProfile, paper_profile, spread
+from repro.xmlkit.serializer import XmlWriter
+
+
+class XmarkGenerator:
+    """Streams one auction document for a given scale factor."""
+
+    def __init__(self, profile: XmarkProfile | None = None, seed: int = 42):
+        self.profile = profile or paper_profile()
+        self.seed = seed
+
+    # -- public entry points ---------------------------------------------------
+
+    def write(self, stream: IO[str], factor: float) -> int:
+        """Write a complete document to ``stream``; returns characters written."""
+        rng = random.Random(self.seed)
+        writer = XmlWriter(stream, indent="")
+        profile = self.profile
+
+        persons = profile.persons(factor)
+        items = profile.items(factor)
+        categories = profile.categories(factor)
+        open_auctions = profile.open_auctions(factor)
+        closed_auctions = profile.closed_auctions(factor)
+
+        writer.declaration()
+        writer.start("site")
+        self._write_regions(writer, rng, items, categories)
+        self._write_categories(writer, rng, categories)
+        self._write_catgraph(writer, rng, categories)
+        self._write_people(writer, rng, persons, open_auctions)
+        self._write_open_auctions(writer, rng, open_auctions, items, persons)
+        self._write_closed_auctions(writer, rng, closed_auctions, items, persons)
+        writer.close()
+        return writer.bytes_written
+
+    def generate(self, factor: float) -> str:
+        """Return the document as a string."""
+        buffer = io.StringIO()
+        self.write(buffer, factor)
+        return buffer.getvalue()
+
+    # -- prose helpers -----------------------------------------------------------
+
+    def _sentence(self, rng: random.Random) -> str:
+        words = rng.choices(vocab.WORDS, k=self.profile.words_per_sentence)
+        return " ".join(words) + "."
+
+    def _paragraph(self, rng: random.Random, index: int) -> str:
+        sentences = 1 + index % self.profile.max_sentences
+        return " ".join(self._sentence(rng) for _ in range(sentences))
+
+    def _date(self, rng: random.Random) -> str:
+        return f"{rng.randint(1, 12):02d}/{rng.randint(1, 28):02d}/{rng.randint(1998, 2001)}"
+
+    def _time(self, rng: random.Random) -> str:
+        return f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}"
+
+    # -- regions / items -----------------------------------------------------------
+
+    def _region_item_counts(self, items: int) -> dict[str, int]:
+        """Split the item population over regions by the XMark shares."""
+        counts: dict[str, int] = {}
+        assigned = 0
+        for name in vocab.REGION_NAMES[:-1]:
+            count = int(items * vocab.REGION_SHARES[name])
+            counts[name] = count
+            assigned += count
+        counts[vocab.REGION_NAMES[-1]] = items - assigned
+        return counts
+
+    def _write_regions(
+        self, writer: XmlWriter, rng: random.Random, items: int, categories: int
+    ) -> None:
+        counts = self._region_item_counts(items)
+        item_id = 0
+        writer.start("regions")
+        for region in vocab.REGION_NAMES:
+            writer.start(region)
+            for _ in range(counts[region]):
+                self._write_item(writer, rng, item_id, region, categories)
+                item_id += 1
+            writer.end()
+        writer.end()
+
+    def _write_item(
+        self,
+        writer: XmlWriter,
+        rng: random.Random,
+        item_id: int,
+        region: str,
+        categories: int,
+    ) -> None:
+        writer.start("item", {"id": f"item{item_id}"})
+        writer.leaf("location", rng.choice(vocab.COUNTRIES))
+        writer.leaf("quantity", str(1 + item_id % 5))
+        writer.leaf("name", self._item_name(rng, item_id))
+        writer.leaf("payment", "Creditcard, money order and Cash")
+        writer.start("description")
+        writer.leaf("text", self._paragraph(rng, item_id))
+        writer.end()
+        writer.leaf("shipping", "Will ship internationally")
+        for _ in range(1 + item_id % 2):
+            writer.empty("incategory", {"category": f"category{rng.randrange(categories)}"})
+        writer.end()
+
+    def _item_name(self, rng: random.Random, item_id: int) -> str:
+        first = rng.choice(vocab.WORDS).capitalize()
+        second = rng.choice(vocab.WORDS)
+        return f"{first} {second} {item_id}"
+
+    # -- categories / catgraph ---------------------------------------------------------
+
+    def _write_categories(
+        self, writer: XmlWriter, rng: random.Random, categories: int
+    ) -> None:
+        writer.start("categories")
+        for category_id in range(categories):
+            writer.start("category", {"id": f"category{category_id}"})
+            writer.leaf("name", f"{rng.choice(vocab.WORDS).capitalize()} collection")
+            writer.start("description")
+            writer.leaf("text", self._paragraph(rng, category_id))
+            writer.end()
+            writer.end()
+        writer.end()
+
+    def _write_catgraph(
+        self, writer: XmlWriter, rng: random.Random, categories: int
+    ) -> None:
+        writer.start("catgraph")
+        for _ in range(categories):
+            writer.empty(
+                "edge",
+                {
+                    "from": f"category{rng.randrange(categories)}",
+                    "to": f"category{rng.randrange(categories)}",
+                },
+            )
+        writer.end()
+
+    # -- people --------------------------------------------------------------------------
+
+    def _person_name(self, rng: random.Random, index: int, special_index: int) -> str:
+        if index == special_index:
+            return vocab.SPECIAL_PERSON_NAME
+        first = rng.choice(vocab.FIRST_NAMES)
+        last = rng.choice(vocab.LAST_NAMES)
+        return f"{first} {last}"
+
+    def _write_people(
+        self, writer: XmlWriter, rng: random.Random, persons: int, open_auctions: int
+    ) -> None:
+        profile = self.profile
+        special_index = min(profile.special_person_index, persons - 1)
+        address_counter = 0
+        writer.start("people")
+        for index in range(persons):
+            writer.start("person", {"id": f"person{index}"})
+            name = self._person_name(rng, index, special_index)
+            writer.leaf("name", name)
+            last = name.split()[-1]
+            writer.leaf("emailaddress", f"mailto:{last}@auth{index % 97}.example")
+            if spread(index, profile.phone_ratio):
+                writer.leaf("phone", f"+{rng.randint(1, 44)} ({rng.randint(100, 999)}) {rng.randint(1000000, 9999999)}")
+            if spread(index, profile.address_ratio):
+                self._write_address(writer, rng, address_counter)
+                address_counter += 1
+            if spread(index, profile.homepage_ratio):
+                writer.leaf("homepage", f"http://www.auth{index % 97}.example/~{last}")
+            if spread(index, profile.creditcard_ratio):
+                prefix = rng.choice(vocab.CREDIT_CARD_PREFIXES)
+                writer.leaf(
+                    "creditcard",
+                    f"{prefix} {rng.randint(1000, 9999)} {rng.randint(1000, 9999)} {rng.randint(1000, 9999)}",
+                )
+            if spread(index, profile.profile_ratio):
+                self._write_profile(writer, rng, index)
+            if spread(index, profile.watches_ratio) and open_auctions > 0:
+                writer.start("watches")
+                for _ in range(1 + index % profile.max_watches):
+                    writer.empty(
+                        "watch",
+                        {"open_auction": f"open_auction{rng.randrange(open_auctions)}"},
+                    )
+                writer.end()
+            writer.end()
+        writer.end()
+
+    def _write_address(
+        self, writer: XmlWriter, rng: random.Random, address_index: int
+    ) -> None:
+        in_us = spread(address_index, self.profile.us_address_ratio)
+        writer.start("address")
+        writer.leaf("street", f"{rng.randint(1, 99)} {rng.choice(vocab.STREETS)}")
+        writer.leaf("city", rng.choice(vocab.CITIES))
+        writer.leaf("country", "United States" if in_us else rng.choice(vocab.COUNTRIES[1:]))
+        if in_us:
+            writer.leaf("province", rng.choice(vocab.US_STATES))
+        writer.leaf("zipcode", str(rng.randint(1, 99999)))
+        writer.end()
+
+    def _write_profile(self, writer: XmlWriter, rng: random.Random, index: int) -> None:
+        writer.start("profile", {"income": f"{rng.randint(9, 98)}{rng.randint(100, 999)}.{rng.randint(10, 99)}"})
+        for _ in range(index % 3):
+            writer.empty("interest", {"category": rng.choice(vocab.INTERESTS)})
+        if index % 2:
+            writer.leaf("education", rng.choice(vocab.EDUCATION_LEVELS))
+        if index % 3:
+            writer.leaf("gender", "male" if index % 2 else "female")
+        writer.leaf("business", "Yes" if index % 4 else "No")
+        if index % 5:
+            writer.leaf("age", str(rng.randint(18, 87)))
+        writer.end()
+
+    # -- auctions -------------------------------------------------------------------------
+
+    def _write_open_auctions(
+        self,
+        writer: XmlWriter,
+        rng: random.Random,
+        auctions: int,
+        items: int,
+        persons: int,
+    ) -> None:
+        writer.start("open_auctions")
+        for index in range(auctions):
+            writer.start("open_auction", {"id": f"open_auction{index}"})
+            initial = rng.choice(vocab.CURRENCIES)
+            writer.leaf("initial", initial)
+            if index % 2:
+                writer.leaf("reserve", rng.choice(vocab.CURRENCIES))
+            for _ in range(index % (self.profile.max_bidders + 1)):
+                writer.start("bidder")
+                writer.leaf("date", self._date(rng))
+                writer.leaf("time", self._time(rng))
+                writer.empty("personref", {"person": f"person{rng.randrange(persons)}"})
+                writer.leaf("increase", rng.choice(vocab.CURRENCIES))
+                writer.end()
+            writer.leaf("current", rng.choice(vocab.CURRENCIES))
+            writer.empty("itemref", {"item": f"item{rng.randrange(items)}"})
+            writer.empty("seller", {"person": f"person{rng.randrange(persons)}"})
+            if index % 3:
+                writer.start("annotation")
+                writer.start("description")
+                writer.leaf("text", self._paragraph(rng, index))
+                writer.end()
+                writer.end()
+            writer.leaf("quantity", str(1 + index % 3))
+            writer.leaf("type", vocab.AUCTION_TYPES[index % len(vocab.AUCTION_TYPES)])
+            writer.start("interval")
+            writer.leaf("start", self._date(rng))
+            writer.leaf("end", self._date(rng))
+            writer.end()
+            writer.end()
+        writer.end()
+
+    def _write_closed_auctions(
+        self,
+        writer: XmlWriter,
+        rng: random.Random,
+        auctions: int,
+        items: int,
+        persons: int,
+    ) -> None:
+        writer.start("closed_auctions")
+        for index in range(auctions):
+            writer.start("closed_auction")
+            writer.empty("seller", {"person": f"person{rng.randrange(persons)}"})
+            writer.empty("buyer", {"person": f"person{rng.randrange(persons)}"})
+            # itemref immediately followed by price: the pair Q4's
+            # following-sibling::price step navigates.
+            writer.empty("itemref", {"item": f"item{rng.randrange(items)}"})
+            writer.leaf("price", rng.choice(vocab.CURRENCIES))
+            writer.leaf("date", self._date(rng))
+            writer.leaf("quantity", str(1 + index % 2))
+            writer.leaf("type", vocab.AUCTION_TYPES[index % len(vocab.AUCTION_TYPES)])
+            if index % 2:
+                writer.start("annotation")
+                writer.start("description")
+                writer.leaf("text", self._paragraph(rng, index))
+                writer.end()
+                writer.end()
+            writer.end()
+        writer.end()
+
+
+def generate_document(
+    factor: float, seed: int = 42, profile: XmarkProfile | None = None
+) -> str:
+    """Generate one auction document string at the given scale factor."""
+    return XmarkGenerator(profile, seed).generate(factor)

@@ -1,0 +1,133 @@
+"""Generation profiles: populations and ratios for the auction schema.
+
+A :class:`XmarkProfile` fixes every population count (as a linear function
+of the scale ``factor``) and every optional-element ratio.  Ratios are
+applied by *even spreading* (:func:`spread`), not coin flips, so each count
+is an exact deterministic function of the factor — which is what lets unit
+tests assert the paper's quoted statistics to the digit.
+
+Calibration (``paper_profile``):
+
+========================  ==========================  =====================
+quantity                  factor-1 population          at factor 0.1 (paper)
+========================  ==========================  =====================
+person                    25 500                       2 550
+item                      21 750                       2 175
+category                  1 000                        100
+open_auction              12 000                       1 200
+closed_auction            9 750                        975
+name                      person + item + category     4 825
+address                   person × (1256/2550)         1 256
+========================  ==========================  =====================
+
+``2550 + 2175 + 100 = 4825`` — the name-count identity is why the paper's
+Figure 6 numbers (COUNT(name)=4825, COUNT(person)=2550, COUNT(address)=1256)
+pin down the whole calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+
+def spread(index: int, ratio: Fraction) -> bool:
+    """Deterministic even assignment of an optional feature.
+
+    Marks item ``index`` (0-based) such that among the first ``n`` items
+    exactly ``floor(n * ratio)`` are marked, spread uniformly — the
+    bresenham-style counterpart of a biased coin with zero variance.
+    """
+    return (index + 1) * ratio.numerator // ratio.denominator > (
+        index * ratio.numerator // ratio.denominator
+    )
+
+
+def spread_count(total: int, ratio: Fraction) -> int:
+    """How many of ``total`` items :func:`spread` marks."""
+    return total * ratio.numerator // ratio.denominator
+
+
+@dataclass(frozen=True)
+class XmarkProfile:
+    """All knobs of the generator, scale-independent.
+
+    Populations are per ``factor=1.0``; ``scaled_*`` methods apply a factor.
+    Ratios are exact fractions so even spreading stays integral.
+    """
+
+    persons_per_factor: int = 25_500
+    items_per_factor: int = 21_750
+    categories_per_factor: int = 1_000
+    open_auctions_per_factor: int = 12_000
+    closed_auctions_per_factor: int = 9_750
+
+    #: Fraction of persons that have an <address> block.
+    address_ratio: Fraction = Fraction(1256, 2550)
+    #: Fraction of addresses located in the United States (get <province>).
+    us_address_ratio: Fraction = Fraction(2, 5)
+    #: Fraction of persons with a <phone>.
+    phone_ratio: Fraction = Fraction(1, 2)
+    #: Fraction of persons with a <homepage>.
+    homepage_ratio: Fraction = Fraction(3, 10)
+    #: Fraction of persons with a <creditcard>.
+    creditcard_ratio: Fraction = Fraction(1, 4)
+    #: Fraction of persons with a <profile> block.
+    profile_ratio: Fraction = Fraction(3, 4)
+    #: Fraction of persons with a <watches> block.
+    watches_ratio: Fraction = Fraction(2, 5)
+    #: Max <watch> entries per watching person (cycled 1..max).
+    max_watches: int = 4
+    #: Max <bidder> entries per open auction (cycled 0..max).
+    max_bidders: int = 5
+    #: Sentences per description paragraph (cycled 1..max).
+    max_sentences: int = 3
+    #: Words per sentence.
+    words_per_sentence: int = 12
+    #: Which person (0-based) is named "Yung Flach" — person144 in the paper.
+    special_person_index: int = 144
+
+    # -- scaled populations ---------------------------------------------------
+
+    def persons(self, factor: float) -> int:
+        return max(1, round(self.persons_per_factor * factor))
+
+    def items(self, factor: float) -> int:
+        return max(1, round(self.items_per_factor * factor))
+
+    def categories(self, factor: float) -> int:
+        return max(1, round(self.categories_per_factor * factor))
+
+    def open_auctions(self, factor: float) -> int:
+        return max(1, round(self.open_auctions_per_factor * factor))
+
+    def closed_auctions(self, factor: float) -> int:
+        return max(1, round(self.closed_auctions_per_factor * factor))
+
+    # -- derived exact statistics (used by calibration tests) -----------------
+
+    def expected_names(self, factor: float) -> int:
+        """Total <name> elements: one per person, item and category."""
+        return self.persons(factor) + self.items(factor) + self.categories(factor)
+
+    def expected_addresses(self, factor: float) -> int:
+        return spread_count(self.persons(factor), self.address_ratio)
+
+    def expected_provinces(self, factor: float) -> int:
+        """Addresses in the US, which are exactly the ones with <province>."""
+        return spread_count(self.expected_addresses(factor), self.us_address_ratio)
+
+
+def paper_profile() -> XmarkProfile:
+    """The profile calibrated to the paper's Figure 6/7 statistics."""
+    return XmarkProfile()
+
+
+#: XMark's convention: factor 1.0 is roughly a 100 MB document, so the
+#: paper's "10 MB" corresponds to factor 0.1, "20 MB" to 0.2, and so on.
+MEGABYTES_PER_FACTOR = 100.0
+
+
+def factor_for_megabytes(megabytes: float) -> float:
+    """Map the paper's document-size axis (MB) onto a generator factor."""
+    return megabytes / MEGABYTES_PER_FACTOR

@@ -1,0 +1,130 @@
+"""Word pools for the XMark-style generator.
+
+The lists are modeled on the vocabulary the original XMark generator ships
+(names, geography, Shakespeare-flavoured filler prose).  ``Yung`` and
+``Flach`` are deliberately *excluded* from the general name pools: the
+paper's running example relies on the text value ``Yung Flach`` occurring
+exactly once in the document, so the generator assigns that name to one
+designated person only.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = [
+    "Abel", "Adelaide", "Agnes", "Albert", "Aldo", "Alfredo", "Alma",
+    "Amanda", "Ambrose", "Anita", "Ansel", "Archibald", "Arlene", "Arnold",
+    "Astrid", "Aubrey", "Barnaby", "Beatrice", "Benedict", "Bertha",
+    "Blanche", "Boris", "Bridget", "Camille", "Casimir", "Cecilia",
+    "Clement", "Constance", "Cornelius", "Cyrus", "Dagmar", "Dalia",
+    "Dexter", "Dorothea", "Edgar", "Edwina", "Elias", "Elvira", "Emanuel",
+    "Ernestine", "Eugene", "Felicity", "Ferdinand", "Fiona", "Florian",
+    "Frederica", "Gideon", "Giselle", "Godfrey", "Greta", "Gustave",
+    "Harriet", "Hector", "Henrietta", "Horace", "Ingrid", "Isidore",
+    "Jemima", "Jerome", "Josephine", "Julius", "Katarina", "Lambert",
+    "Leopold", "Lucinda", "Magnus", "Matilda", "Maximilian", "Mirabel",
+    "Mortimer", "Nadia", "Nathaniel", "Octavia", "Osmond", "Patience",
+    "Percival", "Philippa", "Quentin", "Ramona", "Reginald", "Rosalind",
+    "Rupert", "Seraphina", "Sigmund", "Sylvia", "Thaddeus", "Theodora",
+    "Ulric", "Ursula", "Valentine", "Veronica", "Wallace", "Wilhelmina",
+    "Xavier", "Yolanda", "Zachary", "Zelda",
+]
+
+LAST_NAMES = [
+    "Abbott", "Ainsworth", "Aldrich", "Ashford", "Atwater", "Babbage",
+    "Bancroft", "Barlow", "Beckett", "Bellamy", "Blackwood", "Bramwell",
+    "Brockman", "Caldwell", "Carmichael", "Chadwick", "Colfax", "Cromwell",
+    "Dalrymple", "Darlington", "Delacroix", "Donohue", "Driscoll",
+    "Eastman", "Ellington", "Fairbanks", "Farnsworth", "Fitzgerald",
+    "Gainsborough", "Galloway", "Garfield", "Goldsmith", "Greenwood",
+    "Hargreaves", "Harrington", "Hathaway", "Hawthorne", "Holloway",
+    "Huxley", "Ingram", "Jennings", "Kensington", "Kingsley", "Lancaster",
+    "Lindqvist", "Lockhart", "Longfellow", "Mansfield", "Merriweather",
+    "Montgomery", "Nightingale", "Northcote", "Oakhurst", "Ostrowski",
+    "Pemberton", "Pickering", "Prescott", "Quimby", "Radcliffe",
+    "Ravenscroft", "Redgrave", "Rochester", "Rutherford", "Sheffield",
+    "Sinclair", "Somerset", "Stanhope", "Sterling", "Stockton",
+    "Thackeray", "Thornton", "Underwood", "Vandermeer", "Wadsworth",
+    "Wainwright", "Wexford", "Whitfield", "Winslow", "Woodruff",
+    "Yardley", "Zimmerman",
+]
+
+#: The running example's person: assigned to exactly one person per document.
+SPECIAL_PERSON_NAME = "Yung Flach"
+
+COUNTRIES = [
+    "United States", "Germany", "France", "Japan", "Brazil", "Canada",
+    "Australia", "Italy", "Spain", "Netherlands", "Sweden", "Norway",
+    "Switzerland", "Austria", "Belgium", "Denmark", "Finland", "Ireland",
+    "Portugal", "Greece",
+]
+
+#: Fraction of addresses in the United States (those get a <province>).
+US_STATES = [
+    "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+    "Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+    "Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+    "Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+    "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+    "New Hampshire", "New Jersey", "New Mexico", "New York",
+    "North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+    "Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+    "Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+    "West Virginia", "Wisconsin", "Wyoming",
+]
+
+CITIES = [
+    "Monroe", "Fairview", "Riverton", "Lakewood", "Ashland", "Brookfield",
+    "Cedarburg", "Dunmore", "Eastport", "Falmouth", "Glenwood", "Harmony",
+    "Ironwood", "Jasper", "Kingsport", "Lexington", "Midvale", "Norwood",
+    "Oakdale", "Pinehurst", "Quincy", "Redmond", "Springfield", "Trenton",
+    "Union City", "Vineland", "Westbrook", "Yorkville", "Zephyrhills",
+    "Bremen", "Lyon", "Osaka", "Porto", "Uppsala", "Ghent", "Aarhus",
+]
+
+STREETS = [
+    "Pfisterer St", "Maple Ave", "Oak St", "Juniper Ln", "Willow Rd",
+    "Chestnut Blvd", "Sycamore Dr", "Birchwood Ter", "Elm Ct", "Cedar Way",
+    "Hawthorn Pl", "Magnolia St", "Poplar Ave", "Linden Rd", "Acacia Dr",
+    "Walnut St", "Hazel Ln", "Laurel Blvd", "Mulberry Ct", "Alder Way",
+]
+
+#: Filler prose pool (XMark uses Shakespeare; any stable pool works — the
+#: engines never interpret these words, they only affect document bytes).
+WORDS = (
+    "against arms arrows bear coil consummation calamity conscience "
+    "contumely country currents delay despised devoutly dread dreams "
+    "enterprises fardels flesh fortune great grunt heartache heir hue "
+    "insolence law makes merit mind moment mortal native natural nobler "
+    "obstinate office opposing orisons outrageous pangs patient pause "
+    "perchance pith proud puzzles question quietus regard remembered "
+    "resolution respect returns rub scorns shocks shuffled sicklied sleep "
+    "slings soft spurns suffer sweat takes thought thousand time travell "
+    "troubles turn undiscovered unworthy weary whips will wished wrong"
+).split()
+
+INTERESTS = [
+    "antiques", "books", "coins", "folk_art", "furniture", "glassware",
+    "jewelry", "maps", "musical_instruments", "paintings", "photographs",
+    "porcelain", "rugs", "scientific_instruments", "sculpture", "stamps",
+    "textiles", "toys", "watches_clocks", "wine",
+]
+
+EDUCATION_LEVELS = ["High School", "College", "Graduate School", "Other"]
+
+CREDIT_CARD_PREFIXES = ["4929", "5404", "6011", "3715"]
+
+AUCTION_TYPES = ["Regular", "Featured", "Dutch"]
+
+CURRENCIES = ["1.50", "4.25", "9.99", "15.00", "23.75", "48.00", "87.50"]
+
+REGION_NAMES = ["africa", "asia", "australia", "europe", "namerica", "samerica"]
+
+#: Item share per region, mirroring the original XMark distribution.
+REGION_SHARES = {
+    "africa": 0.055,
+    "asia": 0.10,
+    "australia": 0.11,
+    "europe": 0.30,
+    "namerica": 0.40,
+    "samerica": 0.035,
+}

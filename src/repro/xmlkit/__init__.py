@@ -1,0 +1,44 @@
+"""A from-scratch, non-validating XML 1.0 substrate.
+
+VAMANA needs three XML facilities and this package provides all of them
+without external dependencies:
+
+* :mod:`repro.xmlkit.events` / :mod:`repro.xmlkit.parser` — a streaming
+  tokenizer that turns a document string into a flat event sequence.  The
+  MASS loader consumes events directly, so gigantic documents never need a
+  tree in memory.
+* :mod:`repro.xmlkit.dom` — a lightweight DOM used by the *baseline*
+  engines (the paper's Galax/Jaxen/eXist stand-ins are DOM- or
+  DOM-fallback-based, and their memory behaviour is part of the story).
+* :mod:`repro.xmlkit.serializer` — document writing, used by the XMark
+  generator and round-trip tests.
+"""
+
+from repro.xmlkit.events import (
+    Characters,
+    Comment,
+    EndElement,
+    ProcessingInstruction,
+    StartElement,
+    XmlEvent,
+)
+from repro.xmlkit.parser import parse_events, parse_string
+from repro.xmlkit.dom import DomDocument, DomNode, build_dom
+from repro.xmlkit.serializer import escape_attribute, escape_text, serialize
+
+__all__ = [
+    "Characters",
+    "Comment",
+    "EndElement",
+    "ProcessingInstruction",
+    "StartElement",
+    "XmlEvent",
+    "parse_events",
+    "parse_string",
+    "DomDocument",
+    "DomNode",
+    "build_dom",
+    "serialize",
+    "escape_text",
+    "escape_attribute",
+]

@@ -1,0 +1,197 @@
+"""A lightweight in-memory DOM.
+
+Used by the baseline engines (the paper's Galax and Jaxen stand-ins are
+DOM-based, and eXist's stand-in falls back to DOM traversal for value
+predicates).  Every node carries a document-order position so that result
+sets from different engines can be compared and sorted consistently.
+
+The deliberately simple design — one node class, children in a list,
+parent pointers — mirrors the memory profile the paper criticises: the
+whole document is resident before the first query step runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.mass.records import NodeKind
+from repro.xmlkit.events import (
+    Characters,
+    Comment,
+    EndElement,
+    ProcessingInstruction,
+    StartElement,
+    XmlEvent,
+)
+from repro.xmlkit.parser import parse_events
+
+
+class DomNode:
+    """One DOM node; ``kind`` reuses the storage layer's :class:`NodeKind`."""
+
+    __slots__ = ("kind", "name", "value", "parent", "children", "attributes", "order")
+
+    def __init__(
+        self,
+        kind: NodeKind,
+        name: str = "",
+        value: str = "",
+        parent: "DomNode | None" = None,
+    ):
+        self.kind = kind
+        self.name = name
+        self.value = value
+        self.parent = parent
+        self.children: list[DomNode] = []
+        self.attributes: list[DomNode] = []
+        self.order = -1
+
+    # -- navigation ---------------------------------------------------------
+
+    def child_elements(self) -> Iterator["DomNode"]:
+        return (child for child in self.children if child.kind is NodeKind.ELEMENT)
+
+    def descendants(self) -> Iterator["DomNode"]:
+        """All descendants in document order (excluding self and attributes)."""
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def ancestors(self) -> Iterator["DomNode"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def following_siblings(self) -> Iterator["DomNode"]:
+        if self.parent is None or self.kind is NodeKind.ATTRIBUTE:
+            return iter(())
+        siblings = self.parent.children
+        index = siblings.index(self)
+        return iter(siblings[index + 1 :])
+
+    def preceding_siblings(self) -> Iterator["DomNode"]:
+        """Preceding siblings in reverse document order (XPath semantics)."""
+        if self.parent is None or self.kind is NodeKind.ATTRIBUTE:
+            return iter(())
+        siblings = self.parent.children
+        index = siblings.index(self)
+        return iter(tuple(reversed(siblings[:index])))
+
+    # -- content ------------------------------------------------------------
+
+    def string_value(self) -> str:
+        """The XPath string-value of this node."""
+        if self.kind in (NodeKind.TEXT, NodeKind.COMMENT, NodeKind.ATTRIBUTE):
+            return self.value
+        if self.kind is NodeKind.PROCESSING_INSTRUCTION:
+            return self.value
+        pieces = []
+        if self.kind in (NodeKind.ELEMENT, NodeKind.DOCUMENT):
+            for node in self.descendants():
+                if node.kind is NodeKind.TEXT:
+                    pieces.append(node.value)
+        return "".join(pieces)
+
+    def get_attribute(self, name: str) -> str | None:
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute.value
+        return None
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def __repr__(self) -> str:
+        if self.kind is NodeKind.ELEMENT:
+            return f"<DomNode element {self.name} order={self.order}>"
+        if self.kind is NodeKind.TEXT:
+            return f"<DomNode text {self.value[:20]!r} order={self.order}>"
+        return f"<DomNode {self.kind.value} {self.name} order={self.order}>"
+
+
+class DomDocument:
+    """The document node plus bookkeeping shared by the baselines."""
+
+    def __init__(self, root_node: DomNode, node_count: int, text_bytes: int):
+        self.document_node = root_node
+        self.node_count = node_count
+        self.text_bytes = text_bytes
+
+    @property
+    def document_element(self) -> DomNode:
+        for child in self.document_node.children:
+            if child.kind is NodeKind.ELEMENT:
+                return child
+        raise ValueError("document has no element")
+
+    def all_nodes(self) -> Iterator[DomNode]:
+        """Document node, then every descendant, attributes after owners."""
+        yield self.document_node
+        stack = list(reversed(self.document_node.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            yield from node.attributes
+            stack.extend(reversed(node.children))
+
+
+def build_dom(source: str | Iterator[XmlEvent]) -> DomDocument:
+    """Build a DOM from a document string or a prepared event stream."""
+    events = parse_events(source) if isinstance(source, str) else source
+    document = DomNode(NodeKind.DOCUMENT)
+    document.order = 0
+    stack = [document]
+    order = 1
+    node_count = 1
+    text_bytes = 0
+    for event in events:
+        parent = stack[-1]
+        if isinstance(event, StartElement):
+            element = DomNode(NodeKind.ELEMENT, name=event.name, parent=parent)
+            element.order = order
+            order += 1
+            node_count += 1
+            parent.children.append(element)
+            for attr_name, attr_value in event.attributes:
+                attribute = DomNode(
+                    NodeKind.ATTRIBUTE, name=attr_name, value=attr_value, parent=element
+                )
+                attribute.order = order
+                order += 1
+                node_count += 1
+                text_bytes += len(attr_value)
+                element.attributes.append(attribute)
+            stack.append(element)
+        elif isinstance(event, EndElement):
+            stack.pop()
+        elif isinstance(event, Characters):
+            # Merge adjacent text (entity boundaries produce separate events).
+            if parent.children and parent.children[-1].kind is NodeKind.TEXT:
+                parent.children[-1].value += event.text
+            else:
+                text = DomNode(NodeKind.TEXT, value=event.text, parent=parent)
+                text.order = order
+                order += 1
+                node_count += 1
+                parent.children.append(text)
+            text_bytes += len(event.text)
+        elif isinstance(event, Comment):
+            comment = DomNode(NodeKind.COMMENT, value=event.text, parent=parent)
+            comment.order = order
+            order += 1
+            node_count += 1
+            parent.children.append(comment)
+        elif isinstance(event, ProcessingInstruction):
+            instruction = DomNode(
+                NodeKind.PROCESSING_INSTRUCTION,
+                name=event.target,
+                value=event.data,
+                parent=parent,
+            )
+            instruction.order = order
+            order += 1
+            node_count += 1
+            parent.children.append(instruction)
+    return DomDocument(document, node_count, text_bytes)

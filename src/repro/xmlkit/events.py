@@ -1,0 +1,54 @@
+"""Streaming XML event types.
+
+The tokenizer yields these instead of building a tree, so the MASS loader
+can index arbitrarily large documents with O(depth) transient memory —
+the scalability property the paper contrasts against DOM engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class XmlEvent:
+    """Base class for all parse events (carries the source line)."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass(frozen=True, slots=True)
+class StartElement(XmlEvent):
+    """``<name attr="value" …>`` — attributes in document order."""
+
+    name: str
+    attributes: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class EndElement(XmlEvent):
+    """``</name>`` (also emitted for self-closing elements)."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Characters(XmlEvent):
+    """Text content with entities already resolved."""
+
+    text: str
+
+
+@dataclass(frozen=True, slots=True)
+class Comment(XmlEvent):
+    """``<!-- text -->``."""
+
+    text: str
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessingInstruction(XmlEvent):
+    """``<?target data?>``."""
+
+    target: str
+    data: str

@@ -1,0 +1,296 @@
+"""A from-scratch, non-validating XML 1.0 tokenizer.
+
+Covers the subset every real-world auction/benchmark document uses:
+elements, attributes (both quote styles), character data, the five
+predefined entities plus decimal/hex character references, CDATA sections,
+comments, processing instructions, the XML declaration, and (skipped)
+internal DOCTYPE subsets.  Well-formedness is enforced: tags must balance,
+attribute names must not repeat, exactly one document element.
+
+The parser is a generator: callers pull :class:`~repro.xmlkit.events`
+objects one at a time, so memory use is independent of document size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import XmlError
+from repro.xmlkit.events import (
+    Characters,
+    Comment,
+    EndElement,
+    ProcessingInstruction,
+    StartElement,
+    XmlEvent,
+)
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:.-")
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char in _NAME_START_EXTRA
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in _NAME_EXTRA
+
+
+class _Cursor:
+    """Position tracker over the document text with line accounting."""
+
+    __slots__ = ("text", "pos", "line")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def advance(self, count: int = 1) -> str:
+        chunk = self.text[self.pos : self.pos + count]
+        self.line += chunk.count("\n")
+        self.pos += count
+        return chunk
+
+    def advance_until(self, token: str, error: str) -> str:
+        """Consume and return text up to ``token``; consumes the token too."""
+        index = self.text.find(token, self.pos)
+        if index < 0:
+            raise XmlError(error, self.line)
+        chunk = self.text[self.pos : index]
+        self.line += chunk.count("\n")
+        self.pos = index + len(token)
+        return chunk
+
+    def skip_whitespace(self) -> None:
+        text = self.text
+        while self.pos < len(text) and text[self.pos] in " \t\r\n":
+            if text[self.pos] == "\n":
+                self.line += 1
+            self.pos += 1
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.at_end() or not _is_name_start(self.peek()):
+            raise XmlError(f"expected a name, found {self.peek()!r}", self.line)
+        self.pos += 1
+        text = self.text
+        while self.pos < len(text) and _is_name_char(text[self.pos]):
+            self.pos += 1
+        return text[start : self.pos]
+
+
+def resolve_entities(raw: str, line: int = 0) -> str:
+    """Replace predefined and numeric character references in ``raw``."""
+    if "&" not in raw:
+        return raw
+    pieces: list[str] = []
+    position = 0
+    while True:
+        amp = raw.find("&", position)
+        if amp < 0:
+            pieces.append(raw[position:])
+            break
+        pieces.append(raw[position:amp])
+        semicolon = raw.find(";", amp + 1)
+        if semicolon < 0:
+            raise XmlError("unterminated entity reference", line)
+        entity = raw[amp + 1 : semicolon]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            pieces.append(chr(int(entity[2:], 16)))
+        elif entity.startswith("#"):
+            pieces.append(chr(int(entity[1:])))
+        elif entity in _PREDEFINED_ENTITIES:
+            pieces.append(_PREDEFINED_ENTITIES[entity])
+        else:
+            raise XmlError(f"unknown entity &{entity};", line)
+        position = semicolon + 1
+    return "".join(pieces)
+
+
+def parse_events(text: str, keep_whitespace_text: bool = False) -> Iterator[XmlEvent]:
+    """Tokenize an XML document string into a stream of events.
+
+    Whitespace-only text nodes are dropped by default (the XMark data is
+    pretty-printed; indexing indentation would only distort statistics).
+    Pass ``keep_whitespace_text=True`` for full fidelity.
+    """
+    cursor = _Cursor(text)
+    open_elements: list[str] = []
+    seen_root = False
+
+    cursor.skip_whitespace()
+    while not cursor.at_end():
+        if cursor.peek() != "<":
+            yield from _parse_text(cursor, open_elements, keep_whitespace_text)
+            continue
+        if cursor.startswith("<?"):
+            event = _parse_processing_instruction(cursor)
+            if event is not None:
+                yield event
+        elif cursor.startswith("<!--"):
+            yield _parse_comment(cursor)
+        elif cursor.startswith("<![CDATA["):
+            yield from _parse_cdata(cursor, open_elements)
+        elif cursor.startswith("<!DOCTYPE"):
+            _skip_doctype(cursor)
+        elif cursor.startswith("</"):
+            yield _parse_end_tag(cursor, open_elements)
+        else:
+            seen_root = _check_root(cursor, open_elements, seen_root)
+            yield from _parse_start_tag(cursor, open_elements)
+        if not open_elements:
+            cursor.skip_whitespace()
+    if open_elements:
+        raise XmlError(f"unclosed element <{open_elements[-1]}>", cursor.line)
+    if not seen_root:
+        raise XmlError("document has no root element", cursor.line)
+
+
+def parse_string(text: str, keep_whitespace_text: bool = False) -> list[XmlEvent]:
+    """Eager variant of :func:`parse_events` (mainly for tests)."""
+    return list(parse_events(text, keep_whitespace_text=keep_whitespace_text))
+
+
+def _check_root(cursor: _Cursor, open_elements: list[str], seen_root: bool) -> bool:
+    if not open_elements and seen_root:
+        raise XmlError("multiple document elements", cursor.line)
+    return True
+
+
+def _parse_text(
+    cursor: _Cursor, open_elements: list[str], keep_whitespace: bool
+) -> Iterator[Characters]:
+    line = cursor.line
+    index = cursor.text.find("<", cursor.pos)
+    if index < 0:
+        index = len(cursor.text)
+    raw = cursor.text[cursor.pos : index]
+    cursor.line += raw.count("\n")
+    cursor.pos = index
+    if not open_elements:
+        if raw.strip():
+            raise XmlError("character data outside the document element", line)
+        return
+    if not keep_whitespace and not raw.strip():
+        return
+    yield Characters(resolve_entities(raw, line), line=line)
+
+
+def _parse_processing_instruction(cursor: _Cursor) -> ProcessingInstruction | None:
+    line = cursor.line
+    cursor.advance(2)  # <?
+    target = cursor.read_name()
+    body = cursor.advance_until("?>", "unterminated processing instruction")
+    if target.lower() == "xml":
+        return None  # the XML declaration is not reported as an event
+    return ProcessingInstruction(target, body.strip(), line=line)
+
+
+def _parse_comment(cursor: _Cursor) -> Comment:
+    line = cursor.line
+    cursor.advance(4)  # <!--
+    body = cursor.advance_until("-->", "unterminated comment")
+    if "--" in body:
+        raise XmlError("'--' not allowed inside a comment", line)
+    return Comment(body, line=line)
+
+
+def _parse_cdata(cursor: _Cursor, open_elements: list[str]) -> Iterator[Characters]:
+    line = cursor.line
+    if not open_elements:
+        raise XmlError("CDATA outside the document element", line)
+    cursor.advance(9)  # <![CDATA[
+    body = cursor.advance_until("]]>", "unterminated CDATA section")
+    yield Characters(body, line=line)
+
+
+def _skip_doctype(cursor: _Cursor) -> None:
+    """Skip a DOCTYPE declaration, including an internal subset."""
+    depth = 0
+    while not cursor.at_end():
+        char = cursor.advance()
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        elif char == ">" and depth <= 0:
+            return
+    raise XmlError("unterminated DOCTYPE", cursor.line)
+
+
+def _parse_end_tag(cursor: _Cursor, open_elements: list[str]) -> EndElement:
+    line = cursor.line
+    cursor.advance(2)  # </
+    name = cursor.read_name()
+    cursor.skip_whitespace()
+    if cursor.peek() != ">":
+        raise XmlError(f"malformed end tag </{name}", line)
+    cursor.advance()
+    if not open_elements:
+        raise XmlError(f"unexpected end tag </{name}>", line)
+    expected = open_elements.pop()
+    if expected != name:
+        raise XmlError(f"mismatched tags: <{expected}> closed by </{name}>", line)
+    return EndElement(name, line=line)
+
+
+def _parse_start_tag(cursor: _Cursor, open_elements: list[str]) -> Iterator[XmlEvent]:
+    line = cursor.line
+    cursor.advance()  # <
+    name = cursor.read_name()
+    attributes: list[tuple[str, str]] = []
+    seen_names: set[str] = set()
+    while True:
+        cursor.skip_whitespace()
+        char = cursor.peek()
+        if char == ">":
+            cursor.advance()
+            open_elements.append(name)
+            yield StartElement(name, tuple(attributes), line=line)
+            return
+        if char == "/":
+            cursor.advance()
+            if cursor.peek() != ">":
+                raise XmlError(f"malformed empty-element tag <{name}/", line)
+            cursor.advance()
+            yield StartElement(name, tuple(attributes), line=line)
+            yield EndElement(name, line=line)
+            return
+        if not char:
+            raise XmlError(f"unterminated start tag <{name}", line)
+        attr_name = cursor.read_name()
+        if attr_name in seen_names:
+            raise XmlError(f"duplicate attribute {attr_name!r} on <{name}>", line)
+        seen_names.add(attr_name)
+        cursor.skip_whitespace()
+        if cursor.peek() != "=":
+            raise XmlError(f"attribute {attr_name!r} missing '='", line)
+        cursor.advance()
+        cursor.skip_whitespace()
+        quote = cursor.peek()
+        if quote not in ("'", '"'):
+            raise XmlError(f"attribute {attr_name!r} value must be quoted", line)
+        cursor.advance()
+        raw_value = cursor.advance_until(quote, f"unterminated value for {attr_name!r}")
+        if "<" in raw_value:
+            raise XmlError(f"'<' not allowed in attribute value {attr_name!r}", line)
+        attributes.append((attr_name, resolve_entities(raw_value, line)))

@@ -1,0 +1,122 @@
+"""XML serialization: escaping helpers and DOM/event writers.
+
+The XMark generator writes documents through :class:`XmlWriter` (streaming,
+so multi-hundred-megabyte corpora never exist in memory twice), and the
+round-trip tests use :func:`serialize` on DOM trees.
+"""
+
+from __future__ import annotations
+
+from typing import IO
+
+from repro.mass.records import NodeKind
+from repro.xmlkit.dom import DomDocument, DomNode
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for element content."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(text: str) -> str:
+    """Escape an attribute value for double-quoted serialization."""
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+        .replace("\n", "&#10;")
+    )
+
+
+class XmlWriter:
+    """A push-style writer producing indented XML on any text stream."""
+
+    def __init__(self, stream: IO[str], indent: str = "  "):
+        self._stream = stream
+        self._indent = indent
+        self._depth = 0
+        self._open_tags: list[str] = []
+        self._bytes_written = 0
+
+    @property
+    def bytes_written(self) -> int:
+        return self._bytes_written
+
+    def _write(self, text: str) -> None:
+        self._stream.write(text)
+        self._bytes_written += len(text)
+
+    def declaration(self) -> None:
+        self._write('<?xml version="1.0" encoding="UTF-8"?>\n')
+
+    def start(self, name: str, attributes: dict[str, str] | None = None) -> None:
+        parts = [self._indent * self._depth, "<", name]
+        for attr_name, attr_value in (attributes or {}).items():
+            parts.append(f' {attr_name}="{escape_attribute(attr_value)}"')
+        parts.append(">\n")
+        self._write("".join(parts))
+        self._open_tags.append(name)
+        self._depth += 1
+
+    def end(self) -> None:
+        self._depth -= 1
+        name = self._open_tags.pop()
+        self._write(f"{self._indent * self._depth}</{name}>\n")
+
+    def leaf(self, name: str, text: str, attributes: dict[str, str] | None = None) -> None:
+        """Write ``<name attrs>text</name>`` on one line."""
+        parts = [self._indent * self._depth, "<", name]
+        for attr_name, attr_value in (attributes or {}).items():
+            parts.append(f' {attr_name}="{escape_attribute(attr_value)}"')
+        if text:
+            parts.append(f">{escape_text(text)}</{name}>\n")
+        else:
+            parts.append("/>\n")
+        self._write("".join(parts))
+
+    def empty(self, name: str, attributes: dict[str, str] | None = None) -> None:
+        self.leaf(name, "", attributes)
+
+    def close(self) -> None:
+        while self._open_tags:
+            self.end()
+
+
+def serialize(document: DomDocument | DomNode, declaration: bool = True) -> str:
+    """Serialize a DOM document (or subtree) back to an XML string."""
+    pieces: list[str] = []
+    if declaration:
+        pieces.append('<?xml version="1.0" encoding="UTF-8"?>')
+    node = document.document_node if isinstance(document, DomDocument) else document
+    _serialize_node(node, pieces)
+    return "".join(pieces)
+
+
+def _serialize_node(node: DomNode, pieces: list[str]) -> None:
+    if node.kind is NodeKind.DOCUMENT:
+        for child in node.children:
+            _serialize_node(child, pieces)
+        return
+    if node.kind is NodeKind.TEXT:
+        pieces.append(escape_text(node.value))
+        return
+    if node.kind is NodeKind.COMMENT:
+        pieces.append(f"<!--{node.value}-->")
+        return
+    if node.kind is NodeKind.PROCESSING_INSTRUCTION:
+        data = f" {node.value}" if node.value else ""
+        pieces.append(f"<?{node.name}{data}?>")
+        return
+    if node.kind is NodeKind.ATTRIBUTE:
+        pieces.append(f' {node.name}="{escape_attribute(node.value)}"')
+        return
+    pieces.append(f"<{node.name}")
+    for attribute in node.attributes:
+        _serialize_node(attribute, pieces)
+    if not node.children:
+        pieces.append("/>")
+        return
+    pieces.append(">")
+    for child in node.children:
+        _serialize_node(child, pieces)
+    pieces.append(f"</{node.name}>")

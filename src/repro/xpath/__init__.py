@@ -1,0 +1,45 @@
+"""The VAMANA XPath compiler.
+
+A hand-written lexer and recursive-descent parser for the XPath 1.0
+location-path language: all 13 axes (plus the ``//``, ``.``, ``..`` and
+``@`` abbreviations), the four node-test families, nested predicates with
+``and`` / ``or`` / ``not()``, value comparisons, range comparisons,
+position predicates (``[3]``, ``position()``, ``last()``), arithmetic,
+union expressions, and the core function library.
+
+The output is the algebraic parse tree of Section IV-A of the paper (see
+:mod:`repro.xpath.ast`), which the plan builder then maps one-to-one onto
+VAMANA physical operators.
+"""
+
+from repro.xpath.ast import (
+    AndExpr,
+    BinaryOp,
+    Comparison,
+    FunctionCall,
+    LocationPath,
+    NumberLiteral,
+    OrExpr,
+    PathExpr,
+    Step,
+    StringLiteral,
+    UnionExpr,
+    XPathNode,
+)
+from repro.xpath.parser import parse_xpath
+
+__all__ = [
+    "parse_xpath",
+    "XPathNode",
+    "LocationPath",
+    "Step",
+    "StringLiteral",
+    "NumberLiteral",
+    "Comparison",
+    "AndExpr",
+    "OrExpr",
+    "BinaryOp",
+    "FunctionCall",
+    "UnionExpr",
+    "PathExpr",
+]

@@ -1,0 +1,189 @@
+"""The XPath parse tree (Section IV-A of the paper).
+
+Every location step becomes a :class:`Step` node carrying its axis, node
+test and predicate list; predicate expressions form a conventional
+expression tree beneath the step.  ``unparse()`` on any node reconstructs
+a semantically equivalent XPath string — used by the optimizer trace and
+by tests that cross-check rewritten queries against baseline engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model import Axis, NodeTest
+
+
+class XPathNode:
+    """Base class for all parse-tree nodes."""
+
+    def unparse(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.unparse()
+
+
+@dataclass(frozen=True)
+class Step(XPathNode):
+    """One location step: ``axis::nodetest[predicate]*``."""
+
+    axis: Axis
+    test: NodeTest
+    predicates: tuple["XPathNode", ...] = ()
+
+    def unparse(self) -> str:
+        text = f"{self.axis.value}::{self.test}"
+        for predicate in self.predicates:
+            text += f"[{predicate.unparse()}]"
+        return text
+
+    def with_predicates(self, predicates: tuple["XPathNode", ...]) -> "Step":
+        return Step(self.axis, self.test, predicates)
+
+
+@dataclass(frozen=True)
+class LocationPath(XPathNode):
+    """A (possibly absolute) sequence of steps."""
+
+    steps: tuple[Step, ...]
+    absolute: bool = False
+
+    def unparse(self) -> str:
+        inner = "/".join(step.unparse() for step in self.steps)
+        return ("/" + inner) if self.absolute else inner
+
+
+@dataclass(frozen=True)
+class StringLiteral(XPathNode):
+    value: str
+
+    def unparse(self) -> str:
+        if "'" in self.value:
+            return f'"{self.value}"'
+        return f"'{self.value}'"
+
+
+@dataclass(frozen=True)
+class NumberLiteral(XPathNode):
+    value: float
+
+    def unparse(self) -> str:
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Comparison(XPathNode):
+    """``left op right`` with op in = != < <= > >=."""
+
+    op: str
+    left: XPathNode
+    right: XPathNode
+
+    def unparse(self) -> str:
+        return f"{self.left.unparse()} {self.op} {self.right.unparse()}"
+
+
+@dataclass(frozen=True)
+class AndExpr(XPathNode):
+    left: XPathNode
+    right: XPathNode
+
+    def unparse(self) -> str:
+        return f"{self.left.unparse()} and {self.right.unparse()}"
+
+
+@dataclass(frozen=True)
+class OrExpr(XPathNode):
+    left: XPathNode
+    right: XPathNode
+
+    def unparse(self) -> str:
+        return f"{self.left.unparse()} or {self.right.unparse()}"
+
+
+@dataclass(frozen=True)
+class BinaryOp(XPathNode):
+    """Arithmetic: + - * div mod."""
+
+    op: str
+    left: XPathNode
+    right: XPathNode
+
+    def unparse(self) -> str:
+        return f"{self.left.unparse()} {self.op} {self.right.unparse()}"
+
+
+@dataclass(frozen=True)
+class Negate(XPathNode):
+    operand: XPathNode
+
+    def unparse(self) -> str:
+        return f"-{self.operand.unparse()}"
+
+
+@dataclass(frozen=True)
+class FunctionCall(XPathNode):
+    name: str
+    args: tuple[XPathNode, ...] = ()
+
+    def unparse(self) -> str:
+        inner = ", ".join(arg.unparse() for arg in self.args)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class UnionExpr(XPathNode):
+    """``path | path`` — evaluated as the node-set union."""
+
+    branches: tuple[XPathNode, ...]
+
+    def unparse(self) -> str:
+        return " | ".join(branch.unparse() for branch in self.branches)
+
+
+@dataclass(frozen=True)
+class PathExpr(XPathNode):
+    """A filter expression followed by a relative path, e.g. ``(..)/a``."""
+
+    primary: XPathNode
+    predicates: tuple[XPathNode, ...] = ()
+    steps: tuple[Step, ...] = ()
+
+    def unparse(self) -> str:
+        text = f"({self.primary.unparse()})"
+        for predicate in self.predicates:
+            text += f"[{predicate.unparse()}]"
+        if self.steps:
+            text += "/" + "/".join(step.unparse() for step in self.steps)
+        return text
+
+
+def iter_steps(node: XPathNode):
+    """Yield every Step in a parse tree (location paths and predicates)."""
+    if isinstance(node, Step):
+        yield node
+        for predicate in node.predicates:
+            yield from iter_steps(predicate)
+    elif isinstance(node, LocationPath):
+        for step in node.steps:
+            yield from iter_steps(step)
+    elif isinstance(node, (Comparison, AndExpr, OrExpr, BinaryOp)):
+        yield from iter_steps(node.left)
+        yield from iter_steps(node.right)
+    elif isinstance(node, Negate):
+        yield from iter_steps(node.operand)
+    elif isinstance(node, FunctionCall):
+        for arg in node.args:
+            yield from iter_steps(arg)
+    elif isinstance(node, UnionExpr):
+        for branch in node.branches:
+            yield from iter_steps(branch)
+    elif isinstance(node, PathExpr):
+        yield from iter_steps(node.primary)
+        for predicate in node.predicates:
+            yield from iter_steps(predicate)
+        for step in node.steps:
+            yield from iter_steps(step)

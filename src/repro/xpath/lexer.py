@@ -1,0 +1,205 @@
+"""XPath 1.0 lexer.
+
+Token disambiguation follows the spec's two special rules:
+
+* a name followed by ``::`` is an axis name;
+* a name followed by ``(`` is a function name or node-type test;
+* ``*`` is the multiply operator only where a binary operator is
+  grammatically expected (after an operand), otherwise it is the wildcard
+  name test — same for the operator names ``and``/``or``/``div``/``mod``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import XPathSyntaxError
+
+
+class TokenType(Enum):
+    NAME = "name"  # NCName (possibly prefixed)
+    AXIS = "axis"  # name followed by '::'
+    FUNCTION = "function"  # name followed by '('
+    NODE_TYPE = "node-type"  # text | node | comment | processing-instruction + '('
+    LITERAL = "literal"  # 'string' or "string"
+    NUMBER = "number"
+    OPERATOR = "operator"  # = != < <= > >= + - * div mod and or | /, //
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    AT = "@"
+    DOT = "."
+    DOTDOT = ".."
+    DOLLAR = "$"
+    END = "end"
+
+
+_NODE_TYPES = {"text", "node", "comment", "processing-instruction"}
+_OPERATOR_NAMES = {"and", "or", "div", "mod"}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}@{self.position})"
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in "_-."
+
+
+def tokenize(expression: str) -> list[Token]:
+    """Tokenize an XPath expression; raises XPathSyntaxError on bad input."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(expression)
+
+    def preceding_is_operand() -> bool:
+        """True if the previous token can end an operand (spec 3.7)."""
+        if not tokens:
+            return False
+        last = tokens[-1]
+        if last.type in (
+            TokenType.NAME,
+            TokenType.LITERAL,
+            TokenType.NUMBER,
+            TokenType.RBRACKET,
+            TokenType.RPAREN,
+            TokenType.DOT,
+            TokenType.DOTDOT,
+        ):
+            return True
+        return False
+
+    while position < length:
+        char = expression[position]
+        if char in " \t\r\n":
+            position += 1
+            continue
+        start = position
+        if char == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", start))
+            position += 1
+        elif char == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", start))
+            position += 1
+        elif char == "[":
+            tokens.append(Token(TokenType.LBRACKET, "[", start))
+            position += 1
+        elif char == "]":
+            tokens.append(Token(TokenType.RBRACKET, "]", start))
+            position += 1
+        elif char == ",":
+            tokens.append(Token(TokenType.COMMA, ",", start))
+            position += 1
+        elif char == "@":
+            tokens.append(Token(TokenType.AT, "@", start))
+            position += 1
+        elif char == "$":
+            tokens.append(Token(TokenType.DOLLAR, "$", start))
+            position += 1
+        elif char == ".":
+            if expression.startswith("..", position):
+                tokens.append(Token(TokenType.DOTDOT, "..", start))
+                position += 2
+            elif position + 1 < length and expression[position + 1].isdigit():
+                position = _lex_number(expression, position, tokens)
+            else:
+                tokens.append(Token(TokenType.DOT, ".", start))
+                position += 1
+        elif char == "/":
+            if expression.startswith("//", position):
+                tokens.append(Token(TokenType.OPERATOR, "//", start))
+                position += 2
+            else:
+                tokens.append(Token(TokenType.OPERATOR, "/", start))
+                position += 1
+        elif char in "|+-=":
+            tokens.append(Token(TokenType.OPERATOR, char, start))
+            position += 1
+        elif char == "!":
+            if not expression.startswith("!=", position):
+                raise XPathSyntaxError("'!' must be followed by '='", expression, start)
+            tokens.append(Token(TokenType.OPERATOR, "!=", start))
+            position += 2
+        elif char in "<>":
+            if expression.startswith(char + "=", position):
+                tokens.append(Token(TokenType.OPERATOR, char + "=", start))
+                position += 2
+            else:
+                tokens.append(Token(TokenType.OPERATOR, char, start))
+                position += 1
+        elif char == "*":
+            if preceding_is_operand():
+                tokens.append(Token(TokenType.OPERATOR, "*", start))
+            else:
+                tokens.append(Token(TokenType.NAME, "*", start))
+            position += 1
+        elif char in "'\"":
+            end = expression.find(char, position + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated string literal", expression, start)
+            tokens.append(Token(TokenType.LITERAL, expression[position + 1 : end], start))
+            position = end + 1
+        elif char.isdigit():
+            position = _lex_number(expression, position, tokens)
+        elif _is_name_start(char):
+            position += 1
+            while position < length and _is_name_char(expression[position]):
+                position += 1
+            # Allow one prefix colon (ns:name) but not '::'.
+            if (
+                position < length
+                and expression[position] == ":"
+                and not expression.startswith("::", position)
+                and position + 1 < length
+                and _is_name_start(expression[position + 1])
+            ):
+                position += 1
+                while position < length and _is_name_char(expression[position]):
+                    position += 1
+            name = expression[start:position]
+            # Lookahead for classification.
+            lookahead = position
+            while lookahead < length and expression[lookahead] in " \t\r\n":
+                lookahead += 1
+            if expression.startswith("::", lookahead):
+                tokens.append(Token(TokenType.AXIS, name, start))
+                position = lookahead + 2
+            elif lookahead < length and expression[lookahead] == "(":
+                token_type = (
+                    TokenType.NODE_TYPE if name in _NODE_TYPES else TokenType.FUNCTION
+                )
+                tokens.append(Token(token_type, name, start))
+            elif name in _OPERATOR_NAMES and preceding_is_operand():
+                tokens.append(Token(TokenType.OPERATOR, name, start))
+            else:
+                tokens.append(Token(TokenType.NAME, name, start))
+        else:
+            raise XPathSyntaxError(f"unexpected character {char!r}", expression, start)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens
+
+
+def _lex_number(expression: str, position: int, tokens: list[Token]) -> int:
+    start = position
+    length = len(expression)
+    while position < length and expression[position].isdigit():
+        position += 1
+    if position < length and expression[position] == ".":
+        position += 1
+        while position < length and expression[position].isdigit():
+            position += 1
+    tokens.append(Token(TokenType.NUMBER, expression[start:position], start))
+    return position

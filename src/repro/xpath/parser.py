@@ -1,0 +1,329 @@
+"""Recursive-descent parser for XPath 1.0 location paths and predicates.
+
+Grammar (spec productions, with the standard abbreviations expanded during
+parsing):
+
+* ``//`` becomes a ``descendant-or-self::node()`` step,
+* ``.`` becomes ``self::node()``, ``..`` becomes ``parent::node()``,
+* ``@name`` becomes ``attribute::name``,
+* a bare name test defaults to the ``child`` axis,
+* a bare number predicate ``[3]`` is kept as a NumberLiteral — the plan
+  builder turns it into a position predicate.
+
+Variables (``$x``) are recognised by the lexer but rejected here: VAMANA
+evaluates standalone XPath, where no variable bindings exist.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathSyntaxError
+from repro.model import Axis, NodeTest
+from repro.xpath.ast import (
+    AndExpr,
+    BinaryOp,
+    Comparison,
+    FunctionCall,
+    LocationPath,
+    Negate,
+    NumberLiteral,
+    OrExpr,
+    PathExpr,
+    Step,
+    StringLiteral,
+    UnionExpr,
+    XPathNode,
+)
+from repro.xpath.lexer import Token, TokenType, tokenize
+
+_AXES_BY_NAME = {axis.value: axis for axis in Axis}
+
+#: Functions the engine implements; the parser rejects others eagerly so a
+#: typo fails at compile time, not mid-execution.
+KNOWN_FUNCTIONS = {
+    "position": (0, 0),
+    "last": (0, 0),
+    "count": (1, 1),
+    "not": (1, 1),
+    "true": (0, 0),
+    "false": (0, 0),
+    "contains": (2, 2),
+    "starts-with": (2, 2),
+    "string": (0, 1),
+    "number": (0, 1),
+    "string-length": (0, 1),
+    "normalize-space": (0, 1),
+    "name": (0, 1),
+    "local-name": (0, 1),
+    "concat": (2, 15),
+    "sum": (1, 1),
+    "floor": (1, 1),
+    "ceiling": (1, 1),
+    "round": (1, 1),
+    "boolean": (1, 1),
+    "substring": (2, 3),
+    "substring-before": (2, 2),
+    "substring-after": (2, 2),
+    "translate": (3, 3),
+}
+
+
+class _Parser:
+    def __init__(self, expression: str):
+        self.expression = expression
+        self.tokens = tokenize(expression)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def accept(self, token_type: TokenType, value: str | None = None) -> Token | None:
+        token = self.current
+        if token.type is token_type and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    def expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        token = self.accept(token_type, value)
+        if token is None:
+            wanted = value or token_type.value
+            raise XPathSyntaxError(
+                f"expected {wanted!r}, found {self.current.value!r}",
+                self.expression,
+                self.current.position,
+            )
+        return token
+
+    def error(self, message: str) -> XPathSyntaxError:
+        return XPathSyntaxError(message, self.expression, self.current.position)
+
+    # -- entry --------------------------------------------------------------
+
+    def parse(self) -> XPathNode:
+        expr = self.parse_or()
+        if self.current.type is not TokenType.END:
+            raise self.error(f"unexpected trailing {self.current.value!r}")
+        return expr
+
+    # -- expression grammar ----------------------------------------------------
+
+    def parse_or(self) -> XPathNode:
+        left = self.parse_and()
+        while self.accept(TokenType.OPERATOR, "or"):
+            left = OrExpr(left, self.parse_and())
+        return left
+
+    def parse_and(self) -> XPathNode:
+        left = self.parse_equality()
+        while self.accept(TokenType.OPERATOR, "and"):
+            left = AndExpr(left, self.parse_equality())
+        return left
+
+    def parse_equality(self) -> XPathNode:
+        left = self.parse_relational()
+        while True:
+            for op in ("=", "!="):
+                if self.accept(TokenType.OPERATOR, op):
+                    left = Comparison(op, left, self.parse_relational())
+                    break
+            else:
+                return left
+
+    def parse_relational(self) -> XPathNode:
+        left = self.parse_additive()
+        while True:
+            for op in ("<=", ">=", "<", ">"):
+                if self.accept(TokenType.OPERATOR, op):
+                    left = Comparison(op, left, self.parse_additive())
+                    break
+            else:
+                return left
+
+    def parse_additive(self) -> XPathNode:
+        left = self.parse_multiplicative()
+        while True:
+            for op in ("+", "-"):
+                if self.accept(TokenType.OPERATOR, op):
+                    left = BinaryOp(op, left, self.parse_multiplicative())
+                    break
+            else:
+                return left
+
+    def parse_multiplicative(self) -> XPathNode:
+        left = self.parse_unary()
+        while True:
+            for op in ("*", "div", "mod"):
+                if self.accept(TokenType.OPERATOR, op):
+                    left = BinaryOp(op, left, self.parse_unary())
+                    break
+            else:
+                return left
+
+    def parse_unary(self) -> XPathNode:
+        if self.accept(TokenType.OPERATOR, "-"):
+            return Negate(self.parse_unary())
+        return self.parse_union()
+
+    def parse_union(self) -> XPathNode:
+        branches = [self.parse_path_expr()]
+        while self.accept(TokenType.OPERATOR, "|"):
+            branches.append(self.parse_path_expr())
+        if len(branches) == 1:
+            return branches[0]
+        return UnionExpr(tuple(branches))
+
+    # -- paths -------------------------------------------------------------------
+
+    def parse_path_expr(self) -> XPathNode:
+        token = self.current
+        if token.type in (TokenType.LITERAL, TokenType.NUMBER, TokenType.FUNCTION,
+                          TokenType.LPAREN, TokenType.DOLLAR):
+            primary = self.parse_primary()
+            predicates: list[XPathNode] = []
+            while self.accept(TokenType.LBRACKET):
+                predicates.append(self.parse_or())
+                self.expect(TokenType.RBRACKET)
+            steps: list[Step] = []
+            while self.current.type is TokenType.OPERATOR and self.current.value in ("/", "//"):
+                separator = self.advance().value
+                if separator == "//":
+                    steps.append(Step(Axis.DESCENDANT_OR_SELF, NodeTest.node()))
+                steps.append(self.parse_step())
+            if not predicates and not steps:
+                return primary
+            return PathExpr(primary, tuple(predicates), tuple(steps))
+        return self.parse_location_path()
+
+    def parse_primary(self) -> XPathNode:
+        token = self.current
+        if token.type is TokenType.LITERAL:
+            self.advance()
+            return StringLiteral(token.value)
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return NumberLiteral(float(token.value))
+        if token.type is TokenType.DOLLAR:
+            raise self.error("variable references are not supported")
+        if token.type is TokenType.LPAREN:
+            self.advance()
+            inner = self.parse_or()
+            self.expect(TokenType.RPAREN)
+            return inner
+        if token.type is TokenType.FUNCTION:
+            return self.parse_function()
+        raise self.error(f"unexpected {token.value!r}")
+
+    def parse_function(self) -> FunctionCall:
+        token = self.expect(TokenType.FUNCTION)
+        name = token.value
+        if name not in KNOWN_FUNCTIONS:
+            raise XPathSyntaxError(
+                f"unknown function {name}()", self.expression, token.position
+            )
+        self.expect(TokenType.LPAREN)
+        args: list[XPathNode] = []
+        if not self.accept(TokenType.RPAREN):
+            args.append(self.parse_or())
+            while self.accept(TokenType.COMMA):
+                args.append(self.parse_or())
+            self.expect(TokenType.RPAREN)
+        minimum, maximum = KNOWN_FUNCTIONS[name]
+        if not minimum <= len(args) <= maximum:
+            raise XPathSyntaxError(
+                f"{name}() takes {minimum}..{maximum} arguments, got {len(args)}",
+                self.expression,
+                token.position,
+            )
+        return FunctionCall(name, tuple(args))
+
+    def parse_location_path(self) -> LocationPath:
+        steps: list[Step] = []
+        absolute = False
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.value in ("/", "//"):
+            absolute = True
+            self.advance()
+            if token.value == "//":
+                steps.append(Step(Axis.DESCENDANT_OR_SELF, NodeTest.node()))
+            elif not self._step_ahead():
+                # bare '/': the document node itself
+                return LocationPath((), absolute=True)
+        steps.append(self.parse_step())
+        while self.current.type is TokenType.OPERATOR and self.current.value in ("/", "//"):
+            separator = self.advance().value
+            if separator == "//":
+                steps.append(Step(Axis.DESCENDANT_OR_SELF, NodeTest.node()))
+            steps.append(self.parse_step())
+        return LocationPath(tuple(steps), absolute=absolute)
+
+    def _step_ahead(self) -> bool:
+        return self.current.type in (
+            TokenType.NAME,
+            TokenType.AXIS,
+            TokenType.NODE_TYPE,
+            TokenType.AT,
+            TokenType.DOT,
+            TokenType.DOTDOT,
+        )
+
+    def parse_step(self) -> Step:
+        if self.accept(TokenType.DOT):
+            return Step(Axis.SELF, NodeTest.node())
+        if self.accept(TokenType.DOTDOT):
+            return Step(Axis.PARENT, NodeTest.node())
+        axis = Axis.CHILD
+        axis_token = self.accept(TokenType.AXIS)
+        if axis_token is not None:
+            if axis_token.value not in _AXES_BY_NAME:
+                raise XPathSyntaxError(
+                    f"unknown axis {axis_token.value!r}",
+                    self.expression,
+                    axis_token.position,
+                )
+            axis = _AXES_BY_NAME[axis_token.value]
+        elif self.accept(TokenType.AT):
+            axis = Axis.ATTRIBUTE
+        test = self.parse_node_test()
+        predicates: list[XPathNode] = []
+        while self.accept(TokenType.LBRACKET):
+            predicates.append(self.parse_or())
+            self.expect(TokenType.RBRACKET)
+        return Step(axis, test, tuple(predicates))
+
+    def parse_node_test(self) -> NodeTest:
+        token = self.current
+        if token.type is TokenType.NAME:
+            self.advance()
+            return NodeTest.name_test(token.value)
+        if token.type is TokenType.NODE_TYPE:
+            self.advance()
+            self.expect(TokenType.LPAREN)
+            if token.value == "processing-instruction":
+                target = self.accept(TokenType.LITERAL)
+                self.expect(TokenType.RPAREN)
+                return NodeTest.processing_instruction(target.value if target else "")
+            self.expect(TokenType.RPAREN)
+            if token.value == "text":
+                return NodeTest.text()
+            if token.value == "comment":
+                return NodeTest.comment()
+            return NodeTest.node()
+        raise self.error(f"expected a node test, found {token.value!r}")
+
+
+def parse_xpath(expression: str) -> XPathNode:
+    """Parse an XPath 1.0 expression into a parse tree.
+
+    Returns a :class:`~repro.xpath.ast.LocationPath` for plain paths, or
+    the corresponding expression node for general expressions.
+    """
+    if not expression or not expression.strip():
+        raise XPathSyntaxError("empty XPath expression", expression, 0)
+    return _Parser(expression).parse()

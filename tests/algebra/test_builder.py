@@ -1,0 +1,160 @@
+"""Default-plan construction tests (parse tree → physical plan)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError
+from repro.model import Axis, NodeTestKind
+from repro.algebra.builder import build_default_plan
+from repro.algebra.plan import (
+    BinaryPredicateNode,
+    ExistsNode,
+    LiteralNode,
+    NumberNode,
+    PathExprNode,
+    RootNode,
+    StepNode,
+    UnionNode,
+)
+
+
+def context_chain(plan):
+    chain = []
+    node = plan.root.context_child
+    while node is not None:
+        chain.append(node)
+        node = node.context_child
+    return chain
+
+
+class TestChains:
+    def test_q1_default_chain(self):
+        plan = build_default_plan("descendant::name/parent::*/self::person/address")
+        chain = context_chain(plan)
+        assert [node.axis for node in chain] == [
+            Axis.CHILD,
+            Axis.SELF,
+            Axis.PARENT,
+            Axis.DESCENDANT,
+        ]
+        assert isinstance(plan.root, RootNode)
+
+    def test_leaf_has_no_context_child(self):
+        plan = build_default_plan("//person/address")
+        assert context_chain(plan)[-1].context_child is None
+
+    def test_double_slash_collapsed_at_compile_time(self):
+        plan = build_default_plan("//person")
+        chain = context_chain(plan)
+        assert len(chain) == 1
+        assert chain[0].axis is Axis.DESCENDANT
+        assert chain[0].test.name == "person"
+
+    def test_interior_double_slash_collapsed(self):
+        plan = build_default_plan("//a//b")
+        chain = context_chain(plan)
+        assert [node.axis for node in chain] == [Axis.DESCENDANT, Axis.DESCENDANT]
+
+    def test_positional_predicate_blocks_collapse(self):
+        plan = build_default_plan("//person[2]")
+        chain = context_chain(plan)
+        assert len(chain) == 2
+        assert chain[0].axis is Axis.CHILD
+        assert chain[1].axis is Axis.DESCENDANT_OR_SELF
+
+    def test_boolean_predicate_allows_collapse(self):
+        plan = build_default_plan("//person[address]")
+        assert len(context_chain(plan)) == 1
+
+    def test_position_function_blocks_collapse(self):
+        plan = build_default_plan("//person[position() = 2]")
+        assert len(context_chain(plan)) == 2
+
+    def test_ids_are_unique_and_dense(self):
+        plan = build_default_plan("//a[b = 'x']/c")
+        ids = [node.op_id for node in plan.walk()]
+        assert ids == list(range(1, len(ids) + 1))
+
+
+class TestPredicateTrees:
+    def test_q2_shape(self):
+        """Figure 4b: binary EQ over a text()-step path and a literal."""
+        plan = build_default_plan("//name[text() = 'Yung Flach']")
+        step = context_chain(plan)[0]
+        predicate = step.predicates[0]
+        assert isinstance(predicate, BinaryPredicateNode) and predicate.op == "="
+        assert isinstance(predicate.left, PathExprNode)
+        path = predicate.left.path
+        assert isinstance(path, StepNode)
+        assert path.test.kind is NodeTestKind.TEXT and path.context_child is None
+        assert isinstance(predicate.right, LiteralNode)
+        assert predicate.right.value == "Yung Flach"
+
+    def test_bare_path_predicate_becomes_exists(self):
+        plan = build_default_plan("//person[address]")
+        predicate = context_chain(plan)[0].predicates[0]
+        assert isinstance(predicate, ExistsNode)
+        assert predicate.path.test.name == "address"
+
+    def test_number_predicate_kept_as_number(self):
+        plan = build_default_plan("person[3]")
+        predicate = context_chain(plan)[0].predicates[0]
+        assert isinstance(predicate, NumberNode) and predicate.value == 3
+
+    def test_and_of_paths(self):
+        plan = build_default_plan("//p[a and b]")
+        predicate = context_chain(plan)[0].predicates[0]
+        assert isinstance(predicate, BinaryPredicateNode) and predicate.op == "and"
+        assert isinstance(predicate.left, ExistsNode)
+        assert isinstance(predicate.right, ExistsNode)
+
+    def test_nested_predicate_paths(self):
+        plan = build_default_plan("//p[a[b]]")
+        outer = context_chain(plan)[0].predicates[0]
+        inner = outer.path.predicates[0]
+        assert isinstance(inner, ExistsNode)
+        assert inner.path.test.name == "b"
+
+    def test_union_plan(self):
+        plan = build_default_plan("//a | //b")
+        union = plan.root.context_child
+        assert isinstance(union, UnionNode) and len(union.branches) == 2
+
+    def test_value_expression_rejected(self):
+        with pytest.raises(PlanError):
+            build_default_plan("1 + 2")
+        with pytest.raises(PlanError):
+            build_default_plan("count(//a)")
+
+
+class TestCloneAndExplain:
+    def test_clone_is_deep(self):
+        plan = build_default_plan("//a[b]")
+        copy = plan.clone()
+        copy.root.context_child.predicates.clear()
+        assert len(plan.root.context_child.predicates) == 1  # original untouched
+
+    def test_clone_does_not_share_cost_objects(self):
+        plan = build_default_plan("//a")
+        copy = plan.clone()
+        copy.root.context_child.cost.tuples_out = 99
+        assert plan.root.context_child.cost.tuples_out is None
+
+    def test_clone_preserves_ids(self):
+        plan = build_default_plan("//a[b = 'x']/c")
+        copy = plan.clone()
+        assert [n.op_id for n in plan.walk()] == [n.op_id for n in copy.walk()]
+
+    def test_explain_mentions_operators(self):
+        plan = build_default_plan("//name[text() = 'v']")
+        text = plan.explain(costs=False)
+        assert "R_1" in text and "Beta" in text and "L_" in text
+
+    def test_expression_recorded(self):
+        plan = build_default_plan("//a")
+        assert plan.expression == "//a"
+
+    def test_leaf_helper(self):
+        plan = build_default_plan("//a/b/c")
+        assert plan.root.leaf().test.name == "a"

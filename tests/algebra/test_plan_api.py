@@ -1,0 +1,135 @@
+"""Plan-node API: identity, walking, cost annotations, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import Axis, NodeTest
+from repro.algebra.builder import build_default_plan
+from repro.algebra.plan import (
+    CostInfo,
+    LiteralNode,
+    QueryPlan,
+    RootNode,
+    StepNode,
+    UnionNode,
+    ValueStepNode,
+)
+
+
+class TestCostInfo:
+    def test_annotate_empty(self):
+        assert CostInfo().annotate() == ""
+
+    def test_annotate_full(self):
+        info = CostInfo(count=10, text_count=2, tuples_in=5, tuples_out=3, selectivity=0.5)
+        text = info.annotate()
+        assert "COUNT=10" in text and "TC=2" in text
+        assert "IN=5" in text and "OUT=3" in text and "sel=0.500" in text
+
+    def test_annotate_partial(self):
+        assert CostInfo(count=4).annotate() == "COUNT=4"
+
+
+class TestDescribe:
+    def test_step_describe(self):
+        step = StepNode(Axis.CHILD, NodeTest.name_test("a"))
+        step.op_id = 7
+        assert step.describe() == "Phi_7[child::a]"
+
+    def test_value_step_describe(self):
+        node = ValueStepNode("x")
+        node.op_id = 3
+        assert node.describe() == "Phi_3[value::'x']"
+
+    def test_literal_describe(self):
+        literal = LiteralNode("Yung Flach")
+        literal.op_id = 4
+        assert "L_4" in literal.describe() and "Yung Flach" in literal.describe()
+
+    def test_root_symbol(self):
+        assert RootNode().symbol() == "R"
+
+
+class TestWalk:
+    def test_walk_is_preorder(self):
+        plan = build_default_plan("//a[b = 'x']/c")
+        nodes = plan.operators()
+        assert nodes[0] is plan.root
+        ids = [node.op_id for node in nodes]
+        assert ids == sorted(ids)
+
+    def test_renumber_is_dense_after_mutation(self):
+        plan = build_default_plan("//a/b")
+        step = plan.root.context_child
+        step.context_child = None  # drop the leaf
+        plan.renumber()
+        assert [node.op_id for node in plan.walk()] == [1, 2]
+
+    def test_walk_covers_union_branches(self):
+        plan = build_default_plan("//a | //b")
+        names = [
+            node.test.name
+            for node in plan.walk()
+            if isinstance(node, StepNode)
+        ]
+        assert names == ["a", "b"]
+
+    def test_leaf_of_chain(self):
+        plan = build_default_plan("//a/b/c")
+        assert plan.root.leaf().test.name == "a"
+
+
+class TestExplain:
+    def test_without_costs(self):
+        plan = build_default_plan("//a")
+        assert "COUNT" not in plan.explain(costs=False)
+
+    def test_with_costs_after_estimation(self, small_store):
+        from repro.cost.estimator import CostEstimator
+
+        plan = build_default_plan("//person")
+        CostEstimator(small_store).estimate(plan)
+        assert "COUNT=3" in plan.explain()
+
+    def test_predicate_sections_labelled(self):
+        plan = build_default_plan("//a[b]")
+        text = plan.explain(costs=False)
+        assert "pred:" in text and "path:" in text
+
+    def test_union_sections_labelled(self):
+        plan = build_default_plan("//a | //b")
+        assert plan.explain(costs=False).count("ctx:") >= 2
+
+
+class TestCloneIdentity:
+    def test_union_clone_deep(self):
+        plan = build_default_plan("//a | //b")
+        copy = plan.clone()
+        union = copy.root.context_child
+        assert isinstance(union, UnionNode)
+        union.branches.pop()
+        assert len(plan.root.context_child.branches) == 2
+
+    def test_value_step_clone_keeps_flags(self):
+        node = ValueStepNode("v", text_only=False)
+        assert node.clone().text_only is False
+
+    def test_root_distinct_flag_cloned(self):
+        plan = build_default_plan("//a")
+        plan.root.distinct = False
+        assert plan.clone().root.distinct is False
+
+
+class TestManualConstruction:
+    def test_predicates_list_is_mutable(self):
+        step = StepNode(Axis.CHILD, NodeTest.name_test("a"))
+        step.predicates.append(LiteralNode("x"))
+        assert len(list(step.children())) == 1
+
+    def test_chain_with_context(self):
+        inner = StepNode(Axis.DESCENDANT, NodeTest.name_test("a"))
+        outer = StepNode(Axis.CHILD, NodeTest.name_test("b"), context_child=inner)
+        plan = QueryPlan(RootNode(outer), "manual")
+        plan.renumber()
+        assert [node.op_id for node in plan.walk()] == [1, 2, 3]

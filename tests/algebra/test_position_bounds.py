@@ -1,0 +1,100 @@
+"""Position-predicate early termination (range position predicates).
+
+``[3]`` and ``[position() <= k]`` carry a static ceiling: the stage stops
+pulling candidates from the index once it is reached, so ``//x/y[1]``
+does one probe per context instead of scanning every y.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.loader import load_xml
+from repro.algebra.builder import build_default_plan
+from repro.algebra.execution import (
+    CompiledPredicate,
+    ExpressionEvaluator,
+    _position_stop_bound,
+    execute_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def store():
+    items = "".join(f"<item><n>{index}</n></item>" for index in range(100))
+    return load_xml(f"<root><list>{items}</list></root>")
+
+
+def predicate_of(store, query):
+    plan = build_default_plan(query)
+    node = plan.root.context_child
+    while not node.predicates:
+        node = node.context_child
+    return CompiledPredicate(node.predicates[0], ExpressionEvaluator(store))
+
+
+class TestStaticBounds:
+    def test_bare_number(self, store):
+        assert predicate_of(store, "//item[3]").stop_after == 3
+
+    def test_position_le(self, store):
+        assert predicate_of(store, "//item[position() <= 5]").stop_after == 5
+
+    def test_position_lt(self, store):
+        assert predicate_of(store, "//item[position() < 5]").stop_after == 4
+
+    def test_position_eq(self, store):
+        assert predicate_of(store, "//item[position() = 7]").stop_after == 7
+
+    def test_reversed_operands(self, store):
+        assert predicate_of(store, "//item[5 >= position()]").stop_after == 5
+
+    def test_no_bound_for_ge(self, store):
+        assert predicate_of(store, "//item[position() >= 5]").stop_after is None
+
+    def test_no_bound_for_boolean(self, store):
+        assert predicate_of(store, "//item[n]").stop_after is None
+
+    def test_no_bound_with_last(self, store):
+        assert predicate_of(store, "//item[position() = last()]").stop_after is None
+
+    def test_fractional_position_matches_nothing(self, store):
+        assert predicate_of(store, "//item[2.5]").stop_after == 0
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "query,expected",
+        [
+            ("//list/item[1]/n", ["0"]),
+            ("//list/item[3]/n", ["2"]),
+            ("//list/item[position() <= 3]/n", ["0", "1", "2"]),
+            ("//list/item[position() < 3]/n", ["0", "1"]),
+            ("//list/item[2.5]", []),
+            ("//list/item[position() = 100]/n", ["99"]),
+            ("//list/item[position() <= 0]", []),
+        ],
+    )
+    def test_results(self, store, query, expected):
+        plan = build_default_plan(query)
+        keys = sorted(set(execute_plan(plan, store)))
+        values = [store.string_value(key) for key in keys]
+        assert values == expected
+
+
+class TestEarlyTermination:
+    def test_first_item_does_not_scan_the_list(self, store):
+        """//list/item[1] must touch O(1) index entries, not all 100."""
+        plan = build_default_plan("//list/item[1]")
+        store.reset_metrics()
+        result = list(execute_plan(plan, store))
+        assert len(result) == 1
+        scanned = store.io_snapshot()["entries_scanned"]
+        assert scanned < 20
+
+    def test_unbounded_predicate_scans_everything(self, store):
+        plan = build_default_plan("//list/item[n >= 0]")
+        store.reset_metrics()
+        result = list(execute_plan(plan, store))
+        assert len(result) == 100
+        assert store.io_snapshot()["entries_scanned"] >= 100

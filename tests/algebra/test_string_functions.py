@@ -1,0 +1,94 @@
+"""The string-function core library, cross-checked between engines.
+
+substring() in particular has famously fiddly spec semantics (1-based,
+round() on both arguments, NaN handling) — the test cases below include
+the examples from the XPath 1.0 recommendation itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.engine import VamanaEngine
+from repro.mass.loader import load_xml
+from repro.baselines.dom_engine import DomTraversalEngine
+from repro.baselines.profiles import JAXEN_PROFILE
+
+DOC = "<r><v>12345</v><w>hello world</w></r>"
+
+
+@pytest.fixture(scope="module")
+def engines():
+    vamana = VamanaEngine(load_xml(DOC))
+    dom = DomTraversalEngine(JAXEN_PROFILE)
+    dom.load(DOC)
+    return vamana, dom
+
+
+# (expression, expected) — spec examples marked with a comment
+CASES = [
+    ("substring('12345', 2, 3)", "234"),  # spec
+    ("substring('12345', 2)", "2345"),  # spec
+    ("substring('12345', 1.5, 2.6)", "234"),  # spec
+    ("substring('12345', 0, 3)", "12"),  # spec
+    ("substring('12345', 0 div 0, 3)", ""),  # spec: NaN start
+    ("substring('12345', 1, 0 div 0)", ""),  # spec: NaN length
+    ("substring('12345', -42, 1 div 0)", "12345"),  # spec
+    ("substring('12345', -1 div 0, 1 div 0)", ""),  # spec
+    ("substring(//v, 2, 2)", "23"),
+    ("substring-before('1999/04/01', '/')", "1999"),  # spec
+    ("substring-before('abc', 'x')", ""),
+    ("substring-after('1999/04/01', '/')", "04/01"),  # spec
+    ("substring-after('1999/04/01', '19')", "99/04/01"),  # spec
+    ("substring-after('abc', 'x')", ""),
+    ("translate('bar', 'abc', 'ABC')", "BAr"),  # spec
+    ("translate('--aaa--', 'abc-', 'ABC')", "AAA"),  # spec
+    ("translate('aab', 'aa', 'xy')", "xxb"),  # first mapping wins
+    ("concat(substring-before(//w, ' '), '!')", "hello!"),
+]
+
+
+@pytest.mark.parametrize("expression,expected", CASES, ids=[c[0] for c in CASES])
+def test_string_functions(engines, expression, expected):
+    vamana, dom = engines
+    assert vamana.evaluate_value(expression) == expected
+    assert dom.evaluate_value(expression) == expected
+
+
+BOOLEAN_CASES = [
+    ("boolean(1)", True),
+    ("boolean(0)", False),
+    ("boolean('x')", True),
+    ("boolean('')", False),
+    ("boolean(//v)", True),
+    ("boolean(//missing)", False),
+]
+
+
+@pytest.mark.parametrize("expression,expected", BOOLEAN_CASES, ids=[c[0] for c in BOOLEAN_CASES])
+def test_boolean_function(engines, expression, expected):
+    vamana, dom = engines
+    assert vamana.evaluate_value(expression) is expected
+    assert dom.evaluate_value(expression) is expected
+
+
+def test_in_predicates(engines):
+    vamana, dom = engines
+    query = "//w[substring(., 1, 5) = 'hello']"
+    assert len(vamana.evaluate(query)) == 1
+    assert len(dom.evaluate(query)) == 1
+    query = "//v[translate(., '12345', 'abcde') = 'abcde']"
+    assert len(vamana.evaluate(query)) == 1
+    assert len(dom.evaluate(query)) == 1
+
+
+def test_parser_arities():
+    from repro.errors import XPathSyntaxError
+    from repro.xpath.parser import parse_xpath
+
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath("substring('a')")
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath("translate('a', 'b')")
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath("boolean()")

@@ -1,0 +1,182 @@
+"""XPath 1.0 value model: conversions, comparisons, functions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.mass.loader import load_xml
+from repro.algebra.execution import NodeSetValue, to_boolean, to_number, to_string
+
+
+@pytest.fixture(scope="module")
+def store():
+    return load_xml("<a><b>1</b><b>2</b></a>")
+
+
+def node_set(store, keys):
+    return NodeSetValue(lambda: iter(keys), store)
+
+
+class TestToBoolean:
+    def test_booleans(self):
+        assert to_boolean(True) is True
+        assert to_boolean(False) is False
+
+    def test_numbers(self):
+        assert to_boolean(1.0) and to_boolean(-0.5)
+        assert not to_boolean(0.0)
+        assert not to_boolean(math.nan)
+
+    def test_strings(self):
+        assert to_boolean("x") and to_boolean("false")
+        assert not to_boolean("")
+
+    def test_node_sets(self, store):
+        assert not to_boolean(node_set(store, []))
+        some_key = next(iter(store.node_index.scan(None, None))).key
+        assert to_boolean(node_set(store, [some_key]))
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ExecutionError):
+            to_boolean(object())
+
+
+class TestToNumber:
+    def test_booleans(self):
+        assert to_number(True) == 1.0
+        assert to_number(False) == 0.0
+
+    def test_strings(self):
+        assert to_number("  42 ") == 42.0
+        assert to_number("3.5") == 3.5
+        assert math.isnan(to_number("abc"))
+        assert math.isnan(to_number(""))
+
+    def test_node_set_uses_first_string_value(self, store):
+        texts = [
+            record.key
+            for record in store.node_index.scan(None, None)
+            if record.name == "b"
+        ]
+        assert to_number(node_set(store, texts)) == 1.0
+
+
+class TestToString:
+    def test_booleans(self):
+        assert to_string(True) == "true"
+        assert to_string(False) == "false"
+
+    def test_numbers(self):
+        assert to_string(3.0) == "3"
+        assert to_string(-2.0) == "-2"
+        assert to_string(math.nan) == "NaN"
+        assert to_string(2.5) == "2.5"
+
+    def test_empty_node_set(self, store):
+        assert to_string(node_set(store, [])) == ""
+
+    def test_node_set_first_in_document_order(self, store):
+        texts = [
+            record.key
+            for record in store.node_index.scan(None, None)
+            if record.name == "b"
+        ]
+        # even if iteration order is reversed, string() takes the first
+        # node in *document* order
+        assert to_string(node_set(store, list(reversed(texts)))) == "1"
+
+
+class TestNodeSetValue:
+    def test_count_and_empty(self, store):
+        assert node_set(store, []).count() == 0
+        assert node_set(store, []).is_empty()
+
+    def test_reiterable(self, store):
+        keys = [record.key for record in store.node_index.scan(None, None)]
+        value = node_set(store, keys)
+        assert value.count() == value.count()
+
+
+class TestComparisonsViaQueries:
+    """Comparison semantics exercised through real predicate evaluation."""
+
+    @pytest.fixture(scope="class")
+    def numbers_store(self):
+        return load_xml(
+            "<r><v>10</v><v>2</v><v>x</v><w a='2'>2</w><empty/></r>"
+        )
+
+    def run(self, store, query):
+        from repro.algebra.builder import build_default_plan
+        from repro.algebra.execution import execute_plan
+
+        return len(set(execute_plan(build_default_plan(query), store)))
+
+    def test_nodeset_vs_number_is_existential(self, numbers_store):
+        assert self.run(numbers_store, "//r[v > 5]") == 1
+        assert self.run(numbers_store, "//r[v > 100]") == 0
+
+    def test_nodeset_vs_string_equality(self, numbers_store):
+        assert self.run(numbers_store, "//r[v = 'x']") == 1
+        assert self.run(numbers_store, "//r[v = 'y']") == 0
+
+    def test_nodeset_vs_nodeset(self, numbers_store):
+        # some v equals some w ('2' = '2')
+        assert self.run(numbers_store, "//r[v = w]") == 1
+        assert self.run(numbers_store, "//r[v = missing]") == 0
+
+    def test_both_eq_and_neq_can_hold(self, numbers_store):
+        """Existential semantics: v = 2 and v != 2 are both true."""
+        assert self.run(numbers_store, "//r[v = 2]") == 1
+        assert self.run(numbers_store, "//r[v != 2]") == 1
+
+    def test_nodeset_vs_boolean(self, numbers_store):
+        assert self.run(numbers_store, "//r[(v) = true()]") == 1
+        assert self.run(numbers_store, "//r[(missing) = false()]") == 1
+
+    def test_relational_flips_when_nodeset_on_right(self, numbers_store):
+        assert self.run(numbers_store, "//r[5 < v]") == 1
+        assert self.run(numbers_store, "//r[100 < v]") == 0
+
+    def test_string_number_comparison_is_numeric(self, numbers_store):
+        # '10' > '9' numerically is false... 10 > 9 true; lexicographic would differ
+        assert self.run(numbers_store, "//r[v > 9]") == 1
+
+    def test_arithmetic_in_predicates(self, numbers_store):
+        assert self.run(numbers_store, "//r[v = 5 + 5]") == 1
+        assert self.run(numbers_store, "//r[v = 20 div 2]") == 1
+        assert self.run(numbers_store, "//r[v = 12 mod 10]") == 1
+        assert self.run(numbers_store, "//r[v = 5 * 2]") == 1
+        assert self.run(numbers_store, "//r[v = 12 - 2]") == 1
+        assert self.run(numbers_store, "//r[v = -(-10)]") == 1
+
+    def test_division_by_zero(self, numbers_store):
+        assert self.run(numbers_store, "//r[1 div 0 > 1000]") == 1
+        assert self.run(numbers_store, "//r[0 div 0 = 0]") == 0  # NaN
+
+    def test_string_functions(self, numbers_store):
+        assert self.run(numbers_store, "//w[string-length(.) = 1]") == 1
+        assert self.run(numbers_store, "//r[concat('1', '0') = v]") == 1
+        assert self.run(numbers_store, "//r[normalize-space(' a  b ') = 'a b']") == 1
+
+    def test_name_functions(self, numbers_store):
+        assert self.run(numbers_store, "//*[name() = 'empty']") == 1
+        assert self.run(numbers_store, "//r[local-name(empty) = 'empty']") == 1
+        assert self.run(numbers_store, "//r[name(missing) = '']") == 1
+
+    def test_sum_and_rounding(self, numbers_store):
+        assert self.run(numbers_store, "//w[sum(//r/v) != sum(//r/v)]") == 0  # NaN('x')
+        assert self.run(numbers_store, "//r[floor(2.7) = 2]") == 1
+        assert self.run(numbers_store, "//r[ceiling(2.1) = 3]") == 1
+        assert self.run(numbers_store, "//r[round(2.5) = 3]") == 1
+        assert self.run(numbers_store, "//r[round(-2.5) = -2]") == 1
+
+    def test_number_function(self, numbers_store):
+        assert self.run(numbers_store, "//w[number() = 2]") == 1
+        assert self.run(numbers_store, "//r[number('3') = 3]") == 1
+
+    def test_string_of_context(self, numbers_store):
+        assert self.run(numbers_store, "//w[string() = '2']") == 1

@@ -1,0 +1,117 @@
+"""DOM-traversal baseline: correctness, profiles, work accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DocumentTooLargeError, ExecutionError, UnsupportedFeatureError
+from repro.baselines.dom_engine import DomTraversalEngine
+from repro.baselines.profiles import GALAX_PROFILE, JAXEN_PROFILE, EngineProfile
+from repro.model import Axis
+
+DOC = (
+    "<site><person id='p0'><name>Ada</name><address><city>Monroe</city></address></person>"
+    "<person id='p1'><name>Bob</name></person>"
+    "<closed_auction><itemref item='i1'/><price>9.99</price></closed_auction></site>"
+)
+
+
+@pytest.fixture
+def jaxen():
+    engine = DomTraversalEngine(JAXEN_PROFILE)
+    engine.load(DOC)
+    return engine
+
+
+class TestEvaluation:
+    def test_simple_path(self, jaxen):
+        assert [node.name for node in jaxen.evaluate("//person/name")] == ["name", "name"]
+
+    def test_document_order_output(self, jaxen):
+        orders = [node.order for node in jaxen.evaluate("//*")]
+        assert orders == sorted(orders)
+
+    def test_duplicates_eliminated(self, jaxen):
+        persons = jaxen.evaluate("//name/ancestor::person/name/parent::person")
+        assert len(persons) == 2
+
+    def test_predicates(self, jaxen):
+        assert len(jaxen.evaluate("//person[@id='p0']")) == 1
+        assert len(jaxen.evaluate("//person[name='Ada']")) == 1
+        assert len(jaxen.evaluate("//person[address]")) == 1
+        assert len(jaxen.evaluate("//person[2]")) == 1
+        assert len(jaxen.evaluate("//closed_auction[price > 5]")) == 1
+
+    def test_sibling_axes(self, jaxen):
+        prices = jaxen.evaluate("//itemref/following-sibling::price")
+        assert [node.name for node in prices] == ["price"]
+
+    def test_attribute_axis(self, jaxen):
+        assert len(jaxen.evaluate("//person/@id")) == 2
+
+    def test_union(self, jaxen):
+        assert len(jaxen.evaluate("//name | //city")) == 3
+
+    def test_value_expression(self, jaxen):
+        assert jaxen.evaluate_value("count(//person)") == 2.0
+        assert jaxen.evaluate_value("string(//person/name)") == "Ada"
+
+    def test_non_nodeset_evaluate_rejected(self, jaxen):
+        with pytest.raises(ExecutionError):
+            jaxen.evaluate("1 + 2")
+
+    def test_no_document_loaded(self):
+        engine = DomTraversalEngine(JAXEN_PROFILE)
+        with pytest.raises(ExecutionError):
+            engine.evaluate("//a")
+
+
+class TestProfiles:
+    def test_galax_rejects_sibling_axes(self):
+        engine = DomTraversalEngine(GALAX_PROFILE)
+        engine.load(DOC)
+        with pytest.raises(UnsupportedFeatureError):
+            engine.evaluate("//itemref/following-sibling::price")
+
+    def test_jaxen_size_cap(self):
+        engine = DomTraversalEngine(JAXEN_PROFILE)
+        with pytest.raises(DocumentTooLargeError):
+            engine.load("<a>" + "x" * (10 * 1024 * 1024) + "</a>")
+
+    def test_load_dom_size_check(self, small_dom):
+        engine = DomTraversalEngine(JAXEN_PROFILE)
+        with pytest.raises(DocumentTooLargeError):
+            engine.load_dom(small_dom, size_bytes=11 * 1024 * 1024)
+
+    def test_load_dom_skips_check_without_size(self, small_dom):
+        engine = DomTraversalEngine(JAXEN_PROFILE)
+        engine.load_dom(small_dom)
+        assert engine.evaluate("//person")
+
+    def test_unsupported_axis_in_predicate(self):
+        profile = EngineProfile(
+            name="strict", supported_axes=frozenset({Axis.CHILD, Axis.DESCENDANT,
+                                                     Axis.DESCENDANT_OR_SELF, Axis.SELF})
+        )
+        engine = DomTraversalEngine(profile)
+        engine.load(DOC)
+        with pytest.raises(UnsupportedFeatureError):
+            engine.evaluate("//person[parent::site]")
+
+
+class TestWorkAccounting:
+    def test_nodes_visited_grows_with_traversal(self, jaxen):
+        jaxen.nodes_visited = 0
+        jaxen.evaluate("//person")
+        full_scan = jaxen.nodes_visited
+        assert full_scan > 0
+        jaxen.nodes_visited = 0
+        jaxen.evaluate("/site")
+        assert jaxen.nodes_visited < full_scan
+
+    def test_no_index_everything_is_traversal(self, jaxen):
+        """The defining property of this engine class: even a one-result
+        value query walks the whole tree."""
+        jaxen.nodes_visited = 0
+        jaxen.evaluate("//person[name='Ada']")
+        assert jaxen.nodes_visited >= jaxen.document.node_count - 5

@@ -1,0 +1,124 @@
+"""Path-join baseline (eXist class): joins, fallback, profile gaps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DocumentTooLargeError, UnsupportedFeatureError
+from repro.baselines.dom_engine import DomTraversalEngine
+from repro.baselines.pathjoin import PathJoinEngine
+from repro.baselines.profiles import JAXEN_PROFILE
+
+DOC = (
+    "<site><people>"
+    "<person id='p0'><name>Ada</name><address><city>Monroe</city></address></person>"
+    "<person id='p1'><name>Bob</name><watches><watch open_auction='o1'/></watches></person>"
+    "</people>"
+    "<closed_auction><itemref item='i1'/><price>9.99</price></closed_auction></site>"
+)
+
+
+@pytest.fixture
+def engine():
+    engine = PathJoinEngine()
+    engine.load(DOC)
+    return engine
+
+
+@pytest.fixture
+def reference():
+    reference = DomTraversalEngine(JAXEN_PROFILE)
+    reference.load(DOC)
+    return reference
+
+
+SUPPORTED_QUERIES = [
+    "//person",
+    "//person/name",
+    "//people//city",
+    "/site/people/person",
+    "//city/ancestor::person",
+    "//watch/parent::watches",
+    "//name/ancestor-or-self::person",
+    "//person/@id",
+    "//person[@id='p1']",
+    "//person[name='Ada']",
+    "//person[address/city='Monroe']",
+    "//person[watches]",
+    "//person[2]",
+    "//person[not(address)]",
+    "//person/self::person",
+    "//*",
+    "//name/text()",
+]
+
+
+@pytest.mark.parametrize("query", SUPPORTED_QUERIES)
+def test_matches_reference_engine(engine, reference, query):
+    got = [node.order for node in engine.evaluate(query)]
+    expected = [node.order for node in reference.evaluate(query)]
+    assert got == expected
+
+
+class TestProfileGaps:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "//itemref/following-sibling::price",
+            "//price/preceding-sibling::itemref",
+            "//person/following::price",
+            "//price/preceding::person",
+        ],
+    )
+    def test_ordered_axes_unsupported(self, engine, query):
+        with pytest.raises(UnsupportedFeatureError):
+            engine.evaluate(query)
+
+    def test_size_cap(self):
+        engine = PathJoinEngine()
+        with pytest.raises(DocumentTooLargeError):
+            engine.load("<a>" + "x" * (20 * 1024 * 1024) + "</a>")
+
+    def test_non_path_rejected(self, engine):
+        with pytest.raises(UnsupportedFeatureError):
+            engine.evaluate("count(//person)")
+
+
+class TestJoinMachinery:
+    def test_name_joins_count_comparisons(self, engine):
+        engine.reset_metrics()
+        engine.evaluate("//person/name")
+        assert engine.join_comparisons > 0
+        assert engine.fallback_nodes == 0
+
+    def test_value_predicate_triggers_fallback(self, engine):
+        """The documented eXist weakness: value comparisons leave the index."""
+        engine.reset_metrics()
+        engine.evaluate("//person[name='Ada']")
+        assert engine.fallback_nodes > 0
+
+    def test_wildcard_step_uses_traversal(self, engine):
+        engine.reset_metrics()
+        engine.evaluate("//person/*")
+        assert engine.fallback_nodes > 0
+
+    def test_structural_query_stays_on_index(self, engine):
+        """Pure name-to-name structural queries never touch the fallback."""
+        engine.reset_metrics()
+        engine.evaluate("//people/person/name")
+        assert engine.fallback_nodes == 0
+
+    def test_reset_metrics(self, engine):
+        engine.evaluate("//person[name='Ada']")
+        engine.reset_metrics()
+        assert engine.join_comparisons == 0 and engine.fallback_nodes == 0
+
+    def test_value_query_costs_more_than_structural(self, engine):
+        """Why Q5 is ~2x on this engine: fallback traversal dwarfs joins."""
+        engine.reset_metrics()
+        engine.evaluate("//people/person/name")
+        structural = engine.join_comparisons + engine.fallback_nodes
+        engine.reset_metrics()
+        engine.evaluate("//person[name='Ada']/name")
+        with_value = engine.join_comparisons + engine.fallback_nodes
+        assert with_value > structural

@@ -1,0 +1,78 @@
+"""Engine capability profiles: the limitations Section VIII reports."""
+
+from __future__ import annotations
+
+from repro.model import Axis
+from repro.baselines.profiles import (
+    EXIST_PROFILE,
+    GALAX_PROFILE,
+    JAXEN_PROFILE,
+    XINDICE_PROFILE,
+    EngineProfile,
+)
+
+_MB = 1024 * 1024
+
+
+class TestGalax:
+    def test_missing_sibling_axes(self):
+        assert not GALAX_PROFILE.supports_axis(Axis.FOLLOWING_SIBLING)
+        assert not GALAX_PROFILE.supports_axis(Axis.PRECEDING_SIBLING)
+
+    def test_core_axes_supported(self):
+        for axis in (Axis.CHILD, Axis.DESCENDANT, Axis.ANCESTOR, Axis.FOLLOWING):
+            assert GALAX_PROFILE.supports_axis(axis)
+
+    def test_no_size_cap(self):
+        assert GALAX_PROFILE.accepts_size(10**9)
+
+
+class TestJaxen:
+    def test_all_axes(self):
+        assert all(JAXEN_PROFILE.supports_axis(axis) for axis in Axis)
+
+    def test_ten_megabyte_cap(self):
+        assert JAXEN_PROFILE.accepts_size(9 * _MB)
+        assert not JAXEN_PROFILE.accepts_size(10 * _MB)
+        assert not JAXEN_PROFILE.accepts_size(30 * _MB)
+
+
+class TestExist:
+    def test_missing_ordered_axes(self):
+        for axis in (
+            Axis.FOLLOWING_SIBLING,
+            Axis.PRECEDING_SIBLING,
+            Axis.FOLLOWING,
+            Axis.PRECEDING,
+        ):
+            assert not EXIST_PROFILE.supports_axis(axis)
+
+    def test_twenty_megabyte_cap(self):
+        assert EXIST_PROFILE.accepts_size(19 * _MB)
+        assert not EXIST_PROFILE.accepts_size(20 * _MB)
+
+    def test_value_predicate_fallback_flag(self):
+        assert EXIST_PROFILE.value_predicate_fallback
+        assert not GALAX_PROFILE.value_predicate_fallback
+
+
+class TestXindice:
+    def test_five_megabyte_cap(self):
+        assert XINDICE_PROFILE.accepts_size(4 * _MB)
+        assert not XINDICE_PROFILE.accepts_size(5 * _MB)
+
+
+class TestCustomProfile:
+    def test_frozen(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            GALAX_PROFILE.name = "other"
+
+    def test_custom(self):
+        profile = EngineProfile(
+            name="mini", supported_axes=frozenset({Axis.CHILD}), max_document_bytes=100
+        )
+        assert profile.supports_axis(Axis.CHILD)
+        assert not profile.supports_axis(Axis.PARENT)
+        assert profile.accepts_size(99) and not profile.accepts_size(100)

@@ -1,0 +1,73 @@
+"""Shared fixtures: hand-written documents and cached XMark stores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.loader import load_xml
+from repro.xmark.generator import generate_document
+from repro.xmlkit.dom import build_dom
+
+#: A compact document exercising every node kind and the paper's element
+#: vocabulary (person/name/address/province/watches/itemref/price).
+SMALL_DOC = """<site>
+<people>
+<person id="person0"><name>Alpha One</name><emailaddress>a@x.example</emailaddress>
+<address><street>1 Elm</street><city>Monroe</city><country>United States</country><province>Vermont</province><zipcode>12</zipcode></address>
+</person>
+<person id="person1"><name>Yung Flach</name><emailaddress>Flach@auth.gr</emailaddress>
+<watches><watch open_auction="open_auction108"/><watch open_auction="open_auction94"/></watches>
+</person>
+<person id="person2"><name>Beta Two</name>
+<address><street>2 Oak</street><city>Quincy</city><country>France</country><zipcode>99</zipcode></address>
+<watches><watch open_auction="open_auction1"/></watches>
+</person>
+</people>
+<closed_auctions>
+<closed_auction><seller person="person0"/><buyer person="person2"/><itemref item="item3"/><price>9.99</price><date>01/15/2000</date></closed_auction>
+<closed_auction><seller person="person1"/><buyer person="person0"/><itemref item="item7"/><price>1.50</price><date>02/20/2000</date></closed_auction>
+</closed_auctions>
+<!-- trailing comment -->
+<?marker data?>
+</site>"""
+
+
+@pytest.fixture(scope="session")
+def small_store():
+    return load_xml(SMALL_DOC, name="small")
+
+
+@pytest.fixture(scope="session")
+def small_dom():
+    return build_dom(SMALL_DOC)
+
+
+@pytest.fixture(scope="session")
+def small_text():
+    return SMALL_DOC
+
+
+@pytest.fixture(scope="session")
+def xmark_text():
+    """A small generated auction document (factor 0.005, deterministic)."""
+    return generate_document(0.005, seed=42)
+
+
+@pytest.fixture(scope="session")
+def xmark_store(xmark_text):
+    return load_xml(xmark_text, name="xmark-small")
+
+
+@pytest.fixture(scope="session")
+def xmark_dom(xmark_text):
+    return build_dom(xmark_text)
+
+
+@pytest.fixture(scope="session")
+def paper_store():
+    """The paper's '10 MB' document (factor 0.1): 2550 persons, 4825 names.
+
+    Session-scoped because generating and indexing it takes a few seconds;
+    tests must not mutate it.
+    """
+    return load_xml(generate_document(0.1, seed=42), name="xmark-paper")

@@ -1,0 +1,181 @@
+"""Cost estimator: IN/OUT propagation, cases 1-6, ordered list."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.loader import load_xml
+from repro.algebra.builder import build_default_plan
+from repro.algebra.plan import BinaryPredicateNode, ExistsNode, StepNode, ValueStepNode
+from repro.cost.estimator import CostEstimator, plan_cost
+
+
+@pytest.fixture(scope="module")
+def store():
+    # 4 persons (2 with address), 6 names total, 1 'Target' value
+    return load_xml(
+        """<site>
+        <person><name>Target</name><address/></person>
+        <person><name>B</name><address/></person>
+        <person><name>C</name></person>
+        <person><name>D</name></person>
+        <item><name>E</name></item>
+        <item><name>F</name></item>
+        </site>"""
+    )
+
+
+def chain(plan):
+    nodes = []
+    node = plan.root.context_child
+    while node is not None:
+        nodes.append(node)
+        node = node.context_child
+    return nodes
+
+
+class TestCases:
+    def test_case1_leaf_in_equals_count(self, store):
+        plan = build_default_plan("//name")
+        CostEstimator(store).estimate(plan)
+        leaf = chain(plan)[-1]
+        assert leaf.cost.count == 6
+        assert leaf.cost.tuples_in == 6
+        assert leaf.cost.tuples_out == 6
+
+    def test_case2_nonleaf_in_is_child_out(self, store):
+        plan = build_default_plan("//person/name")
+        CostEstimator(store).estimate(plan)
+        name_step, person_step = chain(plan)
+        assert name_step.cost.tuples_in == person_step.cost.tuples_out == 4
+
+    def test_case3_predicate_leaf_receives_parent_tuples(self, store):
+        plan = build_default_plan("//person[address]")
+        CostEstimator(store).estimate(plan)
+        person = chain(plan)[0]
+        exists = person.predicates[0]
+        assert isinstance(exists, ExistsNode)
+        probe = exists.path
+        assert probe.cost.tuples_in == 4  # one evaluation per person
+
+    def test_case5_value_equivalence_bounds_output(self, store):
+        plan = build_default_plan("//name[text() = 'Target']")
+        CostEstimator(store).estimate(plan)
+        name_step = chain(plan)[0]
+        predicate = name_step.predicates[0]
+        assert isinstance(predicate, BinaryPredicateNode)
+        assert predicate.cost.text_count == 1
+        assert predicate.cost.tuples_out == 1
+        assert name_step.cost.tuples_out == 1
+        assert name_step.cost.raw_out == 6
+
+    def test_case5_requires_equality(self, store):
+        plan = build_default_plan("//name[text() != 'Target']")
+        CostEstimator(store).estimate(plan)
+        name_step = chain(plan)[0]
+        assert name_step.cost.tuples_out == 6  # case 6: no reduction
+
+    def test_case6_exists_no_reduction(self, store):
+        plan = build_default_plan("//person[address]")
+        CostEstimator(store).estimate(plan)
+        assert chain(plan)[0].cost.tuples_out == 4
+
+    def test_literal_tc_annotated(self, store):
+        plan = build_default_plan("//name[text() = 'Target']")
+        CostEstimator(store).estimate(plan)
+        predicate = chain(plan)[0].predicates[0]
+        literal = predicate.right
+        assert literal.cost.text_count == 1
+
+    def test_value_step_costs(self, store):
+        from repro.algebra.plan import QueryPlan, RootNode
+        from repro.model import Axis, NodeTest
+
+        leaf = ValueStepNode("Target")
+        step = StepNode(Axis.PARENT, NodeTest.name_test("name"), leaf)
+        plan = QueryPlan(RootNode(step), "manual")
+        plan.renumber()
+        CostEstimator(store).estimate(plan)
+        assert leaf.cost.text_count == 1
+        assert leaf.cost.tuples_in == leaf.cost.tuples_out == 1
+        assert step.cost.tuples_out == 1
+
+    def test_union_sums_branches(self, store):
+        plan = build_default_plan("//person | //item")
+        CostEstimator(store).estimate(plan)
+        union = plan.root.context_child
+        assert union.cost.tuples_out == 6
+
+    def test_and_takes_min(self, store):
+        plan = build_default_plan("//name[text() = 'Target' and text() != 'B']")
+        CostEstimator(store).estimate(plan)
+        assert chain(plan)[0].cost.tuples_out == 1
+
+    def test_root_mirrors_child(self, store):
+        plan = build_default_plan("//person")
+        CostEstimator(store).estimate(plan)
+        assert plan.root.cost.tuples_out == 4
+
+
+class TestOrderedList:
+    def test_sorted_by_ratio_descending(self, store):
+        plan = build_default_plan("//name/parent::person/address")
+        ordered = CostEstimator(store).estimate(plan)
+        ratios = [entry.ratio for entry in ordered]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_scaled_to_unit_interval(self, store):
+        plan = build_default_plan("//name/parent::person/address")
+        ordered = CostEstimator(store).estimate(plan)
+        assert all(0.0 <= entry.scaled <= 1.0 for entry in ordered)
+        assert ordered[0].scaled == 1.0
+
+    def test_most_selective_first(self, store):
+        """//name[text()='Target'] filters 6 -> 1: highest ratio."""
+        plan = build_default_plan("//name[text() = 'Target']/parent::person")
+        ordered = CostEstimator(store).estimate(plan)
+        top = ordered[0].node
+        assert isinstance(top, (StepNode, BinaryPredicateNode))
+        assert ordered[0].ratio >= 6.0
+
+    def test_selectivity_written_back(self, store):
+        plan = build_default_plan("//person/address")
+        ordered = CostEstimator(store).estimate(plan)
+        for entry in ordered:
+            assert entry.node.cost.selectivity == entry.scaled
+
+    def test_zero_out_means_infinite_ratio(self, store):
+        plan = build_default_plan("//person/missing")
+        ordered = CostEstimator(store).estimate(plan)
+        assert ordered[0].ratio == float("inf")
+        assert ordered[0].scaled == 1.0
+
+    def test_tie_broken_by_operator_id(self, store):
+        plan = build_default_plan("//person/self::person")
+        ordered = CostEstimator(store).estimate(plan)
+        ids = [entry.node.op_id for entry in ordered if entry.ratio == ordered[0].ratio]
+        assert ids == sorted(ids)
+
+
+class TestPlanCost:
+    def test_cost_counts_tuples_touched(self, store):
+        plan = build_default_plan("//person/name")
+        CostEstimator(store).estimate(plan)
+        # person leaf raw 4 + name step raw COUNT=6
+        assert plan_cost(plan) == 10
+
+    def test_predicates_count_their_paths(self, store):
+        bare = build_default_plan("//person")
+        with_predicate = build_default_plan("//person[address]")
+        estimator = CostEstimator(store)
+        estimator.estimate(bare)
+        estimator.estimate(with_predicate)
+        assert plan_cost(with_predicate) > plan_cost(bare)
+
+    def test_estimation_is_index_only(self, store):
+        """Costing must not materialise records (paper: counts come from
+        the index level without going to data)."""
+        plan = build_default_plan("//person[name = 'Target']/address")
+        store.reset_metrics()
+        CostEstimator(store).estimate(plan)
+        assert store.metrics.record_fetches == 0

@@ -1,0 +1,126 @@
+"""Figures 6 and 7: the paper's cost annotations, digit for digit.
+
+These run on the calibrated factor-0.1 document ("10 MB" in the paper's
+axis): COUNT(name) = 4825, COUNT(person) = 2550, COUNT(address) = 1256,
+TC('Yung Flach') = 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import Axis, NodeTest
+from repro.algebra.builder import build_default_plan
+from repro.cost.estimator import CostEstimator
+from repro.optimizer.cleanup import cleanup_plan
+
+
+def chain(plan):
+    nodes = []
+    node = plan.root.context_child
+    while node is not None:
+        nodes.append(node)
+        node = node.context_child
+    return nodes
+
+
+class TestDocumentStatistics:
+    def test_figure6_counts(self, paper_store):
+        NT = NodeTest.name_test
+        assert paper_store.count(NT("name")) == 4825
+        assert paper_store.count(NT("person")) == 2550
+        assert paper_store.count(NT("address")) == 1256
+
+    def test_figure7_text_count(self, paper_store):
+        assert paper_store.text_count("Yung Flach") == 1
+
+    def test_counting_is_index_only(self, paper_store):
+        paper_store.reset_metrics()
+        paper_store.count(NodeTest.name_test("person"))
+        paper_store.text_count("Yung Flach")
+        snapshot = paper_store.io_snapshot()
+        assert snapshot["record_fetches"] == 0
+        assert snapshot["entries_scanned"] == 0
+
+
+class TestFigure6Annotation:
+    """Cost annotation of the cleaned Q1 plan (Figure 5b / Figure 6)."""
+
+    @pytest.fixture()
+    def annotated(self, paper_store):
+        plan = build_default_plan("descendant::name/parent::*/self::person/address")
+        cleanup_plan(plan)  # Figure 5: merge parent::*/self::person
+        CostEstimator(paper_store).estimate(plan)
+        return plan
+
+    def test_cleaned_shape(self, annotated):
+        steps = chain(annotated)
+        assert [step.axis for step in steps] == [Axis.CHILD, Axis.PARENT, Axis.DESCENDANT]
+        assert steps[1].test.name == "person"
+
+    def test_leaf_descendant_name(self, annotated):
+        leaf = chain(annotated)[-1]
+        assert leaf.cost.count == 4825
+        assert leaf.cost.tuples_in == 4825
+        assert leaf.cost.tuples_out == 4825
+
+    def test_parent_person(self, annotated):
+        parent_step = chain(annotated)[1]
+        assert parent_step.cost.count == 2550
+        assert parent_step.cost.tuples_in == 4825
+        assert parent_step.cost.tuples_out == 4825  # Table I, up axis
+
+    def test_child_address(self, annotated):
+        address_step = chain(annotated)[0]
+        assert address_step.cost.count == 1256
+        assert address_step.cost.tuples_in == 4825
+        assert address_step.cost.tuples_out == 1256
+
+
+class TestFigure7Annotation:
+    """Cost annotation of the default Q2 plan."""
+
+    @pytest.fixture()
+    def annotated(self, paper_store):
+        plan = build_default_plan(
+            "//name[text() = 'Yung Flach']/following-sibling::emailaddress"
+        )
+        CostEstimator(paper_store).estimate(plan)
+        return plan
+
+    def test_name_step(self, annotated):
+        name_step = chain(annotated)[-1]
+        assert name_step.cost.count == 4825
+        assert name_step.cost.tuples_in == 4825
+        assert name_step.cost.tuples_out == 1  # bounded by TC via case 5
+
+    def test_binary_predicate(self, annotated):
+        name_step = chain(annotated)[-1]
+        beta = name_step.predicates[0]
+        assert beta.cost.tuples_in == 4825
+        assert beta.cost.tuples_out == 1
+        assert beta.cost.text_count == 1
+
+    def test_literal_tc(self, annotated):
+        name_step = chain(annotated)[-1]
+        beta = name_step.predicates[0]
+        literal = beta.right
+        assert literal.cost.text_count == 1
+
+    def test_following_sibling_step(self, annotated):
+        sibling_step = chain(annotated)[0]
+        assert sibling_step.cost.tuples_in == 1
+        assert sibling_step.cost.tuples_out == 1
+
+
+class TestSelectivityOrdering:
+    def test_q1_most_selective_is_child_address(self, paper_store):
+        """Section VI-C: 'Optimization of Q1 starts with the most selective
+        operator φ child::address'."""
+        plan = build_default_plan("descendant::name/parent::*/self::person/address")
+        cleanup_plan(plan)
+        ordered = CostEstimator(paper_store).estimate(plan)
+        top = ordered[0].node
+        assert getattr(top, "test", None) is not None
+        assert top.test.name == "address"
+        assert top.cost.selectivity == 1.0

@@ -1,0 +1,101 @@
+"""CLI tests (argument handling, commands, errors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+DOC = "<site><person id='p0'><name>Ada</name></person></site>"
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text(DOC, encoding="utf-8")
+    return str(path)
+
+
+class TestGenerate:
+    def test_generate_by_factor(self, tmp_path, capsys):
+        out = tmp_path / "auction.xml"
+        assert main(["generate", "--factor", "0.001", "-o", str(out)]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_by_megabytes(self, tmp_path):
+        out = tmp_path / "auction.xml"
+        assert main(["generate", "--megabytes", "0.1", "-o", str(out)]) == 0
+        assert "<site>" in out.read_text()
+
+    def test_generate_deterministic(self, tmp_path):
+        first = tmp_path / "a.xml"
+        second = tmp_path / "b.xml"
+        main(["generate", "--factor", "0.001", "--seed", "7", "-o", str(first)])
+        main(["generate", "--factor", "0.001", "--seed", "7", "-o", str(second)])
+        assert first.read_text() == second.read_text()
+
+
+class TestIndexAndStats:
+    def test_index_round_trip(self, xml_file, tmp_path, capsys):
+        store_path = tmp_path / "doc.mass"
+        assert main(["index", xml_file, "-o", str(store_path)]) == 0
+        assert store_path.exists()
+        assert main(["stats", str(store_path)]) == 0
+        output = capsys.readouterr().out
+        assert "nodes" in output and "index heights" in output
+
+    def test_stats_on_raw_xml(self, xml_file, capsys):
+        assert main(["stats", xml_file]) == 0
+        assert "elements" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_query_xml_file(self, xml_file, capsys):
+        assert main(["query", xml_file, "//person/name"]) == 0
+        assert "<name>" in capsys.readouterr().out
+
+    def test_query_saved_store(self, xml_file, tmp_path, capsys):
+        store_path = tmp_path / "doc.mass"
+        main(["index", xml_file, "-o", str(store_path)])
+        assert main(["query", str(store_path), "//name"]) == 0
+        assert "<name>" in capsys.readouterr().out
+
+    def test_query_xml_output(self, xml_file, capsys):
+        assert main(["query", xml_file, "//person", "--xml"]) == 0
+        assert "<person id=\"p0\"><name>Ada</name></person>" in capsys.readouterr().out
+
+    def test_query_explain(self, xml_file, capsys):
+        assert main(["query", xml_file, "//person/name", "--explain"]) == 0
+        output = capsys.readouterr().out
+        assert "R_1" in output and "COUNT=" in output
+
+    def test_query_no_optimize(self, xml_file, capsys):
+        assert main(["query", xml_file, "//person/name", "--no-optimize"]) == 0
+
+    def test_query_limit(self, xml_file, capsys):
+        assert main(["query", xml_file, "//*", "--limit", "1"]) == 0
+        assert "more)" in capsys.readouterr().out
+
+    def test_bad_xpath_fails_cleanly(self, xml_file, capsys):
+        assert main(["query", xml_file, "//person["]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_fails_cleanly(self, capsys):
+        assert main(["query", "/nonexistent.xml", "//a"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_store_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mass"
+        bad.write_bytes(b"MASSgarbage-corrupt-file-....")
+        assert main(["query", str(bad), "//a"]) == 1
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

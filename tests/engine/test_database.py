@@ -1,0 +1,76 @@
+"""Database: multiple documents, cross-document counts and queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.model import NodeTest
+from repro.engine.database import Database
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    db.add_document("east", "<site><person><name>Ada</name></person></site>")
+    db.add_document(
+        "west",
+        "<site><person><name>Grace</name></person><person><name>Ada</name></person></site>",
+    )
+    return db
+
+
+class TestDocumentManagement:
+    def test_documents_listed(self, database):
+        assert database.documents() == ["east", "west"]
+        assert len(database) == 2
+        assert "east" in database and "north" not in database
+
+    def test_duplicate_name_rejected(self, database):
+        with pytest.raises(ReproError):
+            database.add_document("east", "<a/>")
+
+    def test_unknown_document_rejected(self, database):
+        with pytest.raises(ReproError):
+            database.store("north")
+        with pytest.raises(ReproError):
+            database.engine("north")
+
+    def test_drop_document(self, database):
+        database.drop_document("east")
+        assert database.documents() == ["west"]
+        with pytest.raises(ReproError):
+            database.drop_document("east")
+
+    def test_add_existing_store(self, database, small_store):
+        database.add_store("small", small_store)
+        assert database.store("small") is small_store
+
+
+class TestQueries:
+    def test_per_document_query(self, database):
+        results = database.evaluate("//person", document="west")
+        assert set(results) == {"west"}
+        assert len(results["west"]) == 2
+
+    def test_all_documents_query(self, database):
+        results = database.evaluate("//person")
+        assert len(results["east"]) == 1
+        assert len(results["west"]) == 2
+
+    def test_database_wide_count(self, database):
+        assert database.count(NodeTest.name_test("person")) == 3
+        assert database.count(NodeTest.name_test("person"), document="east") == 1
+
+    def test_database_wide_text_count(self, database):
+        assert database.text_count("Ada") == 2
+        assert database.text_count("Ada", document="west") == 1
+        assert database.text_count("Grace", document="east") == 0
+
+    def test_iter_stores(self, database):
+        names = [name for name, _store in database.iter_stores()]
+        assert names == ["east", "west"]
+
+    def test_unoptimized_evaluation(self, database):
+        results = database.evaluate("//person/name", optimize=False)
+        assert len(results["west"]) == 2

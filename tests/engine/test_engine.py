@@ -1,0 +1,143 @@
+"""VamanaEngine facade: evaluate, metrics, plan cache, value queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError, XPathSyntaxError
+from repro.mass.flexkey import FlexKey
+from repro.engine.engine import VamanaEngine
+
+
+@pytest.fixture
+def engine(small_store):
+    return VamanaEngine(small_store)
+
+
+class TestEvaluate:
+    def test_basic_query(self, engine):
+        result = engine.evaluate("//person")
+        assert len(result) == 3
+        assert result.expression == "//person"
+
+    def test_results_in_document_order_distinct(self, engine):
+        result = engine.evaluate("//watches/watch/ancestor::person")
+        assert list(result.keys) == sorted(set(result.keys))
+        assert len(result) == 2
+
+    def test_optimize_flag(self, engine):
+        default = engine.evaluate("//person/address", optimize=False)
+        optimized = engine.evaluate("//person/address", optimize=True)
+        assert default.key_set() == optimized.key_set()
+        assert default.trace is None
+        assert optimized.trace is not None
+
+    def test_records_and_labels(self, engine):
+        result = engine.evaluate("//person/name")
+        labels = result.labels()
+        assert len(labels) == 3
+        assert all(label.startswith("<name>") for label in labels)
+
+    def test_string_values(self, engine):
+        values = engine.evaluate("//person/name").string_values()
+        assert "Yung Flach" in values
+
+    def test_custom_context(self, engine, small_store):
+        person = engine.evaluate("//person").keys[0]
+        result = engine.evaluate("name", context=person)
+        assert result.string_values() == ["Alpha One"]
+
+    def test_iteration_yields_keys(self, engine):
+        for key in engine.evaluate("//name"):
+            assert isinstance(key, FlexKey)
+
+    def test_syntax_error_propagates(self, engine):
+        with pytest.raises(XPathSyntaxError):
+            engine.evaluate("//person[")
+
+    def test_repr(self, engine):
+        assert "VamanaEngine" in repr(engine)
+        assert "QueryResult" in repr(engine.evaluate("//name"))
+
+
+class TestMetrics:
+    def test_tuples_returned(self, engine):
+        result = engine.evaluate("//person")
+        assert result.metrics.tuples_returned == 3
+
+    def test_wall_time_positive(self, engine):
+        assert engine.evaluate("//person").metrics.wall_seconds > 0
+
+    def test_optimize_time_recorded(self, small_store):
+        engine = VamanaEngine(small_store)
+        result = engine.evaluate("//person/address", optimize=True)
+        assert result.metrics.optimize_seconds > 0
+
+    def test_raw_tuple_counter(self, engine):
+        result = engine.evaluate("//watches/watch/ancestor::person", optimize=False)
+        assert result.metrics.counters["raw_tuples"] == 3
+        assert result.metrics.tuples_returned == 2
+
+    def test_describe(self, engine):
+        text = engine.evaluate("//person").metrics.describe()
+        assert "tuples" in text and "ms" in text
+
+
+class TestPlanCache:
+    def test_cache_hit_returns_same_plan(self, engine):
+        first, _trace1 = engine.plan("//person")
+        second, _trace2 = engine.plan("//person")
+        assert first is second
+
+    def test_cache_distinguishes_optimize_flag(self, engine):
+        optimized, _t1 = engine.plan("//person/address", optimize=True)
+        default, _t2 = engine.plan("//person/address", optimize=False)
+        assert optimized is not default
+
+    def test_cache_eviction(self, small_store):
+        engine = VamanaEngine(small_store, plan_cache_size=2)
+        engine.plan("//a")
+        engine.plan("//b")
+        engine.plan("//c")
+        assert len(engine._plan_cache) <= 2
+
+
+class TestEvaluateValue:
+    def test_count(self, engine):
+        assert engine.evaluate_value("count(//person)") == 3.0
+
+    def test_boolean(self, engine):
+        assert engine.evaluate_value("count(//person) > 2") is True
+        assert engine.evaluate_value("count(//person) > 3") is False
+
+    def test_string(self, engine):
+        assert engine.evaluate_value("concat('a', 'b')") == "ab"
+        assert engine.evaluate_value("string(//person[2]/name)") == "Yung Flach"
+
+    def test_arithmetic(self, engine):
+        assert engine.evaluate_value("3 + 4 * 2") == 11.0
+
+    def test_nodeset_expression_returns_keys(self, engine):
+        keys = engine.evaluate_value("//person")
+        assert len(keys) == 3
+
+    def test_path_expression_inside_function(self, engine):
+        assert engine.evaluate_value("sum(//price)") == pytest.approx(11.49)
+
+    def test_compile_rejects_value_query(self, engine):
+        with pytest.raises(PlanError):
+            engine.compile("1 + 2")
+
+
+class TestExplain:
+    def test_explain_contains_costs(self, engine):
+        text = engine.explain("//person/address")
+        assert "COUNT=" in text and "OUT=" in text
+
+    def test_explain_contains_trace(self, engine):
+        text = engine.explain("//person/address", optimize=True)
+        assert "optimization of" in text
+
+    def test_explain_default_plan(self, engine):
+        text = engine.explain("//person/address", optimize=False)
+        assert "optimization of" not in text

@@ -1,0 +1,66 @@
+"""QueryResult surface: records, labels, XML fragments, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.engine import VamanaEngine
+from repro.mass.loader import load_xml
+
+
+@pytest.fixture
+def engine():
+    return VamanaEngine(
+        load_xml(
+            "<site><person id='p0'><name>Ada &amp; co</name></person>"
+            "<person id='p1'><name>Bob</name></person></site>"
+        )
+    )
+
+
+def test_to_xml_fragments(engine):
+    result = engine.evaluate("//person")
+    fragments = result.to_xml()
+    assert fragments[0] == '<person id="p0"><name>Ada &amp; co</name></person>'
+    assert fragments[1] == '<person id="p1"><name>Bob</name></person>'
+
+
+def test_to_xml_reparses(engine):
+    for fragment in engine.evaluate("//person").to_xml():
+        load_xml(fragment)  # must be well-formed
+
+
+def test_to_xml_text_nodes_are_escaped_fragments(engine):
+    fragments = engine.evaluate("//name/text()").to_xml()
+    assert fragments == ["Ada &amp; co", "Bob"]
+
+
+def test_records_iteration(engine):
+    result = engine.evaluate("//name")
+    names = [record.name for record in result.records()]
+    assert names == ["name", "name"]
+
+
+def test_len_iter_keyset(engine):
+    result = engine.evaluate("//person")
+    assert len(result) == 2
+    assert len(list(result)) == 2
+    assert result.key_set() == frozenset(result.keys)
+
+
+def test_string_values_follow_document_order(engine):
+    assert engine.evaluate("//name").string_values() == ["Ada & co", "Bob"]
+
+
+def test_attribute_results(engine):
+    result = engine.evaluate("//person/@id")
+    assert result.string_values() == ["p0", "p1"]
+    assert result.to_xml() == ["p0", "p1"]
+
+
+def test_empty_result(engine):
+    result = engine.evaluate("//missing")
+    assert len(result) == 0
+    assert result.to_xml() == []
+    assert result.labels() == []
+    assert result.metrics.tuples_returned == 0

@@ -1,0 +1,80 @@
+"""The benchmark harness itself: corpus, runner, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.corpus import CorpusDocument, get_corpus_document
+from repro.bench.runner import ENGINE_NAMES, run_all_engines, run_query
+from repro.bench.reporting import format_figure_table, render_series, supported_sizes
+
+
+@pytest.fixture(scope="module")
+def document():
+    return get_corpus_document(1)
+
+
+class TestCorpus:
+    def test_cached(self, document):
+        assert get_corpus_document(1) is document
+
+    def test_nominal_vs_actual(self, document):
+        assert document.nominal_mb == 1
+        assert document.nominal_bytes == 1024 * 1024
+        assert document.actual_bytes == len(document.text.encode("utf-8"))
+
+    def test_store_and_dom_lazy(self):
+        fresh = CorpusDocument(nominal_mb=1, factor=0.001, text="<site><a/></site>")
+        assert fresh._store is None and fresh._dom is None
+        assert fresh.store.count.__self__ is fresh.store
+        assert fresh.dom.document_element.name == "site"
+
+
+class TestRunner:
+    def test_vamana_outcomes(self, document):
+        outcome = run_query("VQP-OPT", "//person/address", document)
+        assert outcome.supported
+        assert outcome.result_count > 0
+        assert outcome.seconds > 0
+        assert "record_fetches" in outcome.counters
+
+    def test_all_engines_same_count(self, document):
+        outcomes = run_all_engines("//person/address", document)
+        counts = {o.result_count for o in outcomes if o.supported}
+        assert len(counts) == 1
+
+    def test_unsupported_axis_yields_missing_point(self, document):
+        outcome = run_query("exist", "//itemref/following-sibling::price", document)
+        assert not outcome.supported
+        assert outcome.cell() == "-"
+        assert "following-sibling" in outcome.reason
+
+    def test_size_cap_yields_missing_point(self):
+        big = get_corpus_document(30)
+        outcome = run_query("jaxen", "//person", big)
+        assert not outcome.supported
+
+    def test_unknown_engine(self, document):
+        with pytest.raises(ValueError):
+            run_query("oracle9i", "//person", document)
+
+
+class TestReporting:
+    def test_table_includes_missing_cells(self, document):
+        outcomes = {1: run_all_engines("//itemref/following-sibling::price/parent::*", document)}
+        table = format_figure_table("Q4", outcomes, ENGINE_NAMES)
+        assert "Q4" in table and "-" in table
+        assert "VQP-OPT" in table
+
+    def test_render_series(self, document):
+        outcomes = {1: run_all_engines("//person/address", document)}
+        series = render_series(outcomes, "VQP")
+        assert len(series) == 1 and series[0] is not None
+
+    def test_supported_sizes(self, document):
+        outcomes = {
+            1: run_all_engines("//person", document),
+            30: run_all_engines("//person", get_corpus_document(30)),
+        }
+        assert supported_sizes(outcomes, "VQP") == [1, 30]
+        assert supported_sizes(outcomes, "jaxen") == [1]

@@ -1,0 +1,55 @@
+"""ASCII figure rendering."""
+
+from __future__ import annotations
+
+from repro.bench.plots import ascii_figure
+from repro.bench.runner import EngineOutcome
+
+
+def outcome(engine, size, seconds, supported=True):
+    return EngineOutcome(
+        engine=engine, query="//q", nominal_mb=size, supported=supported, seconds=seconds
+    )
+
+
+def test_basic_chart():
+    outcomes = {
+        1: [outcome("VQP", 1, 0.01), outcome("galax", 1, 0.1)],
+        10: [outcome("VQP", 10, 0.02), outcome("galax", 10, 1.0)],
+    }
+    chart = ascii_figure("Test figure", outcomes, ("VQP", "galax"))
+    assert "Test figure" in chart
+    assert "1MB" in chart and "10MB" in chart
+    assert "v=VQP" in chart and "g=galax" in chart
+    assert "v" in chart and "g" in chart
+    assert "log scale" in chart
+
+
+def test_missing_points_absent():
+    outcomes = {
+        1: [outcome("VQP", 1, 0.01), outcome("jaxen", 1, 0.1)],
+        10: [outcome("VQP", 10, 0.02), outcome("jaxen", 10, 0, supported=False)],
+    }
+    chart = ascii_figure("Caps", outcomes, ("VQP", "jaxen"))
+    # jaxen appears once (its 1 MB point), VQP twice
+    body = chart.split("legend")[0]
+    assert body.count("j") == 1
+    assert body.count("v") == 2
+
+
+def test_stacked_glyphs_share_a_cell():
+    outcomes = {1: [outcome("VQP", 1, 0.01), outcome("VQP-OPT", 1, 0.01)]}
+    chart = ascii_figure("Stack", outcomes, ("VQP", "VQP-OPT"))
+    assert "vV" in chart
+
+
+def test_empty_data():
+    outcomes = {1: [outcome("VQP", 1, 0, supported=False)]}
+    chart = ascii_figure("Empty", outcomes, ("VQP",))
+    assert "(no data)" in chart
+
+
+def test_single_value_span():
+    outcomes = {1: [outcome("VQP", 1, 0.5)]}
+    chart = ascii_figure("One", outcomes, ("VQP",))
+    assert "v" in chart

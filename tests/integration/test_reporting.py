@@ -1,0 +1,59 @@
+"""Figure-table formatting edge cases."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_figure_table, render_series, supported_sizes
+from repro.bench.runner import EngineOutcome
+
+
+def outcome(engine, size, seconds=0.5, supported=True):
+    return EngineOutcome(
+        engine=engine, query="//q", nominal_mb=size, supported=supported, seconds=seconds
+    )
+
+
+def test_table_alignment_and_header():
+    outcomes = {
+        1: [outcome("VQP", 1, 0.1234567)],
+        10: [outcome("VQP", 10, 2.0)],
+    }
+    table = format_figure_table("T", outcomes, ("VQP",))
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "size(MB)" in lines[1]
+    assert "0.1235" in table and "2.0000" in table
+
+
+def test_table_missing_engine_column():
+    outcomes = {1: [outcome("VQP", 1)]}
+    table = format_figure_table("T", outcomes, ("VQP", "ghost"))
+    assert "ghost" in table
+    last_row = table.splitlines()[-1]
+    assert last_row.strip().endswith("-")
+
+
+def test_table_unsupported_cell():
+    outcomes = {1: [outcome("jaxen", 1, supported=False)]}
+    table = format_figure_table("T", outcomes, ("jaxen",))
+    assert table.splitlines()[-1].strip().endswith("-")
+
+
+def test_render_series_ordering():
+    outcomes = {
+        10: [outcome("VQP", 10, 2.0)],
+        1: [outcome("VQP", 1, 1.0)],
+    }
+    assert render_series(outcomes, "VQP") == [1.0, 2.0]
+
+
+def test_render_series_missing_entries():
+    outcomes = {
+        1: [outcome("VQP", 1, 1.0)],
+        2: [],
+        3: [outcome("VQP", 3, 0, supported=False)],
+    }
+    assert render_series(outcomes, "VQP") == [1.0, None, None]
+
+
+def test_supported_sizes_empty():
+    assert supported_sizes({1: []}, "VQP") == []

@@ -1,0 +1,86 @@
+"""Scalability trends: index work vs document size.
+
+The paper's headline — index-only plans read a *fraction* of the data —
+shows up as sublinear work growth for selective queries while the DOM
+class grows linearly.  These tests assert the trends, not absolute times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.loader import load_xml
+from repro.xmark.generator import generate_document
+from repro.engine.engine import VamanaEngine
+from repro.baselines.dom_engine import DomTraversalEngine
+from repro.baselines.profiles import JAXEN_PROFILE
+
+FACTORS = (0.002, 0.008)
+
+
+@pytest.fixture(scope="module")
+def stores():
+    return {factor: load_xml(generate_document(factor, seed=42)) for factor in FACTORS}
+
+
+@pytest.fixture(scope="module")
+def texts():
+    return {factor: generate_document(factor, seed=42) for factor in FACTORS}
+
+
+def vamana_work(store, query, optimize=True):
+    engine = VamanaEngine(store)
+    store.reset_metrics()
+    engine.evaluate(query, optimize=optimize)
+    snapshot = store.io_snapshot()
+    return snapshot["logical_reads"] + snapshot["entries_scanned"]
+
+
+class TestIndexWorkScaling:
+    def test_point_query_work_is_sublinear(self, stores):
+        """TC=1 lookup: work grows ~O(log n), far below the 4x data growth."""
+        query = "//name[text()='Yung Flach']/following-sibling::emailaddress"
+        small = vamana_work(stores[FACTORS[0]], query)
+        large = vamana_work(stores[FACTORS[1]], query)
+        assert large < small * 2.5
+
+    def test_selective_query_reads_fraction_of_nodes(self, stores):
+        store = stores[FACTORS[1]]
+        total_nodes = len(store.node_index)
+        work = vamana_work(store, "//province[text()='Vermont']/ancestor::person")
+        assert work < total_nodes / 10
+
+    def test_dom_engine_always_walks_everything(self, stores, texts):
+        engine = DomTraversalEngine(JAXEN_PROFILE)
+        engine.load(texts[FACTORS[1]])
+        engine.nodes_visited = 0
+        engine.evaluate("//name[text()='Yung Flach']")
+        assert engine.nodes_visited >= engine.document.node_count * 0.9
+
+    def test_result_counts_scale_with_document(self, stores):
+        small = VamanaEngine(stores[FACTORS[0]]).evaluate("//person/address")
+        large = VamanaEngine(stores[FACTORS[1]]).evaluate("//person/address")
+        assert 3.0 <= len(large) / len(small) <= 5.0
+
+    def test_index_heights_grow_slowly(self, stores):
+        heights = [
+            stores[factor].node_index.tree.height() for factor in FACTORS
+        ]
+        assert heights[1] <= heights[0] + 2
+
+
+class TestBufferBehaviour:
+    def test_warm_cache_hits(self, stores):
+        store = stores[FACTORS[1]]
+        engine = VamanaEngine(store)
+        engine.evaluate("//person/address")  # warm
+        store.reset_metrics()
+        engine.evaluate("//person/address")
+        snapshot = store.io_snapshot()
+        assert snapshot["buffer_hits"] > 0
+
+    def test_pages_grow_with_document(self, stores):
+        assert (
+            stores[FACTORS[1]].pages.live_pages
+            > stores[FACTORS[0]].pages.live_pages * 2
+        )

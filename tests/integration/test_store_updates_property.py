@@ -1,0 +1,76 @@
+"""Randomized update sequences against a model (stateful property test).
+
+The store's counts, value index and axis results must track an in-memory
+model through arbitrary interleavings of inserts and subtree deletes —
+the operational core of the paper's always-fresh-statistics claim.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mass.flexkey import FlexKey
+from repro.mass.loader import load_xml
+from repro.model import Axis, NodeTest
+
+NAMES = ["alpha", "beta", "gamma"]
+VALUES = ["v1", "v2", "v3", ""]
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(10, 60))
+@settings(max_examples=40, deadline=None)
+def test_update_storm_keeps_counts_exact(seed, operations):
+    rng = random.Random(seed)
+    store = load_xml("<root/>")
+    root = store.root_element().key
+
+    # model: element key -> (name, text)
+    model: dict[FlexKey, tuple[str, str]] = {}
+    parents: list[FlexKey] = [root]
+
+    for _ in range(operations):
+        action = rng.random()
+        if action < 0.65 or not model:
+            parent = rng.choice(parents)
+            name = rng.choice(NAMES)
+            text = rng.choice(VALUES)
+            key = store.insert_element(parent, name, text)
+            model[key] = (name, text)
+            parents.append(key)
+        else:
+            victim = rng.choice(list(model))
+            store.delete_subtree(victim)
+            doomed = [key for key in model if key == victim or victim.is_ancestor_of(key)]
+            for key in doomed:
+                del model[key]
+            parents = [key for key in parents if key not in doomed]
+
+    # counts per name
+    for name in NAMES:
+        expected = sum(1 for element_name, _text in model.values() if element_name == name)
+        assert store.count(NodeTest.name_test(name)) == expected
+
+    # text counts per value
+    for value in VALUES:
+        if not value:
+            continue
+        expected = sum(1 for _name, text in model.values() if text == value)
+        assert store.text_count(value) == expected
+
+    # the descendant axis sees exactly the model's elements, in key order
+    seen = [
+        key
+        for key, _record in store.axis(
+            FlexKey.document(), Axis.DESCENDANT, NodeTest.name_test("*")
+        )
+    ]
+    expected_keys = sorted(model.keys() | {root})
+    assert seen == expected_keys
+
+    # tree invariants survived the storm
+    store.node_index.tree.check_invariants()
+    store.name_index.tree.check_invariants()
+    store.value_index.tree.check_invariants()

@@ -1,0 +1,109 @@
+"""Update behaviour end to end: statistics, costing and query results stay
+exact after inserts and deletes — the paper's core argument against
+histogram-based costing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.loader import load_xml
+from repro.model import Axis, NodeTest
+from repro.engine.engine import VamanaEngine
+
+NT = NodeTest.name_test
+
+
+@pytest.fixture
+def store():
+    return load_xml(
+        """<site><people>
+        <person><name>Ada</name><address><province>Vermont</province></address></person>
+        <person><name>Bob</name></person>
+        </people></site>"""
+    )
+
+
+class TestStatisticsUnderUpdates:
+    def test_counts_track_inserts(self, store):
+        people = store.root_element().key.child(0)
+        before = store.count(NT("person"))
+        for index in range(15):
+            key = store.insert_element(people, "person")
+            store.insert_element(key, "name", f"New {index}")
+        assert store.count(NT("person")) == before + 15
+        assert store.count(NT("name")) == 2 + 15
+
+    def test_text_counts_track_updates(self, store):
+        people = store.root_element().key.child(0)
+        assert store.text_count("Vermont") == 1
+        key = store.insert_element(people, "person")
+        address = store.insert_element(key, "address")
+        store.insert_element(address, "province", "Vermont")
+        assert store.text_count("Vermont") == 2
+        store.delete_subtree(key)
+        assert store.text_count("Vermont") == 1
+
+    def test_cost_model_sees_fresh_counts(self, store):
+        engine = VamanaEngine(store)
+        plan = engine.compile("//person/name")
+        engine.estimator.estimate(plan)
+        original = plan.root.context_child.cost.count
+        people = store.root_element().key.child(0)
+        key = store.insert_element(people, "person")
+        store.insert_element(key, "name", "Zed")
+        engine.estimator.estimate(plan)
+        assert plan.root.context_child.cost.count == original + 1
+
+
+class TestQueriesUnderUpdates:
+    def test_new_nodes_immediately_queryable(self, store):
+        engine = VamanaEngine(store)
+        people = store.root_element().key.child(0)
+        key = store.insert_element(people, "person")
+        store.insert_element(key, "name", "Carol")
+        result = engine.evaluate("//person[name='Carol']", optimize=False)
+        assert len(result) == 1
+
+    def test_value_index_rewrite_after_insert(self, store):
+        """The value-index plan finds values inserted after load."""
+        engine = VamanaEngine(store)
+        people = store.root_element().key.child(0)
+        key = store.insert_element(people, "person")
+        store.insert_element(key, "name", "Unique Marker")
+        result = engine.evaluate("//name[text()='Unique Marker']", optimize=True)
+        assert len(result) == 1
+        assert result.trace is not None
+
+    def test_deleted_nodes_disappear(self, store):
+        engine = VamanaEngine(store)
+        person = engine.evaluate("//person[name='Ada']").keys[0]
+        store.delete_subtree(person)
+        assert len(engine.evaluate("//person", optimize=False)) == 1
+        assert len(engine.evaluate("//province", optimize=False)) == 0
+
+    def test_sibling_insert_in_query_order(self, store):
+        engine = VamanaEngine(store)
+        people = store.root_element().key.child(0)
+        persons = [r for r in store.axis_records(people, Axis.CHILD, NT("person"))]
+        middle = store.insert_element(people, "person", after=persons[0].key)
+        store.insert_element(middle, "name", "Middle")
+        names = engine.evaluate("//person/name", optimize=False).string_values()
+        assert names == ["Ada", "Middle", "Bob"]
+
+    def test_optimized_equals_default_after_updates(self, store):
+        engine = VamanaEngine(store, plan_cache_size=0)
+        people = store.root_element().key.child(0)
+        for index in range(10):
+            key = store.insert_element(people, "person")
+            store.insert_element(key, "name", f"P{index}")
+            if index % 2:
+                address = store.insert_element(key, "address")
+                store.insert_element(address, "province", "Vermont")
+        for query in (
+            "//person/address",
+            "//province[text()='Vermont']/ancestor::person",
+            "//person[address]/name",
+        ):
+            default = engine.evaluate(query, optimize=False).key_set()
+            optimized = engine.evaluate(query, optimize=True).key_set()
+            assert default == optimized

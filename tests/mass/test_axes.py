@@ -1,0 +1,220 @@
+"""All 13 axes, checked against an independent brute-force oracle.
+
+The oracle recomputes every axis from first principles (document-order
+list + parent relation), so these tests would catch any error in the
+range arithmetic of ``repro.mass.axes``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.flexkey import FlexKey
+from repro.mass.loader import load_xml
+from repro.mass.records import NodeKind
+from repro.model import Axis, NodeTest
+
+DOC = """<site>
+<a id="1"><b><c>one</c><c>two</c></b><b2/><b><c>three</c></b></a>
+<a id="2"><b><d/><c>four</c></b></a>
+<!-- note -->
+<?pi data?>
+</site>"""
+
+
+@pytest.fixture(scope="module")
+def store():
+    return load_xml(DOC, name="axes")
+
+
+@pytest.fixture(scope="module")
+def oracle(store):
+    return Oracle(store)
+
+
+class Oracle:
+    """Brute-force axis semantics over the flat record list."""
+
+    def __init__(self, store):
+        self.store = store
+        self.records = list(store.node_index.scan(None, None))
+        self.by_key = {record.key: record for record in self.records}
+
+    def doc_order(self, keys):
+        return sorted(keys)
+
+    def axis(self, context: FlexKey, axis: Axis) -> list[FlexKey]:
+        """All keys on the axis, in axis order, before node tests."""
+        special = (NodeKind.ATTRIBUTE, NodeKind.NAMESPACE)
+        keys = [record.key for record in self.records]
+        if axis is Axis.SELF:
+            return [context]
+        if axis is Axis.PARENT:
+            parent = context.parent()
+            return [parent] if parent is not None else []
+        if axis is Axis.ANCESTOR:
+            return list(context.ancestors())
+        if axis is Axis.ANCESTOR_OR_SELF:
+            return [context] + list(context.ancestors())
+        if axis is Axis.CHILD:
+            return [
+                key
+                for key in keys
+                if key.parent() == context and self.by_key[key].kind not in special
+            ]
+        if axis is Axis.ATTRIBUTE:
+            return [
+                key
+                for key in keys
+                if key.parent() == context
+                and self.by_key[key].kind is NodeKind.ATTRIBUTE
+            ]
+        if axis is Axis.NAMESPACE:
+            return [
+                key
+                for key in keys
+                if key.parent() == context
+                and self.by_key[key].kind is NodeKind.NAMESPACE
+            ]
+        if axis is Axis.DESCENDANT:
+            return [
+                key
+                for key in keys
+                if context.is_ancestor_of(key) and self.by_key[key].kind not in special
+            ]
+        if axis is Axis.DESCENDANT_OR_SELF:
+            return [context] + self.axis(context, Axis.DESCENDANT)
+        if axis is Axis.FOLLOWING:
+            if context.is_document():
+                return []
+            bound = context.subtree_upper_bound()
+            return [
+                key
+                for key in keys
+                if key > bound or key == bound
+                if self.by_key[key].kind not in special
+            ]
+        if axis is Axis.PRECEDING:
+            return [
+                key
+                for key in sorted(keys, reverse=True)
+                if key < context
+                and not key.is_ancestor_of(context)
+                and not key.is_document()
+                and self.by_key[key].kind not in special
+            ]
+        if axis is Axis.FOLLOWING_SIBLING:
+            parent = context.parent()
+            if parent is None or self.by_key[context].kind in special:
+                return []  # attributes/namespaces have no siblings
+            return [
+                key
+                for key in keys
+                if key.parent() == parent and key > context
+                and self.by_key[key].kind not in special
+            ]
+        if axis is Axis.PRECEDING_SIBLING:
+            parent = context.parent()
+            if parent is None or self.by_key[context].kind in special:
+                return []  # attributes/namespaces have no siblings
+            return [
+                key
+                for key in sorted(keys, reverse=True)
+                if key.parent() == parent and key < context
+                and self.by_key[key].kind not in special
+            ]
+        raise AssertionError(axis)
+
+    def matching(self, context, axis, test: NodeTest) -> list[FlexKey]:
+        principal = axis.principal_kind
+        result = []
+        for key in self.axis(context, axis):
+            record = self.by_key[key]
+            if test.matches(record.kind, record.name, principal):
+                result.append(key)
+        return result
+
+
+TESTS = [
+    NodeTest.name_test("a"),
+    NodeTest.name_test("b"),
+    NodeTest.name_test("c"),
+    NodeTest.name_test("*"),
+    NodeTest.node(),
+    NodeTest.text(),
+    NodeTest.comment(),
+    NodeTest.name_test("id"),
+]
+
+
+@pytest.mark.parametrize("axis", list(Axis))
+@pytest.mark.parametrize("test", TESTS, ids=str)
+def test_axis_matches_oracle_everywhere(store, oracle, axis, test):
+    """Every (context, axis, node test) triple agrees with the oracle."""
+    for record in list(store.node_index.scan(None, None)):
+        got = [key for key, _rec in store.axis(record.key, axis, test)]
+        expected = oracle.matching(record.key, axis, test)
+        assert got == expected, (
+            f"{axis.value}::{test} from {record.key.pretty()} "
+            f"({record.kind.value} {record.name})"
+        )
+
+
+class TestAxisOrdering:
+    def test_reverse_axes_deliver_reverse_document_order(self, store):
+        for record in store.node_index.scan(None, None):
+            for axis in (Axis.ANCESTOR, Axis.PRECEDING, Axis.PRECEDING_SIBLING):
+                keys = [key for key, _ in store.axis(record.key, axis, NodeTest.node())]
+                assert keys == sorted(keys, reverse=True)
+
+    def test_forward_axes_deliver_document_order(self, store):
+        for record in store.node_index.scan(None, None):
+            for axis in (Axis.DESCENDANT, Axis.FOLLOWING, Axis.FOLLOWING_SIBLING, Axis.CHILD):
+                keys = [key for key, _ in store.axis(record.key, axis, NodeTest.node())]
+                assert keys == sorted(keys)
+
+
+class TestAxisPartition:
+    def test_spec_partition_of_the_document(self, store):
+        """self ∪ ancestor ∪ descendant ∪ following ∪ preceding covers every
+        non-attribute node exactly once (XPath 1.0 §2.2)."""
+        everything = {
+            record.key
+            for record in store.node_index.scan(None, None)
+            if record.kind not in (NodeKind.ATTRIBUTE, NodeKind.NAMESPACE)
+        }
+        for record in store.node_index.scan(None, None):
+            if record.kind in (NodeKind.ATTRIBUTE, NodeKind.NAMESPACE):
+                continue
+            if record.key.is_document():
+                continue
+            parts = {}
+            for axis in (Axis.SELF, Axis.ANCESTOR, Axis.DESCENDANT, Axis.FOLLOWING, Axis.PRECEDING):
+                parts[axis] = {key for key, _ in store.axis(record.key, axis, NodeTest.node())}
+            union = set()
+            total = 0
+            for keys in parts.values():
+                union |= keys
+                total += len(keys)
+            # the document node is an ancestor; it is in everything too
+            assert union == everything
+            assert total == len(union), "axes must be pairwise disjoint"
+
+
+class TestAxisCounts:
+    def test_count_upper_bounds_hold(self, store, oracle):
+        """axis_count (when defined) is >= the true result size."""
+        for record in store.node_index.scan(None, None):
+            for axis in Axis:
+                for test in TESTS:
+                    bound = store.axis_count(record.key, axis, test)
+                    if bound is None:
+                        continue
+                    actual = len(oracle.matching(record.key, axis, test))
+                    assert bound >= actual
+
+    def test_count_exact_for_descendant_name(self, store, oracle):
+        for record in store.node_index.scan(None, None):
+            bound = store.axis_count(record.key, Axis.DESCENDANT, NodeTest.name_test("c"))
+            actual = len(oracle.matching(record.key, Axis.DESCENDANT, NodeTest.name_test("c")))
+            assert bound == actual

@@ -1,0 +1,329 @@
+"""FLEX key unit and property tests.
+
+The three contract properties (order = document order, parent = prefix,
+insert-between without relabeling) carry the whole engine; they get both
+example-based and hypothesis coverage here.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mass.flexkey import (
+    FIRST_ORDINAL,
+    FlexKey,
+    component_after,
+    component_before,
+    component_between,
+)
+
+
+@pytest.fixture
+def family():
+    doc = FlexKey.document()
+    root = FlexKey.from_ordinals([0])
+    first = root.child(0)
+    second = root.child(1)
+    grandchild = first.child(0)
+    return doc, root, first, second, grandchild
+
+
+class TestConstruction:
+    def test_document_key_is_empty(self):
+        assert FlexKey.document().depth == 0
+        assert FlexKey.document().is_document()
+
+    def test_document_key_is_singleton_value(self):
+        assert FlexKey.document() == FlexKey(())
+
+    def test_from_ordinals_depth(self):
+        assert FlexKey.from_ordinals([0, 1, 2]).depth == 3
+
+    def test_from_ordinals_uses_first_ordinal_offset(self):
+        key = FlexKey.from_ordinals([0])
+        assert key.components == ((FIRST_ORDINAL,),)
+
+    def test_child_extends_by_one_component(self):
+        root = FlexKey.from_ordinals([0])
+        assert root.child(3).components == root.components + ((3 + FIRST_ORDINAL,),)
+
+    def test_rejects_empty_component(self):
+        with pytest.raises(ValueError):
+            FlexKey(((),))
+
+    def test_rejects_nonpositive_parts(self):
+        with pytest.raises(ValueError):
+            FlexKey(((0,),))
+
+    def test_rejects_component_ending_in_one(self):
+        with pytest.raises(ValueError):
+            FlexKey(((2, 1),))
+
+    def test_interior_one_is_allowed(self):
+        assert FlexKey(((2, 1, 2),)).depth == 1
+
+
+class TestDocumentOrder:
+    def test_document_before_everything(self, family):
+        doc, root, first, second, grandchild = family
+        for key in (root, first, second, grandchild):
+            assert doc < key
+
+    def test_parent_before_children(self, family):
+        _doc, root, first, second, _g = family
+        assert root < first < second
+
+    def test_subtree_contiguity(self, family):
+        _doc, _root, first, second, grandchild = family
+        assert first < grandchild < second
+
+    def test_equality_and_hash(self):
+        assert FlexKey.from_ordinals([0, 1]) == FlexKey.from_ordinals([0, 1])
+        assert hash(FlexKey.from_ordinals([0, 1])) == hash(FlexKey.from_ordinals([0, 1]))
+
+    def test_total_ordering_helpers(self, family):
+        _doc, root, first, _second, _g = family
+        assert root <= first and first > root and first >= root and root != first
+
+    def test_comparison_with_other_type(self):
+        assert (FlexKey.document() == 42) is False
+
+
+class TestStructure:
+    def test_parent_of_document_is_none(self):
+        assert FlexKey.document().parent() is None
+
+    def test_parent_chain(self, family):
+        doc, root, first, _second, grandchild = family
+        assert grandchild.parent() == first
+        assert first.parent() == root
+        assert root.parent() == doc
+
+    def test_ancestors_nearest_first(self, family):
+        doc, root, first, _second, grandchild = family
+        assert list(grandchild.ancestors()) == [first, root, doc]
+
+    def test_is_ancestor_of(self, family):
+        doc, root, first, second, grandchild = family
+        assert root.is_ancestor_of(grandchild)
+        assert doc.is_ancestor_of(root)
+        assert not first.is_ancestor_of(second)
+        assert not first.is_ancestor_of(first)
+
+    def test_is_descendant_of(self, family):
+        _doc, root, first, _second, grandchild = family
+        assert grandchild.is_descendant_of(root)
+        assert not root.is_descendant_of(grandchild)
+
+    def test_is_parent_of(self, family):
+        _doc, root, first, _second, grandchild = family
+        assert first.is_parent_of(grandchild)
+        assert not root.is_parent_of(grandchild)
+
+    def test_siblings(self, family):
+        _doc, _root, first, second, grandchild = family
+        assert first.is_sibling_of(second)
+        assert not first.is_sibling_of(first)
+        assert not first.is_sibling_of(grandchild)
+
+    def test_common_ancestor(self, family):
+        doc, root, first, second, grandchild = family
+        assert grandchild.common_ancestor(second) == root
+        assert first.common_ancestor(first.child(4)) == first
+        assert root.common_ancestor(root) == root
+        assert grandchild.common_ancestor(doc) == doc
+
+
+class TestSubtreeBounds:
+    def test_bound_above_descendants(self, family):
+        _doc, _root, first, second, grandchild = family
+        bound = first.subtree_upper_bound()
+        assert grandchild < bound
+        assert first < bound
+
+    def test_bound_below_following(self, family):
+        _doc, _root, first, second, _g = family
+        assert first.subtree_upper_bound() < second
+
+    def test_bound_below_inserted_sibling(self, family):
+        """Insert-between keys must stay outside the left subtree range."""
+        _doc, _root, first, second, _g = family
+        inserted = first.sibling_between(second)
+        bound = first.subtree_upper_bound()
+        assert bound < inserted
+        # and descendants created later still fall inside the bound
+        assert first.child(99) < bound
+
+    def test_document_has_no_bound(self):
+        with pytest.raises(ValueError):
+            FlexKey.document().subtree_upper_bound()
+
+    def test_bound_never_equals_stored_key(self, family):
+        _doc, _root, first, _second, _g = family
+        bound = first.subtree_upper_bound()
+        with pytest.raises(ValueError):
+            FlexKey(bound.components)  # sentinel 0 is not constructible
+
+
+class TestInsertion:
+    def test_between_is_strictly_between(self, family):
+        _doc, _root, first, second, _g = family
+        middle = first.sibling_between(second)
+        assert first < middle < second
+        assert middle.parent() == first.parent()
+
+    def test_between_requires_siblings(self, family):
+        _doc, root, first, _second, grandchild = family
+        with pytest.raises(ValueError):
+            first.sibling_between(grandchild)
+
+    def test_between_requires_order(self, family):
+        _doc, _root, first, second, _g = family
+        with pytest.raises(ValueError):
+            second.sibling_between(first)
+
+    def test_sibling_after(self, family):
+        _doc, _root, _first, second, _g = family
+        after = second.sibling_after()
+        assert second < after and after.parent() == second.parent()
+
+    def test_sibling_before_first(self, family):
+        _doc, _root, first, _second, _g = family
+        before = first.sibling_before()
+        assert before < first and before.parent() == first.parent()
+        assert first.parent() < before
+
+    def test_repeated_bisection_never_exhausts(self, family):
+        _doc, _root, left, right, _g = family
+        for _ in range(200):
+            middle = left.sibling_between(right)
+            assert left < middle < right
+            right = middle
+
+    def test_repeated_bisection_other_side(self, family):
+        _doc, _root, left, right, _g = family
+        for _ in range(200):
+            middle = left.sibling_between(right)
+            assert left < middle < right
+            left = middle
+
+
+class TestRendering:
+    def test_pretty_document(self):
+        assert FlexKey.document().pretty() == "<doc>"
+
+    def test_pretty_uses_letters(self):
+        assert FlexKey(((2,), (4,), (25,))).pretty() == "b.d.y"
+
+    def test_pretty_bijective_base26(self):
+        assert FlexKey(((26,),)).pretty() == "z"
+        assert FlexKey(((27,),)).pretty() == "aa"
+        assert FlexKey(((52,),)).pretty() == "az"
+        assert FlexKey(((53,),)).pretty() == "ba"
+
+    def test_pretty_extended_component(self):
+        assert FlexKey(((2, 2),)).pretty() == "b~b"
+
+    def test_parse_round_trip(self):
+        for key in (
+            FlexKey.document(),
+            FlexKey.from_ordinals([0, 3, 7]),
+            FlexKey(((2, 1, 2), (30,))),
+        ):
+            assert FlexKey.parse(key.pretty()) == key
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FlexKey.parse("A.B")
+
+    def test_repr_contains_pretty(self):
+        assert "b.b" in repr(FlexKey.from_ordinals([0, 0]))
+
+    def test_len_is_depth(self):
+        assert len(FlexKey.from_ordinals([0, 1, 2])) == 3
+
+
+class TestComponentArithmetic:
+    def test_between_adjacent_integers(self):
+        assert component_between((4,), (5,)) == (4, 2)
+
+    def test_between_gap(self):
+        middle = component_between((4,), (9,))
+        assert (4,) < middle < (9,)
+
+    def test_between_prefix_case(self):
+        middle = component_between((4,), (4, 2))
+        assert (4,) < middle < (4, 2)
+        assert middle[-1] != 1
+
+    def test_between_rejects_wrong_order(self):
+        with pytest.raises(ValueError):
+            component_between((5,), (4,))
+
+    def test_after_and_before(self):
+        assert component_after((7,)) == (8,)
+        assert component_before((7,)) == (6,)
+        assert component_before((2,)) == (1, 2)
+
+    @given(st.integers(2, 50), st.integers(2, 50))
+    def test_between_property_single_ints(self, a, b):
+        if a == b:
+            return
+        low, high = (a,), (b,)
+        if low > high:
+            low, high = high, low
+        middle = component_between(low, high)
+        assert low < middle < high
+        assert middle[-1] != 1 and all(part >= 1 for part in middle)
+
+
+# -- hypothesis strategies over whole keys --------------------------------------
+
+_component = st.lists(st.integers(1, 6), min_size=1, max_size=3).map(
+    lambda parts: tuple(parts[:-1]) + (parts[-1] + 1,)  # never ends in 1
+)
+_key = st.lists(_component, min_size=0, max_size=5).map(
+    lambda components: FlexKey(tuple(components))
+)
+
+
+class TestKeyProperties:
+    @given(_key, _key)
+    @settings(max_examples=200)
+    def test_ancestor_implies_order_and_prefix(self, a, b):
+        if a.is_ancestor_of(b):
+            assert a < b
+            assert b.components[: len(a.components)] == a.components
+
+    @given(_key)
+    @settings(max_examples=200)
+    def test_parse_pretty_round_trip(self, key):
+        assert FlexKey.parse(key.pretty()) == key
+
+    @given(_key, _key)
+    @settings(max_examples=200)
+    def test_common_ancestor_is_shared(self, a, b):
+        shared = a.common_ancestor(b)
+        for key in (a, b):
+            assert shared == key or shared.is_ancestor_of(key)
+
+    @given(_key)
+    @settings(max_examples=200)
+    def test_subtree_bound_dominates_descendants(self, key):
+        if key.is_document():
+            return
+        bound = key.subtree_upper_bound()
+        assert key < bound
+        assert key.child(0) < bound
+        assert key.child(1000) < bound
+        assert bound < key.sibling_after()
+
+    @given(st.lists(st.integers(0, 500), min_size=1, max_size=6))
+    @settings(max_examples=200)
+    def test_ordinal_paths_sort_like_tuples(self, path):
+        key = FlexKey.from_ordinals(path)
+        longer = FlexKey.from_ordinals(path + [0])
+        assert key < longer
+        assert key.is_parent_of(longer)

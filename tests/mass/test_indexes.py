@@ -1,0 +1,189 @@
+"""Name/value/node index unit tests (namespacing, counts, scans)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.flexkey import FlexKey
+from repro.mass.indexes import (
+    NameIndex,
+    NodeIndex,
+    ValueIndex,
+    index_name_for,
+    index_name_for_test,
+)
+from repro.mass.pages import BufferPool, PageManager
+from repro.mass.records import NodeKind, NodeRecord
+from repro.model import NodeTest
+
+
+def make_env():
+    manager = PageManager()
+    return manager, BufferPool(manager)
+
+
+K = FlexKey.from_ordinals
+
+
+class TestNamespacing:
+    def test_element_uses_plain_name(self):
+        assert index_name_for(NodeKind.ELEMENT, "person") == "person"
+
+    def test_attribute_prefixed(self):
+        assert index_name_for(NodeKind.ATTRIBUTE, "id") == "@id"
+
+    def test_text_and_comment_reserved(self):
+        assert index_name_for(NodeKind.TEXT, "") == "#text"
+        assert index_name_for(NodeKind.COMMENT, "") == "#comment"
+
+    def test_pi_prefixed(self):
+        assert index_name_for(NodeKind.PROCESSING_INSTRUCTION, "php") == "?php"
+
+    def test_document_not_indexed(self):
+        assert index_name_for(NodeKind.DOCUMENT, "") is None
+
+    def test_test_mapping_element(self):
+        assert index_name_for_test(NodeTest.name_test("a"), NodeKind.ELEMENT) == "a"
+
+    def test_test_mapping_attribute_principal(self):
+        assert index_name_for_test(NodeTest.name_test("id"), NodeKind.ATTRIBUTE) == "@id"
+
+    def test_test_mapping_wildcard_needs_scan(self):
+        assert index_name_for_test(NodeTest.name_test("*"), NodeKind.ELEMENT) is None
+        assert index_name_for_test(NodeTest.node(), NodeKind.ELEMENT) is None
+
+    def test_test_mapping_kind_tests(self):
+        assert index_name_for_test(NodeTest.text(), NodeKind.ELEMENT) == "#text"
+        assert index_name_for_test(NodeTest.comment(), NodeKind.ELEMENT) == "#comment"
+        assert (
+            index_name_for_test(NodeTest.processing_instruction("x"), NodeKind.ELEMENT)
+            == "?x"
+        )
+        assert index_name_for_test(NodeTest.processing_instruction(), NodeKind.ELEMENT) is None
+
+
+class TestNameIndex:
+    @pytest.fixture
+    def index(self):
+        manager, pool = make_env()
+        index = NameIndex(manager, pool)
+        entries = [
+            ("a", K([0, 0]), NodeKind.ELEMENT),
+            ("a", K([0, 2]), NodeKind.ELEMENT),
+            ("ab", K([0, 1]), NodeKind.ELEMENT),
+            ("b", K([0, 3]), NodeKind.ELEMENT),
+        ]
+        index.bulk_load(sorted(entries, key=lambda entry: (entry[0], entry[1])))
+        return index
+
+    def test_count_exact_name(self, index):
+        assert index.count("a") == 2
+        assert index.count("ab") == 1
+
+    def test_count_no_prefix_bleed(self, index):
+        """'a' must not count 'ab' — the upper bound is exclusive."""
+        assert index.count("a") + index.count("ab") + index.count("b") == len(index)
+
+    def test_scan_orders_by_key(self, index):
+        keys = [key for key, _ in index.scan("a")]
+        assert keys == sorted(keys)
+
+    def test_scan_with_bounds(self, index):
+        keys = [key for key, _ in index.scan("a", lo=K([0, 1]))]
+        assert keys == [K([0, 2])]
+
+    def test_scan_reverse(self, index):
+        keys = [key for key, _ in index.scan("a", reverse=True)]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_count_between(self, index):
+        assert index.count_between("a", K([0, 0]), K([0, 2])) == 1
+        assert index.count_between("a", None, None) == 2
+
+    def test_first_seek(self, index):
+        assert index.first("a") == K([0, 0])
+        assert index.first("a", at_or_after=K([0, 1])) == K([0, 2])
+        assert index.first("zz") is None
+
+    def test_insert_delete(self, index):
+        index.insert("c", K([0, 4]), NodeKind.ELEMENT)
+        assert index.count("c") == 1
+        assert index.delete("c", K([0, 4]))
+        assert index.count("c") == 0
+
+
+class TestValueIndex:
+    @pytest.fixture
+    def index(self):
+        manager, pool = make_env()
+        index = ValueIndex(manager, pool)
+        entries = [
+            ("Monroe", K([0, 0]), NodeKind.TEXT),
+            ("Monroe", K([0, 5]), NodeKind.ATTRIBUTE),
+            ("Quincy", K([0, 2]), NodeKind.TEXT),
+            ("Yung Flach", K([0, 3]), NodeKind.TEXT),
+        ]
+        index.bulk_load(sorted(entries, key=lambda entry: (entry[0], entry[1])))
+        return index
+
+    def test_text_count(self, index):
+        assert index.text_count("Monroe") == 2
+        assert index.text_count("Yung Flach") == 1
+        assert index.text_count("missing") == 0
+
+    def test_scan_returns_kinds(self, index):
+        kinds = [kind for _key, kind in index.scan("Monroe")]
+        assert kinds == [NodeKind.TEXT, NodeKind.ATTRIBUTE]
+
+    def test_value_range_scan(self, index):
+        values = [value for value, _key, _kind in index.scan_value_range("Monroe", "Quincy")]
+        assert values == ["Monroe", "Monroe", "Quincy"]
+
+    def test_value_range_exclusive(self, index):
+        count = index.count_value_range("Monroe", "Quincy", inclusive=False)
+        assert count == 2
+
+    def test_value_range_open_ends(self, index):
+        assert index.count_value_range(None, None) == 4
+        assert index.count_value_range("Q", None) == 2
+
+
+class TestNodeIndex:
+    @pytest.fixture
+    def index(self):
+        manager, pool = make_env()
+        index = NodeIndex(manager, pool)
+        records = [
+            NodeRecord(FlexKey.document(), NodeKind.DOCUMENT),
+            NodeRecord(K([0]), NodeKind.ELEMENT, name="site"),
+            NodeRecord(K([0, 0]), NodeKind.ELEMENT, name="person"),
+            NodeRecord(K([0, 0, 0]), NodeKind.TEXT, value="x"),
+            NodeRecord(K([0, 1]), NodeKind.ELEMENT, name="person"),
+        ]
+        index.bulk_load(records)
+        return index
+
+    def test_get(self, index):
+        assert index.get(K([0])).name == "site"
+        assert index.get(K([9])) is None
+
+    def test_scan_subtree(self, index):
+        root = K([0, 0])
+        names = [record.name or record.kind.value for record in index.scan(
+            root, root.subtree_upper_bound(), inclusive_lo=False)]
+        assert names == ["text"]
+
+    def test_count_range(self, index):
+        assert index.count_range(None, None) == 5
+        assert index.count_range(K([0, 0]), K([0, 1])) == 2
+
+    def test_reverse_scan(self, index):
+        keys = [record.key for record in index.scan(None, None, reverse=True)]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_insert_delete(self, index):
+        record = NodeRecord(K([0, 2]), NodeKind.ELEMENT, name="item")
+        index.insert(record)
+        assert index.get(K([0, 2])) == record
+        assert index.delete(K([0, 2]))
+        assert not index.delete(K([0, 2]))

@@ -1,0 +1,132 @@
+"""Loader: event stream → indexed store, key assignment, node kinds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.mass.flexkey import FlexKey
+from repro.mass.loader import load_document, load_events, load_xml
+from repro.mass.records import NodeKind
+from repro.model import Axis, NodeTest
+from repro.xmlkit.events import Characters, EndElement, StartElement
+
+
+class TestKeyAssignment:
+    def test_document_node_first(self):
+        store = load_xml("<a/>")
+        records = list(store.node_index.scan(None, None))
+        assert records[0].kind is NodeKind.DOCUMENT
+        assert records[0].key == FlexKey.document()
+
+    def test_root_element_is_first_child(self):
+        store = load_xml("<a/>")
+        root = store.root_element()
+        assert root.key == FlexKey.document().child(0)
+
+    def test_attributes_precede_content_children(self):
+        store = load_xml('<a x="1"><b/></a>')
+        root = store.root_element()
+        children = list(
+            store.node_index.scan(
+                root.key, root.key.subtree_upper_bound(), inclusive_lo=False
+            )
+        )
+        assert [record.kind for record in children] == [
+            NodeKind.ATTRIBUTE,
+            NodeKind.ELEMENT,
+        ]
+        assert children[0].key < children[1].key
+
+    def test_document_order_equals_source_order(self):
+        store = load_xml("<a><b>t1</b><c>t2<d/></c></a>")
+        names = [
+            record.name or record.value
+            for record in store.node_index.scan(None, None)
+        ][1:]
+        assert names == ["a", "b", "t1", "c", "t2", "d"]
+
+    def test_adjacent_text_merges(self):
+        events = [
+            StartElement("a"),
+            Characters("one "),
+            Characters("two"),
+            EndElement("a"),
+        ]
+        store = load_events(events)
+        texts = list(
+            store.axis_records(FlexKey.document(), Axis.DESCENDANT, NodeTest.text())
+        )
+        assert len(texts) == 1
+        assert texts[0].value == "one two"
+
+
+class TestNodeKinds:
+    def test_comment_and_pi(self):
+        store = load_xml("<a><!-- hi --><?target data?></a>")
+        assert store.count(NodeTest.comment()) == 1
+        pi = next(
+            store.axis_records(
+                FlexKey.document(),
+                Axis.DESCENDANT,
+                NodeTest.processing_instruction("target"),
+            )
+        )
+        assert pi.value == "data"
+
+    def test_namespace_declarations_become_namespace_nodes(self):
+        store = load_xml('<a xmlns="urn:d" xmlns:p="urn:p"><p:b/></a>')
+        root = store.root_element()
+        namespaces = list(store.axis_records(root.key, Axis.NAMESPACE, NodeTest.node()))
+        assert {record.name for record in namespaces} == {"", "p"}
+        assert {record.value for record in namespaces} == {"urn:d", "urn:p"}
+        # namespace nodes are invisible to the attribute axis
+        assert list(store.axis_records(root.key, Axis.ATTRIBUTE, NodeTest.node())) == []
+
+    def test_attribute_values_indexed(self):
+        store = load_xml('<a id="unique-val"/>')
+        assert store.text_count("unique-val") == 1
+
+
+class TestEntryPoints:
+    def test_load_document_from_file(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a><b>x</b></a>", encoding="utf-8")
+        store = load_document(str(path))
+        assert store.count(NodeTest.name_test("b")) == 1
+        assert store.name == str(path)
+
+    def test_store_options_forwarded(self):
+        store = load_xml("<a/>", page_size=1024, buffer_capacity=16)
+        assert store.pages.page_size == 1024
+        assert store.buffer.capacity == 16
+
+    def test_bulk_load_rejects_out_of_order(self):
+        from repro.mass.records import NodeRecord
+        from repro.mass.store import MassStore
+
+        store = MassStore()
+        records = [
+            NodeRecord(FlexKey.from_ordinals([1]), NodeKind.ELEMENT, name="b"),
+            NodeRecord(FlexKey.from_ordinals([0]), NodeKind.ELEMENT, name="a"),
+        ]
+        with pytest.raises(StorageError):
+            store.bulk_load(records)
+
+    def test_large_flat_document(self):
+        text = "<root>" + "".join(f"<leaf>{i}</leaf>" for i in range(2000)) + "</root>"
+        store = load_xml(text)
+        assert store.count(NodeTest.name_test("leaf")) == 2000
+        assert store.node_index.tree.height() >= 2
+
+    def test_deep_document(self):
+        depth = 200
+        text = "".join(f"<n{i}>" for i in range(depth)) + "x" + "".join(
+            f"</n{i}>" for i in reversed(range(depth))
+        )
+        store = load_xml(text)
+        deepest = next(
+            store.axis_records(FlexKey.document(), Axis.DESCENDANT, NodeTest.text())
+        )
+        assert deepest.key.depth == depth + 1
+        assert len(list(deepest.key.ancestors())) == depth + 1

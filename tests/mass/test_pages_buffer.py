@@ -1,0 +1,128 @@
+"""Page manager and buffer pool unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.mass.pages import BufferPool, Page, PageKind, PageManager
+
+
+class TestPageManager:
+    def test_allocate_assigns_unique_ids(self):
+        manager = PageManager()
+        pages = [manager.allocate(PageKind.LEAF) for _ in range(10)]
+        assert len({page.page_id for page in pages}) == 10
+
+    def test_live_page_accounting(self):
+        manager = PageManager()
+        page = manager.allocate(PageKind.LEAF)
+        assert manager.live_pages == 1
+        manager.free(page)
+        assert manager.live_pages == 0
+        assert manager.stats.allocated == 1 and manager.stats.freed == 1
+
+    def test_double_free_rejected(self):
+        manager = PageManager()
+        page = manager.allocate(PageKind.INTERNAL)
+        manager.free(page)
+        with pytest.raises(StorageError):
+            manager.free(page)
+
+    def test_get_unknown_page(self):
+        manager = PageManager()
+        with pytest.raises(StorageError):
+            manager.get(404)
+
+    def test_get_known_page(self):
+        manager = PageManager()
+        page = manager.allocate(PageKind.LEAF, payload="x")
+        assert manager.get(page.page_id) is page
+
+    def test_minimum_page_size(self):
+        with pytest.raises(StorageError):
+            PageManager(page_size=64)
+
+    def test_mark_write_counts(self):
+        manager = PageManager()
+        page = manager.allocate(PageKind.LEAF)
+        manager.mark_write(page)
+        manager.mark_write(page)
+        assert manager.stats.writes == 2
+
+    def test_reset_io_keeps_population(self):
+        manager = PageManager()
+        manager.allocate(PageKind.LEAF)
+        manager.stats.logical_reads = 5
+        manager.stats.reset_io()
+        assert manager.stats.logical_reads == 0
+        assert manager.stats.allocated == 1
+
+
+class TestBufferPool:
+    def make(self, capacity):
+        manager = PageManager()
+        return manager, BufferPool(manager, capacity=capacity)
+
+    def test_first_touch_is_miss_second_is_hit(self):
+        manager, pool = self.make(capacity=8)
+        page = manager.allocate(PageKind.LEAF)
+        pool.touch(page)
+        pool.touch(page)
+        assert pool.stats.misses == 1 and pool.stats.hits == 1
+        assert manager.stats.physical_reads == 1
+        assert manager.stats.logical_reads == 2
+
+    def test_zero_capacity_never_hits(self):
+        manager, pool = self.make(capacity=0)
+        page = manager.allocate(PageKind.LEAF)
+        for _ in range(5):
+            pool.touch(page)
+        assert pool.stats.hits == 0 and pool.stats.misses == 5
+
+    def test_unbounded_capacity_never_evicts(self):
+        manager, pool = self.make(capacity=None)
+        pages = [manager.allocate(PageKind.LEAF) for _ in range(100)]
+        for page in pages:
+            pool.touch(page)
+        assert pool.stats.evictions == 0
+        assert pool.resident_pages == 100
+
+    def test_lru_eviction_order(self):
+        manager, pool = self.make(capacity=2)
+        a, b, c = (manager.allocate(PageKind.LEAF) for _ in range(3))
+        pool.touch(a)
+        pool.touch(b)
+        pool.touch(a)  # a becomes MRU
+        pool.touch(c)  # evicts b
+        pool.touch(a)
+        assert pool.stats.hits == 2  # the second a-touch and the last one
+        pool.touch(b)  # must be a miss again
+        assert pool.stats.misses == 4
+
+    def test_hit_ratio(self):
+        manager, pool = self.make(capacity=8)
+        page = manager.allocate(PageKind.LEAF)
+        pool.touch(page)
+        pool.touch(page)
+        pool.touch(page)
+        assert pool.stats.hit_ratio == pytest.approx(2 / 3)
+
+    def test_hit_ratio_empty(self):
+        _manager, pool = self.make(capacity=8)
+        assert pool.stats.hit_ratio == 0.0
+
+    def test_evict_all(self):
+        manager, pool = self.make(capacity=8)
+        page = manager.allocate(PageKind.LEAF)
+        pool.touch(page)
+        pool.evict_all()
+        pool.touch(page)
+        assert pool.stats.misses == 2
+
+    def test_forget_freed_page(self):
+        manager, pool = self.make(capacity=8)
+        page = manager.allocate(PageKind.LEAF)
+        pool.touch(page)
+        pool.forget(page)
+        assert pool.resident_pages == 0

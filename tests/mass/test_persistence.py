@@ -1,0 +1,147 @@
+"""Store persistence: binary round trips and corruption handling."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.errors import StorageError
+from repro.mass.loader import load_xml
+from repro.mass.persistence import open_store, save_store
+from repro.model import Axis, NodeTest
+from repro.xmark.generator import generate_document
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, small_store, tmp_path):
+        path = str(tmp_path / "small.mass")
+        save_store(small_store, path)
+        reopened = open_store(path)
+        NT = NodeTest.name_test
+        for name in ("person", "name", "address", "watch"):
+            assert reopened.count(NT(name)) == small_store.count(NT(name))
+        assert reopened.text_count("Yung Flach") == 1
+        assert reopened.name == small_store.name
+
+    def test_serialization_identical(self, small_store, tmp_path):
+        path = str(tmp_path / "small.mass")
+        save_store(small_store, path)
+        reopened = open_store(path)
+        original = small_store.serialize_subtree(small_store.root_element().key)
+        restored = reopened.serialize_subtree(reopened.root_element().key)
+        assert original == restored
+
+    def test_queries_identical(self, small_store, tmp_path):
+        from repro.engine.engine import VamanaEngine
+
+        path = str(tmp_path / "small.mass")
+        save_store(small_store, path)
+        reopened = open_store(path)
+        for query in ("//person/address", "//watch/@open_auction", "//price"):
+            original = VamanaEngine(small_store).evaluate(query)
+            restored = VamanaEngine(reopened).evaluate(query)
+            assert original.keys == restored.keys
+
+    def test_xmark_round_trip(self, tmp_path):
+        store = load_xml(generate_document(0.002, seed=42))
+        path = str(tmp_path / "xmark.mass")
+        save_store(store, path)
+        reopened = open_store(path)
+        assert len(reopened.node_index) == len(store.node_index)
+
+    def test_store_options_forwarded(self, small_store, tmp_path):
+        path = str(tmp_path / "small.mass")
+        save_store(small_store, path)
+        reopened = open_store(path, page_size=1024)
+        assert reopened.pages.page_size == 1024
+
+    def test_updates_after_reopen(self, small_store, tmp_path):
+        path = str(tmp_path / "small.mass")
+        save_store(small_store, path)
+        reopened = open_store(path)
+        root = reopened.root_element().key
+        reopened.insert_element(root, "added", "later")
+        assert reopened.count(NodeTest.name_test("added")) == 1
+
+
+class TestCorruption:
+    def test_not_a_store(self, tmp_path):
+        path = tmp_path / "junk.mass"
+        path.write_bytes(b"definitely not a store")
+        with pytest.raises(StorageError, match="not a MASS store"):
+            open_store(str(path))
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "tiny.mass"
+        path.write_bytes(b"MASS")
+        with pytest.raises(StorageError):
+            open_store(str(path))
+
+    def test_bit_flip_detected(self, small_store, tmp_path):
+        path = tmp_path / "flip.mass"
+        save_store(small_store, str(path))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(StorageError, match="checksum"):
+            open_store(str(path))
+
+    def test_bad_version(self, small_store, tmp_path):
+        import zlib
+
+        path = tmp_path / "version.mass"
+        save_store(small_store, str(path))
+        blob = bytearray(path.read_bytes())
+        body = bytearray(blob[4:-4])
+        struct.pack_into("<H", body, 0, 99)  # version field
+        checksum = zlib.adler32(bytes(body))
+        path.write_bytes(b"MASS" + bytes(body) + struct.pack("<I", checksum))
+        with pytest.raises(StorageError, match="version"):
+            open_store(str(path))
+
+
+class TestSerializeSubtree:
+    def test_element_fragment(self, small_store):
+        person = next(
+            small_store.axis_records(
+                small_store.root_element().key.child(0), Axis.CHILD,
+                NodeTest.name_test("person"),
+            )
+        )
+        fragment = small_store.serialize_subtree(person.key)
+        assert fragment.startswith('<person id="person0">')
+        assert "<name>Alpha One</name>" in fragment
+        reparsed = load_xml(fragment)
+        assert reparsed.count(NodeTest.name_test("name")) == 1
+
+    def test_text_node(self, small_store):
+        text = next(
+            small_store.axis_records(
+                small_store.root_element().key, Axis.DESCENDANT, NodeTest.text()
+            )
+        )
+        assert small_store.serialize_subtree(text.key) == "Alpha One"
+
+    def test_document_node(self, small_store):
+        from repro.mass.flexkey import FlexKey
+
+        text = small_store.serialize_subtree(FlexKey.document())
+        assert text.startswith("<site>")
+        assert text.endswith("</site>")
+
+    def test_escaping(self):
+        store = load_xml('<a x="&quot;q&quot;">1 &lt; 2 &amp; 3</a>')
+        fragment = store.serialize_subtree(store.root_element().key)
+        reparsed = load_xml(fragment)
+        assert reparsed.string_value(reparsed.root_element().key) == "1 < 2 & 3"
+
+    def test_full_xmark_round_trip(self):
+        original = generate_document(0.001, seed=42)
+        store = load_xml(original)
+        fragment = store.serialize_subtree(store.root_element().key)
+        reindexed = load_xml(fragment)
+        assert len(reindexed.node_index) == len(store.node_index)
+        assert (
+            reindexed.serialize_subtree(reindexed.root_element().key) == fragment
+        )

@@ -1,0 +1,198 @@
+"""MassStore facade: counts, string values, updates, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.mass.flexkey import FlexKey
+from repro.mass.loader import load_xml
+from repro.mass.records import NodeKind, NodeRecord
+from repro.model import Axis, NodeTest
+
+NT = NodeTest.name_test
+
+
+@pytest.fixture
+def store():
+    return load_xml(
+        """<site>
+        <person id="p0"><name>Ada</name><address><city>Monroe</city></address></person>
+        <person id="p1"><name>Grace</name></person>
+        <item id="i0"><name>Gear</name></item>
+        <!-- note --><?pi data?>
+        </site>"""
+    )
+
+
+class TestCounts:
+    def test_element_counts(self, store):
+        assert store.count(NT("person")) == 2
+        assert store.count(NT("name")) == 3
+        assert store.count(NT("missing")) == 0
+
+    def test_wildcard_counts_elements_only(self, store):
+        assert store.count(NT("*")) == 9
+
+    def test_node_count_includes_everything(self, store):
+        assert store.count(NodeTest.node()) == len(store.node_index)
+
+    def test_text_kind_count(self, store):
+        assert store.count(NodeTest.text()) == 4
+
+    def test_comment_and_pi_counts(self, store):
+        assert store.count(NodeTest.comment()) == 1
+        assert store.count(NodeTest.processing_instruction("pi")) == 1
+        assert store.count(NodeTest.processing_instruction()) == 1
+
+    def test_attribute_count_via_principal(self, store):
+        assert store.count(NT("id"), principal=NodeKind.ATTRIBUTE) == 3
+        assert store.count(NT("id")) == 0  # no element named id
+
+    def test_text_count(self, store):
+        assert store.text_count("Ada") == 1
+        assert store.text_count("p0") == 1  # attribute values are indexed
+        assert store.text_count("zzz") == 0
+
+    def test_count_under_subtree(self, store):
+        person = next(store.axis_records(FlexKey.document(), Axis.DESCENDANT, NT("person")))
+        assert store.count_under(person.key, NT("name")) == 1
+        assert store.count_under(FlexKey.document(), NT("name")) == 3
+
+    def test_count_under_wildcard_scans(self, store):
+        person = next(store.axis_records(FlexKey.document(), Axis.DESCENDANT, NT("person")))
+        assert store.count_under(person.key, NT("*")) == 3  # name, address, city
+
+
+class TestAccess:
+    def test_root_element(self, store):
+        assert store.root_element().name == "site"
+
+    def test_document_record(self, store):
+        assert store.document_record().kind is NodeKind.DOCUMENT
+
+    def test_require_unknown_raises(self, store):
+        with pytest.raises(StorageError):
+            store.require(FlexKey.from_ordinals([5, 5, 5]))
+
+    def test_fetch_counts_metric(self, store):
+        store.reset_metrics()
+        store.fetch(FlexKey.document())
+        assert store.metrics.record_fetches == 1
+
+    def test_string_value_element(self, store):
+        person = next(store.axis_records(FlexKey.document(), Axis.DESCENDANT, NT("person")))
+        assert store.string_value(person.key) == "AdaMonroe"
+
+    def test_string_value_text_and_attribute(self, store):
+        text = next(store.axis_records(FlexKey.document(), Axis.DESCENDANT, NodeTest.text()))
+        assert store.string_value(text.key) == "Ada"
+        attr = next(
+            store.axis_records(
+                store.root_element().key.child(0), Axis.ATTRIBUTE, NT("*")
+            )
+        )
+        assert store.string_value(attr.key) == "p0"
+
+    def test_string_value_document(self, store):
+        assert "Ada" in store.string_value(FlexKey.document())
+
+    def test_value_keys_in_document_order(self, store):
+        keys = [key for key, _kind in store.value_keys("Ada")]
+        assert keys == sorted(keys)
+
+
+class TestUpdates:
+    def test_insert_element_appends(self, store):
+        person = next(store.axis_records(FlexKey.document(), Axis.DESCENDANT, NT("person")))
+        key = store.insert_element(person.key, "phone", "555")
+        children = [r.name for r in store.axis_records(person.key, Axis.CHILD, NT("*"))]
+        assert children == ["name", "address", "phone"]
+        assert store.count(NT("phone")) == 1
+        assert store.text_count("555") == 1
+        assert key.parent() == person.key
+
+    def test_insert_element_after_sibling(self, store):
+        person = next(store.axis_records(FlexKey.document(), Axis.DESCENDANT, NT("person")))
+        name = next(store.axis_records(person.key, Axis.CHILD, NT("name")))
+        store.insert_element(person.key, "email", "a@b", after=name.key)
+        children = [r.name for r in store.axis_records(person.key, Axis.CHILD, NT("*"))]
+        assert children == ["name", "email", "address"]
+
+    def test_insert_after_requires_child(self, store):
+        person = next(store.axis_records(FlexKey.document(), Axis.DESCENDANT, NT("person")))
+        with pytest.raises(StorageError):
+            store.insert_element(FlexKey.document(), "x", after=person.key.child(0))
+
+    def test_insert_duplicate_key_rejected(self, store):
+        person = next(store.axis_records(FlexKey.document(), Axis.DESCENDANT, NT("person")))
+        with pytest.raises(StorageError):
+            store.insert_record(NodeRecord(person.key, NodeKind.ELEMENT, name="dup"))
+
+    def test_insert_orphan_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.insert_record(
+                NodeRecord(FlexKey.from_ordinals([9, 9]), NodeKind.ELEMENT, name="x")
+            )
+
+    def test_delete_subtree_updates_all_indexes(self, store):
+        person = next(store.axis_records(FlexKey.document(), Axis.DESCENDANT, NT("person")))
+        removed = store.delete_subtree(person.key)
+        assert removed == 7  # person, @id, name, text, address, city, text
+        assert store.count(NT("person")) == 1
+        assert store.text_count("Ada") == 0
+        assert store.text_count("Monroe") == 0
+
+    def test_counts_exact_after_update_burst(self, store):
+        """The 'statistics stay accurate under updates' claim, in miniature."""
+        root = store.root_element().key
+        for index in range(20):
+            store.insert_element(root, "extra", f"value{index}")
+        assert store.count(NT("extra")) == 20
+        extras = [r.key for r in store.axis_records(root, Axis.CHILD, NT("extra"))]
+        for key in extras[::2]:
+            store.delete_subtree(key)
+        assert store.count(NT("extra")) == 10
+        assert store.text_count("value0") == 0
+        assert store.text_count("value1") == 1
+
+    def test_insert_between_preserves_axis_order(self, store):
+        """Keys minted between siblings keep every axis consistent."""
+        person = next(store.axis_records(FlexKey.document(), Axis.DESCENDANT, NT("person")))
+        name = next(store.axis_records(person.key, Axis.CHILD, NT("name")))
+        for index in range(10):
+            store.insert_element(person.key, "tag", str(index), after=name.key)
+        children = [r for r in store.axis_records(person.key, Axis.CHILD, NT("tag"))]
+        values = [store.string_value(r.key) for r in children]
+        assert values == [str(i) for i in reversed(range(10))]
+        siblings = [
+            r.name
+            for r in store.axis_records(name.key, Axis.FOLLOWING_SIBLING, NT("*"))
+        ]
+        assert siblings == ["tag"] * 10 + ["address"]
+
+
+class TestReporting:
+    def test_statistics_snapshot(self, store):
+        stats = store.statistics()
+        assert stats.total_nodes == len(store.node_index)
+        assert stats.elements == 9
+        assert stats.attributes == 3
+        assert stats.pages == store.pages.live_pages
+        assert stats.tuples_per_page > 0
+        assert "elements" in stats.describe()
+
+    def test_io_snapshot_keys(self, store):
+        snapshot = store.io_snapshot()
+        for key in ("record_fetches", "pages_read", "key_comparisons", "entries_scanned"):
+            assert key in snapshot
+
+    def test_reset_metrics(self, store):
+        store.fetch(FlexKey.document())
+        store.reset_metrics()
+        snapshot = store.io_snapshot()
+        assert snapshot["record_fetches"] == 0
+        assert snapshot["logical_reads"] == 0
+
+    def test_repr(self, store):
+        assert "MassStore" in repr(store)

@@ -1,0 +1,166 @@
+"""Query clean-up (Figure 5): self-merge and descendant collapse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.loader import load_xml
+from repro.model import Axis, NodeTest, NodeTestKind
+from repro.algebra.builder import build_default_plan
+from repro.algebra.execution import execute_plan
+from repro.algebra.plan import QueryPlan, RootNode, StepNode
+from repro.optimizer.cleanup import cleanup_plan, intersect_tests
+
+
+def chain(plan):
+    nodes = []
+    node = plan.root.context_child
+    while node is not None:
+        nodes.append(node)
+        node = node.context_child
+    return nodes
+
+
+class TestIntersectTests:
+    def test_node_is_universal(self):
+        name = NodeTest.name_test("a")
+        assert intersect_tests(NodeTest.node(), name) == name
+        assert intersect_tests(name, NodeTest.node()) == name
+
+    def test_any_narrows_to_name(self):
+        name = NodeTest.name_test("a")
+        assert intersect_tests(NodeTest.name_test("*"), name) == name
+        assert intersect_tests(name, NodeTest.name_test("*")) == name
+
+    def test_same_name(self):
+        name = NodeTest.name_test("a")
+        assert intersect_tests(name, name) == name
+
+    def test_conflicting_names(self):
+        assert intersect_tests(NodeTest.name_test("a"), NodeTest.name_test("b")) is None
+
+    def test_kind_vs_name(self):
+        assert intersect_tests(NodeTest.text(), NodeTest.name_test("a")) is None
+
+    def test_node_vs_text(self):
+        assert intersect_tests(NodeTest.node(), NodeTest.text()) == NodeTest.text()
+
+
+class TestSelfMerge:
+    def test_figure5_merge(self):
+        """parent::* / self::person  →  parent::person."""
+        plan = build_default_plan("descendant::name/parent::*/self::person/address")
+        assert cleanup_plan(plan)
+        axes = [step.axis for step in chain(plan)]
+        assert axes == [Axis.CHILD, Axis.PARENT, Axis.DESCENDANT]
+        assert chain(plan)[1].test.name == "person"
+
+    def test_merge_moves_predicates(self):
+        plan = build_default_plan("a[x]/self::a[y]")
+        cleanup_plan(plan)
+        merged = chain(plan)[0]
+        assert merged.test.name == "a"
+        assert len(merged.predicates) == 2
+
+    def test_dot_step_merges_away(self):
+        plan = build_default_plan("a/./b")
+        cleanup_plan(plan)
+        assert [step.test.name for step in chain(plan)] == ["b", "a"]
+
+    def test_conflicting_merge_left_alone(self):
+        plan = build_default_plan("a/self::b")
+        changed = cleanup_plan(plan)
+        assert not changed
+        assert len(chain(plan)) == 2
+
+    def test_positional_predicate_blocks_merge(self):
+        plan = build_default_plan("*[2]/self::a")
+        assert not cleanup_plan(plan)
+
+    def test_merge_inside_predicate_path(self):
+        plan = build_default_plan("//p[a/self::b/c]")
+        # a/self::b conflicts; but a/./c must merge
+        plan2 = build_default_plan("//p[a/./c]")
+        cleanup_plan(plan2)
+        exists = chain(plan2)[0].predicates[0]
+        steps = []
+        node = exists.path
+        while node is not None:
+            steps.append(node)
+            node = node.context_child
+        assert [step.test.name for step in steps] == ["c", "a"]
+
+    def test_merge_chains_to_fixpoint(self):
+        plan = build_default_plan("a/./././b")
+        cleanup_plan(plan)
+        assert [step.test.name for step in chain(plan)] == ["b", "a"]
+
+
+class TestDescendantCollapse:
+    def test_explicit_pair_collapses(self):
+        plan = QueryPlan(
+            RootNode(
+                StepNode(
+                    Axis.CHILD,
+                    NodeTest.name_test("x"),
+                    StepNode(Axis.DESCENDANT_OR_SELF, NodeTest.node()),
+                )
+            ),
+            "manual",
+        )
+        plan.renumber()
+        assert cleanup_plan(plan)
+        steps = chain(plan)
+        assert len(steps) == 1
+        assert steps[0].axis is Axis.DESCENDANT
+
+    def test_pair_with_inner_predicate_not_collapsed(self):
+        plan = QueryPlan(
+            RootNode(
+                StepNode(
+                    Axis.CHILD,
+                    NodeTest.name_test("x"),
+                    StepNode(Axis.DESCENDANT_OR_SELF, NodeTest.node()),
+                )
+            ),
+            "manual",
+        )
+        from repro.algebra.plan import ExistsNode
+
+        plan.root.context_child.context_child.predicates.append(
+            ExistsNode(StepNode(Axis.CHILD, NodeTest.name_test("y")))
+        )
+        plan.renumber()
+        assert not cleanup_plan(plan)
+
+    def test_union_branches_cleaned(self):
+        plan = build_default_plan("a/self::a | b/./c")
+        cleanup_plan(plan)
+        union = plan.root.context_child
+        first_branch = union.branches[0]
+        assert first_branch.test.name == "a" and first_branch.context_child is None
+
+
+class TestSemanticsPreserved:
+    QUERIES = [
+        "descendant::name/parent::*/self::person/address",
+        "//person/./name",
+        "//person/self::person",
+        "a/self::*",
+        "//watches/./watch",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_cleanup_preserves_results(self, small_store, query):
+        original = build_default_plan(query)
+        cleaned = original.clone()
+        cleanup_plan(cleaned)
+        before = sorted(set(execute_plan(original, small_store)))
+        after = sorted(set(execute_plan(cleaned, small_store)))
+        assert before == after
+
+    def test_renumber_after_change(self):
+        plan = build_default_plan("a/./b")
+        cleanup_plan(plan)
+        ids = [node.op_id for node in plan.walk()]
+        assert ids == list(range(1, len(ids) + 1))

@@ -1,0 +1,146 @@
+"""Optimizer loop: gating, termination, traces, and the never-worse claim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.builder import build_default_plan
+from repro.algebra.execution import execute_plan
+from repro.cost.estimator import CostEstimator, plan_cost
+from repro.optimizer.optimizer import Optimizer, optimize_plan
+from repro.optimizer.rules import DEFAULT_RULES
+
+
+QUERIES = [
+    "//person/address",
+    "//watches/watch/ancestor::person",
+    "/descendant::name/parent::*/self::person/address",
+    "//itemref/following-sibling::price/parent::*",
+    "//province[text()='Vermont']/ancestor::person",
+    "//name[text()='Yung Flach']/following-sibling::emailaddress",
+    "//person[profile/@income > 5000]/name",
+    "//open_auction/bidder/increase",
+    "//person[1]/name",
+    "//closed_auction[price > 40]/date",
+]
+
+
+class TestOptimizeLoop:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_results_unchanged(self, xmark_store, query):
+        plan = build_default_plan(query)
+        optimized, _trace = optimize_plan(plan, xmark_store)
+        before = sorted(set(execute_plan(plan, xmark_store)))
+        after = sorted(set(execute_plan(optimized, xmark_store)))
+        assert before == after
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_estimated_cost_never_worse(self, xmark_store, query):
+        plan = build_default_plan(query)
+        optimized, trace = optimize_plan(plan, xmark_store)
+        assert trace.final_cost <= trace.initial_cost
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_measured_work_never_worse(self, xmark_store, query):
+        """The paper's guarantee, checked on actual index work."""
+
+        def work(plan):
+            xmark_store.reset_metrics()
+            list(execute_plan(plan, xmark_store))
+            snapshot = xmark_store.io_snapshot()
+            return snapshot["logical_reads"] + snapshot["entries_scanned"]
+
+        plan = build_default_plan(query)
+        optimized, _trace = optimize_plan(plan, xmark_store)
+        default_work = work(plan)
+        optimized_work = work(optimized)
+        assert optimized_work <= default_work * 1.05 + 50  # small slack for probes
+
+    def test_input_plan_not_mutated(self, xmark_store):
+        plan = build_default_plan("//person/address")
+        snapshot = plan.explain(costs=False)
+        optimize_plan(plan, xmark_store)
+        assert plan.explain(costs=False) == snapshot
+
+    def test_termination_iteration_bound(self, xmark_store):
+        optimizer = Optimizer(xmark_store, max_iterations=2)
+        plan = build_default_plan("/descendant::name/parent::*/self::person/address")
+        _optimized, trace = optimizer.optimize(plan)
+        assert trace.iterations <= 2
+
+    def test_no_rules_is_identity(self, xmark_store):
+        optimizer = Optimizer(xmark_store, rules=())
+        plan = build_default_plan("//person/address")
+        optimized, trace = optimizer.optimize(plan)
+        assert trace.entries == []
+        # clean-up still runs (it is phase 1, not a rule)
+        assert trace.cleaned or plan_cost(optimized) == trace.initial_cost
+
+
+class TestTrace:
+    def test_trace_records_rewrites(self, xmark_store):
+        plan = build_default_plan("/descendant::name/parent::*/self::person/address")
+        _optimized, trace = optimize_plan(plan, xmark_store)
+        rules_used = [entry.rule for entry in trace.entries]
+        assert rules_used == ["reverse-axis", "predicate-pushdown"]
+
+    def test_trace_costs_strictly_decrease(self, xmark_store):
+        plan = build_default_plan("/descendant::name/parent::*/self::person/address")
+        _optimized, trace = optimize_plan(plan, xmark_store)
+        costs = [trace.initial_cost] + [entry.cost_after for entry in trace.entries]
+        assert all(earlier > later for earlier, later in zip(costs, costs[1:]))
+        assert trace.final_cost == costs[-1]
+
+    def test_trace_describe(self, xmark_store):
+        plan = build_default_plan("//person/address")
+        _optimized, trace = optimize_plan(plan, xmark_store)
+        text = trace.describe()
+        assert "optimization of" in text
+        assert "cost" in text
+
+    def test_trace_counts_rejections(self, xmark_store):
+        plan = build_default_plan("//itemref/following-sibling::price/parent::*")
+        _optimized, trace = optimize_plan(plan, xmark_store)
+        assert trace.rules_considered >= trace.rules_rejected
+
+    def test_improved_flag(self, xmark_store):
+        plan = build_default_plan("//person/address")
+        _optimized, trace = optimize_plan(plan, xmark_store)
+        assert trace.improved
+        plan2 = build_default_plan("//person")
+        _optimized2, trace2 = optimize_plan(plan2, xmark_store)
+        assert not trace2.improved
+
+    def test_elapsed_recorded(self, xmark_store):
+        plan = build_default_plan("//person/address")
+        _optimized, trace = optimize_plan(plan, xmark_store)
+        assert trace.elapsed_seconds > 0
+
+    def test_optimization_overhead_is_small(self, xmark_store):
+        """'negligible optimization overhead' — bounded milliseconds, because
+        costing is O(log n) index counts."""
+        plan = build_default_plan("/descendant::name/parent::*/self::person/address")
+        _optimized, trace = optimize_plan(plan, xmark_store)
+        assert trace.elapsed_seconds < 0.25
+
+
+class TestRuleGating:
+    def test_rejected_rewrite_not_applied(self, xmark_store):
+        """Q4's parent::* after following-sibling has no profitable rule."""
+        plan = build_default_plan("//itemref/following-sibling::price/parent::*")
+        optimized, trace = optimize_plan(plan, xmark_store)
+        assert trace.entries == []
+        assert trace.final_cost == trace.initial_cost
+
+    def test_default_rule_library_is_complete(self):
+        names = {rule.name for rule in DEFAULT_RULES}
+        assert names == {
+            "value-index",
+            "reverse-axis",
+            "predicate-pushdown",
+            "duplicate-elimination",
+        }
+
+    def test_estimator_reused(self, xmark_store):
+        optimizer = Optimizer(xmark_store)
+        assert isinstance(optimizer.estimator, CostEstimator)

@@ -1,0 +1,302 @@
+"""Rewrite-rule unit tests: match guards, applied shapes, equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.loader import load_xml
+from repro.model import Axis
+from repro.algebra.builder import build_default_plan
+from repro.algebra.execution import execute_plan
+from repro.algebra.plan import ExistsNode, StepNode, ValueStepNode
+from repro.optimizer.cleanup import cleanup_plan
+from repro.optimizer.rules import (
+    DuplicateEliminationRule,
+    PredicatePushdownRule,
+    ReverseAxisRule,
+    ValueIndexRule,
+)
+
+
+@pytest.fixture(scope="module")
+def store(xmark_store):
+    return xmark_store
+
+
+def prepared(query):
+    plan = build_default_plan(query)
+    cleanup_plan(plan)
+    return plan
+
+
+def chain(plan):
+    nodes = []
+    node = plan.root.context_child
+    while node is not None:
+        nodes.append(node)
+        node = node.context_child
+    return nodes
+
+
+def apply_rule(rule, plan, node):
+    candidate = plan.clone()
+    target = next(n for n in candidate.walk() if n.op_id == node.op_id)
+    rule.apply(candidate, target)
+    cleanup_plan(candidate)
+    return candidate
+
+
+def results(store, plan):
+    return sorted(set(execute_plan(plan, store)))
+
+
+class TestReverseAxisRule:
+    rule = ReverseAxisRule()
+
+    def test_matches_parent_over_descendant_leaf(self):
+        plan = prepared("//name/parent::person")
+        parent_step = chain(plan)[0]
+        assert self.rule.matches(plan, parent_step)
+
+    def test_no_match_on_nonleaf_context(self):
+        plan = prepared("//a/b/parent::c")
+        parent_step = chain(plan)[0]
+        assert not self.rule.matches(plan, parent_step)
+
+    def test_no_match_for_down_axis(self):
+        plan = prepared("//a/b")
+        assert not self.rule.matches(plan, chain(plan)[0])
+
+    def test_no_match_with_positional_predicate(self):
+        plan = prepared("//name/parent::person[2]")
+        assert not self.rule.matches(plan, chain(plan)[0])
+
+    def test_no_match_inside_predicate_path(self):
+        plan = prepared("//x[//name/parent::person]")
+        exists = chain(plan)[0].predicates[0]
+        inner_parent = exists.path
+        assert not self.rule.matches(plan, inner_parent)
+
+    def test_applied_shape_figure8(self):
+        """descendant::name/parent::person → descendant::person[child::name]."""
+        plan = prepared("//name/parent::person")
+        rewritten = apply_rule(self.rule, plan, chain(plan)[0])
+        steps = chain(rewritten)
+        assert len(steps) == 1
+        step = steps[0]
+        assert step.axis is Axis.DESCENDANT and step.test.name == "person"
+        probe = step.predicates[0]
+        assert isinstance(probe, ExistsNode)
+        assert probe.path.axis is Axis.CHILD and probe.path.test.name == "name"
+
+    def test_ancestor_becomes_descendant_probe(self):
+        plan = prepared("//watch/ancestor::person")
+        rewritten = apply_rule(self.rule, plan, chain(plan)[0])
+        probe = chain(rewritten)[0].predicates[0]
+        assert probe.path.axis is Axis.DESCENDANT
+
+    def test_leaf_predicates_travel_into_probe(self):
+        plan = prepared("//name[text() = 'Yung Flach']/parent::person")
+        rewritten = apply_rule(self.rule, plan, chain(plan)[0])
+        probe = chain(rewritten)[0].predicates[0]
+        assert len(probe.path.predicates) == 1
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "//name/parent::person",
+            "//name/parent::*",
+            "//watch/ancestor::person",
+            "//city/ancestor-or-self::address",
+            "//name[text() = 'Yung Flach']/parent::person",
+            "descendant::name/parent::node()",
+        ],
+    )
+    def test_equivalence(self, store, query):
+        plan = prepared(query)
+        target = chain(plan)[0]
+        assert self.rule.matches(plan, target)
+        rewritten = apply_rule(self.rule, plan, target)
+        assert results(store, plan) == results(store, rewritten)
+
+
+class TestPredicatePushdownRule:
+    rule = PredicatePushdownRule()
+
+    def test_matches_child_over_descendant_leaf(self):
+        plan = prepared("//person/address")
+        assert self.rule.matches(plan, chain(plan)[0])
+
+    def test_no_match_on_node_test(self):
+        plan = prepared("//person/node()")
+        assert not self.rule.matches(plan, chain(plan)[0])
+
+    def test_no_match_on_node_leaf(self):
+        plan = prepared("descendant::node()/address")
+        assert not self.rule.matches(plan, chain(plan)[0])
+
+    def test_no_match_positional(self):
+        plan = prepared("//person/address[1]")
+        assert not self.rule.matches(plan, chain(plan)[0])
+
+    def test_applied_shape_figure11(self):
+        plan = prepared("//person[name]/address")
+        rewritten = apply_rule(self.rule, plan, chain(plan)[0])
+        steps = chain(rewritten)
+        assert len(steps) == 1
+        step = steps[0]
+        assert step.axis is Axis.DESCENDANT and step.test.name == "address"
+        probe = step.predicates[0]
+        assert probe.path.axis is Axis.PARENT and probe.path.test.name == "person"
+        nested = probe.path.predicates[0]
+        assert isinstance(nested, ExistsNode)
+        assert nested.path.test.name == "name"
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "//person/address",
+            "//person[name]/address",
+            "//address//city",
+            "//watches/watch",
+            "//person[watches]/address/city",
+        ],
+    )
+    def test_equivalence(self, store, query):
+        plan = prepared(query)
+        target = chain(plan)[0]
+        if not self.rule.matches(plan, target):
+            target = chain(plan)[1] if len(chain(plan)) > 1 else target
+        if self.rule.matches(plan, target):
+            rewritten = apply_rule(self.rule, plan, target)
+            assert results(store, plan) == results(store, rewritten)
+
+    def test_chained_application(self, store):
+        """//a/b/c pushes down one level at a time."""
+        plan = prepared("//people/person/name")
+        first = apply_rule(self.rule, plan, chain(plan)[1])  # person over people
+        assert self.rule.matches(first, chain(first)[0])
+        second = apply_rule(self.rule, first, chain(first)[0])
+        assert len(chain(second)) == 1
+        assert results(store, plan) == results(store, second)
+
+
+class TestValueIndexRule:
+    rule = ValueIndexRule()
+
+    def test_matches_text_equality_leaf(self):
+        plan = prepared("//name[text() = 'Yung Flach']")
+        assert self.rule.matches(plan, chain(plan)[0])
+
+    def test_no_match_for_inequality(self):
+        plan = prepared("//name[text() != 'Yung Flach']")
+        assert not self.rule.matches(plan, chain(plan)[0])
+
+    def test_no_match_for_nonleaf(self):
+        plan = prepared("//person/name[text() = 'x']")
+        assert not self.rule.matches(plan, chain(plan)[0])
+
+    def test_no_match_for_element_comparison(self):
+        plan = prepared("//person[name = 'x']")
+        assert not self.rule.matches(plan, chain(plan)[0])
+
+    def test_applied_shape_figure9(self):
+        plan = prepared("//name[text() = 'Yung Flach']/following-sibling::emailaddress")
+        name_step = chain(plan)[1]
+        assert self.rule.matches(plan, name_step)
+        rewritten = apply_rule(self.rule, plan, name_step)
+        steps = chain(rewritten)
+        assert steps[1].axis is Axis.PARENT and steps[1].test.name == "name"
+        assert isinstance(steps[2], ValueStepNode)
+        assert steps[2].value == "Yung Flach"
+
+    def test_other_predicates_kept(self):
+        plan = prepared("//name[text() = 'Yung Flach'][starts-with(., 'Y')]")
+        rewritten = apply_rule(self.rule, plan, chain(plan)[0])
+        parent_step = chain(rewritten)[0]
+        assert len(parent_step.predicates) == 1
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "//name[text() = 'Yung Flach']",
+            "//name[text() = 'Yung Flach']/following-sibling::emailaddress",
+            "//province[text() = 'Vermont']/ancestor::person",
+            "//city[text() = 'never-occurs']",
+        ],
+    )
+    def test_equivalence(self, store, query):
+        plan = prepared(query)
+        target = next(
+            node
+            for node in chain(plan)
+            if isinstance(node, StepNode) and self.rule.matches(plan, node)
+        )
+        rewritten = apply_rule(self.rule, plan, target)
+        assert results(store, plan) == results(store, rewritten)
+
+    def test_attribute_value_not_rewritten(self, store):
+        """An attribute holding the same string must not satisfy text()=…"""
+        tricky = load_xml("<r><a ref='k1'>k1</a><b>k1</b><c other='k1'/></r>")
+        plan = prepared("//b[text() = 'k1']")
+        target = chain(plan)[0]
+        assert self.rule.matches(plan, target)
+        rewritten = apply_rule(self.rule, plan, target)
+        assert results(tricky, plan) == results(tricky, rewritten)
+        assert len(results(tricky, rewritten)) == 1
+
+
+class TestDuplicateEliminationRule:
+    rule = DuplicateEliminationRule()
+
+    def test_matches_q2_shape(self):
+        plan = prepared("//watches/watch/ancestor::person")
+        assert self.rule.matches(plan, chain(plan)[0])
+
+    def test_no_match_without_carrier(self):
+        plan = prepared("//watch/ancestor::person")
+        assert not self.rule.matches(plan, chain(plan)[0])
+
+    def test_no_match_for_descendant_middle(self):
+        plan = prepared("//watches//watch/ancestor::person")
+        assert not self.rule.matches(plan, chain(plan)[0])
+
+    def test_no_match_when_distinct_not_wanted(self):
+        plan = prepared("//watches/watch/ancestor::person")
+        plan.root.distinct = False
+        assert not self.rule.matches(plan, chain(plan)[0])
+
+    def test_applied_shape(self):
+        plan = prepared("//watches/watch/ancestor::person")
+        rewritten = apply_rule(self.rule, plan, chain(plan)[0])
+        steps = chain(rewritten)
+        assert len(steps) == 2
+        assert steps[0].axis is Axis.ANCESTOR_OR_SELF
+        carrier = steps[1]
+        assert carrier.test.name == "watches"
+        assert isinstance(carrier.predicates[-1], ExistsNode)
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "//watches/watch/ancestor::person",
+            "//address/city/ancestor::people",
+            "//person/name/ancestor::*",
+        ],
+    )
+    def test_equivalence(self, store, query):
+        plan = prepared(query)
+        target = chain(plan)[0]
+        assert self.rule.matches(plan, target)
+        rewritten = apply_rule(self.rule, plan, target)
+        assert results(store, plan) == results(store, rewritten)
+
+    def test_middle_matching_test_still_correct(self, store):
+        """ancestor-or-self on the carrier keeps the carrier itself when it
+        matches the ancestor test — //a/b/ancestor::a includes outer a's."""
+        nested = load_xml("<r><a><b/><a><b/></a></a></r>")
+        plan = prepared("//a/b/ancestor::a")
+        target = chain(plan)[0]
+        assert self.rule.matches(plan, target)
+        rewritten = apply_rule(self.rule, plan, target)
+        assert results(nested, plan) == results(nested, rewritten)

@@ -1,0 +1,76 @@
+"""Plan-navigation helpers used by the rules."""
+
+from __future__ import annotations
+
+from repro.algebra.builder import build_default_plan
+from repro.algebra.plan import StepNode
+from repro.optimizer.util import (
+    context_parent,
+    context_path,
+    find_by_id,
+    has_positional_predicates,
+    is_positional,
+    on_context_path,
+)
+
+
+def test_find_by_id():
+    plan = build_default_plan("//a/b")
+    for node in plan.walk():
+        assert find_by_id(plan, node.op_id) is node
+    assert find_by_id(plan, 999) is None
+
+
+def test_context_path_order():
+    plan = build_default_plan("//a/b/c")
+    names = [step.test.name for step in context_path(plan)]
+    assert names == ["c", "b", "a"]
+
+
+def test_context_path_excludes_predicates():
+    plan = build_default_plan("//a[x]/b")
+    names = [step.test.name for step in context_path(plan)]
+    assert names == ["b", "a"]
+    predicate_path = context_path(plan)[1].predicates[0].path
+    assert not on_context_path(plan, predicate_path)
+
+
+def test_context_parent():
+    plan = build_default_plan("//a/b")
+    b_step, a_step = context_path(plan)
+    assert context_parent(plan, b_step) is plan.root
+    assert context_parent(plan, a_step) is b_step
+    orphan = StepNode(a_step.axis, a_step.test)
+    assert context_parent(plan, orphan) is None
+
+
+class TestPositional:
+    def pred(self, query):
+        plan = build_default_plan(query)
+        return context_path(plan)[0].predicates[0]
+
+    def test_number_is_positional(self):
+        assert is_positional(self.pred("//a[3]"))
+
+    def test_position_function(self):
+        assert is_positional(self.pred("//a[position() = 2]"))
+
+    def test_last_function(self):
+        assert is_positional(self.pred("//a[last()]"))
+
+    def test_nested_in_comparison(self):
+        assert is_positional(self.pred("//a[position() mod 2 = 0]"))
+
+    def test_boolean_predicates_are_not(self):
+        assert not is_positional(self.pred("//a[b]"))
+        assert not is_positional(self.pred("//a[b = 'x']"))
+        assert not is_positional(self.pred("//a[not(b)]"))
+
+    def test_numbers_inside_comparison_are_not(self):
+        assert not is_positional(self.pred("//a[b > 5]"))
+
+    def test_has_positional_predicates(self):
+        plan = build_default_plan("//a[b][2]")
+        assert has_positional_predicates(context_path(plan)[0])
+        plan2 = build_default_plan("//a[b][c]")
+        assert not has_positional_predicates(context_path(plan2)[0])

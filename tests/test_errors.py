@@ -1,0 +1,72 @@
+"""Exception hierarchy and message formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    DocumentTooLargeError,
+    ExecutionError,
+    KeyOrderError,
+    OptimizerError,
+    PlanError,
+    ReproError,
+    StorageError,
+    UnsupportedFeatureError,
+    XmlError,
+    XPathSyntaxError,
+)
+
+
+def test_everything_is_a_repro_error():
+    for error_type in (
+        XmlError,
+        XPathSyntaxError,
+        UnsupportedFeatureError,
+        DocumentTooLargeError,
+        StorageError,
+        KeyOrderError,
+        PlanError,
+        ExecutionError,
+        OptimizerError,
+    ):
+        assert issubclass(error_type, ReproError)
+
+
+def test_key_order_is_storage_error():
+    assert issubclass(KeyOrderError, StorageError)
+
+
+def test_xml_error_location():
+    error = XmlError("bad tag", line=4, column=7)
+    assert error.line == 4
+    assert "line 4" in str(error)
+
+
+def test_xml_error_without_location():
+    assert str(XmlError("oops")) == "oops"
+
+
+def test_xpath_error_pointer():
+    error = XPathSyntaxError("unexpected", "//a[", 4)
+    message = str(error)
+    assert "//a[" in message
+    assert message.splitlines()[-1].strip() == "^"
+    assert message.splitlines()[-1].index("^") >= 4
+
+
+def test_unsupported_feature_fields():
+    error = UnsupportedFeatureError("galax", "axis following-sibling")
+    assert error.engine == "galax"
+    assert "galax does not support axis following-sibling" in str(error)
+
+
+def test_document_too_large_fields():
+    error = DocumentTooLargeError("jaxen", 11, 10)
+    assert error.size_bytes == 11 and error.limit_bytes == 10
+    assert "jaxen" in str(error)
+
+
+def test_catch_all():
+    with pytest.raises(ReproError):
+        raise PlanError("anything")

@@ -1,0 +1,110 @@
+"""The shared query model: axes, inverses, node-test matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.records import NodeKind
+from repro.model import FORWARD_AXES, Axis, NodeTest, NodeTestKind
+
+
+class TestAxes:
+    def test_thirteen_axes(self):
+        assert len(list(Axis)) == 13
+
+    def test_reverse_axes(self):
+        reverse = {axis for axis in Axis if axis.is_reverse}
+        assert reverse == {
+            Axis.ANCESTOR,
+            Axis.ANCESTOR_OR_SELF,
+            Axis.PRECEDING,
+            Axis.PRECEDING_SIBLING,
+        }
+
+    def test_forward_axes_complement(self):
+        assert FORWARD_AXES == frozenset(Axis) - {
+            axis for axis in Axis if axis.is_reverse
+        }
+
+    def test_principal_kinds(self):
+        assert Axis.ATTRIBUTE.principal_kind is NodeKind.ATTRIBUTE
+        assert Axis.NAMESPACE.principal_kind is NodeKind.NAMESPACE
+        for axis in Axis:
+            if axis not in (Axis.ATTRIBUTE, Axis.NAMESPACE):
+                assert axis.principal_kind is NodeKind.ELEMENT
+
+    def test_inverse_pairs_are_involutions(self):
+        for axis in Axis:
+            inverse = axis.inverse
+            if inverse is None or axis is Axis.ATTRIBUTE:
+                continue
+            assert inverse.inverse is axis, axis
+
+    def test_specific_inverses(self):
+        assert Axis.CHILD.inverse is Axis.PARENT
+        assert Axis.DESCENDANT.inverse is Axis.ANCESTOR
+        assert Axis.FOLLOWING.inverse is Axis.PRECEDING
+        assert Axis.FOLLOWING_SIBLING.inverse is Axis.PRECEDING_SIBLING
+        assert Axis.SELF.inverse is Axis.SELF
+        assert Axis.ATTRIBUTE.inverse is Axis.PARENT
+        assert Axis.NAMESPACE.inverse is None
+
+    def test_axis_values_are_spec_names(self):
+        assert Axis.DESCENDANT_OR_SELF.value == "descendant-or-self"
+        assert Axis.PRECEDING_SIBLING.value == "preceding-sibling"
+
+
+class TestNodeTestConstruction:
+    def test_name_test(self):
+        test = NodeTest.name_test("person")
+        assert test.kind is NodeTestKind.NAME and test.name == "person"
+
+    def test_star_becomes_any(self):
+        assert NodeTest.name_test("*").kind is NodeTestKind.ANY
+
+    def test_kind_tests(self):
+        assert NodeTest.text().kind is NodeTestKind.TEXT
+        assert NodeTest.node().kind is NodeTestKind.NODE
+        assert NodeTest.comment().kind is NodeTestKind.COMMENT
+        pi = NodeTest.processing_instruction("php")
+        assert pi.kind is NodeTestKind.PROCESSING_INSTRUCTION and pi.name == "php"
+
+    def test_str_rendering(self):
+        assert str(NodeTest.name_test("a")) == "a"
+        assert str(NodeTest.name_test("*")) == "*"
+        assert str(NodeTest.text()) == "text()"
+        assert str(NodeTest.node()) == "node()"
+        assert str(NodeTest.processing_instruction("x")) == "processing-instruction('x')"
+        assert str(NodeTest.processing_instruction()) == "processing-instruction()"
+
+    def test_hashable_and_equal(self):
+        assert NodeTest.name_test("a") == NodeTest.name_test("a")
+        assert hash(NodeTest.text()) == hash(NodeTest.text())
+
+
+_MATCH_CASES = [
+    # (test, kind, name, principal, expected)
+    (NodeTest.node(), NodeKind.ELEMENT, "a", NodeKind.ELEMENT, True),
+    (NodeTest.node(), NodeKind.TEXT, "", NodeKind.ELEMENT, True),
+    (NodeTest.node(), NodeKind.COMMENT, "", NodeKind.ELEMENT, True),
+    (NodeTest.text(), NodeKind.TEXT, "", NodeKind.ELEMENT, True),
+    (NodeTest.text(), NodeKind.ELEMENT, "text", NodeKind.ELEMENT, False),
+    (NodeTest.comment(), NodeKind.COMMENT, "", NodeKind.ELEMENT, True),
+    (NodeTest.comment(), NodeKind.TEXT, "", NodeKind.ELEMENT, False),
+    (NodeTest.processing_instruction(), NodeKind.PROCESSING_INSTRUCTION, "t", NodeKind.ELEMENT, True),
+    (NodeTest.processing_instruction("t"), NodeKind.PROCESSING_INSTRUCTION, "t", NodeKind.ELEMENT, True),
+    (NodeTest.processing_instruction("u"), NodeKind.PROCESSING_INSTRUCTION, "t", NodeKind.ELEMENT, False),
+    (NodeTest.name_test("a"), NodeKind.ELEMENT, "a", NodeKind.ELEMENT, True),
+    (NodeTest.name_test("a"), NodeKind.ELEMENT, "b", NodeKind.ELEMENT, False),
+    (NodeTest.name_test("a"), NodeKind.ATTRIBUTE, "a", NodeKind.ELEMENT, False),
+    (NodeTest.name_test("a"), NodeKind.ATTRIBUTE, "a", NodeKind.ATTRIBUTE, True),
+    (NodeTest.name_test("*"), NodeKind.ELEMENT, "x", NodeKind.ELEMENT, True),
+    (NodeTest.name_test("*"), NodeKind.TEXT, "", NodeKind.ELEMENT, False),
+    (NodeTest.name_test("*"), NodeKind.ATTRIBUTE, "x", NodeKind.ATTRIBUTE, True),
+    (NodeTest.name_test("a"), NodeKind.TEXT, "", NodeKind.ELEMENT, False),
+]
+
+
+@pytest.mark.parametrize("test,kind,name,principal,expected", _MATCH_CASES)
+def test_matching_matrix(test, kind, name, principal, expected):
+    assert test.matches(kind, name, principal) is expected

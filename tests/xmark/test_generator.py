@@ -1,0 +1,164 @@
+"""Generator tests: determinism, schema shape, calibrated counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.records import NodeKind
+from repro.xmark.generator import XmarkGenerator, generate_document
+from repro.xmark.profile import paper_profile
+from repro.xmark import vocabulary as vocab
+from repro.xmlkit.dom import build_dom
+
+FACTOR = 0.004
+
+
+@pytest.fixture(scope="module")
+def dom():
+    return build_dom(generate_document(FACTOR, seed=42))
+
+
+def element_counts(dom):
+    counts: dict[str, int] = {}
+    for node in dom.all_nodes():
+        if node.kind is NodeKind.ELEMENT:
+            counts[node.name] = counts.get(node.name, 0) + 1
+    return counts
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self):
+        assert generate_document(FACTOR, seed=7) == generate_document(FACTOR, seed=7)
+
+    def test_different_seed_different_document(self):
+        assert generate_document(FACTOR, seed=7) != generate_document(FACTOR, seed=8)
+
+    def test_write_equals_generate(self):
+        import io
+
+        generator = XmarkGenerator(seed=42)
+        buffer = io.StringIO()
+        written = generator.write(buffer, FACTOR)
+        assert buffer.getvalue() == generator.generate(FACTOR)
+        assert written == len(buffer.getvalue())
+
+
+class TestSchema:
+    def test_top_level_sections(self, dom):
+        names = [node.name for node in dom.document_element.child_elements()]
+        assert names == [
+            "regions",
+            "categories",
+            "catgraph",
+            "people",
+            "open_auctions",
+            "closed_auctions",
+        ]
+
+    def test_all_regions_present(self, dom):
+        regions = [node.name for node in dom.document_element.child_elements()][0]
+        regions_el = next(dom.document_element.child_elements())
+        assert [r.name for r in regions_el.child_elements()] == list(vocab.REGION_NAMES)
+
+    def test_person_structure(self, dom):
+        counts = element_counts(dom)
+        profile = paper_profile()
+        assert counts["person"] == profile.persons(FACTOR)
+        assert counts["emailaddress"] == counts["person"]
+
+    def test_itemref_followed_by_price_in_closed_auctions(self, dom):
+        """The adjacency Q4's following-sibling step navigates."""
+        closed = [
+            node
+            for node in dom.document_element.descendants()
+            if node.kind is NodeKind.ELEMENT and node.name == "closed_auction"
+        ]
+        assert closed
+        for auction in closed:
+            children = [child.name for child in auction.child_elements()]
+            itemref_at = children.index("itemref")
+            assert children[itemref_at + 1] == "price"
+
+    def test_itemref_in_open_auctions_not_followed_by_price(self, dom):
+        opened = [
+            node
+            for node in dom.document_element.descendants()
+            if node.kind is NodeKind.ELEMENT and node.name == "open_auction"
+        ]
+        assert opened
+        for auction in opened:
+            children = [child.name for child in auction.child_elements()]
+            itemref_at = children.index("itemref")
+            assert children[itemref_at + 1] != "price"
+
+    def test_provinces_only_in_us_addresses(self, dom):
+        addresses = [
+            node
+            for node in dom.document_element.descendants()
+            if node.kind is NodeKind.ELEMENT and node.name == "address"
+        ]
+        for address in addresses:
+            names = [child.name for child in address.child_elements()]
+            country = next(
+                child for child in address.child_elements() if child.name == "country"
+            )
+            if "province" in names:
+                assert country.string_value() == "United States"
+            else:
+                assert country.string_value() != "United States"
+
+    def test_watch_references_real_auctions(self, dom):
+        auction_count = element_counts(dom)["open_auction"]
+        for node in dom.document_element.descendants():
+            if node.kind is NodeKind.ELEMENT and node.name == "watch":
+                reference = node.get_attribute("open_auction")
+                index = int(reference.removeprefix("open_auction"))
+                assert 0 <= index < auction_count
+
+
+class TestCalibratedCounts:
+    def test_counts_match_profile(self, dom):
+        profile = paper_profile()
+        counts = element_counts(dom)
+        assert counts["person"] == profile.persons(FACTOR)
+        assert counts["item"] == profile.items(FACTOR)
+        assert counts["category"] == profile.categories(FACTOR)
+        assert counts["name"] == profile.expected_names(FACTOR)
+        assert counts["address"] == profile.expected_addresses(FACTOR)
+        assert counts["province"] == profile.expected_provinces(FACTOR)
+        assert counts["open_auction"] == profile.open_auctions(FACTOR)
+        assert counts["closed_auction"] == profile.closed_auctions(FACTOR)
+
+    def test_special_person_unique(self):
+        text = generate_document(FACTOR, seed=42)
+        assert text.count(vocab.SPECIAL_PERSON_NAME) == 1
+
+    def test_special_person_unique_across_seeds(self):
+        for seed in (1, 2, 3):
+            assert generate_document(FACTOR, seed=seed).count(vocab.SPECIAL_PERSON_NAME) == 1
+
+    def test_special_person_is_person144_when_large_enough(self):
+        text = generate_document(0.01, seed=42)  # 255 persons > 144
+        marker = text.index(vocab.SPECIAL_PERSON_NAME)
+        preceding = text.rindex('<person id="', 0, marker)
+        identifier = text[preceding:].split('"')[1]
+        assert identifier == "person144"
+
+    def test_vocab_excludes_special_names(self):
+        assert "Yung" not in vocab.FIRST_NAMES
+        assert "Flach" not in vocab.LAST_NAMES
+
+    def test_vermont_present_at_scale(self):
+        text = generate_document(0.05, seed=42)
+        assert "Vermont" in text
+
+
+class TestScaling:
+    def test_document_grows_with_factor(self):
+        small = len(generate_document(0.002, seed=42))
+        large = len(generate_document(0.008, seed=42))
+        assert 2.5 * small < large < 6 * small
+
+    def test_well_formed_at_multiple_factors(self):
+        for factor in (0.001, 0.003):
+            build_dom(generate_document(factor, seed=42))

@@ -1,0 +1,95 @@
+"""Profile calibration: the paper's Figure 6/7 statistics are exact."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmark.profile import (
+    MEGABYTES_PER_FACTOR,
+    XmarkProfile,
+    factor_for_megabytes,
+    paper_profile,
+    spread,
+    spread_count,
+)
+
+
+class TestSpread:
+    def test_exact_total(self):
+        ratio = Fraction(1256, 2550)
+        marked = sum(1 for index in range(2550) if spread(index, ratio))
+        assert marked == 1256
+        assert spread_count(2550, ratio) == 1256
+
+    def test_even_distribution(self):
+        """No long runs: any window of n/k items holds ~ratio*window marks."""
+        ratio = Fraction(1, 3)
+        marks = [spread(index, ratio) for index in range(3000)]
+        for start in range(0, 3000, 300):
+            window = marks[start : start + 300]
+            assert 95 <= sum(window) <= 105
+
+    def test_zero_and_one(self):
+        assert not any(spread(index, Fraction(0)) for index in range(50))
+        assert all(spread(index, Fraction(1)) for index in range(50))
+
+    @given(st.integers(0, 2000), st.fractions(min_value=0, max_value=1))
+    @settings(max_examples=100)
+    def test_prefix_counts_are_floor(self, total, ratio):
+        marked = sum(1 for index in range(total) if spread(index, ratio))
+        assert marked == (total * ratio.numerator) // ratio.denominator
+
+
+class TestPaperCalibration:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return paper_profile()
+
+    def test_factor_mapping(self):
+        assert factor_for_megabytes(10) == pytest.approx(0.1)
+        assert MEGABYTES_PER_FACTOR == 100.0
+
+    def test_persons_at_10mb(self, profile):
+        assert profile.persons(0.1) == 2550
+
+    def test_names_at_10mb(self, profile):
+        assert profile.expected_names(0.1) == 4825
+
+    def test_addresses_at_10mb(self, profile):
+        assert profile.expected_addresses(0.1) == 1256
+
+    def test_name_identity(self, profile):
+        """person + item + category = name, at any factor."""
+        for factor in (0.01, 0.05, 0.1, 0.25, 1.0):
+            assert profile.expected_names(factor) == (
+                profile.persons(factor)
+                + profile.items(factor)
+                + profile.categories(factor)
+            )
+
+    def test_populations_scale_linearly(self, profile):
+        assert profile.persons(0.2) == 2 * profile.persons(0.1)
+        assert profile.items(1.0) == 21_750
+        assert profile.open_auctions(0.1) == 1200
+        assert profile.closed_auctions(0.1) == 975
+
+    def test_minimum_populations(self, profile):
+        assert profile.persons(0.000001) == 1
+        assert profile.categories(0.000001) == 1
+
+    def test_provinces_subset_of_addresses(self, profile):
+        for factor in (0.01, 0.1, 0.5):
+            assert 0 < profile.expected_provinces(factor) < profile.expected_addresses(factor)
+
+    def test_profile_is_frozen(self, profile):
+        with pytest.raises(AttributeError):
+            profile.persons_per_factor = 1
+
+    def test_custom_profile(self):
+        profile = XmarkProfile(persons_per_factor=100, address_ratio=Fraction(1, 2))
+        assert profile.persons(1.0) == 100
+        assert profile.expected_addresses(1.0) == 50

@@ -1,0 +1,97 @@
+"""DOM construction and navigation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.records import NodeKind
+from repro.xmlkit.dom import build_dom
+
+
+@pytest.fixture
+def dom():
+    return build_dom(
+        '<site><person id="p0"><name>Ada</name><note>x<b>y</b>z</note></person>'
+        "<person id=\"p1\"><name>Grace</name></person><!-- c --></site>"
+    )
+
+
+class TestBuild:
+    def test_document_element(self, dom):
+        assert dom.document_element.name == "site"
+
+    def test_orders_are_dense_and_increasing(self, dom):
+        orders = [node.order for node in dom.all_nodes()]
+        assert orders == list(range(len(orders)))
+
+    def test_node_count(self, dom):
+        assert dom.node_count == len(list(dom.all_nodes()))
+
+    def test_attributes_attached(self, dom):
+        person = next(dom.document_element.child_elements())
+        assert person.get_attribute("id") == "p0"
+        assert person.get_attribute("missing") is None
+
+    def test_comment_node(self, dom):
+        kinds = [node.kind for node in dom.document_element.children]
+        assert kinds[-1] is NodeKind.COMMENT
+
+    def test_adjacent_text_merged(self):
+        merged = build_dom("<a>one &amp; two</a>")
+        texts = [n for n in merged.document_element.children if n.kind is NodeKind.TEXT]
+        assert len(texts) == 1
+        assert texts[0].value == "one & two"
+
+    def test_text_bytes_accounted(self, dom):
+        assert dom.text_bytes > 0
+
+
+class TestNavigation:
+    def test_descendants_in_document_order(self, dom):
+        orders = [node.order for node in dom.document_element.descendants()]
+        assert orders == sorted(orders)
+
+    def test_ancestors(self, dom):
+        person = next(dom.document_element.child_elements())
+        name = next(person.child_elements())
+        assert [node.name or "doc" for node in name.ancestors()] == ["person", "site", "doc"]
+
+    def test_following_siblings(self, dom):
+        first, second = list(dom.document_element.child_elements())
+        following = list(first.following_siblings())
+        assert second in following
+
+    def test_preceding_siblings_reverse_order(self, dom):
+        children = dom.document_element.children
+        last = children[-1]
+        preceding = list(last.preceding_siblings())
+        assert [node.order for node in preceding] == sorted(
+            (node.order for node in children[:-1]), reverse=True
+        )
+
+    def test_attribute_has_no_siblings(self, dom):
+        person = next(dom.document_element.child_elements())
+        attribute = person.attributes[0]
+        assert list(attribute.following_siblings()) == []
+        assert list(attribute.preceding_siblings()) == []
+
+
+class TestStringValue:
+    def test_element_concatenates_descendant_text(self, dom):
+        person = next(dom.document_element.child_elements())
+        note = [n for n in person.child_elements() if n.name == "note"][0]
+        assert note.string_value() == "xyz"
+
+    def test_text_and_attribute(self, dom):
+        person = next(dom.document_element.child_elements())
+        assert person.attributes[0].string_value() == "p0"
+        name = next(person.child_elements())
+        assert name.children[0].string_value() == "Ada"
+
+    def test_document_string_value(self, dom):
+        assert "Ada" in dom.document_node.string_value()
+
+    def test_repr_forms(self, dom):
+        person = next(dom.document_element.child_elements())
+        assert "element" in repr(person)
+        assert "text" in repr(person.children[0].children[0])

@@ -1,0 +1,189 @@
+"""XML tokenizer tests: happy paths, entities, and malformed input."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import XmlError
+from repro.xmlkit.events import (
+    Characters,
+    Comment,
+    EndElement,
+    ProcessingInstruction,
+    StartElement,
+)
+from repro.xmlkit.parser import parse_string, resolve_entities
+
+
+class TestElements:
+    def test_single_empty_element(self):
+        events = parse_string("<a/>")
+        assert events == [StartElement("a", (), line=1), EndElement("a", line=1)]
+
+    def test_nested_elements(self):
+        events = parse_string("<a><b></b></a>")
+        assert [type(event).__name__ for event in events] == [
+            "StartElement",
+            "StartElement",
+            "EndElement",
+            "EndElement",
+        ]
+
+    def test_names_with_extras(self):
+        events = parse_string("<ns:a-b.c_1/>")
+        assert events[0].name == "ns:a-b.c_1"
+
+    def test_whitespace_in_tags(self):
+        events = parse_string('<a  x = "1"  ></a >')
+        assert events[0].attributes == (("x", "1"),)
+
+    def test_declaration_is_skipped(self):
+        events = parse_string('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert len(events) == 2
+
+    def test_doctype_is_skipped(self):
+        events = parse_string('<!DOCTYPE site [ <!ELEMENT a (b)> ]><a/>')
+        assert len(events) == 2
+
+    def test_line_numbers(self):
+        events = parse_string("<a>\n<b/>\n</a>")
+        assert events[0].line == 1
+        assert events[1].line == 2
+        assert events[-1].line == 3
+
+
+class TestAttributes:
+    def test_both_quote_styles(self):
+        events = parse_string("""<a x="1" y='2'/>""")
+        assert events[0].attributes == (("x", "1"), ("y", "2"))
+
+    def test_attribute_order_preserved(self):
+        events = parse_string('<a z="1" a="2" m="3"/>')
+        assert [name for name, _ in events[0].attributes] == ["z", "a", "m"]
+
+    def test_entities_in_attribute(self):
+        events = parse_string('<a x="&lt;&amp;&gt;"/>')
+        assert events[0].attributes == (("x", "<&>"),)
+
+    def test_quote_inside_other_quote(self):
+        events = parse_string("""<a x="it's"/>""")
+        assert events[0].attributes == (("x", "it's"),)
+
+
+class TestText:
+    def test_plain_text(self):
+        events = parse_string("<a>hello</a>")
+        assert events[1] == Characters("hello", line=1)
+
+    def test_whitespace_only_text_dropped_by_default(self):
+        events = parse_string("<a>  \n  <b/>  </a>")
+        assert not any(isinstance(event, Characters) for event in events)
+
+    def test_whitespace_kept_on_request(self):
+        events = parse_string("<a> <b/></a>", keep_whitespace_text=True)
+        assert any(isinstance(event, Characters) for event in events)
+
+    def test_predefined_entities(self):
+        events = parse_string("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;a&apos;</a>")
+        assert events[1].text == "<tag> & \"q\" 'a'"
+
+    def test_numeric_entities(self):
+        events = parse_string("<a>&#65;&#x42;&#X43;</a>")
+        assert events[1].text == "ABC"
+
+    def test_cdata(self):
+        events = parse_string("<a><![CDATA[<not & parsed>]]></a>")
+        assert events[1].text == "<not & parsed>"
+
+
+class TestMisc:
+    def test_comment(self):
+        events = parse_string("<a><!-- hi there --></a>")
+        assert events[1] == Comment(" hi there ", line=1)
+
+    def test_processing_instruction(self):
+        events = parse_string("<a><?target some data?></a>")
+        assert events[1] == ProcessingInstruction("target", "some data", line=1)
+
+    def test_comment_before_root(self):
+        events = parse_string("<!-- preamble --><a/>")
+        assert isinstance(events[0], Comment)
+
+
+BAD_DOCUMENTS = [
+    "",
+    "   ",
+    "text only",
+    "<a>",
+    "</a>",
+    "<a></b>",
+    "<a><b></a></b>",
+    "<a/><b/>",
+    "<a x=1/>",
+    "<a x/>",
+    '<a x="1" x="2"/>',
+    "<a>&undefined;</a>",
+    "<a>&brokenentity</a>",
+    "<a><!-- -- --></a>",
+    "<a><![CDATA[unterminated</a>",
+    "<a><?pi unterminated</a>",
+    '<a x="<"/>',
+    "<a><b attr=></b></a>",
+    "<1tag/>",
+    "< a/>",
+    "<!DOCTYPE unterminated [",
+    "left<a/>",
+    "<a/>right",
+]
+
+
+@pytest.mark.parametrize("document", BAD_DOCUMENTS, ids=range(len(BAD_DOCUMENTS)))
+def test_malformed_documents_raise(document):
+    with pytest.raises(XmlError):
+        parse_string(document)
+
+
+class TestResolveEntities:
+    def test_no_amp_fast_path(self):
+        text = "no entities here"
+        assert resolve_entities(text) is text
+
+    def test_mixed(self):
+        assert resolve_entities("a&amp;b&#33;") == "a&b!"
+
+    def test_unterminated(self):
+        with pytest.raises(XmlError):
+            resolve_entities("broken &amp")
+
+
+class TestBalanceProperty:
+    @given(
+        st.recursive(
+            st.sampled_from(["x", "hello", "1 &amp; 2"]),
+            lambda children: st.tuples(
+                st.sampled_from(["a", "b", "long-name"]),
+                st.lists(children, max_size=3),
+            ),
+            max_leaves=20,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_generated_trees_parse_balanced(self, tree):
+        def render(node) -> str:
+            if isinstance(node, str):
+                return node
+            name, children = node
+            return f"<{name}>" + "".join(render(child) for child in children) + f"</{name}>"
+
+        document = render(tree) if isinstance(tree, tuple) else f"<root>{tree}</root>"
+        events = parse_string(document)
+        depth = 0
+        for event in events:
+            if isinstance(event, StartElement):
+                depth += 1
+            elif isinstance(event, EndElement):
+                depth -= 1
+                assert depth >= 0
+        assert depth == 0

@@ -1,0 +1,93 @@
+"""Serializer tests: escaping, writer, and parse/serialize round trips."""
+
+from __future__ import annotations
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlkit.dom import build_dom
+from repro.xmlkit.serializer import XmlWriter, escape_attribute, escape_text, serialize
+
+
+class TestEscaping:
+    def test_text_escapes_markup(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_attribute_escapes_quotes_and_newlines(self):
+        assert escape_attribute('say "hi"\n') == "say &quot;hi&quot;&#10;"
+
+    def test_text_keeps_quotes(self):
+        assert escape_text('say "hi"') == 'say "hi"'
+
+
+class TestWriter:
+    def test_nested_structure(self):
+        buffer = io.StringIO()
+        writer = XmlWriter(buffer)
+        writer.declaration()
+        writer.start("site", {"version": "1"})
+        writer.leaf("name", "Ada & co")
+        writer.empty("marker", {"id": "m1"})
+        writer.close()
+        text = buffer.getvalue()
+        assert text.startswith("<?xml")
+        dom = build_dom(text)
+        assert dom.document_element.name == "site"
+        assert dom.document_element.get_attribute("version") == "1"
+
+    def test_close_closes_all_open_tags(self):
+        buffer = io.StringIO()
+        writer = XmlWriter(buffer)
+        writer.start("a")
+        writer.start("b")
+        writer.start("c")
+        writer.close()
+        build_dom(buffer.getvalue())  # must be well-formed
+
+    def test_bytes_written_tracks_output(self):
+        buffer = io.StringIO()
+        writer = XmlWriter(buffer)
+        writer.start("a")
+        writer.close()
+        assert writer.bytes_written == len(buffer.getvalue())
+
+    def test_empty_leaf_self_closes(self):
+        buffer = io.StringIO()
+        XmlWriter(buffer).leaf("a", "")
+        assert "<a/>" in buffer.getvalue()
+
+
+class TestRoundTrip:
+    def test_fixed_document(self):
+        source = (
+            '<site><p id="x&amp;y">one &lt; two<sub/>tail</p>'
+            "<!--note--><?pi data?></site>"
+        )
+        first = serialize(build_dom(source))
+        second = serialize(build_dom(first))
+        assert first == second
+
+    def test_subtree_serialization(self):
+        dom = build_dom("<a><b>x</b></a>")
+        b = next(dom.document_element.child_elements())
+        assert serialize(b, declaration=False) == "<b>x</b>"
+
+    _texts = st.text(
+        alphabet=st.characters(
+            codec="utf-8", exclude_characters="\r", categories=("L", "N", "P", "Zs")
+        ),
+        max_size=40,
+    )
+
+    @given(_texts, _texts)
+    @settings(max_examples=100, deadline=None)
+    def test_escaping_round_trip_property(self, text, attribute):
+        document = f'<a x="{escape_attribute(attribute)}">{escape_text(text)}</a>'
+        dom = build_dom(document)
+        root = dom.document_element
+        assert root.get_attribute("x") == attribute
+        assert root.string_value() == text if text.strip() else True
+        # a second round trip is byte-stable
+        assert serialize(build_dom(serialize(dom))) == serialize(dom)

@@ -1,0 +1,117 @@
+"""Lexer tests, including the spec's '*'-and-operator disambiguation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.lexer import Token, TokenType, tokenize
+
+
+def types(expression: str) -> list[TokenType]:
+    return [token.type for token in tokenize(expression)][:-1]  # drop END
+
+
+def values(expression: str) -> list[str]:
+    return [token.value for token in tokenize(expression)][:-1]
+
+
+class TestBasicTokens:
+    def test_simple_path(self):
+        assert values("//person/address") == ["//", "person", "/", "address"]
+
+    def test_axis_token(self):
+        tokens = tokenize("ancestor::person")
+        assert tokens[0] == Token(TokenType.AXIS, "ancestor", 0)
+        assert tokens[1].type is TokenType.NAME
+
+    def test_axis_with_spaces(self):
+        tokens = tokenize("child :: person")
+        assert tokens[0].type is TokenType.AXIS
+
+    def test_function_token(self):
+        tokens = tokenize("count(x)")
+        assert tokens[0].type is TokenType.FUNCTION
+
+    def test_node_type_token(self):
+        for name in ("text", "node", "comment", "processing-instruction"):
+            tokens = tokenize(f"{name}()")
+            assert tokens[0].type is TokenType.NODE_TYPE, name
+
+    def test_at_dot_dotdot(self):
+        assert types("@id") == [TokenType.AT, TokenType.NAME]
+        assert types("..") == [TokenType.DOTDOT]
+        assert types(".") == [TokenType.DOT]
+
+    def test_numbers(self):
+        assert values("3.14 10 .5") == ["3.14", "10", ".5"]
+
+    def test_string_literals(self):
+        tokens = tokenize("'abc' \"def\"")
+        assert [t.value for t in tokens[:2]] == ["abc", "def"]
+        assert all(t.type is TokenType.LITERAL for t in tokens[:2])
+
+    def test_comparison_operators(self):
+        assert values("a != b <= c >= d < e > f = g") == [
+            "a", "!=", "b", "<=", "c", ">=", "d", "<", "e", ">", "f", "=", "g",
+        ]
+
+    def test_prefixed_name(self):
+        assert values("ns:name") == ["ns:name"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestDisambiguation:
+    def test_star_after_slash_is_name(self):
+        tokens = tokenize("a/*")
+        assert tokens[2].type is TokenType.NAME
+
+    def test_star_after_operand_is_operator(self):
+        tokens = tokenize("2 * 3")
+        assert tokens[1].type is TokenType.OPERATOR
+
+    def test_star_at_start_is_name(self):
+        assert tokenize("*")[0].type is TokenType.NAME
+
+    def test_star_after_bracket(self):
+        tokens = tokenize("a[*]")
+        assert tokens[2].type is TokenType.NAME
+
+    def test_and_after_operand_is_operator(self):
+        tokens = tokenize("a and b")
+        assert tokens[1] == Token(TokenType.OPERATOR, "and", 2)
+
+    def test_and_at_start_is_name(self):
+        assert tokenize("and")[0].type is TokenType.NAME
+
+    def test_div_mod_names_vs_operators(self):
+        assert tokenize("div")[0].type is TokenType.NAME
+        tokens = tokenize("6 div 2 mod 2")
+        assert tokens[1].type is TokenType.OPERATOR
+        assert tokens[3].type is TokenType.OPERATOR
+
+    def test_or_after_rbracket_is_operator(self):
+        tokens = tokenize("a[1] or b")
+        assert tokens[4].type is TokenType.OPERATOR
+
+    def test_star_after_axis(self):
+        tokens = tokenize("parent::*")
+        assert tokens[1].type is TokenType.NAME
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "expression", ["a ! b", "'unterminated", '"also unterminated', "a # b", "§"]
+    )
+    def test_bad_input_raises(self, expression):
+        with pytest.raises(XPathSyntaxError):
+            tokenize(expression)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XPathSyntaxError) as info:
+            tokenize("abc !")
+        assert info.value.position == 4

@@ -1,0 +1,219 @@
+"""XPath parser tests: structure, abbreviations, precedence, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.model import Axis, NodeTestKind
+from repro.xpath import ast
+from repro.xpath.parser import parse_xpath
+
+
+def path(expression: str) -> ast.LocationPath:
+    tree = parse_xpath(expression)
+    assert isinstance(tree, ast.LocationPath)
+    return tree
+
+
+class TestLocationPaths:
+    def test_paper_q1_structure(self):
+        q1 = path("descendant::name/parent::*/self::person/address")
+        assert [step.axis for step in q1.steps] == [
+            Axis.DESCENDANT,
+            Axis.PARENT,
+            Axis.SELF,
+            Axis.CHILD,
+        ]
+        assert q1.steps[1].test.kind is NodeTestKind.ANY
+        assert q1.steps[3].test.name == "address"
+        assert not q1.absolute
+
+    def test_absolute_path(self):
+        assert path("/site/people").absolute
+        assert not path("site/people").absolute
+
+    def test_all_axes_parse(self):
+        for axis in Axis:
+            parsed = path(f"{axis.value}::x")
+            assert parsed.steps[0].axis is axis
+
+    def test_bare_slash(self):
+        parsed = path("/")
+        assert parsed.absolute and parsed.steps == ()
+
+    def test_double_slash_expansion(self):
+        parsed = path("//name")
+        assert parsed.absolute
+        assert parsed.steps[0].axis is Axis.DESCENDANT_OR_SELF
+        assert parsed.steps[0].test.kind is NodeTestKind.NODE
+        assert parsed.steps[1].axis is Axis.CHILD
+
+    def test_interior_double_slash(self):
+        parsed = path("a//b")
+        assert [step.axis for step in parsed.steps] == [
+            Axis.CHILD,
+            Axis.DESCENDANT_OR_SELF,
+            Axis.CHILD,
+        ]
+
+    def test_abbreviations(self):
+        assert path(".").steps[0].axis is Axis.SELF
+        assert path("..").steps[0].axis is Axis.PARENT
+        assert path("@id").steps[0].axis is Axis.ATTRIBUTE
+        assert path("a/../b").steps[1].axis is Axis.PARENT
+
+    def test_node_tests(self):
+        assert path("text()").steps[0].test.kind is NodeTestKind.TEXT
+        assert path("node()").steps[0].test.kind is NodeTestKind.NODE
+        assert path("comment()").steps[0].test.kind is NodeTestKind.COMMENT
+        pi = path("processing-instruction('php')").steps[0].test
+        assert pi.kind is NodeTestKind.PROCESSING_INSTRUCTION and pi.name == "php"
+        assert path("processing-instruction()").steps[0].test.name == ""
+
+    def test_wildcard(self):
+        assert path("*").steps[0].test.kind is NodeTestKind.ANY
+
+
+class TestPredicates:
+    def test_value_predicate(self):
+        step = path("//name[text() = 'Yung Flach']").steps[-1]
+        assert len(step.predicates) == 1
+        predicate = step.predicates[0]
+        assert isinstance(predicate, ast.Comparison) and predicate.op == "="
+        assert isinstance(predicate.right, ast.StringLiteral)
+
+    def test_number_predicate(self):
+        step = path("//person[3]").steps[-1]
+        assert isinstance(step.predicates[0], ast.NumberLiteral)
+
+    def test_stacked_predicates(self):
+        step = path("//a[b][c][2]").steps[-1]
+        assert len(step.predicates) == 3
+
+    def test_nested_path_predicate(self):
+        step = path("//person[address/city = 'Monroe']").steps[-1]
+        comparison = step.predicates[0]
+        assert isinstance(comparison.left, ast.LocationPath)
+        assert len(comparison.left.steps) == 2
+
+    def test_boolean_connectors(self):
+        predicate = path("//a[b and c or d]").steps[-1].predicates[0]
+        assert isinstance(predicate, ast.OrExpr)
+        assert isinstance(predicate.left, ast.AndExpr)
+
+    def test_attribute_predicate(self):
+        predicate = path("//p[@id='x']").steps[-1].predicates[0]
+        assert isinstance(predicate.left, ast.LocationPath)
+        assert predicate.left.steps[0].axis is Axis.ATTRIBUTE
+
+    def test_relational_chain(self):
+        predicate = path("//a[1 < 2 <= 3]").steps[-1].predicates[0]
+        assert isinstance(predicate, ast.Comparison) and predicate.op == "<="
+
+
+class TestExpressions:
+    def test_precedence_or_lowest(self):
+        tree = parse_xpath("1 = 1 or 2 = 2 and 3 = 3")
+        assert isinstance(tree, ast.OrExpr)
+        assert isinstance(tree.right, ast.AndExpr)
+
+    def test_arithmetic_precedence(self):
+        tree = parse_xpath("1 + 2 * 3")
+        assert isinstance(tree, ast.BinaryOp) and tree.op == "+"
+        assert isinstance(tree.right, ast.BinaryOp) and tree.right.op == "*"
+
+    def test_parentheses(self):
+        tree = parse_xpath("(1 + 2) * 3")
+        assert tree.op == "*"
+
+    def test_unary_minus(self):
+        tree = parse_xpath("-3")
+        assert isinstance(tree, ast.Negate)
+
+    def test_union(self):
+        tree = parse_xpath("//a | //b | //c")
+        assert isinstance(tree, ast.UnionExpr) and len(tree.branches) == 3
+
+    def test_function_call(self):
+        tree = parse_xpath("count(//person)")
+        assert isinstance(tree, ast.FunctionCall)
+        assert tree.name == "count" and len(tree.args) == 1
+
+    def test_function_arity_checked(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("count()")
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("not(1, 2)")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("frobnicate(1)")
+
+    def test_variables_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("//a[$var]")
+
+
+UNPARSE_CASES = [
+    "//person/address",
+    "//watches/watch/ancestor::person",
+    "/descendant::name/parent::*/self::person/child::address",
+    "//itemref/following-sibling::price/parent::*",
+    "//province[child::text() = 'Vermont']/ancestor::person",
+    "child::*[position() = last()]",
+    "count(/descendant-or-self::node()/child::person) > 100",
+    "//person[not(child::address) and child::watches]",
+    "3 + 4 * 2",
+    "//item[child::quantity mod 2 = 1]",
+    "self::node()",
+    "parent::node()",
+    "attribute::id",
+]
+
+
+@pytest.mark.parametrize("expression", UNPARSE_CASES)
+def test_unparse_fixed_point(expression):
+    """unparse(parse(x)) re-parses to the same tree."""
+    first = parse_xpath(expression).unparse()
+    assert parse_xpath(first).unparse() == first
+
+
+BAD_EXPRESSIONS = [
+    "",
+    "   ",
+    "//",
+    "a/",
+    "/a/",
+    "person[",
+    "person]",
+    "foo(",
+    "a b",
+    "a ==",
+    "1 +",
+    "[1]",
+    "a::b::c",
+    "unknownaxis::b",
+    "@",
+    "a | ",
+    "()",
+]
+
+
+@pytest.mark.parametrize("expression", BAD_EXPRESSIONS, ids=range(len(BAD_EXPRESSIONS)))
+def test_bad_expressions_raise(expression):
+    with pytest.raises(XPathSyntaxError):
+        parse_xpath(expression)
+
+
+def test_error_message_has_pointer():
+    with pytest.raises(XPathSyntaxError) as info:
+        parse_xpath("//person[")
+    assert "^" in str(info.value)
+
+
+def test_iter_steps_covers_predicates():
+    tree = parse_xpath("//a[b/c]/d")
+    steps = list(ast.iter_steps(tree))
+    names = sorted(step.test.name for step in steps if step.test.name)
+    assert names == ["a", "b", "c", "d"]
