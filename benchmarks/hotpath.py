@@ -1,0 +1,15 @@
+#!/usr/bin/env python
+"""Hot-path microbenchmark harness (byte-encoded vs tuple-compared keys).
+
+Thin executable wrapper over :mod:`repro.bench.hotpath`; the same harness
+backs the ``repro bench-hotpath`` CLI subcommand.
+
+Run:  PYTHONPATH=src python benchmarks/hotpath.py [--quick] [-o out.json]
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench-hotpath", *sys.argv[1:]]))

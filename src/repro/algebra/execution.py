@@ -57,6 +57,17 @@ class OperatorState(Enum):
     OUT_OF_TUPLES = "OUT_OF_TUPLES"
 
 
+def dedup_document_order(keys: "Iterator[FlexKey] | list[FlexKey]") -> list[FlexKey]:
+    """Distinct keys in document order.
+
+    Keys dedup and sort on their cached :attr:`FlexKey.sort_bytes` image:
+    flat ``bytes`` hash and compare at C speed, where hashing the nested
+    component tuples re-walks every integer per probe.
+    """
+    unique = {key.sort_bytes: key for key in keys}
+    return [unique[encoded] for encoded in sorted(unique)]
+
+
 # -- value model ------------------------------------------------------------------
 
 
@@ -81,9 +92,12 @@ class NodeSetValue:
     def first_key(self) -> FlexKey | None:
         """First node in *document* order (XPath's string() rule)."""
         best: FlexKey | None = None
+        best_bytes = b""
         for key in self._iterate():
-            if best is None or key < best:
+            encoded = key.sort_bytes
+            if best is None or encoded < best_bytes:
                 best = key
+                best_bytes = encoded
         return best
 
     def string_values(self) -> Iterator[str]:
@@ -324,10 +338,13 @@ class UnionOperator(Operator):
             return None
         if self._result is None:
             self.state = OperatorState.FETCHING
-            merged: set[FlexKey] = set()
+            merged: dict[bytes, FlexKey] = {}
             for branch in self.branches:
-                merged.update(branch.iterate())
-            self._result = iter(sorted(merged))
+                for key in branch.iterate():
+                    merged.setdefault(key.sort_bytes, key)
+            self._result = iter(
+                [merged[encoded] for encoded in sorted(merged)]
+            )
         key = next(self._result, None)
         if key is None:
             self.state = OperatorState.OUT_OF_TUPLES
@@ -364,9 +381,9 @@ class JoinOperator(Operator):
                 if self.store.string_value(key) in build:
                     yield key
         elif self.condition == "ancestor":
-            build = set(left_keys)
+            build = {key.sort_bytes for key in left_keys}
             for key in self.right.iterate():
-                if any(ancestor in build for ancestor in key.ancestors()):
+                if any(ancestor.sort_bytes in build for ancestor in key.ancestors()):
                     yield key
         else:  # precedes
             if not left_keys:
@@ -381,7 +398,7 @@ class JoinOperator(Operator):
             return None
         if self._result is None:
             self.state = OperatorState.FETCHING
-            self._result = iter(sorted(set(self._matches())))
+            self._result = iter(dedup_document_order(self._matches()))
         key = next(self._result, None)
         if key is None:
             self.state = OperatorState.OUT_OF_TUPLES

@@ -1,0 +1,282 @@
+"""Hot-path microbenchmarks: byte-encoded keys vs tuple-compared keys.
+
+The byte-key work (``FlexKey.sort_bytes``, ``bisect`` over flat byte
+arrays in the B+-trees) claims constant-factor wins on the operations
+every query is made of.  This harness measures exactly those operations,
+head to head, on the *same* XMark documents:
+
+* **key compare** — sorting the document's key population as component
+  tuples vs as ``sort_bytes`` images;
+* **point lookup** — node-index ``get`` over a key sample;
+* **range count** — name-index occurrence counts (the cost model's
+  COUNT/TC numbers);
+* **queries** — the paper's Q1-Q5 end to end, optimized plans, at two
+  XMark scales.
+
+The baseline engine is a real configuration, not a simulation:
+``MassStore(byte_keys=False)`` builds the identical trees with Python
+tuple comparisons, which is precisely the pre-byte-encoding code path.
+Every section reports ``baseline`` (tuple keys), ``optimized`` (byte
+keys) and their ratio, so one JSON file captures before and after under
+identical conditions.
+
+Entry points: :func:`run_hotpath_bench` (returns the report dict) and
+``repro bench-hotpath`` / ``benchmarks/hotpath.py`` (write
+``BENCH_hotpath.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Callable
+
+from repro.engine.engine import VamanaEngine
+from repro.mass.loader import load_xml
+from repro.mass.records import NodeKind
+from repro.mass.store import MassStore
+from repro.xmark.generator import generate_document
+from repro.xmark.profile import factor_for_megabytes
+
+#: The paper's five benchmark queries (Section VIII).
+PAPER_QUERIES = {
+    "Q1": "//person/address",
+    "Q2": "//watches/watch/ancestor::person",
+    "Q3": "/descendant::name/parent::*/self::person/address",
+    "Q4": "//itemref/following-sibling::price/parent::*",
+    "Q5": "//province[text()='Vermont']/ancestor::person",
+}
+
+#: Nominal document sizes (paper-style MB labels) for the two scales.
+FULL_SIZES_MB = (1.0, 2.0)
+QUICK_SIZES_MB = (0.05, 0.1)
+
+
+def _best_of(repeats: int, run: Callable[[], object]) -> float:
+    """Fastest wall time of ``repeats`` runs of ``run`` (best-of-N)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _ratio(baseline: float, optimized: float) -> float:
+    return baseline / max(optimized, 1e-12)
+
+
+# -- micro sections ------------------------------------------------------------
+
+
+def _bench_key_compare(store: MassStore, repeats: int, sample: int) -> dict:
+    """Sort the key population as tuples vs as byte strings."""
+    keys = [record.key for record in store.node_index.scan(None, None)]
+    rng = random.Random(7)
+    if len(keys) > sample:
+        keys = rng.sample(keys, sample)
+    rng.shuffle(keys)
+    tuples = [key.components for key in keys]
+    encoded = [key.sort_bytes for key in keys]
+    baseline = _best_of(repeats, lambda: sorted(tuples))
+    optimized = _best_of(repeats, lambda: sorted(encoded))
+    return {
+        "keys": len(keys),
+        "baseline_seconds": baseline,
+        "optimized_seconds": optimized,
+        "speedup": _ratio(baseline, optimized),
+    }
+
+
+def _sample_keys(store: MassStore, sample: int) -> list:
+    keys = [record.key for record in store.node_index.scan(None, None)]
+    rng = random.Random(11)
+    if len(keys) > sample:
+        keys = rng.sample(keys, sample)
+    rng.shuffle(keys)
+    return keys
+
+
+def _bench_point_lookup(
+    baseline_store: MassStore, byte_store: MassStore, repeats: int, sample: int
+) -> dict:
+    """Node-index ``get`` over the same key sample in both tree modes."""
+    keys = _sample_keys(byte_store, sample)
+
+    def lookups(store: MassStore) -> Callable[[], None]:
+        tree = store.node_index
+
+        def run() -> None:
+            for key in keys:
+                tree.get(key)
+
+        return run
+
+    baseline = _best_of(repeats, lookups(baseline_store))
+    optimized = _best_of(repeats, lookups(byte_store))
+    return {
+        "lookups": len(keys),
+        "baseline_seconds": baseline,
+        "optimized_seconds": optimized,
+        "speedup": _ratio(baseline, optimized),
+    }
+
+
+def _bench_range_count(
+    baseline_store: MassStore, byte_store: MassStore, repeats: int, inner: int = 1
+) -> dict:
+    """Name-index counts (whole-name and per-subtree) in both tree modes."""
+    names = sorted(
+        {
+            record.name
+            for record in baseline_store.node_index.scan(None, None)
+            if record.kind is NodeKind.ELEMENT
+        }
+    )[:40]
+    roots = [
+        record.key
+        for record in byte_store.node_index.scan(None, None)
+        if record.key.depth == 2
+    ][:25]
+
+    def counts(store: MassStore) -> Callable[[], None]:
+        index = store.name_index
+        bounds = [
+            (key.sort_bytes, key.subtree_upper_bound_bytes())
+            if store.byte_keys
+            else (key, key.subtree_upper_bound())
+            for key in roots
+        ]
+
+        def run() -> None:
+            for _ in range(inner):
+                for name in names:
+                    index.count(name)
+                for lo, hi in bounds:
+                    index.count_between("person", lo, hi, inclusive_lo=False)
+
+        return run
+
+    baseline = _best_of(repeats, counts(baseline_store))
+    optimized = _best_of(repeats, counts(byte_store))
+    return {
+        "counts": (len(names) + len(roots)) * inner,
+        "baseline_seconds": baseline,
+        "optimized_seconds": optimized,
+        "speedup": _ratio(baseline, optimized),
+    }
+
+
+# -- end-to-end queries --------------------------------------------------------
+
+
+def _bench_queries(
+    baseline_store: MassStore, byte_store: MassStore, repeats: int
+) -> dict:
+    """Q1-Q5 with optimized plans on both store configurations."""
+    report: dict = {}
+    baseline_engine = VamanaEngine(baseline_store)
+    byte_engine = VamanaEngine(byte_store)
+    for label, query in PAPER_QUERIES.items():
+        base_result = baseline_engine.evaluate(query)
+        byte_result = byte_engine.evaluate(query)
+        if base_result.key_set() != byte_result.key_set():
+            raise AssertionError(f"{label}: byte-key results diverge from baseline")
+        baseline = _best_of(repeats, lambda: baseline_engine.evaluate(query))
+        optimized = _best_of(repeats, lambda: byte_engine.evaluate(query))
+        report[label] = {
+            "expression": query,
+            "results": len(byte_result),
+            "baseline_seconds": baseline,
+            "optimized_seconds": optimized,
+            "speedup": _ratio(baseline, optimized),
+            "entries_scanned": byte_result.metrics.entries_scanned,
+            "pages_read_logical": byte_result.metrics.logical_reads,
+        }
+    return report
+
+
+# -- harness -------------------------------------------------------------------
+
+
+def run_hotpath_bench(
+    quick: bool = False,
+    sizes_mb: tuple[float, ...] | None = None,
+    repeats: int | None = None,
+    seed: int = 42,
+) -> dict:
+    """Run every section and return the report dict.
+
+    ``quick`` shrinks the corpus and repeat counts so the whole harness
+    finishes in well under a second — the mode the smoke test exercises.
+    """
+    if sizes_mb is None:
+        sizes_mb = QUICK_SIZES_MB if quick else FULL_SIZES_MB
+    if repeats is None:
+        repeats = 1 if quick else 3
+    sample = 200 if quick else 2000
+    report: dict = {
+        "benchmark": "hotpath",
+        "config": {
+            "quick": quick,
+            "sizes_mb": list(sizes_mb),
+            "repeats": repeats,
+            "key_sample": sample,
+            "seed": seed,
+            "baseline": "MassStore(byte_keys=False) — tuple-compared trees",
+            "optimized": "MassStore(byte_keys=True) — byte-encoded trees",
+        },
+        "scales": {},
+    }
+    for size_mb in sizes_mb:
+        factor = factor_for_megabytes(size_mb)
+        text = generate_document(factor, seed=seed)
+        byte_store = load_xml(text, name=f"hotpath-{size_mb}mb")
+        baseline_store = load_xml(
+            text, name=f"hotpath-{size_mb}mb-baseline", byte_keys=False
+        )
+        report["scales"][f"{size_mb:g}mb"] = {
+            "factor": factor,
+            "document_bytes": len(text.encode("utf-8")),
+            "nodes": len(byte_store.node_index),
+            "key_compare": _bench_key_compare(byte_store, repeats, sample),
+            "point_lookup": _bench_point_lookup(
+                baseline_store, byte_store, repeats, sample
+            ),
+            "range_count": _bench_range_count(
+                baseline_store, byte_store, repeats, inner=1 if quick else 10
+            ),
+            "queries": _bench_queries(baseline_store, byte_store, repeats),
+        }
+    return report
+
+
+def summarize(report: dict) -> str:
+    """A terminal-friendly digest of one report."""
+    lines = []
+    for scale, sections in report["scales"].items():
+        lines.append(
+            f"[{scale}] {sections['nodes']} nodes, "
+            f"{sections['document_bytes'] / 1e6:.2f} MB"
+        )
+        for section in ("key_compare", "point_lookup", "range_count"):
+            data = sections[section]
+            lines.append(
+                f"  {section:13s} {data['baseline_seconds'] * 1e3:9.3f} ms "
+                f"-> {data['optimized_seconds'] * 1e3:9.3f} ms "
+                f"({data['speedup']:.2f}x)"
+            )
+        for label, data in sections["queries"].items():
+            lines.append(
+                f"  {label:13s} {data['baseline_seconds'] * 1e3:9.3f} ms "
+                f"-> {data['optimized_seconds'] * 1e3:9.3f} ms "
+                f"({data['speedup']:.2f}x, {data['results']} results)"
+            )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")

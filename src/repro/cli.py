@@ -6,7 +6,9 @@ Commands:
 * ``index``    — parse an XML file and save the MASS store to disk,
 * ``stats``    — show store statistics (node counts, pages, index heights),
 * ``query``    — run an XPath query against an XML file or a saved store,
-  with ``--explain`` for the annotated plan and optimizer trace.
+  with ``--explain`` for the annotated plan and optimizer trace,
+* ``bench-hotpath`` — run the hot-path microbenchmarks (byte-encoded vs
+  tuple-compared keys) and write ``BENCH_hotpath.json``.
 
 Files ending in ``.mass`` are treated as saved stores everywhere.
 """
@@ -85,6 +87,30 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
+    from repro.bench.hotpath import run_hotpath_bench, summarize, write_report
+
+    sizes = None
+    if args.sizes:
+        try:
+            sizes = tuple(float(part) for part in args.sizes.split(",") if part.strip())
+        except ValueError:
+            print(f"error: --sizes expects comma-separated numbers, got {args.sizes!r}", file=sys.stderr)
+            return 2
+        if not sizes or any(size <= 0 for size in sizes):
+            print(f"error: --sizes values must be positive, got {args.sizes!r}", file=sys.stderr)
+            return 2
+    started = time.perf_counter()
+    report = run_hotpath_bench(
+        quick=args.quick, sizes_mb=sizes, repeats=args.repeats, seed=args.seed
+    )
+    elapsed = time.perf_counter() - started
+    write_report(report, args.output)
+    print(summarize(report))
+    print(f"-- wrote {args.output} in {elapsed:.2f}s", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -122,6 +148,20 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--limit", type=int, default=20,
                        help="max result labels to print (0 = all)")
     query.set_defaults(handler=_cmd_query)
+
+    bench = commands.add_parser(
+        "bench-hotpath",
+        help="run the hot-path microbenchmarks and write BENCH_hotpath.json",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="tiny corpus, one repeat — finishes in <1s")
+    bench.add_argument("--sizes", default=None,
+                       help="comma-separated nominal sizes in MB (e.g. 1,2)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="best-of-N repeats per measurement")
+    bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument("-o", "--output", default="BENCH_hotpath.json")
+    bench.set_defaults(handler=_cmd_bench_hotpath)
     return parser
 
 

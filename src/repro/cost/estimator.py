@@ -54,10 +54,44 @@ class OrderedOperator:
 
 
 class CostEstimator:
-    """Annotates plans with COUNT/TC/IN/OUT and produces L(P)."""
+    """Annotates plans with COUNT/TC/IN/OUT and produces L(P).
+
+    COUNT and TC lookups are memoized per store epoch: the optimizer
+    re-costs the same steps many times inside one rewrite loop, and the
+    underlying range counts cannot change until the store mutates (which
+    bumps :attr:`MassStore.epoch` and drops the memo).
+    """
 
     def __init__(self, store: MassStore):
         self.store = store
+        self._cache_epoch = store.epoch
+        self._count_cache: dict = {}
+        self._text_count_cache: dict[str, int] = {}
+
+    # -- memoized index counts ---------------------------------------------------
+
+    def _validate_caches(self) -> None:
+        if self._cache_epoch != self.store.epoch:
+            self._count_cache.clear()
+            self._text_count_cache.clear()
+            self._cache_epoch = self.store.epoch
+
+    def _count(self, test, principal) -> int:
+        self._validate_caches()
+        key = (test, principal)
+        count = self._count_cache.get(key)
+        if count is None:
+            count = self.store.count(test, principal)
+            self._count_cache[key] = count
+        return count
+
+    def _text_count(self, value: str) -> int:
+        self._validate_caches()
+        count = self._text_count_cache.get(value)
+        if count is None:
+            count = self.store.text_count(value)
+            self._text_count_cache[value] = count
+        return count
 
     # -- public -----------------------------------------------------------------
 
@@ -97,7 +131,7 @@ class CostEstimator:
 
     def _step_count(self, node: StepNode) -> int:
         """COUNT(op): document-wide population of the node test."""
-        return self.store.count(node.test, node.axis.principal_kind)
+        return self._count(node.test, node.axis.principal_kind)
 
     # -- plan nodes -------------------------------------------------------------------
 
@@ -136,7 +170,7 @@ class CostEstimator:
             return out
         if isinstance(node, ValueStepNode):
             # A value-index step: IN = OUT = TC(value)  (case 2 / Figure 9).
-            text_count = self.store.text_count(node.value)
+            text_count = self._text_count(node.value)
             node.cost.text_count = text_count
             node.cost.count = text_count
             node.cost.tuples_in = text_count
@@ -182,7 +216,7 @@ class CostEstimator:
         """Annotate a predicate tree; returns the bound it puts on the
         filtered operator's output (cases 5 and 6)."""
         if isinstance(expr, LiteralNode):
-            expr.cost.text_count = self.store.text_count(expr.value)
+            expr.cost.text_count = self._text_count(expr.value)
             return parent_tuples
         if isinstance(expr, NumberNode):
             # A numeric predicate keeps at most one position per context.
@@ -244,7 +278,7 @@ class CostEstimator:
             return None
         if not reaches_text_values(path.path):
             return None
-        return self.store.text_count(literal.value)
+        return self._text_count(literal.value)
 
 
 def reaches_text_values(path: PlanNode) -> bool:

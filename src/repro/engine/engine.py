@@ -27,6 +27,7 @@ from repro.algebra.execution import (
     EvalContext,
     ExpressionEvaluator,
     NodeSetValue,
+    dedup_document_order,
     execute_plan,
     to_boolean,
     to_number,
@@ -51,8 +52,15 @@ class VamanaEngine:
         self.store = store
         self.optimizer = Optimizer(store, rules)
         self.estimator = CostEstimator(store)
+        # LRU order: oldest entry first (dicts preserve insertion order; a
+        # hit re-inserts its entry at the end).  Plans embed cost decisions
+        # made against the store's statistics, so the whole cache is tied
+        # to the store epoch it was built under.
         self._plan_cache: dict[tuple[str, bool], tuple[QueryPlan, OptimizationTrace | None]] = {}
         self._plan_cache_size = plan_cache_size
+        self._plan_cache_epoch = store.epoch
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # -- compilation -----------------------------------------------------------
 
@@ -67,11 +75,24 @@ class VamanaEngine:
     def plan(
         self, expression: str, optimize: bool = True
     ) -> tuple[QueryPlan, OptimizationTrace | None]:
-        """Cached compile(+optimize)."""
+        """Cached compile(+optimize) — a genuine LRU keyed on the store epoch.
+
+        Any store mutation bumps the epoch; cached plans were optimized
+        against the old statistics, so the first plan request after a
+        mutation drops the cache and re-optimizes.
+        """
+        if self._plan_cache_epoch != self.store.epoch:
+            self._plan_cache.clear()
+            self._plan_cache_epoch = self.store.epoch
         cache_key = (expression, optimize)
         cached = self._plan_cache.get(cache_key)
         if cached is not None:
+            # Re-insert to mark this entry most-recently-used.
+            del self._plan_cache[cache_key]
+            self._plan_cache[cache_key] = cached
+            self.plan_cache_hits += 1
             return cached
+        self.plan_cache_misses += 1
         default = self.compile(expression)
         if optimize:
             plan, trace = self.optimize(default)
@@ -96,7 +117,7 @@ class VamanaEngine:
         started = time.perf_counter()
         raw_keys = list(execute_plan(plan, self.store, context))
         elapsed = time.perf_counter() - started
-        keys = sorted(set(raw_keys)) if plan.root.distinct else raw_keys
+        keys = dedup_document_order(raw_keys) if plan.root.distinct else raw_keys
         after = self.store.io_snapshot()
         metrics = ExecutionMetrics(
             wall_seconds=elapsed,
@@ -118,8 +139,13 @@ class VamanaEngine:
         context: FlexKey | None = None,
     ) -> QueryResult:
         """The full pipeline: compile → optimize → execute."""
+        hits_before = self.plan_cache_hits
+        misses_before = self.plan_cache_misses
         plan, trace = self.plan(expression, optimize)
-        return self.execute(plan, context, trace)
+        result = self.execute(plan, context, trace)
+        result.metrics.plan_cache_hits = self.plan_cache_hits - hits_before
+        result.metrics.plan_cache_misses = self.plan_cache_misses - misses_before
+        return result
 
     def evaluate_value(self, expression: str, context: FlexKey | None = None):
         """Evaluate a general (non-node-set) XPath expression.
@@ -137,7 +163,7 @@ class VamanaEngine:
         )
         value = evaluator.evaluate(expr, eval_context)
         if isinstance(value, NodeSetValue):
-            return sorted(set(value.keys()))
+            return dedup_document_order(value.keys())
         return value
 
     # -- inspection ---------------------------------------------------------------

@@ -30,6 +30,8 @@ class ExecutionMetrics:
     logical_reads: int = 0
     key_comparisons: int = 0
     entries_scanned: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     counters: dict[str, int] = field(default_factory=dict)
 
     def describe(self) -> str:

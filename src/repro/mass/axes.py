@@ -64,11 +64,27 @@ def _record_matches(
     return test.matches(record.kind, record.name, axis.principal_kind)
 
 
-def _subtree_range(context: FlexKey) -> tuple[FlexKey | None, FlexKey | None]:
-    """Key range (exclusive of context itself) covering context's subtree."""
+def _key_bound(store: "MassStore", key: FlexKey):
+    """``key`` as an index range bound: its byte image in byte-key mode."""
+    return key.sort_bytes if store.byte_keys else key
+
+
+def _subtree_top(store: "MassStore", key: FlexKey):
+    """The exclusive upper bound of ``key``'s subtree as a range bound."""
+    if store.byte_keys:
+        return key.subtree_upper_bound_bytes()
+    return key.subtree_upper_bound()
+
+
+def _subtree_range(store: "MassStore", context: FlexKey):
+    """Range (exclusive of context itself) covering context's subtree.
+
+    In byte-key mode this is the flat byte-prefix range derived straight
+    from the context's encoding — no sentinel key is materialised.
+    """
     if context.is_document():
-        return context, None  # everything after the document key
-    return context, context.subtree_upper_bound()
+        return _key_bound(store, context), None  # everything after the document key
+    return _key_bound(store, context), _subtree_top(store, context)
 
 
 # -- key-arithmetic axes -------------------------------------------------------
@@ -108,8 +124,8 @@ def _scan(
     store,
     axis: Axis,
     test: NodeTest,
-    lo: FlexKey | None,
-    hi: FlexKey | None,
+    lo,
+    hi,
     inclusive_lo: bool,
     reverse: bool = False,
     depth: int | None = None,
@@ -117,6 +133,8 @@ def _scan(
 ) -> Iterator[AxisHit]:
     """One contiguous index scan with the per-axis filters applied.
 
+    ``lo``/``hi`` are range bounds in the store's search space — byte
+    prefixes in byte-key mode, FLEX keys otherwise (see :func:`_key_bound`).
     Uses the name index when the node test pins an index name (no record
     fetches at all — depth filtering is key arithmetic); otherwise scans
     the clustered node index and filters records.
@@ -150,28 +168,28 @@ def _scan(
 
 
 def _iter_child(store, context, axis, test):
-    lo, hi = _subtree_range(context)
+    lo, hi = _subtree_range(store, context)
     yield from _scan(
         store, axis, test, lo, hi, inclusive_lo=False, depth=context.depth + 1
     )
 
 
 def _iter_attribute(store, context, axis, test):
-    lo, hi = _subtree_range(context)
+    lo, hi = _subtree_range(store, context)
     yield from _scan(
         store, axis, test, lo, hi, inclusive_lo=False, depth=context.depth + 1
     )
 
 
 def _iter_namespace(store, context, axis, test):
-    lo, hi = _subtree_range(context)
+    lo, hi = _subtree_range(store, context)
     yield from _scan(
         store, axis, test, lo, hi, inclusive_lo=False, depth=context.depth + 1
     )
 
 
 def _iter_descendant(store, context, axis, test):
-    lo, hi = _subtree_range(context)
+    lo, hi = _subtree_range(store, context)
     yield from _scan(store, axis, test, lo, hi, inclusive_lo=False)
 
 
@@ -183,7 +201,7 @@ def _iter_descendant_or_self(store, context, axis, test):
 def _iter_following(store, context, axis, test):
     if context.is_document():
         return
-    bound = context.subtree_upper_bound()
+    bound = _subtree_top(store, context)
     yield from _scan(store, axis, test, bound, None, inclusive_lo=True)
 
 
@@ -195,7 +213,7 @@ def _iter_preceding(store, context, axis, test):
         axis,
         test,
         None,
-        context,
+        _key_bound(store, context),
         inclusive_lo=True,
         reverse=True,
         skip_ancestors_of=context,
@@ -212,8 +230,8 @@ def _iter_following_sibling(store, context, axis, test):
     parent = context.parent()
     if parent is None or not _context_has_siblings(store, context):
         return
-    lo = context.subtree_upper_bound()
-    hi = None if parent.is_document() else parent.subtree_upper_bound()
+    lo = _subtree_top(store, context)
+    hi = None if parent.is_document() else _subtree_top(store, parent)
     yield from _scan(
         store, axis, test, lo, hi, inclusive_lo=True, depth=context.depth
     )
@@ -227,8 +245,8 @@ def _iter_preceding_sibling(store, context, axis, test):
         store,
         axis,
         test,
-        parent,
-        context,
+        _key_bound(store, parent),
+        _key_bound(store, context),
         inclusive_lo=False,
         reverse=True,
         depth=context.depth,
@@ -270,7 +288,7 @@ def axis_count_upper(
     if index_name is None:
         return None
     if axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF, Axis.CHILD, Axis.ATTRIBUTE):
-        lo, hi = _subtree_range(context)
+        lo, hi = _subtree_range(store, context)
         count = store.name_index.count_between(index_name, lo, hi, inclusive_lo=False)
         if axis is Axis.DESCENDANT_OR_SELF:
             record = store.fetch(context)
@@ -281,21 +299,24 @@ def axis_count_upper(
         if context.is_document():
             return 0
         return store.name_index.count_between(
-            index_name, context.subtree_upper_bound(), None
+            index_name, _subtree_top(store, context), None
         )
     if axis is Axis.PRECEDING:
-        return store.name_index.count_between(index_name, None, context)
+        return store.name_index.count_between(
+            index_name, None, _key_bound(store, context)
+        )
     if axis in (Axis.FOLLOWING_SIBLING, Axis.PRECEDING_SIBLING):
         parent = context.parent()
         if parent is None:
             return 0
         if axis is Axis.FOLLOWING_SIBLING:
-            lo = context.subtree_upper_bound()
-            hi = None if parent.is_document() else parent.subtree_upper_bound()
+            lo = _subtree_top(store, context)
+            hi = None if parent.is_document() else _subtree_top(store, parent)
             return store.name_index.count_between(index_name, lo, hi)
         # preceding-sibling: the parent's own entry must not count.
         return store.name_index.count_between(
-            index_name, parent, context, inclusive_lo=False
+            index_name, _key_bound(store, parent), _key_bound(store, context),
+            inclusive_lo=False,
         )
     if axis in (Axis.SELF, Axis.PARENT):
         return 1

@@ -15,10 +15,28 @@ beyond a textbook B+-tree matter for VAMANA:
 
 Every node lives on a page; traversals route through the owning store's
 buffer pool so that benchmarks can report pages touched per query.
+
+Search keys
+-----------
+
+The tree separates *logical* keys (what callers insert and scans yield)
+from *search* keys (what descents and node searches compare).  With no
+``encode`` function the two coincide and every comparison runs through the
+instrumented Python binary search.  When the tree is built with an
+order-preserving ``encode`` (FLEX keys encode to :attr:`FlexKey.sort_bytes`,
+composite index keys to escaped byte strings), each node keeps a parallel
+array of byte search keys and searches it with the stdlib ``bisect`` C
+implementation — the ``key_comparisons`` counter is then advanced by the
+calibrated comparison count of a binary search (``len(keys).bit_length()``)
+so I/O accounting stays comparable across both modes.  Range bounds are
+encoded once per operation, never per comparison, and callers that already
+hold byte bounds (subtree prefix ranges) can pass them straight to the
+``*_encoded`` entry points.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left as _c_bisect_left, bisect_right as _c_bisect_right
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
@@ -44,10 +62,11 @@ class TreeMetrics:
 
 
 class _Leaf:
-    __slots__ = ("keys", "values", "next", "prev", "page")
+    __slots__ = ("keys", "skeys", "values", "next", "prev", "page")
 
     def __init__(self, page: Page):
         self.keys: list[Any] = []
+        self.skeys: list[Any] = []  # parallel search keys (byte mode only)
         self.values: list[Any] = []
         self.next: _Leaf | None = None
         self.prev: _Leaf | None = None
@@ -62,7 +81,7 @@ class _Internal:
     __slots__ = ("separators", "children", "counts", "page")
 
     def __init__(self, page: Page):
-        # children[i] holds keys < separators[i]; children[-1] the rest.
+        # children[i] holds search keys < separators[i]; children[-1] the rest.
         self.separators: list[Any] = []
         self.children: list[Any] = []
         self.counts: list[int] = []
@@ -78,7 +97,9 @@ class BPlusTree:
 
     Keys must be unique; composite indexes append the FLEX key to the index
     key to guarantee this.  ``order`` (maximum entries per node) is derived
-    from the page size unless given explicitly.
+    from the page size unless given explicitly.  ``encode``, if given, maps
+    a logical key to a byte search key whose lexicographic order equals the
+    logical order; node searches then run on flat byte arrays at C speed.
     """
 
     def __init__(
@@ -87,6 +108,7 @@ class BPlusTree:
         buffer_pool: BufferPool,
         order: int | None = None,
         entry_bytes: int = DEFAULT_ENTRY_BYTES,
+        encode: Callable[[Any], bytes] | None = None,
     ):
         self._manager = manager
         self._buffer = buffer_pool
@@ -95,6 +117,7 @@ class BPlusTree:
         if order < 4:
             raise StorageError(f"B+-tree order must be >= 4, got {order}")
         self._order = order
+        self._encode = encode
         self.metrics = TreeMetrics()
         self._root: _Leaf | _Internal = self._new_leaf()
         self._size = 0
@@ -122,25 +145,45 @@ class BPlusTree:
         node.page.used_bytes = entries * DEFAULT_ENTRY_BYTES
         self._manager.mark_write(node.page)
 
+    # -- search keys ---------------------------------------------------------
+
+    def search_key(self, key: Any) -> Any:
+        """The search-space image of a logical key (identity w/o encoder)."""
+        return key if self._encode is None else self._encode(key)
+
+    def _search_opt(self, key: Any) -> Any:
+        return None if key is None else self.search_key(key)
+
+    def _leaf_skeys(self, leaf: _Leaf) -> list[Any]:
+        return leaf.keys if self._encode is None else leaf.skeys
+
     # -- comparison helpers (instrumented binary search) ---------------------
 
-    def _bisect_left(self, keys: list[Any], key: Any) -> int:
-        lo, hi = 0, len(keys)
+    def _bisect_left(self, skeys: list[Any], skey: Any) -> int:
+        if self._encode is not None:
+            # C-speed byte search; charge the calibrated comparison count
+            # a binary search over n keys performs.
+            self.metrics.key_comparisons += len(skeys).bit_length()
+            return _c_bisect_left(skeys, skey)
+        lo, hi = 0, len(skeys)
         while lo < hi:
             mid = (lo + hi) // 2
             self.metrics.key_comparisons += 1
-            if keys[mid] < key:
+            if skeys[mid] < skey:
                 lo = mid + 1
             else:
                 hi = mid
         return lo
 
-    def _bisect_right(self, keys: list[Any], key: Any) -> int:
-        lo, hi = 0, len(keys)
+    def _bisect_right(self, skeys: list[Any], skey: Any) -> int:
+        if self._encode is not None:
+            self.metrics.key_comparisons += len(skeys).bit_length()
+            return _c_bisect_right(skeys, skey)
+        lo, hi = 0, len(skeys)
         while lo < hi:
             mid = (lo + hi) // 2
             self.metrics.key_comparisons += 1
-            if key < keys[mid]:
+            if skey < skeys[mid]:
                 hi = mid
             else:
                 lo = mid + 1
@@ -166,8 +209,10 @@ class BPlusTree:
     # -- public: point operations --------------------------------------------
 
     def get(self, key: Any, default: Any = None) -> Any:
-        leaf, index = self._find_leaf(key)
-        if index < len(leaf.keys) and leaf.keys[index] == key:
+        skey = self.search_key(key)
+        leaf, index = self._find_leaf(skey)
+        skeys = self._leaf_skeys(leaf)
+        if index < len(skeys) and skeys[index] == skey:
             self.metrics.entries_scanned += 1
             return leaf.values[index]
         return default
@@ -178,7 +223,7 @@ class BPlusTree:
 
     def insert(self, key: Any, value: Any = None) -> None:
         """Insert a new entry; replaces the value if the key exists."""
-        split = self._insert_into(self._root, key, value)
+        split = self._insert_into(self._root, key, self.search_key(key), value)
         if split is not None:
             separator, right = split
             new_root = self._new_internal()
@@ -195,7 +240,7 @@ class BPlusTree:
         rebalanced — deletes are rare in this workload and counts stay
         exact either way.
         """
-        removed = self._delete_from(self._root, key)
+        removed = self._delete_from(self._root, self.search_key(key))
         if removed:
             if isinstance(self._root, _Internal) and len(self._root.children) == 1:
                 old = self._root
@@ -242,29 +287,40 @@ class BPlusTree:
         ``None`` bounds are open.  The iterator touches each visited leaf
         page once and charges one entry-scan per yielded entry.
         """
+        return self.scan_encoded(
+            self._search_opt(lo), self._search_opt(hi), inclusive_lo, inclusive_hi
+        )
+
+    def scan_encoded(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        inclusive_lo: bool = True,
+        inclusive_hi: bool = False,
+    ) -> Iterator[tuple[Any, Any]]:
+        """:meth:`scan` with bounds already in search-key space."""
         if not self._size:
             return
         if lo is None:
             leaf, index = self._leftmost_leaf(), 0
         else:
-            leaf, index = self._find_leaf(
-                lo, bisect=self._bisect_left if inclusive_lo else self._bisect_right
-            )
+            leaf, index = self._find_leaf(lo, right=not inclusive_lo)
         while leaf is not None:
-            if index >= len(leaf.keys):
+            skeys = self._leaf_skeys(leaf)
+            if index >= len(skeys):
                 leaf = leaf.next
                 index = 0
                 if leaf is not None:
                     self._visit(leaf)
                 continue
-            key = leaf.keys[index]
             if hi is not None:
+                skey = skeys[index]
                 self.metrics.key_comparisons += 1
-                past = key > hi if inclusive_hi else key >= hi
+                past = skey > hi if inclusive_hi else skey >= hi
                 if past:
                     return
             self.metrics.entries_scanned += 1
-            yield key, leaf.values[index]
+            yield leaf.keys[index], leaf.values[index]
             index += 1
 
     def scan_reverse(
@@ -275,14 +331,25 @@ class BPlusTree:
         inclusive_hi: bool = False,
     ) -> Iterator[tuple[Any, Any]]:
         """Descending scan of the same range as :meth:`scan`."""
+        return self.scan_reverse_encoded(
+            self._search_opt(lo), self._search_opt(hi), inclusive_lo, inclusive_hi
+        )
+
+    def scan_reverse_encoded(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        inclusive_lo: bool = True,
+        inclusive_hi: bool = False,
+    ) -> Iterator[tuple[Any, Any]]:
+        """:meth:`scan_reverse` with bounds already in search-key space."""
         if not self._size:
             return
         if hi is None:
             leaf = self._rightmost_leaf()
             index = len(leaf.keys) - 1
         else:
-            bisect = self._bisect_right if inclusive_hi else self._bisect_left
-            leaf, index = self._find_leaf(hi, bisect=bisect)
+            leaf, index = self._find_leaf(hi, right=inclusive_hi)
             index -= 1
             if index < 0:
                 leaf = leaf.prev
@@ -298,14 +365,14 @@ class BPlusTree:
                 self._visit(leaf)
                 index = len(leaf.keys) - 1
                 continue
-            key = leaf.keys[index]
             if lo is not None:
+                skey = self._leaf_skeys(leaf)[index]
                 self.metrics.key_comparisons += 1
-                past = key < lo if inclusive_lo else key <= lo
+                past = skey < lo if inclusive_lo else skey <= lo
                 if past:
                     return
             self.metrics.entries_scanned += 1
-            yield key, leaf.values[index]
+            yield leaf.keys[index], leaf.values[index]
             index -= 1
 
     def items(self) -> Iterator[tuple[Any, Any]]:
@@ -319,16 +386,45 @@ class BPlusTree:
         O(log n): one root-to-leaf descent adding up the counts of skipped
         siblings.  No leaf data outside the boundary path is touched.
         """
+        return self.rank_encoded(self.search_key(key), inclusive)
+
+    def rank_encoded(self, skey: Any, inclusive: bool = False) -> int:
+        """:meth:`rank` with the key already in search-key space."""
+        if self._encode is not None:
+            # Byte-mode fast path: C bisect over flat byte arrays with
+            # hoisted locals and one batched metrics update per descent.
+            # The accounting is identical to the generic path below.
+            bis = _c_bisect_right if inclusive else _c_bisect_left
+            touch = self._buffer.touch
+            node = self._root
+            rank = 0
+            visits = 0
+            comparisons = 0
+            while isinstance(node, _Internal):
+                visits += 1
+                touch(node.page)
+                separators = node.separators
+                comparisons += len(separators).bit_length()
+                child_index = bis(separators, skey)
+                if child_index:
+                    rank += sum(node.counts[:child_index])
+                node = node.children[child_index]
+            touch(node.page)
+            skeys = node.skeys
+            metrics = self.metrics
+            metrics.node_visits += visits + 1
+            metrics.key_comparisons += comparisons + len(skeys).bit_length()
+            return rank + bis(skeys, skey)
         bisect = self._bisect_right if inclusive else self._bisect_left
         node = self._root
         rank = 0
         while isinstance(node, _Internal):
             self._visit(node)
-            child_index = bisect(node.separators, key)
+            child_index = bisect(node.separators, skey)
             rank += sum(node.counts[:child_index])
             node = node.children[child_index]
         self._visit(node)
-        rank += bisect(node.keys, key)
+        rank += bisect(self._leaf_skeys(node), skey)
         return rank
 
     def range_count(
@@ -339,9 +435,94 @@ class BPlusTree:
         inclusive_hi: bool = False,
     ) -> int:
         """Count keys in the range without fetching them."""
-        high_rank = self._size if hi is None else self.rank(hi, inclusive=inclusive_hi)
-        low_rank = 0 if lo is None else self.rank(lo, inclusive=not inclusive_lo)
+        return self.range_count_encoded(
+            self._search_opt(lo), self._search_opt(hi), inclusive_lo, inclusive_hi
+        )
+
+    def range_count_encoded(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        inclusive_lo: bool = True,
+        inclusive_hi: bool = False,
+    ) -> int:
+        """:meth:`range_count` with bounds already in search-key space.
+
+        In byte mode a two-sided range is answered with one joint descent:
+        while both boundary paths pass through the same child, their
+        skipped-sibling counts cancel in ``rank(hi) - rank(lo)``, so the
+        shared prefix of the two descents is walked (and its pages
+        touched) once instead of twice.
+        """
+        if self._encode is not None and lo is not None and hi is not None:
+            return self._range_count_joint(lo, hi, inclusive_lo, inclusive_hi)
+        high_rank = (
+            self._size if hi is None else self.rank_encoded(hi, inclusive=inclusive_hi)
+        )
+        low_rank = (
+            0 if lo is None else self.rank_encoded(lo, inclusive=not inclusive_lo)
+        )
         return max(0, high_rank - low_rank)
+
+    def _range_count_joint(
+        self, lo: Any, hi: Any, inclusive_lo: bool, inclusive_hi: bool
+    ) -> int:
+        """Single-descent counted-tree range count (byte mode only)."""
+        bis_lo = _c_bisect_right if not inclusive_lo else _c_bisect_left
+        bis_hi = _c_bisect_right if inclusive_hi else _c_bisect_left
+        touch = self._buffer.touch
+        metrics = self.metrics
+        node = self._root
+        visits = 0
+        comparisons = 0
+        while isinstance(node, _Internal):
+            visits += 1
+            touch(node.page)
+            separators = node.separators
+            comparisons += 2 * len(separators).bit_length()
+            lo_index = bis_lo(separators, lo)
+            hi_index = bis_hi(separators, hi)
+            if lo_index != hi_index:
+                # Paths diverge here: everything strictly between the two
+                # boundary children is in-range; finish each side alone.
+                between = sum(node.counts[lo_index:hi_index])
+                metrics.node_visits += visits
+                metrics.key_comparisons += comparisons
+                low_rank = self._boundary_rank(node.children[lo_index], lo, bis_lo)
+                high_rank = self._boundary_rank(node.children[hi_index], hi, bis_hi)
+                return max(0, between + high_rank - low_rank)
+            node = node.children[lo_index]
+        visits += 1
+        touch(node.page)
+        skeys = node.skeys
+        comparisons += 2 * len(skeys).bit_length()
+        metrics.node_visits += visits
+        metrics.key_comparisons += comparisons
+        return max(0, bis_hi(skeys, hi) - bis_lo(skeys, lo))
+
+    def _boundary_rank(
+        self, node: "_Leaf | _Internal", skey: Any, bis: Callable
+    ) -> int:
+        """Rank of ``skey`` within one boundary subtree (byte mode only)."""
+        touch = self._buffer.touch
+        rank = 0
+        visits = 0
+        comparisons = 0
+        while isinstance(node, _Internal):
+            visits += 1
+            touch(node.page)
+            separators = node.separators
+            comparisons += len(separators).bit_length()
+            child_index = bis(separators, skey)
+            if child_index:
+                rank += sum(node.counts[:child_index])
+            node = node.children[child_index]
+        touch(node.page)
+        skeys = node.skeys
+        metrics = self.metrics
+        metrics.node_visits += visits + 1
+        metrics.key_comparisons += comparisons + len(skeys).bit_length()
+        return rank + bis(skeys, skey)
 
     # -- public: bulk load -------------------------------------------------------
 
@@ -352,10 +533,16 @@ class BPlusTree:
         ~69%-full leaves like a real clustered bulk load would.
         """
         pairs = list(items)
-        for earlier, later in zip(pairs, pairs[1:]):
-            if not earlier[0] < later[0]:
+        if self._encode is None:
+            skeys = [key for key, _ in pairs]
+        else:
+            encode = self._encode
+            skeys = [encode(key) for key, _ in pairs]
+        for index in range(1, len(skeys)):
+            if not skeys[index - 1] < skeys[index]:
                 raise StorageError(
-                    f"bulk_load input not strictly sorted: {earlier[0]!r} !< {later[0]!r}"
+                    "bulk_load input not strictly sorted: "
+                    f"{pairs[index - 1][0]!r} !< {pairs[index][0]!r}"
                 )
         self._dispose(self._root)
         self._size = 0
@@ -370,6 +557,8 @@ class BPlusTree:
             leaf = self._new_leaf()
             leaf.keys = [key for key, _ in chunk]
             leaf.values = [value for _, value in chunk]
+            if self._encode is not None:
+                leaf.skeys = skeys[start : start + per_leaf]
             leaf.prev = previous
             if previous is not None:
                 previous.next = leaf
@@ -385,7 +574,7 @@ class BPlusTree:
                 group = level[start : start + per_node]
                 parent = self._new_internal()
                 parent.children = list(group)
-                parent.separators = [_subtree_min(child) for child in group[1:]]
+                parent.separators = [self._subtree_min(child) for child in group[1:]]
                 parent.counts = [_node_count(child) for child in group]
                 self._update_page_usage(parent)
                 parents.append(parent)
@@ -394,19 +583,39 @@ class BPlusTree:
 
     # -- internal: descent ---------------------------------------------------------
 
-    def _find_leaf(
-        self, key: Any, bisect: Callable[[list[Any], Any], int] | None = None
-    ) -> tuple[_Leaf, int]:
-        """Descend to the leaf for ``key``; returns (leaf, slot index)."""
-        if bisect is None:
-            bisect = self._bisect_left
+    def _find_leaf(self, skey: Any, right: bool = False) -> tuple[_Leaf, int]:
+        """Descend to the leaf for ``skey``; returns (leaf, slot index).
+
+        The leaf slot is the bisect-left position, or bisect-right when
+        ``right`` is set (used by exclusive/inclusive scan bounds).
+        """
+        if self._encode is not None:
+            # Byte-mode fast path — see rank_encoded.
+            touch = self._buffer.touch
+            node = self._root
+            visits = 1
+            comparisons = 0
+            while isinstance(node, _Internal):
+                touch(node.page)
+                separators = node.separators
+                comparisons += len(separators).bit_length()
+                node = node.children[_c_bisect_right(separators, skey)]
+                visits += 1
+            touch(node.page)
+            skeys = node.skeys
+            metrics = self.metrics
+            metrics.node_visits += visits
+            metrics.key_comparisons += comparisons + len(skeys).bit_length()
+            slot = (_c_bisect_right if right else _c_bisect_left)(skeys, skey)
+            return node, slot
+        bisect = self._bisect_right if right else self._bisect_left
         node = self._root
         while isinstance(node, _Internal):
             self._visit(node)
-            child_index = self._bisect_right(node.separators, key)
+            child_index = self._bisect_right(node.separators, skey)
             node = node.children[child_index]
         self._visit(node)
-        return node, bisect(node.keys, key)
+        return node, bisect(self._leaf_skeys(node), skey)
 
     def _leftmost_leaf(self) -> _Leaf:
         node = self._root
@@ -424,29 +633,37 @@ class BPlusTree:
         self._visit(node)
         return node
 
+    def _subtree_min(self, node: _Leaf | _Internal) -> Any:
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return self._leaf_skeys(node)[0]
+
     # -- internal: insert ------------------------------------------------------------
 
     def _insert_into(
-        self, node: _Leaf | _Internal, key: Any, value: Any
+        self, node: _Leaf | _Internal, key: Any, skey: Any, value: Any
     ) -> tuple[Any, _Leaf | _Internal] | None:
         """Recursive insert; returns (separator, new right sibling) on split."""
         self._visit(node)
         if isinstance(node, _Leaf):
-            index = self._bisect_left(node.keys, key)
-            if index < len(node.keys) and node.keys[index] == key:
+            skeys = self._leaf_skeys(node)
+            index = self._bisect_left(skeys, skey)
+            if index < len(skeys) and skeys[index] == skey:
                 node.values[index] = value
                 self._manager.mark_write(node.page)
                 return None
             node.keys.insert(index, key)
             node.values.insert(index, value)
+            if self._encode is not None:
+                node.skeys.insert(index, skey)
             self._size += 1
             self._update_page_usage(node)
             if len(node.keys) <= self._order:
                 return None
             return self._split_leaf(node)
-        child_index = self._bisect_right(node.separators, key)
+        child_index = self._bisect_right(node.separators, skey)
         had = _node_count(node.children[child_index])
-        split = self._insert_into(node.children[child_index], key, value)
+        split = self._insert_into(node.children[child_index], key, skey, value)
         node.counts[child_index] += _node_count(node.children[child_index]) - had
         if split is not None:
             separator, right = split
@@ -466,6 +683,9 @@ class BPlusTree:
         right.values = leaf.values[middle:]
         leaf.keys = leaf.keys[:middle]
         leaf.values = leaf.values[:middle]
+        if self._encode is not None:
+            right.skeys = leaf.skeys[middle:]
+            leaf.skeys = leaf.skeys[:middle]
         right.next = leaf.next
         if right.next is not None:
             right.next.prev = right
@@ -473,7 +693,7 @@ class BPlusTree:
         leaf.next = right
         self._update_page_usage(leaf)
         self._update_page_usage(right)
-        return right.keys[0], right
+        return self._leaf_skeys(right)[0], right
 
     def _split_internal(self, node: _Internal) -> tuple[Any, _Internal]:
         middle = len(node.children) // 2
@@ -491,20 +711,23 @@ class BPlusTree:
 
     # -- internal: delete ----------------------------------------------------------------
 
-    def _delete_from(self, node: _Leaf | _Internal, key: Any) -> bool:
+    def _delete_from(self, node: _Leaf | _Internal, skey: Any) -> bool:
         self._visit(node)
         if isinstance(node, _Leaf):
-            index = self._bisect_left(node.keys, key)
-            if index >= len(node.keys) or node.keys[index] != key:
+            skeys = self._leaf_skeys(node)
+            index = self._bisect_left(skeys, skey)
+            if index >= len(skeys) or skeys[index] != skey:
                 return False
             del node.keys[index]
             del node.values[index]
+            if self._encode is not None:
+                del node.skeys[index]
             self._size -= 1
             self._update_page_usage(node)
             return True
-        child_index = self._bisect_right(node.separators, key)
+        child_index = self._bisect_right(node.separators, skey)
         child = node.children[child_index]
-        removed = self._delete_from(child, key)
+        removed = self._delete_from(child, skey)
         if removed:
             node.counts[child_index] -= 1
             if _node_count(child) == 0 and len(node.children) > 1:
@@ -543,30 +766,42 @@ class BPlusTree:
         """Validate ordering, linkage and counts; raises StorageError if broken.
 
         Used by property tests after randomized insert/delete sequences.
+        Checks run in search-key space, which must mirror logical order.
         """
         total, _first, _last = self._check_node(self._root, None, None)
         if total != self._size:
             raise StorageError(f"size mismatch: counted {total}, recorded {self._size}")
         # Leaf chain must enumerate exactly the sorted key set.
         chained = [key for key, _ in self.scan()]
-        if chained != sorted(chained):
-            raise StorageError("leaf chain out of order")
+        if self._encode is None:
+            if chained != sorted(chained):
+                raise StorageError("leaf chain out of order")
+        else:
+            encode = self._encode
+            encoded = [encode(key) for key in chained]
+            if encoded != sorted(encoded):
+                raise StorageError("leaf chain out of order")
         if len(chained) != self._size:
             raise StorageError("leaf chain length mismatch")
 
     def _check_node(self, node: _Leaf | _Internal, lo: Any, hi: Any) -> tuple[int, Any, Any]:
         if isinstance(node, _Leaf):
-            for earlier, later in zip(node.keys, node.keys[1:]):
+            skeys = self._leaf_skeys(node)
+            if self._encode is not None and [
+                self._encode(key) for key in node.keys
+            ] != skeys:
+                raise StorageError("leaf search keys out of sync with keys")
+            for earlier, later in zip(skeys, skeys[1:]):
                 if not earlier < later:
                     raise StorageError("leaf keys not strictly sorted")
-            for key in node.keys:
-                if lo is not None and key < lo:
+            for skey in skeys:
+                if lo is not None and skey < lo:
                     raise StorageError("leaf key below subtree bound")
-                if hi is not None and not key < hi:
+                if hi is not None and not skey < hi:
                     raise StorageError("leaf key above subtree bound")
-            if not node.keys:
+            if not skeys:
                 return 0, None, None
-            return len(node.keys), node.keys[0], node.keys[-1]
+            return len(skeys), skeys[0], skeys[-1]
         total = 0
         for index, child in enumerate(node.children):
             child_lo = node.separators[index - 1] if index > 0 else lo
@@ -582,9 +817,3 @@ class BPlusTree:
 
 def _node_count(node: _Leaf | _Internal) -> int:
     return node.count
-
-
-def _subtree_min(node: _Leaf | _Internal) -> Any:
-    while isinstance(node, _Internal):
-        node = node.children[0]
-    return node.keys[0]

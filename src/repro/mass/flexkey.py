@@ -33,6 +33,21 @@ Two reserved values keep the arithmetic sound:
 The paper renders keys as dotted letters (``a.d.y.c``); :meth:`FlexKey.pretty`
 reproduces that rendering (bijective base-26, ``~`` separating the integers
 of an extended component).
+
+Byte encoding
+-------------
+
+:attr:`FlexKey.sort_bytes` is an order-preserving byte encoding of the key:
+for any two keys ``a`` and ``b``, ``a < b`` iff ``a.sort_bytes <
+b.sort_bytes``.  Every integer of a component is encoded as a length prefix
+(``0x01``-``0xFE``) followed by its minimal big-endian payload, and each
+component is closed with a ``0x00`` terminator.  Because the length prefix
+of a real integer is always above ``0x00``, component-prefix keys (i.e.
+ancestors) sort first exactly as the tuple order demands, and the parent's
+encoding is a strict byte prefix of every descendant's encoding — which is
+what lets the indexes turn subtree ranges into flat byte-prefix ranges and
+search B+-tree nodes with C-speed ``bytes`` comparisons instead of Python
+tuple comparisons.
 """
 
 from __future__ import annotations
@@ -98,6 +113,31 @@ def _component_before(component: Component) -> Component:
     return (1,) + _component_before(component[1:])
 
 
+def encode_components(components: Sequence[Component]) -> bytes:
+    """Order-preserving byte encoding of a component sequence.
+
+    Lexicographic order of the result equals tuple order of the input for
+    every well-formed key, including the ``0`` sentinel produced by
+    :meth:`FlexKey.subtree_upper_bound` and extended components from
+    :func:`component_between`.
+    """
+    out = bytearray()
+    for component in components:
+        for value in component:
+            if 0 <= value <= 0xFF:
+                # Fast path: almost every FLEX integer is a small ordinal.
+                out.append(1)
+                out.append(value)
+            else:
+                payload = value.to_bytes((value.bit_length() + 7) // 8, "big")
+                if len(payload) > 0xFE:
+                    raise ValueError(f"FLEX integer too large to encode: {value}")
+                out.append(len(payload))
+                out += payload
+        out.append(0)
+    return bytes(out)
+
+
 def component_after(component: Component) -> Component:
     """Return a single-integer component strictly above ``component``."""
     return (component[0] + 1,)
@@ -116,13 +156,14 @@ class FlexKey:
     (depth 0); the document element of the paper's examples gets key ``a``.
     """
 
-    __slots__ = ("_components",)
+    __slots__ = ("_components", "_sort_bytes")
 
     def __init__(self, components: Sequence[Component] = ()):
         components = tuple(tuple(part) for part in components)
         for component in components:
             _check_component(component)
         self._components = components
+        self._sort_bytes: bytes | None = None
 
     # -- constructors -----------------------------------------------------
 
@@ -150,6 +191,19 @@ class FlexKey:
     def depth(self) -> int:
         """Tree depth: 0 for the document node, 1 for the document element."""
         return len(self._components)
+
+    @property
+    def sort_bytes(self) -> bytes:
+        """Order-preserving byte encoding (lazily computed and cached).
+
+        ``a < b`` iff ``a.sort_bytes < b.sort_bytes``; an ancestor's
+        encoding is a strict prefix of every descendant's encoding.
+        """
+        cached = self._sort_bytes
+        if cached is None:
+            cached = encode_components(self._components)
+            self._sort_bytes = cached
+        return cached
 
     def is_document(self) -> bool:
         return not self._components
@@ -223,7 +277,20 @@ class FlexKey:
         sentinel = self._components[-1] + (0,)
         result = FlexKey.__new__(FlexKey)
         result._components = self._components[:-1] + (sentinel,)
+        result._sort_bytes = None
         return result
+
+    def subtree_upper_bound_bytes(self) -> bytes:
+        """``subtree_upper_bound().sort_bytes`` without building the key.
+
+        The bound's encoding is this key's encoding with the final
+        component terminator replaced by the sentinel integer ``0``
+        (``0x01 0x00``) and a fresh terminator — the exclusive upper end
+        of the subtree's byte-prefix range.
+        """
+        if not self._components:
+            raise ValueError("the document subtree has no upper bound")
+        return self.sort_bytes[:-1] + b"\x01\x00\x00"
 
     # -- sibling key generation (update support) ----------------------------
 

@@ -15,8 +15,15 @@ MASS keeps every document in three counted B+-trees:
   ``text() = 'Yung Flach'`` with a single lookup (where eXist falls back to
   tree traversal) and gives the cost model exact text counts (TC).
 
-The composite keys compare as plain Python tuples: the string first, the
-FLEX key second, so all entries for one name/value form one contiguous run.
+The composite keys compare as plain Python tuples — the string first, the
+FLEX key second — so all entries for one name/value form one contiguous
+run.  In the default byte-key mode each tree additionally carries an
+order-preserving byte encoding of its keys (:func:`composite_sort_bytes`
+for the composite indexes, :attr:`FlexKey.sort_bytes` for the node index)
+and every search, scan bound and range count operates on flat ``bytes``
+at C speed.  Index-level range methods accept either FLEX keys or
+pre-encoded byte bounds, so axis evaluation can hand over subtree prefix
+ranges without re-deriving them.
 """
 
 from __future__ import annotations
@@ -28,6 +35,10 @@ from repro.mass.flexkey import FlexKey
 from repro.mass.pages import BufferPool, PageManager
 from repro.mass.records import NodeKind, NodeRecord
 from repro.model import NodeTest, NodeTestKind
+
+#: FLEX-key bounds accepted by the index range methods: a key, its
+#: pre-encoded ``sort_bytes`` image, or None for an open end.
+KeyBound = "FlexKey | bytes | None"
 
 
 def index_name_for(kind: NodeKind, name: str) -> str | None:
@@ -72,11 +83,62 @@ def _upper_bound(text: str) -> tuple[str]:
     return (text + "\x00",)
 
 
+# -- byte encodings ------------------------------------------------------------
+
+
+def escape_text(text: str) -> bytes:
+    """Order-preserving, self-terminating byte encoding of a string.
+
+    UTF-8 is code-point order preserving; NUL content bytes are escaped as
+    ``0x00 0xFF`` so the ``0x00`` terminator still sorts a prefix string
+    below every extension.  The result can be concatenated with a FLEX
+    key's ``sort_bytes`` (whose first byte is never ``0xFF``) to form a
+    composite search key whose byte order equals tuple order.
+    """
+    raw = text.encode("utf-8")
+    if b"\x00" in raw:
+        raw = raw.replace(b"\x00", b"\x00\xff")
+    return raw + b"\x00"
+
+
+def text_prefix_upper(text: str) -> bytes:
+    """Exclusive byte bound covering every composite entry for ``text``."""
+    return escape_text(text + "\x00")
+
+
+def composite_sort_bytes(key: tuple) -> bytes:
+    """Byte search key for ``(text,)`` bounds and ``(text, FlexKey)`` entries."""
+    if len(key) == 1:
+        return escape_text(key[0])
+    text, flex = key
+    return escape_text(text) + flex.sort_bytes
+
+
+def flex_sort_bytes(key: FlexKey) -> bytes:
+    """Byte search key of a node-index key."""
+    return key.sort_bytes
+
+
 class NodeIndex:
     """FLEX key → node record, clustered in document order."""
 
-    def __init__(self, manager: PageManager, buffer_pool: BufferPool):
-        self.tree = BPlusTree(manager, buffer_pool, entry_bytes=96)
+    def __init__(
+        self, manager: PageManager, buffer_pool: BufferPool, byte_keys: bool = True
+    ):
+        self.byte_keys = byte_keys
+        self.tree = BPlusTree(
+            manager,
+            buffer_pool,
+            entry_bytes=96,
+            encode=flex_sort_bytes if byte_keys else None,
+        )
+
+    def _bound(self, key: "FlexKey | bytes | None"):
+        if key is None:
+            return None
+        if self.byte_keys:
+            return key if isinstance(key, bytes) else key.sort_bytes
+        return key
 
     def bulk_load(self, records: list[NodeRecord]) -> None:
         self.tree.bulk_load([(record.key, record) for record in records])
@@ -92,18 +154,22 @@ class NodeIndex:
 
     def scan(
         self,
-        lo: FlexKey | None,
-        hi: FlexKey | None,
+        lo: "FlexKey | bytes | None",
+        hi: "FlexKey | bytes | None",
         inclusive_lo: bool = True,
         inclusive_hi: bool = False,
         reverse: bool = False,
     ) -> Iterator[NodeRecord]:
-        scan = self.tree.scan_reverse if reverse else self.tree.scan
-        for _key, record in scan(lo, hi, inclusive_lo, inclusive_hi):
+        scan = self.tree.scan_reverse_encoded if reverse else self.tree.scan_encoded
+        for _key, record in scan(
+            self._bound(lo), self._bound(hi), inclusive_lo, inclusive_hi
+        ):
             yield record
 
-    def count_range(self, lo: FlexKey | None, hi: FlexKey | None) -> int:
-        return self.tree.range_count(lo, hi)
+    def count_range(
+        self, lo: "FlexKey | bytes | None", hi: "FlexKey | bytes | None"
+    ) -> int:
+        return self.tree.range_count_encoded(self._bound(lo), self._bound(hi))
 
     def __len__(self) -> int:
         return len(self.tree)
@@ -112,8 +178,32 @@ class NodeIndex:
 class NameIndex:
     """(namespaced name, FLEX key) → node kind."""
 
-    def __init__(self, manager: PageManager, buffer_pool: BufferPool):
-        self.tree = BPlusTree(manager, buffer_pool, entry_bytes=56)
+    def __init__(
+        self, manager: PageManager, buffer_pool: BufferPool, byte_keys: bool = True
+    ):
+        self.byte_keys = byte_keys
+        self.tree = BPlusTree(
+            manager,
+            buffer_pool,
+            entry_bytes=56,
+            encode=composite_sort_bytes if byte_keys else None,
+        )
+
+    def _bounds(
+        self,
+        name: str,
+        lo: "FlexKey | bytes | None",
+        hi: "FlexKey | bytes | None",
+    ) -> tuple:
+        """Search-space [lo, hi) bounds for ``name`` entries in a key range."""
+        if self.byte_keys:
+            prefix = escape_text(name)
+            low = prefix if lo is None else prefix + _flex_bytes(lo)
+            high = text_prefix_upper(name) if hi is None else prefix + _flex_bytes(hi)
+            return low, high
+        low = (name,) if lo is None else (name, lo)
+        high = _upper_bound(name) if hi is None else (name, hi)
+        return low, high
 
     def bulk_load(self, entries: list[tuple[str, FlexKey, NodeKind]]) -> None:
         self.tree.bulk_load([((name, key), kind) for name, key, kind in entries])
@@ -126,35 +216,34 @@ class NameIndex:
 
     def count(self, name: str) -> int:
         """How many nodes carry this index name — O(log n), no data touched."""
-        return self.tree.range_count((name,), _upper_bound(name))
+        low, high = self._bounds(name, None, None)
+        return self.tree.range_count_encoded(low, high)
 
     def count_between(
         self,
         name: str,
-        lo: FlexKey | None,
-        hi: FlexKey | None,
+        lo: "FlexKey | bytes | None",
+        hi: "FlexKey | bytes | None",
         inclusive_lo: bool = True,
     ) -> int:
         """Count entries for ``name`` with FLEX keys in [lo, hi)."""
-        low_key = (name,) if lo is None else (name, lo)
-        high_key = _upper_bound(name) if hi is None else (name, hi)
-        return self.tree.range_count(
-            low_key, high_key, inclusive_lo=lo is None or inclusive_lo
+        low, high = self._bounds(name, lo, hi)
+        return self.tree.range_count_encoded(
+            low, high, inclusive_lo=lo is None or inclusive_lo
         )
 
     def scan(
         self,
         name: str,
-        lo: FlexKey | None = None,
-        hi: FlexKey | None = None,
+        lo: "FlexKey | bytes | None" = None,
+        hi: "FlexKey | bytes | None" = None,
         inclusive_lo: bool = True,
         reverse: bool = False,
     ) -> Iterator[tuple[FlexKey, NodeKind]]:
         """All keys for ``name`` within [lo, hi), forward or reverse."""
-        low_key = (name,) if lo is None else (name, lo)
-        high_key = _upper_bound(name) if hi is None else (name, hi)
-        scan = self.tree.scan_reverse if reverse else self.tree.scan
-        for (_name, key), kind in scan(low_key, high_key, inclusive_lo, False):
+        low, high = self._bounds(name, lo, hi)
+        scan = self.tree.scan_reverse_encoded if reverse else self.tree.scan_encoded
+        for (_name, key), kind in scan(low, high, inclusive_lo, False):
             yield key, kind
 
     def first(self, name: str, at_or_after: FlexKey | None = None) -> FlexKey | None:
@@ -170,8 +259,16 @@ class NameIndex:
 class ValueIndex:
     """(text value, FLEX key) → node kind, for text and attribute nodes."""
 
-    def __init__(self, manager: PageManager, buffer_pool: BufferPool):
-        self.tree = BPlusTree(manager, buffer_pool, entry_bytes=72)
+    def __init__(
+        self, manager: PageManager, buffer_pool: BufferPool, byte_keys: bool = True
+    ):
+        self.byte_keys = byte_keys
+        self.tree = BPlusTree(
+            manager,
+            buffer_pool,
+            entry_bytes=72,
+            encode=composite_sort_bytes if byte_keys else None,
+        )
 
     def bulk_load(self, entries: list[tuple[str, FlexKey, NodeKind]]) -> None:
         self.tree.bulk_load([((value, key), kind) for value, key, kind in entries])
@@ -184,36 +281,84 @@ class ValueIndex:
 
     def text_count(self, value: str) -> int:
         """TC(value): exact occurrence count — O(log n), index-only."""
+        if self.byte_keys:
+            return self.tree.range_count_encoded(
+                escape_text(value), text_prefix_upper(value)
+            )
         return self.tree.range_count((value,), _upper_bound(value))
 
     def scan(
         self,
         value: str,
-        lo: FlexKey | None = None,
-        hi: FlexKey | None = None,
+        lo: "FlexKey | bytes | None" = None,
+        hi: "FlexKey | bytes | None" = None,
         reverse: bool = False,
     ) -> Iterator[tuple[FlexKey, NodeKind]]:
-        low_key = (value,) if lo is None else (value, lo)
-        high_key = _upper_bound(value) if hi is None else (value, hi)
-        scan = self.tree.scan_reverse if reverse else self.tree.scan
-        for (_value, key), kind in scan(low_key, high_key, True, False):
+        if self.byte_keys:
+            prefix = escape_text(value)
+            low = prefix if lo is None else prefix + _flex_bytes(lo)
+            high = text_prefix_upper(value) if hi is None else prefix + _flex_bytes(hi)
+            scan = self.tree.scan_reverse_encoded if reverse else self.tree.scan_encoded
+        else:
+            low = (value,) if lo is None else (value, lo)
+            high = _upper_bound(value) if hi is None else (value, hi)
+            scan = self.tree.scan_reverse if reverse else self.tree.scan
+        for (_value, key), kind in scan(low, high, True, False):
             yield key, kind
 
     def scan_value_range(
         self, low_value: str | None, high_value: str | None, inclusive: bool = True
     ) -> Iterator[tuple[str, FlexKey, NodeKind]]:
         """Entries for values in a string range (supports range predicates)."""
-        lo = None if low_value is None else (low_value,)
-        hi = None if high_value is None else _upper_bound(high_value) if inclusive else (high_value,)
-        for (value, key), kind in self.tree.scan(lo, hi):
+        if self.byte_keys:
+            lo = None if low_value is None else escape_text(low_value)
+            hi = (
+                None
+                if high_value is None
+                else text_prefix_upper(high_value)
+                if inclusive
+                else escape_text(high_value)
+            )
+            entries = self.tree.scan_encoded(lo, hi)
+        else:
+            lo = None if low_value is None else (low_value,)
+            hi = (
+                None
+                if high_value is None
+                else _upper_bound(high_value)
+                if inclusive
+                else (high_value,)
+            )
+            entries = self.tree.scan(lo, hi)
+        for (value, key), kind in entries:
             yield value, key, kind
 
     def count_value_range(
         self, low_value: str | None, high_value: str | None, inclusive: bool = True
     ) -> int:
+        if self.byte_keys:
+            lo = None if low_value is None else escape_text(low_value)
+            hi = (
+                None
+                if high_value is None
+                else text_prefix_upper(high_value)
+                if inclusive
+                else escape_text(high_value)
+            )
+            return self.tree.range_count_encoded(lo, hi)
         lo = None if low_value is None else (low_value,)
-        hi = None if high_value is None else _upper_bound(high_value) if inclusive else (high_value,)
+        hi = (
+            None
+            if high_value is None
+            else _upper_bound(high_value)
+            if inclusive
+            else (high_value,)
+        )
         return self.tree.range_count(lo, hi)
 
     def __len__(self) -> int:
         return len(self.tree)
+
+
+def _flex_bytes(bound: "FlexKey | bytes") -> bytes:
+    return bound if isinstance(bound, bytes) else bound.sort_bytes

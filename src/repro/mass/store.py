@@ -36,19 +36,28 @@ class MassStore:
         name: str = "document",
         page_size: int = 4096,
         buffer_capacity: int | None = 4096,
+        byte_keys: bool = True,
     ):
         self.name = name
+        self.byte_keys = byte_keys
         self.pages = PageManager(page_size)
         self.buffer = BufferPool(self.pages, capacity=buffer_capacity)
-        self.node_index = NodeIndex(self.pages, self.buffer)
-        self.name_index = NameIndex(self.pages, self.buffer)
-        self.value_index = ValueIndex(self.pages, self.buffer)
+        self.node_index = NodeIndex(self.pages, self.buffer, byte_keys=byte_keys)
+        self.name_index = NameIndex(self.pages, self.buffer, byte_keys=byte_keys)
+        self.value_index = ValueIndex(self.pages, self.buffer, byte_keys=byte_keys)
         self.metrics = StoreMetrics()
+        #: Monotonic modification epoch: bumped by every load, insert and
+        #: delete.  Caches keyed on ``(store content, ...)`` — the engine's
+        #: plan cache, the cost estimator's count cache — compare epochs
+        #: instead of guessing, so cached optimizer decisions can never go
+        #: stale under live updates.
+        self.epoch = 0
 
     # -- loading ------------------------------------------------------------
 
     def bulk_load(self, records: list[NodeRecord]) -> None:
         """Load a complete document from key-sorted node records."""
+        self.epoch += 1
         for earlier, later in zip(records, records[1:]):
             if not earlier.key < later.key:
                 raise StorageError("records not in document order")
@@ -220,6 +229,7 @@ class MassStore:
         parent = record.key.parent()
         if parent is not None and self.node_index.get(parent) is None:
             raise StorageError(f"parent {parent.pretty()} not stored")
+        self.epoch += 1
         self.node_index.insert(record)
         index_name = index_name_for(record.kind, record.name)
         if index_name is not None:
@@ -258,6 +268,7 @@ class MassStore:
         doomed = [self.require(key)]
         lo, hi = key, key.subtree_upper_bound()
         doomed.extend(self.node_index.scan(lo, hi, inclusive_lo=False))
+        self.epoch += 1
         for record in doomed:
             self.node_index.delete(record.key)
             index_name = index_name_for(record.kind, record.name)

@@ -126,3 +126,74 @@ class TestBufferPool:
         pool.touch(page)
         pool.forget(page)
         assert pool.resident_pages == 0
+
+
+class TestBufferPoolPressure:
+    """Eviction behaviour under sustained capacity pressure."""
+
+    def make(self, capacity):
+        manager = PageManager()
+        return manager, BufferPool(manager, capacity=capacity)
+
+    def test_eviction_follows_recency_order(self):
+        manager, pool = self.make(capacity=3)
+        pages = [manager.allocate(PageKind.LEAF) for _ in range(5)]
+        a, b, c, d, e = pages
+        for page in (a, b, c):
+            pool.touch(page)
+        pool.touch(b)  # recency now a < c < b
+        pool.touch(d)  # evicts a
+        pool.touch(e)  # evicts c
+        assert pool.stats.evictions == 2
+        assert pool.resident_pages == 3
+        pool.touch(b)
+        pool.touch(d)
+        pool.touch(e)
+        assert pool.stats.misses == 5  # b, d, e all still resident
+        pool.touch(a)
+        pool.touch(c)
+        assert pool.stats.misses == 7  # the evicted two really left
+
+    def test_sweep_larger_than_capacity_evicts_every_round(self):
+        manager, pool = self.make(capacity=4)
+        pages = [manager.allocate(PageKind.LEAF) for _ in range(8)]
+        for _ in range(3):
+            for page in pages:
+                pool.touch(page)
+        # A sequential sweep over 2x capacity with LRU hits nothing.
+        assert pool.stats.hits == 0
+        assert pool.stats.misses == 24
+        assert pool.stats.evictions == 24 - 4
+        assert manager.stats.physical_reads == 24
+
+    def test_forget_frees_a_slot_without_counting_eviction(self):
+        manager, pool = self.make(capacity=2)
+        a, b, c = (manager.allocate(PageKind.LEAF) for _ in range(3))
+        pool.touch(a)
+        pool.touch(b)
+        manager.free(b)
+        pool.forget(b)
+        assert pool.resident_pages == 1
+        pool.touch(c)  # fits into the freed slot
+        assert pool.stats.evictions == 0
+        pool.touch(a)
+        assert pool.stats.hits == 1  # a was never pushed out
+
+    def test_forget_unknown_page_is_noop(self):
+        manager, pool = self.make(capacity=2)
+        page = manager.allocate(PageKind.LEAF)
+        pool.forget(page)  # never touched: nothing to drop
+        assert pool.resident_pages == 0
+
+    def test_zero_capacity_cold_cache_accounting(self):
+        manager, pool = self.make(capacity=0)
+        pages = [manager.allocate(PageKind.LEAF) for _ in range(4)]
+        for _ in range(2):
+            for page in pages:
+                pool.touch(page)
+        assert pool.resident_pages == 0
+        assert pool.stats.hits == 0
+        assert pool.stats.misses == 8
+        assert pool.stats.evictions == 0
+        assert manager.stats.logical_reads == 8
+        assert manager.stats.physical_reads == 8  # every touch goes to "disk"

@@ -1,0 +1,139 @@
+"""Property tests for the order-preserving FLEX byte encoding.
+
+The whole byte-key mode rests on one invariant: for any two keys,
+``a < b  iff  a.sort_bytes < b.sort_bytes``.  These tests check it over
+random keys (including multi-byte integers), keys minted between
+siblings with :func:`component_between`, and the ``subtree_upper_bound``
+sentinel, plus the prefix property that byte-ancestry equals key
+ancestry.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mass.flexkey import (
+    FlexKey,
+    component_between,
+    encode_components,
+)
+
+# Integers span one-byte and multi-byte payloads (the 0xFF..0x100 and
+# 0xFFFF..0x10000 length-class boundaries are where an encoding breaks
+# first if it is going to).
+_part = st.one_of(
+    st.integers(1, 6),
+    st.integers(250, 260),
+    st.integers(65530, 65545),
+    st.integers(2**32 - 3, 2**32 + 3),
+)
+_component = st.lists(_part, min_size=1, max_size=3).map(
+    lambda parts: tuple(parts[:-1]) + (parts[-1] + 1,)  # never ends in 1
+)
+_key = st.lists(_component, min_size=0, max_size=5).map(
+    lambda components: FlexKey(tuple(components))
+)
+
+
+class TestOrderEquivalence:
+    @given(_key, _key)
+    @settings(max_examples=400)
+    def test_byte_order_equals_tuple_order(self, a, b):
+        assert (a < b) == (a.sort_bytes < b.sort_bytes)
+        assert (a == b) == (a.sort_bytes == b.sort_bytes)
+
+    @given(_key, _key)
+    @settings(max_examples=400)
+    def test_byte_prefix_equals_ancestry(self, a, b):
+        is_prefix = a.sort_bytes == b.sort_bytes[: len(a.sort_bytes)]
+        assert is_prefix == (a == b or a.is_ancestor_of(b))
+
+    @given(_key)
+    @settings(max_examples=200)
+    def test_sort_bytes_is_cached_and_stable(self, key):
+        assert key.sort_bytes is key.sort_bytes
+        assert key.sort_bytes == encode_components(key.components)
+
+
+class TestSubtreeBound:
+    @given(_key)
+    @settings(max_examples=300)
+    def test_sentinel_bound_bytes_match_sentinel_key(self, key):
+        if key.is_document():
+            return
+        bound = key.subtree_upper_bound()
+        assert bound.sort_bytes == key.subtree_upper_bound_bytes()
+
+    @given(_key)
+    @settings(max_examples=300)
+    def test_bound_bytes_dominate_descendant_bytes(self, key):
+        if key.is_document():
+            return
+        bound = key.subtree_upper_bound_bytes()
+        assert key.sort_bytes < bound
+        assert key.child(0).sort_bytes < bound
+        assert key.child(10**6).sort_bytes < bound
+        assert bound < key.sibling_after().sort_bytes
+
+    def test_document_key_has_no_bound_bytes(self):
+        with pytest.raises(ValueError):
+            FlexKey.document().subtree_upper_bound_bytes()
+
+
+class TestInsertsBetween:
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=5))
+    @settings(max_examples=200)
+    def test_sibling_between_orders_in_bytes(self, path):
+        first = FlexKey.from_ordinals(path)
+        second = first.sibling_after()
+        middle = first.sibling_between(second)
+        keys = [first, middle, second]
+        assert [k.sort_bytes for k in keys] == sorted(k.sort_bytes for k in keys)
+
+    def test_repeated_splits_stay_sorted(self):
+        # Repeatedly mint keys between adjacent siblings: components grow
+        # extended tails via component_between, the encoding must keep
+        # byte order aligned with tuple order throughout.
+        rng = random.Random(13)
+        parent = FlexKey.from_ordinals([0])
+        keys = [parent.child(0), parent.child(1)]
+        for _ in range(300):
+            index = rng.randrange(len(keys) - 1)
+            low, high = keys[index], keys[index + 1]
+            keys.insert(index + 1, low.sibling_between(high))
+        assert all(a < b for a, b in zip(keys, keys[1:]))
+        encoded = [key.sort_bytes for key in keys]
+        assert encoded == sorted(encoded)
+        assert len(set(encoded)) == len(encoded)
+
+    @given(st.integers(2, 10**6), st.integers(2, 10**6))
+    @settings(max_examples=200)
+    def test_component_between_encodes_between(self, a, b):
+        if a == b:
+            return
+        low, high = sorted(((a,), (b,)))
+        middle = component_between(low, high)
+        enc = lambda component: encode_components((component,))
+        assert enc(low) < enc(middle) < enc(high)
+
+
+class TestEncodeComponents:
+    def test_sentinel_zero_sorts_below_any_real_part(self):
+        # enc(0) = 01 00 must order below every positive integer encoding.
+        zero = encode_components(((0,),))
+        one = encode_components(((1,),))
+        big = encode_components(((2**40,),))
+        assert zero < one < big
+
+    def test_multibyte_boundaries_are_ordered(self):
+        values = [1, 0xFE, 0xFF, 0x100, 0xFFFF, 0x10000, 2**32, 2**64]
+        encoded = [encode_components(((value + 1,),)) for value in values]
+        assert encoded == sorted(encoded)
+
+    def test_oversized_integer_rejected(self):
+        with pytest.raises(ValueError):
+            encode_components(((1 << (8 * 0xFF),),))

@@ -1,0 +1,50 @@
+"""Smoke test for the hot-path benchmark harness.
+
+Runs the real CLI entry point (``repro bench-hotpath --quick``) against a
+tiny corpus and checks the report it writes: every section present, every
+speedup a positive finite number, and the baseline/optimized stores
+measured on identical documents.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def test_bench_hotpath_quick_writes_report(tmp_path):
+    out = tmp_path / "BENCH_hotpath.json"
+    code = main(["bench-hotpath", "--quick", "-o", str(out)])
+    assert code == 0
+    report = json.loads(out.read_text())
+
+    assert report["benchmark"] == "hotpath"
+    assert report["config"]["quick"] is True
+    assert len(report["scales"]) == 2
+
+    for sections in report["scales"].values():
+        assert sections["nodes"] > 0
+        for micro in ("key_compare", "point_lookup", "range_count"):
+            data = sections[micro]
+            assert data["baseline_seconds"] > 0
+            assert data["optimized_seconds"] > 0
+            assert data["speedup"] > 0
+        queries = sections["queries"]
+        assert set(queries) == {"Q1", "Q2", "Q3", "Q4", "Q5"}
+        for data in queries.values():
+            assert data["baseline_seconds"] > 0
+            assert data["optimized_seconds"] > 0
+            # Byte-key and tuple-key engines returned identical node sets
+            # (the harness raises otherwise) and I/O accounting flowed.
+            assert data["results"] >= 0
+            if data["results"]:
+                assert data["pages_read_logical"] > 0
+
+
+def test_bench_hotpath_single_tiny_scale(tmp_path):
+    out = tmp_path / "bench.json"
+    code = main(["bench-hotpath", "--quick", "--sizes", "0.05", "-o", str(out)])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert list(report["scales"]) == ["0.05mb"]
