@@ -30,11 +30,15 @@ Quickstart::
 """
 
 from repro.errors import (
+    BudgetExceededError,
     DocumentTooLargeError,
     ExecutionError,
     PlanError,
+    QueryCancelledError,
+    QueryTimeoutError,
     ReproError,
     StorageError,
+    TransientStorageError,
     UnsupportedFeatureError,
     XmlError,
     XPathSyntaxError,
@@ -46,6 +50,7 @@ from repro.algebra import build_default_plan, execute_plan
 from repro.cost import CostEstimator, plan_cost
 from repro.optimizer import Optimizer, optimize_plan
 from repro.engine import Database, ExecutionMetrics, QueryResult, VamanaEngine
+from repro.resilience import FaultInjector, QueryGuard, with_retries
 from repro.xmark import XmarkGenerator, generate_document, paper_profile
 
 __version__ = "1.0.0"
@@ -57,8 +62,12 @@ __all__ = [
     "XmlError",
     "XPathSyntaxError",
     "StorageError",
+    "TransientStorageError",
     "PlanError",
     "ExecutionError",
+    "QueryTimeoutError",
+    "BudgetExceededError",
+    "QueryCancelledError",
     "UnsupportedFeatureError",
     "DocumentTooLargeError",
     # model
@@ -85,6 +94,10 @@ __all__ = [
     "Database",
     "QueryResult",
     "ExecutionMetrics",
+    # resilience
+    "QueryGuard",
+    "FaultInjector",
+    "with_retries",
     # workload
     "XmarkGenerator",
     "generate_document",

@@ -26,7 +26,10 @@ from __future__ import annotations
 
 import math
 from enum import Enum
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.guard import QueryGuard
 
 from repro.errors import ExecutionError, PlanError
 from repro.mass.flexkey import FlexKey
@@ -156,9 +159,14 @@ def to_string(value) -> str:
 
 
 class EvalContext:
-    """Per-candidate evaluation state for predicate expressions."""
+    """Per-candidate evaluation state for predicate expressions.
 
-    __slots__ = ("store", "key", "position", "_last")
+    ``guard`` is the query's :class:`~repro.resilience.QueryGuard` (or
+    None): predicate evaluation happening under this context checkpoints
+    against it, so resource limits reach into nested sub-plans too.
+    """
+
+    __slots__ = ("store", "key", "position", "_last", "guard")
 
     def __init__(
         self,
@@ -166,11 +174,13 @@ class EvalContext:
         key: FlexKey,
         position: int = 1,
         last: Callable[[], int] | int = 1,
+        guard: "QueryGuard | None" = None,
     ):
         self.store = store
         self.key = key
         self.position = position
         self._last = last
+        self.guard = guard
 
     def last(self) -> int:
         if callable(self._last):
@@ -182,10 +192,18 @@ class EvalContext:
 
 
 class Operator:
-    """Base of the pipelined operators; subclasses fill ``_produce``."""
+    """Base of the pipelined operators; subclasses fill ``_produce``.
 
-    def __init__(self, store: MassStore):
+    ``guard`` is the query's resource governor (or None).  Every
+    ``next_tuple`` implementation checkpoints it first thing; because no
+    operator does unbounded work between two ``next_tuple`` calls, a
+    violated limit (deadline, page budget, cancellation) surfaces within a
+    bounded number of index operations.
+    """
+
+    def __init__(self, store: MassStore, guard: "QueryGuard | None" = None):
         self.store = store
+        self.guard = guard
         self.state = OperatorState.INITIAL
 
     def reset(self, context: FlexKey | None) -> None:
@@ -219,8 +237,9 @@ class StepOperator(Operator):
         plan: StepNode,
         context_child: "Operator | None",
         predicates: list["CompiledPredicate"],
+        guard: "QueryGuard | None" = None,
     ):
-        super().__init__(store)
+        super().__init__(store, guard)
         self.plan = plan
         self.context_child = context_child
         self.predicates = predicates
@@ -259,7 +278,10 @@ class StepOperator(Operator):
         return candidates
 
     def next_tuple(self) -> FlexKey | None:
+        guard = self.guard
         while self.state is not OperatorState.OUT_OF_TUPLES:
+            if guard is not None:
+                guard.checkpoint()
             if self._candidates is None:
                 context = self._get_next_context()
                 if context is None:
@@ -283,8 +305,9 @@ class ValueStepOperator(Operator):
         value: str,
         predicates: list["CompiledPredicate"],
         text_only: bool = True,
+        guard: "QueryGuard | None" = None,
     ):
-        super().__init__(store)
+        super().__init__(store, guard)
         self.value = value
         self.text_only = text_only
         self.predicates = predicates
@@ -305,6 +328,8 @@ class ValueStepOperator(Operator):
             yield key
 
     def next_tuple(self) -> FlexKey | None:
+        if self.guard is not None:
+            self.guard.checkpoint()
         if self.state is OperatorState.OUT_OF_TUPLES or not self._armed:
             return None
         if self._candidates is None:
@@ -322,8 +347,13 @@ class ValueStepOperator(Operator):
 class UnionOperator(Operator):
     """Document-order, duplicate-free union of branch results."""
 
-    def __init__(self, store: MassStore, branches: list[Operator]):
-        super().__init__(store)
+    def __init__(
+        self,
+        store: MassStore,
+        branches: list[Operator],
+        guard: "QueryGuard | None" = None,
+    ):
+        super().__init__(store, guard)
         self.branches = branches
         self._result: Iterator[FlexKey] | None = None
 
@@ -334,6 +364,8 @@ class UnionOperator(Operator):
             branch.reset(context)
 
     def next_tuple(self) -> FlexKey | None:
+        if self.guard is not None:
+            self.guard.checkpoint()
         if self.state is OperatorState.OUT_OF_TUPLES:
             return None
         if self._result is None:
@@ -360,8 +392,15 @@ class JoinOperator(Operator):
     the conventional build/probe split.
     """
 
-    def __init__(self, store: MassStore, left: Operator, right: Operator, condition: str):
-        super().__init__(store)
+    def __init__(
+        self,
+        store: MassStore,
+        left: Operator,
+        right: Operator,
+        condition: str,
+        guard: "QueryGuard | None" = None,
+    ):
+        super().__init__(store, guard)
         self.left = left
         self.right = right
         self.condition = condition
@@ -394,6 +433,8 @@ class JoinOperator(Operator):
                     yield key
 
     def next_tuple(self) -> FlexKey | None:
+        if self.guard is not None:
+            self.guard.checkpoint()
         if self.state is OperatorState.OUT_OF_TUPLES:
             return None
         if self._result is None:
@@ -408,8 +449,13 @@ class JoinOperator(Operator):
 class RootOperator(Operator):
     """``R1`` — passes its context child's tuples through."""
 
-    def __init__(self, store: MassStore, child: Operator | None):
-        super().__init__(store)
+    def __init__(
+        self,
+        store: MassStore,
+        child: Operator | None,
+        guard: "QueryGuard | None" = None,
+    ):
+        super().__init__(store, guard)
         self.child = child
 
     def reset(self, context: FlexKey | None) -> None:
@@ -418,6 +464,8 @@ class RootOperator(Operator):
             self.child.reset(context)
 
     def next_tuple(self) -> FlexKey | None:
+        if self.guard is not None:
+            self.guard.checkpoint()
         if self.child is None or self.state is OperatorState.OUT_OF_TUPLES:
             self.state = OperatorState.OUT_OF_TUPLES
             return None
@@ -495,7 +543,7 @@ class CompiledPredicate:
         self.stop_after = None if self.uses_last else _position_stop_bound(expr)
 
     def _keep(self, store: MassStore, key: FlexKey, position: int, last) -> bool:
-        context = EvalContext(store, key, position, last)
+        context = EvalContext(store, key, position, last, guard=self.evaluator.guard)
         value = self.evaluator.evaluate(self.expr, context)
         if isinstance(value, float):
             return float(position) == value
@@ -504,16 +552,23 @@ class CompiledPredicate:
     def filter(
         self, store: MassStore, candidates: Iterator[FlexKey]
     ) -> Iterator[FlexKey]:
+        # Checkpoint per candidate, not per accepted tuple: a predicate
+        # that rejects almost everything must still hit the governor.
+        guard = self.evaluator.guard
         if self.uses_last:
             buffered = list(candidates)
             total = len(buffered)
             for position, key in enumerate(buffered, start=1):
+                if guard is not None:
+                    guard.checkpoint()
                 if self._keep(store, key, position, total):
                     yield key
             return
         position = 0
         for key in candidates:
             position += 1
+            if guard is not None:
+                guard.checkpoint()
             if self._keep(store, key, position, _no_last):
                 yield key
             if self.stop_after is not None and position >= self.stop_after:
@@ -527,8 +582,9 @@ def _no_last() -> int:
 class ExpressionEvaluator:
     """Evaluates predicate-expression trees against an :class:`EvalContext`."""
 
-    def __init__(self, store: MassStore):
+    def __init__(self, store: MassStore, guard: "QueryGuard | None" = None):
         self.store = store
+        self.guard = guard
 
     # -- dispatch -----------------------------------------------------------
 
@@ -552,7 +608,7 @@ class ExpressionEvaluator:
     # -- node sets ------------------------------------------------------------
 
     def _node_set(self, path: PlanNode, context: EvalContext) -> NodeSetValue:
-        operator = build_operators(self.store, path, self)
+        operator = build_operators(self.store, path, self, guard=self.guard)
         key = context.key
 
         def iterate() -> Iterator[FlexKey]:
@@ -829,47 +885,72 @@ def _boolean_pair_compare(op: str, a: bool, b: bool) -> bool:
 
 
 def build_operators(
-    store: MassStore, node: PlanNode, evaluator: "ExpressionEvaluator | None" = None
+    store: MassStore,
+    node: PlanNode,
+    evaluator: "ExpressionEvaluator | None" = None,
+    guard: "QueryGuard | None" = None,
 ) -> Operator:
-    """Instantiate the runtime operator tree for a plan subtree."""
+    """Instantiate the runtime operator tree for a plan subtree.
+
+    The same ``guard`` threads into every operator and into the predicate
+    evaluator, so nested predicate sub-plans are governed too.
+    """
     if evaluator is None:
-        evaluator = ExpressionEvaluator(store)
+        evaluator = ExpressionEvaluator(store, guard)
     predicates = [CompiledPredicate(expr, evaluator) for expr in node.predicates]
     if isinstance(node, RootNode):
         child = (
-            build_operators(store, node.context_child, evaluator)
+            build_operators(store, node.context_child, evaluator, guard)
             if node.context_child is not None
             else None
         )
-        return RootOperator(store, child)
+        return RootOperator(store, child, guard)
     if isinstance(node, StepNode):
         child = (
-            build_operators(store, node.context_child, evaluator)
+            build_operators(store, node.context_child, evaluator, guard)
             if node.context_child is not None
             else None
         )
-        return StepOperator(store, node, child, predicates)
+        return StepOperator(store, node, child, predicates, guard)
     if isinstance(node, ValueStepNode):
-        return ValueStepOperator(store, node.value, predicates, node.text_only)
+        return ValueStepOperator(store, node.value, predicates, node.text_only, guard)
     if isinstance(node, UnionNode):
-        branches = [build_operators(store, branch, evaluator) for branch in node.branches]
-        return UnionOperator(store, branches)
+        branches = [
+            build_operators(store, branch, evaluator, guard)
+            for branch in node.branches
+        ]
+        return UnionOperator(store, branches, guard)
     if isinstance(node, JoinNode):
-        left = build_operators(store, node.left, evaluator)
-        right = build_operators(store, node.right, evaluator)
-        return JoinOperator(store, left, right, node.condition)
+        left = build_operators(store, node.left, evaluator, guard)
+        right = build_operators(store, node.right, evaluator, guard)
+        return JoinOperator(store, left, right, node.condition, guard)
     raise PlanError(f"cannot execute plan node {type(node).__name__}")
 
 
 def execute_plan(
-    plan: QueryPlan, store: MassStore, context: FlexKey | None = None
+    plan: QueryPlan,
+    store: MassStore,
+    context: FlexKey | None = None,
+    guard: "QueryGuard | None" = None,
 ) -> Iterator[FlexKey]:
     """Run a plan, yielding result keys in pipeline order.
 
     ``context`` defaults to the document root — the engine's "dynamic
     setting of context" for the leaf operator of the context path.  An
-    XQuery host would pass other context keys here.
+    XQuery host would pass other context keys here.  A ``guard`` binds to
+    the store (page-budget baseline, deadline start) and tallies every
+    emitted tuple against the result cap.
     """
-    operator = build_operators(store, plan.root)
+    operator = build_operators(store, plan.root, guard=guard)
+    if guard is not None:
+        guard.bind(store)
     operator.reset(context if context is not None else FlexKey.document())
-    return operator.iterate()
+    if guard is None:
+        return operator.iterate()
+    return _governed_iterate(operator, guard)
+
+
+def _governed_iterate(operator: Operator, guard: "QueryGuard") -> Iterator[FlexKey]:
+    for key in operator.iterate():
+        guard.tally_result()
+        yield key

@@ -6,7 +6,10 @@ Commands:
 * ``index``    — parse an XML file and save the MASS store to disk,
 * ``stats``    — show store statistics (node counts, pages, index heights),
 * ``query``    — run an XPath query against an XML file or a saved store,
-  with ``--explain`` for the annotated plan and optimizer trace,
+  with ``--explain`` for the annotated plan and optimizer trace, and
+  ``--timeout`` / ``--max-pages`` / ``--max-results`` resource limits,
+* ``fsck``     — diagnose a saved store file (checksums, record framing)
+  and optionally salvage the valid prefix to a new store,
 * ``bench-hotpath`` — run the hot-path microbenchmarks (byte-encoded vs
   tuple-compared keys) and write ``BENCH_hotpath.json``.
 
@@ -22,7 +25,7 @@ from typing import Sequence
 
 from repro.errors import ReproError
 from repro.mass.loader import load_document
-from repro.mass.persistence import open_store, save_store
+from repro.mass.persistence import fsck_store, open_store, save_store
 from repro.mass.store import MassStore
 from repro.engine.engine import VamanaEngine
 from repro.xmark.generator import XmarkGenerator
@@ -73,7 +76,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.explain:
         print(engine.explain(args.xpath, optimize=not args.no_optimize))
         print()
-    result = engine.evaluate(args.xpath, optimize=not args.no_optimize)
+    result = engine.evaluate(
+        args.xpath,
+        optimize=not args.no_optimize,
+        timeout_ms=args.timeout,
+        max_pages=args.max_pages,
+        max_results=args.max_results,
+    )
     if args.xml:
         for fragment in result.to_xml():
             print(fragment)
@@ -85,6 +94,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"... ({len(result) - limit} more)")
     print(f"-- {result.metrics.describe()}", file=sys.stderr)
     return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    report = fsck_store(args.store)
+    print(report.describe())
+    if args.salvage:
+        try:
+            store = open_store(args.store, recover=True)
+        except ReproError as error:
+            print(f"salvage failed: {error}", file=sys.stderr)
+            return 1
+        size = save_store(store, args.salvage)
+        print(
+            f"salvaged {len(store.node_index)} records "
+            f"({report.dropped_records} dropped) to {args.salvage} "
+            f"({size / 1e6:.2f} MB)"
+        )
+    return 0 if report.ok else 1
 
 
 def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
@@ -147,7 +174,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print result subtrees as XML")
     query.add_argument("--limit", type=int, default=20,
                        help="max result labels to print (0 = all)")
+    query.add_argument("--timeout", type=float, default=None, metavar="MS",
+                       help="abort the query after this many milliseconds")
+    query.add_argument("--max-pages", type=int, default=None, metavar="N",
+                       help="abort after N logical page reads")
+    query.add_argument("--max-results", type=int, default=None, metavar="N",
+                       help="abort after N result tuples")
     query.set_defaults(handler=_cmd_query)
+
+    fsck = commands.add_parser(
+        "fsck", help="check a .mass store file for corruption"
+    )
+    fsck.add_argument("store", help=".mass store file")
+    fsck.add_argument("--salvage", metavar="OUT", default=None,
+                      help="write the recoverable record prefix to OUT")
+    fsck.set_defaults(handler=_cmd_fsck)
 
     bench = commands.add_parser(
         "bench-hotpath",

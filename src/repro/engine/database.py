@@ -74,16 +74,43 @@ class Database:
     # -- queries -------------------------------------------------------------------
 
     def evaluate(
-        self, expression: str, document: str | None = None, optimize: bool = True
-    ) -> dict[str, QueryResult]:
+        self,
+        expression: str,
+        document: str | None = None,
+        optimize: bool = True,
+        timeout_ms: float | None = None,
+        max_pages: int | None = None,
+        max_results: int | None = None,
+        on_error: str = "capture",
+    ) -> "dict[str, QueryResult | ReproError]":
         """Run a query on one document or on every document.
 
-        Returns per-document results keyed by document name.
+        Returns per-document results keyed by document name.  A collection
+        degrades gracefully: a document whose evaluation fails (resource
+        budget, storage fault, …) contributes its :class:`ReproError` as
+        the map value and the remaining documents still run.  Pass
+        ``on_error="raise"`` to fail fast instead; querying one named
+        document always raises.  The optional limits build a fresh
+        :class:`~repro.resilience.QueryGuard` per document, so one slow
+        document cannot consume the whole collection's budget.
         """
+        if on_error not in ("capture", "raise"):
+            raise ValueError(f"on_error must be 'capture' or 'raise', got {on_error!r}")
         names = [document] if document is not None else self.documents()
-        results: dict[str, QueryResult] = {}
+        results: dict[str, QueryResult | ReproError] = {}
         for name in names:
-            results[name] = self.engine(name).evaluate(expression, optimize=optimize)
+            try:
+                results[name] = self.engine(name).evaluate(
+                    expression,
+                    optimize=optimize,
+                    timeout_ms=timeout_ms,
+                    max_pages=max_pages,
+                    max_results=max_results,
+                )
+            except ReproError as error:
+                if document is not None or on_error == "raise":
+                    raise
+                results[name] = error
         return results
 
     def count(

@@ -38,6 +38,7 @@ from repro.cost.estimator import CostEstimator
 from repro.engine.result import ExecutionMetrics, QueryResult
 from repro.optimizer.optimizer import OptimizationTrace, Optimizer
 from repro.optimizer.rules import DEFAULT_RULES, RewriteRule
+from repro.resilience.guard import QueryGuard
 
 
 class VamanaEngine:
@@ -95,7 +96,16 @@ class VamanaEngine:
         self.plan_cache_misses += 1
         default = self.compile(expression)
         if optimize:
-            plan, trace = self.optimize(default)
+            # The optimizer must never kill a query: individual rule
+            # failures are already sandboxed inside the loop, and if the
+            # loop itself dies (estimator bug, pathological plan) we fall
+            # back to the default plan with the failure on the trace.
+            try:
+                plan, trace = self.optimize(default)
+            except Exception as error:  # noqa: BLE001 - deliberate sandbox
+                trace = OptimizationTrace(expression=expression)
+                trace.failure = f"{type(error).__name__}: {error}"
+                plan = default
         else:
             plan, trace = default, None
         if self._plan_cache_size > 0:
@@ -111,11 +121,17 @@ class VamanaEngine:
         plan: QueryPlan,
         context: FlexKey | None = None,
         trace: OptimizationTrace | None = None,
+        guard: QueryGuard | None = None,
     ) -> QueryResult:
-        """Run a plan and collect the result node-set with metrics."""
+        """Run a plan and collect the result node-set with metrics.
+
+        A :class:`QueryGuard` violation propagates as the matching typed
+        :class:`~repro.errors.ExecutionError` subclass; partial results
+        are discarded.
+        """
         before = self.store.io_snapshot()
         started = time.perf_counter()
-        raw_keys = list(execute_plan(plan, self.store, context))
+        raw_keys = list(execute_plan(plan, self.store, context, guard=guard))
         elapsed = time.perf_counter() - started
         keys = dedup_document_order(raw_keys) if plan.root.distinct else raw_keys
         after = self.store.io_snapshot()
@@ -137,12 +153,27 @@ class VamanaEngine:
         expression: str,
         optimize: bool = True,
         context: FlexKey | None = None,
+        timeout_ms: float | None = None,
+        max_pages: int | None = None,
+        max_results: int | None = None,
+        guard: QueryGuard | None = None,
     ) -> QueryResult:
-        """The full pipeline: compile → optimize → execute."""
+        """The full pipeline: compile → optimize → execute.
+
+        ``timeout_ms`` / ``max_pages`` / ``max_results`` build a
+        :class:`QueryGuard` for this call; pass a prebuilt ``guard``
+        instead to share one (e.g. to cancel from another thread).
+        """
+        if guard is None and (
+            timeout_ms is not None or max_pages is not None or max_results is not None
+        ):
+            guard = QueryGuard(
+                timeout_ms=timeout_ms, max_pages=max_pages, max_results=max_results
+            )
         hits_before = self.plan_cache_hits
         misses_before = self.plan_cache_misses
         plan, trace = self.plan(expression, optimize)
-        result = self.execute(plan, context, trace)
+        result = self.execute(plan, context, trace, guard=guard)
         result.metrics.plan_cache_hits = self.plan_cache_hits - hits_before
         result.metrics.plan_cache_misses = self.plan_cache_misses - misses_before
         return result

@@ -67,6 +67,12 @@ class StorageError(ReproError):
     """Raised by the MASS storage layer (pages, buffer pool, B+-trees)."""
 
 
+class TransientStorageError(StorageError):
+    """A storage failure that may succeed on retry (I/O hiccup, injected
+    fault).  :func:`repro.resilience.with_retries` retries exactly these;
+    every other :class:`StorageError` is treated as permanent."""
+
+
 class KeyOrderError(StorageError):
     """Raised when records would be inserted out of FLEX-key order."""
 
@@ -77,6 +83,33 @@ class PlanError(ReproError):
 
 class ExecutionError(ReproError):
     """Raised by the pipelined execution engine at run time."""
+
+
+class QueryTimeoutError(ExecutionError):
+    """A query ran past its wall-clock deadline and was aborted."""
+
+    def __init__(self, timeout_ms: float, elapsed_ms: float | None = None):
+        self.timeout_ms = timeout_ms
+        self.elapsed_ms = elapsed_ms
+        detail = f" after {elapsed_ms:.0f} ms" if elapsed_ms is not None else ""
+        super().__init__(f"query exceeded its {timeout_ms:.0f} ms deadline{detail}")
+
+
+class BudgetExceededError(ExecutionError):
+    """A query exhausted a resource budget (page reads, result rows)."""
+
+    def __init__(self, resource: str, used: int, limit: int):
+        self.resource = resource
+        self.used = used
+        self.limit = limit
+        super().__init__(f"query exceeded its {resource} budget: {used} > {limit}")
+
+
+class QueryCancelledError(ExecutionError):
+    """A query observed its cooperative cancellation flag and stopped."""
+
+    def __init__(self, message: str = "query cancelled"):
+        super().__init__(message)
 
 
 class OptimizerError(ReproError):

@@ -76,6 +76,10 @@ class PageManager:
         self.stats = PageStats()
         self._pages: dict[int, Page] = {}
         self._next_id = 1
+        #: Optional :class:`repro.resilience.FaultInjector` consulted on
+        #: every ``get`` (site ``"pages.get"``) — may raise a transient
+        #: error or add latency.  ``None`` costs one attribute check.
+        self.fault_injector = None
 
     def allocate(self, kind: PageKind, payload: Any = None) -> Page:
         page = Page(page_id=self._next_id, kind=kind, payload=payload)
@@ -91,6 +95,8 @@ class PageManager:
         self.stats.freed += 1
 
     def get(self, page_id: int) -> Page:
+        if self.fault_injector is not None:
+            self.fault_injector.on_access("pages.get")
         try:
             return self._pages[page_id]
         except KeyError:
@@ -141,8 +147,16 @@ class BufferPool:
         self.capacity = capacity
         self.stats = BufferStats()
         self._resident: dict[int, None] = {}  # insertion-ordered LRU
+        #: Optional :class:`repro.resilience.FaultInjector` consulted on
+        #: every ``touch`` (site ``"buffer.touch"``).
+        self.fault_injector = None
 
     def touch(self, page: Page) -> None:
+        # The fault fires *before* any counter moves, so an injected
+        # transient failure leaves ``logical_reads == hits + misses``
+        # intact — the governor's page-budget accounting stays exact.
+        if self.fault_injector is not None:
+            self.fault_injector.on_access("buffer.touch")
         self.manager.stats.logical_reads += 1
         if self.capacity == 0:
             self.stats.misses += 1

@@ -5,19 +5,32 @@ same workflow — index once, reopen instantly — with a compact custom
 binary format (no pickle: the format is versioned, endian-stable and
 readable by any implementation).
 
-Layout (little-endian):
+Layout (little-endian), format version 2:
 
 .. code-block:: text
 
     header    magic "MASS" | u16 version | u32 record count | u16 name len
               | document name (utf-8)
     records   per node:
-                u8   kind tag
-                u8   key depth, then per component: u8 part count,
-                     u32 parts...
-                u16  name length  | utf-8 bytes
-                u32  value length | utf-8 bytes
+                u32  payload length
+                payload:
+                  u8   kind tag
+                  u8   key depth, then per component: u8 part count,
+                       u32 parts...
+                  u16  name length  | utf-8 bytes
+                  u32  value length | utf-8 bytes
+                u32  adler32 of the payload
     footer    u32 adler32 of everything after the magic
+
+Version 1 files (no per-record length/checksum framing) are still read.
+The per-record framing is what makes partial recovery possible: after a
+torn write or bit flip, :func:`open_store` with ``recover=True`` salvages
+the longest prefix of intact records and reports what was dropped, and
+:func:`fsck_store` diagnoses a file without building a store.
+
+Writes are crash-safe: :func:`save_store` writes ``path + ".tmp"``,
+flushes and fsyncs it, then atomically renames over ``path`` — a crash
+mid-save never clobbers an existing store.
 
 Indexes are rebuilt via bulk load on open — they are derived data, and
 bulk loading is a single sorted pass (the file stores records in document
@@ -26,18 +39,96 @@ order, which is exactly bulk-load order).
 
 from __future__ import annotations
 
+import os
 import struct
 import zlib
+from dataclasses import dataclass, field
+
 from repro.errors import StorageError
 from repro.mass.flexkey import FlexKey
 from repro.mass.records import NodeKind, NodeRecord
 from repro.mass.store import MassStore
 
 MAGIC = b"MASS"
-VERSION = 1
+VERSION = 2
+#: Magic (4) + fixed header (8) + footer checksum (4): no valid store file
+#: can be smaller, even with an empty document name and zero records.
+MIN_FILE_BYTES = 16
 
 _KIND_TAGS = {kind: index for index, kind in enumerate(NodeKind)}
 _KINDS_BY_TAG = {index: kind for kind, index in _KIND_TAGS.items()}
+
+#: Exceptions a garbled byte stream can raise while decoding; they are
+#: translated into :class:`StorageError` with the failing record index.
+_DECODE_ERRORS = (struct.error, IndexError, ValueError, UnicodeDecodeError)
+
+
+# -- encoding -----------------------------------------------------------------
+
+
+def _encode_record(record: NodeRecord) -> bytes:
+    chunks = [struct.pack("<BB", _KIND_TAGS[record.kind], record.key.depth)]
+    for component in record.key.components:
+        chunks.append(struct.pack("<B", len(component)))
+        chunks.append(struct.pack(f"<{len(component)}I", *component))
+    record_name = record.name.encode("utf-8")
+    record_value = record.value.encode("utf-8")
+    chunks.append(struct.pack("<H", len(record_name)))
+    chunks.append(record_name)
+    chunks.append(struct.pack("<I", len(record_value)))
+    chunks.append(record_value)
+    return b"".join(chunks)
+
+
+def save_store(store: MassStore, path: str, fault_injector=None) -> int:
+    """Write the store to ``path`` atomically; returns bytes written.
+
+    The bytes land in ``path + ".tmp"`` first and are fsynced before an
+    atomic rename replaces ``path``, so a crash (or an injected fault at
+    site ``"persistence.save"``) leaves any existing store untouched.
+    I/O failures raise :class:`StorageError` chained on the ``OSError``.
+    """
+    records = list(store.node_index.scan(None, None))
+    name_bytes = store.name.encode("utf-8")
+    body: list[bytes] = [
+        struct.pack("<HIH", VERSION, len(records), len(name_bytes)),
+        name_bytes,
+    ]
+    for record in records:
+        payload = _encode_record(record)
+        body.append(struct.pack("<I", len(payload)))
+        body.append(payload)
+        body.append(struct.pack("<I", zlib.adler32(payload)))
+    blob = b"".join(body)
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "wb") as out:
+            out.write(MAGIC)
+            out.write(blob)
+            out.write(struct.pack("<I", zlib.adler32(blob)))
+            out.flush()
+            os.fsync(out.fileno())
+            written = out.tell()
+            if fault_injector is not None:
+                fault_injector.maybe_fail("persistence.save")
+        os.replace(tmp_path, path)
+    except OSError as error:
+        _remove_quietly(tmp_path)
+        raise StorageError(f"{path}: save failed: {error}") from error
+    except BaseException:
+        _remove_quietly(tmp_path)
+        raise
+    return written
+
+
+def _remove_quietly(path: str) -> None:
+    try:
+        os.remove(path)
+    except OSError:
+        pass
+
+
+# -- decoding -----------------------------------------------------------------
 
 
 def _read_key(data: memoryview, offset: int) -> tuple[FlexKey, int]:
@@ -53,68 +144,199 @@ def _read_key(data: memoryview, offset: int) -> tuple[FlexKey, int]:
     return FlexKey(tuple(components)), offset
 
 
-def save_store(store: MassStore, path: str) -> int:
-    """Write the store to ``path``; returns bytes written."""
-    records = list(store.node_index.scan(None, None))
-    checksum = zlib.adler32(b"")
-    with open(path, "wb") as out:
-        out.write(MAGIC)
-        body: list[bytes] = []
-        name_bytes = store.name.encode("utf-8")
-        body.append(struct.pack("<HIH", VERSION, len(records), len(name_bytes)))
-        body.append(name_bytes)
-        for record in records:
-            chunks = [struct.pack("<B", _KIND_TAGS[record.kind])]
-            chunks.append(struct.pack("<B", record.key.depth))
-            for component in record.key.components:
-                chunks.append(struct.pack("<B", len(component)))
-                chunks.append(struct.pack(f"<{len(component)}I", *component))
-            record_name = record.name.encode("utf-8")
-            record_value = record.value.encode("utf-8")
-            chunks.append(struct.pack("<H", len(record_name)))
-            chunks.append(record_name)
-            chunks.append(struct.pack("<I", len(record_value)))
-            chunks.append(record_value)
-            body.append(b"".join(chunks))
-        blob = b"".join(body)
-        checksum = zlib.adler32(blob)
-        out.write(blob)
-        out.write(struct.pack("<I", checksum))
-        return out.tell()
+def _decode_record_payload(data: memoryview, offset: int) -> tuple[NodeRecord, int]:
+    """Decode one record at ``offset``; returns (record, next offset)."""
+    kind = _KINDS_BY_TAG.get(data[offset])
+    if kind is None:
+        raise StorageError(f"invalid node kind tag {data[offset]}")
+    offset += 1
+    key, offset = _read_key(data, offset)
+    (name_size,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    name = bytes(data[offset : offset + name_size]).decode("utf-8")
+    offset += name_size
+    (value_size,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    end = offset + value_size
+    if end > len(data):
+        raise StorageError(f"record value runs past end of file ({end} > {len(data)})")
+    value = bytes(data[offset:end]).decode("utf-8")
+    return NodeRecord(key, kind, name=name, value=value), end
 
 
-def open_store(path: str, **store_options) -> MassStore:
-    """Open a store file written by :func:`save_store`."""
-    with open(path, "rb") as handle:
-        raw = handle.read()
-    if len(raw) < 14 or raw[:4] != MAGIC:
-        raise StorageError(f"{path}: not a MASS store file")
+@dataclass
+class FsckReport:
+    """What a store-file scan found (``repro fsck``, ``recover=True``)."""
+
+    path: str
+    version: int = 0
+    document_name: str = ""
+    declared_records: int = 0
+    readable_records: int = 0
+    checksum_ok: bool = False
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def dropped_records(self) -> int:
+        return max(0, self.declared_records - self.readable_records)
+
+    @property
+    def ok(self) -> bool:
+        return self.checksum_ok and not self.errors and self.dropped_records == 0
+
+    def describe(self) -> str:
+        status = "clean" if self.ok else "CORRUPT"
+        lines = [
+            f"{self.path}: {status} "
+            f"(format v{self.version}, document {self.document_name!r})",
+            f"  records: {self.readable_records}/{self.declared_records} readable"
+            + (f", {self.dropped_records} dropped" if self.dropped_records else ""),
+            f"  file checksum: {'ok' if self.checksum_ok else 'MISMATCH'}",
+        ]
+        for error in self.errors:
+            lines.append(f"  error: {error}")
+        return "\n".join(lines)
+
+
+def _scan_records(
+    body: memoryview,
+    offset: int,
+    record_count: int,
+    version: int,
+    path: str,
+    tolerant: bool,
+    report: FsckReport,
+) -> list[NodeRecord]:
+    """Decode up to ``record_count`` records starting at ``offset``.
+
+    Strict mode raises :class:`StorageError` naming the failing record;
+    tolerant mode stops at the first bad record (noting it on the report)
+    and returns the valid prefix — records must also stay in strictly
+    ascending key order, so a corrupt-but-decodable key ends the prefix
+    rather than poisoning the bulk load.
+    """
+    records: list[NodeRecord] = []
+    previous_key: FlexKey | None = None
+    for index in range(record_count):
+        try:
+            if version >= 2:
+                (length,) = struct.unpack_from("<I", body, offset)
+                payload_start = offset + 4
+                payload_end = payload_start + length
+                if payload_end + 4 > len(body):
+                    raise StorageError("record frame runs past end of file")
+                payload = bytes(body[payload_start:payload_end])
+                (stored,) = struct.unpack_from("<I", body, payload_end)
+                if zlib.adler32(payload) != stored:
+                    raise StorageError("record checksum mismatch")
+                record, consumed = _decode_record_payload(memoryview(payload), 0)
+                if consumed != length:
+                    raise StorageError(
+                        f"record payload length mismatch ({consumed} != {length})"
+                    )
+                next_offset = payload_end + 4
+            else:
+                record, next_offset = _decode_record_payload(body, offset)
+            if previous_key is not None and not (previous_key < record.key):
+                raise StorageError("records out of document order")
+        except (StorageError, *_DECODE_ERRORS) as error:
+            message = f"record {index}: {error}"
+            if tolerant:
+                report.errors.append(message)
+                break
+            raise StorageError(f"{path}: {message}") from error
+        records.append(record)
+        previous_key = record.key
+        offset = next_offset
+    report.readable_records = len(records)
+    return records
+
+
+def _scan_file(raw: bytes, path: str, tolerant: bool) -> tuple[list[NodeRecord], FsckReport]:
+    """Shared parse behind :func:`open_store` and :func:`fsck_store`."""
+    report = FsckReport(path=path)
+    if len(raw) < MIN_FILE_BYTES or raw[:4] != MAGIC:
+        message = (
+            f"{path}: not a MASS store file "
+            f"(minimum {MIN_FILE_BYTES} bytes with 'MASS' magic)"
+        )
+        if tolerant:
+            report.errors.append(message)
+            return [], report
+        raise StorageError(message)
     body = memoryview(raw)[4:-4]
     (stored_checksum,) = struct.unpack_from("<I", raw, len(raw) - 4)
-    if zlib.adler32(bytes(body)) != stored_checksum:
+    report.checksum_ok = zlib.adler32(bytes(body)) == stored_checksum
+    if not report.checksum_ok and not tolerant:
         raise StorageError(f"{path}: checksum mismatch (corrupt file)")
     version, record_count, name_length = struct.unpack_from("<HIH", body, 0)
-    if version != VERSION:
-        raise StorageError(f"{path}: unsupported version {version}")
+    report.version = version
+    if version not in (1, VERSION):
+        message = f"{path}: unsupported version {version}"
+        if tolerant:
+            report.errors.append(message)
+            return [], report
+        raise StorageError(message)
+    report.declared_records = record_count
     offset = 8
-    document_name = bytes(body[offset : offset + name_length]).decode("utf-8")
+    try:
+        if offset + name_length > len(body):
+            raise StorageError("document name runs past end of file")
+        document_name = bytes(body[offset : offset + name_length]).decode("utf-8")
+    except (StorageError, *_DECODE_ERRORS) as error:
+        message = f"{path}: bad header: {error}"
+        if tolerant:
+            report.errors.append(message)
+            return [], report
+        raise StorageError(message) from error
+    report.document_name = document_name
     offset += name_length
-    records: list[NodeRecord] = []
-    for _ in range(record_count):
-        kind = _KINDS_BY_TAG.get(body[offset])
-        if kind is None:
-            raise StorageError(f"{path}: invalid node kind tag {body[offset]}")
-        offset += 1
-        key, offset = _read_key(body, offset)
-        (name_size,) = struct.unpack_from("<H", body, offset)
-        offset += 2
-        name = bytes(body[offset : offset + name_size]).decode("utf-8")
-        offset += name_size
-        (value_size,) = struct.unpack_from("<I", body, offset)
-        offset += 4
-        value = bytes(body[offset : offset + value_size]).decode("utf-8")
-        offset += value_size
-        records.append(NodeRecord(key, kind, name=name, value=value))
-    store = MassStore(name=document_name, **store_options)
+    records = _scan_records(
+        body, offset, record_count, version, path, tolerant, report
+    )
+    return records, report
+
+
+def open_store(
+    path: str, recover: bool = False, fault_injector=None, **store_options
+) -> MassStore:
+    """Open a store file written by :func:`save_store` (v1 or v2).
+
+    With ``recover=False`` (the default) any corruption — bad magic,
+    checksum mismatch, undecodable record — raises :class:`StorageError`
+    naming the failing record.  With ``recover=True`` the longest valid
+    record prefix is salvaged instead and the resulting store carries the
+    scan's :class:`FsckReport` as ``store.recovery_report`` (``None`` on a
+    normal open), including what was dropped.
+    """
+    if fault_injector is not None:
+        fault_injector.maybe_fail("persistence.open")
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as error:
+        raise StorageError(f"{path}: cannot read store: {error}") from error
+    records, report = _scan_file(raw, path, tolerant=recover)
+    if recover and not report.document_name and report.errors:
+        # Header damage beyond salvage: nothing to build a store from.
+        raise StorageError(f"{path}: unrecoverable: {report.errors[0]}")
+    store = MassStore(name=report.document_name, **store_options)
     store.bulk_load(records)
+    store.recovery_report = report if recover else None
     return store
+
+
+def fsck_store(path: str) -> FsckReport:
+    """Diagnose a store file without building a store.
+
+    Never raises on corruption — every problem lands in the report —
+    only on an unreadable file (:class:`StorageError` chained on the
+    ``OSError``).
+    """
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as error:
+        raise StorageError(f"{path}: cannot read store: {error}") from error
+    _records, report = _scan_file(raw, path, tolerant=True)
+    return report

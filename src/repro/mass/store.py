@@ -31,6 +31,10 @@ from repro.model import Axis, NodeTest, NodeTestKind
 class MassStore:
     """An indexed XML document: three counted B+-trees over FLEX keys."""
 
+    #: Set by :func:`repro.mass.persistence.open_store` when the store was
+    #: opened with ``recover=True`` — the salvage scan's ``FsckReport``.
+    recovery_report = None
+
     def __init__(
         self,
         name: str = "document",

@@ -53,6 +53,12 @@ class OptimizationTrace:
     elapsed_seconds: float = 0.0
     rules_considered: int = 0
     rules_rejected: int = 0
+    #: Sandboxed rule failures ("rule on operator: error"); the rule was
+    #: skipped and optimization continued with the remaining rules.
+    rule_failures: list[str] = field(default_factory=list)
+    #: Set when the whole optimization pass died and the engine fell back
+    #: to the default plan.
+    failure: str | None = None
 
     @property
     def improved(self) -> bool:
@@ -65,13 +71,17 @@ class OptimizationTrace:
             f"cost {self.initial_cost} -> {self.final_cost}; "
             f"{self.elapsed_seconds * 1000:.2f} ms",
         ]
+        if self.failure is not None:
+            lines.append(f"  FAILED ({self.failure}); default plan used")
         for entry in self.entries:
             lines.append(
                 f"  [{entry.iteration}] {entry.rule} on {entry.operator}: "
                 f"{entry.cost_before} -> {entry.cost_after}"
             )
-        if not self.entries:
+        if not self.entries and self.failure is None:
             lines.append("  (no transformation improved the plan)")
+        for failed in self.rule_failures:
+            lines.append(f"  skipped failing rule: {failed}")
         return "\n".join(lines)
 
 
@@ -120,17 +130,35 @@ class Optimizer:
         ordered = self.estimator.ordered_list(plan)
         for entry in ordered:
             for rule in self.rules:
-                if not rule.matches(plan, entry.node):
+                # A buggy rewrite rule must not kill the query: any
+                # exception from matching or applying it is logged on the
+                # trace and the rule is skipped — the plan under
+                # optimization is never the clone the rule corrupted.
+                try:
+                    if not rule.matches(plan, entry.node):
+                        continue
+                except Exception as error:  # noqa: BLE001 - deliberate sandbox
+                    trace.rule_failures.append(
+                        f"{rule.name} matching {entry.node.describe()}: "
+                        f"{type(error).__name__}: {error}"
+                    )
                     continue
                 trace.rules_considered += 1
                 candidate = plan.clone()
                 target = find_by_id(candidate, entry.node.op_id)
                 if target is None:
                     continue
-                rule.apply(candidate, target)
-                cleanup_plan(candidate)
-                self.estimator.estimate(candidate)
-                candidate_cost = plan_cost(candidate)
+                try:
+                    rule.apply(candidate, target)
+                    cleanup_plan(candidate)
+                    self.estimator.estimate(candidate)
+                    candidate_cost = plan_cost(candidate)
+                except Exception as error:  # noqa: BLE001 - deliberate sandbox
+                    trace.rule_failures.append(
+                        f"{rule.name} on {entry.node.describe()}: "
+                        f"{type(error).__name__}: {error}"
+                    )
+                    continue
                 if candidate_cost >= current_cost:
                     trace.rules_rejected += 1
                     continue

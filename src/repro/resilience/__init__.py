@@ -1,0 +1,39 @@
+"""``repro.resilience`` — the operational robustness layer.
+
+Three legs, cross-cutting the whole engine:
+
+* :class:`QueryGuard` — per-query wall-clock deadline, page-read budget,
+  result-cardinality cap and cooperative cancellation, checkpointed in
+  every pipelined operator (`repro.algebra.execution`);
+* :class:`FaultInjector` — seeded, deterministic fault/latency injection
+  at the buffer-pool, page-manager and persistence sites, plus byte
+  corruption helpers for store files;
+* :func:`with_retries` — bounded exponential-backoff retry used around
+  store save/open.
+
+See ``DESIGN.md`` § "Resilience & operational limits".
+"""
+
+from repro.resilience.guard import QueryGuard
+from repro.resilience.faults import (
+    FaultInjector,
+    corrupt_bytes,
+    corrupt_file,
+    truncate_file,
+)
+from repro.resilience.retry import (
+    open_store_with_retries,
+    save_store_with_retries,
+    with_retries,
+)
+
+__all__ = [
+    "QueryGuard",
+    "FaultInjector",
+    "corrupt_bytes",
+    "corrupt_file",
+    "truncate_file",
+    "with_retries",
+    "save_store_with_retries",
+    "open_store_with_retries",
+]

@@ -1,0 +1,165 @@
+"""Deterministic fault injection for storage and persistence paths.
+
+A :class:`FaultInjector` is a seeded random source that the storage layer
+consults at well-known *sites*:
+
+* ``buffer.touch``     — every :meth:`repro.mass.pages.BufferPool.touch`,
+* ``pages.get``        — every :meth:`repro.mass.pages.PageManager.get`,
+* ``persistence.save`` — inside :func:`repro.mass.persistence.save_store`,
+  after the temporary file is written but before the atomic rename (a
+  simulated crash mid-save),
+* ``persistence.open`` — at the top of
+  :func:`repro.mass.persistence.open_store`.
+
+Each site can fail with its own probability (raising
+:class:`~repro.errors.TransientStorageError`) and/or add latency through
+an injectable sleep.  Identical seeds produce identical failure schedules,
+so every resilience test is reproducible bit-for-bit.
+
+Byte-corruption helpers live here too: they flip bytes at chosen (or
+seeded-random) offsets in a persisted store file, which the persistence
+tests use to exercise checksum detection and ``recover=True`` salvage.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from collections import Counter
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import StorageError, TransientStorageError
+
+
+def corrupt_bytes(data: bytes, offsets: Iterable[int], xor_mask: int = 0xFF) -> bytes:
+    """Return ``data`` with the byte at each offset XOR-flipped."""
+    blob = bytearray(data)
+    for offset in offsets:
+        if not 0 <= offset < len(blob):
+            raise ValueError(f"offset {offset} outside 0..{len(blob) - 1}")
+        blob[offset] ^= xor_mask
+    return bytes(blob)
+
+
+def corrupt_file(path: str, offsets: Sequence[int], xor_mask: int = 0xFF) -> list[int]:
+    """Flip bytes in place at ``offsets``; returns the offsets touched."""
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        flipped = corrupt_bytes(blob, offsets, xor_mask)
+        with open(path, "wb") as handle:
+            handle.write(flipped)
+    except OSError as error:
+        raise StorageError(f"{path}: cannot corrupt file: {error}") from error
+    return list(offsets)
+
+
+def truncate_file(path: str, size: int) -> int:
+    """Cut the file down to ``size`` bytes (a simulated torn write)."""
+    try:
+        os.truncate(path, size)
+    except OSError as error:
+        raise StorageError(f"{path}: cannot truncate file: {error}") from error
+    return size
+
+
+class FaultInjector:
+    """Seeded, per-site fault and latency injection.
+
+    ``rates`` maps a site name to a failure probability in [0, 1];
+    ``default_rate`` applies to sites not listed.  ``max_failures`` caps
+    the total injected failures (handy for "fail twice, then recover"
+    retry tests).  ``latency_s`` sleeps before every consulted access via
+    the injectable ``sleep`` (pass a stub for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rates: dict[str, float] | None = None,
+        default_rate: float = 0.0,
+        latency_s: float = 0.0,
+        sleep: Callable[[float], None] | None = None,
+        max_failures: int | None = None,
+    ):
+        self.seed = seed
+        self.rates = dict(rates or {})
+        self.default_rate = default_rate
+        self.latency_s = latency_s
+        self.max_failures = max_failures
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._rng = random.Random(seed)
+        #: Per-site counters: how often each site was consulted / failed.
+        self.accesses: Counter[str] = Counter()
+        self.failures: Counter[str] = Counter()
+        self.delays = 0
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, store) -> "FaultInjector":
+        """Install on a store's buffer pool and page manager."""
+        store.buffer.fault_injector = self
+        store.pages.fault_injector = self
+        return self
+
+    def detach(self, store) -> None:
+        store.buffer.fault_injector = None
+        store.pages.fault_injector = None
+
+    # -- injection ----------------------------------------------------------
+
+    def rate_for(self, site: str) -> float:
+        return self.rates.get(site, self.default_rate)
+
+    def total_failures(self) -> int:
+        return sum(self.failures.values())
+
+    def should_fail(self, site: str) -> bool:
+        rate = self.rate_for(site)
+        if rate <= 0.0:
+            return False
+        if self.max_failures is not None and self.total_failures() >= self.max_failures:
+            return False
+        return self._rng.random() < rate
+
+    def on_access(self, site: str) -> None:
+        """Consulted by an instrumented site; may sleep and/or raise."""
+        self.accesses[site] += 1
+        if self.latency_s > 0.0:
+            self.delays += 1
+            self._sleep(self.latency_s)
+        if self.should_fail(site):
+            self.failures[site] += 1
+            raise TransientStorageError(
+                f"injected fault at {site} (access {self.accesses[site]})"
+            )
+
+    # ``maybe_fail`` reads better at call sites that only ever fail.
+    maybe_fail = on_access
+
+    # -- corruption ---------------------------------------------------------
+
+    def corrupt_store_file(
+        self, path: str, count: int = 1, lo: int = 4, hi: int | None = None
+    ) -> list[int]:
+        """Flip ``count`` seeded-random bytes of ``path`` within [lo, hi).
+
+        ``lo`` defaults past the magic so the file still *looks* like a
+        store — the interesting corruption is in the body, where only the
+        checksums can catch it.
+        """
+        size = os.path.getsize(path)
+        upper = size if hi is None else min(hi, size)
+        if upper <= lo:
+            raise ValueError(f"empty corruption window [{lo}, {upper})")
+        offsets = sorted(
+            self._rng.sample(range(lo, upper), min(count, upper - lo))
+        )
+        return corrupt_file(path, offsets)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector seed={self.seed} rates={self.rates!r} "
+            f"failures={self.total_failures()}>"
+        )

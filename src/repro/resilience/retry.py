@@ -1,0 +1,75 @@
+"""Bounded retries with exponential backoff.
+
+Transient storage faults (see :class:`~repro.errors.TransientStorageError`)
+deserve a retry; everything else is permanent and propagates immediately.
+The sleep function is injectable so tests assert the exact backoff
+schedule without waiting on a real clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+from repro.errors import TransientStorageError
+
+T = TypeVar("T")
+
+
+def with_retries(
+    fn: Callable[[], T],
+    attempts: int = 3,
+    base_delay: float = 0.01,
+    multiplier: float = 2.0,
+    max_delay: float = 1.0,
+    retry_on: tuple[type[BaseException], ...] = (TransientStorageError,),
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` up to ``attempts`` times, backing off exponentially.
+
+    Delay before retry *k* (1-based) is ``min(base_delay * multiplier**(k-1),
+    max_delay)``.  The final failure re-raises the original exception.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    for attempt in range(1, attempts + 1):
+        try:
+            return fn()
+        except retry_on:
+            if attempt == attempts:
+                raise
+            sleep(min(base_delay * multiplier ** (attempt - 1), max_delay))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def save_store_with_retries(store, path: str, **retry_options) -> int:
+    """:func:`repro.mass.persistence.save_store` under :func:`with_retries`.
+
+    ``fault_injector`` (if given) is forwarded to ``save_store`` so an
+    injected mid-save crash exercises the retry loop; remaining keyword
+    arguments parameterize :func:`with_retries`.
+    """
+    from repro.mass.persistence import save_store
+
+    fault_injector = retry_options.pop("fault_injector", None)
+    return with_retries(
+        lambda: save_store(store, path, fault_injector=fault_injector),
+        **retry_options,
+    )
+
+
+def open_store_with_retries(path: str, **options):
+    """:func:`repro.mass.persistence.open_store` under :func:`with_retries`.
+
+    Retry parameters (``attempts``, ``base_delay``, ``multiplier``,
+    ``max_delay``, ``sleep``) are peeled off; everything else goes to
+    ``open_store`` (``recover``, ``fault_injector``, store options).
+    """
+    from repro.mass.persistence import open_store
+
+    retry_options = {
+        name: options.pop(name)
+        for name in ("attempts", "base_delay", "multiplier", "max_delay", "sleep")
+        if name in options
+    }
+    return with_retries(lambda: open_store(path, **options), **retry_options)

@@ -1,0 +1,90 @@
+"""PageStats/BufferStats consistency under faults and eviction.
+
+The query governor charges its page budget against
+``PageStats.logical_reads``; these regressions pin the invariant the
+accounting relies on — every counted logical read is classified as
+exactly one hit or miss, even when fault injection aborts touches and
+``evict_all`` empties pools of any capacity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransientStorageError
+from repro.mass.loader import load_xml
+from repro.mass.pages import BufferPool, PageKind, PageManager
+from repro.resilience import FaultInjector
+
+
+def _assert_consistent(pool: BufferPool) -> None:
+    stats = pool.manager.stats
+    assert stats.logical_reads == pool.stats.hits + pool.stats.misses
+    assert stats.physical_reads == pool.stats.misses
+
+
+def _hammer(pool: BufferPool, pages, rounds: int) -> int:
+    faults = 0
+    for round_index in range(rounds):
+        for page in pages:
+            try:
+                pool.touch(page)
+            except TransientStorageError:
+                faults += 1
+        if round_index == rounds // 2:
+            pool.evict_all()
+    return faults
+
+
+@pytest.mark.parametrize("capacity", [0, None, 4])
+def test_invariant_under_faults_and_eviction(capacity):
+    manager = PageManager(1024)
+    pool = BufferPool(manager, capacity=capacity)
+    pages = [manager.allocate(PageKind.LEAF) for _ in range(8)]
+    FaultInjector(seed=13, rates={"buffer.touch": 0.3}).attach(
+        type("S", (), {"buffer": pool, "pages": manager})()
+    )
+    faults = _hammer(pool, pages, rounds=20)
+    assert faults > 0  # the 0.3 rate genuinely fired
+    _assert_consistent(pool)
+    # An aborted touch must charge nothing anywhere.
+    accesses = pool.stats.hits + pool.stats.misses
+    assert accesses + faults == 20 * len(pages)
+
+
+@pytest.mark.parametrize("capacity", [0, None])
+def test_evict_all_on_degenerate_capacities(capacity):
+    manager = PageManager(1024)
+    pool = BufferPool(manager, capacity=capacity)
+    pages = [manager.allocate(PageKind.LEAF) for _ in range(4)]
+    for page in pages:
+        pool.touch(page)
+    pool.evict_all()
+    assert pool.resident_pages == 0
+    for page in pages:
+        pool.touch(page)
+    _assert_consistent(pool)
+    if capacity == 0:
+        assert pool.stats.hits == 0  # cold-cache accounting: all misses
+
+
+def test_store_counters_consistent_after_faulted_queries():
+    from repro.engine.engine import VamanaEngine
+
+    store = load_xml(
+        "<site>" + "".join(f"<p><n>x{i}</n></p>" for i in range(50)) + "</site>"
+    )
+    engine = VamanaEngine(store)
+    injector = FaultInjector(seed=21, rates={"buffer.touch": 0.05}).attach(store)
+    failures = 0
+    for _ in range(10):
+        try:
+            engine.evaluate("//p/n")
+        except TransientStorageError:
+            failures += 1
+    injector.detach(store)
+    assert failures > 0
+    stats = store.pages.stats
+    assert stats.logical_reads == store.buffer.stats.hits + store.buffer.stats.misses
+    # And the store still answers correctly once faults stop.
+    assert len(engine.evaluate("//p/n")) == 50

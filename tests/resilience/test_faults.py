@@ -1,0 +1,178 @@
+"""FaultInjector determinism and the retry/backoff helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError, TransientStorageError
+from repro.mass.loader import load_xml
+from repro.mass.persistence import open_store, save_store
+from repro.resilience import (
+    FaultInjector,
+    open_store_with_retries,
+    save_store_with_retries,
+    with_retries,
+)
+
+DOC = "<site><person><name>Ada</name></person></site>"
+
+
+def _failure_schedule(injector: FaultInjector, site: str, accesses: int) -> list[int]:
+    failed = []
+    for index in range(accesses):
+        try:
+            injector.on_access(site)
+        except TransientStorageError:
+            failed.append(index)
+    return failed
+
+
+class TestInjector:
+    def test_same_seed_same_schedule(self):
+        first = _failure_schedule(
+            FaultInjector(seed=11, rates={"s": 0.3}), "s", 200
+        )
+        second = _failure_schedule(
+            FaultInjector(seed=11, rates={"s": 0.3}), "s", 200
+        )
+        assert first == second
+        assert first  # the 0.3 rate actually fired
+
+    def test_different_seed_different_schedule(self):
+        first = _failure_schedule(FaultInjector(seed=1, rates={"s": 0.3}), "s", 200)
+        second = _failure_schedule(FaultInjector(seed=2, rates={"s": 0.3}), "s", 200)
+        assert first != second
+
+    def test_zero_rate_never_fires(self):
+        injector = FaultInjector(seed=3)
+        assert _failure_schedule(injector, "s", 100) == []
+        assert injector.accesses["s"] == 100
+
+    def test_max_failures_cap(self):
+        injector = FaultInjector(seed=5, rates={"s": 1.0}, max_failures=2)
+        failed = _failure_schedule(injector, "s", 10)
+        assert failed == [0, 1]
+        assert injector.total_failures() == 2
+
+    def test_per_site_rates(self):
+        injector = FaultInjector(seed=5, rates={"fails": 1.0})
+        injector.on_access("clean")  # default rate 0.0
+        with pytest.raises(TransientStorageError):
+            injector.on_access("fails")
+        assert injector.failures["fails"] == 1
+        assert injector.failures["clean"] == 0
+
+    def test_latency_injection_uses_injectable_sleep(self):
+        slept = []
+        injector = FaultInjector(seed=5, latency_s=0.25, sleep=slept.append)
+        for _ in range(4):
+            injector.on_access("s")
+        assert slept == [0.25] * 4
+        assert injector.delays == 4
+
+    def test_attach_detach(self):
+        store = load_xml(DOC)
+        injector = FaultInjector(seed=9, rates={"buffer.touch": 1.0}).attach(store)
+        assert store.buffer.fault_injector is injector
+        assert store.pages.fault_injector is injector
+        injector.detach(store)
+        assert store.buffer.fault_injector is None
+        assert store.pages.fault_injector is None
+
+
+class TestWithRetries:
+    def test_success_after_transient_failures(self):
+        attempts = []
+        slept = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientStorageError("hiccup")
+            return "done"
+
+        assert with_retries(flaky, attempts=4, base_delay=0.01, sleep=slept.append) == "done"
+        assert len(attempts) == 3
+        assert slept == [0.01, 0.02]  # exponential: base, base*2
+
+    def test_exhausted_attempts_reraise(self):
+        slept = []
+
+        def always_fails():
+            raise TransientStorageError("down")
+
+        with pytest.raises(TransientStorageError):
+            with_retries(always_fails, attempts=3, base_delay=0.5, sleep=slept.append)
+        assert slept == [0.5, 1.0]
+
+    def test_max_delay_clamps_backoff(self):
+        slept = []
+
+        def always_fails():
+            raise TransientStorageError("down")
+
+        with pytest.raises(TransientStorageError):
+            with_retries(
+                always_fails,
+                attempts=5,
+                base_delay=0.1,
+                multiplier=10.0,
+                max_delay=0.3,
+                sleep=slept.append,
+            )
+        assert slept == [0.1, 0.3, 0.3, 0.3]
+
+    def test_permanent_errors_not_retried(self):
+        calls = []
+
+        def permanent():
+            calls.append(1)
+            raise StorageError("broken format")
+
+        with pytest.raises(StorageError):
+            with_retries(permanent, attempts=5, sleep=lambda _s: None)
+        assert len(calls) == 1
+
+    def test_invalid_attempts(self):
+        with pytest.raises(ValueError):
+            with_retries(lambda: None, attempts=0)
+
+
+class TestPersistenceRetryWrappers:
+    def test_open_retries_past_transient_faults(self, tmp_path):
+        path = str(tmp_path / "doc.mass")
+        save_store(load_xml(DOC), path)
+        injector = FaultInjector(
+            seed=1, rates={"persistence.open": 1.0}, max_failures=2
+        )
+        slept = []
+        store = open_store_with_retries(
+            path, attempts=3, base_delay=0.01, sleep=slept.append,
+            fault_injector=injector,
+        )
+        assert len(store.node_index) == 5
+        assert injector.failures["persistence.open"] == 2
+        assert slept == [0.01, 0.02]
+
+    def test_open_gives_up_after_attempts(self, tmp_path):
+        path = str(tmp_path / "doc.mass")
+        save_store(load_xml(DOC), path)
+        injector = FaultInjector(seed=1, rates={"persistence.open": 1.0})
+        with pytest.raises(TransientStorageError):
+            open_store_with_retries(
+                path, attempts=2, sleep=lambda _s: None, fault_injector=injector
+            )
+        assert injector.failures["persistence.open"] == 2
+
+    def test_save_retries_mid_save_crash(self, tmp_path):
+        path = str(tmp_path / "doc.mass")
+        store = load_xml(DOC)
+        injector = FaultInjector(
+            seed=1, rates={"persistence.save": 1.0}, max_failures=1
+        )
+        written = save_store_with_retries(
+            store, path, attempts=2, sleep=lambda _s: None, fault_injector=injector
+        )
+        assert written > 0
+        assert injector.failures["persistence.save"] == 1
+        assert len(open_store(path).node_index) == 5

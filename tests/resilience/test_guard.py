@@ -1,0 +1,206 @@
+"""QueryGuard: deadlines, budgets, cancellation, graceful degradation."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.engine import VamanaEngine
+from repro.errors import (
+    BudgetExceededError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ReproError,
+    TransientStorageError,
+)
+from repro.optimizer.rules import DEFAULT_RULES
+from repro.optimizer.rules.base import RewriteRule
+from repro.resilience import FaultInjector, QueryGuard
+
+
+class SteppingClock:
+    """A fake monotonic clock advancing a fixed step per reading."""
+
+    def __init__(self, step: float = 0.05):
+        self.step = step
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class TestGuardUnit:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryGuard(timeout_ms=0)
+        with pytest.raises(ValueError):
+            QueryGuard(max_pages=-1)
+        with pytest.raises(ValueError):
+            QueryGuard(max_results=-1)
+
+    def test_unlimited_guard_never_trips(self, small_store):
+        guard = QueryGuard().bind(small_store)
+        for _ in range(1000):
+            guard.checkpoint()
+            guard.tally_result()
+        assert guard.results_used() == 1000
+
+    def test_deterministic_timeout(self, small_store):
+        # 50 ms per clock reading against a 100 ms deadline: the guard
+        # must trip within the first few checkpoints, no real time needed.
+        guard = QueryGuard(timeout_ms=100, clock=SteppingClock(0.05))
+        guard.bind(small_store)
+        with pytest.raises(QueryTimeoutError) as excinfo:
+            for _ in range(10):
+                guard.checkpoint()
+        assert excinfo.value.timeout_ms == 100
+        assert guard.checkpoints <= 3
+
+    def test_page_budget_charges_only_this_query(self, small_store):
+        engine = VamanaEngine(small_store)
+        engine.evaluate("//person/name")  # unguarded warm-up reads pages
+        guard = QueryGuard(max_pages=0).bind(small_store)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            engine.execute(engine.plan("//person/name")[0], guard=guard)
+        assert excinfo.value.resource == "page-read"
+        assert excinfo.value.used > 0
+
+    def test_cancellation(self, small_store):
+        engine = VamanaEngine(small_store)
+        guard = QueryGuard()
+        guard.cancel()
+        assert guard.cancelled
+        with pytest.raises(QueryCancelledError):
+            engine.evaluate("//person", guard=guard)
+
+
+class TestEngineLimits:
+    def test_max_results_cap(self, small_store):
+        engine = VamanaEngine(small_store)
+        assert len(engine.evaluate("//person", max_results=3)) == 3
+        with pytest.raises(BudgetExceededError) as excinfo:
+            engine.evaluate("//person", max_results=2)
+        assert excinfo.value.resource == "result"
+
+    def test_generous_limits_do_not_change_results(self, small_store):
+        engine = VamanaEngine(small_store)
+        plain = engine.evaluate("//person/name")
+        guarded = engine.evaluate(
+            "//person/name", timeout_ms=60_000, max_pages=10_000_000, max_results=10_000
+        )
+        assert plain.keys == guarded.keys
+
+    def test_timeout_on_paper_store_in_bounded_time(self, paper_store):
+        """The acceptance query: pathological self-join on the 10 MB-scale
+        document aborts near its deadline instead of running for minutes."""
+        engine = VamanaEngine(paper_store)
+        started = time.perf_counter()
+        with pytest.raises(QueryTimeoutError):
+            engine.evaluate(
+                "//node()//node()[contains(., 'x')]", timeout_ms=150
+            )
+        elapsed = time.perf_counter() - started
+        assert elapsed < 15.0  # generous CI bound; typically ~0.15 s
+
+    def test_page_budget_on_paper_store(self, paper_store):
+        engine = VamanaEngine(paper_store)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            engine.evaluate("//node()//node()", max_pages=500)
+        assert excinfo.value.resource == "page-read"
+        assert excinfo.value.used <= 500 + 64  # trips promptly, not eventually
+
+    def test_guard_error_is_execution_error(self, small_store):
+        engine = VamanaEngine(small_store)
+        with pytest.raises(ReproError):
+            engine.evaluate("//person", max_results=0)
+
+
+class TestDatabaseDegradation:
+    def test_faulty_document_does_not_sink_collection(self):
+        db = Database()
+        db.add_document("good", "<site><person><name>Ada</name></person></site>")
+        db.add_document("bad", "<site><person><name>Bob</name></person></site>")
+        FaultInjector(seed=7, rates={"buffer.touch": 1.0}).attach(db.store("bad"))
+        results = db.evaluate("//person/name")
+        assert len(results["good"]) == 1
+        assert isinstance(results["bad"], TransientStorageError)
+
+    def test_on_error_raise_fails_fast(self):
+        db = Database()
+        db.add_document("bad", "<site><a/></site>")
+        FaultInjector(seed=7, rates={"buffer.touch": 1.0}).attach(db.store("bad"))
+        with pytest.raises(TransientStorageError):
+            db.evaluate("//a", on_error="raise")
+
+    def test_named_document_always_raises(self):
+        db = Database()
+        db.add_document("bad", "<site><a/></site>")
+        FaultInjector(seed=7, rates={"buffer.touch": 1.0}).attach(db.store("bad"))
+        with pytest.raises(TransientStorageError):
+            db.evaluate("//a", document="bad")
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            Database().evaluate("//a", on_error="ignore")
+
+    def test_per_document_guard_limits(self):
+        db = Database()
+        db.add_document("east", "<site><p><n>1</n></p></site>")
+        db.add_document("west", "<site><p><n>2</n></p><p><n>3</n></p></site>")
+        results = db.evaluate("//p", max_results=1)
+        assert isinstance(results["west"], BudgetExceededError)
+        assert len(results["east"]) == 1
+
+
+class _BoomRule(RewriteRule):
+    name = "boom"
+
+    def matches(self, plan, node):
+        return True
+
+    def apply(self, plan, node):
+        raise RuntimeError("kaboom")
+
+
+class _BoomMatchRule(RewriteRule):
+    name = "boom-match"
+
+    def matches(self, plan, node):
+        raise ValueError("bad matcher")
+
+    def apply(self, plan, node):  # pragma: no cover - never reached
+        raise AssertionError
+
+
+class TestOptimizerSandbox:
+    def test_failing_apply_is_skipped_and_logged(self, small_store):
+        engine = VamanaEngine(small_store, rules=(_BoomRule(), *DEFAULT_RULES))
+        result = engine.evaluate("//person/name")
+        baseline = VamanaEngine(small_store).evaluate("//person/name")
+        assert result.keys == baseline.keys
+        assert result.trace is not None
+        assert any("boom" in failed for failed in result.trace.rule_failures)
+        assert "skipped failing rule" in result.trace.describe()
+
+    def test_failing_matcher_is_skipped_and_logged(self, small_store):
+        engine = VamanaEngine(small_store, rules=(_BoomMatchRule(), *DEFAULT_RULES))
+        result = engine.evaluate("//person")
+        assert result.trace is not None
+        assert any("boom-match" in failed for failed in result.trace.rule_failures)
+
+    def test_optimizer_crash_falls_back_to_default_plan(self, small_store, monkeypatch):
+        engine = VamanaEngine(small_store)
+
+        def explode(plan):
+            raise RuntimeError("optimizer meltdown")
+
+        monkeypatch.setattr(engine.optimizer, "optimize", explode)
+        result = engine.evaluate("//person/name")
+        baseline = VamanaEngine(small_store).evaluate("//person/name", optimize=False)
+        assert result.keys == baseline.keys
+        assert result.trace.failure is not None
+        assert "meltdown" in result.trace.failure
+        assert "FAILED" in result.trace.describe()

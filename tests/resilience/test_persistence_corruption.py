@@ -1,0 +1,260 @@
+"""Persistence under corruption: detection matrix, atomic save, salvage."""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.cli import main
+from repro.errors import StorageError, TransientStorageError
+from repro.mass.loader import load_xml
+from repro.mass.persistence import (
+    MAGIC,
+    _encode_record,
+    fsck_store,
+    open_store,
+    save_store,
+)
+from repro.resilience import FaultInjector, corrupt_bytes, corrupt_file, truncate_file
+from repro.xmark.generator import generate_document
+
+
+@pytest.fixture(scope="module")
+def xmark_store_file(tmp_path_factory):
+    """A round-tripped XMark store file reused (copied) per corruption case."""
+    store = load_xml(generate_document(0.002, seed=42), name="xmark-corruption")
+    path = tmp_path_factory.mktemp("stores") / "xmark.mass"
+    save_store(store, str(path))
+    return str(path), len(store.node_index)
+
+
+def _copy(source: str, destination) -> str:
+    with open(source, "rb") as handle:
+        blob = handle.read()
+    destination.write_bytes(blob)
+    return str(destination)
+
+
+def _header_size(path: str) -> int:
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    (_version, _count, name_length) = struct.unpack_from("<HIH", raw, 4)
+    return 4 + 8 + name_length
+
+
+class TestCorruptionMatrix:
+    """Flip bytes region by region; strict open must diagnose every one."""
+
+    def _regions(self, path: str) -> dict[str, int]:
+        size = os.path.getsize(path)
+        header = _header_size(path)
+        return {
+            "magic": 1,
+            "version": 4,
+            "record_count": 7,
+            "name_bytes": 13,  # inside the utf-8 document name
+            "first_record": header + 4 + 1,  # first payload's key bytes
+            "mid_record_values": size // 2,  # deep in the record stream
+            "footer_checksum": size - 2,
+        }
+
+    @pytest.mark.parametrize(
+        "region",
+        [
+            "magic",
+            "version",
+            "record_count",
+            "name_bytes",
+            "first_record",
+            "mid_record_values",
+            "footer_checksum",
+        ],
+    )
+    def test_flip_detected(self, xmark_store_file, tmp_path, region):
+        source, _total = xmark_store_file
+        path = _copy(source, tmp_path / f"{region}.mass")
+        corrupt_file(path, [self._regions(path)[region]])
+        with pytest.raises(StorageError):
+            open_store(path)
+
+    @pytest.mark.parametrize("region", ["first_record", "mid_record_values"])
+    def test_recover_salvages_intact_prefix(self, xmark_store_file, tmp_path, region):
+        source, total = xmark_store_file
+        path = _copy(source, tmp_path / f"recover-{region}.mass")
+        offset = self._regions(path)[region]
+        corrupt_file(path, [offset])
+        store = open_store(path, recover=True)
+        report = store.recovery_report
+        assert report is not None and not report.ok
+        assert report.declared_records == total
+        assert len(store.node_index) == report.readable_records
+        assert 0 <= report.readable_records < total
+        assert report.dropped_records == total - report.readable_records
+        assert any("record" in error for error in report.errors)
+        # Deep corruption must still leave the long leading prefix usable.
+        if region == "mid_record_values":
+            assert report.readable_records > 0
+
+    def test_recover_footer_only_corruption_keeps_all_records(
+        self, xmark_store_file, tmp_path
+    ):
+        source, total = xmark_store_file
+        path = _copy(source, tmp_path / "footer.mass")
+        corrupt_file(path, [os.path.getsize(path) - 2])
+        store = open_store(path, recover=True)
+        assert len(store.node_index) == total
+        assert not store.recovery_report.checksum_ok
+        assert store.recovery_report.dropped_records == 0
+
+    def test_recover_bad_magic_is_unrecoverable(self, xmark_store_file, tmp_path):
+        source, _total = xmark_store_file
+        path = _copy(source, tmp_path / "magic.mass")
+        corrupt_file(path, [1])
+        with pytest.raises(StorageError, match="unrecoverable"):
+            open_store(path, recover=True)
+
+    def test_seeded_random_corruption_is_deterministic(
+        self, xmark_store_file, tmp_path
+    ):
+        source, _total = xmark_store_file
+        first = _copy(source, tmp_path / "a.mass")
+        second = _copy(source, tmp_path / "b.mass")
+        offsets_a = FaultInjector(seed=77).corrupt_store_file(first, count=3)
+        offsets_b = FaultInjector(seed=77).corrupt_store_file(second, count=3)
+        assert offsets_a == offsets_b
+        with open(first, "rb") as fa, open(second, "rb") as fb:
+            assert fa.read() == fb.read()
+
+
+class TestTruncation:
+    def test_minimum_file_size_guard(self, tmp_path):
+        """14- and 15-byte files used to escape as raw struct.error."""
+        for size in (14, 15):
+            path = tmp_path / f"tiny{size}.mass"
+            path.write_bytes(MAGIC + b"\x00" * (size - 4))
+            with pytest.raises(StorageError, match="not a MASS store"):
+                open_store(str(path))
+
+    def test_truncated_record_stream(self, xmark_store_file, tmp_path):
+        source, total = xmark_store_file
+        path = _copy(source, tmp_path / "torn.mass")
+        truncate_file(path, int(os.path.getsize(path) * 0.6))
+        with pytest.raises(StorageError):
+            open_store(path)
+        store = open_store(path, recover=True)
+        assert 0 < len(store.node_index) < total
+
+
+class TestV1Compatibility:
+    @staticmethod
+    def _write_v1(store, path: str) -> None:
+        records = list(store.node_index.scan(None, None))
+        name_bytes = store.name.encode("utf-8")
+        body = [struct.pack("<HIH", 1, len(records), len(name_bytes)), name_bytes]
+        body.extend(_encode_record(record) for record in records)
+        blob = b"".join(body)
+        with open(path, "wb") as out:
+            out.write(MAGIC)
+            out.write(blob)
+            out.write(struct.pack("<I", zlib.adler32(blob)))
+
+    def test_v1_file_still_opens(self, small_store, tmp_path):
+        path = str(tmp_path / "v1.mass")
+        self._write_v1(small_store, path)
+        reopened = open_store(path)
+        assert len(reopened.node_index) == len(small_store.node_index)
+        assert reopened.name == small_store.name
+        assert fsck_store(path).version == 1
+
+    def test_v1_garbled_record_raises_typed_error(self, tmp_path):
+        """A decode failure surfaces as StorageError naming the record,
+        never as a raw struct.error/IndexError (checksum made valid)."""
+        path = tmp_path / "garbled.mass"
+        name = b"doc"
+        # kind tag 0 with an impossible key depth, then nothing behind it.
+        body = struct.pack("<HIH", 1, 1, len(name)) + name + bytes([0, 9])
+        path.write_bytes(MAGIC + body + struct.pack("<I", zlib.adler32(body)))
+        with pytest.raises(StorageError, match="record 0"):
+            open_store(str(path))
+
+    def test_v1_out_of_order_records_rejected(self, small_store, tmp_path):
+        path = str(tmp_path / "v1-order.mass")
+        records = list(small_store.node_index.scan(None, None))
+        name_bytes = small_store.name.encode("utf-8")
+        payloads = [_encode_record(record) for record in records]
+        payloads[1], payloads[2] = payloads[2], payloads[1]
+        body = (
+            struct.pack("<HIH", 1, len(records), len(name_bytes))
+            + name_bytes
+            + b"".join(payloads)
+        )
+        with open(path, "wb") as out:
+            out.write(MAGIC + body + struct.pack("<I", zlib.adler32(body)))
+        with pytest.raises(StorageError, match="order"):
+            open_store(path)
+
+
+class TestAtomicSave:
+    def test_injected_mid_save_crash_leaves_old_store_intact(
+        self, small_store, tmp_path
+    ):
+        path = str(tmp_path / "store.mass")
+        save_store(small_store, path)
+        before = open_store(path)
+
+        bigger = load_xml(generate_document(0.001, seed=1), name="other")
+        injector = FaultInjector(seed=1, rates={"persistence.save": 1.0})
+        with pytest.raises(TransientStorageError):
+            save_store(bigger, path, fault_injector=injector)
+
+        assert not os.path.exists(path + ".tmp")
+        after = open_store(path)
+        assert len(after.node_index) == len(before.node_index)
+        assert after.name == before.name
+
+    def test_os_error_raises_chained_storage_error(self, small_store, tmp_path):
+        target = str(tmp_path / "missing-dir" / "store.mass")
+        with pytest.raises(StorageError, match="save failed") as excinfo:
+            save_store(small_store, target)
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_unreadable_open_raises_storage_error(self, tmp_path):
+        with pytest.raises(StorageError, match="cannot read") as excinfo:
+            open_store(str(tmp_path / "absent.mass"))
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+
+class TestFsck:
+    def test_clean_store(self, xmark_store_file, capsys):
+        path, total = xmark_store_file
+        report = fsck_store(path)
+        assert report.ok
+        assert report.readable_records == total
+        assert main(["fsck", path]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_corrupt_store_nonzero_exit(self, xmark_store_file, tmp_path, capsys):
+        source, _total = xmark_store_file
+        path = _copy(source, tmp_path / "bad.mass")
+        corrupt_file(path, [os.path.getsize(path) // 2])
+        assert main(["fsck", path]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_salvage_writes_reopenable_store(self, xmark_store_file, tmp_path, capsys):
+        source, total = xmark_store_file
+        path = _copy(source, tmp_path / "bad.mass")
+        corrupt_file(path, [os.path.getsize(path) // 2])
+        out_path = str(tmp_path / "salvaged.mass")
+        assert main(["fsck", path, "--salvage", out_path]) == 1
+        assert "salvaged" in capsys.readouterr().out
+        salvaged = open_store(out_path)
+        assert 0 < len(salvaged.node_index) < total
+        assert fsck_store(out_path).ok
+
+    def test_corrupt_bytes_helper_bounds(self):
+        with pytest.raises(ValueError):
+            corrupt_bytes(b"abc", [3])
+        assert corrupt_bytes(b"abc", [0]) == bytes([ord("a") ^ 0xFF]) + b"bc"
