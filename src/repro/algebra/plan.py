@@ -428,6 +428,25 @@ class QueryPlan:
     def operators(self) -> list[PlanBase]:
         return list(self.walk())
 
+    def walk_edges(self) -> Iterator[tuple[PlanBase, PlanBase]]:
+        """Every (parent, child) edge, cycle-safe.
+
+        Unlike :meth:`walk`, this terminates even on malformed plans where
+        a node is shared or a chain loops back on itself: every edge is
+        yielded, but each node is *expanded* at most once.  The static
+        plan verifier relies on this to diagnose aliasing introduced by a
+        buggy rewrite instead of recursing forever.
+        """
+        expanded: set[int] = {id(self.root)}
+        stack: list[PlanBase] = [self.root]
+        while stack:
+            node = stack.pop()
+            for child in node.children():
+                yield node, child
+                if id(child) not in expanded:
+                    expanded.add(id(child))
+                    stack.append(child)
+
     def explain(self, costs: bool = True) -> str:
         """Pretty-print the plan tree with cost annotations."""
         lines: list[str] = []

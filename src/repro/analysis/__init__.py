@@ -1,0 +1,48 @@
+"""Static analysis for VAMANA: plan verification, satisfiability, linting.
+
+Three layers, all ahead of execution:
+
+* :mod:`repro.analysis.plan_verifier` — per-operator property inference
+  (ordering, duplicate-freedom, context dependency, guard threading) and
+  structural invariants over :class:`~repro.algebra.plan.QueryPlan`; the
+  optimizer's rewrite gate.
+* :mod:`repro.analysis.satisfiability` — schema-graph evaluation of a
+  compiled XPath tree; proves queries statically empty so the engine can
+  answer without touching the store.
+* :mod:`repro.analysis.lint` — a stdlib-``ast`` linter for repo-wide
+  conventions (guard checkpointing, exception hygiene, persistence error
+  conversion, injectable clocks); ``python -m repro.analysis.lint``.
+"""
+
+from repro.analysis.plan_verifier import (
+    OperatorProperties,
+    PlanVerifier,
+    describe_properties,
+    infer_properties,
+    verify_plan,
+)
+from repro.analysis.satisfiability import (
+    SatisfiabilityAnalyzer,
+    SatReport,
+    SchemaGraph,
+    analyze,
+    names_only_schema,
+    xmark_schema,
+)
+# NOTE: repro.analysis.lint is intentionally not imported here — it is an
+# executable module (``python -m repro.analysis.lint``), and importing it
+# from the package root would make runpy warn about double execution.
+
+__all__ = [
+    "OperatorProperties",
+    "PlanVerifier",
+    "describe_properties",
+    "infer_properties",
+    "verify_plan",
+    "SatisfiabilityAnalyzer",
+    "SatReport",
+    "SchemaGraph",
+    "analyze",
+    "names_only_schema",
+    "xmark_schema",
+]

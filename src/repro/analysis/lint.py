@@ -1,0 +1,461 @@
+"""Repo-invariant linter: mechanical checks for contracts tests can't see.
+
+Some of this codebase's correctness rules are *conventions* spread across
+many files — exactly the kind of thing a refactor silently breaks and no
+unit test notices.  This linter walks the stdlib :mod:`ast` of every
+module under ``src/repro`` and enforces them:
+
+``VAM001`` **guard checkpoint** — every ``next_tuple`` implementation
+    must call ``.checkpoint()`` (threading the
+    :class:`~repro.resilience.QueryGuard`) before its first ``return`` or
+    ``yield``.  A tuple emitted before the checkpoint escapes the
+    governor's deadline/budget/cancellation checks.  Bodies that only
+    raise (the abstract base) are exempt.
+
+``VAM002`` **no swallowed interrupts** — an ``except Exception`` handler
+    (or broader) must either re-raise (a bare ``raise`` in its body) or be
+    preceded by a sibling handler that re-raises the query-guard errors
+    (``QueryTimeoutError``/``BudgetExceededError``/``QueryCancelledError``,
+    or a base class covering them).  Bare and ``BaseException`` handlers
+    must additionally let ``KeyboardInterrupt`` escape.  Without this, a
+    sandbox "log and continue" site quietly neutralizes the governor.
+
+``VAM003`` **no raw decode errors from persistence** — in
+    ``mass/persistence.py``, every ``struct.unpack``/``struct.unpack_from``
+    /``zlib.decompress``/``zlib.error``-raising call must sit inside a
+    ``try`` that converts decode failures to :class:`StorageError`, and no
+    *public* function may call (transitively, within the module) a helper
+    that leaks one.  Callers are promised ``StorageError`` on a corrupt
+    snapshot, never ``struct.error``.
+
+``VAM004`` **no wall clock in operators** — classes implementing
+    ``next_tuple`` (or named ``*Operator``) must not *call*
+    ``time.time``/``time.monotonic``/``time.perf_counter``; time is
+    injected through the guard's clock so tests and replay stay
+    deterministic.  Referencing a clock as a default argument is fine —
+    only calls are flagged.
+
+Run it as ``python -m repro.analysis.lint src/repro`` (exit status 0 means
+clean, 1 means violations, 2 means bad invocation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from dataclasses import dataclass
+
+GUARD_ERROR_NAMES = frozenset(
+    {"QueryTimeoutError", "BudgetExceededError", "QueryCancelledError"}
+)
+#: Catching any of these re-raises guard errors by subsumption.
+GUARD_ERROR_BASES = frozenset({"ExecutionError", "ReproError"})
+
+WALL_CLOCK_ATTRS = frozenset({"time", "monotonic", "perf_counter", "process_time"})
+
+#: (module, attribute) call pairs that raise decode errors on corrupt input.
+DECODE_CALLS = {
+    ("struct", "unpack"): "struct.error",
+    ("struct", "unpack_from"): "struct.error",
+    ("struct", "calcsize"): "struct.error",
+    ("zlib", "decompress"): "zlib.error",
+}
+
+#: Handler names that cover each decode error family.
+DECODE_COVERS = {
+    "struct.error": frozenset({"error", "Exception", "BaseException", "Error"}),
+    "zlib.error": frozenset({"error", "Exception", "BaseException", "Error"}),
+}
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+# -- shared AST helpers --------------------------------------------------------
+
+
+def _exception_names(node: ast.expr | None) -> set[str]:
+    """The (rightmost) names an ``except`` clause type expression mentions."""
+    if node is None:
+        return {"BaseException"}
+    if isinstance(node, ast.Name):
+        return {node.id}
+    if isinstance(node, ast.Attribute):
+        return {node.attr}
+    if isinstance(node, ast.Tuple):
+        names: set[str] = set()
+        for element in node.elts:
+            names.update(_exception_names(element))
+        return names
+    if isinstance(node, ast.Starred):
+        return _exception_names(node.value)
+    return set()
+
+
+def _has_bare_raise(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+def _function_defs(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+# -- VAM001: guard checkpoint in next_tuple ------------------------------------
+
+
+def _check_guard_checkpoint(path: str, tree: ast.AST) -> list[LintViolation]:
+    violations: list[LintViolation] = []
+    for func in _function_defs(tree):
+        if func.name != "next_tuple":
+            continue
+        first_emit: int | None = None
+        first_checkpoint: int | None = None
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if first_emit is None or node.lineno < first_emit:
+                    first_emit = node.lineno
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "checkpoint"
+            ):
+                if first_checkpoint is None or node.lineno < first_checkpoint:
+                    first_checkpoint = node.lineno
+        if first_emit is None:
+            continue  # raise-only body (the abstract base)
+        if first_checkpoint is None:
+            violations.append(
+                LintViolation(
+                    path, func.lineno, "VAM001",
+                    f"next_tuple at line {func.lineno} never calls "
+                    "guard.checkpoint()",
+                )
+            )
+        elif first_checkpoint > first_emit:
+            violations.append(
+                LintViolation(
+                    path, first_emit, "VAM001",
+                    "next_tuple emits a tuple (line "
+                    f"{first_emit}) before its first guard.checkpoint() "
+                    f"(line {first_checkpoint})",
+                )
+            )
+    return violations
+
+
+# -- VAM002: broad handlers must not swallow interrupts ------------------------
+
+
+def _guard_errors_covered(reraised: set[str]) -> bool:
+    if reraised & (GUARD_ERROR_BASES | {"Exception", "BaseException"}):
+        return True
+    return GUARD_ERROR_NAMES <= reraised
+
+
+def _check_exception_swallowing(path: str, tree: ast.AST) -> list[LintViolation]:
+    violations: list[LintViolation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Try):
+            continue
+        reraised: set[str] = set()
+        for handler in node.handlers:
+            names = _exception_names(handler.type)
+            broad = bool(names & {"Exception", "BaseException"})
+            if _has_bare_raise(handler):
+                reraised.update(names)
+                continue
+            if not broad:
+                continue
+            if not _guard_errors_covered(reraised):
+                caught = "bare except" if handler.type is None else (
+                    "except " + "/".join(sorted(names))
+                )
+                violations.append(
+                    LintViolation(
+                        path, handler.lineno, "VAM002",
+                        f"{caught} swallows query-guard errors "
+                        "(QueryTimeoutError/BudgetExceededError/"
+                        "QueryCancelledError): re-raise them in a preceding "
+                        "handler or add a bare raise",
+                    )
+                )
+            if "BaseException" in names and not (
+                reraised & {"KeyboardInterrupt", "BaseException"}
+            ):
+                violations.append(
+                    LintViolation(
+                        path, handler.lineno, "VAM002",
+                        "bare/BaseException handler swallows "
+                        "KeyboardInterrupt: re-raise it first",
+                    )
+                )
+    return violations
+
+
+# -- VAM003: persistence must not leak raw decode errors -----------------------
+
+
+def _module_error_tuples(tree: ast.Module) -> dict[str, set[str]]:
+    """Module-level ``NAME = (struct.error, ...)`` tuples, by name."""
+    tuples: dict[str, set[str]] = {}
+    for stmt in tree.body:
+        if not (isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Tuple)):
+            continue
+        names = _exception_names(stmt.value)
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                tuples[target.id] = names
+    return tuples
+
+
+def _handler_names_resolved(
+    handler: ast.ExceptHandler, module_tuples: dict[str, set[str]]
+) -> set[str]:
+    names = _exception_names(handler.type)
+    resolved = set(names)
+    for name in names:
+        resolved.update(module_tuples.get(name, ()))
+    return resolved
+
+
+def _decode_call_kind(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Attribute) and isinstance(node.func.value, ast.Name):
+        return DECODE_CALLS.get((node.func.value.id, node.func.attr))
+    return None
+
+
+class _TryStack(ast.NodeVisitor):
+    """Finds decode calls / intra-module calls and the trys covering them."""
+
+    def __init__(self, module_tuples: dict[str, set[str]], local_functions: set[str]):
+        self.module_tuples = module_tuples
+        self.local_functions = local_functions
+        self.stack: list[ast.Try] = []
+        #: (error kind, lineno) of uncovered decode calls.
+        self.uncovered: list[tuple[str, int]] = []
+        #: (callee name, lineno, frozenset of handled names) per local call.
+        self.local_calls: list[tuple[str, int, frozenset[str]]] = []
+
+    def _handled_names(self) -> frozenset[str]:
+        names: set[str] = set()
+        for block in self.stack:
+            for handler in block.handlers:
+                names.update(_handler_names_resolved(handler, self.module_tuples))
+        return frozenset(names)
+
+    def _covered(self, kind: str) -> bool:
+        short = kind.split(".")[-1]
+        covers = DECODE_COVERS[kind] | {short}
+        return bool(self._handled_names() & covers)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        self.stack.append(node)
+        for stmt in node.body:
+            self.visit(stmt)
+        self.stack.pop()
+        for handler in node.handlers:
+            self.visit(handler)
+        for stmt in node.orelse + node.finalbody:
+            self.visit(stmt)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        kind = _decode_call_kind(node)
+        if kind is not None and not self._covered(kind):
+            self.uncovered.append((kind, node.lineno))
+        if isinstance(node.func, ast.Name) and node.func.id in self.local_functions:
+            self.local_calls.append((node.func.id, node.lineno, self._handled_names()))
+        self.generic_visit(node)
+
+
+def _check_persistence_decode(path: str, tree: ast.Module) -> list[LintViolation]:
+    if not path.replace(os.sep, "/").endswith("mass/persistence.py"):
+        return []
+    module_tuples = _module_error_tuples(tree)
+    functions = {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    scans: dict[str, _TryStack] = {}
+    for name, func in functions.items():
+        scan = _TryStack(module_tuples, set(functions))
+        for stmt in func.body:
+            scan.visit(stmt)
+        scans[name] = scan
+
+    # Fixpoint: a function leaks a decode error if it performs an uncovered
+    # decode call, or calls a leaking local function at a site whose
+    # enclosing trys don't convert that error.
+    leaks: dict[str, set[str]] = {
+        name: {kind for kind, _ in scan.uncovered} for name, scan in scans.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, scan in scans.items():
+            for callee, _line, handled in scan.local_calls:
+                for kind in leaks.get(callee, ()):
+                    short = kind.split(".")[-1]
+                    if handled & (DECODE_COVERS[kind] | {short}):
+                        continue
+                    if kind not in leaks[name]:
+                        leaks[name].add(kind)
+                        changed = True
+
+    # Only *public* escape paths are violations: a private helper may leak
+    # raw decode errors as long as every public entry point converts them.
+    violations: list[LintViolation] = []
+    for name, func in functions.items():
+        if name.startswith("_"):
+            continue
+        scan = scans[name]
+        for kind, line in scan.uncovered:
+            violations.append(
+                LintViolation(
+                    path, line, "VAM003",
+                    f"raw {kind} may escape {name}(): wrap the decode call "
+                    "in a try converting it to StorageError",
+                )
+            )
+        leaked = leaks.get(name, set())
+        if leaked and not scan.uncovered:
+            violations.append(
+                LintViolation(
+                    path, func.lineno, "VAM003",
+                    f"public function {name}() may leak "
+                    f"{', '.join(sorted(leaked))} via a helper it calls",
+                )
+            )
+    return violations
+
+
+# -- VAM004: no wall-clock calls inside operators ------------------------------
+
+
+def _is_operator_class(node: ast.ClassDef) -> bool:
+    if node.name.endswith("Operator"):
+        return True
+    return any(
+        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and item.name == "next_tuple"
+        for item in node.body
+    )
+
+
+def _check_wall_clock(path: str, tree: ast.AST) -> list[LintViolation]:
+    violations: list[LintViolation] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.ClassDef) and _is_operator_class(node)):
+            continue
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.Call):
+                continue
+            func = inner.func
+            called = None
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+                and func.attr in WALL_CLOCK_ATTRS
+            ):
+                called = f"time.{func.attr}"
+            elif isinstance(func, ast.Name) and func.id in (
+                "monotonic", "perf_counter", "process_time"
+            ):
+                called = func.id
+            if called:
+                violations.append(
+                    LintViolation(
+                        path, inner.lineno, "VAM004",
+                        f"operator class {node.name} calls {called}(): "
+                        "inject time through the guard's clock instead",
+                    )
+                )
+    return violations
+
+
+# -- driver --------------------------------------------------------------------
+
+CHECKS = (
+    _check_guard_checkpoint,
+    _check_exception_swallowing,
+    _check_persistence_decode,
+    _check_wall_clock,
+)
+
+
+def lint_file(path: str) -> list[LintViolation]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintViolation(path, exc.lineno or 0, "VAM000", f"syntax error: {exc.msg}")
+        ]
+    violations: list[LintViolation] = []
+    for check in CHECKS:
+        violations.extend(check(path, tree))
+    return violations
+
+
+def iter_python_files(paths: list[str]):
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        else:
+            yield path
+
+
+def lint_paths(paths: list[str]) -> list[LintViolation]:
+    violations: list[LintViolation] = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Check repo invariants (guard threading, exception "
+        "hygiene, persistence error conversion, injectable clocks).",
+    )
+    parser.add_argument(
+        "paths", nargs="+", help="files or directories to lint (e.g. src/repro)"
+    )
+    options = parser.parse_args(argv)
+    for path in options.paths:
+        if not os.path.exists(path):
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    violations = lint_paths(options.paths)
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"{len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,468 @@
+"""Schema-based query satisfiability analysis.
+
+Some queries can be proven empty without reading a single page: a name
+test no document node carries, a parent/child pair the vocabulary never
+nests, a step along the attribute axis asking for a comment.  Following
+the whole-query static analysis of SXSI (Maneth & Nguyen), this module
+evaluates a *compiled XPath parse tree* against a small schema graph and
+reports whether the query is satisfiable.  The engine consults it before
+planning and short-circuits statically-empty queries to an empty result —
+zero index I/O, zero operator work.
+
+The analysis is **sound, not complete**: ``satisfiable=False`` is a
+proof (no document conforming to the schema can match), while
+``satisfiable=True`` merely means "could not prove empty".  Everything
+uncertain — following/preceding reachability, positional predicates,
+``not()`` — is approximated permissively, because a wrong "empty" verdict
+would silently drop answers.
+
+Two schema sources:
+
+* :func:`xmark_schema` — the exhaustive parent→child/attribute graph of
+  the XMark generator, straight from :mod:`repro.xmark.vocabulary`.
+* :func:`names_only_schema` — the opt-out for arbitrary documents: only
+  the *name* universe is known (mined from the store's name index), so
+  just unknown-name tests prune; every structural combination is assumed
+  possible.
+
+Contexts are modelled as sets of **tokens**: element names, ``#doc`` (the
+document node), ``#text``, ``#comment``, ``#pi``, ``@name`` (attributes)
+and ``#ns`` (namespace nodes).  Text, comment and PI nodes are allowed
+under every element even with the exhaustive schema — real documents
+carry whitespace text and annotations the generator grammar doesn't
+mention, and pruning those would be unsound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model import Axis, NodeTest, NodeTestKind
+from repro.xmark import vocabulary
+from repro.xpath.ast import (
+    AndExpr,
+    BinaryOp,
+    Comparison,
+    FunctionCall,
+    LocationPath,
+    Negate,
+    NumberLiteral,
+    OrExpr,
+    PathExpr,
+    Step,
+    StringLiteral,
+    UnionExpr,
+    XPathNode,
+)
+
+DOC = "#doc"
+TEXT = "#text"
+COMMENT = "#comment"
+PI = "#pi"
+NS = "#ns"
+
+_KIND_TOKENS = frozenset({TEXT, COMMENT, PI})
+
+
+def _is_element(token: str) -> bool:
+    return not (token.startswith(("#", "@")))
+
+
+@dataclass(frozen=True)
+class SchemaGraph:
+    """What the analyzer knows about documents in a store.
+
+    ``exhaustive`` marks the children/attribute maps as complete: with it
+    set, a parent→child pair absent from ``children`` is *impossible*;
+    without it, only the name universes (``elements``/``attributes_all``)
+    are trusted and structure is assumed arbitrary.
+    """
+
+    elements: frozenset[str]
+    attributes_all: frozenset[str]
+    children: dict[str, frozenset[str]] = field(default_factory=dict)
+    attributes: dict[str, frozenset[str]] = field(default_factory=dict)
+    root: str = ""
+    exhaustive: bool = False
+
+    def describe(self) -> str:
+        kind = "exhaustive" if self.exhaustive else "names-only"
+        return (
+            f"{kind} schema: {len(self.elements)} element names, "
+            f"{len(self.attributes_all)} attribute names"
+            + (f", root <{self.root}>" if self.root else "")
+        )
+
+
+def xmark_schema() -> SchemaGraph:
+    """The XMark generator's document grammar as a schema graph."""
+    return SchemaGraph(
+        elements=vocabulary.SCHEMA_ELEMENTS,
+        attributes_all=frozenset().union(*vocabulary.SCHEMA_ATTRIBUTES.values()),
+        children=dict(vocabulary.SCHEMA_CHILDREN),
+        attributes=dict(vocabulary.SCHEMA_ATTRIBUTES),
+        root=vocabulary.SCHEMA_ROOT,
+        exhaustive=True,
+    )
+
+
+def names_only_schema(
+    elements: frozenset[str] | set[str],
+    attributes: frozenset[str] | set[str] = frozenset(),
+    root: str = "",
+) -> SchemaGraph:
+    """A permissive schema knowing only which names exist in a store."""
+    return SchemaGraph(
+        elements=frozenset(elements),
+        attributes_all=frozenset(attributes),
+        root=root,
+        exhaustive=False,
+    )
+
+
+@dataclass(frozen=True)
+class SatReport:
+    """The analyzer's verdict on one expression."""
+
+    satisfiable: bool
+    reasons: tuple[str, ...] = ()
+    schema: str = ""
+
+    def describe(self) -> str:
+        if self.satisfiable:
+            return "satisfiable (not provably empty)"
+        return "statically empty: " + "; ".join(self.reasons)
+
+
+class SatisfiabilityAnalyzer:
+    """Evaluates parse trees over token sets drawn from one schema."""
+
+    def __init__(self, schema: SchemaGraph):
+        self.schema = schema
+        self._parents: dict[str, frozenset[str]] = {}
+        self._descendants: dict[str, frozenset[str]] = {}
+        self._ancestors: dict[str, frozenset[str]] = {}
+        self._anywhere = frozenset(schema.elements) | _KIND_TOKENS
+
+    # -- public API ---------------------------------------------------------
+
+    def analyze(self, tree: XPathNode) -> SatReport:
+        """Judge a full compiled expression (absolute context)."""
+        reasons: list[str] = []
+        satisfiable = self._node_satisfiable(tree, frozenset({DOC}), reasons)
+        return SatReport(
+            satisfiable=satisfiable,
+            reasons=tuple(reasons) if not satisfiable else (),
+            schema=self.schema.describe(),
+        )
+
+    # -- expression dispatch -------------------------------------------------
+
+    def _node_satisfiable(
+        self, node: XPathNode, context: frozenset[str], reasons: list[str]
+    ) -> bool:
+        if isinstance(node, LocationPath):
+            return bool(self._walk_path(node, context, reasons))
+        if isinstance(node, UnionExpr):
+            branch_reasons: list[str] = []
+            if any(
+                self._node_satisfiable(branch, context, branch_reasons)
+                for branch in node.branches
+            ):
+                return True
+            reasons.extend(branch_reasons)
+            return False
+        # Filter expressions, literals, arithmetic, function calls: these
+        # produce values (or unanalyzed node-sets) — never prove them empty.
+        return True
+
+    def _walk_path(
+        self, path: LocationPath, context: frozenset[str], reasons: list[str]
+    ) -> frozenset[str]:
+        """Token set a path may deliver; empty means provably no match."""
+        tokens = frozenset({DOC}) if path.absolute else context
+        for step in path.steps:
+            tokens = self._apply_step(step, tokens, reasons)
+            if not tokens:
+                return tokens
+        return tokens
+
+    def _apply_step(
+        self, step: Step, tokens: frozenset[str], reasons: list[str]
+    ) -> frozenset[str]:
+        moved: set[str] = set()
+        for token in tokens:
+            moved.update(self._axis(step.axis, token))
+        tested = self._filter_test(step.axis, step.test, frozenset(moved))
+        if not tested:
+            reasons.append(self._step_reason(step, tokens, frozenset(moved)))
+            return frozenset()
+        for predicate in step.predicates:
+            if self._predicate_must_fail(predicate, tested):
+                reasons.append(
+                    f"predicate [{predicate.unparse()}] of step "
+                    f"'{step.axis.value}::{step.test}' can never hold"
+                )
+                return frozenset()
+        return tested
+
+    def _step_reason(
+        self, step: Step, context: frozenset[str], moved: frozenset[str]
+    ) -> str:
+        test = step.test
+        where = f"step '{step.axis.value}::{test}'"
+        if (
+            test.kind is NodeTestKind.NAME
+            and step.axis.principal_kind.name == "ELEMENT"
+            and test.name not in self.schema.elements
+        ):
+            return f"{where}: no element named '{test.name}' exists in the schema"
+        if (
+            test.kind is NodeTestKind.NAME
+            and step.axis is Axis.ATTRIBUTE
+            and test.name not in self.schema.attributes_all
+        ):
+            return f"{where}: no attribute named '{test.name}' exists in the schema"
+        if not moved:
+            sources = ", ".join(sorted(context)) or "(empty)"
+            return f"{where}: the {step.axis.value} axis is empty from {sources}"
+        return (
+            f"{where}: none of " + ", ".join(sorted(moved)) + f" satisfies '{test}'"
+        )
+
+    # -- axis transitions ----------------------------------------------------
+
+    def _axis(self, axis: Axis, token: str) -> frozenset[str]:
+        if axis is Axis.SELF:
+            return frozenset({token})
+        if axis is Axis.CHILD:
+            return self._children(token)
+        if axis is Axis.DESCENDANT:
+            return self._descendant_closure(token)
+        if axis is Axis.DESCENDANT_OR_SELF:
+            return self._descendant_closure(token) | {token}
+        if axis is Axis.PARENT:
+            return self._parent(token)
+        if axis is Axis.ANCESTOR:
+            return self._ancestor_closure(token)
+        if axis is Axis.ANCESTOR_OR_SELF:
+            return self._ancestor_closure(token) | {token}
+        if axis is Axis.ATTRIBUTE:
+            return self._attribute(token)
+        if axis is Axis.NAMESPACE:
+            return frozenset({NS}) if _is_element(token) else frozenset()
+        # Sibling and document-order axes: no structural reasoning — any
+        # non-attribute node elsewhere in the document may qualify.  The
+        # document node itself has no siblings and nothing before/after it.
+        if token == DOC:
+            return frozenset()
+        return self._anywhere
+
+    def _children(self, token: str) -> frozenset[str]:
+        if token == DOC:
+            roots = (
+                frozenset({self.schema.root})
+                if self.schema.exhaustive and self.schema.root
+                else self.schema.elements
+            )
+            return roots | {COMMENT, PI}
+        if not _is_element(token):
+            return frozenset()
+        if self.schema.exhaustive:
+            elements = self.schema.children.get(token, frozenset())
+        else:
+            elements = self.schema.elements
+        # Text/comment/PI nodes may sit under any element: mixed content,
+        # inter-element whitespace and annotations are outside the grammar.
+        return elements | _KIND_TOKENS
+
+    def _parent(self, token: str) -> frozenset[str]:
+        if token == DOC:
+            return frozenset()
+        cached = self._parents.get(token)
+        if cached is not None:
+            return cached
+        if token in _KIND_TOKENS:
+            result = frozenset(self.schema.elements) | {DOC}
+        elif token == NS:
+            result = frozenset(self.schema.elements)
+        elif token.startswith("@"):
+            name = token[1:]
+            if self.schema.exhaustive:
+                result = frozenset(
+                    element
+                    for element, attrs in self.schema.attributes.items()
+                    if name in attrs
+                )
+            else:
+                result = frozenset(self.schema.elements)
+        elif self.schema.exhaustive:
+            owners = {
+                parent
+                for parent, kids in self.schema.children.items()
+                if token in kids
+            }
+            if token == self.schema.root:
+                owners.add(DOC)
+            result = frozenset(owners)
+        else:
+            result = frozenset(self.schema.elements) | {DOC}
+        self._parents[token] = result
+        return result
+
+    def _attribute(self, token: str) -> frozenset[str]:
+        if not _is_element(token):
+            return frozenset()
+        if self.schema.exhaustive:
+            names = self.schema.attributes.get(token, frozenset())
+        else:
+            names = self.schema.attributes_all
+        return frozenset("@" + name for name in names)
+
+    def _descendant_closure(self, token: str) -> frozenset[str]:
+        cached = self._descendants.get(token)
+        if cached is not None:
+            return cached
+        reached: set[str] = set()
+        frontier = [token]
+        while frontier:
+            current = frontier.pop()
+            for child in self._children(current):
+                if child not in reached:
+                    reached.add(child)
+                    frontier.append(child)
+        result = frozenset(reached)
+        self._descendants[token] = result
+        return result
+
+    def _ancestor_closure(self, token: str) -> frozenset[str]:
+        cached = self._ancestors.get(token)
+        if cached is not None:
+            return cached
+        reached: set[str] = set()
+        frontier = [token]
+        while frontier:
+            current = frontier.pop()
+            for parent in self._parent(current):
+                if parent not in reached:
+                    reached.add(parent)
+                    frontier.append(parent)
+        result = frozenset(reached)
+        self._ancestors[token] = result
+        return result
+
+    # -- node tests ----------------------------------------------------------
+
+    def _filter_test(
+        self, axis: Axis, test: NodeTest, tokens: frozenset[str]
+    ) -> frozenset[str]:
+        kind = test.kind
+        if kind is NodeTestKind.NODE:
+            return tokens
+        if kind is NodeTestKind.TEXT:
+            return tokens & {TEXT}
+        if kind is NodeTestKind.COMMENT:
+            return tokens & {COMMENT}
+        if kind is NodeTestKind.PROCESSING_INSTRUCTION:
+            # PI targets are not in the schema: keep any PI token.
+            return tokens & {PI}
+        if axis is Axis.ATTRIBUTE:
+            if kind is NodeTestKind.ANY:
+                return frozenset(t for t in tokens if t.startswith("@"))
+            return tokens & {"@" + test.name}
+        if axis is Axis.NAMESPACE:
+            return tokens & {NS}
+        if kind is NodeTestKind.ANY:
+            return frozenset(t for t in tokens if _is_element(t))
+        return tokens & {test.name}
+
+    # -- predicate analysis --------------------------------------------------
+
+    def _predicate_must_fail(self, expr: XPathNode, context: frozenset[str]) -> bool:
+        """True only when the predicate is false for *every* context node."""
+        if isinstance(expr, LocationPath):
+            return not self._walk_path(expr, context, [])
+        if isinstance(expr, UnionExpr):
+            return all(
+                self._predicate_must_fail(branch, context) for branch in expr.branches
+            )
+        if isinstance(expr, AndExpr):
+            return self._predicate_must_fail(
+                expr.left, context
+            ) or self._predicate_must_fail(expr.right, context)
+        if isinstance(expr, OrExpr):
+            return self._predicate_must_fail(
+                expr.left, context
+            ) and self._predicate_must_fail(expr.right, context)
+        if isinstance(expr, Comparison):
+            return self._comparison_must_fail(expr, context)
+        if isinstance(expr, NumberLiteral):
+            # [n] is position() = n: impossible for n < 1 or fractional n.
+            return expr.value < 1 or expr.value != int(expr.value)
+        if isinstance(expr, StringLiteral):
+            return expr.value == ""
+        if isinstance(expr, FunctionCall):
+            return expr.name == "false" and not expr.args
+        # not(), arithmetic, filter expressions: unknown — assume it can hold.
+        return False
+
+    def _comparison_must_fail(self, expr: Comparison, context: frozenset[str]) -> bool:
+        # A comparison against an empty node-set is false in XPath 1.0,
+        # whatever the operator — even '!='.
+        for side in (expr.left, expr.right):
+            if isinstance(side, LocationPath) and not self._walk_path(
+                side, context, []
+            ):
+                return True
+        left = self._literal_value(expr.left)
+        right = self._literal_value(expr.right)
+        if left is None or right is None:
+            return False
+        return not _compare_literals(expr.op, left, right)
+
+    @staticmethod
+    def _literal_value(node: XPathNode) -> str | float | None:
+        if isinstance(node, StringLiteral):
+            return node.value
+        if isinstance(node, NumberLiteral):
+            return node.value
+        if isinstance(node, Negate):
+            operand = SatisfiabilityAnalyzer._literal_value(node.operand)
+            if isinstance(operand, float):
+                return -operand
+        return None
+
+
+def _to_number(value: str | float) -> float:
+    if isinstance(value, float):
+        return value
+    try:
+        return float(value.strip())
+    except ValueError:
+        return float("nan")
+
+
+def _compare_literals(op: str, left: str | float, right: str | float) -> bool:
+    """XPath 1.0 comparison of two constants."""
+    if op in ("=", "!="):
+        if isinstance(left, str) and isinstance(right, str):
+            equal = left == right
+        else:
+            lnum, rnum = _to_number(left), _to_number(right)
+            equal = lnum == rnum  # NaN compares unequal, as required
+        return equal if op == "=" else not equal
+    lnum, rnum = _to_number(left), _to_number(right)
+    if op == "<":
+        return lnum < rnum
+    if op == "<=":
+        return lnum <= rnum
+    if op == ">":
+        return lnum > rnum
+    if op == ">=":
+        return lnum >= rnum
+    return True  # unknown operator: never claim failure
+
+
+def analyze(tree: XPathNode, schema: SchemaGraph) -> SatReport:
+    """One-shot convenience wrapper around :class:`SatisfiabilityAnalyzer`."""
+    return SatisfiabilityAnalyzer(schema).analyze(tree)

@@ -8,6 +8,9 @@ Commands:
 * ``query``    — run an XPath query against an XML file or a saved store,
   with ``--explain`` for the annotated plan and optimizer trace, and
   ``--timeout`` / ``--max-pages`` / ``--max-results`` resource limits,
+* ``check``    — static analysis of an XPath expression without running
+  it: plan invariant verification, inferred operator properties, and the
+  schema satisfiability verdict (exit 3 when provably empty),
 * ``fsck``     — diagnose a saved store file (checksums, record framing)
   and optionally salvage the valid prefix to a new store,
 * ``bench-hotpath`` — run the hot-path microbenchmarks (byte-encoded vs
@@ -96,6 +99,38 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis.plan_verifier import describe_properties, verify_plan
+    from repro.analysis.satisfiability import SatisfiabilityAnalyzer, xmark_schema
+    from repro.xpath.parser import parse_xpath
+
+    if args.input is not None:
+        # Against a real document: the engine picks the schema, optimizes
+        # with the verification gate on, and reports any rejected rewrite.
+        store = _load_any(args.input)
+        engine = VamanaEngine(store)
+        plan, trace = engine.plan(args.xpath, optimize=not args.no_optimize)
+        verify_plan(plan)
+        print(describe_properties(plan))
+        if trace is not None and trace.invariant_errors:
+            for error in trace.invariant_errors:
+                print(f"rejected rewrite: {error}")
+        report = engine.satisfiability(args.xpath)
+    else:
+        # No document: verify the default plan and judge satisfiability
+        # against the XMark grammar.
+        from repro.algebra.builder import build_default_plan
+
+        plan = build_default_plan(args.xpath)
+        verify_plan(plan)
+        print(describe_properties(plan))
+        report = SatisfiabilityAnalyzer(xmark_schema()).analyze(
+            parse_xpath(args.xpath)
+        )
+    print(f"invariants: ok\nsatisfiability: {report.describe()}")
+    return 3 if not report.satisfiable else 0
+
+
 def _cmd_fsck(args: argparse.Namespace) -> int:
     report = fsck_store(args.store)
     print(report.describe())
@@ -181,6 +216,19 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--max-results", type=int, default=None, metavar="N",
                        help="abort after N result tuples")
     query.set_defaults(handler=_cmd_query)
+
+    check = commands.add_parser(
+        "check",
+        help="statically verify an XPath query (plan invariants + "
+        "satisfiability) without executing it",
+    )
+    check.add_argument("xpath", help="XPath 1.0 expression")
+    check.add_argument("--input", default=None,
+                       help="XML file or .mass store to analyze against "
+                       "(default: the XMark grammar)")
+    check.add_argument("--no-optimize", action="store_true",
+                       help="verify the default plan only (with --input)")
+    check.set_defaults(handler=_cmd_check)
 
     fsck = commands.add_parser(
         "fsck", help="check a .mass store file for corruption"

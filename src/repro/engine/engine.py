@@ -17,12 +17,26 @@ from __future__ import annotations
 
 import time
 
-from repro.errors import PlanError
+from repro.errors import (
+    BudgetExceededError,
+    PlanError,
+    QueryCancelledError,
+    QueryTimeoutError,
+)
 from repro.mass.flexkey import FlexKey
 from repro.mass.store import MassStore
+from repro.xmark import vocabulary
 from repro.xpath import ast
 from repro.xpath.parser import parse_xpath
 from repro.algebra.builder import build_default_plan, build_expr
+from repro.analysis.plan_verifier import PlanVerifier, describe_properties
+from repro.analysis.satisfiability import (
+    SatisfiabilityAnalyzer,
+    SatReport,
+    SchemaGraph,
+    names_only_schema,
+    xmark_schema,
+)
 from repro.algebra.execution import (
     EvalContext,
     ExpressionEvaluator,
@@ -49,10 +63,20 @@ class VamanaEngine:
         store: MassStore,
         rules: tuple[RewriteRule, ...] = DEFAULT_RULES,
         plan_cache_size: int = 128,
+        verify_rewrites: bool = True,
+        static_check: bool = True,
     ):
         self.store = store
-        self.optimizer = Optimizer(store, rules)
+        self.optimizer = Optimizer(store, rules, verify=verify_rewrites)
         self.estimator = CostEstimator(store)
+        #: ``static_check`` enables the satisfiability pre-pass: queries
+        #: the schema analysis proves empty are answered without planning
+        #: or touching the store.  Disable it for documents whose shape
+        #: the analyzer should not reason about at all.
+        self.static_check = static_check
+        self._schema: SchemaGraph | None = None
+        self._schema_epoch = -1
+        self._sat_cache: dict[str, SatReport] = {}
         # LRU order: oldest entry first (dicts preserve insertion order; a
         # hit re-inserts its entry at the end).  Plans embed cost decisions
         # made against the store's statistics, so the whole cache is tied
@@ -100,8 +124,17 @@ class VamanaEngine:
             # failures are already sandboxed inside the loop, and if the
             # loop itself dies (estimator bug, pathological plan) we fall
             # back to the default plan with the failure on the trace.
+            # Interrupts and query-guard violations must still abort the
+            # query, so they pass through the sandbox untouched.
             try:
                 plan, trace = self.optimize(default)
+            except (
+                KeyboardInterrupt,
+                QueryTimeoutError,
+                BudgetExceededError,
+                QueryCancelledError,
+            ):
+                raise
             except Exception as error:  # noqa: BLE001 - deliberate sandbox
                 trace = OptimizationTrace(expression=expression)
                 trace.failure = f"{type(error).__name__}: {error}"
@@ -113,6 +146,73 @@ class VamanaEngine:
                 self._plan_cache.pop(next(iter(self._plan_cache)))
             self._plan_cache[cache_key] = (plan, trace)
         return plan, trace
+
+    # -- static analysis --------------------------------------------------------
+
+    def schema(self) -> SchemaGraph:
+        """The schema graph satisfiability runs against (cached per epoch).
+
+        When the store looks like an XMark document (document element
+        ``site`` and every element/attribute name drawn from the generator
+        vocabulary) the exhaustive XMark grammar is used; anything else
+        falls back to a names-only schema mined from the name index, which
+        still prunes unknown-name tests but assumes any structure.
+        """
+        if self._schema is not None and self._schema_epoch == self.store.epoch:
+            return self._schema
+        elements: set[str] = set()
+        attributes: set[str] = set()
+        for name in self.store.name_index.distinct_names():
+            if name.startswith("@"):
+                attributes.add(name[1:])
+            elif not name.startswith(("#", "?")):
+                elements.add(name)
+        root = self.store.root_element().name
+        xmark_attributes = frozenset().union(*vocabulary.SCHEMA_ATTRIBUTES.values())
+        if (
+            root == vocabulary.SCHEMA_ROOT
+            and elements <= vocabulary.SCHEMA_ELEMENTS
+            and attributes <= xmark_attributes
+        ):
+            schema = xmark_schema()
+        else:
+            schema = names_only_schema(elements, attributes, root=root)
+        self._schema = schema
+        self._schema_epoch = self.store.epoch
+        self._sat_cache.clear()
+        return schema
+
+    def satisfiability(self, expression: str) -> SatReport:
+        """Judge an expression against the store's schema (cached)."""
+        schema = self.schema()
+        cached = self._sat_cache.get(expression)
+        if cached is not None:
+            return cached
+        report = SatisfiabilityAnalyzer(schema).analyze(parse_xpath(expression))
+        self._sat_cache[expression] = report
+        return report
+
+    def _statically_empty(self, expression: str) -> SatReport | None:
+        """The unsat report for a provably-empty query, else None.
+
+        The analysis is advisory: if it breaks (unparseable corner case,
+        schema bug) the query simply runs normally.  Guard violations and
+        interrupts still propagate.
+        """
+        if not self.static_check:
+            return None
+        try:
+            report = self.satisfiability(expression)
+        except (
+            KeyboardInterrupt,
+            QueryTimeoutError,
+            BudgetExceededError,
+            QueryCancelledError,
+        ):
+            raise
+        except Exception:  # noqa: BLE001 - advisory analysis only
+            return None
+        return None if report.satisfiable else report
 
     # -- execution --------------------------------------------------------------
 
@@ -170,6 +270,16 @@ class VamanaEngine:
             guard = QueryGuard(
                 timeout_ms=timeout_ms, max_pages=max_pages, max_results=max_results
             )
+        if context is None:
+            # Satisfiability pre-pass: a query the schema analysis proves
+            # empty is answered right here — no plan, no index I/O.  The
+            # check only applies to document-context evaluation; an
+            # explicit context node changes what a relative path means.
+            report = self._statically_empty(expression)
+            if report is not None:
+                metrics = ExecutionMetrics(tuples_returned=0)
+                metrics.counters["static_empty"] = 1
+                return QueryResult(self.store, [], metrics, None, expression)
         hits_before = self.plan_cache_hits
         misses_before = self.plan_cache_misses
         plan, trace = self.plan(expression, optimize)
@@ -199,13 +309,25 @@ class VamanaEngine:
 
     # -- inspection ---------------------------------------------------------------
 
-    def explain(self, expression: str, optimize: bool = True) -> str:
-        """The annotated plan tree, plus the optimization trace if any."""
+    def explain(self, expression: str, optimize: bool = True, verify: bool = False) -> str:
+        """The annotated plan tree, plus the optimization trace if any.
+
+        With ``verify=True`` the static analyses run too: the plan is
+        checked against every structural invariant (raising
+        :class:`~repro.errors.PlanInvariantError` if one is broken), the
+        inferred per-operator properties are appended, and the
+        satisfiability verdict is reported.
+        """
         plan, trace = self.plan(expression, optimize)
         self.estimator.estimate(plan)
         sections = [plan.explain()]
         if trace is not None:
             sections.append(trace.describe())
+        if verify:
+            PlanVerifier().verify(plan)
+            sections.append(describe_properties(plan))
+            report = self.satisfiability(expression)
+            sections.append(f"invariants: ok\nsatisfiability: {report.describe()}")
         return "\n\n".join(sections)
 
     def __repr__(self) -> str:

@@ -114,3 +114,19 @@ class QueryCancelledError(ExecutionError):
 
 class OptimizerError(ReproError):
     """Raised when a rewrite rule produces an inconsistent plan."""
+
+
+class PlanInvariantError(OptimizerError):
+    """A plan (or a proposed rewrite) violates a verified static invariant.
+
+    Raised by :mod:`repro.analysis.plan_verifier`.  ``violations`` lists
+    every broken invariant; ``rule`` names the rewrite rule whose proposal
+    was rejected, when the error comes from the optimizer's verification
+    gate rather than a standalone check.
+    """
+
+    def __init__(self, violations: list[str], rule: str = ""):
+        self.violations = list(violations)
+        self.rule = rule
+        prefix = f"rewrite by {rule!r} rejected: " if rule else ""
+        super().__init__(prefix + "; ".join(self.violations))

@@ -252,6 +252,20 @@ class NameIndex:
             return key
         return None
 
+    def distinct_names(self) -> Iterator[str]:
+        """Every distinct index name, in order, via a skip-scan.
+
+        Each name costs one O(log n) seek past its last entry, so the
+        total work is proportional to the *vocabulary* size, never the
+        entry count — the schema resolver depends on that bound.
+        """
+        entry = self.tree.first()
+        while entry is not None:
+            name = entry[0][0]
+            yield name
+            _low, high = self._bounds(name, None, None)
+            entry = next(iter(self.tree.scan_encoded(high, None, True, False)), None)
+
     def __len__(self) -> int:
         return len(self.tree)
 

@@ -265,11 +265,16 @@ def _scan_file(raw: bytes, path: str, tolerant: bool) -> tuple[list[NodeRecord],
             return [], report
         raise StorageError(message)
     body = memoryview(raw)[4:-4]
-    (stored_checksum,) = struct.unpack_from("<I", raw, len(raw) - 4)
-    report.checksum_ok = zlib.adler32(bytes(body)) == stored_checksum
-    if not report.checksum_ok and not tolerant:
-        raise StorageError(f"{path}: checksum mismatch (corrupt file)")
-    version, record_count, name_length = struct.unpack_from("<HIH", body, 0)
+    try:
+        (stored_checksum,) = struct.unpack_from("<I", raw, len(raw) - 4)
+        report.checksum_ok = zlib.adler32(bytes(body)) == stored_checksum
+        if not report.checksum_ok and not tolerant:
+            raise StorageError(f"{path}: checksum mismatch (corrupt file)")
+        version, record_count, name_length = struct.unpack_from("<HIH", body, 0)
+    except (StorageError, *_DECODE_ERRORS) as error:
+        if isinstance(error, StorageError):
+            raise
+        raise StorageError(f"{path}: truncated header: {error}") from error
     report.version = version
     if version not in (1, VERSION):
         message = f"{path}: unsupported version {version}"

@@ -20,8 +20,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.errors import (
+    BudgetExceededError,
+    PlanInvariantError,
+    QueryCancelledError,
+    QueryTimeoutError,
+)
 from repro.mass.store import MassStore
 from repro.algebra.plan import QueryPlan
+from repro.analysis.plan_verifier import PlanVerifier
 from repro.cost.estimator import CostEstimator, plan_cost
 from repro.optimizer.cleanup import cleanup_plan
 from repro.optimizer.rules import DEFAULT_RULES, RewriteRule
@@ -56,6 +63,9 @@ class OptimizationTrace:
     #: Sandboxed rule failures ("rule on operator: error"); the rule was
     #: skipped and optimization continued with the remaining rules.
     rule_failures: list[str] = field(default_factory=list)
+    #: Rewrites rejected by the static plan verifier, as typed errors
+    #: (each is also summarized on :attr:`rule_failures`).
+    invariant_errors: list[PlanInvariantError] = field(default_factory=list)
     #: Set when the whole optimization pass died and the engine fell back
     #: to the default plan.
     failure: str | None = None
@@ -93,11 +103,17 @@ class Optimizer:
         store: MassStore,
         rules: tuple[RewriteRule, ...] = DEFAULT_RULES,
         max_iterations: int = 32,
+        verify: bool = True,
     ):
         self.store = store
         self.rules = rules
         self.max_iterations = max_iterations
         self.estimator = CostEstimator(store)
+        #: The static verification gate of :mod:`repro.analysis`: every
+        #: proposed rewrite must preserve the verified plan invariants
+        #: before its cost is even considered.  ``verify=False`` disables
+        #: the gate (used by tests that study the unguarded behaviour).
+        self.verifier = PlanVerifier() if verify else None
 
     def optimize(self, plan: QueryPlan) -> tuple[QueryPlan, OptimizationTrace]:
         """Optimize a (default) plan; the input plan is not mutated."""
@@ -134,9 +150,19 @@ class Optimizer:
                 # exception from matching or applying it is logged on the
                 # trace and the rule is skipped — the plan under
                 # optimization is never the clone the rule corrupted.
+                # Interrupts and query-guard violations are *not* rule
+                # bugs: they must abort the whole optimization, so the
+                # sandbox re-raises them.
                 try:
                     if not rule.matches(plan, entry.node):
                         continue
+                except (
+                    KeyboardInterrupt,
+                    QueryTimeoutError,
+                    BudgetExceededError,
+                    QueryCancelledError,
+                ):
+                    raise
                 except Exception as error:  # noqa: BLE001 - deliberate sandbox
                     trace.rule_failures.append(
                         f"{rule.name} matching {entry.node.describe()}: "
@@ -151,8 +177,24 @@ class Optimizer:
                 try:
                     rule.apply(candidate, target)
                     cleanup_plan(candidate)
+                    if self.verifier is not None:
+                        self.verifier.check_rewrite(plan, candidate, rule.name)
                     self.estimator.estimate(candidate)
                     candidate_cost = plan_cost(candidate)
+                except (
+                    KeyboardInterrupt,
+                    QueryTimeoutError,
+                    BudgetExceededError,
+                    QueryCancelledError,
+                ):
+                    raise
+                except PlanInvariantError as error:
+                    trace.invariant_errors.append(error)
+                    trace.rule_failures.append(
+                        f"{rule.name} on {entry.node.describe()}: "
+                        f"PlanInvariantError: {error}"
+                    )
+                    continue
                 except Exception as error:  # noqa: BLE001 - deliberate sandbox
                     trace.rule_failures.append(
                         f"{rule.name} on {entry.node.describe()}: "

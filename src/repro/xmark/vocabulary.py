@@ -128,3 +128,100 @@ REGION_SHARES = {
     "namerica": 0.40,
     "samerica": 0.035,
 }
+
+
+# -- schema graph -------------------------------------------------------------
+#
+# The element hierarchy the generator emits, as explicit parent -> child
+# edges.  :mod:`repro.analysis.satisfiability` evaluates XPath step
+# sequences against this graph to prove queries statically empty before
+# any index is touched.  The tables must stay in lockstep with
+# :class:`repro.xmark.generator.XmarkGenerator` — the round-trip test in
+# ``tests/analysis`` regenerates a document and checks every edge.
+
+#: Element -> the child *elements* it may contain.
+SCHEMA_CHILDREN: dict[str, frozenset[str]] = {
+    name: frozenset(children)
+    for name, children in {
+        "site": (
+            "regions", "categories", "catgraph", "people",
+            "open_auctions", "closed_auctions",
+        ),
+        "regions": tuple(REGION_NAMES),
+        **{region: ("item",) for region in REGION_NAMES},
+        "item": (
+            "location", "quantity", "name", "payment", "description",
+            "shipping", "incategory",
+        ),
+        "description": ("text",),
+        "categories": ("category",),
+        "category": ("name", "description"),
+        "catgraph": ("edge",),
+        "people": ("person",),
+        "person": (
+            "name", "emailaddress", "phone", "address", "homepage",
+            "creditcard", "profile", "watches",
+        ),
+        "address": ("street", "city", "country", "province", "zipcode"),
+        "profile": ("interest", "education", "gender", "business", "age"),
+        "watches": ("watch",),
+        "open_auctions": ("open_auction",),
+        "open_auction": (
+            "initial", "reserve", "bidder", "current", "itemref", "seller",
+            "annotation", "quantity", "type", "interval",
+        ),
+        "bidder": ("date", "time", "personref", "increase"),
+        "annotation": ("description",),
+        "interval": ("start", "end"),
+        "closed_auctions": ("closed_auction",),
+        "closed_auction": (
+            "seller", "buyer", "itemref", "price", "date", "quantity",
+            "type", "annotation",
+        ),
+        # Leaves (text-only or empty elements).
+        "location": (), "quantity": (), "name": (), "payment": (),
+        "text": (), "shipping": (), "incategory": (), "edge": (),
+        "emailaddress": (), "phone": (), "homepage": (), "creditcard": (),
+        "street": (), "city": (), "country": (), "province": (),
+        "zipcode": (), "interest": (), "education": (), "gender": (),
+        "business": (), "age": (), "initial": (), "reserve": (),
+        "current": (), "itemref": (), "seller": (), "personref": (),
+        "increase": (), "date": (), "time": (), "start": (), "end": (),
+        "type": (), "price": (), "buyer": (), "watch": (),
+    }.items()
+}
+
+#: Element -> the attributes the generator may put on it.
+SCHEMA_ATTRIBUTES: dict[str, frozenset[str]] = {
+    name: frozenset(attrs)
+    for name, attrs in {
+        "item": ("id",),
+        "category": ("id",),
+        "edge": ("from", "to"),
+        "person": ("id",),
+        "incategory": ("category",),
+        "interest": ("category",),
+        "profile": ("income",),
+        "watch": ("open_auction",),
+        "open_auction": ("id",),
+        "personref": ("person",),
+        "itemref": ("item",),
+        "seller": ("person",),
+        "buyer": ("person",),
+    }.items()
+}
+
+#: Elements that carry direct text content (a #text child).
+SCHEMA_TEXT_ELEMENTS: frozenset[str] = frozenset({
+    "location", "quantity", "name", "payment", "text", "shipping",
+    "emailaddress", "phone", "homepage", "creditcard", "street", "city",
+    "country", "province", "zipcode", "education", "gender", "business",
+    "age", "initial", "reserve", "current", "date", "time", "increase",
+    "price", "start", "end", "type",
+})
+
+#: The document element.
+SCHEMA_ROOT = "site"
+
+#: Every element name the generator can emit.
+SCHEMA_ELEMENTS: frozenset[str] = frozenset(SCHEMA_CHILDREN)

@@ -1,0 +1,396 @@
+"""The repo-invariant linter: clean on the shipped tree, sharp on fixtures."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import lint_file, lint_paths, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def _lint_source(tmp_path: Path, source: str, name: str = "module.py"):
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_file(str(target))
+
+
+def _rules(violations) -> list[str]:
+    return [violation.rule for violation in violations]
+
+
+class TestShippedTreeIsClean:
+    def test_src_repro_has_no_violations(self):
+        violations = lint_paths([str(SRC_REPRO)])
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_module_entry_point_exits_zero(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint", str(SRC_REPRO)],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+        assert "RuntimeWarning" not in completed.stderr
+
+
+class TestGuardCheckpoint:
+    def test_missing_checkpoint_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class ScanOperator:
+                def next_tuple(self):
+                    return self.source.pop()
+            """,
+        )
+        assert _rules(violations) == ["VAM001"]
+        assert "never calls" in violations[0].message
+
+    def test_emit_before_checkpoint_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class ScanOperator:
+                def next_tuple(self):
+                    if self.buffered:
+                        return self.buffered.pop()
+                    self.guard.checkpoint()
+                    return self.advance()
+            """,
+        )
+        assert _rules(violations) == ["VAM001"]
+        assert "before its first guard.checkpoint()" in violations[0].message
+
+    def test_checkpoint_first_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class ScanOperator:
+                def next_tuple(self):
+                    self.guard.checkpoint()
+                    return self.advance()
+            """,
+        )
+        assert violations == []
+
+    def test_raise_only_base_class_is_exempt(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class PlanOperator:
+                def next_tuple(self):
+                    raise NotImplementedError
+            """,
+        )
+        assert violations == []
+
+
+class TestExceptionSwallowing:
+    def test_blind_except_exception_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def sandbox(rule):
+                try:
+                    rule.apply()
+                except Exception:
+                    pass
+            """,
+        )
+        assert _rules(violations) == ["VAM002"]
+        assert "swallows query-guard errors" in violations[0].message
+
+    def test_preceding_guard_reraise_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def sandbox(rule):
+                try:
+                    rule.apply()
+                except (KeyboardInterrupt, QueryTimeoutError,
+                        BudgetExceededError, QueryCancelledError):
+                    raise
+                except Exception:
+                    pass
+            """,
+        )
+        assert violations == []
+
+    def test_base_class_reraise_counts_as_coverage(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def sandbox(rule):
+                try:
+                    rule.apply()
+                except ExecutionError:
+                    raise
+                except Exception:
+                    pass
+            """,
+        )
+        assert violations == []
+
+    def test_partial_guard_reraise_is_still_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def sandbox(rule):
+                try:
+                    rule.apply()
+                except QueryTimeoutError:
+                    raise
+                except Exception:
+                    pass
+            """,
+        )
+        assert _rules(violations) == ["VAM002"]
+
+    def test_bare_except_must_also_spare_keyboard_interrupt(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def sandbox(rule):
+                try:
+                    rule.apply()
+                except (QueryTimeoutError, BudgetExceededError,
+                        QueryCancelledError):
+                    raise
+                except:
+                    pass
+            """,
+        )
+        assert _rules(violations) == ["VAM002"]
+        assert "KeyboardInterrupt" in violations[0].message
+
+    def test_bare_raise_inside_handler_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def sandbox(rule):
+                try:
+                    rule.apply()
+                except Exception:
+                    log()
+                    raise
+            """,
+        )
+        assert violations == []
+
+    def test_narrow_handlers_are_ignored(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def parse(text):
+                try:
+                    return int(text)
+                except ValueError:
+                    return None
+            """,
+        )
+        assert violations == []
+
+
+class TestPersistenceDecode:
+    # VAM003 keys on the path suffix, so fixtures live at mass/persistence.py.
+    PATH = "mass/persistence.py"
+
+    def test_uncovered_unpack_in_public_function_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import struct
+
+            def open_store(raw):
+                (count,) = struct.unpack_from("<I", raw, 0)
+                return count
+            """,
+            self.PATH,
+        )
+        assert _rules(violations) == ["VAM003"]
+        assert "struct.error" in violations[0].message
+
+    def test_converted_unpack_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import struct
+
+            class StorageError(Exception):
+                pass
+
+            def open_store(raw):
+                try:
+                    (count,) = struct.unpack_from("<I", raw, 0)
+                except struct.error as error:
+                    raise StorageError(str(error)) from error
+                return count
+            """,
+            self.PATH,
+        )
+        assert violations == []
+
+    def test_module_error_tuple_counts_as_coverage(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import struct
+
+            _DECODE_ERRORS = (struct.error, ValueError)
+
+            def open_store(raw):
+                try:
+                    (count,) = struct.unpack_from("<I", raw, 0)
+                except _DECODE_ERRORS as error:
+                    raise RuntimeError(str(error)) from error
+                return count
+            """,
+            self.PATH,
+        )
+        assert violations == []
+
+    def test_leak_through_private_helper_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import struct
+
+            def _read_header(raw):
+                return struct.unpack_from("<I", raw, 0)
+
+            def open_store(raw):
+                return _read_header(raw)
+            """,
+            self.PATH,
+        )
+        assert _rules(violations) == ["VAM003"]
+        assert "via a helper" in violations[0].message
+
+    def test_helper_leak_converted_at_call_site_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import struct
+
+            def _read_header(raw):
+                return struct.unpack_from("<I", raw, 0)
+
+            def open_store(raw):
+                try:
+                    return _read_header(raw)
+                except struct.error as error:
+                    raise RuntimeError(str(error)) from error
+            """,
+            self.PATH,
+        )
+        assert violations == []
+
+    def test_rule_only_applies_to_persistence_module(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import struct
+
+            def open_store(raw):
+                return struct.unpack_from("<I", raw, 0)
+            """,
+            "mass/other.py",
+        )
+        assert violations == []
+
+
+class TestWallClock:
+    def test_clock_call_in_operator_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import time
+
+            class ScanOperator:
+                def advance(self):
+                    self.started = time.monotonic()
+            """,
+        )
+        assert _rules(violations) == ["VAM004"]
+        assert "time.monotonic" in violations[0].message
+
+    def test_clock_as_default_argument_is_fine(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import time
+
+            class ScanOperator:
+                def __init__(self, clock=time.monotonic):
+                    self.clock = clock
+            """,
+        )
+        assert violations == []
+
+    def test_non_operator_classes_may_use_clocks(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import time
+
+            class Stopwatch:
+                def start(self):
+                    self.at = time.perf_counter()
+            """,
+        )
+        assert violations == []
+
+
+class TestDriver:
+    def test_main_returns_zero_on_clean_tree(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        assert main([str(tmp_path)]) == 0
+
+    def test_main_returns_one_and_prints_violations(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "class ScanOperator:\n"
+            "    def next_tuple(self):\n"
+            "        return 1\n",
+            encoding="utf-8",
+        )
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr()
+        assert "VAM001" in out.out
+
+    def test_main_returns_two_on_missing_path(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+
+    def test_syntax_errors_become_vam000(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def (:\n", encoding="utf-8")
+        violations = lint_file(str(broken))
+        assert _rules(violations) == ["VAM000"]
+
+    def test_module_entry_point_flags_seeded_violation(self, tmp_path):
+        bad = tmp_path / "mass"
+        bad.mkdir()
+        (bad / "persistence.py").write_text(
+            "import struct\n\n"
+            "def open_store(raw):\n"
+            "    return struct.unpack_from('<I', raw, 0)\n",
+            encoding="utf-8",
+        )
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint", str(tmp_path)],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert completed.returncode == 1
+        assert "VAM003" in completed.stdout

@@ -1,0 +1,86 @@
+"""Mutation test: the verifier gate rejects a semantics-breaking rewrite.
+
+``DropStepRule`` below is a deliberately broken "optimization": it deletes
+the top step of a path and turns off duplicate elimination, producing a
+plan that is strictly cheaper *and strictly wrong*.  The greedy optimizer
+would happily take it on cost alone — the per-rewrite invariant gate is
+what keeps it out of the final plan.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.plan import PlanBase, QueryPlan, StepNode
+from repro.engine.engine import VamanaEngine
+from repro.errors import PlanInvariantError
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.rules import RewriteRule
+
+
+class DropStepRule(RewriteRule):
+    """Broken on purpose: drops the outermost step and the distinct flag."""
+
+    name = "drop-step"
+    paper_ref = "nowhere — this rule is wrong by construction"
+
+    def matches(self, plan: QueryPlan, node: PlanBase) -> bool:
+        return (
+            node is plan.root.context_child
+            and isinstance(node, StepNode)
+            and node.context_child is not None
+        )
+
+    def apply(self, plan: QueryPlan, node: PlanBase) -> None:
+        plan.root.context_child = node.context_child
+        plan.root.distinct = False
+        plan.renumber()
+
+
+QUERY = "//person/address"
+
+
+def test_gate_rejects_the_broken_rule(xmark_store):
+    engine = VamanaEngine(xmark_store)
+    baseline = engine.evaluate(QUERY, optimize=False)
+
+    optimizer = Optimizer(xmark_store, rules=(DropStepRule(),), verify=True)
+    plan, trace = optimizer.optimize(engine.compile(QUERY))
+
+    assert trace.invariant_errors, "gate never fired"
+    assert all(error.rule == "drop-step" for error in trace.invariant_errors)
+    assert any("PlanInvariantError" in failure for failure in trace.rule_failures)
+    assert plan.root.distinct  # the broken flag flip never landed
+
+    result = engine.execute(plan, None, trace)
+    assert result.key_set() == baseline.key_set()
+
+
+def test_without_the_gate_the_broken_rule_wins(xmark_store):
+    engine = VamanaEngine(xmark_store)
+    baseline = engine.evaluate(QUERY, optimize=False)
+
+    optimizer = Optimizer(xmark_store, rules=(DropStepRule(),), verify=False)
+    plan, trace = optimizer.optimize(engine.compile(QUERY))
+
+    # Cost-only greediness accepts the cheaper, wrong plan: this is the
+    # failure mode the verification gate exists to prevent.
+    assert not trace.invariant_errors
+    assert not plan.root.distinct
+    result = engine.execute(plan, None, trace)
+    assert result.key_set() != baseline.key_set()
+
+
+def test_engine_wires_the_gate_in_by_default(xmark_store):
+    engine = VamanaEngine(xmark_store)
+    assert engine.optimizer.verifier is not None
+    unverified = VamanaEngine(xmark_store, verify_rewrites=False)
+    assert unverified.optimizer.verifier is None
+
+
+def test_gate_error_carries_rule_and_violations(xmark_store):
+    optimizer = Optimizer(xmark_store, rules=(DropStepRule(),), verify=True)
+    engine = VamanaEngine(xmark_store)
+    _plan, trace = optimizer.optimize(engine.compile(QUERY))
+    error = trace.invariant_errors[0]
+    assert isinstance(error, PlanInvariantError)
+    assert error.violations
+    assert "duplicate-elimination flag" in str(error)

@@ -91,6 +91,38 @@ class TestQuery:
         assert main(["query", str(bad), "//a"]) == 1
 
 
+class TestCheck:
+    def test_check_satisfiable_query(self, capsys):
+        assert main(["check", "//person/address"]) == 0
+        output = capsys.readouterr().out
+        assert "invariants: ok" in output
+        assert "satisfiable" in output
+
+    def test_check_unsatisfiable_query_exits_three(self, capsys):
+        assert main(["check", "//nosuchtag"]) == 3
+        output = capsys.readouterr().out
+        assert "invariants: ok" in output
+        assert "statically empty" in output
+
+    def test_check_prints_operator_properties(self, capsys):
+        assert main(["check", "//person/address"]) == 0
+        output = capsys.readouterr().out
+        assert "order=" in output and "distinct" in output
+
+    def test_check_against_document_uses_its_schema(self, tmp_path, capsys):
+        # A non-XMark vocabulary forces the names-only fallback: known
+        # names pass in any structure, unknown names are still pruned.
+        path = tmp_path / "library.xml"
+        path.write_text("<library><book><title>SICP</title></book></library>",
+                        encoding="utf-8")
+        assert main(["check", "/library/book", "--input", str(path)]) == 0
+        assert main(["check", "//nosuchtag", "--input", str(path)]) == 3
+
+    def test_check_bad_xpath_fails_cleanly(self, capsys):
+        assert main(["check", "//person["]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

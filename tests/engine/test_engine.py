@@ -141,3 +141,13 @@ class TestExplain:
     def test_explain_default_plan(self, engine):
         text = engine.explain("//person/address", optimize=False)
         assert "optimization of" not in text
+
+    def test_explain_verify_appends_static_analysis(self, engine):
+        text = engine.explain("//person/address", verify=True)
+        assert "invariants: ok" in text
+        assert "satisfiability:" in text
+        assert "order=" in text  # per-operator inferred properties
+
+    def test_explain_without_verify_omits_static_analysis(self, engine):
+        text = engine.explain("//person/address")
+        assert "invariants:" not in text
