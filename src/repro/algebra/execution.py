@@ -14,6 +14,16 @@ from the node index only when a predicate needs a string value or the
 caller asks for records (the paper's "document nodes do not need to be
 materialised … unless they are actually used").
 
+The exchange protocol is **block-at-a-time**: :meth:`Operator.next_block`
+moves up to ``max_n`` keys per call, amortizing interpreter dispatch,
+guard checkpoints and (through the shared :class:`ScanCursors`) B+-tree
+positioning across a whole block.  :meth:`Operator.next_tuple` survives as
+a one-element shim — at ``max_n=1`` every operator follows the exact
+tuple-at-a-time state sequence, which is what predicate evaluation and the
+operator state machine rely on.  Eligible descendant/following steps
+additionally *coalesce* a document-ordered context block into disjoint
+byte-range spans before scanning (see :func:`repro.mass.axes.coalesced_spans`).
+
 Predicate expressions are evaluated per candidate tuple by dynamically
 setting the context of the predicate path's leaf operator (Section V-B)
 and follow full XPath 1.0 value semantics: existential node-set
@@ -25,16 +35,26 @@ function library.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, replace as dataclass_replace
 from enum import Enum
+from itertools import islice
 from typing import TYPE_CHECKING, Callable, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.guard import QueryGuard
 
 from repro.errors import ExecutionError, PlanError
+from repro.mass.axes import (
+    ScanCursors,
+    axis_count_exact,
+    coalesced_spans,
+    scan_coalesced,
+)
 from repro.mass.flexkey import FlexKey
+from repro.mass.indexes import index_name_for_test
 from repro.mass.records import NodeKind
 from repro.mass.store import MassStore
+from repro.model import Axis
 from repro.algebra.plan import (
     BinaryPredicateNode,
     ExistsNode,
@@ -60,6 +80,41 @@ class OperatorState(Enum):
     OUT_OF_TUPLES = "OUT_OF_TUPLES"
 
 
+#: Fallback block size when the cost estimator has no cardinality to offer.
+DEFAULT_BLOCK_SIZE = 256
+
+
+@dataclass(frozen=True)
+class BlockConfig:
+    """Knobs of the block-at-a-time pipeline.
+
+    ``size`` is the root driver's block size (the engine sizes it from the
+    estimator's OUT cardinality).  ``coalesce`` permits context coalescing
+    on eligible steps; it must only be on when the consumer deduplicates
+    (coalescing collapses the duplicate hits nested contexts produce), so
+    :func:`execute_plan` clears it for non-distinct plans.
+    """
+
+    enabled: bool = True
+    size: int = DEFAULT_BLOCK_SIZE
+    coalesce: bool = True
+
+
+#: The legacy configuration: every call moves one tuple, no coalescing,
+#: no shared cursors.  Operators built without an explicit config get this.
+TUPLE_AT_A_TIME = BlockConfig(enabled=False, size=1, coalesce=False)
+
+#: Axes whose context batches may be coalesced into disjoint spans.
+_COALESCE_AXES = frozenset(
+    {Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF, Axis.FOLLOWING}
+)
+
+#: Axes a single-context (leaf) step emits in forward document order.
+_REVERSE_AXES = frozenset(
+    {Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF, Axis.PRECEDING, Axis.PRECEDING_SIBLING}
+)
+
+
 def dedup_document_order(keys: "Iterator[FlexKey] | list[FlexKey]") -> list[FlexKey]:
     """Distinct keys in document order.
 
@@ -75,11 +130,24 @@ def dedup_document_order(keys: "Iterator[FlexKey] | list[FlexKey]") -> list[Flex
 
 
 class NodeSetValue:
-    """A lazily re-iterable node-set produced by a predicate path."""
+    """A lazily re-iterable node-set produced by a predicate path.
 
-    def __init__(self, iterate: Callable[[], Iterator[FlexKey]], store: MassStore):
+    ``count_fast`` is an optional index-only counting shortcut: a callable
+    returning the exact cardinality via B+-tree range counts (or None when
+    it cannot be sure), wired up when the path is a bare axis step with no
+    predicates.  ``count()`` then never materialises a key — the paper's
+    O(log n) counting contract.
+    """
+
+    def __init__(
+        self,
+        iterate: Callable[[], Iterator[FlexKey]],
+        store: MassStore,
+        count_fast: "Callable[[], int | None] | None" = None,
+    ):
         self._iterate = iterate
         self._store = store
+        self._count_fast = count_fast
 
     def keys(self) -> Iterator[FlexKey]:
         return self._iterate()
@@ -90,6 +158,10 @@ class NodeSetValue:
         return True
 
     def count(self) -> int:
+        if self._count_fast is not None:
+            count = self._count_fast()
+            if count is not None:
+                return count
         return sum(1 for _ in self._iterate())
 
     def first_key(self) -> FlexKey | None:
@@ -192,27 +264,57 @@ class EvalContext:
 
 
 class Operator:
-    """Base of the pipelined operators; subclasses fill ``_produce``.
+    """Base of the pipelined operators; subclasses fill ``next_block``.
 
     ``guard`` is the query's resource governor (or None).  Every
-    ``next_tuple`` implementation checkpoints it first thing; because no
-    operator does unbounded work between two ``next_tuple`` calls, a
-    violated limit (deadline, page budget, cancellation) surfaces within a
-    bounded number of index operations.
+    ``next_block`` implementation checkpoints it first thing; because no
+    operator does unbounded work between two checkpoints (batched scans
+    checkpoint internally every few dozen entries), a violated limit
+    (deadline, page budget, cancellation) surfaces within a bounded
+    number of index operations.
+
+    ``emits_prefix_monotone`` advertises an output-order guarantee: any
+    emitted key below the running byte maximum is a descendant-or-self of
+    an earlier emitted key.  Consumers use it to decide whether the
+    high-water coverage rule of context coalescing is sound.
     """
 
-    def __init__(self, store: MassStore, guard: "QueryGuard | None" = None):
+    emits_prefix_monotone = False
+
+    def __init__(
+        self,
+        store: MassStore,
+        guard: "QueryGuard | None" = None,
+        block: BlockConfig | None = None,
+    ):
         self.store = store
         self.guard = guard
+        self.block = block if block is not None else TUPLE_AT_A_TIME
         self.state = OperatorState.INITIAL
 
     def reset(self, context: FlexKey | None) -> None:
         """(Re-)arm the operator with a fresh leaf context."""
         raise NotImplementedError
 
-    def next_tuple(self) -> FlexKey | None:
-        """The next result key, or None once out of tuples."""
+    def next_block(self, max_n: int) -> list[FlexKey]:
+        """Up to ``max_n`` result keys in pipeline order.
+
+        A block shorter than ``max_n`` means the operator is out of
+        tuples; every later call returns ``[]``.
+        """
         raise NotImplementedError
+
+    def next_tuple(self) -> FlexKey | None:
+        """The next result key, or None once out of tuples.
+
+        A one-element shim over :meth:`next_block`: at ``max_n=1`` every
+        operator follows the exact tuple-at-a-time state sequence, so
+        predicate evaluation and state-machine consumers are unchanged.
+        """
+        if self.guard is not None:
+            self.guard.checkpoint()
+        block = self.next_block(1)
+        return block[0] if block else None
 
     def iterate(self) -> Iterator[FlexKey]:
         while True:
@@ -220,6 +322,25 @@ class Operator:
             if key is None:
                 return
             yield key
+
+    def _drain(self) -> Iterator[FlexKey]:
+        """Drain via blocks when the pipeline is batched, else tuples.
+
+        For operators that materialise an input wholesale (union build,
+        join build/probe) — laziness is already forfeited there, so block
+        pulls are pure dispatch savings.
+        """
+        if not self.block.enabled:
+            return self.iterate()
+        return _drain_blocks(self, max(self.block.size, 2))
+
+
+def _drain_blocks(operator: Operator, size: int) -> Iterator[FlexKey]:
+    while True:
+        block = operator.next_block(size)
+        yield from block
+        if len(block) < size:
+            return
 
 
 class StepOperator(Operator):
@@ -238,18 +359,39 @@ class StepOperator(Operator):
         context_child: "Operator | None",
         predicates: list["CompiledPredicate"],
         guard: "QueryGuard | None" = None,
+        block: BlockConfig | None = None,
     ):
-        super().__init__(store, guard)
+        super().__init__(store, guard, block)
         self.plan = plan
         self.context_child = context_child
         self.predicates = predicates
         self._leaf_context: FlexKey | None = None
         self._leaf_consumed = False
         self._candidates: Iterator[FlexKey] | None = None
+        #: Skip-ahead cursors shared by every scan this step issues.
+        self._cursors = (
+            ScanCursors(store) if self.block.enabled and store.byte_keys else None
+        )
+        #: High-water mark of the byte ranges already scanned by coalesced
+        #: batches (see :func:`repro.mass.axes.coalesced_spans`).
+        self._covered = None
+        if context_child is None:
+            self.emits_prefix_monotone = plan.axis not in _REVERSE_AXES
+        else:
+            # Descendant/following hits of prefix-monotone contexts only
+            # ever regress into an earlier context's subtree, where every
+            # hit is a duplicate; predicates break that (positions differ
+            # per context, so a duplicate may surface as a fresh key).
+            self.emits_prefix_monotone = (
+                not predicates
+                and plan.axis in _COALESCE_AXES
+                and context_child.emits_prefix_monotone
+            )
 
     def reset(self, context: FlexKey | None) -> None:
         self.state = OperatorState.INITIAL
         self._candidates = None
+        self._covered = None
         if self.context_child is not None:
             self.context_child.reset(context)
             self._leaf_context = None
@@ -267,7 +409,9 @@ class StepOperator(Operator):
         return self.context_child.next_tuple()
 
     def _axis_hits(self, context: FlexKey) -> Iterator[FlexKey]:
-        for key, _record in self.store.axis(context, self.plan.axis, self.plan.test):
+        for key, _record in self.store.axis(
+            context, self.plan.axis, self.plan.test, self._cursors
+        ):
             yield key
 
     def _filtered_candidates(self, context: FlexKey) -> Iterator[FlexKey]:
@@ -277,27 +421,94 @@ class StepOperator(Operator):
             candidates = predicate.filter(self.store, candidates)
         return candidates
 
-    def next_tuple(self) -> FlexKey | None:
+    # -- batched path --------------------------------------------------------
+
+    def _batch_ok(self, max_n: int) -> bool:
+        """May this call serve a whole context block from coalesced spans?
+
+        Beyond the block-size/knob gates: no predicates (they are
+        per-context, and coalescing drops contexts), a coalescible axis,
+        and a prefix-monotone context stream (the coverage rule's
+        soundness condition).  DESCENDANT_OR_SELF additionally needs an
+        index-resolvable test: its self hits for attribute contexts come
+        from a record fetch, which only the tuple path performs.
+        """
+        if (
+            max_n <= 1
+            or self._cursors is None
+            or not self.block.coalesce
+            or self.predicates
+        ):
+            return False
+        if self.context_child is not None and not self.context_child.emits_prefix_monotone:
+            return False
+        axis = self.plan.axis
+        if axis in (Axis.DESCENDANT, Axis.FOLLOWING):
+            return True
+        if axis is Axis.DESCENDANT_OR_SELF:
+            return index_name_for_test(self.plan.test, axis.principal_kind) is not None
+        return False
+
+    def _next_context_block(self, max_n: int) -> list[FlexKey]:
+        if self.context_child is None:
+            if self._leaf_consumed or self._leaf_context is None:
+                return []
+            self._leaf_consumed = True
+            return [self._leaf_context]
+        if self.plan.axis is Axis.FOLLOWING:
+            # Following ranges are suffixes of the document: block-wise
+            # evaluation would rescan ever-larger overlaps, so drain the
+            # context child and answer with one open span.
+            contexts: list[FlexKey] = []
+            while True:
+                got = self.context_child.next_block(max(max_n, DEFAULT_BLOCK_SIZE))
+                contexts.extend(got)
+                if len(got) < max(max_n, DEFAULT_BLOCK_SIZE):
+                    return contexts
+        return self.context_child.next_block(max_n)
+
+    def _batched_candidates(self, contexts: list[FlexKey]) -> Iterator[FlexKey]:
+        contexts.sort(key=lambda key: key.sort_bytes)
+        spans, self._covered = coalesced_spans(
+            self.store, self.plan.axis, contexts, self._covered
+        )
+        return scan_coalesced(
+            self.store, self.plan.axis, self.plan.test, spans, self._cursors, self.guard
+        )
+
+    def next_block(self, max_n: int) -> list[FlexKey]:
         guard = self.guard
+        block: list[FlexKey] = []
         while self.state is not OperatorState.OUT_OF_TUPLES:
             if guard is not None:
                 guard.checkpoint()
             if self._candidates is None:
-                context = self._get_next_context()
-                if context is None:
-                    self.state = OperatorState.OUT_OF_TUPLES
-                    return None
-                self.state = OperatorState.FETCHING
-                self._candidates = self._filtered_candidates(context)
-            key = next(self._candidates, None)
-            if key is not None:
-                return key
+                if self._batch_ok(max_n):
+                    contexts = self._next_context_block(max_n)
+                    if not contexts:
+                        self.state = OperatorState.OUT_OF_TUPLES
+                        break
+                    self.state = OperatorState.FETCHING
+                    self._candidates = self._batched_candidates(contexts)
+                else:
+                    context = self._get_next_context()
+                    if context is None:
+                        self.state = OperatorState.OUT_OF_TUPLES
+                        break
+                    self.state = OperatorState.FETCHING
+                    self._candidates = self._filtered_candidates(context)
+            block.extend(islice(self._candidates, max_n - len(block)))
+            if len(block) >= max_n:
+                return block
             self._candidates = None
-        return None
+        return block
 
 
 class ValueStepOperator(Operator):
     """``φ^{value::'v'}`` — leaf step over the value index (Figure 9)."""
+
+    # One fixed value's index entries arrive in ascending key order.
+    emits_prefix_monotone = True
 
     def __init__(
         self,
@@ -306,8 +517,9 @@ class ValueStepOperator(Operator):
         predicates: list["CompiledPredicate"],
         text_only: bool = True,
         guard: "QueryGuard | None" = None,
+        block: BlockConfig | None = None,
     ):
-        super().__init__(store, guard)
+        super().__init__(store, guard, block)
         self.value = value
         self.text_only = text_only
         self.predicates = predicates
@@ -327,33 +539,37 @@ class ValueStepOperator(Operator):
                 continue
             yield key
 
-    def next_tuple(self) -> FlexKey | None:
+    def next_block(self, max_n: int) -> list[FlexKey]:
         if self.guard is not None:
             self.guard.checkpoint()
         if self.state is OperatorState.OUT_OF_TUPLES or not self._armed:
-            return None
+            return []
         if self._candidates is None:
             self.state = OperatorState.FETCHING
             candidates: Iterator[FlexKey] = self._value_hits()
             for predicate in self.predicates:
                 candidates = predicate.filter(self.store, candidates)
             self._candidates = candidates
-        key = next(self._candidates, None)
-        if key is None:
+        block = list(islice(self._candidates, max_n))
+        if len(block) < max_n:
             self.state = OperatorState.OUT_OF_TUPLES
-        return key
+        return block
 
 
 class UnionOperator(Operator):
     """Document-order, duplicate-free union of branch results."""
+
+    # Output is materialised sorted-distinct before the first emit.
+    emits_prefix_monotone = True
 
     def __init__(
         self,
         store: MassStore,
         branches: list[Operator],
         guard: "QueryGuard | None" = None,
+        block: BlockConfig | None = None,
     ):
-        super().__init__(store, guard)
+        super().__init__(store, guard, block)
         self.branches = branches
         self._result: Iterator[FlexKey] | None = None
 
@@ -363,24 +579,24 @@ class UnionOperator(Operator):
         for branch in self.branches:
             branch.reset(context)
 
-    def next_tuple(self) -> FlexKey | None:
+    def next_block(self, max_n: int) -> list[FlexKey]:
         if self.guard is not None:
             self.guard.checkpoint()
         if self.state is OperatorState.OUT_OF_TUPLES:
-            return None
+            return []
         if self._result is None:
             self.state = OperatorState.FETCHING
             merged: dict[bytes, FlexKey] = {}
             for branch in self.branches:
-                for key in branch.iterate():
+                for key in branch._drain():
                     merged.setdefault(key.sort_bytes, key)
             self._result = iter(
                 [merged[encoded] for encoded in sorted(merged)]
             )
-        key = next(self._result, None)
-        if key is None:
+        block = list(islice(self._result, max_n))
+        if len(block) < max_n:
             self.state = OperatorState.OUT_OF_TUPLES
-        return key
+        return block
 
 
 class JoinOperator(Operator):
@@ -392,6 +608,9 @@ class JoinOperator(Operator):
     the conventional build/probe split.
     """
 
+    # Output is materialised sorted-distinct before the first emit.
+    emits_prefix_monotone = True
+
     def __init__(
         self,
         store: MassStore,
@@ -399,8 +618,9 @@ class JoinOperator(Operator):
         right: Operator,
         condition: str,
         guard: "QueryGuard | None" = None,
+        block: BlockConfig | None = None,
     ):
-        super().__init__(store, guard)
+        super().__init__(store, guard, block)
         self.left = left
         self.right = right
         self.condition = condition
@@ -413,37 +633,37 @@ class JoinOperator(Operator):
         self.right.reset(context)
 
     def _matches(self) -> Iterator[FlexKey]:
-        left_keys = list(self.left.iterate())
+        left_keys = list(self.left._drain())
         if self.condition == "value-eq":
             build = {self.store.string_value(key) for key in left_keys}
-            for key in self.right.iterate():
+            for key in self.right._drain():
                 if self.store.string_value(key) in build:
                     yield key
         elif self.condition == "ancestor":
             build = {key.sort_bytes for key in left_keys}
-            for key in self.right.iterate():
+            for key in self.right._drain():
                 if any(ancestor.sort_bytes in build for ancestor in key.ancestors()):
                     yield key
         else:  # precedes
             if not left_keys:
                 return
             earliest = min(left_keys)
-            for key in self.right.iterate():
+            for key in self.right._drain():
                 if earliest < key and not earliest.is_ancestor_of(key):
                     yield key
 
-    def next_tuple(self) -> FlexKey | None:
+    def next_block(self, max_n: int) -> list[FlexKey]:
         if self.guard is not None:
             self.guard.checkpoint()
         if self.state is OperatorState.OUT_OF_TUPLES:
-            return None
+            return []
         if self._result is None:
             self.state = OperatorState.FETCHING
             self._result = iter(dedup_document_order(self._matches()))
-        key = next(self._result, None)
-        if key is None:
+        block = list(islice(self._result, max_n))
+        if len(block) < max_n:
             self.state = OperatorState.OUT_OF_TUPLES
-        return key
+        return block
 
 
 class RootOperator(Operator):
@@ -454,26 +674,30 @@ class RootOperator(Operator):
         store: MassStore,
         child: Operator | None,
         guard: "QueryGuard | None" = None,
+        block: BlockConfig | None = None,
     ):
-        super().__init__(store, guard)
+        super().__init__(store, guard, block)
         self.child = child
+        self.emits_prefix_monotone = (
+            child is None or child.emits_prefix_monotone
+        )
 
     def reset(self, context: FlexKey | None) -> None:
         self.state = OperatorState.INITIAL
         if self.child is not None:
             self.child.reset(context)
 
-    def next_tuple(self) -> FlexKey | None:
+    def next_block(self, max_n: int) -> list[FlexKey]:
         if self.guard is not None:
             self.guard.checkpoint()
         if self.child is None or self.state is OperatorState.OUT_OF_TUPLES:
             self.state = OperatorState.OUT_OF_TUPLES
-            return None
+            return []
         self.state = OperatorState.FETCHING
-        key = self.child.next_tuple()
-        if key is None:
+        block = self.child.next_block(max_n)
+        if len(block) < max_n:
             self.state = OperatorState.OUT_OF_TUPLES
-        return key
+        return block
 
 
 # -- predicates -----------------------------------------------------------------------
@@ -582,9 +806,15 @@ def _no_last() -> int:
 class ExpressionEvaluator:
     """Evaluates predicate-expression trees against an :class:`EvalContext`."""
 
-    def __init__(self, store: MassStore, guard: "QueryGuard | None" = None):
+    def __init__(
+        self,
+        store: MassStore,
+        guard: "QueryGuard | None" = None,
+        block: BlockConfig | None = None,
+    ):
         self.store = store
         self.guard = guard
+        self.block = block if block is not None else TUPLE_AT_A_TIME
 
     # -- dispatch -----------------------------------------------------------
 
@@ -615,7 +845,20 @@ class ExpressionEvaluator:
             operator.reset(key)
             return operator.iterate()
 
-        return NodeSetValue(iterate, self.store)
+        count_fast = None
+        if (
+            isinstance(path, StepNode)
+            and path.context_child is None
+            and not path.predicates
+        ):
+            # A bare axis step: count() can try the index-only range count
+            # (exact for descendant/following ranges) and skip iteration.
+            store, axis, test = self.store, path.axis, path.test
+
+            def count_fast() -> int | None:
+                return axis_count_exact(store, key, axis, test)
+
+        return NodeSetValue(iterate, self.store, count_fast)
 
     # -- binary operators --------------------------------------------------------
 
@@ -889,41 +1132,47 @@ def build_operators(
     node: PlanNode,
     evaluator: "ExpressionEvaluator | None" = None,
     guard: "QueryGuard | None" = None,
+    block: BlockConfig | None = None,
 ) -> Operator:
     """Instantiate the runtime operator tree for a plan subtree.
 
     The same ``guard`` threads into every operator and into the predicate
-    evaluator, so nested predicate sub-plans are governed too.
+    evaluator, so nested predicate sub-plans are governed too; likewise
+    the :class:`BlockConfig` (absent = tuple-at-a-time, the legacy mode).
     """
     if evaluator is None:
-        evaluator = ExpressionEvaluator(store, guard)
+        evaluator = ExpressionEvaluator(store, guard, block)
+    if block is None:
+        block = evaluator.block
     predicates = [CompiledPredicate(expr, evaluator) for expr in node.predicates]
     if isinstance(node, RootNode):
         child = (
-            build_operators(store, node.context_child, evaluator, guard)
+            build_operators(store, node.context_child, evaluator, guard, block)
             if node.context_child is not None
             else None
         )
-        return RootOperator(store, child, guard)
+        return RootOperator(store, child, guard, block)
     if isinstance(node, StepNode):
         child = (
-            build_operators(store, node.context_child, evaluator, guard)
+            build_operators(store, node.context_child, evaluator, guard, block)
             if node.context_child is not None
             else None
         )
-        return StepOperator(store, node, child, predicates, guard)
+        return StepOperator(store, node, child, predicates, guard, block)
     if isinstance(node, ValueStepNode):
-        return ValueStepOperator(store, node.value, predicates, node.text_only, guard)
+        return ValueStepOperator(
+            store, node.value, predicates, node.text_only, guard, block
+        )
     if isinstance(node, UnionNode):
         branches = [
-            build_operators(store, branch, evaluator, guard)
+            build_operators(store, branch, evaluator, guard, block)
             for branch in node.branches
         ]
-        return UnionOperator(store, branches, guard)
+        return UnionOperator(store, branches, guard, block)
     if isinstance(node, JoinNode):
-        left = build_operators(store, node.left, evaluator, guard)
-        right = build_operators(store, node.right, evaluator, guard)
-        return JoinOperator(store, left, right, node.condition, guard)
+        left = build_operators(store, node.left, evaluator, guard, block)
+        right = build_operators(store, node.right, evaluator, guard, block)
+        return JoinOperator(store, left, right, node.condition, guard, block)
     raise PlanError(f"cannot execute plan node {type(node).__name__}")
 
 
@@ -932,6 +1181,7 @@ def execute_plan(
     store: MassStore,
     context: FlexKey | None = None,
     guard: "QueryGuard | None" = None,
+    block: BlockConfig | None = None,
 ) -> Iterator[FlexKey]:
     """Run a plan, yielding result keys in pipeline order.
 
@@ -939,12 +1189,19 @@ def execute_plan(
     setting of context" for the leaf operator of the context path.  An
     XQuery host would pass other context keys here.  A ``guard`` binds to
     the store (page-budget baseline, deadline start) and tallies every
-    emitted tuple against the result cap.
+    emitted tuple against the result cap.  ``block`` selects the batched
+    pipeline (None = tuple-at-a-time); context coalescing is withheld from
+    plans that do not deduplicate their output, because coalescing
+    collapses the duplicate hits nested contexts produce.
     """
-    operator = build_operators(store, plan.root, guard=guard)
+    if block is not None and block.coalesce and not plan.root.distinct:
+        block = dataclass_replace(block, coalesce=False)
+    operator = build_operators(store, plan.root, guard=guard, block=block)
     if guard is not None:
         guard.bind(store)
     operator.reset(context if context is not None else FlexKey.document())
+    if block is not None and block.enabled and block.size > 1:
+        return _block_iterate(operator, block.size, guard)
     if guard is None:
         return operator.iterate()
     return _governed_iterate(operator, guard)
@@ -954,3 +1211,17 @@ def _governed_iterate(operator: Operator, guard: "QueryGuard") -> Iterator[FlexK
     for key in operator.iterate():
         guard.tally_result()
         yield key
+
+
+def _block_iterate(
+    operator: Operator, size: int, guard: "QueryGuard | None"
+) -> Iterator[FlexKey]:
+    """Drive the root operator block-at-a-time, tallying per result key."""
+    while True:
+        block = operator.next_block(size)
+        for key in block:
+            if guard is not None:
+                guard.tally_result()
+            yield key
+        if len(block) < size:
+            return

@@ -5,11 +5,11 @@ many files — exactly the kind of thing a refactor silently breaks and no
 unit test notices.  This linter walks the stdlib :mod:`ast` of every
 module under ``src/repro`` and enforces them:
 
-``VAM001`` **guard checkpoint** — every ``next_tuple`` implementation
-    must call ``.checkpoint()`` (threading the
+``VAM001`` **guard checkpoint** — every ``next_tuple`` and ``next_block``
+    implementation must call ``.checkpoint()`` (threading the
     :class:`~repro.resilience.QueryGuard`) before its first ``return`` or
-    ``yield``.  A tuple emitted before the checkpoint escapes the
-    governor's deadline/budget/cancellation checks.  Bodies that only
+    ``yield``.  A tuple (or block) emitted before the checkpoint escapes
+    the governor's deadline/budget/cancellation checks.  Bodies that only
     raise (the abstract base) are exempt.
 
 ``VAM002`` **no swallowed interrupts** — an ``except Exception`` handler
@@ -29,7 +29,7 @@ module under ``src/repro`` and enforces them:
     snapshot, never ``struct.error``.
 
 ``VAM004`` **no wall clock in operators** — classes implementing
-    ``next_tuple`` (or named ``*Operator``) must not *call*
+    ``next_tuple``/``next_block`` (or named ``*Operator``) must not *call*
     ``time.time``/``time.monotonic``/``time.perf_counter``; time is
     injected through the guard's clock so tests and replay stay
     deterministic.  Referencing a clock as a default argument is fine —
@@ -115,13 +115,13 @@ def _function_defs(tree: ast.AST):
             yield node
 
 
-# -- VAM001: guard checkpoint in next_tuple ------------------------------------
+# -- VAM001: guard checkpoint in next_tuple / next_block -----------------------
 
 
 def _check_guard_checkpoint(path: str, tree: ast.AST) -> list[LintViolation]:
     violations: list[LintViolation] = []
     for func in _function_defs(tree):
-        if func.name != "next_tuple":
+        if func.name not in ("next_tuple", "next_block"):
             continue
         first_emit: int | None = None
         first_checkpoint: int | None = None
@@ -142,7 +142,7 @@ def _check_guard_checkpoint(path: str, tree: ast.AST) -> list[LintViolation]:
             violations.append(
                 LintViolation(
                     path, func.lineno, "VAM001",
-                    f"next_tuple at line {func.lineno} never calls "
+                    f"{func.name} at line {func.lineno} never calls "
                     "guard.checkpoint()",
                 )
             )
@@ -150,7 +150,7 @@ def _check_guard_checkpoint(path: str, tree: ast.AST) -> list[LintViolation]:
             violations.append(
                 LintViolation(
                     path, first_emit, "VAM001",
-                    "next_tuple emits a tuple (line "
+                    f"{func.name} emits a tuple (line "
                     f"{first_emit}) before its first guard.checkpoint() "
                     f"(line {first_checkpoint})",
                 )
@@ -352,7 +352,7 @@ def _is_operator_class(node: ast.ClassDef) -> bool:
         return True
     return any(
         isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
-        and item.name == "next_tuple"
+        and item.name in ("next_tuple", "next_block")
         for item in node.body
     )
 

@@ -11,7 +11,12 @@ head to head, on the *same* XMark documents:
 * **range count** — name-index occurrence counts (the cost model's
   COUNT/TC numbers);
 * **queries** — the paper's Q1-Q5 end to end, optimized plans, at two
-  XMark scales.
+  XMark scales;
+* **batched queries** — the same engine with the block-at-a-time
+  pipeline on vs off (``VamanaEngine(batched=...)``), over Q1-Q5 plus
+  deep ``//x//y`` workloads where context coalescing and skip-ahead
+  cursors apply; reports per-query speedup and the root-descent /
+  cursor-resume counter deltas.
 
 The baseline engine is a real configuration, not a simulation:
 ``MassStore(byte_keys=False)`` builds the identical trees with Python
@@ -46,6 +51,15 @@ PAPER_QUERIES = {
     "Q3": "/descendant::name/parent::*/self::person/address",
     "Q4": "//itemref/following-sibling::price/parent::*",
     "Q5": "//province[text()='Vermont']/ancestor::person",
+}
+
+#: Deep descendant chains: the workloads the batched pipeline targets.
+#: Each step is predicate-free, so context coalescing and zig-zag
+#: skip-ahead both engage.
+DEEP_QUERIES = {
+    "D1": "//item//text",
+    "D2": "//open_auction//description//text",
+    "D3": "//node()//text()",
 }
 
 #: Nominal document sizes (paper-style MB labels) for the two scales.
@@ -197,6 +211,64 @@ def _bench_queries(
     return report
 
 
+def _bench_batched(byte_store: MassStore, repeats: int) -> dict:
+    """Block-at-a-time pipeline vs the tuple-at-a-time shim, same store.
+
+    Both engines run on the byte-keyed store; the only difference is the
+    ``batched`` knob.  Each query's key sequence must match exactly —
+    the bench doubles as an end-to-end equivalence check — and the
+    counter deltas show root descents traded for cursor resumes.
+    """
+    report: dict = {}
+    tuple_engine = VamanaEngine(byte_store, batched=False)
+    batched_engine = VamanaEngine(byte_store, batched=True)
+    workload = dict(PAPER_QUERIES)
+    workload.update(DEEP_QUERIES)
+    for label, query in workload.items():
+        tuple_result = tuple_engine.evaluate(query)
+        before = dict(byte_store.counters)
+        batched_result = batched_engine.evaluate(query)
+        after = byte_store.counters
+        if tuple_result.keys != batched_result.keys:
+            raise AssertionError(
+                f"{label}: batched results diverge from tuple-at-a-time"
+            )
+        # Interleave the two engines per repeat so slow machine drift
+        # hits both sides equally instead of biasing whichever ran last,
+        # and amortize microsecond-scale queries over an inner loop so
+        # timer granularity doesn't dominate the ratio.
+        started = time.perf_counter()
+        tuple_engine.evaluate(query)
+        probe = time.perf_counter() - started
+        inner = max(1, min(100, int(0.002 / max(probe, 1e-9))))
+        sample = probe * inner
+        outer = max(repeats, 5, min(25, int(0.12 / max(sample, 1e-9))))
+        tuple_seconds = batched_seconds = float("inf")
+        for _ in range(outer):
+            started = time.perf_counter()
+            for _ in range(inner):
+                tuple_engine.evaluate(query)
+            tuple_seconds = min(
+                tuple_seconds, (time.perf_counter() - started) / inner
+            )
+            started = time.perf_counter()
+            for _ in range(inner):
+                batched_engine.evaluate(query)
+            batched_seconds = min(
+                batched_seconds, (time.perf_counter() - started) / inner
+            )
+        report[label] = {
+            "expression": query,
+            "results": len(batched_result),
+            "tuple_seconds": tuple_seconds,
+            "batched_seconds": batched_seconds,
+            "speedup": _ratio(tuple_seconds, batched_seconds),
+            "root_descents": after["root_descents"] - before["root_descents"],
+            "cursor_resumes": after["cursor_resumes"] - before["cursor_resumes"],
+        }
+    return report
+
+
 # -- harness -------------------------------------------------------------------
 
 
@@ -248,6 +320,7 @@ def run_hotpath_bench(
                 baseline_store, byte_store, repeats, inner=1 if quick else 10
             ),
             "queries": _bench_queries(baseline_store, byte_store, repeats),
+            "batched_queries": _bench_batched(byte_store, repeats),
         }
     return report
 
@@ -272,6 +345,13 @@ def summarize(report: dict) -> str:
                 f"  {label:13s} {data['baseline_seconds'] * 1e3:9.3f} ms "
                 f"-> {data['optimized_seconds'] * 1e3:9.3f} ms "
                 f"({data['speedup']:.2f}x, {data['results']} results)"
+            )
+        for label, data in sections["batched_queries"].items():
+            lines.append(
+                f"  batched {label:5s} {data['tuple_seconds'] * 1e3:9.3f} ms "
+                f"-> {data['batched_seconds'] * 1e3:9.3f} ms "
+                f"({data['speedup']:.2f}x, {data['results']} results, "
+                f"{data['cursor_resumes']} resumes)"
             )
     return "\n".join(lines)
 

@@ -100,6 +100,35 @@ class CostEstimator:
         self._annotate_plan_node(plan.root, predicate_input=None)
         return self.ordered_list(plan)
 
+    def suggest_block_size(self, plan: QueryPlan) -> int:
+        """Size pipeline blocks from the plan's estimated cardinalities.
+
+        The widest operator in the plan — not the root — sets the block
+        size: a selective final step over a broad leaf scan still wants
+        big blocks upstream, and every operator in the pipeline shares
+        one size.  The suggestion is clamped to [16, 256]: below 16
+        batching cannot amortize dispatch, while measurements show the
+        coalesced scans that batching exists for are insensitive above
+        256 and non-batchable steps pay a small buffering tax for
+        oversized blocks.  Falls back to the default size when the
+        estimator has no cardinality for the plan.
+        """
+        if plan.root.cost.tuples_out is None:
+            self.estimate(plan)
+        widest = max(
+            (
+                node.cost.tuples_out
+                for node in plan.walk()
+                if node.cost.tuples_out is not None
+            ),
+            default=None,
+        )
+        if widest is None or widest <= 0:
+            from repro.algebra.execution import DEFAULT_BLOCK_SIZE
+
+            return DEFAULT_BLOCK_SIZE
+        return max(16, min(256, int(widest)))
+
     def ordered_list(self, plan: QueryPlan) -> list[OrderedOperator]:
         """L(P): candidate operators sorted by selectivity, then by id."""
         entries: list[tuple[PlanBase, float]] = []

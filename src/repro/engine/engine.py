@@ -38,9 +38,12 @@ from repro.analysis.satisfiability import (
     xmark_schema,
 )
 from repro.algebra.execution import (
+    BlockConfig,
+    DEFAULT_BLOCK_SIZE,
     EvalContext,
     ExpressionEvaluator,
     NodeSetValue,
+    TUPLE_AT_A_TIME,
     dedup_document_order,
     execute_plan,
     to_boolean,
@@ -65,10 +68,19 @@ class VamanaEngine:
         plan_cache_size: int = 128,
         verify_rewrites: bool = True,
         static_check: bool = True,
+        batched: bool = True,
+        block_size: int | None = None,
     ):
         self.store = store
         self.optimizer = Optimizer(store, rules, verify=verify_rewrites)
         self.estimator = CostEstimator(store)
+        #: ``batched`` selects the block-at-a-time pipeline (with shared
+        #: skip-ahead cursors and context coalescing); off, every operator
+        #: moves one tuple per call — the paper's original execution mode,
+        #: kept as the benchmark baseline.  ``block_size`` pins the root
+        #: block size; None lets the cost estimator size it per plan.
+        self.batched = batched
+        self.block_size = block_size
         #: ``static_check`` enables the satisfiability pre-pass: queries
         #: the schema analysis proves empty are answered without planning
         #: or touching the store.  Disable it for documents whose shape
@@ -216,6 +228,39 @@ class VamanaEngine:
 
     # -- execution --------------------------------------------------------------
 
+    def _block_config(self, plan: QueryPlan) -> BlockConfig:
+        """The pipeline configuration for one plan execution.
+
+        The estimator call is advisory: if it breaks on a pathological
+        plan the default block size is used.  Guard violations and
+        interrupts still propagate.
+        """
+        if not self.batched:
+            return TUPLE_AT_A_TIME
+        if self.block_size is not None:
+            return BlockConfig(
+                enabled=True, size=max(1, self.block_size), coalesce=True
+            )
+        # Plans are cached per expression, so memoizing the config on
+        # the plan keeps repeat evaluations from re-walking it (visible
+        # on microsecond-scale queries).
+        config = getattr(plan, "_block_config_hint", None)
+        if config is None:
+            try:
+                size = self.estimator.suggest_block_size(plan)
+            except (
+                KeyboardInterrupt,
+                QueryTimeoutError,
+                BudgetExceededError,
+                QueryCancelledError,
+            ):
+                raise
+            except Exception:  # noqa: BLE001 - advisory sizing only
+                size = DEFAULT_BLOCK_SIZE
+            config = BlockConfig(enabled=True, size=max(1, size), coalesce=True)
+            plan._block_config_hint = config
+        return config
+
     def execute(
         self,
         plan: QueryPlan,
@@ -231,7 +276,11 @@ class VamanaEngine:
         """
         before = self.store.io_snapshot()
         started = time.perf_counter()
-        raw_keys = list(execute_plan(plan, self.store, context, guard=guard))
+        raw_keys = list(
+            execute_plan(
+                plan, self.store, context, guard=guard, block=self._block_config(plan)
+            )
+        )
         elapsed = time.perf_counter() - started
         keys = dedup_document_order(raw_keys) if plan.root.distinct else raw_keys
         after = self.store.io_snapshot()

@@ -32,17 +32,65 @@ AxisHit = tuple[FlexKey, NodeRecord | None]
 #: Node kinds that only the attribute / namespace axes may deliver.
 _SPECIAL_KINDS = frozenset({NodeKind.ATTRIBUTE, NodeKind.NAMESPACE})
 
+#: How many scanned entries a coalesced scan may advance between guard
+#: checkpoints.  Small enough that a page budget can only be overshot by a
+#: couple of leaves; large enough to amortize the checkpoint call.
+_CHECKPOINT_EVERY = 64
+
+
+class ScanCursors:
+    """One lazily-created skip-ahead cursor per index, shared by an operator.
+
+    A :class:`~repro.algebra.execution.StepOperator` issues long runs of
+    range scans whose start points advance in document order, so every scan
+    it makes through these cursors can usually resume from the previous
+    scan's pinned leaf (see :class:`~repro.mass.btree.BTreeCursor`).
+    """
+
+    __slots__ = ("_store", "_name", "_node")
+
+    def __init__(self, store: "MassStore"):
+        self._store = store
+        self._name = None
+        self._node = None
+
+    def name_cursor(self):
+        if self._name is None:
+            self._name = self._store.name_index.cursor()
+        return self._name
+
+    def node_cursor(self):
+        if self._node is None:
+            self._node = self._store.node_index.cursor()
+        return self._node
+
+    def fetch(self, key: FlexKey):
+        """:meth:`MassStore.fetch` through the node cursor.
+
+        Context nodes arrive in document order, so the record is almost
+        always in the pinned leaf's neighbourhood — the lookup resumes
+        instead of costing a root-to-leaf descent per context.
+        """
+        self._store.metrics.record_fetches += 1
+        return self._store.node_index.get_cursor(self.node_cursor(), key)
+
 
 def axis_iter(
-    store: "MassStore", context: FlexKey, axis: Axis, test: NodeTest
+    store: "MassStore",
+    context: FlexKey,
+    axis: Axis,
+    test: NodeTest,
+    cursors: ScanCursors | None = None,
 ) -> Iterator[AxisHit]:
     """Iterate the nodes reached from ``context`` along ``axis``.
 
     Hits arrive in axis order (document order for forward axes, reverse
-    document order for reverse axes) and satisfy ``test``.
+    document order for reverse axes) and satisfy ``test``.  With
+    ``cursors``, range scans position through the shared skip-ahead
+    cursors instead of descending from the root each time.
     """
     handler = _HANDLERS[axis]
-    return handler(store, context, axis, test)
+    return handler(store, context, axis, test, cursors)
 
 
 def _record_matches(
@@ -90,13 +138,13 @@ def _subtree_range(store: "MassStore", context: FlexKey):
 # -- key-arithmetic axes -------------------------------------------------------
 
 
-def _iter_self(store, context, axis, test):
+def _iter_self(store, context, axis, test, cursors=None):
     record = store.fetch(context)
     if record is not None and _record_matches(record, axis, test, selfish=True):
         yield context, record
 
 
-def _iter_parent(store, context, axis, test):
+def _iter_parent(store, context, axis, test, cursors=None):
     parent = context.parent()
     if parent is None:
         return
@@ -105,14 +153,14 @@ def _iter_parent(store, context, axis, test):
         yield parent, record
 
 
-def _iter_ancestor(store, context, axis, test):
+def _iter_ancestor(store, context, axis, test, cursors=None):
     for key in context.ancestors():
         record = store.fetch(key)
         if record is not None and _record_matches(record, axis, test):
             yield key, record
 
 
-def _iter_ancestor_or_self(store, context, axis, test):
+def _iter_ancestor_or_self(store, context, axis, test, cursors=None):
     yield from _iter_self(store, context, axis, test)
     yield from _iter_ancestor(store, context, axis, test)
 
@@ -130,6 +178,7 @@ def _scan(
     reverse: bool = False,
     depth: int | None = None,
     skip_ancestors_of: FlexKey | None = None,
+    cursors: ScanCursors | None = None,
 ) -> Iterator[AxisHit]:
     """One contiguous index scan with the per-axis filters applied.
 
@@ -137,13 +186,21 @@ def _scan(
     prefixes in byte-key mode, FLEX keys otherwise (see :func:`_key_bound`).
     Uses the name index when the node test pins an index name (no record
     fetches at all — depth filtering is key arithmetic); otherwise scans
-    the clustered node index and filters records.
+    the clustered node index and filters records.  With ``cursors``, the
+    scan positions through the shared cursor (leaf resume) instead of a
+    fresh root descent.
     """
     index_name = index_name_for_test(test, axis.principal_kind)
     if index_name is not None:
-        for key, kind in store.name_index.scan(
-            index_name, lo=lo, hi=hi, inclusive_lo=inclusive_lo, reverse=reverse
-        ):
+        if cursors is not None:
+            hits = store.name_index.scan_cursor(
+                cursors.name_cursor(), index_name, lo, hi, inclusive_lo, reverse
+            )
+        else:
+            hits = store.name_index.scan(
+                index_name, lo=lo, hi=hi, inclusive_lo=inclusive_lo, reverse=reverse
+            )
+        for key, kind in hits:
             if kind in _SPECIAL_KINDS and axis not in (Axis.ATTRIBUTE, Axis.NAMESPACE):
                 continue
             if axis is Axis.ATTRIBUTE and kind is not NodeKind.ATTRIBUTE:
@@ -156,9 +213,15 @@ def _scan(
                 continue
             yield key, None
         return
-    for record in store.node_index.scan(
-        lo, hi, inclusive_lo=inclusive_lo, reverse=reverse
-    ):
+    if cursors is not None:
+        records = store.node_index.scan_cursor(
+            cursors.node_cursor(), lo, hi, inclusive_lo=inclusive_lo, reverse=reverse
+        )
+    else:
+        records = store.node_index.scan(
+            lo, hi, inclusive_lo=inclusive_lo, reverse=reverse
+        )
+    for record in records:
         if depth is not None and record.key.depth != depth:
             continue
         if skip_ancestors_of is not None and record.key.is_ancestor_of(skip_ancestors_of):
@@ -167,45 +230,48 @@ def _scan(
             yield record.key, record
 
 
-def _iter_child(store, context, axis, test):
+def _iter_child(store, context, axis, test, cursors=None):
     lo, hi = _subtree_range(store, context)
     yield from _scan(
-        store, axis, test, lo, hi, inclusive_lo=False, depth=context.depth + 1
+        store, axis, test, lo, hi, inclusive_lo=False, depth=context.depth + 1,
+        cursors=cursors,
     )
 
 
-def _iter_attribute(store, context, axis, test):
+def _iter_attribute(store, context, axis, test, cursors=None):
     lo, hi = _subtree_range(store, context)
     yield from _scan(
-        store, axis, test, lo, hi, inclusive_lo=False, depth=context.depth + 1
+        store, axis, test, lo, hi, inclusive_lo=False, depth=context.depth + 1,
+        cursors=cursors,
     )
 
 
-def _iter_namespace(store, context, axis, test):
+def _iter_namespace(store, context, axis, test, cursors=None):
     lo, hi = _subtree_range(store, context)
     yield from _scan(
-        store, axis, test, lo, hi, inclusive_lo=False, depth=context.depth + 1
+        store, axis, test, lo, hi, inclusive_lo=False, depth=context.depth + 1,
+        cursors=cursors,
     )
 
 
-def _iter_descendant(store, context, axis, test):
+def _iter_descendant(store, context, axis, test, cursors=None):
     lo, hi = _subtree_range(store, context)
-    yield from _scan(store, axis, test, lo, hi, inclusive_lo=False)
+    yield from _scan(store, axis, test, lo, hi, inclusive_lo=False, cursors=cursors)
 
 
-def _iter_descendant_or_self(store, context, axis, test):
+def _iter_descendant_or_self(store, context, axis, test, cursors=None):
     yield from _iter_self(store, context, axis, test)
-    yield from _iter_descendant(store, context, axis, test)
+    yield from _iter_descendant(store, context, axis, test, cursors)
 
 
-def _iter_following(store, context, axis, test):
+def _iter_following(store, context, axis, test, cursors=None):
     if context.is_document():
         return
     bound = _subtree_top(store, context)
-    yield from _scan(store, axis, test, bound, None, inclusive_lo=True)
+    yield from _scan(store, axis, test, bound, None, inclusive_lo=True, cursors=cursors)
 
 
-def _iter_preceding(store, context, axis, test):
+def _iter_preceding(store, context, axis, test, cursors=None):
     if context.is_document():
         return
     yield from _scan(
@@ -217,29 +283,31 @@ def _iter_preceding(store, context, axis, test):
         inclusive_lo=True,
         reverse=True,
         skip_ancestors_of=context,
+        cursors=cursors,
     )
 
 
-def _context_has_siblings(store, context: FlexKey) -> bool:
+def _context_has_siblings(store, context: FlexKey, cursors=None) -> bool:
     """Attribute and namespace nodes have no siblings (XPath 1.0 §2.2)."""
-    record = store.fetch(context)
+    record = cursors.fetch(context) if cursors else store.fetch(context)
     return record is None or record.kind not in _SPECIAL_KINDS
 
 
-def _iter_following_sibling(store, context, axis, test):
+def _iter_following_sibling(store, context, axis, test, cursors=None):
     parent = context.parent()
-    if parent is None or not _context_has_siblings(store, context):
+    if parent is None or not _context_has_siblings(store, context, cursors):
         return
     lo = _subtree_top(store, context)
     hi = None if parent.is_document() else _subtree_top(store, parent)
     yield from _scan(
-        store, axis, test, lo, hi, inclusive_lo=True, depth=context.depth
+        store, axis, test, lo, hi, inclusive_lo=True, depth=context.depth,
+        cursors=cursors,
     )
 
 
-def _iter_preceding_sibling(store, context, axis, test):
+def _iter_preceding_sibling(store, context, axis, test, cursors=None):
     parent = context.parent()
-    if parent is None or not _context_has_siblings(store, context):
+    if parent is None or not _context_has_siblings(store, context, cursors):
         return
     yield from _scan(
         store,
@@ -250,6 +318,7 @@ def _iter_preceding_sibling(store, context, axis, test):
         inclusive_lo=False,
         reverse=True,
         depth=context.depth,
+        cursors=cursors,
     )
 
 
@@ -268,6 +337,130 @@ _HANDLERS = {
     Axis.FOLLOWING_SIBLING: _iter_following_sibling,
     Axis.PRECEDING_SIBLING: _iter_preceding_sibling,
 }
+
+
+# -- batched scanning (block-at-a-time pipeline) -------------------------------
+
+#: A scan span in byte-key space: ``(lo, hi, inclusive_lo)`` with ``hi=None``
+#: for an open range.  Spans produced by :func:`coalesced_spans` are disjoint
+#: and sorted.
+ScanSpan = tuple[bytes, "bytes | None", bool]
+
+#: Sentinel "covered" value: an earlier span was open-ended, so every later
+#: context is inside already-scanned territory.
+COVERED_ALL = object()
+
+
+def coalesced_spans(
+    store: "MassStore",
+    axis: Axis,
+    contexts: list[FlexKey],
+    covered: "bytes | object | None" = None,
+) -> tuple[list[ScanSpan], "bytes | object | None"]:
+    """Coalesce a document-ordered context batch into disjoint scan spans.
+
+    FLEX prefix ranges are nested or disjoint, never partially overlapping,
+    so a context whose subtree range ends at or before the previous kept
+    span's end (or before ``covered``, the high-water mark of earlier
+    batches) contributes nothing new — the covering span's scan already
+    emits its self hit and its whole subtree — and is dropped outright.
+    This is only sound when the consumer deduplicates (coalescing collapses
+    the duplicate hits tuple-at-a-time evaluation would emit), which the
+    batch gate in the execution layer guarantees.
+
+    ``axis`` must be DESCENDANT, DESCENDANT_OR_SELF or FOLLOWING.  For
+    FOLLOWING the whole batch collapses to one open span starting at the
+    lowest subtree top.  Returns ``(spans, covered)`` with the advanced
+    high-water mark for the next batch.
+    """
+    spans: list[ScanSpan] = []
+    if axis is Axis.FOLLOWING:
+        if covered is COVERED_ALL:
+            return spans, covered
+        tops = [
+            context.subtree_upper_bound_bytes()
+            for context in contexts
+            if not context.is_document()
+        ]
+        if tops:
+            lo = min(tops)
+            if not (isinstance(covered, bytes) and lo < covered):
+                spans.append((lo, None, True))
+            else:
+                spans.append((covered, None, True))
+            covered = COVERED_ALL
+        return spans, covered
+    inclusive = axis is Axis.DESCENDANT_OR_SELF
+    for context in contexts:
+        if covered is COVERED_ALL:
+            break
+        if context.is_document():
+            # The document's subtree is everything after its key; the
+            # document node itself has no name entry, so the self hit of
+            # descendant-or-self cannot match an index-resolvable test.
+            lo, hi, incl = context.sort_bytes, None, False
+        else:
+            lo, hi, incl = (
+                context.sort_bytes,
+                context.subtree_upper_bound_bytes(),
+                inclusive,
+            )
+        if isinstance(covered, bytes) and hi is not None and hi <= covered:
+            continue  # nested inside an already-kept span
+        spans.append((lo, hi, incl))
+        covered = COVERED_ALL if hi is None else hi
+    return spans, covered
+
+
+def scan_coalesced(
+    store: "MassStore",
+    axis: Axis,
+    test: NodeTest,
+    spans: list[ScanSpan],
+    cursors: ScanCursors,
+    guard=None,
+) -> Iterator[FlexKey]:
+    """Scan disjoint document-ordered spans, yielding matching keys.
+
+    The guard is checkpointed every :data:`_CHECKPOINT_EVERY` scanned
+    entries — the batched pipeline's replacement for the per-tuple
+    checkpoints of ``next_tuple``.  When the node test pins an index name,
+    the zig-zag skip applies: a span whose upper bound lies at or before
+    the cursor's pinned position (which, spans being sorted and disjoint,
+    is the first entry not yet returned) is proven empty and skipped with
+    zero tree operations.
+    """
+    index_name = index_name_for_test(test, axis.principal_kind)
+    since_checkpoint = 0
+    if index_name is not None:
+        cursor = cursors.name_cursor()
+        for lo, hi, inclusive_lo in spans:
+            if hi is not None:
+                _low, high = store.name_index.search_bounds(index_name, lo, hi)
+                if cursor.past(high):
+                    continue
+            for key, kind in store.name_index.scan_cursor(
+                cursor, index_name, lo, hi, inclusive_lo
+            ):
+                since_checkpoint += 1
+                if guard is not None and since_checkpoint >= _CHECKPOINT_EVERY:
+                    guard.checkpoint()
+                    since_checkpoint = 0
+                if kind in _SPECIAL_KINDS:
+                    continue
+                yield key
+        return
+    cursor = cursors.node_cursor()
+    for lo, hi, inclusive_lo in spans:
+        for record in store.node_index.scan_cursor(
+            cursor, lo, hi, inclusive_lo=inclusive_lo
+        ):
+            since_checkpoint += 1
+            if guard is not None and since_checkpoint >= _CHECKPOINT_EVERY:
+                guard.checkpoint()
+                since_checkpoint = 0
+            if _record_matches(record, axis, test):
+                yield record.key
 
 
 # -- index-only counting -------------------------------------------------------
@@ -322,4 +515,37 @@ def axis_count_upper(
         return 1
     if axis in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
         return context.depth
+    return None
+
+
+def axis_count_exact(
+    store: "MassStore", context: FlexKey, axis: Axis, test: NodeTest
+) -> int | None:
+    """Exact hit count of one axis step via O(log n) range counts, or None.
+
+    This is the subset of :func:`axis_count_upper` that is provably exact:
+    axes whose result is one contiguous name run with no depth filter
+    (descendant, descendant-or-self, following) under an index-resolvable
+    node test.  ``NodeSetValue.count()`` uses it to answer ``count(...)``
+    without materializing a single key — the paper's O(log n) counting
+    contract.  Child/attribute need a depth filter (upper bound only) and
+    preceding's range includes ancestors, so those return None.
+    """
+    index_name = index_name_for_test(test, axis.principal_kind)
+    if index_name is None:
+        return None
+    if axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+        lo, hi = _subtree_range(store, context)
+        count = store.name_index.count_between(index_name, lo, hi, inclusive_lo=False)
+        if axis is Axis.DESCENDANT_OR_SELF:
+            record = store.fetch(context)
+            if record is not None and _record_matches(record, axis, test, selfish=True):
+                count += 1
+        return count
+    if axis is Axis.FOLLOWING:
+        if context.is_document():
+            return 0
+        return store.name_index.count_between(
+            index_name, _subtree_top(store, context), None
+        )
     return None

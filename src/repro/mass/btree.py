@@ -49,16 +49,26 @@ DEFAULT_ENTRY_BYTES = 48
 
 @dataclass(slots=True)
 class TreeMetrics:
-    """Counters a single tree accumulates across operations."""
+    """Counters a single tree accumulates across operations.
+
+    ``root_descents`` counts full root-to-leaf positioning walks (point
+    lookups, scan starts); ``cursor_resumes`` counts the positionings a
+    :class:`BTreeCursor` answered from its pinned leaf instead.  Their
+    ratio is the skip-ahead machinery's effectiveness measure.
+    """
 
     key_comparisons: int = 0
     node_visits: int = 0
     entries_scanned: int = 0
+    root_descents: int = 0
+    cursor_resumes: int = 0
 
     def reset(self) -> None:
         self.key_comparisons = 0
         self.node_visits = 0
         self.entries_scanned = 0
+        self.root_descents = 0
+        self.cursor_resumes = 0
 
 
 class _Leaf:
@@ -121,6 +131,9 @@ class BPlusTree:
         self.metrics = TreeMetrics()
         self._root: _Leaf | _Internal = self._new_leaf()
         self._size = 0
+        #: Structural modification counter: bumped by insert/delete/bulk_load.
+        #: Cursors snapshot it and refuse to resume from a stale pin.
+        self._mods = 0
 
     # -- node/page plumbing -------------------------------------------------
 
@@ -223,6 +236,7 @@ class BPlusTree:
 
     def insert(self, key: Any, value: Any = None) -> None:
         """Insert a new entry; replaces the value if the key exists."""
+        self._mods += 1
         split = self._insert_into(self._root, key, self.search_key(key), value)
         if split is not None:
             separator, right = split
@@ -240,6 +254,7 @@ class BPlusTree:
         rebalanced — deletes are rare in this workload and counts stay
         exact either way.
         """
+        self._mods += 1
         removed = self._delete_from(self._root, self.search_key(key))
         if removed:
             if isinstance(self._root, _Internal) and len(self._root.children) == 1:
@@ -532,6 +547,7 @@ class BPlusTree:
         Replaces current content.  Loading a document this way produces
         ~69%-full leaves like a real clustered bulk load would.
         """
+        self._mods += 1
         pairs = list(items)
         if self._encode is None:
             skeys = [key for key, _ in pairs]
@@ -589,6 +605,7 @@ class BPlusTree:
         The leaf slot is the bisect-left position, or bisect-right when
         ``right`` is set (used by exclusive/inclusive scan bounds).
         """
+        self.metrics.root_descents += 1
         if self._encode is not None:
             # Byte-mode fast path — see rank_encoded.
             touch = self._buffer.touch
@@ -618,6 +635,7 @@ class BPlusTree:
         return node, bisect(self._leaf_skeys(node), skey)
 
     def _leftmost_leaf(self) -> _Leaf:
+        self.metrics.root_descents += 1
         node = self._root
         while isinstance(node, _Internal):
             self._visit(node)
@@ -626,6 +644,7 @@ class BPlusTree:
         return node
 
     def _rightmost_leaf(self) -> _Leaf:
+        self.metrics.root_descents += 1
         node = self._root
         while isinstance(node, _Internal):
             self._visit(node)
@@ -813,6 +832,207 @@ class BPlusTree:
                 )
             total += count
         return total, None, None
+
+
+class BTreeCursor:
+    """A pinned-leaf range scanner that resumes instead of re-descending.
+
+    A plain :meth:`BPlusTree.scan_encoded` starts every range with a full
+    root-to-leaf descent.  Axis evaluation, however, issues long runs of
+    *nearby* ranges — one per context node, in document order — so the
+    next range's start almost always lives in the leaf where the previous
+    scan stopped (or where it *started*: sibling axes re-scan overlapping
+    tails, which is what the seek anchor catches).  The cursor pins
+    ``(leaf, slot)`` after every operation and answers the next ``seek``
+    by bisecting the pinned, anchor, or directly adjacent leaves; only
+    when the target is further away does it fall back to a descent.
+
+    Resumes and descents are tallied in :class:`TreeMetrics`
+    (``cursor_resumes`` / ``root_descents``).  A structural modification
+    (insert, delete, bulk load) bumps the tree's ``_mods`` stamp and
+    silently invalidates the pin — the next positioning simply descends,
+    so a cursor can never observe unlinked leaves.  At the store level
+    this is the same event that bumps ``MassStore.epoch``.
+
+    Cursors serve *forward and reverse* scans and are single-consumer: a
+    scan generator writes its stopping position back into the cursor, so
+    interleaving two live scans from one cursor would corrupt the pin
+    (each scan stamps a token and only the newest writes back).
+    """
+
+    __slots__ = ("_tree", "_leaf", "_index", "_anchor", "_mods", "_token")
+
+    def __init__(self, tree: BPlusTree):
+        self._tree = tree
+        self._leaf: _Leaf | None = None
+        self._index = 0
+        self._anchor: _Leaf | None = None  # leaf where the last seek landed
+        self._mods = -1
+        self._token = 0
+
+    # -- positioning ---------------------------------------------------------
+
+    def _pin(self, leaf: _Leaf | None, index: int) -> None:
+        self._leaf = leaf
+        self._index = index
+        self._mods = self._tree._mods
+
+    def _resume(self, skey: Any, right: bool) -> tuple[_Leaf, int] | None:
+        """Position for ``skey`` from the pinned neighbourhood, or None."""
+        tree = self._tree
+        if self._mods != tree._mods:
+            return None
+        seen: list[_Leaf] = []
+        for base in (self._leaf, self._anchor):
+            if base is None:
+                continue
+            for leaf in (base, base.next, base.prev):
+                if leaf is None or not leaf.keys or leaf in seen:
+                    continue
+                seen.append(leaf)
+                skeys = tree._leaf_skeys(leaf)
+                if skeys[0] <= skey <= skeys[-1]:
+                    tree._visit(leaf)
+                    bis = tree._bisect_right if right else tree._bisect_left
+                    return leaf, bis(skeys, skey)
+        return None
+
+    def seek(self, skey: Any, right: bool = False) -> tuple[_Leaf, int]:
+        """Pin the position of the first entry >= ``skey`` (> if ``right``).
+
+        Bounds are in search-key space (pre-encoded in byte mode).
+        """
+        self._token += 1
+        position = self._resume(skey, right)
+        if position is None:
+            position = self._tree._find_leaf(skey, right=right)
+        else:
+            self._tree.metrics.cursor_resumes += 1
+        leaf, index = position
+        self._anchor = leaf
+        self._pin(leaf, index)
+        return position
+
+    def get(self, skey: Any, default: Any = None) -> Any:
+        """Point lookup through the cursor — :meth:`BPlusTree.get` that
+        resumes from the pinned neighbourhood instead of descending."""
+        if not self._tree._size:
+            return default
+        leaf, index = self.seek(skey)
+        skeys = self._tree._leaf_skeys(leaf)
+        if index < len(skeys) and skeys[index] == skey:
+            return leaf.values[index]
+        return default
+
+    def past(self, skey: Any) -> bool:
+        """True when the pinned entry already sits at/past ``skey``.
+
+        Lets callers skip a whole range with zero tree operations when the
+        cursor's position proves it empty — the cheap half of the zig-zag.
+        """
+        leaf = self._leaf
+        if leaf is None or self._mods != self._tree._mods:
+            return False
+        skeys = self._tree._leaf_skeys(leaf)
+        if self._index < len(skeys):
+            return skeys[self._index] >= skey
+        return False
+
+    # -- scanning ------------------------------------------------------------
+
+    def scan(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        inclusive_lo: bool = True,
+        inclusive_hi: bool = False,
+    ) -> Iterator[tuple[Any, Any]]:
+        """:meth:`BPlusTree.scan_encoded`, resuming from the pinned leaf.
+
+        The cursor is left pinned where the scan stops (bound hit,
+        exhaustion, or abandonment), ready to resume the next range.
+        """
+        tree = self._tree
+        if not tree._size:
+            return
+        if lo is None:
+            leaf: _Leaf | None = tree._leftmost_leaf()
+            index = 0
+            self._token += 1
+            self._anchor = leaf
+            self._pin(leaf, index)
+        else:
+            leaf, index = self.seek(lo, right=not inclusive_lo)
+        token = self._token
+        metrics = tree.metrics
+        try:
+            while leaf is not None:
+                skeys = tree._leaf_skeys(leaf)
+                if index >= len(skeys):
+                    leaf = leaf.next
+                    index = 0
+                    if leaf is not None:
+                        tree._visit(leaf)
+                    continue
+                if hi is not None:
+                    skey = skeys[index]
+                    metrics.key_comparisons += 1
+                    past = skey > hi if inclusive_hi else skey >= hi
+                    if past:
+                        return
+                metrics.entries_scanned += 1
+                yield leaf.keys[index], leaf.values[index]
+                index += 1
+        finally:
+            # Write the stopping position back — unless a newer scan/seek
+            # already moved the cursor (an abandoned generator finalizing
+            # late must not clobber it).
+            if token == self._token and leaf is not None:
+                self._pin(leaf, index)
+
+    def scan_reverse(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        inclusive_lo: bool = True,
+        inclusive_hi: bool = False,
+    ) -> Iterator[tuple[Any, Any]]:
+        """:meth:`BPlusTree.scan_reverse_encoded` with cursor resume."""
+        tree = self._tree
+        if not tree._size:
+            return
+        if hi is None:
+            leaf: _Leaf | None = tree._rightmost_leaf()
+            index = len(leaf.keys) - 1
+            self._token += 1
+            self._anchor = leaf
+            self._pin(leaf, index)
+        else:
+            leaf, index = self.seek(hi, right=inclusive_hi)
+            index -= 1
+        token = self._token
+        metrics = tree.metrics
+        try:
+            while leaf is not None:
+                if index < 0:
+                    leaf = leaf.prev
+                    if leaf is None:
+                        return
+                    tree._visit(leaf)
+                    index = len(leaf.keys) - 1
+                    continue
+                if lo is not None:
+                    skey = tree._leaf_skeys(leaf)[index]
+                    metrics.key_comparisons += 1
+                    past = skey < lo if inclusive_lo else skey <= lo
+                    if past:
+                        return
+                metrics.entries_scanned += 1
+                yield leaf.keys[index], leaf.values[index]
+                index -= 1
+        finally:
+            if token == self._token and leaf is not None:
+                self._pin(leaf, max(index, 0))
 
 
 def _node_count(node: _Leaf | _Internal) -> int:

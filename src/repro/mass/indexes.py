@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.mass.btree import BPlusTree
+from repro.mass.btree import BPlusTree, BTreeCursor
 from repro.mass.flexkey import FlexKey
 from repro.mass.pages import BufferPool, PageManager
 from repro.mass.records import NodeKind, NodeRecord
@@ -171,6 +171,31 @@ class NodeIndex:
     ) -> int:
         return self.tree.range_count_encoded(self._bound(lo), self._bound(hi))
 
+    def cursor(self) -> BTreeCursor:
+        """A skip-ahead cursor over the node tree (see :class:`BTreeCursor`)."""
+        return BTreeCursor(self.tree)
+
+    def get_cursor(self, cursor: BTreeCursor, key: FlexKey) -> NodeRecord | None:
+        """:meth:`get` positioned through ``cursor`` (resume-friendly)."""
+        return cursor.get(self._bound(key))
+
+    def scan_cursor(
+        self,
+        cursor: BTreeCursor,
+        lo: "FlexKey | bytes | None",
+        hi: "FlexKey | bytes | None",
+        inclusive_lo: bool = True,
+        inclusive_hi: bool = False,
+        reverse: bool = False,
+    ) -> Iterator[NodeRecord]:
+        """:meth:`scan`, but positioned through ``cursor`` so runs of nearby
+        ranges resume from the pinned leaf instead of re-descending."""
+        scan = cursor.scan_reverse if reverse else cursor.scan
+        for _key, record in scan(
+            self._bound(lo), self._bound(hi), inclusive_lo, inclusive_hi
+        ):
+            yield record
+
     def __len__(self) -> int:
         return len(self.tree)
 
@@ -243,6 +268,36 @@ class NameIndex:
         """All keys for ``name`` within [lo, hi), forward or reverse."""
         low, high = self._bounds(name, lo, hi)
         scan = self.tree.scan_reverse_encoded if reverse else self.tree.scan_encoded
+        for (_name, key), kind in scan(low, high, inclusive_lo, False):
+            yield key, kind
+
+    def cursor(self) -> BTreeCursor:
+        """A skip-ahead cursor over the name tree (see :class:`BTreeCursor`)."""
+        return BTreeCursor(self.tree)
+
+    def search_bounds(
+        self,
+        name: str,
+        lo: "FlexKey | bytes | None" = None,
+        hi: "FlexKey | bytes | None" = None,
+    ) -> tuple:
+        """Public search-space bounds for ``name`` entries in a key range —
+        what cursor-driven callers feed to :meth:`scan_cursor` /
+        :meth:`BTreeCursor.past`."""
+        return self._bounds(name, lo, hi)
+
+    def scan_cursor(
+        self,
+        cursor: BTreeCursor,
+        name: str,
+        lo: "FlexKey | bytes | None" = None,
+        hi: "FlexKey | bytes | None" = None,
+        inclusive_lo: bool = True,
+        reverse: bool = False,
+    ) -> Iterator[tuple[FlexKey, NodeKind]]:
+        """:meth:`scan`, but positioned through ``cursor`` (leaf resume)."""
+        low, high = self._bounds(name, lo, hi)
+        scan = cursor.scan_reverse if reverse else cursor.scan
         for (_name, key), kind in scan(low, high, inclusive_lo, False):
             yield key, kind
 

@@ -105,11 +105,15 @@ class MassStore:
     # -- axes -------------------------------------------------------------------
 
     def axis(
-        self, context: FlexKey, axis: Axis, test: NodeTest
+        self, context: FlexKey, axis: Axis, test: NodeTest, cursors=None
     ) -> Iterator[AxisHit]:
-        """Iterate ``axis::test`` from ``context`` (see :mod:`repro.mass.axes`)."""
+        """Iterate ``axis::test`` from ``context`` (see :mod:`repro.mass.axes`).
+
+        ``cursors`` (a :class:`~repro.mass.axes.ScanCursors`) lets runs of
+        nearby scans resume from a pinned leaf instead of re-descending.
+        """
         self.metrics.axis_requests += 1
-        return axis_iter(self, context, axis, test)
+        return axis_iter(self, context, axis, test, cursors)
 
     def axis_records(
         self, context: FlexKey, axis: Axis, test: NodeTest
@@ -350,7 +354,22 @@ class MassStore:
                 ),
             }
         )
+        data.update(self.counters)
         return data
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Cursor effectiveness counters, summed over the three trees.
+
+        ``root_descents`` counts full root-to-leaf positionings;
+        ``cursor_resumes`` counts scans that picked up from a pinned leaf
+        instead.  A high resume share is the skip-ahead cursors working.
+        """
+        trees = (self.node_index.tree, self.name_index.tree, self.value_index.tree)
+        return {
+            "root_descents": sum(tree.metrics.root_descents for tree in trees),
+            "cursor_resumes": sum(tree.metrics.cursor_resumes for tree in trees),
+        }
 
     def __repr__(self) -> str:
         return f"<MassStore {self.name!r}: {len(self.node_index)} nodes>"

@@ -1,0 +1,66 @@
+"""count() over a pure axis range answers from the B+-tree range count.
+
+A ``count(descendant::x)`` with no predicates needs no key
+materialization at all: the counted B+-tree gives the answer from
+interior-node counts, so the IO snapshot must show zero entries scanned.
+Anything with extra steps or predicates still drains the operator tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.engine import VamanaEngine
+
+
+def _value_with_io(store, expression):
+    engine = VamanaEngine(store)
+    before = store.io_snapshot()
+    value = engine.evaluate_value(expression)
+    after = store.io_snapshot()
+    return value, {key: after[key] - before[key] for key in before}
+
+
+@pytest.mark.parametrize(
+    "expression",
+    [
+        "count(//item)",
+        "count(descendant::name)",
+        "count(//text())",
+        "count(//open_auction)",
+    ],
+)
+def test_pure_axis_count_scans_nothing(xmark_store, expression):
+    value, io = _value_with_io(xmark_store, expression)
+    assert value > 0
+    assert io["entries_scanned"] == 0
+    assert io["record_fetches"] == 0
+
+
+def test_fast_count_matches_materialized_count(xmark_store):
+    engine = VamanaEngine(xmark_store)
+    for path in ["//item", "//person", "//text()", "//watch"]:
+        assert engine.evaluate_value(f"count({path})") == float(
+            len(engine.evaluate(path))
+        )
+
+
+def test_multi_step_count_still_correct(xmark_store):
+    value, io = _value_with_io(xmark_store, "count(//person/name)")
+    engine = VamanaEngine(xmark_store)
+    assert value == float(len(engine.evaluate("//person/name")))
+    # Not a bare axis range — the operator tree really ran.
+    assert io["entries_scanned"] > 0
+
+
+def test_predicated_count_still_correct(xmark_store):
+    value, _ = _value_with_io(xmark_store, "count(//item[1])")
+    engine = VamanaEngine(xmark_store)
+    assert value == float(len(engine.evaluate("//item[1]")))
+
+
+def test_count_in_predicate_agrees_across_pipelines(xmark_store):
+    query = "//item[count(descendant::text) > 1]"
+    batched = VamanaEngine(xmark_store, batched=True).evaluate(query)
+    tuple_mode = VamanaEngine(xmark_store, batched=False).evaluate(query)
+    assert list(batched.keys) == list(tuple_mode.keys)

@@ -92,6 +92,58 @@ class TestGuardCheckpoint:
         )
         assert violations == []
 
+    def test_next_block_missing_checkpoint_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class ScanOperator:
+                def next_block(self, max_n):
+                    return self.source[:max_n]
+            """,
+        )
+        assert _rules(violations) == ["VAM001"]
+        assert "next_block" in violations[0].message
+        assert "never calls" in violations[0].message
+
+    def test_next_block_emit_before_checkpoint_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class ScanOperator:
+                def next_block(self, max_n):
+                    if self.buffered:
+                        return self.buffered[:max_n]
+                    self.guard.checkpoint()
+                    return self.advance(max_n)
+            """,
+        )
+        assert _rules(violations) == ["VAM001"]
+        assert "next_block" in violations[0].message
+        assert "before its first guard.checkpoint()" in violations[0].message
+
+    def test_next_block_checkpoint_first_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class ScanOperator:
+                def next_block(self, max_n):
+                    self.guard.checkpoint()
+                    return self.advance(max_n)
+            """,
+        )
+        assert violations == []
+
+    def test_next_block_raise_only_base_is_exempt(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class PlanOperator:
+                def next_block(self, max_n):
+                    raise NotImplementedError
+            """,
+        )
+        assert violations == []
+
 
 class TestExceptionSwallowing:
     def test_blind_except_exception_is_flagged(self, tmp_path):
@@ -321,6 +373,22 @@ class TestWallClock:
         )
         assert _rules(violations) == ["VAM004"]
         assert "time.monotonic" in violations[0].message
+
+    def test_clock_call_in_block_operator_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import time
+
+            class BatchedScan:
+                def next_block(self, max_n):
+                    self.guard.checkpoint()
+                    self.started = time.perf_counter()
+                    return []
+            """,
+        )
+        assert _rules(violations) == ["VAM004"]
+        assert "time.perf_counter" in violations[0].message
 
     def test_clock_as_default_argument_is_fine(self, tmp_path):
         violations = _lint_source(

@@ -1,0 +1,93 @@
+"""Sibling axes must not re-descend the tree once per sibling.
+
+Iterating ``following-sibling`` across every child of one parent used to
+cost one root-to-leaf descent per context.  With a shared
+:class:`ScanCursors`, consecutive sibling scans land in the pinned leaf's
+neighbourhood and resume instead; the counter-based tests here pin that
+down so the behaviour can't silently regress.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.axes import ScanCursors
+from repro.mass.loader import load_xml
+from repro.model import Axis, NodeTest
+
+
+def _flat_doc(children: int) -> str:
+    items = "".join(f"<item><n>v{i}</n></item>" for i in range(children))
+    return f"<root>{items}</root>"
+
+
+def _descents_for(store, axis, contexts, cursors):
+    before = store.counters["root_descents"]
+    for context in contexts:
+        for _ in store.axis(context, axis, NodeTest.node(), cursors=cursors):
+            pass
+    return store.counters["root_descents"] - before
+
+
+@pytest.mark.parametrize("axis", [Axis.FOLLOWING_SIBLING, Axis.PRECEDING_SIBLING])
+def test_shared_cursor_bounds_descents(axis):
+    small = load_xml(_flat_doc(20), name=f"sib-small-{axis.name}")
+    large = load_xml(_flat_doc(200), name=f"sib-large-{axis.name}")
+
+    def run(store):
+        items = [
+            record.key
+            for record in store.node_index.scan(None, None)
+            if record.name == "item"
+        ]
+        return len(items), _descents_for(
+            store, axis, items, ScanCursors(store)
+        )
+
+    n_small, d_small = run(small)
+    n_large, d_large = run(large)
+    assert n_large == 10 * n_small
+    # Descents must not scale with the sibling count: without cursor
+    # reuse every context costs one (d == n); with it a 10x bigger
+    # family stays at a handful, far below one per sibling.
+    assert d_large <= d_small * 5 + 10, (d_small, d_large)
+    assert d_large <= n_large / 5, (n_large, d_large)
+
+
+def test_sibling_run_resumes_via_cursor():
+    store = load_xml(_flat_doc(100), name="sib-resume")
+    items = [
+        record.key
+        for record in store.node_index.scan(None, None)
+        if record.name == "item"
+    ]
+    cursors = ScanCursors(store)
+    before = dict(store.counters)
+    for context in items:
+        for _ in store.axis(
+            context, Axis.FOLLOWING_SIBLING, NodeTest.name_test("item"), cursors=cursors
+        ):
+            pass
+    delta_resumes = store.counters["cursor_resumes"] - before["cursor_resumes"]
+    delta_descents = store.counters["root_descents"] - before["root_descents"]
+    assert delta_resumes >= len(items) - 5
+    assert delta_descents <= 5
+
+
+def test_without_cursors_descents_grow_linearly():
+    """The legacy path really does descend per sibling — the baseline the
+    cursor path is measured against."""
+    store = load_xml(_flat_doc(100), name="sib-legacy")
+    items = [
+        record.key
+        for record in store.node_index.scan(None, None)
+        if record.name == "item"
+    ]
+    before = store.counters["root_descents"]
+    for context in items:
+        for _ in store.axis(
+            context, Axis.FOLLOWING_SIBLING, NodeTest.name_test("item")
+        ):
+            pass
+    delta = store.counters["root_descents"] - before
+    assert delta >= len(items) - 1

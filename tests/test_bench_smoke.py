@@ -40,6 +40,18 @@ def test_bench_hotpath_quick_writes_report(tmp_path):
             assert data["results"] >= 0
             if data["results"]:
                 assert data["pages_read_logical"] > 0
+        batched = sections["batched_queries"]
+        assert set(batched) == {
+            "Q1", "Q2", "Q3", "Q4", "Q5", "D1", "D2", "D3",
+        }
+        for data in batched.values():
+            # The harness raises if batched and tuple-at-a-time key
+            # sequences differ, so reaching here proves equivalence.
+            assert data["tuple_seconds"] > 0
+            assert data["batched_seconds"] > 0
+            assert data["speedup"] > 0
+            assert data["root_descents"] >= 0
+            assert data["cursor_resumes"] >= 0
 
 
 def test_bench_hotpath_single_tiny_scale(tmp_path):
