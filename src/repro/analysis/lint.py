@@ -35,6 +35,15 @@ module under ``src/repro`` and enforces them:
     deterministic.  Referencing a clock as a default argument is fine —
     only calls are flagged.
 
+``VAM005`` **rewrite-rule hygiene** — every concrete rule class under
+    ``optimizer/rules/`` must declare a non-empty ``paper_ref`` string
+    literal tying the rewrite to the paper section it reproduces, and
+    every ``<rule>.apply(...)`` call site in optimizer code *outside*
+    ``optimizer/rules/`` must sit in a function that also routes the
+    result through the ``check_rewrite`` verification gate.  A rewrite
+    applied outside the gate dodges both the static invariant checks and
+    the opt-in differential oracle of :mod:`repro.analysis.tv`.
+
 Run it as ``python -m repro.analysis.lint src/repro`` (exit status 0 means
 clean, 1 means violations, 2 means bad invocation).
 """
@@ -389,6 +398,81 @@ def _check_wall_clock(path: str, tree: ast.AST) -> list[LintViolation]:
     return violations
 
 
+# -- VAM005: rewrite-rule hygiene ----------------------------------------------
+
+
+def _nonempty_str_assign(stmt: ast.stmt, name: str) -> bool:
+    """Is ``stmt`` an assignment of a non-empty string literal to ``name``?"""
+    targets: list[ast.expr]
+    if isinstance(stmt, ast.Assign):
+        targets, value = stmt.targets, stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        targets, value = [stmt.target], stmt.value
+    else:
+        return False
+    if not any(isinstance(t, ast.Name) and t.id == name for t in targets):
+        return False
+    return isinstance(value, ast.Constant) and isinstance(value.value, str) \
+        and bool(value.value.strip())
+
+
+def _check_rule_hygiene(path: str, tree: ast.AST) -> list[LintViolation]:
+    normalized = path.replace(os.sep, "/")
+    if "/optimizer/" not in normalized:
+        return []
+    violations: list[LintViolation] = []
+    if "/optimizer/rules/" in normalized:
+        # Concrete rule classes must cite the paper.  The abstract base
+        # (``RewriteRule``) is the one exemption.
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef) or node.name == "RewriteRule":
+                continue
+            is_rule = any(
+                isinstance(base, ast.Name) and base.id.endswith("Rule")
+                for base in node.bases
+            )
+            if not is_rule:
+                continue
+            if not any(
+                _nonempty_str_assign(stmt, "paper_ref") for stmt in node.body
+            ):
+                violations.append(
+                    LintViolation(
+                        path, node.lineno, "VAM005",
+                        f"rule class {node.name} does not declare a non-empty "
+                        "paper_ref string literal citing the paper section "
+                        "it reproduces",
+                    )
+                )
+        return violations
+    # Outside the rule library: every ``<rule>.apply(...)`` must be gated.
+    for func in _function_defs(tree):
+        apply_sites: list[int] = []
+        gated = False
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr == "check_rewrite":
+                    gated = True
+                elif (
+                    node.func.attr == "apply"
+                    and isinstance(node.func.value, ast.Name)
+                    and "rule" in node.func.value.id.lower()
+                ):
+                    apply_sites.append(node.lineno)
+        if apply_sites and not gated:
+            for line in apply_sites:
+                violations.append(
+                    LintViolation(
+                        path, line, "VAM005",
+                        f"rule.apply() in {func.name}() is not routed through "
+                        "the check_rewrite verification gate",
+                    )
+                )
+    return violations
+
+
 # -- driver --------------------------------------------------------------------
 
 CHECKS = (
@@ -396,6 +480,7 @@ CHECKS = (
     _check_exception_swallowing,
     _check_persistence_decode,
     _check_wall_clock,
+    _check_rule_hygiene,
 )
 
 

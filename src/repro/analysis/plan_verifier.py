@@ -227,7 +227,19 @@ def _visit_expr_paths(expr: ExprNode, visit) -> None:
 
 
 class PlanVerifier:
-    """Checks structural invariants and gates optimizer rewrites."""
+    """Checks structural invariants and gates optimizer rewrites.
+
+    ``oracle`` enables the opt-in *dynamic* validation mode of
+    :meth:`check_rewrite`: any object with a
+    ``discrepancies(before, after, rule) -> list[str]`` method (e.g.
+    :class:`repro.analysis.tv.oracle.DifferentialOracle`) is consulted
+    after the static gate passes, and its counterexamples are raised as
+    :class:`~repro.errors.PlanInvariantError` like any other violation —
+    the optimizer then rejects the rewrite and keeps going.
+    """
+
+    def __init__(self, oracle=None):
+        self.oracle = oracle
 
     # -- structural invariants ---------------------------------------------
 
@@ -385,6 +397,11 @@ class PlanVerifier:
                 f"rewrite introduced {after_empty - before_empty} "
                 "statically-empty step(s)"
             )
+        if not problems and self.oracle is not None:
+            # Dynamic validation: run both plans and compare result
+            # sequences.  Only consulted once the static gate is clean —
+            # a structurally broken plan may not be executable at all.
+            problems.extend(self.oracle.discrepancies(before, after, rule))
         if problems:
             raise PlanInvariantError(problems, rule=rule)
         return after_props

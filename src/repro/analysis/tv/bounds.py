@@ -1,0 +1,307 @@
+"""Abstract interpretation of plans into sound cardinality intervals.
+
+The cost estimator (:mod:`repro.cost.estimator`) annotates every
+operator with a *point estimate* of its output cardinality, built from
+Table I of the paper.  Table I is a heuristic, not a bound: for the up
+axes it charges ``OUT = IN`` even though one context node can emit many
+ancestors, and for the down axes it charges ``COUNT`` even when the
+schema proves the input empty.  This module derives what *can* be
+guaranteed — a ``[lo, hi]`` interval per operator that holds on **every**
+document the store could contain — and uses it two ways:
+
+* **estimator-soundness lint** (:func:`soundness_violations`): a point
+  estimate outside the provable interval is flagged.  An estimate above
+  ``hi`` means the optimizer is being scared away from a plan by
+  phantom tuples (e.g. a step whose input is provably empty but still
+  charged ``COUNT``); an estimate below ``lo`` means a rewrite could be
+  accepted on an impossibly cheap figure.
+* **sound block sizing**: :meth:`CostEstimator.suggest_block_size`
+  accepts the interval table and clamps each operator's estimate to its
+  upper bound before sizing pipeline blocks, so a phantom estimate can
+  no longer inflate block memory.
+
+The interval semantics is **pipeline emissions** under document-context
+evaluation: ``hi`` bounds how many tuples the operator can hand its
+consumer (duplicates included), ``lo`` how few.  The derivation:
+
+* a context-path leaf step ``descendant[-or-self]::name`` with no
+  predicates drains the element index — exactly ``COUNT`` emissions,
+  so ``lo = hi = COUNT`` (the one exact case);
+* any other step emits at most ``IN_hi × cap(axis)`` tuples, where
+  ``cap`` is 1 for ``self``/``parent``/named-attribute steps (at most
+  one hit per context) and ``COUNT(test)`` otherwise;
+* predicates can only filter: they force ``lo = 0`` and keep ``hi``;
+* a value-index probe emits at most ``TC(value)`` entries;
+* a union emits at most the sum of its branches (its merge dedups, so
+  fewer is possible → ``lo = 0``); a join at most its right child;
+* the root passes its child's interval through (dedup only shrinks, and
+  the exact-leaf case emits distinct keys already);
+* on an exhaustive schema, token-flow refinement (the transfer functions
+  of :class:`~repro.analysis.satisfiability.SatisfiabilityAnalyzer`)
+  propagates the set of element/kind tokens a step can deliver — an
+  empty token set collapses the interval to ``[0, 0]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mass.store import MassStore
+from repro.model import Axis, NodeTestKind
+from repro.analysis.satisfiability import DOC, SatisfiabilityAnalyzer, SchemaGraph
+from repro.algebra.plan import (
+    BinaryPredicateNode,
+    ExistsNode,
+    ExprNode,
+    FunctionNode,
+    JoinNode,
+    NegateNode,
+    PathExprNode,
+    PlanNode,
+    QueryPlan,
+    RootNode,
+    StepNode,
+    UnionNode,
+    ValueStepNode,
+)
+
+#: Axes that deliver at most one node per context tuple.
+_UNIT_CAP_AXES = frozenset({Axis.SELF, Axis.PARENT})
+
+#: Leaf axes that enumerate the index exhaustively from the document
+#: context — the one case where emissions are exact.
+_EXACT_LEAF_AXES = frozenset({Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF})
+
+
+@dataclass(frozen=True)
+class CardinalityInterval:
+    """Guaranteed emission bounds for one operator: ``lo <= out <= hi``."""
+
+    lo: int
+    hi: int
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def describe(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+_TOP_TOKENS: frozenset[str] | None = None  # "any token" (no refinement)
+
+
+class _IntervalDeriver:
+    """One bottom-up derivation pass over a plan."""
+
+    def __init__(self, store: MassStore, schema: SchemaGraph | None):
+        self.store = store
+        self.analyzer = (
+            SatisfiabilityAnalyzer(schema)
+            if schema is not None and schema.exhaustive
+            else None
+        )
+        self.intervals: dict[int, CardinalityInterval] = {}
+
+    # -- token flow ----------------------------------------------------------
+
+    def _step_tokens(
+        self, node: StepNode, tokens_in: frozenset[str] | None
+    ) -> frozenset[str] | None:
+        if self.analyzer is None or tokens_in is None:
+            return None
+        moved: set[str] = set()
+        for token in tokens_in:
+            moved.update(self.analyzer._axis(node.axis, token))
+        return self.analyzer._filter_test(node.axis, node.test, frozenset(moved))
+
+    # -- plan nodes ----------------------------------------------------------
+
+    def derive(
+        self,
+        node: PlanNode,
+        predicate_input: tuple[CardinalityInterval, frozenset[str] | None] | None,
+    ) -> tuple[CardinalityInterval, frozenset[str] | None]:
+        interval, tokens = self._derive(node, predicate_input)
+        self.intervals[node.op_id] = interval
+        return interval, tokens
+
+    def _derive(
+        self,
+        node: PlanNode,
+        predicate_input: tuple[CardinalityInterval, frozenset[str] | None] | None,
+    ) -> tuple[CardinalityInterval, frozenset[str] | None]:
+        if isinstance(node, RootNode):
+            if node.context_child is None:
+                return CardinalityInterval(1, 1), frozenset({DOC})
+            return self.derive(node.context_child, predicate_input)
+        if isinstance(node, UnionNode):
+            hi = 0
+            tokens: set[str] = set()
+            any_tokens = self.analyzer is not None
+            for branch in node.branches:
+                branch_interval, branch_tokens = self.derive(branch, predicate_input)
+                hi += branch_interval.hi
+                if branch_tokens is None:
+                    any_tokens = False
+                else:
+                    tokens.update(branch_tokens)
+            return (
+                CardinalityInterval(0, hi),
+                frozenset(tokens) if any_tokens else None,
+            )
+        if isinstance(node, JoinNode):
+            self.derive(node.left, predicate_input)
+            right_interval, right_tokens = self.derive(node.right, predicate_input)
+            interval = CardinalityInterval(0, right_interval.hi)
+            interval = self._apply_predicates(node, interval, right_tokens)
+            return interval, right_tokens
+        if isinstance(node, ValueStepNode):
+            text_count = self.store.text_count(node.value)
+            interval = CardinalityInterval(0, text_count)
+            interval = self._apply_predicates(node, interval, None)
+            return interval, None
+        if isinstance(node, StepNode):
+            return self._derive_step(node, predicate_input)
+        # Unknown operator: claim nothing (the static verifier rejects
+        # these separately).
+        return CardinalityInterval(0, _unbounded(self.store)), None
+
+    def _derive_step(
+        self,
+        node: StepNode,
+        predicate_input: tuple[CardinalityInterval, frozenset[str] | None] | None,
+    ) -> tuple[CardinalityInterval, frozenset[str] | None]:
+        count = self.store.count(node.test, node.axis.principal_kind)
+        if node.context_child is not None:
+            in_interval, in_tokens = self.derive(node.context_child, predicate_input)
+        elif predicate_input is not None:
+            in_interval, in_tokens = predicate_input
+        else:
+            # Context-path leaf under document-context evaluation.
+            in_tokens = frozenset({DOC}) if self.analyzer is not None else None
+            if (
+                node.axis in _EXACT_LEAF_AXES
+                and node.test.kind is NodeTestKind.NAME
+            ):
+                # The leaf drains the element index: exactly COUNT hits.
+                interval = CardinalityInterval(count, count)
+            else:
+                interval = CardinalityInterval(0, count)
+            tokens_out = self._step_tokens(node, in_tokens)
+            if tokens_out is not None and not tokens_out:
+                interval = CardinalityInterval(0, 0)
+            interval = self._apply_predicates(node, interval, tokens_out)
+            return interval, tokens_out
+        if node.axis in _UNIT_CAP_AXES or (
+            node.axis is Axis.ATTRIBUTE and node.test.kind is NodeTestKind.NAME
+        ):
+            cap = 1
+        else:
+            cap = count
+        interval = CardinalityInterval(0, in_interval.hi * cap)
+        tokens_out = self._step_tokens(node, in_tokens)
+        if tokens_out is not None and not tokens_out:
+            interval = CardinalityInterval(0, 0)
+        interval = self._apply_predicates(node, interval, tokens_out)
+        return interval, tokens_out
+
+    # -- predicates ----------------------------------------------------------
+
+    def _apply_predicates(
+        self,
+        node: PlanNode,
+        interval: CardinalityInterval,
+        tokens: frozenset[str] | None,
+    ) -> CardinalityInterval:
+        if not node.predicates:
+            return interval
+        for predicate in node.predicates:
+            self._walk_expr(predicate, interval, tokens)
+        # Filtering can drop anything, never add.
+        return CardinalityInterval(0, interval.hi)
+
+    def _walk_expr(
+        self,
+        expr: ExprNode,
+        parent_interval: CardinalityInterval,
+        parent_tokens: frozenset[str] | None,
+    ) -> None:
+        """Derive intervals for plan sub-trees nested in a predicate.
+
+        A predicate path's leaf is evaluated once per candidate tuple of
+        the operator it filters, so its input bound is that operator's
+        pre-predicate interval (the analogue of the estimator's case 3).
+        """
+        if isinstance(expr, (ExistsNode, PathExprNode)):
+            self.derive(
+                expr.path,
+                (CardinalityInterval(0, parent_interval.hi), parent_tokens),
+            )
+            return
+        if isinstance(expr, BinaryPredicateNode):
+            self._walk_expr(expr.left, parent_interval, parent_tokens)
+            self._walk_expr(expr.right, parent_interval, parent_tokens)
+            return
+        if isinstance(expr, NegateNode):
+            self._walk_expr(expr.operand, parent_interval, parent_tokens)
+            return
+        if isinstance(expr, FunctionNode):
+            for arg in expr.args:
+                self._walk_expr(arg, parent_interval, parent_tokens)
+
+
+def _unbounded(store: MassStore) -> int:
+    """A trivially sound ceiling: every stored node per input tuple."""
+    return max(len(store.node_index), 1) ** 2
+
+
+def derive_intervals(
+    plan: QueryPlan, store: MassStore, schema: SchemaGraph | None = None
+) -> dict[int, CardinalityInterval]:
+    """Sound ``[lo, hi]`` emission intervals for every plan operator.
+
+    ``schema`` enables token-flow refinement when exhaustive (pass
+    :func:`~repro.analysis.satisfiability.xmark_schema` for XMark
+    stores); ``None`` or a names-only schema derives purely from counts.
+    Intervals assume document-context evaluation — the mode the engine's
+    cost model (and the paper) reason about.
+    """
+    deriver = _IntervalDeriver(store, schema)
+    deriver.derive(plan.root, None)
+    return deriver.intervals
+
+
+def soundness_violations(
+    plan: QueryPlan, intervals: dict[int, CardinalityInterval]
+) -> list[str]:
+    """Operators whose point estimate falls outside the provable interval.
+
+    The plan must already carry estimates (run
+    :meth:`CostEstimator.estimate` first); un-annotated operators are
+    skipped.
+    """
+    problems: list[str] = []
+    for node in plan.walk():
+        if not isinstance(node, PlanNode):
+            continue
+        interval = intervals.get(node.op_id)
+        estimate = node.cost.tuples_out
+        if interval is None or estimate is None:
+            continue
+        if not interval.contains(estimate):
+            side = "above" if estimate > interval.hi else "below"
+            problems.append(
+                f"{node.describe()}: estimate OUT={estimate} is {side} the "
+                f"provable interval {interval.describe()}"
+            )
+    return problems
+
+
+def check_estimator_soundness(
+    plan: QueryPlan, store: MassStore, schema: SchemaGraph | None = None
+) -> list[str]:
+    """Estimate the plan, derive intervals, and lint the estimates."""
+    from repro.cost.estimator import CostEstimator
+
+    CostEstimator(store).estimate(plan)
+    return soundness_violations(plan, derive_intervals(plan, store, schema))

@@ -1,0 +1,230 @@
+"""Bounded document enumeration for translation validation.
+
+Differential testing of rewrite rules is only as strong as its inputs.
+Random documents find *some* bugs, but the classic ordering/duplicate
+mistakes of XPath optimizers (Maneth & Nguyen) hide in tiny structural
+corners: two siblings of the same name, an element nested under itself's
+sibling, an empty optional child.  Those corners are cheap to cover
+*exhaustively*: this module enumerates **every** document over a slice of
+the XMark vocabulary (:mod:`repro.xmark.vocabulary`) up to a global node
+budget — bounded model checking over the document space.  Beyond the
+bound, seeded random documents add depth and width the exhaustive tier
+cannot afford.
+
+Documents are built as plain nested tuples and serialized to XML text so
+every consumer (MASS loader, DOM builder, fixtures on disk) parses the
+same bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.xmark import vocabulary
+
+#: The vocabulary slice the exhaustive tier enumerates: a chain of the
+#: XMark grammar (site → people → person → {name, address → city,
+#: watches → watch}) chosen so every rewrite rule has structure to bite
+#: on — repeated siblings for positional predicates, a two-level nest for
+#: pushdown, text leaves for the value index.  Every edge is a real edge
+#: of :data:`~repro.xmark.vocabulary.SCHEMA_CHILDREN`, so satisfiability
+#: analysis never prunes these documents.
+SLICE_CHILDREN: dict[str, tuple[str, ...]] = {
+    "site": ("people",),
+    "people": ("person",),
+    "person": ("name", "address", "watches"),
+    "address": ("city",),
+    "watches": ("watch",),
+    "name": (),
+    "city": (),
+    "watch": (),
+}
+
+#: Slice elements that may carry a text child (all really do in XMark).
+SLICE_TEXT_ELEMENTS: frozenset[str] = frozenset({"name", "city"})
+
+#: Attributes the random tier may attach (exhaustively enumerating
+#: attributes doubles the space per element; randomness covers them).
+SLICE_ATTRIBUTES: dict[str, tuple[str, ...]] = {
+    "person": ("id",),
+    "watch": ("open_auction",),
+}
+
+_SLICE_SCHEMA_OK = all(
+    frozenset(children) <= vocabulary.SCHEMA_CHILDREN[name]
+    for name, children in SLICE_CHILDREN.items()
+) and SLICE_TEXT_ELEMENTS <= vocabulary.SCHEMA_TEXT_ELEMENTS
+assert _SLICE_SCHEMA_OK, "document slice must stay inside the XMark grammar"
+
+
+@dataclass(frozen=True)
+class DocumentBounds:
+    """The exhaustive tier's search space.
+
+    ``max_nodes`` is the global budget (elements + text nodes, the
+    document node excluded) — the knob that actually tames the
+    combinatorics; depth/width alone explode into hundreds of thousands
+    of shapes.  ``max_width`` caps same-parent repetition of one child
+    name, ``max_depth`` caps element nesting below ``site``, and
+    ``text_alphabet`` is the value pool for text leaves (two distinct
+    values suffice to separate value-index hits from misses).
+    """
+
+    max_nodes: int = 7
+    max_depth: int = 4
+    max_width: int = 2
+    text_alphabet: tuple[str, ...] = ("v", "w")
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """One enumerated element: name, optional text, child elements."""
+
+    name: str
+    text: str | None = None
+    children: tuple["TreeNode", ...] = ()
+    attributes: tuple[tuple[str, str], ...] = ()
+
+    def node_count(self) -> int:
+        total = 1 + (1 if self.text is not None else 0) + len(self.attributes)
+        for child in self.children:
+            total += child.node_count()
+        return total
+
+
+def serialize(tree: TreeNode) -> str:
+    """The XML text of one enumerated document."""
+    pieces: list[str] = []
+    _serialize_into(tree, pieces)
+    return "".join(pieces)
+
+
+def _serialize_into(node: TreeNode, pieces: list[str]) -> None:
+    attrs = "".join(
+        f" {name}={quoteattr(value)}" for name, value in node.attributes
+    )
+    if node.text is None and not node.children:
+        pieces.append(f"<{node.name}{attrs}/>")
+        return
+    pieces.append(f"<{node.name}{attrs}>")
+    if node.text is not None:
+        pieces.append(escape(node.text))
+    for child in node.children:
+        _serialize_into(child, pieces)
+    pieces.append(f"</{node.name}>")
+
+
+def enumerate_documents(bounds: DocumentBounds | None = None) -> Iterator[str]:
+    """Every slice document within ``bounds``, smallest first, as XML text.
+
+    The enumeration is exhaustive and deterministic: same bounds, same
+    sequence.  Child *sequences* are enumerated (order and multiplicity
+    matter to positional predicates), but sibling lists are kept in the
+    slice's canonical name order — XMark itself never interleaves, and
+    dropping permutations buys an order of magnitude more node budget.
+    """
+    bounds = bounds or DocumentBounds()
+    trees = sorted(
+        _enumerate_element("site", bounds.max_depth, bounds.max_nodes, bounds),
+        key=lambda entry: entry[1],
+    )
+    for tree, _nodes in trees:
+        yield serialize(tree)
+
+
+def _enumerate_element(
+    name: str, depth_left: int, budget: int, bounds: DocumentBounds
+) -> list[tuple[TreeNode, int]]:
+    """All subtrees rooted at ``name`` using at most ``budget`` nodes."""
+    if budget < 1:
+        return []
+    results: list[tuple[TreeNode, int]] = []
+    text_options: list[tuple[str | None, int]] = [(None, 0)]
+    if name in SLICE_TEXT_ELEMENTS:
+        text_options.extend((value, 1) for value in bounds.text_alphabet)
+    child_names = SLICE_CHILDREN[name] if depth_left > 0 else ()
+    for text, text_cost in text_options:
+        remaining = budget - 1 - text_cost
+        if remaining < 0:
+            continue
+        for children, child_cost in _enumerate_children(
+            child_names, depth_left - 1, remaining, bounds
+        ):
+            results.append(
+                (
+                    TreeNode(name, text=text, children=children),
+                    1 + text_cost + child_cost,
+                )
+            )
+    return results
+
+
+def _enumerate_children(
+    names: tuple[str, ...], depth_left: int, budget: int, bounds: DocumentBounds
+) -> list[tuple[tuple[TreeNode, ...], int]]:
+    """All child sequences over ``names`` (canonical order, bounded width)."""
+    sequences: list[tuple[tuple[TreeNode, ...], int]] = [((), 0)]
+    for name in names:
+        # Subtrees for this name, reusable across repetition counts.
+        options = _enumerate_element(name, depth_left, budget, bounds)
+        extended: list[tuple[tuple[TreeNode, ...], int]] = []
+        for prefix, prefix_cost in sequences:
+            extended.append((prefix, prefix_cost))  # zero copies of `name`
+            tails: list[tuple[tuple[TreeNode, ...], int]] = [((), 0)]
+            for _repeat in range(bounds.max_width):
+                grown: list[tuple[tuple[TreeNode, ...], int]] = []
+                for tail, tail_cost in tails:
+                    for tree, tree_cost in options:
+                        total = prefix_cost + tail_cost + tree_cost
+                        if total <= budget:
+                            grown.append((tail + (tree,), tail_cost + tree_cost))
+                extended.extend(
+                    (prefix + tail, prefix_cost + tail_cost)
+                    for tail, tail_cost in grown
+                )
+                tails = grown
+        sequences = extended
+    return sequences
+
+
+def random_documents(
+    count: int, seed: int = 7, max_depth: int = 5, max_width: int = 3,
+    text_alphabet: tuple[str, ...] = ("v", "w", "x"),
+) -> Iterator[str]:
+    """Seeded random slice documents beyond the exhaustive bound.
+
+    Wider and deeper than :func:`enumerate_documents` affords, with
+    attributes from :data:`SLICE_ATTRIBUTES` mixed in.  Deterministic for
+    a given ``(count, seed)``.
+    """
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield serialize(_random_element("site", max_depth, max_width,
+                                        text_alphabet, rng))
+
+
+def _random_element(
+    name: str, depth_left: int, max_width: int,
+    alphabet: tuple[str, ...], rng: random.Random,
+) -> TreeNode:
+    text = None
+    if name in SLICE_TEXT_ELEMENTS and rng.random() < 0.7:
+        text = rng.choice(alphabet)
+    attributes = tuple(
+        (attr, rng.choice(alphabet))
+        for attr in SLICE_ATTRIBUTES.get(name, ())
+        if rng.random() < 0.5
+    )
+    children: list[TreeNode] = []
+    if depth_left > 0:
+        for child_name in SLICE_CHILDREN[name]:
+            for _ in range(rng.randint(0, max_width)):
+                children.append(
+                    _random_element(child_name, depth_left - 1, max_width,
+                                    alphabet, rng)
+                )
+    return TreeNode(name, text=text, children=tuple(children),
+                    attributes=attributes)

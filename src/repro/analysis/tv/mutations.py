@@ -1,0 +1,94 @@
+"""Known-broken rewrite rules: the validator's own test subjects.
+
+Each mutant reintroduces a bug the real rule guards against.  They exist
+so the translation-validation harness can be *tested*: running
+:func:`repro.analysis.tv.runner.verify_rules` over a mutant must produce
+a counterexample and shrink it to a handful of nodes.  The shrunk
+reproducers are checked into ``tests/analysis/fixtures/`` and replayed
+forever.
+
+None of these are registered anywhere — importing this module has no
+effect on the optimizer.
+"""
+
+from __future__ import annotations
+
+from repro.model import Axis, NodeTestKind
+from repro.algebra.plan import ExistsNode, PlanBase, QueryPlan, StepNode
+from repro.optimizer.rules.duplicate_elim import DuplicateEliminationRule
+from repro.optimizer.rules.pushdown import (
+    _DOWN_LEAF_AXES,
+    _PUSHABLE_AXES,
+    PredicatePushdownRule,
+)
+from repro.optimizer.util import find_by_id, on_context_path
+
+
+class BrokenPushdownRule(PredicatePushdownRule):
+    """Pushdown minus the positional-predicate guard.
+
+    ``//people/person[1]`` means "the first person *of each people*"; the
+    pushed-down form re-runs the positional filter against a different
+    context and the rewrite stops being an equivalence.  The real rule
+    rejects such sites via ``has_positional_predicates``; this mutant
+    applies anyway.
+    """
+
+    name = "broken-pushdown"
+    paper_ref = "mutant of Figure 11 (drops the positional guard)"
+
+    def matches(self, plan: QueryPlan, node: PlanBase) -> bool:
+        if not isinstance(node, StepNode) or node.axis not in _PUSHABLE_AXES:
+            return False
+        if node.test.kind is NodeTestKind.NODE:
+            return False
+        leaf = node.context_child
+        if not isinstance(leaf, StepNode) or leaf.context_child is not None:
+            return False
+        if leaf.axis not in _DOWN_LEAF_AXES:
+            return False
+        if leaf.test.kind is NodeTestKind.NODE:
+            return False
+        # The real rule rejects positional predicates here; the mutant
+        # deliberately does not.
+        return on_context_path(plan, node)
+
+
+class BrokenDuplicateEliminationRule(DuplicateEliminationRule):
+    """Duplicate elimination with ``ancestor`` instead of ``ancestor-or-self``.
+
+    The rewrite's correctness argument is ``ancestor(child of x) =
+    ancestor-or-self(x)``; keeping the plain ancestor axis silently drops
+    ``x`` itself whenever ``x`` matches the ancestor test (e.g.
+    ``//person/name/ancestor::person``).
+    """
+
+    name = "broken-duplicate-elimination"
+    paper_ref = "mutant of Section VIII (forgets the -or-self case)"
+
+    def apply(self, plan: QueryPlan, node: PlanBase) -> None:
+        # The base rule's rewrite, except the hoisted step keeps the
+        # plain ANCESTOR axis (cannot patch after super().apply(): its
+        # renumber() invalidates node.op_id).
+        step = find_by_id(plan, node.op_id)
+        assert isinstance(step, StepNode)
+        middle = step.context_child
+        assert isinstance(middle, StepNode)
+        carrier = middle.context_child
+        assert carrier is not None
+        probe = StepNode(Axis.CHILD, middle.test)
+        probe.predicates = list(middle.predicates)
+        carrier.predicates = carrier.predicates + [ExistsNode(probe)]
+        step.axis = Axis.ANCESTOR
+        step.context_child = carrier
+        plan.renumber()
+
+
+#: Queries that give each mutant a matching site *and* a document class
+#: on which the bug is observable.
+MUTANT_QUERIES: dict[str, tuple[str, ...]] = {
+    BrokenPushdownRule.name: ("//people/person[1]",),
+    BrokenDuplicateEliminationRule.name: ("//person/name/ancestor::person",),
+}
+
+MUTANT_RULES = (BrokenPushdownRule(), BrokenDuplicateEliminationRule())

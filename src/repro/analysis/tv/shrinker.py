@@ -1,0 +1,180 @@
+"""Delta debugging for failing (document, query, rule) triples.
+
+A counterexample from the differential oracle is only useful if a human
+can read it: a 40-node random document with one misplaced text value is
+noise, the 4-node core of the same failure is a bug report.  This module
+minimizes a failing document with greedy ddmin-style subtree removal —
+repeatedly delete one element subtree, text node or attribute, keep the
+deletion whenever the failure predicate still holds, and stop at a
+fixpoint where removing any single node makes the failure disappear
+(1-minimality).
+
+The result is emitted as a :class:`Reproducer` — a pytest-ready fixture
+(JSON: document, expression, rule, discrepancies) the regression corpus
+under ``tests/analysis/fixtures/`` replays forever.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.mass.records import NodeKind
+from repro.xmlkit.dom import build_dom
+from repro.analysis.tv.documents import TreeNode, serialize
+
+
+def _tree_from_xml(xml_text: str) -> TreeNode:
+    """Parse a document back into the mutable-by-reconstruction tree."""
+    document = build_dom(xml_text)
+    return _convert(document.document_element)
+
+
+def _convert(node) -> TreeNode:
+    text_parts = [
+        child.value for child in node.children if child.kind is NodeKind.TEXT
+    ]
+    children = tuple(
+        _convert(child)
+        for child in node.children
+        if child.kind is NodeKind.ELEMENT
+    )
+    return TreeNode(
+        node.name,
+        text="".join(text_parts) if text_parts else None,
+        children=children,
+        attributes=tuple((a.name, a.value) for a in node.attributes),
+    )
+
+
+def count_nodes(xml_text: str) -> int:
+    """Elements + attributes + text nodes (the shrink-target metric)."""
+    return _tree_from_xml(xml_text).node_count()
+
+
+def _candidates(tree: TreeNode) -> Iterator[TreeNode]:
+    """Every tree obtainable by deleting exactly one node, biggest first.
+
+    Deletions of large subtrees are yielded before small ones so the
+    greedy pass takes the biggest sound step available each round.
+    """
+    edits: list[tuple[int, TreeNode]] = []
+    for edit in _single_deletions(tree):
+        edits.append((tree.node_count() - edit.node_count(), edit))
+    edits.sort(key=lambda entry: -entry[0])
+    for _gain, edit in edits:
+        yield edit
+
+
+def _single_deletions(tree: TreeNode) -> Iterator[TreeNode]:
+    # Delete one child subtree (any size — subtree removal is what makes
+    # this ddmin rather than node-at-a-time).
+    for index in range(len(tree.children)):
+        yield TreeNode(
+            tree.name, text=tree.text,
+            children=tree.children[:index] + tree.children[index + 1:],
+            attributes=tree.attributes,
+        )
+    # Drop the text node.
+    if tree.text is not None:
+        yield TreeNode(tree.name, text=None, children=tree.children,
+                       attributes=tree.attributes)
+    # Drop one attribute.
+    for index in range(len(tree.attributes)):
+        yield TreeNode(
+            tree.name, text=tree.text, children=tree.children,
+            attributes=tree.attributes[:index] + tree.attributes[index + 1:],
+        )
+    # Recurse: the same edits inside each child.
+    for index, child in enumerate(tree.children):
+        for edited in _single_deletions(child):
+            yield TreeNode(
+                tree.name, text=tree.text,
+                children=tree.children[:index] + (edited,)
+                + tree.children[index + 1:],
+                attributes=tree.attributes,
+            )
+
+
+def shrink_document(
+    xml_text: str,
+    still_failing: Callable[[str], bool],
+    max_steps: int = 10_000,
+) -> str:
+    """The smallest document (under single-deletion) still failing.
+
+    ``still_failing`` receives serialized XML and must return True while
+    the failure reproduces.  The input document itself must fail —
+    otherwise it is returned unchanged.  The root element is never
+    removed (an empty document is not valid XML).
+    """
+    if not still_failing(xml_text):
+        return xml_text
+    current = _tree_from_xml(xml_text)
+    if not still_failing(serialize(current)):
+        # Tree normalization (text-first canonicalization of mixed
+        # content) lost the failure: shrink nothing rather than lie.
+        return xml_text
+    steps = 0
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+        for candidate in _candidates(current):
+            steps += 1
+            if steps >= max_steps:
+                break
+            if still_failing(serialize(candidate)):
+                current = candidate
+                progress = True
+                break
+    return serialize(current)
+
+
+@dataclass(frozen=True)
+class Reproducer:
+    """A minimized counterexample, ready to be checked in as a fixture."""
+
+    rule: str
+    expression: str
+    document: str
+    node_count: int
+    discrepancies: tuple[str, ...] = field(default_factory=tuple)
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "expression": self.expression,
+            "document": self.document,
+            "node_count": self.node_count,
+            "discrepancies": list(self.discrepancies),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Reproducer":
+        return cls(
+            rule=payload["rule"],
+            expression=payload["expression"],
+            document=payload["document"],
+            node_count=payload["node_count"],
+            discrepancies=tuple(payload.get("discrepancies", ())),
+        )
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Reproducer":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(json.load(handle))
+
+    def describe(self) -> str:
+        lines = [
+            f"rule {self.rule!r} on {self.expression!r} "
+            f"({self.node_count}-node reproducer):",
+            f"  document: {self.document}",
+        ]
+        lines.extend(f"  {problem}" for problem in self.discrepancies)
+        return "\n".join(lines)

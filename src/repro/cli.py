@@ -13,6 +13,11 @@ Commands:
   schema satisfiability verdict (exit 3 when provably empty),
 * ``fsck``     — diagnose a saved store file (checksums, record framing)
   and optionally salvage the valid prefix to a new store,
+* ``verify-rules`` — translation validation of the rewrite-rule library:
+  every rule is applied at every matching site of its query pool and the
+  pre/post plans are executed (tuple and batched) over an exhaustively
+  enumerated document corpus, cross-checked against the DOM baseline,
+  plus the estimator-soundness pass on Q1-Q5 (exit 1 on any failure),
 * ``bench-hotpath`` — run the hot-path microbenchmarks (byte-encoded vs
   tuple-compared keys) and write ``BENCH_hotpath.json``.
 
@@ -149,6 +154,30 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_verify_rules(args: argparse.Namespace) -> int:
+    from repro.analysis.tv.runner import verify_rules
+
+    report = verify_rules(
+        quick=not args.exhaustive,
+        seed=args.seed,
+        shrink=not args.no_shrink,
+    )
+    print(report.describe())
+    if args.fixtures and report.failures:
+        import os
+
+        os.makedirs(args.fixtures, exist_ok=True)
+        for index, failure in enumerate(report.failures):
+            if failure.reproducer is None:
+                continue
+            path = os.path.join(
+                args.fixtures, f"{failure.rule}-{index}.json"
+            )
+            failure.reproducer.write(path)
+            print(f"wrote {path}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
     from repro.bench.hotpath import run_hotpath_bench, summarize, write_report
 
@@ -237,6 +266,25 @@ def build_parser() -> argparse.ArgumentParser:
     fsck.add_argument("--salvage", metavar="OUT", default=None,
                       help="write the recoverable record prefix to OUT")
     fsck.set_defaults(handler=_cmd_fsck)
+
+    verify = commands.add_parser(
+        "verify-rules",
+        help="translation validation: check every rewrite rule for "
+        "equivalence over a bounded document corpus and lint the "
+        "estimator against provable cardinality intervals",
+    )
+    mode = verify.add_mutually_exclusive_group()
+    mode.add_argument("--quick", action="store_true",
+                      help="bounded corpus for CI (default; < 2 minutes)")
+    mode.add_argument("--exhaustive", action="store_true",
+                      help="widen the node budget and the random tier")
+    verify.add_argument("--seed", type=int, default=7,
+                        help="seed for the random document tier")
+    verify.add_argument("--no-shrink", action="store_true",
+                        help="report counterexamples without minimizing them")
+    verify.add_argument("--fixtures", metavar="DIR", default=None,
+                        help="write shrunk reproducers as JSON into DIR")
+    verify.set_defaults(handler=_cmd_verify_rules)
 
     bench = commands.add_parser(
         "bench-hotpath",

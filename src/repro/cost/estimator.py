@@ -100,7 +100,7 @@ class CostEstimator:
         self._annotate_plan_node(plan.root, predicate_input=None)
         return self.ordered_list(plan)
 
-    def suggest_block_size(self, plan: QueryPlan) -> int:
+    def suggest_block_size(self, plan: QueryPlan, intervals=None) -> int:
         """Size pipeline blocks from the plan's estimated cardinalities.
 
         The widest operator in the plan — not the root — sets the block
@@ -112,12 +112,26 @@ class CostEstimator:
         256 and non-batchable steps pay a small buffering tax for
         oversized blocks.  Falls back to the default size when the
         estimator has no cardinality for the plan.
+
+        ``intervals`` (an ``op_id`` → interval table from
+        :func:`repro.analysis.tv.bounds.derive_intervals`) clamps each
+        estimate to its provable upper bound first, so an unsound point
+        estimate cannot inflate block memory.
         """
         if plan.root.cost.tuples_out is None:
             self.estimate(plan)
+
+        def bounded(node) -> int:
+            out = node.cost.tuples_out
+            if intervals is not None:
+                interval = intervals.get(node.op_id)
+                if interval is not None:
+                    out = min(out, interval.hi)
+            return out
+
         widest = max(
             (
-                node.cost.tuples_out
+                bounded(node)
                 for node in plan.walk()
                 if node.cost.tuples_out is not None
             ),

@@ -70,9 +70,22 @@ class VamanaEngine:
         static_check: bool = True,
         batched: bool = True,
         block_size: int | None = None,
+        validate_rewrites: bool = False,
     ):
         self.store = store
-        self.optimizer = Optimizer(store, rules, verify=verify_rewrites)
+        #: ``validate_rewrites`` turns on translation validation inside
+        #: the optimizer: every proposed rewrite is executed (pre and
+        #: post, tuple and batched) against this store and rejected on
+        #: any result discrepancy.  Expensive — a debugging/validation
+        #: mode, not a production default.
+        validate = None
+        if validate_rewrites:
+            from repro.analysis.tv.oracle import DifferentialOracle
+
+            validate = DifferentialOracle(store)
+        self.optimizer = Optimizer(
+            store, rules, verify=verify_rewrites, validate=validate
+        )
         self.estimator = CostEstimator(store)
         #: ``batched`` selects the block-at-a-time pipeline (with shared
         #: skip-ahead cursors and context coalescing); off, every operator
@@ -92,8 +105,14 @@ class VamanaEngine:
         # LRU order: oldest entry first (dicts preserve insertion order; a
         # hit re-inserts its entry at the end).  Plans embed cost decisions
         # made against the store's statistics, so the whole cache is tied
-        # to the store epoch it was built under.
-        self._plan_cache: dict[tuple[str, bool], tuple[QueryPlan, OptimizationTrace | None]] = {}
+        # to the store epoch it was built under.  Keys include the
+        # batched/block-size knobs: each cached plan memoizes its block
+        # configuration (``_block_config_hint``), so a plan cached under
+        # one knob setting must never be served under another.
+        self._plan_cache: dict[
+            tuple[str, bool, bool, int | None],
+            tuple[QueryPlan, OptimizationTrace | None],
+        ] = {}
         self._plan_cache_size = plan_cache_size
         self._plan_cache_epoch = store.epoch
         self.plan_cache_hits = 0
@@ -116,12 +135,16 @@ class VamanaEngine:
 
         Any store mutation bumps the epoch; cached plans were optimized
         against the old statistics, so the first plan request after a
-        mutation drops the cache and re-optimizes.
+        mutation drops the cache and re-optimizes.  The current
+        ``batched``/``block_size`` knobs are part of the key: a cached
+        plan carries a memoized block configuration, and toggling the
+        knobs on a live engine must produce a fresh entry rather than
+        serve the stale one.
         """
         if self._plan_cache_epoch != self.store.epoch:
             self._plan_cache.clear()
             self._plan_cache_epoch = self.store.epoch
-        cache_key = (expression, optimize)
+        cache_key = (expression, optimize, self.batched, self.block_size)
         cached = self._plan_cache.get(cache_key)
         if cached is not None:
             # Re-insert to mark this entry most-recently-used.

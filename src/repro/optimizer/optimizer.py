@@ -104,6 +104,7 @@ class Optimizer:
         rules: tuple[RewriteRule, ...] = DEFAULT_RULES,
         max_iterations: int = 32,
         verify: bool = True,
+        validate=None,
     ):
         self.store = store
         self.rules = rules
@@ -113,7 +114,15 @@ class Optimizer:
         #: proposed rewrite must preserve the verified plan invariants
         #: before its cost is even considered.  ``verify=False`` disables
         #: the gate (used by tests that study the unguarded behaviour).
-        self.verifier = PlanVerifier() if verify else None
+        #: ``validate`` adds the opt-in *dynamic* gate: a differential
+        #: oracle (``discrepancies(before, after, rule) -> list[str]``,
+        #: e.g. :class:`repro.analysis.tv.oracle.DifferentialOracle`)
+        #: that executes both plans and rejects any rewrite whose result
+        #: sequence changes.  Expensive — meant for validation runs, not
+        #: the production query path.
+        self.verifier = (
+            PlanVerifier(oracle=validate) if verify or validate is not None else None
+        )
 
     def optimize(self, plan: QueryPlan) -> tuple[QueryPlan, OptimizationTrace]:
         """Optimize a (default) plan; the input plan is not mutated."""

@@ -1,0 +1,93 @@
+"""``NodeSetValue.count()`` equals materialized counting on all 13 axes.
+
+``count(...)`` over a bare axis step may answer through
+:func:`~repro.mass.axes.axis_count_exact` — O(log n) B+-tree range counts
+— instead of iterating.  The fast path must agree with the iterated
+count on every axis, and must keep agreeing after a store mutation bumps
+the epoch (a stale range count would silently corrupt ``count()``,
+``last()`` and positional predicates downstream).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.loader import load_xml
+from repro.model import Axis, NodeTest
+from repro.algebra.execution import EvalContext, ExpressionEvaluator
+from repro.algebra.plan import StepNode
+
+DOC = """<site>
+<people>
+<person id="p0"><name>Ada</name><watches><watch/><watch/></watches></person>
+<person id="p1"><name>Bob</name><name>Rob</name></person>
+</people>
+<people><person id="p2"><name>Cyd</name></person></people>
+</site>"""
+
+ALL_AXES = tuple(Axis)
+
+
+def _key_of(store, name, nth=0):
+    hits = [
+        record.key
+        for record in store.node_index.scan(None, None)
+        if record.name == name
+    ]
+    return hits[nth]
+
+
+def _tests_for(axis):
+    # A name test on the axis's principal kind, plus node() which always
+    # falls back to iteration — both must agree with materialization.
+    if axis is Axis.ATTRIBUTE:
+        return (NodeTest.name_test("id"), NodeTest.node())
+    return (NodeTest.name_test("name"), NodeTest.node())
+
+
+def _counts(store, context_key, axis, test):
+    evaluator = ExpressionEvaluator(store)
+    node_set = evaluator._node_set(
+        StepNode(axis, test), EvalContext(store, context_key)
+    )
+    return node_set.count(), sum(1 for _ in node_set.keys())
+
+
+class TestCountFastPath:
+    @pytest.mark.parametrize("axis", ALL_AXES, ids=lambda a: a.value)
+    def test_fast_count_matches_materialized(self, axis):
+        store = load_xml(DOC, name="count-fastpath")
+        context = _key_of(store, "person", 1)  # mid-tree: every axis nonempty-able
+        for test in _tests_for(axis):
+            fast, slow = _counts(store, context, axis, test)
+            assert fast == slow
+
+    @pytest.mark.parametrize("axis", ALL_AXES, ids=lambda a: a.value)
+    def test_fast_count_survives_epoch_bump(self, axis):
+        store = load_xml(DOC, name="count-fastpath")
+        context = _key_of(store, "person", 1)
+        test = _tests_for(axis)[0]
+        before_fast, before_slow = _counts(store, context, axis, test)
+        assert before_fast == before_slow
+
+        epoch = store.epoch
+        # Insert a matching node where the axis can see it (a following
+        # sibling <name> inside the same person) and one far away.
+        store.insert_element(context, "name", text="New")
+        store.insert_element(_key_of(store, "people", 1), "name")
+        assert store.epoch > epoch
+
+        after_fast, after_slow = _counts(store, context, axis, test)
+        assert after_fast == after_slow
+        if axis in (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+            assert after_fast == before_fast + 1  # the in-subtree insert
+
+    def test_document_wide_descendant_count_sees_every_insert(self):
+        store = load_xml(DOC, name="count-fastpath")
+        doc = next(iter(store.node_index.scan(None, None))).key
+        test = NodeTest.name_test("name")
+        fast, slow = _counts(store, doc, Axis.DESCENDANT, test)
+        assert fast == slow == 4
+        store.insert_element(_key_of(store, "person", 0), "name")
+        fast, slow = _counts(store, doc, Axis.DESCENDANT, test)
+        assert fast == slow == 5

@@ -462,3 +462,119 @@ class TestDriver:
         )
         assert completed.returncode == 1
         assert "VAM003" in completed.stdout
+
+
+class TestRuleHygiene:
+    """VAM005: paper_ref on rule classes, gated apply() call sites."""
+
+    def test_rule_without_paper_ref_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class ShinyNewRule(RewriteRule):
+                name = "shiny-new"
+
+                def matches(self, plan, node):
+                    return True
+            """,
+            name="optimizer/rules/shiny.py",
+        )
+        assert _rules(violations) == ["VAM005"]
+        assert "paper_ref" in violations[0].message
+
+    def test_empty_paper_ref_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class ShinyNewRule(RewriteRule):
+                paper_ref = "   "
+            """,
+            name="optimizer/rules/shiny.py",
+        )
+        assert _rules(violations) == ["VAM005"]
+
+    def test_declared_paper_ref_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class ShinyNewRule(RewriteRule):
+                paper_ref = "Figure 11"
+            """,
+            name="optimizer/rules/shiny.py",
+        )
+        assert violations == []
+
+    def test_abstract_base_is_exempt(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class RewriteRule:
+                name = "rule"
+            """,
+            name="optimizer/rules/base.py",
+        )
+        assert violations == []
+
+    def test_non_rule_classes_are_ignored(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class Helper:
+                pass
+            """,
+            name="optimizer/rules/helpers.py",
+        )
+        assert violations == []
+
+    def test_ungated_apply_outside_rules_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def improve(plan, rule, node):
+                candidate = plan.clone()
+                rule.apply(candidate, node)
+                return candidate
+            """,
+            name="optimizer/optimizer.py",
+        )
+        assert _rules(violations) == ["VAM005"]
+        assert "check_rewrite" in violations[0].message
+
+    def test_gated_apply_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def improve(plan, rule, node, verifier):
+                candidate = plan.clone()
+                rule.apply(candidate, node)
+                verifier.check_rewrite(plan, candidate, rule.name)
+                return candidate
+            """,
+            name="optimizer/optimizer.py",
+        )
+        assert violations == []
+
+    def test_apply_inside_rules_package_is_not_gated(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class ComposedRule(RewriteRule):
+                paper_ref = "Section VI"
+
+                def apply(self, plan, node):
+                    self.inner_rule.apply(plan, node)
+            """,
+            name="optimizer/rules/composed.py",
+        )
+        assert violations == []
+
+    def test_unrelated_apply_receivers_are_ignored(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def fold(plan, patch):
+                patch.apply(plan)
+            """,
+            name="optimizer/optimizer.py",
+        )
+        assert violations == []

@@ -84,3 +84,72 @@ def test_gate_error_carries_rule_and_violations(xmark_store):
     assert isinstance(error, PlanInvariantError)
     assert error.violations
     assert "duplicate-elimination flag" in str(error)
+
+
+class TestDynamicValidationMode:
+    """The opt-in differential-oracle gate behind ``validate_rewrites``.
+
+    ``BrokenPushdownRule`` drops the positional-predicate guard, a bug
+    the *static* invariant checks cannot see (the rewritten plan is
+    structurally fine, just wrong).  The dynamic oracle executes both
+    plans and rejects the rewrite on the result divergence.
+    """
+
+    QUERY = "//people/person[1]"
+
+    def _store(self):
+        from repro.mass.loader import load_xml
+
+        # Two populated containers (so the positional predicate selects
+        # two persons, not one) plus empty ones that make COUNT(people)
+        # high enough for the broken pushdown to win on cost.
+        return load_xml(
+            "<site><people><person/></people>"
+            "<people><person/><person/></people>"
+            + "<people/>" * 8
+            + "</site>",
+            name="dynamic-gate",
+        )
+
+    def test_static_gate_alone_misses_the_bug(self):
+        from repro.analysis.tv.mutations import BrokenPushdownRule
+
+        store = self._store()
+        engine = VamanaEngine(store)
+        baseline = engine.evaluate(self.QUERY, optimize=False)
+        optimizer = Optimizer(store, rules=(BrokenPushdownRule(),), verify=True)
+        plan, trace = optimizer.optimize(engine.compile(self.QUERY))
+        assert not trace.invariant_errors  # structurally plausible...
+        result = engine.execute(plan, None, trace)
+        assert result.key_set() != baseline.key_set()  # ...but wrong
+
+    def test_differential_oracle_rejects_it(self):
+        from repro.analysis.tv.mutations import BrokenPushdownRule
+        from repro.analysis.tv.oracle import DifferentialOracle
+
+        store = self._store()
+        engine = VamanaEngine(store)
+        baseline = engine.evaluate(self.QUERY, optimize=False)
+        optimizer = Optimizer(
+            store,
+            rules=(BrokenPushdownRule(),),
+            verify=True,
+            validate=DifferentialOracle(store),
+        )
+        plan, trace = optimizer.optimize(engine.compile(self.QUERY))
+        assert trace.invariant_errors, "dynamic gate never fired"
+        result = engine.execute(plan, None, trace)
+        assert result.key_set() == baseline.key_set()
+
+    def test_engine_level_opt_in(self):
+        store = self._store()
+        validating = VamanaEngine(store, validate_rewrites=True)
+        assert validating.optimizer.verifier is not None
+        assert validating.optimizer.verifier.oracle is not None
+        default = VamanaEngine(store)
+        assert default.optimizer.verifier.oracle is None
+        # And the validating engine still answers queries correctly.
+        assert (
+            validating.evaluate(self.QUERY).key_set()
+            == default.evaluate(self.QUERY, optimize=False).key_set()
+        )

@@ -1,0 +1,145 @@
+"""Cardinality intervals: soundness vs execution, estimator lint, block sizing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mass.loader import load_xml
+from repro.algebra.builder import build_default_plan
+from repro.algebra.execution import execute_plan
+from repro.algebra.plan import PlanNode
+from repro.analysis.satisfiability import xmark_schema
+from repro.analysis.tv.bounds import (
+    CardinalityInterval,
+    check_estimator_soundness,
+    derive_intervals,
+    soundness_violations,
+)
+from repro.cost.estimator import CostEstimator
+from repro.optimizer.cleanup import cleanup_plan
+from repro.optimizer.optimizer import Optimizer
+
+PAPER_QUERIES = {
+    "Q1": "//person/address",
+    "Q2": "//watches/watch/ancestor::person",
+    "Q3": "/descendant::name/parent::*/self::person/address",
+    "Q4": "//itemref/following-sibling::price/parent::*",
+    "Q5": "//province[text()='Vermont']/ancestor::person",
+}
+
+
+def _planned(expression):
+    plan = build_default_plan(expression)
+    cleanup_plan(plan)
+    return plan
+
+
+class TestIntervalSoundness:
+    """The defining property: actual emissions always fall in the interval.
+
+    The root's interval must contain the measured result size on the real
+    store — for default plans, optimized plans, and every paper query.
+    """
+
+    @pytest.mark.parametrize("label", sorted(PAPER_QUERIES))
+    def test_root_interval_contains_actual_result(self, xmark_store, label):
+        plan = _planned(PAPER_QUERIES[label])
+        intervals = derive_intervals(plan, xmark_store, xmark_schema())
+        actual = len(list(execute_plan(plan, xmark_store)))
+        assert intervals[plan.root.op_id].contains(actual)
+
+    @pytest.mark.parametrize("label", sorted(PAPER_QUERIES))
+    def test_optimized_plan_interval_contains_actual(self, xmark_store, label):
+        optimized, _trace = Optimizer(xmark_store).optimize(
+            build_default_plan(PAPER_QUERIES[label])
+        )
+        intervals = derive_intervals(optimized, xmark_store, xmark_schema())
+        actual = len(list(execute_plan(optimized, xmark_store)))
+        assert intervals[optimized.root.op_id].contains(actual)
+
+    def test_exact_leaf_interval_is_a_point(self, xmark_store):
+        plan = _planned("//person")
+        intervals = derive_intervals(plan, xmark_store)
+        leaf = plan.root.context_child
+        count = len(list(execute_plan(plan, xmark_store)))
+        assert intervals[leaf.op_id] == CardinalityInterval(count, count)
+
+
+class TestEstimatorLint:
+    @pytest.mark.parametrize("label", sorted(PAPER_QUERIES))
+    def test_paper_queries_have_zero_violations(self, xmark_store, label):
+        plan = _planned(PAPER_QUERIES[label])
+        assert check_estimator_soundness(plan, xmark_store, xmark_schema()) == []
+
+    @pytest.mark.parametrize("label", sorted(PAPER_QUERIES))
+    def test_optimized_paper_queries_clean_too(self, xmark_store, label):
+        optimized, _trace = Optimizer(xmark_store).optimize(
+            build_default_plan(PAPER_QUERIES[label])
+        )
+        CostEstimator(xmark_store).estimate(optimized)
+        intervals = derive_intervals(optimized, xmark_store, xmark_schema())
+        assert soundness_violations(optimized, intervals) == []
+
+    def test_broken_estimate_is_flagged(self, xmark_store):
+        """A mutated estimator (phantom tuples on the root step) is caught."""
+        plan = _planned("//person/address")
+        CostEstimator(xmark_store).estimate(plan)
+        intervals = derive_intervals(plan, xmark_store, xmark_schema())
+        step = plan.root.context_child
+        step.cost.tuples_out = intervals[step.op_id].hi + 1_000
+        problems = soundness_violations(plan, intervals)
+        assert len(problems) == 1 and "above the provable interval" in problems[0]
+
+    def test_impossibly_cheap_estimate_is_flagged(self, xmark_store):
+        plan = _planned("//person")
+        CostEstimator(xmark_store).estimate(plan)
+        intervals = derive_intervals(plan, xmark_store)
+        leaf = plan.root.context_child
+        assert intervals[leaf.op_id].lo > 0  # exact-leaf: a point interval
+        leaf.cost.tuples_out = 0
+        problems = soundness_violations(plan, intervals)
+        assert any("below the provable interval" in p for p in problems)
+
+
+class TestSchemaRefinement:
+    def test_provably_empty_step_collapses_to_zero(self, xmark_store):
+        # people never occurs under person in the XMark grammar.
+        plan = _planned("//person/people")
+        intervals = derive_intervals(plan, xmark_store, xmark_schema())
+        step = plan.root.context_child
+        assert intervals[step.op_id] == CardinalityInterval(0, 0)
+
+    def test_without_schema_no_collapse(self, xmark_store):
+        plan = _planned("//person/people")
+        intervals = derive_intervals(plan, xmark_store)
+        step = plan.root.context_child
+        assert intervals[step.op_id].hi > 0
+
+
+class TestSoundBlockSizing:
+    def test_intervals_clamp_phantom_estimates(self, xmark_store):
+        plan = _planned("//person/people")  # provably empty output
+        estimator = CostEstimator(xmark_store)
+        estimator.estimate(plan)
+        unclamped = estimator.suggest_block_size(plan)
+        intervals = derive_intervals(plan, xmark_store, xmark_schema())
+        clamped = estimator.suggest_block_size(plan, intervals=intervals)
+        assert clamped <= unclamped
+
+    def test_clamping_never_inflates(self, xmark_store):
+        for expression in PAPER_QUERIES.values():
+            plan = _planned(expression)
+            estimator = CostEstimator(xmark_store)
+            estimator.estimate(plan)
+            intervals = derive_intervals(plan, xmark_store, xmark_schema())
+            assert estimator.suggest_block_size(
+                plan, intervals=intervals
+            ) <= estimator.suggest_block_size(plan)
+
+    def test_every_operator_gets_an_interval(self, xmark_store):
+        for expression in PAPER_QUERIES.values():
+            plan = _planned(expression)
+            intervals = derive_intervals(plan, xmark_store, xmark_schema())
+            for node in plan.walk():
+                if isinstance(node, PlanNode):
+                    assert node.op_id in intervals

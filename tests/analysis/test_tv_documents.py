@@ -1,0 +1,54 @@
+"""Bounded document enumeration: exhaustive, deterministic, in-grammar."""
+
+from __future__ import annotations
+
+import xml.dom.minidom
+
+from repro.xmark.vocabulary import SCHEMA_CHILDREN
+from repro.analysis.tv.documents import (
+    SLICE_CHILDREN,
+    DocumentBounds,
+    enumerate_documents,
+    random_documents,
+)
+from repro.analysis.tv.shrinker import count_nodes
+
+
+class TestEnumeration:
+    def test_deterministic_and_duplicate_free(self):
+        first = list(enumerate_documents(DocumentBounds(max_nodes=6)))
+        second = list(enumerate_documents(DocumentBounds(max_nodes=6)))
+        assert first == second
+        assert len(set(first)) == len(first)
+
+    def test_every_document_is_well_formed_xml(self):
+        for text in enumerate_documents(DocumentBounds(max_nodes=6)):
+            xml.dom.minidom.parseString(text)
+
+    def test_node_budget_is_respected(self):
+        for text in enumerate_documents(DocumentBounds(max_nodes=6)):
+            assert count_nodes(text) <= 6
+
+    def test_budget_growth_is_strict(self):
+        six = len(list(enumerate_documents(DocumentBounds(max_nodes=6))))
+        seven = len(list(enumerate_documents(DocumentBounds(max_nodes=7))))
+        assert six < seven
+
+    def test_smallest_document_is_bare_root(self):
+        first = next(iter(enumerate_documents(DocumentBounds(max_nodes=6))))
+        assert first == "<site/>"
+
+    def test_slice_is_inside_the_xmark_grammar(self):
+        for parent, children in SLICE_CHILDREN.items():
+            allowed = set(SCHEMA_CHILDREN.get(parent, ()))
+            assert set(children) <= allowed, parent
+
+
+class TestRandomTier:
+    def test_seeded_and_reproducible(self):
+        assert list(random_documents(8, seed=3)) == list(random_documents(8, seed=3))
+        assert list(random_documents(8, seed=3)) != list(random_documents(8, seed=4))
+
+    def test_well_formed(self):
+        for text in random_documents(16, seed=11):
+            xml.dom.minidom.parseString(text)

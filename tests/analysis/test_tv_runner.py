@@ -1,0 +1,140 @@
+"""verify-rules end to end: obligations, mutation kill, fixture replay."""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.analysis.tv.mutations import (
+    MUTANT_QUERIES,
+    MUTANT_RULES,
+    BrokenDuplicateEliminationRule,
+    BrokenPushdownRule,
+)
+from repro.analysis.tv.runner import (
+    build_obligations,
+    check_document,
+    corpus,
+    shrink_failure,
+    verify_rules,
+)
+from repro.analysis.tv.shrinker import Reproducer
+from repro.optimizer.rules import DEFAULT_RULES
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+#: Fixture rule name -> the mutant that regenerates the bug.
+MUTANTS_BY_NAME = {rule.name: rule for rule in MUTANT_RULES}
+
+
+class TestObligations:
+    def test_every_default_rule_has_a_matching_site(self):
+        obligations = build_obligations()
+        covered = {obligation.rule for obligation in obligations}
+        assert covered == {rule.name for rule in DEFAULT_RULES}
+
+    def test_before_plans_are_untouched_by_the_rewrite(self):
+        for obligation in build_obligations():
+            assert obligation.before.explain(costs=False) != ""
+            assert (
+                obligation.before.explain(costs=False)
+                != obligation.after.explain(costs=False)
+            )
+
+    def test_corpus_tiers(self):
+        documents = corpus(quick=True, seed=7)
+        assert len(documents) > 400
+        assert len(set(documents)) == len(documents)
+
+
+class TestCorrectRulesDischarge:
+    def test_obligations_hold_on_a_document_sample(self):
+        obligations = build_obligations()
+        for text in corpus(quick=True)[:40]:
+            assert check_document(text, obligations) == []
+
+    def test_full_quick_run_is_clean(self):
+        report = verify_rules(quick=True, soundness=False)
+        assert report.ok, report.describe()
+        assert report.obligations >= 15
+        assert report.documents > 400
+
+
+class TestMutationKill:
+    """The harness must catch known-broken rules and shrink the witness."""
+
+    @pytest.mark.parametrize("rule", MUTANT_RULES, ids=lambda r: r.name)
+    def test_mutant_is_caught_and_shrunk_small(self, rule):
+        report = verify_rules(
+            quick=True,
+            rules=(rule,),
+            extra_queries=MUTANT_QUERIES[rule.name],
+            soundness=False,
+        )
+        assert not report.ok
+        assert report.failures
+        reproducer = report.failures[0].reproducer
+        assert reproducer is not None
+        assert reproducer.node_count <= 5
+        assert reproducer.discrepancies
+
+    def test_broken_pushdown_repro_is_positional(self):
+        report = verify_rules(
+            quick=True,
+            rules=(BrokenPushdownRule(),),
+            soundness=False,
+        )
+        failure = report.failures[0]
+        assert "[1]" in failure.expression
+
+
+class TestFixtureReplay:
+    """Shrunk reproducers are replayed forever against current code."""
+
+    def _fixtures(self):
+        paths = sorted(glob.glob(os.path.join(FIXTURES, "*.json")))
+        assert paths, "fixture corpus is missing"
+        return [Reproducer.load(path) for path in paths]
+
+    def test_fixture_corpus_exists_for_each_mutant(self):
+        names = {fixture.rule for fixture in self._fixtures()}
+        assert names == set(MUTANTS_BY_NAME)
+
+    def test_mutants_still_fail_on_their_fixtures(self):
+        for fixture in self._fixtures():
+            rule = MUTANTS_BY_NAME[fixture.rule]
+            obligations = build_obligations(
+                rules=(rule,), extra_queries=(fixture.expression,)
+            )
+            relevant = [
+                o for o in obligations if o.expression == fixture.expression
+            ]
+            assert relevant, fixture.expression
+            failures = check_document(fixture.document, relevant)
+            assert failures, (
+                f"fixture {fixture.rule} no longer reproduces — if the "
+                "mutant's bug class is now impossible, regenerate fixtures"
+            )
+
+    def test_real_rules_are_clean_on_fixture_documents(self):
+        obligations = build_obligations(
+            extra_queries=tuple(f.expression for f in self._fixtures())
+        )
+        for fixture in self._fixtures():
+            assert check_document(fixture.document, obligations) == []
+
+    def test_shrink_failure_reaches_fixture_size(self):
+        for fixture in self._fixtures():
+            rule = MUTANTS_BY_NAME[fixture.rule]
+            obligations = [
+                o
+                for o in build_obligations(
+                    rules=(rule,), extra_queries=(fixture.expression,)
+                )
+                if o.expression == fixture.expression
+            ]
+            failures = check_document(fixture.document, obligations)
+            reproducer = shrink_failure(failures[0], obligations[0])
+            assert reproducer.node_count <= fixture.node_count

@@ -131,3 +131,57 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestVerifyRulesCommand:
+    def _fake_report(self, ok):
+        from repro.analysis.tv.runner import ObligationFailure, VerifyReport
+
+        report = VerifyReport(mode="quick", documents=3, obligations=2, checked=6)
+        if not ok:
+            report.failures.append(
+                ObligationFailure(
+                    rule="broken-pushdown",
+                    expression="//people/person[1]",
+                    site="step",
+                    document="<site/>",
+                    discrepancies=("pre vs post: 1 vs 0 keys",),
+                )
+            )
+        return report
+
+    def test_clean_run_exits_zero(self, capsys, monkeypatch):
+        import repro.analysis.tv.runner as runner
+
+        monkeypatch.setattr(
+            runner, "verify_rules", lambda **kwargs: self._fake_report(True)
+        )
+        assert main(["verify-rules", "--quick"]) == 0
+        assert "2 obligations" in capsys.readouterr().out
+
+    def test_failures_exit_nonzero(self, capsys, monkeypatch):
+        import repro.analysis.tv.runner as runner
+
+        monkeypatch.setattr(
+            runner, "verify_rules", lambda **kwargs: self._fake_report(False)
+        )
+        assert main(["verify-rules"]) == 1
+        assert "FAIL broken-pushdown" in capsys.readouterr().out
+
+    def test_quick_and_exhaustive_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["verify-rules", "--quick", "--exhaustive"])
+
+    def test_flags_reach_the_runner(self, monkeypatch):
+        import repro.analysis.tv.runner as runner
+
+        seen = {}
+
+        def spy(**kwargs):
+            seen.update(kwargs)
+            return self._fake_report(True)
+
+        monkeypatch.setattr(runner, "verify_rules", spy)
+        assert main(["verify-rules", "--exhaustive", "--seed", "3",
+                     "--no-shrink"]) == 0
+        assert seen == {"quick": False, "seed": 3, "shrink": False}

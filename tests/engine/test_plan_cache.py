@@ -132,3 +132,52 @@ class TestEpochInvalidation:
         after = engine.evaluate("//person")
         assert after.metrics.plan_cache_misses == 1
         assert len(after) == 1
+
+
+class TestPipelineKnobKeying:
+    """The batched/block-size knobs are part of the plan-cache key.
+
+    Plans memoize their block configuration (``_block_config_hint``);
+    serving a plan cached under different pipeline knobs would replay a
+    stale configuration.  Toggling either knob must therefore miss.
+    """
+
+    def test_toggling_batched_misses(self, engine):
+        engine.plan("//person")
+        engine.batched = False
+        engine.plan("//person")
+        assert (engine.plan_cache_hits, engine.plan_cache_misses) == (0, 2)
+        engine.batched = True
+        engine.plan("//person")
+        assert engine.plan_cache_hits == 1  # original entry still cached
+
+    def test_changing_block_size_misses(self, engine):
+        engine.plan("//person")
+        engine.block_size = 2
+        engine.plan("//person")
+        engine.block_size = 64
+        engine.plan("//person")
+        assert (engine.plan_cache_hits, engine.plan_cache_misses) == (0, 3)
+
+    def test_executed_block_config_tracks_live_knobs(self, store, monkeypatch):
+        """The config actually handed to execute_plan follows the knobs
+        even when the expression was first planned under other knobs."""
+        import repro.engine.engine as engine_module
+
+        engine = VamanaEngine(store)
+        seen = []
+        real_execute = engine_module.execute_plan
+
+        def spy(plan, store, context=None, **kwargs):
+            seen.append(kwargs["block"])
+            return real_execute(plan, store, context, **kwargs)
+
+        monkeypatch.setattr(engine_module, "execute_plan", spy)
+        engine.evaluate("//person")                    # batched, auto size
+        engine.block_size = 3
+        engine.evaluate("//person")                    # batched, pinned size
+        engine.batched = False
+        engine.evaluate("//person")                    # tuple-at-a-time
+        assert seen[0].enabled
+        assert (seen[1].enabled, seen[1].size) == (True, 3)
+        assert not seen[2].enabled
