@@ -60,6 +60,7 @@ from repro.algebra.plan import (
     ExistsNode,
     ExprNode,
     FunctionNode,
+    FusedPathScanNode,
     JoinNode,
     LiteralNode,
     NegateNode,
@@ -1163,6 +1164,14 @@ def build_operators(
         return ValueStepOperator(
             store, node.value, predicates, node.text_only, guard, block
         )
+    if isinstance(node, FusedPathScanNode):
+        if node.context_child is not None:
+            raise PlanError("a fused path scan must be a context-path leaf")
+        # Imported here: repro.algebra.fused builds on this module's
+        # Operator protocol, so a top-level import would be circular.
+        from repro.algebra.fused import FusedPathScanOperator
+
+        return FusedPathScanOperator(store, node, predicates, guard, block)
     if isinstance(node, UnionNode):
         branches = [
             build_operators(store, branch, evaluator, guard, block)

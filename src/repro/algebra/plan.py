@@ -148,6 +148,41 @@ class StepNode(PlanNode):
         return copy
 
 
+class FusedPathScanNode(PlanNode):
+    """``FPS`` — a whole chain of forward steps compiled to one automaton.
+
+    ``steps`` lists the fused ``(axis, test)`` pairs in application order:
+    ``steps[0]`` is the step the context feeds (the chain's former leaf),
+    ``steps[-1]`` produces the output.  The operator evaluates the whole
+    chain in a single document-order scan of the node index, so it always
+    sits at the bottom of a context path (``context_child`` is ``None``)
+    and emits distinct keys in document order.
+    """
+
+    def __init__(
+        self,
+        steps: list[tuple[Axis, NodeTest]],
+        context_child: PlanNode | None = None,
+    ):
+        super().__init__(context_child)
+        self.steps = list(steps)
+
+    def symbol(self) -> str:
+        return "FPS"
+
+    def describe(self) -> str:
+        path = "/".join(f"{axis.value}::{test}" for axis, test in self.steps)
+        return (
+            f"FPS_{self.op_id}[{path}; "
+            f"steps={len(self.steps)} states={len(self.steps) + 1}]"
+        )
+
+    def clone(self) -> "FusedPathScanNode":
+        copy = FusedPathScanNode(list(self.steps))
+        self._clone_shared(copy)
+        return copy
+
+
 class ValueStepNode(PlanNode):
     """``φ^{value::'v'}`` — the value-index step of the Figure 9 rewrite.
 

@@ -10,7 +10,12 @@ module under ``src/repro`` and enforces them:
     :class:`~repro.resilience.QueryGuard`) before its first ``return`` or
     ``yield``.  A tuple (or block) emitted before the checkpoint escapes
     the governor's deadline/budget/cancellation checks.  Bodies that only
-    raise (the abstract base) are exempt.
+    raise (the abstract base) are exempt.  In addition, every *scan
+    generator* inside an operator class (a ``yield``-ing method whose name
+    contains ``scan``) must both call ``.checkpoint()`` and bound the
+    stretch between checkpoints by comparing a counter against an integer
+    cadence of at most 64 (a literal, or a module constant resolving to
+    one) — a long single-operator scan must not outrun the governor.
 
 ``VAM002`` **no swallowed interrupts** — an ``except Exception`` handler
     (or broader) must either re-raise (a bare ``raise`` in its body) or be
@@ -164,6 +169,92 @@ def _check_guard_checkpoint(path: str, tree: ast.AST) -> list[LintViolation]:
                     f"(line {first_checkpoint})",
                 )
             )
+    return violations
+
+
+# -- VAM001 (cont.): bounded checkpoint cadence in operator scan generators ----
+
+#: The largest permitted stretch between guard checkpoints in a scan loop.
+MAX_CHECKPOINT_CADENCE = 64
+
+
+def _module_int_constants(tree: ast.AST) -> dict[str, int]:
+    """Module-level ``NAME = <int literal>`` assignments, by name."""
+    constants: dict[str, int] = {}
+    if not isinstance(tree, ast.Module):
+        return constants
+    for stmt in tree.body:
+        if not (
+            isinstance(stmt, ast.Assign)
+            and isinstance(stmt.value, ast.Constant)
+            and type(stmt.value.value) is int
+        ):
+            continue
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                constants[target.id] = stmt.value.value
+    return constants
+
+
+def _resolve_int(node: ast.expr, constants: dict[str, int]) -> int | None:
+    if isinstance(node, ast.Constant) and type(node.value) is int:
+        return node.value
+    if isinstance(node, ast.Name):
+        return constants.get(node.id)
+    return None
+
+
+def _check_scan_cadence(path: str, tree: ast.AST) -> list[LintViolation]:
+    constants = _module_int_constants(tree)
+    violations: list[LintViolation] = []
+    for klass in ast.walk(tree):
+        if not (isinstance(klass, ast.ClassDef) and _is_operator_class(klass)):
+            continue
+        for func in _function_defs(klass):
+            if "scan" not in func.name:
+                continue
+            if not any(
+                isinstance(node, (ast.Yield, ast.YieldFrom))
+                for node in ast.walk(func)
+            ):
+                continue
+            checkpoints = any(
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "checkpoint"
+                for node in ast.walk(func)
+            )
+            if not checkpoints:
+                violations.append(
+                    LintViolation(
+                        path, func.lineno, "VAM001",
+                        f"scan generator {func.name} in operator class "
+                        f"{klass.name} never calls guard.checkpoint()",
+                    )
+                )
+                continue
+            bounded = False
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Compare):
+                    continue
+                operands = [node.left, *node.comparators]
+                for operand in operands:
+                    cadence = _resolve_int(operand, constants)
+                    if cadence is not None and 0 < cadence <= MAX_CHECKPOINT_CADENCE:
+                        bounded = True
+                        break
+                if bounded:
+                    break
+            if not bounded:
+                violations.append(
+                    LintViolation(
+                        path, func.lineno, "VAM001",
+                        f"scan generator {func.name} in operator class "
+                        f"{klass.name} has no bounded checkpoint cadence "
+                        "(compare a counter against an integer "
+                        f"<= {MAX_CHECKPOINT_CADENCE})",
+                    )
+                )
     return violations
 
 
@@ -477,6 +568,7 @@ def _check_rule_hygiene(path: str, tree: ast.AST) -> list[LintViolation]:
 
 CHECKS = (
     _check_guard_checkpoint,
+    _check_scan_cadence,
     _check_exception_swallowing,
     _check_persistence_decode,
     _check_wall_clock,

@@ -44,6 +44,7 @@ from repro.algebra.plan import (
     ExistsNode,
     ExprNode,
     FunctionNode,
+    FusedPathScanNode,
     JoinNode,
     LiteralNode,
     NegateNode,
@@ -66,7 +67,14 @@ UNORDERED = "unordered"
 
 #: Plan-node types with a known runtime operator whose ``next_tuple`` /
 #: ``next_block`` checkpoint the query guard (enforced by the repo linter).
-_GUARDED_NODE_TYPES = (RootNode, StepNode, ValueStepNode, UnionNode, JoinNode)
+_GUARDED_NODE_TYPES = (
+    RootNode,
+    StepNode,
+    ValueStepNode,
+    FusedPathScanNode,
+    UnionNode,
+    JoinNode,
+)
 
 #: The predicate-expression operators execution understands.
 _KNOWN_EXPR_TYPES = (
@@ -157,6 +165,14 @@ def _infer_node(node: PlanNode, visit) -> OperatorProperties:
         _visit_predicate_paths(node, visit)
         # A leaf probe over the value index: entries come back in document
         # order and each node appears once per (value, key) entry.
+        return OperatorProperties(DOCUMENT_ORDER, True, True, False, True)
+
+    if isinstance(node, FusedPathScanNode):
+        _visit_predicate_paths(node, visit)
+        # One document-order pass over the node index; the automaton emits
+        # each accepting node exactly once, so the output is distinct and
+        # ordered by construction.  A leaf: it consumes the external
+        # context.  Fusable axes never form a statically-empty step.
         return OperatorProperties(DOCUMENT_ORDER, True, True, False, True)
 
     if isinstance(node, StepNode):

@@ -54,6 +54,7 @@ from repro.algebra.plan import (
     ExistsNode,
     ExprNode,
     FunctionNode,
+    FusedPathScanNode,
     JoinNode,
     NegateNode,
     PathExprNode,
@@ -160,11 +161,44 @@ class _IntervalDeriver:
             interval = CardinalityInterval(0, text_count)
             interval = self._apply_predicates(node, interval, None)
             return interval, None
+        if isinstance(node, FusedPathScanNode):
+            return self._derive_fused(node, predicate_input)
         if isinstance(node, StepNode):
             return self._derive_step(node, predicate_input)
         # Unknown operator: claim nothing (the static verifier rejects
         # these separately).
         return CardinalityInterval(0, _unbounded(self.store)), None
+
+    def _derive_fused(
+        self,
+        node: FusedPathScanNode,
+        predicate_input: tuple[CardinalityInterval, frozenset[str] | None] | None,
+    ) -> tuple[CardinalityInterval, frozenset[str] | None]:
+        """A fused chain emits distinct nodes matching its final step, so
+        the final step's population bounds one pass (times the input bound
+        on a predicate path).  Token flow composes the per-step transfer
+        functions; an empty token set anywhere collapses to ``[0, 0]``."""
+        final_axis, final_test = node.steps[-1]
+        count = self.store.count(final_test, final_axis.principal_kind)
+        if predicate_input is not None:
+            in_interval, tokens = predicate_input
+            hi = in_interval.hi * count
+        else:
+            tokens = frozenset({DOC}) if self.analyzer is not None else None
+            hi = count
+        if self.analyzer is not None and tokens is not None:
+            for axis, test in node.steps:
+                moved: set[str] = set()
+                for token in tokens:
+                    moved.update(self.analyzer._axis(axis, token))
+                tokens = self.analyzer._filter_test(axis, test, frozenset(moved))
+        else:
+            tokens = None
+        interval = CardinalityInterval(0, hi)
+        if tokens is not None and not tokens:
+            interval = CardinalityInterval(0, 0)
+        interval = self._apply_predicates(node, interval, tokens)
+        return interval, tokens
 
     def _derive_step(
         self,

@@ -93,6 +93,14 @@ RULE_QUERIES: dict[str, tuple[str, ...]] = {
         "//name | //city",
         "//person/name | //people/person/name",
     ),
+    "path-fusion": (
+        "//people/person/name",
+        "//person/name/text()",
+        "//people//name",
+        "/child::people/child::person/child::name",
+        "//people/person/address/city",
+        "/descendant-or-self::node()/child::person/descendant::text()",
+    ),
 }
 
 #: The paper's benchmark queries for the estimator-soundness pass.

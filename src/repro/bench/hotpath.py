@@ -17,6 +17,12 @@ head to head, on the *same* XMark documents:
   deep ``//x//y`` workloads where context coalescing and skip-ahead
   cursors apply; reports per-query speedup and the root-descent /
   cursor-resume counter deltas.
+* **fused queries** — whole-query compilation on vs off
+  (``VamanaEngine(fused=...)``), both engines batched, over Q1-Q5 plus
+  the deep chains: when the cost model elects fusion the entire step
+  chain runs as one ``FusedPathScan`` automaton pass, and the
+  ``entries_scanned`` / ``root_descents`` deltas show the per-step
+  index scans collapsing into the single document-order scan.
 
 The baseline engine is a real configuration, not a simulation:
 ``MassStore(byte_keys=False)`` builds the identical trees with Python
@@ -37,6 +43,7 @@ import random
 import time
 from typing import Callable
 
+from repro.algebra.plan import FusedPathScanNode
 from repro.engine.engine import VamanaEngine
 from repro.mass.loader import load_xml
 from repro.mass.records import NodeKind
@@ -60,6 +67,8 @@ DEEP_QUERIES = {
     "D1": "//item//text",
     "D2": "//open_auction//description//text",
     "D3": "//node()//text()",
+    "D4": "//node()//description//text()",
+    "D5": "//site//node()//text()",
 }
 
 #: Nominal document sizes (paper-style MB labels) for the two scales.
@@ -269,6 +278,72 @@ def _bench_batched(byte_store: MassStore, repeats: int) -> dict:
     return report
 
 
+def _bench_fused(byte_store: MassStore, repeats: int) -> dict:
+    """Whole-query compilation on vs off, same store, both batched.
+
+    The only difference between the engines is the ``fused`` knob.  Each
+    query's key sequence must match exactly, doubling as an end-to-end
+    equivalence check.  Per query the report records whether the cost
+    model actually elected fusion (``fused_plan``) and the per-side
+    ``entries_scanned`` / ``root_descents``: a fused deep chain touches
+    the node index once instead of once per location step.
+    """
+    report: dict = {}
+    unfused_engine = VamanaEngine(byte_store, batched=True, fused=False)
+    fused_engine = VamanaEngine(byte_store, batched=True, fused=True)
+    workload = dict(PAPER_QUERIES)
+    workload.update(DEEP_QUERIES)
+    for label, query in workload.items():
+        # Warm both plans first so the counter deltas measure execution,
+        # not planning.
+        plan, _trace = fused_engine.plan(query)
+        unfused_engine.plan(query)
+        fused_plan = any(
+            isinstance(node, FusedPathScanNode) for node in plan.walk()
+        )
+        before = dict(byte_store.counters)
+        unfused_result = unfused_engine.evaluate(query)
+        mid = dict(byte_store.counters)
+        fused_result = fused_engine.evaluate(query)
+        after = byte_store.counters
+        if unfused_result.keys != fused_result.keys:
+            raise AssertionError(f"{label}: fused results diverge from unfused")
+        # Same interleaved best-of-N pattern as _bench_batched.
+        started = time.perf_counter()
+        unfused_engine.evaluate(query)
+        probe = time.perf_counter() - started
+        inner = max(1, min(100, int(0.002 / max(probe, 1e-9))))
+        sample = probe * inner
+        outer = max(repeats, 5, min(25, int(0.12 / max(sample, 1e-9))))
+        unfused_seconds = fused_seconds = float("inf")
+        for _ in range(outer):
+            started = time.perf_counter()
+            for _ in range(inner):
+                unfused_engine.evaluate(query)
+            unfused_seconds = min(
+                unfused_seconds, (time.perf_counter() - started) / inner
+            )
+            started = time.perf_counter()
+            for _ in range(inner):
+                fused_engine.evaluate(query)
+            fused_seconds = min(
+                fused_seconds, (time.perf_counter() - started) / inner
+            )
+        report[label] = {
+            "expression": query,
+            "results": len(fused_result),
+            "fused_plan": fused_plan,
+            "unfused_seconds": unfused_seconds,
+            "fused_seconds": fused_seconds,
+            "speedup": _ratio(unfused_seconds, fused_seconds),
+            "unfused_entries_scanned": unfused_result.metrics.entries_scanned,
+            "fused_entries_scanned": fused_result.metrics.entries_scanned,
+            "unfused_root_descents": mid["root_descents"] - before["root_descents"],
+            "fused_root_descents": after["root_descents"] - mid["root_descents"],
+        }
+    return report
+
+
 # -- harness -------------------------------------------------------------------
 
 
@@ -321,6 +396,7 @@ def run_hotpath_bench(
             ),
             "queries": _bench_queries(baseline_store, byte_store, repeats),
             "batched_queries": _bench_batched(byte_store, repeats),
+            "fused_queries": _bench_fused(byte_store, repeats),
         }
     return report
 
@@ -352,6 +428,15 @@ def summarize(report: dict) -> str:
                 f"-> {data['batched_seconds'] * 1e3:9.3f} ms "
                 f"({data['speedup']:.2f}x, {data['results']} results, "
                 f"{data['cursor_resumes']} resumes)"
+            )
+        for label, data in sections["fused_queries"].items():
+            tag = "FPS" if data["fused_plan"] else "---"
+            lines.append(
+                f"  fused   {label:5s} {data['unfused_seconds'] * 1e3:9.3f} ms "
+                f"-> {data['fused_seconds'] * 1e3:9.3f} ms "
+                f"({data['speedup']:.2f}x, {tag}, "
+                f"{data['unfused_entries_scanned']} -> "
+                f"{data['fused_entries_scanned']} entries)"
             )
     return "\n".join(lines)
 

@@ -29,6 +29,7 @@ from repro.algebra.plan import (
     ExistsNode,
     ExprNode,
     FunctionNode,
+    FusedPathScanNode,
     JoinNode,
     LiteralNode,
     NegateNode,
@@ -223,9 +224,39 @@ class CostEstimator:
                 out = min(out, self._annotate_expr(predicate, out))
             node.cost.tuples_out = out
             return out
+        if isinstance(node, FusedPathScanNode):
+            return self._annotate_fused(node)
         if isinstance(node, StepNode):
             return self._annotate_step(node, predicate_input)
         raise TypeError(f"cannot cost {type(node).__name__}")
+
+    def _annotate_fused(self, node: FusedPathScanNode) -> int:
+        """Cost a fused path scan: one pass, entries *touched* as raw OUT.
+
+        The fused operator does not materialise per-step tuples; its cost
+        is the entries its single scan must look at.  The automaton walks
+        the context subtree in document order, and although it skips
+        subtrees it proves dead, the skip is a runtime heuristic the
+        statistics cannot see — so the estimate charges the whole node
+        index.  Deliberately pessimistic: fusion only beats the per-step
+        pipeline when the intermediate populations the pipeline would
+        materialise and rescan exceed one full pass, which is exactly
+        when the optimizer should pick it.  Selective name-indexed chains
+        (whose per-step scans touch far less than the document) stay
+        unfused.  OUT is bounded by the final step's population, which
+        keeps the estimate inside the abstract-interpretation interval.
+        """
+        final_axis, final_test = node.steps[-1]
+        final_count = self._count(final_test, final_axis.principal_kind)
+        node.cost.count = final_count
+        scanned = len(self.store.node_index)
+        node.cost.tuples_in = 1
+        node.cost.raw_out = scanned
+        out = min(final_count, scanned)
+        for predicate in node.predicates:
+            out = min(out, self._annotate_expr(predicate, out))
+        node.cost.tuples_out = out
+        return out
 
     def _annotate_step(self, node: StepNode, predicate_input: int | None) -> int:
         count = self._step_count(node)

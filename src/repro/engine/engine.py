@@ -54,7 +54,7 @@ from repro.algebra.plan import QueryPlan
 from repro.cost.estimator import CostEstimator
 from repro.engine.result import ExecutionMetrics, QueryResult
 from repro.optimizer.optimizer import OptimizationTrace, Optimizer
-from repro.optimizer.rules import DEFAULT_RULES, RewriteRule
+from repro.optimizer.rules import DEFAULT_RULES, PathFusionRule, RewriteRule
 from repro.resilience.guard import QueryGuard
 
 
@@ -71,6 +71,7 @@ class VamanaEngine:
         batched: bool = True,
         block_size: int | None = None,
         validate_rewrites: bool = False,
+        fused: bool = True,
     ):
         self.store = store
         #: ``validate_rewrites`` turns on translation validation inside
@@ -86,6 +87,18 @@ class VamanaEngine:
         self.optimizer = Optimizer(
             store, rules, verify=verify_rewrites, validate=validate
         )
+        #: ``fused`` enables whole-query path fusion: chains of forward
+        #: location steps may be compiled into one ``FusedPathScan``
+        #: automaton pass.  Off, the fusion rule is simply withheld from
+        #: the optimizer, so plans keep the per-step pipeline shape.
+        self.fused = fused
+        unfused_rules = tuple(r for r in rules if not isinstance(r, PathFusionRule))
+        if len(unfused_rules) == len(rules):
+            self._unfused_optimizer = self.optimizer
+        else:
+            self._unfused_optimizer = Optimizer(
+                store, unfused_rules, verify=verify_rewrites, validate=validate
+            )
         self.estimator = CostEstimator(store)
         #: ``batched`` selects the block-at-a-time pipeline (with shared
         #: skip-ahead cursors and context coalescing); off, every operator
@@ -106,11 +119,12 @@ class VamanaEngine:
         # hit re-inserts its entry at the end).  Plans embed cost decisions
         # made against the store's statistics, so the whole cache is tied
         # to the store epoch it was built under.  Keys include the
-        # batched/block-size knobs: each cached plan memoizes its block
-        # configuration (``_block_config_hint``), so a plan cached under
-        # one knob setting must never be served under another.
+        # batched/block-size/fused knobs: each cached plan memoizes its
+        # block configuration (``_block_config_hint``) and its fusion
+        # decision, so a plan cached under one knob setting must never be
+        # served under another.
         self._plan_cache: dict[
-            tuple[str, bool, bool, int | None],
+            tuple[str, bool, bool, int | None, bool],
             tuple[QueryPlan, OptimizationTrace | None],
         ] = {}
         self._plan_cache_size = plan_cache_size
@@ -124,27 +138,39 @@ class VamanaEngine:
         """Parse and build the default (unoptimized) physical plan."""
         return build_default_plan(expression)
 
-    def optimize(self, plan: QueryPlan) -> tuple[QueryPlan, OptimizationTrace]:
-        """Run the cost-driven optimizer; the input plan is untouched."""
-        return self.optimizer.optimize(plan)
+    def optimize(
+        self, plan: QueryPlan, fused: bool | None = None
+    ) -> tuple[QueryPlan, OptimizationTrace]:
+        """Run the cost-driven optimizer; the input plan is untouched.
+
+        ``fused`` overrides the engine's fusion knob for this call:
+        ``False`` optimizes with the path-fusion rule withheld.
+        """
+        effective_fused = self.fused if fused is None else fused
+        optimizer = self.optimizer if effective_fused else self._unfused_optimizer
+        return optimizer.optimize(plan)
 
     def plan(
-        self, expression: str, optimize: bool = True
+        self, expression: str, optimize: bool = True, fused: bool | None = None
     ) -> tuple[QueryPlan, OptimizationTrace | None]:
         """Cached compile(+optimize) — a genuine LRU keyed on the store epoch.
 
         Any store mutation bumps the epoch; cached plans were optimized
         against the old statistics, so the first plan request after a
         mutation drops the cache and re-optimizes.  The current
-        ``batched``/``block_size`` knobs are part of the key: a cached
-        plan carries a memoized block configuration, and toggling the
-        knobs on a live engine must produce a fresh entry rather than
-        serve the stale one.
+        ``batched``/``block_size``/``fused`` knobs are part of the key: a
+        cached plan carries a memoized block configuration and its fusion
+        decision, and toggling the knobs on a live engine must produce a
+        fresh entry rather than serve the stale one.  ``fused`` overrides
+        the engine-level knob for this one query.
         """
         if self._plan_cache_epoch != self.store.epoch:
             self._plan_cache.clear()
             self._plan_cache_epoch = self.store.epoch
-        cache_key = (expression, optimize, self.batched, self.block_size)
+        effective_fused = self.fused if fused is None else fused
+        cache_key = (
+            expression, optimize, self.batched, self.block_size, effective_fused
+        )
         cached = self._plan_cache.get(cache_key)
         if cached is not None:
             # Re-insert to mark this entry most-recently-used.
@@ -162,7 +188,7 @@ class VamanaEngine:
             # Interrupts and query-guard violations must still abort the
             # query, so they pass through the sandbox untouched.
             try:
-                plan, trace = self.optimize(default)
+                plan, trace = self.optimize(default, fused=effective_fused)
             except (
                 KeyboardInterrupt,
                 QueryTimeoutError,
@@ -329,12 +355,14 @@ class VamanaEngine:
         max_pages: int | None = None,
         max_results: int | None = None,
         guard: QueryGuard | None = None,
+        fused: bool | None = None,
     ) -> QueryResult:
         """The full pipeline: compile → optimize → execute.
 
         ``timeout_ms`` / ``max_pages`` / ``max_results`` build a
         :class:`QueryGuard` for this call; pass a prebuilt ``guard``
         instead to share one (e.g. to cancel from another thread).
+        ``fused`` overrides the engine's path-fusion knob for this query.
         """
         if guard is None and (
             timeout_ms is not None or max_pages is not None or max_results is not None
@@ -354,7 +382,7 @@ class VamanaEngine:
                 return QueryResult(self.store, [], metrics, None, expression)
         hits_before = self.plan_cache_hits
         misses_before = self.plan_cache_misses
-        plan, trace = self.plan(expression, optimize)
+        plan, trace = self.plan(expression, optimize, fused=fused)
         result = self.execute(plan, context, trace, guard=guard)
         result.metrics.plan_cache_hits = self.plan_cache_hits - hits_before
         result.metrics.plan_cache_misses = self.plan_cache_misses - misses_before
@@ -381,16 +409,23 @@ class VamanaEngine:
 
     # -- inspection ---------------------------------------------------------------
 
-    def explain(self, expression: str, optimize: bool = True, verify: bool = False) -> str:
+    def explain(
+        self,
+        expression: str,
+        optimize: bool = True,
+        verify: bool = False,
+        fused: bool | None = None,
+    ) -> str:
         """The annotated plan tree, plus the optimization trace if any.
 
         With ``verify=True`` the static analyses run too: the plan is
         checked against every structural invariant (raising
         :class:`~repro.errors.PlanInvariantError` if one is broken), the
         inferred per-operator properties are appended, and the
-        satisfiability verdict is reported.
+        satisfiability verdict is reported.  ``fused`` overrides the
+        engine's path-fusion knob for this query.
         """
-        plan, trace = self.plan(expression, optimize)
+        plan, trace = self.plan(expression, optimize, fused=fused)
         self.estimator.estimate(plan)
         sections = [plan.explain()]
         if trace is not None:

@@ -19,6 +19,10 @@ index-centric algebra:
   ``//watches/watch/ancestor::person`` becomes
   ``//watches[watch]/ancestor-or-self::person`` when set semantics allow
   it, shrinking the tuple stream feeding the ancestor step.
+* :class:`PathFusionRule` — whole-query compilation (SXSI): a predicate-free
+  chain of child/descendant/self steps ending at the context-path leaf
+  becomes one ``FusedPathScan`` automaton evaluated in a single
+  document-order node-index pass.
 
 Rules only *propose* plans; the optimizer keeps a proposal when the
 re-estimated cost strictly improves.
@@ -29,12 +33,14 @@ from repro.optimizer.rules.reverse_axis import ReverseAxisRule
 from repro.optimizer.rules.pushdown import PredicatePushdownRule
 from repro.optimizer.rules.value_index import ValueIndexRule
 from repro.optimizer.rules.duplicate_elim import DuplicateEliminationRule
+from repro.optimizer.rules.fusion import PathFusionRule
 
 DEFAULT_RULES: tuple[RewriteRule, ...] = (
     ValueIndexRule(),
     ReverseAxisRule(),
     PredicatePushdownRule(),
     DuplicateEliminationRule(),
+    PathFusionRule(),
 )
 
 __all__ = [
@@ -43,5 +49,6 @@ __all__ = [
     "PredicatePushdownRule",
     "ValueIndexRule",
     "DuplicateEliminationRule",
+    "PathFusionRule",
     "DEFAULT_RULES",
 ]

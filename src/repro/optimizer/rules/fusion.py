@@ -1,0 +1,96 @@
+"""Whole-query path fusion: collapse a step chain into one automaton scan.
+
+Pattern::
+
+    φ(axis_n::T_n)  ←ctx—  …  ←ctx—  φ(axis_1::T_1)   (context-path leaf)
+
+with every axis forward-structural (child / descendant[-or-self] / self)
+and no predicates anywhere on the chain, rewrites to the single operator::
+
+    FPS[axis_1::T_1 / … / axis_n::T_n]
+
+which compiles the chain to an NFA over (depth, kind, name) events and
+evaluates it in one document-order scan of the node index (see
+:mod:`repro.algebra.fused`).  This is the whole-query optimization of
+SXSI applied to VAMANA's algebra: instead of one index scan per location
+step — each re-walking the subtree entries of every context tuple — the
+chain costs a single pass, and subtrees the automaton proves dead are
+skipped wholesale.
+
+The rewrite changes multiset cardinalities (``//a//b`` emits a nested
+``b`` once, not once per enclosing ``a``), so it requires the plan root's
+``distinct`` node-set semantics.  Like every rule, it only *proposes*:
+the optimizer keeps the fused plan when the estimator's entries-touched
+figure strictly drops, so selective name-indexed chains (whose per-step
+scans are cheaper than one full pass) stay unfused.
+"""
+
+from __future__ import annotations
+
+from repro.model import Axis
+from repro.algebra.plan import FusedPathScanNode, PlanBase, QueryPlan, StepNode
+from repro.optimizer.rules.base import RewriteRule
+from repro.optimizer.util import context_parent, find_by_id, on_context_path
+
+#: The axes a fused chain may contain (forward, structural, downward).
+_FUSABLE_AXES = frozenset(
+    {Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF, Axis.SELF}
+)
+
+
+def _fusable_step(node) -> bool:
+    return (
+        isinstance(node, StepNode)
+        and node.axis in _FUSABLE_AXES
+        and not node.predicates
+    )
+
+
+class PathFusionRule(RewriteRule):
+    name = "path-fusion"
+    paper_ref = (
+        "Section 5.2 (single-scan path evaluation): the whole-query "
+        "compilation of SXSI (Arroyuelo et al., PAPERS.md) applied to "
+        "VAMANA's algebra — execute a forward step chain as one tree "
+        "automaton pass over the node index"
+    )
+
+    def matches(self, plan: QueryPlan, node: PlanBase) -> bool:
+        # ``node`` is the *top* of a maximal fusable chain that ends at
+        # the context-path leaf (the operator fed the document context) —
+        # the fused scan replaces the whole chain with one leaf.
+        if not _fusable_step(node) or not plan.root.distinct:
+            return False
+        if not on_context_path(plan, node):
+            return False
+        length = 1
+        structural = node.axis is not Axis.SELF
+        current = node.context_child
+        while current is not None:
+            if not _fusable_step(current):
+                return False  # the chain must reach the leaf unbroken
+            structural = structural or current.axis is not Axis.SELF
+            length += 1
+            current = current.context_child
+        if length < 2 or not structural:
+            return False  # nothing to fuse / pure self-filters
+        parent = context_parent(plan, node)
+        if _fusable_step(parent):
+            return False  # not maximal: matching continues at the parent
+        return True
+
+    def apply(self, plan: QueryPlan, node: PlanBase) -> None:
+        step = find_by_id(plan, node.op_id)
+        assert isinstance(step, StepNode)
+        chain = [step]
+        current = step.context_child
+        while current is not None:
+            assert isinstance(current, StepNode)
+            chain.append(current)
+            current = current.context_child
+        # steps in application order: the chain's leaf is applied first.
+        fused = FusedPathScanNode([(s.axis, s.test) for s in reversed(chain)])
+        parent = context_parent(plan, step)
+        assert parent is not None
+        parent.context_child = fused
+        plan.renumber()

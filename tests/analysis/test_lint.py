@@ -145,6 +145,138 @@ class TestGuardCheckpoint:
         assert violations == []
 
 
+class TestScanCadence:
+    """VAM001 (cont.): yield-ing *scan methods inside operator classes."""
+
+    def test_scan_generator_without_checkpoint_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class FusedOperator:
+                def next_block(self, max_n):
+                    self.guard.checkpoint()
+                    return list(self._scan())
+
+                def _scan(self):
+                    for record in self.records:
+                        yield record.key
+            """,
+        )
+        assert _rules(violations) == ["VAM001"]
+        assert "never calls guard.checkpoint()" in violations[0].message
+
+    def test_unbounded_cadence_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class FusedOperator:
+                def next_block(self, max_n):
+                    self.guard.checkpoint()
+                    return list(self._scan())
+
+                def _scan(self):
+                    self.guard.checkpoint()
+                    for record in self.records:
+                        yield record.key
+            """,
+        )
+        assert _rules(violations) == ["VAM001"]
+        assert "bounded checkpoint cadence" in violations[0].message
+
+    def test_literal_cadence_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class FusedOperator:
+                def next_block(self, max_n):
+                    self.guard.checkpoint()
+                    return list(self._scan())
+
+                def _scan(self):
+                    since = 0
+                    for record in self.records:
+                        since += 1
+                        if since >= 64:
+                            self.guard.checkpoint()
+                            since = 0
+                        yield record.key
+            """,
+        )
+        assert violations == []
+
+    def test_module_constant_cadence_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            _CHECKPOINT_EVERY = 64
+
+            class FusedOperator:
+                def next_block(self, max_n):
+                    self.guard.checkpoint()
+                    return list(self._scan())
+
+                def _scan(self):
+                    since = 0
+                    for record in self.records:
+                        since += 1
+                        if since >= _CHECKPOINT_EVERY:
+                            self.guard.checkpoint()
+                            since = 0
+                        yield record.key
+            """,
+        )
+        assert violations == []
+
+    def test_cadence_above_limit_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class FusedOperator:
+                def next_block(self, max_n):
+                    self.guard.checkpoint()
+                    return list(self._scan())
+
+                def _scan(self):
+                    since = 0
+                    for record in self.records:
+                        since += 1
+                        if since >= 4096:
+                            self.guard.checkpoint()
+                            since = 0
+                        yield record.key
+            """,
+        )
+        assert _rules(violations) == ["VAM001"]
+        assert "bounded checkpoint cadence" in violations[0].message
+
+    def test_non_generator_scan_methods_are_ignored(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class FusedOperator:
+                def next_block(self, max_n):
+                    self.guard.checkpoint()
+                    return self.scan_count()
+
+                def scan_count(self):
+                    return len(self.records)
+            """,
+        )
+        assert violations == []
+
+    def test_scan_generators_outside_operators_are_ignored(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class Corpus:
+                def scan_documents(self):
+                    for doc in self.docs:
+                        yield doc
+            """,
+        )
+        assert violations == []
+
+
 class TestExceptionSwallowing:
     def test_blind_except_exception_is_flagged(self, tmp_path):
         violations = _lint_source(

@@ -181,3 +181,54 @@ class TestPipelineKnobKeying:
         assert seen[0].enabled
         assert (seen[1].enabled, seen[1].size) == (True, 3)
         assert not seen[2].enabled
+
+
+class TestFusionKnobKeying:
+    """The ``fused`` knob is part of the plan-cache key.
+
+    A plan optimized with path fusion contains a ``FusedPathScanNode``
+    the unfused pipeline must never be handed (and vice versa), so
+    toggling the engine knob — or overriding it per query — must miss
+    rather than serve the other configuration's plan.
+    """
+
+    def test_toggling_fused_misses(self, engine):
+        engine.plan("//person/name")
+        engine.fused = False
+        engine.plan("//person/name")
+        assert (engine.plan_cache_hits, engine.plan_cache_misses) == (0, 2)
+        engine.fused = True
+        engine.plan("//person/name")
+        assert engine.plan_cache_hits == 1  # original entry still cached
+
+    def test_per_query_override_is_part_of_the_key(self, engine):
+        engine.plan("//person/name")               # engine default (fused)
+        engine.plan("//person/name", fused=False)  # override: distinct entry
+        assert (engine.plan_cache_hits, engine.plan_cache_misses) == (0, 2)
+        engine.plan("//person/name", fused=True)   # same as the default entry
+        engine.plan("//person/name")
+        assert engine.plan_cache_hits == 2
+
+    def test_override_plans_differ_in_shape(self, store):
+        from repro.algebra.plan import FusedPathScanNode
+
+        engine = VamanaEngine(store)
+        fused_plan, _ = engine.plan("//node()//text()", fused=True)
+        unfused_plan, _ = engine.plan("//node()//text()", fused=False)
+        assert any(
+            isinstance(node, FusedPathScanNode) for node in fused_plan.walk()
+        )
+        assert not any(
+            isinstance(node, FusedPathScanNode) for node in unfused_plan.walk()
+        )
+
+    def test_unfused_engine_never_builds_fused_plans(self, store):
+        from repro.algebra.plan import FusedPathScanNode
+
+        engine = VamanaEngine(store, fused=False)
+        plan, _ = engine.plan("//node()//text()")
+        assert not any(
+            isinstance(node, FusedPathScanNode) for node in plan.walk()
+        )
+        result = engine.evaluate("//node()//text()")
+        assert result.metrics.plan_cache_hits == 1  # same key as plan() above

@@ -139,6 +139,7 @@ class TestRuleGating:
             "reverse-axis",
             "predicate-pushdown",
             "duplicate-elimination",
+            "path-fusion",
         }
 
     def test_estimator_reused(self, xmark_store):

@@ -42,7 +42,7 @@ def test_bench_hotpath_quick_writes_report(tmp_path):
                 assert data["pages_read_logical"] > 0
         batched = sections["batched_queries"]
         assert set(batched) == {
-            "Q1", "Q2", "Q3", "Q4", "Q5", "D1", "D2", "D3",
+            "Q1", "Q2", "Q3", "Q4", "Q5", "D1", "D2", "D3", "D4", "D5",
         }
         for data in batched.values():
             # The harness raises if batched and tuple-at-a-time key
@@ -52,6 +52,22 @@ def test_bench_hotpath_quick_writes_report(tmp_path):
             assert data["speedup"] > 0
             assert data["root_descents"] >= 0
             assert data["cursor_resumes"] >= 0
+        fused = sections["fused_queries"]
+        assert set(fused) == {
+            "Q1", "Q2", "Q3", "Q4", "Q5", "D1", "D2", "D3", "D4", "D5",
+        }
+        # The cost model elects fusion on the node()-heavy deep chains
+        # and declines it on the selective name-indexed workloads.
+        assert fused["D3"]["fused_plan"] is True
+        assert fused["Q1"]["fused_plan"] is False
+        for data in fused.values():
+            # The harness raises if fused and unfused key sequences
+            # differ, so reaching here proves equivalence.
+            assert data["unfused_seconds"] > 0
+            assert data["fused_seconds"] > 0
+            assert data["speedup"] > 0
+            assert data["unfused_entries_scanned"] >= 0
+            assert data["fused_entries_scanned"] >= 0
 
 
 def test_bench_hotpath_single_tiny_scale(tmp_path):
