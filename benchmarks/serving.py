@@ -1,0 +1,15 @@
+#!/usr/bin/env python
+"""Concurrent-serving benchmark harness (QPS and tail latency under load).
+
+Thin executable wrapper over :mod:`repro.bench.serving`; the same harness
+backs the ``repro bench-serving`` CLI subcommand.
+
+Run:  PYTHONPATH=src python benchmarks/serving.py [--quick] [-o out.json]
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench-serving", *sys.argv[1:]]))

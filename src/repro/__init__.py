@@ -37,6 +37,10 @@ from repro.errors import (
     QueryCancelledError,
     QueryTimeoutError,
     ReproError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
+    SnapshotError,
     StorageError,
     TransientStorageError,
     UnsupportedFeatureError,
@@ -51,6 +55,7 @@ from repro.cost import CostEstimator, plan_cost
 from repro.optimizer import Optimizer, optimize_plan
 from repro.engine import Database, ExecutionMetrics, QueryResult, VamanaEngine
 from repro.resilience import FaultInjector, QueryGuard, with_retries
+from repro.serving import QueryOutcome, QueryServer, SnapshotManager, StoreSnapshot
 from repro.xmark import XmarkGenerator, generate_document, paper_profile
 
 __version__ = "1.0.0"
@@ -70,6 +75,10 @@ __all__ = [
     "QueryCancelledError",
     "UnsupportedFeatureError",
     "DocumentTooLargeError",
+    "ServingError",
+    "ServerOverloadedError",
+    "ServerClosedError",
+    "SnapshotError",
     # model
     "Axis",
     "NodeTest",
@@ -98,6 +107,11 @@ __all__ = [
     "QueryGuard",
     "FaultInjector",
     "with_retries",
+    # serving
+    "QueryServer",
+    "QueryOutcome",
+    "SnapshotManager",
+    "StoreSnapshot",
     # workload
     "XmarkGenerator",
     "generate_document",

@@ -159,6 +159,11 @@ class PathAutomaton:
             return self.comment_mask
         if kind is NodeKind.PROCESSING_INSTRUCTION:
             return self.pi_masks.get(name, self.pi_default)
+        if kind is NodeKind.DOCUMENT:
+            # The document node is a node: node() steps match it.  Only
+            # reachable as a *context* (via :meth:`start`) — subtree scans
+            # never deliver the document record.
+            return self.node_mask
         return 0
 
     def _closure(self, states: int, match: int) -> int:
@@ -173,20 +178,22 @@ class PathAutomaton:
     def start(self, record: NodeRecord | None) -> int:
         """The context node's state mask (state 0 plus its self-closure).
 
-        ``record`` is the context's stored record, or None for the
-        document node (which has no record — matching ``_iter_self``,
-        its self hits never materialise).  The context node itself may
-        match via self/descendant-or-self steps, including when it is an
-        attribute (``selfish`` matching).
+        ``record`` is the context's stored record (kind ``DOCUMENT`` for
+        the document node), or None when no record exists.  The context
+        node itself may consume self/descendant-or-self steps in place —
+        the document node and attribute contexts through their ``node()``
+        matches (``selfish`` matching) — so steps *after* a leading
+        ``descendant-or-self::node()`` see the right descendant feed.
         """
         states = 1
-        if record is None or not self.closure_mask:
+        if not self.closure_mask:
             return states
-        kind = record.kind
-        if kind in (NodeKind.ATTRIBUTE, NodeKind.NAMESPACE):
+        if record is None:
+            match = self.node_mask  # the recordless document node
+        elif record.kind in (NodeKind.ATTRIBUTE, NodeKind.NAMESPACE):
             match = self.node_mask  # only node() matches a special context
         else:
-            match = self.match_mask(kind, record.name)
+            match = self.match_mask(record.kind, record.name)
         return self._closure(states, match)
 
     def advance(self, fire: int, kind: NodeKind, name: str) -> int:

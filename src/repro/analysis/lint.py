@@ -49,6 +49,14 @@ module under ``src/repro`` and enforces them:
     applied outside the gate dodges both the static invariant checks and
     the opt-in differential oracle of :mod:`repro.analysis.tv`.
 
+``VAM006`` **no leaked snapshot pins** — in the serving package, every
+    ``.acquire()`` call must release its
+    :class:`~repro.serving.snapshot.StoreSnapshot` on *all* exits: as the
+    context expression of a ``with`` statement, assigned to a name some
+    ``try``'s ``finally`` releases, or returned directly (ownership
+    transfer).  A pin leaked on an error path keeps a retired store
+    version alive forever.
+
 Run it as ``python -m repro.analysis.lint src/repro`` (exit status 0 means
 clean, 1 means violations, 2 means bad invocation).
 """
@@ -564,6 +572,104 @@ def _check_rule_hygiene(path: str, tree: ast.AST) -> list[LintViolation]:
     return violations
 
 
+# -- VAM006: snapshots must be released on all exits ---------------------------
+
+
+def _scope_nodes(root: ast.AST):
+    """Walk ``root`` without descending into nested function scopes."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_acquire_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "acquire"
+    )
+
+
+def _check_snapshot_release(path: str, tree: ast.AST) -> list[LintViolation]:
+    """Every ``.acquire()`` in the serving package must be leak-proof.
+
+    A :class:`~repro.serving.snapshot.StoreSnapshot` pin that escapes on
+    an error path silently prevents old store versions from ever being
+    reclaimed, so an acquire call must be one of:
+
+    * the context expression of a ``with`` statement (the snapshot's
+      ``__exit__`` releases the pin on all exits),
+    * assigned to a name that some ``try`` in the same function scope
+      releases in its ``finally`` block (``X = ....acquire()`` ...
+      ``finally: X.release()``),
+    * returned directly (``return ....acquire()`` transfers ownership to
+      the caller, who carries the same obligation).
+    """
+    if "serving" not in os.path.normpath(path).split(os.sep):
+        return []
+    violations: list[LintViolation] = []
+    scopes = [tree] + [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for scope in scopes:
+        with_exprs: set[int] = set()
+        returned: set[int] = set()
+        released_names: set[str] = set()
+        assigned_to: dict[int, str | None] = {}
+        acquires: list[ast.Call] = []
+        for node in _scope_nodes(scope):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_exprs.add(id(item.context_expr))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                returned.add(id(node.value))
+            elif isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for sub in ast.walk(stmt):
+                        if (
+                            isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr == "release"
+                            and isinstance(sub.func.value, ast.Name)
+                        ):
+                            released_names.add(sub.func.value.id)
+            elif isinstance(node, ast.Assign):
+                name = (
+                    node.targets[0].id
+                    if len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    else None
+                )
+                assigned_to[id(node.value)] = name
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                assigned_to[id(node.value)] = (
+                    node.target.id if isinstance(node.target, ast.Name) else None
+                )
+            if _is_acquire_call(node):
+                acquires.append(node)
+        for call in acquires:
+            if id(call) in with_exprs or id(call) in returned:
+                continue
+            name = assigned_to.get(id(call))
+            if name is not None and name in released_names:
+                continue
+            violations.append(
+                LintViolation(
+                    path, call.lineno, "VAM006",
+                    "snapshot acquire() is not released on all exits: use "
+                    "'with ...acquire() as s:' or assign to a name that a "
+                    "try/finally releases",
+                )
+            )
+    return violations
+
+
 # -- driver --------------------------------------------------------------------
 
 CHECKS = (
@@ -573,6 +679,7 @@ CHECKS = (
     _check_persistence_decode,
     _check_wall_clock,
     _check_rule_hygiene,
+    _check_snapshot_release,
 )
 
 

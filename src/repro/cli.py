@@ -19,7 +19,13 @@ Commands:
   enumerated document corpus, cross-checked against the DOM baseline,
   plus the estimator-soundness pass on Q1-Q5 (exit 1 on any failure),
 * ``bench-hotpath`` — run the hot-path microbenchmarks (byte-encoded vs
-  tuple-compared keys) and write ``BENCH_hotpath.json``.
+  tuple-compared keys) and write ``BENCH_hotpath.json``,
+* ``serve``    — run the concurrent query server over a document: a
+  line-protocol TCP front end (one XPath or JSON request per line, one
+  JSON response per line) over the snapshot-isolated worker pool,
+* ``bench-serving`` — measure QPS and p50/p99 latency at 1/8/64
+  concurrent clients with a live writer, and write
+  ``BENCH_serving.json``.
 
 Files ending in ``.mass`` are treated as saved stores everywhere.
 """
@@ -202,6 +208,63 @@ def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import QueryServer, TcpFrontend
+
+    store = _load_any(args.input)
+    server = QueryServer(
+        store,
+        workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        default_timeout_ms=args.timeout,
+        default_max_pages=args.max_pages,
+        default_max_results=args.max_results,
+        shed_cost_limit=args.shed_cost,
+        shed_policy=args.shed_policy,
+    )
+    frontend = TcpFrontend(server, host=args.host, port=args.port)
+    host, port = frontend.address
+    print(f"serving {args.input} on {host}:{port} "
+          f"({args.workers} worker(s), queue depth "
+          f"{server.admission.max_queue_depth}) — Ctrl-C to stop")
+    try:
+        frontend.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        frontend.stop()
+        server.close()
+    return 0
+
+
+def _cmd_bench_serving(args: argparse.Namespace) -> int:
+    from repro.bench.serving import run_serving_bench, summarize, write_report
+
+    levels = None
+    if args.clients:
+        try:
+            levels = tuple(int(part) for part in args.clients.split(",") if part.strip())
+        except ValueError:
+            print(f"error: --clients expects comma-separated integers, got {args.clients!r}", file=sys.stderr)
+            return 2
+        if not levels or any(level < 1 for level in levels):
+            print(f"error: --clients values must be positive, got {args.clients!r}", file=sys.stderr)
+            return 2
+    started = time.perf_counter()
+    options = {"quick": args.quick, "seed": args.seed, "workers": args.workers}
+    if levels is not None:
+        options["levels"] = levels
+    if args.size_mb is not None:
+        options["size_mb"] = args.size_mb
+    report = run_serving_bench(**options)
+    elapsed = time.perf_counter() - started
+    write_report(report, args.output)
+    print(summarize(report))
+    print(f"-- wrote {args.output} in {elapsed:.2f}s", file=sys.stderr)
+    criteria = report.get("criteria")
+    return 0 if criteria is None or criteria["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -299,6 +362,57 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=42)
     bench.add_argument("-o", "--output", default="BENCH_hotpath.json")
     bench.set_defaults(handler=_cmd_bench_hotpath)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the concurrent query server (line-protocol TCP front end "
+        "over the snapshot-isolated worker pool)",
+    )
+    serve.add_argument("input", help="XML file or .mass store")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = let the kernel pick; the bound "
+                       "port is printed)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker threads (= max concurrent queries)")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       help="max requests waiting for a worker "
+                       "(default: 2x workers); beyond it submits are "
+                       "rejected with a retry-after hint")
+    serve.add_argument("--timeout", type=float, default=None, metavar="MS",
+                       help="per-request deadline in milliseconds "
+                       "(includes queue wait)")
+    serve.add_argument("--max-pages", type=int, default=None, metavar="N",
+                       help="per-request logical page-read budget")
+    serve.add_argument("--max-results", type=int, default=None, metavar="N",
+                       help="per-request result cap")
+    serve.add_argument("--shed-cost", type=int, default=None, metavar="COST",
+                       help="under load, shed plans whose estimated cost "
+                       "exceeds COST")
+    serve.add_argument("--shed-policy", choices=("reject", "degrade"),
+                       default="reject",
+                       help="reject expensive plans outright, or run them "
+                       "with a clamped page budget")
+    serve.set_defaults(handler=_cmd_serve)
+
+    bench_serving = commands.add_parser(
+        "bench-serving",
+        help="benchmark the concurrent query server and write "
+        "BENCH_serving.json (exit 1 if the p99 criterion fails)",
+    )
+    bench_serving.add_argument("--quick", action="store_true",
+                               help="tiny document and request counts — "
+                               "finishes in seconds")
+    bench_serving.add_argument("--clients", default=None,
+                               help="comma-separated concurrency levels "
+                               "(default 1,8,64)")
+    bench_serving.add_argument("--size-mb", type=float, default=None,
+                               help="nominal document size in MB")
+    bench_serving.add_argument("--workers", type=int, default=None,
+                               help="worker threads (default: bounded by cores)")
+    bench_serving.add_argument("--seed", type=int, default=42)
+    bench_serving.add_argument("-o", "--output", default="BENCH_serving.json")
+    bench_serving.set_defaults(handler=_cmd_bench_serving)
     return parser
 
 

@@ -9,6 +9,7 @@ queries run per document or over all of them.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 from repro.errors import ReproError
@@ -21,9 +22,18 @@ from repro.engine.result import QueryResult
 
 
 class Database:
-    """Named collection of indexed documents."""
+    """Named collection of indexed documents.
+
+    The registry is thread-safe: concurrent adds, drops and lookups are
+    serialized by one re-entrant lock, so a serving front end can attach
+    and detach documents while readers resolve names.  (Query execution
+    itself is not under this lock — per-engine thread safety is the
+    engine's plan-cache lock, and full isolation under mutation is the
+    serving layer's :class:`~repro.serving.SnapshotManager`.)
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._stores: dict[str, MassStore] = {}
         self._engines: dict[str, VamanaEngine] = {}
 
@@ -31,45 +41,67 @@ class Database:
 
     def add_document(self, name: str, xml_text: str, **store_options) -> MassStore:
         """Parse, index and register one document under ``name``."""
-        if name in self._stores:
-            raise ReproError(f"document {name!r} already loaded")
         store = load_xml(xml_text, name=name, **store_options)
-        self._stores[name] = store
-        self._engines[name] = VamanaEngine(store)
+        with self._lock:
+            if name in self._stores:
+                raise ReproError(f"document {name!r} already loaded")
+            self._stores[name] = store
+            self._engines[name] = VamanaEngine(store)
         return store
 
     def add_store(self, name: str, store: MassStore) -> None:
-        if name in self._stores:
-            raise ReproError(f"document {name!r} already loaded")
-        self._stores[name] = store
-        self._engines[name] = VamanaEngine(store)
+        with self._lock:
+            if name in self._stores:
+                raise ReproError(f"document {name!r} already loaded")
+            self._stores[name] = store
+            self._engines[name] = VamanaEngine(store)
 
     def drop_document(self, name: str) -> None:
-        if name not in self._stores:
-            raise ReproError(f"no document named {name!r}")
-        del self._stores[name]
-        del self._engines[name]
+        with self._lock:
+            if name not in self._stores:
+                raise ReproError(f"no document named {name!r}")
+            del self._stores[name]
+            del self._engines[name]
 
     def documents(self) -> list[str]:
-        return list(self._stores)
+        with self._lock:
+            return list(self._stores)
 
     def store(self, name: str) -> MassStore:
-        try:
-            return self._stores[name]
-        except KeyError:
-            raise ReproError(f"no document named {name!r}") from None
+        with self._lock:
+            try:
+                return self._stores[name]
+            except KeyError:
+                raise ReproError(f"no document named {name!r}") from None
 
     def engine(self, name: str) -> VamanaEngine:
-        try:
-            return self._engines[name]
-        except KeyError:
-            raise ReproError(f"no document named {name!r}") from None
+        with self._lock:
+            try:
+                return self._engines[name]
+            except KeyError:
+                raise ReproError(f"no document named {name!r}") from None
+
+    def serve(self, name: str, **server_options):
+        """Stand up a :class:`~repro.serving.QueryServer` on one document.
+
+        The store is handed to the server's snapshot manager, which
+        freezes it: direct mutation through this database raises from
+        then on, and updates flow through
+        :meth:`~repro.serving.QueryServer.apply_update` instead.  The
+        registry keeps serving reads (counts, lookups) for the frozen
+        base version.
+        """
+        from repro.serving import QueryServer
+
+        return QueryServer(self.store(name), **server_options)
 
     def __len__(self) -> int:
-        return len(self._stores)
+        with self._lock:
+            return len(self._stores)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._stores
+        with self._lock:
+            return name in self._stores
 
     # -- queries -------------------------------------------------------------------
 
@@ -131,4 +163,5 @@ class Database:
         return sum(store.text_count(value) for store in self._stores.values())
 
     def iter_stores(self) -> Iterator[tuple[str, MassStore]]:
-        return iter(self._stores.items())
+        with self._lock:
+            return iter(list(self._stores.items()))

@@ -15,6 +15,7 @@ optimization overhead from execution cost — the split Figure 14 reports.
 
 from __future__ import annotations
 
+import threading
 import time
 
 from repro.errors import (
@@ -131,6 +132,15 @@ class VamanaEngine:
         self._plan_cache_epoch = store.epoch
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
+        # One reentrant lock serializes every plan-cache and schema-cache
+        # access: the serving layer evaluates through a shared engine from
+        # many worker threads at once, and an unguarded LRU dict would
+        # corrupt under concurrent re-insertions (and racing misses would
+        # compile the same expression twice).  Cache hits only pay a
+        # lock/unlock; misses additionally serialize optimization, which
+        # is the behaviour we want — one compile per expression, everyone
+        # else waits for the cached plan.
+        self._plan_lock = threading.RLock()
 
     # -- compilation -----------------------------------------------------------
 
@@ -163,50 +173,62 @@ class VamanaEngine:
         decision, and toggling the knobs on a live engine must produce a
         fresh entry rather than serve the stale one.  ``fused`` overrides
         the engine-level knob for this one query.
+
+        Thread-safe: the cache (and a miss's compile+optimize) runs under
+        the engine's plan lock, so concurrent callers never corrupt the
+        LRU order or compile the same expression twice.
         """
-        if self._plan_cache_epoch != self.store.epoch:
-            self._plan_cache.clear()
-            self._plan_cache_epoch = self.store.epoch
-        effective_fused = self.fused if fused is None else fused
-        cache_key = (
-            expression, optimize, self.batched, self.block_size, effective_fused
-        )
-        cached = self._plan_cache.get(cache_key)
-        if cached is not None:
-            # Re-insert to mark this entry most-recently-used.
-            del self._plan_cache[cache_key]
-            self._plan_cache[cache_key] = cached
-            self.plan_cache_hits += 1
-            return cached
-        self.plan_cache_misses += 1
-        default = self.compile(expression)
-        if optimize:
-            # The optimizer must never kill a query: individual rule
-            # failures are already sandboxed inside the loop, and if the
-            # loop itself dies (estimator bug, pathological plan) we fall
-            # back to the default plan with the failure on the trace.
-            # Interrupts and query-guard violations must still abort the
-            # query, so they pass through the sandbox untouched.
-            try:
-                plan, trace = self.optimize(default, fused=effective_fused)
-            except (
-                KeyboardInterrupt,
-                QueryTimeoutError,
-                BudgetExceededError,
-                QueryCancelledError,
-            ):
-                raise
-            except Exception as error:  # noqa: BLE001 - deliberate sandbox
-                trace = OptimizationTrace(expression=expression)
-                trace.failure = f"{type(error).__name__}: {error}"
-                plan = default
-        else:
-            plan, trace = default, None
-        if self._plan_cache_size > 0:
-            if len(self._plan_cache) >= self._plan_cache_size:
-                self._plan_cache.pop(next(iter(self._plan_cache)))
-            self._plan_cache[cache_key] = (plan, trace)
+        plan, trace, _hit = self._plan_cached(expression, optimize, fused)
         return plan, trace
+
+    def _plan_cached(
+        self, expression: str, optimize: bool = True, fused: bool | None = None
+    ) -> tuple[QueryPlan, OptimizationTrace | None, bool]:
+        """:meth:`plan` plus whether the cache answered (for metrics)."""
+        with self._plan_lock:
+            if self._plan_cache_epoch != self.store.epoch:
+                self._plan_cache.clear()
+                self._plan_cache_epoch = self.store.epoch
+            effective_fused = self.fused if fused is None else fused
+            cache_key = (
+                expression, optimize, self.batched, self.block_size, effective_fused
+            )
+            cached = self._plan_cache.get(cache_key)
+            if cached is not None:
+                # Re-insert to mark this entry most-recently-used.
+                del self._plan_cache[cache_key]
+                self._plan_cache[cache_key] = cached
+                self.plan_cache_hits += 1
+                return (*cached, True)
+            self.plan_cache_misses += 1
+            default = self.compile(expression)
+            if optimize:
+                # The optimizer must never kill a query: individual rule
+                # failures are already sandboxed inside the loop, and if the
+                # loop itself dies (estimator bug, pathological plan) we fall
+                # back to the default plan with the failure on the trace.
+                # Interrupts and query-guard violations must still abort the
+                # query, so they pass through the sandbox untouched.
+                try:
+                    plan, trace = self.optimize(default, fused=effective_fused)
+                except (
+                    KeyboardInterrupt,
+                    QueryTimeoutError,
+                    BudgetExceededError,
+                    QueryCancelledError,
+                ):
+                    raise
+                except Exception as error:  # noqa: BLE001 - deliberate sandbox
+                    trace = OptimizationTrace(expression=expression)
+                    trace.failure = f"{type(error).__name__}: {error}"
+                    plan = default
+            else:
+                plan, trace = default, None
+            if self._plan_cache_size > 0:
+                if len(self._plan_cache) >= self._plan_cache_size:
+                    self._plan_cache.pop(next(iter(self._plan_cache)))
+                self._plan_cache[cache_key] = (plan, trace)
+            return plan, trace, False
 
     # -- static analysis --------------------------------------------------------
 
@@ -219,39 +241,43 @@ class VamanaEngine:
         falls back to a names-only schema mined from the name index, which
         still prunes unknown-name tests but assumes any structure.
         """
-        if self._schema is not None and self._schema_epoch == self.store.epoch:
-            return self._schema
-        elements: set[str] = set()
-        attributes: set[str] = set()
-        for name in self.store.name_index.distinct_names():
-            if name.startswith("@"):
-                attributes.add(name[1:])
-            elif not name.startswith(("#", "?")):
-                elements.add(name)
-        root = self.store.root_element().name
-        xmark_attributes = frozenset().union(*vocabulary.SCHEMA_ATTRIBUTES.values())
-        if (
-            root == vocabulary.SCHEMA_ROOT
-            and elements <= vocabulary.SCHEMA_ELEMENTS
-            and attributes <= xmark_attributes
-        ):
-            schema = xmark_schema()
-        else:
-            schema = names_only_schema(elements, attributes, root=root)
-        self._schema = schema
-        self._schema_epoch = self.store.epoch
-        self._sat_cache.clear()
-        return schema
+        with self._plan_lock:
+            if self._schema is not None and self._schema_epoch == self.store.epoch:
+                return self._schema
+            elements: set[str] = set()
+            attributes: set[str] = set()
+            for name in self.store.name_index.distinct_names():
+                if name.startswith("@"):
+                    attributes.add(name[1:])
+                elif not name.startswith(("#", "?")):
+                    elements.add(name)
+            root = self.store.root_element().name
+            xmark_attributes = frozenset().union(
+                *vocabulary.SCHEMA_ATTRIBUTES.values()
+            )
+            if (
+                root == vocabulary.SCHEMA_ROOT
+                and elements <= vocabulary.SCHEMA_ELEMENTS
+                and attributes <= xmark_attributes
+            ):
+                schema = xmark_schema()
+            else:
+                schema = names_only_schema(elements, attributes, root=root)
+            self._schema = schema
+            self._schema_epoch = self.store.epoch
+            self._sat_cache.clear()
+            return schema
 
     def satisfiability(self, expression: str) -> SatReport:
         """Judge an expression against the store's schema (cached)."""
-        schema = self.schema()
-        cached = self._sat_cache.get(expression)
-        if cached is not None:
-            return cached
-        report = SatisfiabilityAnalyzer(schema).analyze(parse_xpath(expression))
-        self._sat_cache[expression] = report
-        return report
+        with self._plan_lock:
+            schema = self.schema()
+            cached = self._sat_cache.get(expression)
+            if cached is not None:
+                return cached
+            report = SatisfiabilityAnalyzer(schema).analyze(parse_xpath(expression))
+            self._sat_cache[expression] = report
+            return report
 
     def _statically_empty(self, expression: str) -> SatReport | None:
         """The unsat report for a provably-empty query, else None.
@@ -380,12 +406,10 @@ class VamanaEngine:
                 metrics = ExecutionMetrics(tuples_returned=0)
                 metrics.counters["static_empty"] = 1
                 return QueryResult(self.store, [], metrics, None, expression)
-        hits_before = self.plan_cache_hits
-        misses_before = self.plan_cache_misses
-        plan, trace = self.plan(expression, optimize, fused=fused)
+        plan, trace, cache_hit = self._plan_cached(expression, optimize, fused)
         result = self.execute(plan, context, trace, guard=guard)
-        result.metrics.plan_cache_hits = self.plan_cache_hits - hits_before
-        result.metrics.plan_cache_misses = self.plan_cache_misses - misses_before
+        result.metrics.plan_cache_hits = 1 if cache_hit else 0
+        result.metrics.plan_cache_misses = 0 if cache_hit else 1
         return result
 
     def evaluate_value(self, expression: str, context: FlexKey | None = None):

@@ -112,6 +112,35 @@ class QueryCancelledError(ExecutionError):
         super().__init__(message)
 
 
+class ServingError(ReproError):
+    """Raised by the concurrent query server (:mod:`repro.serving`)."""
+
+
+class ServerOverloadedError(ServingError):
+    """The server shed this request (queue full, admission wait timed out,
+    or the cost estimator predicted the query too expensive under the
+    current load).  ``retry_after_s`` is the server's hint for when a
+    retry is likely to be admitted; :func:`repro.resilience.with_retries`
+    honours it when backing off."""
+
+    def __init__(self, reason: str, retry_after_s: float = 0.0):
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        hint = f" (retry after {retry_after_s:.3f}s)" if retry_after_s > 0 else ""
+        super().__init__(f"server overloaded: {reason}{hint}")
+
+
+class ServerClosedError(ServingError):
+    """A request was submitted to a server that has shut down."""
+
+    def __init__(self, message: str = "server is closed"):
+        super().__init__(message)
+
+
+class SnapshotError(ServingError):
+    """Snapshot lifecycle misuse (double release, use after release)."""
+
+
 class OptimizerError(ReproError):
     """Raised when a rewrite rule produces an inconsistent plan."""
 

@@ -134,6 +134,27 @@ class BPlusTree:
         #: Structural modification counter: bumped by insert/delete/bulk_load.
         #: Cursors snapshot it and refuse to resume from a stale pin.
         self._mods = 0
+        #: Snapshot isolation: a frozen tree rejects every structural
+        #: mutation, so ``_mods`` can never move again and pinned-leaf
+        #: cursors stay valid for as long as the snapshot is held — the
+        #: property concurrent readers rely on (:mod:`repro.serving`).
+        self._frozen = False
+
+    # -- snapshot freezing ----------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Make the tree immutable: insert/delete/bulk_load now raise."""
+        self._frozen = True
+
+    def _ensure_mutable(self) -> None:
+        if self._frozen:
+            raise StorageError(
+                "tree is frozen: it belongs to a published store snapshot"
+            )
 
     # -- node/page plumbing -------------------------------------------------
 
@@ -236,6 +257,7 @@ class BPlusTree:
 
     def insert(self, key: Any, value: Any = None) -> None:
         """Insert a new entry; replaces the value if the key exists."""
+        self._ensure_mutable()
         self._mods += 1
         split = self._insert_into(self._root, key, self.search_key(key), value)
         if split is not None:
@@ -254,6 +276,7 @@ class BPlusTree:
         rebalanced — deletes are rare in this workload and counts stay
         exact either way.
         """
+        self._ensure_mutable()
         self._mods += 1
         removed = self._delete_from(self._root, self.search_key(key))
         if removed:
@@ -547,6 +570,7 @@ class BPlusTree:
         Replaces current content.  Loading a document this way produces
         ~69%-full leaves like a real clustered bulk load would.
         """
+        self._ensure_mutable()
         self._mods += 1
         pairs = list(items)
         if self._encode is None:

@@ -140,6 +140,10 @@ class NodeIndex:
             return key if isinstance(key, bytes) else key.sort_bytes
         return key
 
+    def freeze(self) -> None:
+        """Reject further mutation (snapshot publication, see serving)."""
+        self.tree.freeze()
+
     def bulk_load(self, records: list[NodeRecord]) -> None:
         self.tree.bulk_load([(record.key, record) for record in records])
 
@@ -229,6 +233,10 @@ class NameIndex:
         low = (name,) if lo is None else (name, lo)
         high = _upper_bound(name) if hi is None else (name, hi)
         return low, high
+
+    def freeze(self) -> None:
+        """Reject further mutation (snapshot publication, see serving)."""
+        self.tree.freeze()
 
     def bulk_load(self, entries: list[tuple[str, FlexKey, NodeKind]]) -> None:
         self.tree.bulk_load([((name, key), kind) for name, key, kind in entries])
@@ -338,6 +346,10 @@ class ValueIndex:
             entry_bytes=72,
             encode=composite_sort_bytes if byte_keys else None,
         )
+
+    def freeze(self) -> None:
+        """Reject further mutation (snapshot publication, see serving)."""
+        self.tree.freeze()
 
     def bulk_load(self, entries: list[tuple[str, FlexKey, NodeKind]]) -> None:
         self.tree.bulk_load([((value, key), kind) for value, key, kind in entries])

@@ -10,6 +10,7 @@ data" claim measurable rather than anecdotal.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
@@ -17,6 +18,9 @@ from typing import Any
 from repro.errors import StorageError
 
 DEFAULT_PAGE_SIZE = 4096
+
+#: Sentinel distinguishing "absent" from a stored ``None`` value.
+_MISSING = object()
 
 
 class PageKind(Enum):
@@ -40,25 +44,94 @@ class Page:
     used_bytes: int = 0
 
 
-@dataclass(slots=True)
-class PageStats:
-    """Cumulative page-level counters for one store."""
+class ReadCounters:
+    """One thread's read/write tallies (see :class:`PageStats`)."""
 
-    allocated: int = 0
-    freed: int = 0
-    logical_reads: int = 0
-    physical_reads: int = 0
-    writes: int = 0
+    __slots__ = ("logical", "physical", "writes")
+
+    def __init__(self) -> None:
+        self.logical = 0
+        self.physical = 0
+        self.writes = 0
+
+
+class PageStats:
+    """Cumulative page-level counters for one store.
+
+    Read/write counters are kept **per thread**: each thread that touches
+    the store accumulates into its own :class:`ReadCounters`, and the
+    ``logical_reads``/``physical_reads``/``writes`` attributes read (and
+    write) the *calling thread's* tally.  Single-threaded use is exactly
+    the old behaviour; under the concurrent query server every request
+    runs on one worker thread, so a :class:`~repro.resilience.QueryGuard`
+    page budget charges only the pages its own query touched, never a
+    neighbour's.  Aggregates across all threads are available via
+    :meth:`totals`.
+    """
+
+    def __init__(self) -> None:
+        self.allocated = 0
+        self.freed = 0
+        self._lock = threading.Lock()
+        self._counters: list[ReadCounters] = []
+        self._local = threading.local()
+
+    def local_counters(self) -> ReadCounters:
+        """The calling thread's tally (created on first use)."""
+        counters = getattr(self._local, "counters", None)
+        if counters is None:
+            counters = ReadCounters()
+            self._local.counters = counters
+            with self._lock:
+                self._counters.append(counters)
+        return counters
+
+    @property
+    def logical_reads(self) -> int:
+        return self.local_counters().logical
+
+    @logical_reads.setter
+    def logical_reads(self, value: int) -> None:
+        self.local_counters().logical = value
+
+    @property
+    def physical_reads(self) -> int:
+        return self.local_counters().physical
+
+    @physical_reads.setter
+    def physical_reads(self, value: int) -> None:
+        self.local_counters().physical = value
+
+    @property
+    def writes(self) -> int:
+        return self.local_counters().writes
+
+    @writes.setter
+    def writes(self, value: int) -> None:
+        self.local_counters().writes = value
+
+    def totals(self) -> dict[str, int]:
+        """Read/write counters summed over every thread that ever touched
+        the store (dead threads' tallies included)."""
+        with self._lock:
+            counters = list(self._counters)
+        return {
+            "logical_reads": sum(c.logical for c in counters),
+            "physical_reads": sum(c.physical for c in counters),
+            "writes": sum(c.writes for c in counters),
+        }
 
     @property
     def live_pages(self) -> int:
         return self.allocated - self.freed
 
     def reset_io(self) -> None:
-        """Zero the read/write counters (page population is kept)."""
-        self.logical_reads = 0
-        self.physical_reads = 0
-        self.writes = 0
+        """Zero the read/write counters of every thread (pages are kept)."""
+        with self._lock:
+            for counters in self._counters:
+                counters.logical = 0
+                counters.physical = 0
+                counters.writes = 0
 
 
 class PageManager:
@@ -157,24 +230,35 @@ class BufferPool:
         # intact — the governor's page-budget accounting stays exact.
         if self.fault_injector is not None:
             self.fault_injector.on_access("buffer.touch")
-        self.manager.stats.logical_reads += 1
+        counters = self.manager.stats.local_counters()
+        counters.logical += 1
         if self.capacity == 0:
             self.stats.misses += 1
-            self.manager.stats.physical_reads += 1
+            counters.physical += 1
             return
         page_id = page.page_id
+        # Concurrent readers share one pool (snapshot versions are read by
+        # many worker threads at once).  Every dict operation below is
+        # atomic under the GIL, but interleavings between them are not —
+        # so membership races are *tolerated* (``pop`` with default, guarded
+        # eviction) rather than locked out: the worst outcome is a slightly
+        # off LRU order or a lost hit/miss count, never an exception.
         if page_id in self._resident:
             self.stats.hits += 1
             # Move to MRU position.
-            del self._resident[page_id]
+            self._resident.pop(page_id, None)
             self._resident[page_id] = None
             return
         self.stats.misses += 1
-        self.manager.stats.physical_reads += 1
+        counters.physical += 1
         self._resident[page_id] = None
-        if self.capacity is not None and len(self._resident) > self.capacity:
-            oldest = next(iter(self._resident))
-            del self._resident[oldest]
+        while self.capacity is not None and len(self._resident) > self.capacity:
+            try:
+                oldest = next(iter(self._resident))
+            except (StopIteration, RuntimeError):
+                break  # raced with a concurrent eviction/resize
+            if self._resident.pop(oldest, _MISSING) is _MISSING:
+                continue  # another thread evicted it first
             self.stats.evictions += 1
 
     def evict_all(self) -> None:

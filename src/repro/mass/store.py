@@ -56,11 +56,59 @@ class MassStore:
         #: instead of guessing, so cached optimizer decisions can never go
         #: stale under live updates.
         self.epoch = 0
+        #: Snapshot isolation: once frozen (by
+        #: :class:`repro.serving.SnapshotManager` at publication) every
+        #: mutation raises, so concurrent readers can never observe a
+        #: half-applied update and the epoch is pinned forever.
+        self._frozen = False
+
+    # -- snapshot isolation ---------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> "MassStore":
+        """Make the store (and all three indexes) immutable."""
+        self._frozen = True
+        self.node_index.freeze()
+        self.name_index.freeze()
+        self.value_index.freeze()
+        return self
+
+    def _ensure_mutable(self) -> None:
+        if self._frozen:
+            raise StorageError(
+                f"store {self.name!r} is frozen (published snapshot at epoch "
+                f"{self.epoch}); clone it to mutate"
+            )
+
+    def clone(self, name: str | None = None) -> "MassStore":
+        """A mutable copy-on-write twin at the same epoch.
+
+        Node records are immutable (frozen dataclasses), so the twin
+        shares them and rebuilds only index structure — one bulk load per
+        index.  This is the writer's half of epoch-snapshot isolation:
+        mutate the clone, then publish it atomically while readers keep
+        the frozen original.
+        """
+        records = list(self.node_index.scan(None, None))
+        twin = MassStore(
+            name=name or self.name,
+            page_size=self.pages.page_size,
+            buffer_capacity=self.buffer.capacity,
+            byte_keys=self.byte_keys,
+        )
+        if records:
+            twin.bulk_load(records)
+        twin.epoch = self.epoch
+        return twin
 
     # -- loading ------------------------------------------------------------
 
     def bulk_load(self, records: list[NodeRecord]) -> None:
         """Load a complete document from key-sorted node records."""
+        self._ensure_mutable()
         self.epoch += 1
         for earlier, later in zip(records, records[1:]):
             if not earlier.key < later.key:
@@ -232,6 +280,7 @@ class MassStore:
 
     def insert_record(self, record: NodeRecord) -> None:
         """Insert one node; all three indexes (and thus statistics) update."""
+        self._ensure_mutable()
         if self.node_index.get(record.key) is not None:
             raise StorageError(f"key {record.key.pretty()} already stored")
         parent = record.key.parent()
@@ -273,6 +322,7 @@ class MassStore:
 
     def delete_subtree(self, key: FlexKey) -> int:
         """Delete the node at ``key`` and everything below it."""
+        self._ensure_mutable()
         doomed = [self.require(key)]
         lo, hi = key, key.subtree_upper_bound()
         doomed.extend(self.node_index.scan(lo, hi, inclusive_lo=False))
@@ -356,6 +406,15 @@ class MassStore:
         )
         data.update(self.counters)
         return data
+
+    def io_totals(self) -> dict[str, int]:
+        """Page I/O summed over every thread that read this store.
+
+        ``io_snapshot`` reports the *calling thread's* page counters
+        (which is what per-query metrics want); this is the cross-thread
+        aggregate the serving metrics report.
+        """
+        return self.pages.stats.totals()
 
     @property
     def counters(self) -> dict[str, int]:

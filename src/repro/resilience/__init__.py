@@ -16,12 +16,14 @@ See ``DESIGN.md`` § "Resilience & operational limits".
 
 from repro.resilience.guard import QueryGuard
 from repro.resilience.faults import (
+    SERVING_FAULT_SITES,
     FaultInjector,
     corrupt_bytes,
     corrupt_file,
     truncate_file,
 )
 from repro.resilience.retry import (
+    backoff_delay,
     open_store_with_retries,
     save_store_with_retries,
     with_retries,
@@ -30,9 +32,11 @@ from repro.resilience.retry import (
 __all__ = [
     "QueryGuard",
     "FaultInjector",
+    "SERVING_FAULT_SITES",
     "corrupt_bytes",
     "corrupt_file",
     "truncate_file",
+    "backoff_delay",
     "with_retries",
     "save_store_with_retries",
     "open_store_with_retries",

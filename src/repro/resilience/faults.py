@@ -11,6 +11,22 @@ consults at well-known *sites*:
 * ``persistence.open`` — at the top of
   :func:`repro.mass.persistence.open_store`.
 
+The concurrent query server (:mod:`repro.serving`) adds four
+*concurrency* sites, consulted at the edges where a races-and-crashes
+bug would corrupt snapshot isolation:
+
+* ``snapshot.acquire`` — before a reader pins a store snapshot (an
+  injected failure must reject the request cleanly, never leak a pin),
+* ``snapshot.release`` — after a snapshot's refcount is dropped (the
+  bookkeeping is already done, so an injected failure surfaces as a
+  typed error while refcounts still drain to zero),
+* ``writer.publish``   — between building the new store version and the
+  atomic pointer swap (a simulated writer crash mid-publish: readers
+  must keep seeing the old epoch, never a torn one),
+* ``worker.crash``     — at the top of a worker's query evaluation (a
+  simulated worker death; the server must release the snapshot and
+  surface a typed error).
+
 Each site can fail with its own probability (raising
 :class:`~repro.errors.TransientStorageError`) and/or add latency through
 an injectable sleep.  Identical seeds produce identical failure schedules,
@@ -30,6 +46,14 @@ from collections import Counter
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import StorageError, TransientStorageError
+
+#: The serving layer's concurrency fault sites (see module docstring).
+SERVING_FAULT_SITES = (
+    "snapshot.acquire",
+    "snapshot.release",
+    "writer.publish",
+    "worker.crash",
+)
 
 
 def corrupt_bytes(data: bytes, offsets: Iterable[int], xor_mask: int = 0xFF) -> bytes:

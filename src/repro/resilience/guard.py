@@ -112,6 +112,16 @@ class QueryGuard:
     def elapsed_ms(self) -> float:
         return (self.clock() - self._started) * 1000.0
 
+    def remaining_ms(self) -> float | None:
+        """Milliseconds left before the deadline; None without one.
+
+        Never negative — an expired deadline reports 0.0, which retry
+        wrappers treat as "do not sleep, re-raise now".
+        """
+        if self._deadline is None:
+            return None
+        return max(0.0, (self._deadline - self.clock()) * 1000.0)
+
     def pages_used(self) -> int:
         if self._page_stats is None:
             return 0

@@ -1,19 +1,56 @@
-"""Bounded retries with exponential backoff.
+"""Bounded retries with exponential backoff, full jitter and deadline caps.
 
 Transient storage faults (see :class:`~repro.errors.TransientStorageError`)
 deserve a retry; everything else is permanent and propagates immediately.
 The sleep function is injectable so tests assert the exact backoff
 schedule without waiting on a real clock.
+
+Three refinements matter under concurrent serving:
+
+* **Full jitter** (``jitter=True``): the delay before retry *k* is drawn
+  uniformly from ``[0, min(base * multiplier**(k-1), max_delay)]``, so a
+  burst of rejected clients does not retry in lockstep and re-overload
+  the server (the AWS "full jitter" schedule).  Deterministic with an
+  injected ``rng``.
+* **Deadline cap** (``guard=``): when the caller operates under a
+  :class:`~repro.resilience.QueryGuard` deadline, every sleep is capped
+  by the guard's remaining budget and a retry whose backoff would
+  outlive the deadline re-raises immediately — retries can never outlive
+  the request budget.
+* **Server hints**: a :class:`~repro.errors.ServerOverloadedError` carries
+  ``retry_after_s``; when it is larger than the computed backoff, the
+  hint wins (still subject to the deadline cap).
 """
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Callable, TypeVar
 
-from repro.errors import TransientStorageError
+from repro.errors import ServerOverloadedError, TransientStorageError
 
 T = TypeVar("T")
+
+
+def backoff_delay(
+    attempt: int,
+    base_delay: float,
+    multiplier: float,
+    max_delay: float,
+    jitter: bool = False,
+    rng: random.Random | None = None,
+) -> float:
+    """The sleep before retry ``attempt`` (1-based).
+
+    Without jitter this is the classic capped exponential
+    ``min(base * multiplier**(attempt-1), max_delay)``; with jitter the
+    delay is uniform in ``[0, that]``.
+    """
+    ceiling = min(base_delay * multiplier ** (attempt - 1), max_delay)
+    if not jitter:
+        return ceiling
+    return (rng.uniform if rng is not None else random.uniform)(0.0, ceiling)
 
 
 def with_retries(
@@ -24,21 +61,44 @@ def with_retries(
     max_delay: float = 1.0,
     retry_on: tuple[type[BaseException], ...] = (TransientStorageError,),
     sleep: Callable[[float], None] = time.sleep,
+    jitter: bool = False,
+    rng: random.Random | None = None,
+    guard=None,
 ) -> T:
     """Call ``fn`` up to ``attempts`` times, backing off exponentially.
 
     Delay before retry *k* (1-based) is ``min(base_delay * multiplier**(k-1),
-    max_delay)``.  The final failure re-raises the original exception.
+    max_delay)`` — drawn uniformly from ``[0, that]`` with ``jitter=True``
+    (pass ``rng`` for a seeded schedule).  The final failure re-raises the
+    original exception.
+
+    ``guard`` (a :class:`~repro.resilience.QueryGuard`) caps every sleep by
+    the guard's remaining deadline: if the chosen delay would not fit in
+    the remaining budget, the retry is abandoned and the error re-raised
+    immediately, so the total retry sleep never exceeds the deadline.
+
+    A caught :class:`~repro.errors.ServerOverloadedError` whose
+    ``retry_after_s`` exceeds the computed backoff raises the delay to the
+    server's hint (the deadline cap still applies).
     """
     if attempts < 1:
         raise ValueError(f"attempts must be >= 1, got {attempts}")
     for attempt in range(1, attempts + 1):
         try:
             return fn()
-        except retry_on:
+        except retry_on as error:
             if attempt == attempts:
                 raise
-            sleep(min(base_delay * multiplier ** (attempt - 1), max_delay))
+            delay = backoff_delay(
+                attempt, base_delay, multiplier, max_delay, jitter=jitter, rng=rng
+            )
+            if isinstance(error, ServerOverloadedError):
+                delay = max(delay, error.retry_after_s)
+            if guard is not None:
+                remaining_ms = guard.remaining_ms()
+                if remaining_ms is not None and delay * 1000.0 >= remaining_ms:
+                    raise  # the backoff would outlive the request deadline
+            sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -62,14 +122,18 @@ def open_store_with_retries(path: str, **options):
     """:func:`repro.mass.persistence.open_store` under :func:`with_retries`.
 
     Retry parameters (``attempts``, ``base_delay``, ``multiplier``,
-    ``max_delay``, ``sleep``) are peeled off; everything else goes to
-    ``open_store`` (``recover``, ``fault_injector``, store options).
+    ``max_delay``, ``sleep``, ``jitter``, ``rng``, ``guard``) are peeled
+    off; everything else goes to ``open_store`` (``recover``,
+    ``fault_injector``, store options).
     """
     from repro.mass.persistence import open_store
 
     retry_options = {
         name: options.pop(name)
-        for name in ("attempts", "base_delay", "multiplier", "max_delay", "sleep")
+        for name in (
+            "attempts", "base_delay", "multiplier", "max_delay", "sleep",
+            "jitter", "rng", "guard",
+        )
         if name in options
     }
     return with_retries(lambda: open_store(path, **options), **retry_options)

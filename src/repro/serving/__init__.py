@@ -1,0 +1,41 @@
+"""``repro.serving`` — the concurrent query server.
+
+The serving layer turns the single-session engine into a multi-client
+server built for the paper's "millions of users" framing:
+
+* :mod:`~repro.serving.snapshot` — epoch-snapshot isolation: frozen
+  copy-on-write store versions, refcounted reader pins, atomic publish;
+* :mod:`~repro.serving.admission` — bounded queueing, pressure
+  detection and cost-estimator-driven load shedding;
+* :mod:`~repro.serving.server` — the thread-pool core
+  (:class:`QueryServer`) evaluating admitted requests under per-request
+  :class:`~repro.resilience.QueryGuard` limits;
+* :mod:`~repro.serving.frontend` — a line-protocol TCP listener and an
+  asyncio adapter over the same core;
+* :mod:`~repro.serving.chaos` — the seeded 64-reader/1-writer stress
+  harness asserting the snapshot invariants.
+
+See ``DESIGN.md`` § "Serving, snapshots & admission control".
+"""
+
+from repro.serving.admission import AdmissionController
+from repro.serving.chaos import ChaosConfig, ChaosReport, run_chaos
+from repro.serving.frontend import AsyncFrontend, TcpFrontend
+from repro.serving.metrics import ServerMetrics
+from repro.serving.server import QueryOutcome, QueryServer
+from repro.serving.snapshot import SnapshotManager, StoreSnapshot, StoreVersion
+
+__all__ = [
+    "AdmissionController",
+    "AsyncFrontend",
+    "ChaosConfig",
+    "ChaosReport",
+    "QueryOutcome",
+    "QueryServer",
+    "ServerMetrics",
+    "SnapshotManager",
+    "StoreSnapshot",
+    "StoreVersion",
+    "TcpFrontend",
+    "run_chaos",
+]

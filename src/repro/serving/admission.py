@@ -1,0 +1,202 @@
+"""Per-request admission control and cost-driven load shedding.
+
+The :class:`AdmissionController` keeps the server inside its resource
+envelope by refusing work it cannot finish in time, instead of queueing
+unboundedly and letting every client time out:
+
+* **Queue depth** — a request is admitted only if fewer than
+  ``max_queue_depth`` requests are waiting for a worker; otherwise the
+  submit raises :class:`~repro.errors.ServerOverloadedError` immediately
+  with a ``retry_after_s`` hint derived from an EWMA of recent service
+  times (so the hint tracks the actual workload, not a constant).
+* **Concurrency cap** — ``max_concurrency`` is the worker-pool width; the
+  controller reports *pressure* whenever all workers are busy or requests
+  are queued, which is the signal the cost shedder keys off.
+* **Cost shedding** — before executing, the worker asks
+  :meth:`assess_cost` with the optimizer's estimated plan cost.  Under
+  pressure, a plan costlier than ``shed_cost_limit`` is either rejected
+  (``policy="reject"``) or *degraded* (``policy="degrade"``): admitted
+  with a clamped page budget so it can return a bounded partial answer
+  rather than hog a worker.  With no pressure every plan runs untouched —
+  shedding only ever activates when the server is actually behind.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.errors import ServerOverloadedError
+
+#: assess_cost verdicts.
+ADMIT = "admit"
+DEGRADE = "degrade"
+
+
+class AdmissionController:
+    """Queue-depth accounting, pressure detection and cost shedding."""
+
+    def __init__(
+        self,
+        max_concurrency: int = 4,
+        max_queue_depth: int = 16,
+        shed_cost_limit: int | None = None,
+        shed_policy: str = "reject",
+        ewma_alpha: float = 0.2,
+        min_retry_after_s: float = 0.005,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        if max_queue_depth < 0:
+            raise ValueError(f"max_queue_depth must be >= 0, got {max_queue_depth}")
+        if shed_policy not in ("reject", "degrade"):
+            raise ValueError(f"shed_policy must be 'reject' or 'degrade', got {shed_policy!r}")
+        self.max_concurrency = max_concurrency
+        self.max_queue_depth = max_queue_depth
+        self.shed_cost_limit = shed_cost_limit
+        self.shed_policy = shed_policy
+        self.ewma_alpha = ewma_alpha
+        self.min_retry_after_s = min_retry_after_s
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._queued = 0
+        self._active = 0
+        self._service_ewma_s: float | None = None
+        self.admitted = 0
+        self.queue_rejections = 0
+        self.cost_rejections = 0
+        self.degraded = 0
+
+    # -- lifecycle accounting ------------------------------------------------
+
+    def enqueue(self) -> None:
+        """Admit one request into the wait queue, or raise overloaded."""
+        with self._lock:
+            if self._queued >= self.max_queue_depth:
+                self.queue_rejections += 1
+                hint = self._retry_after_locked()
+                raise ServerOverloadedError(
+                    f"queue full ({self._queued}/{self.max_queue_depth} waiting, "
+                    f"{self._active}/{self.max_concurrency} running)",
+                    retry_after_s=hint,
+                )
+            self._queued += 1
+            self.admitted += 1
+
+    def abandon(self) -> None:
+        """A queued request left without running (server closed mid-wait)."""
+        with self._lock:
+            self._queued -= 1
+
+    def start(self) -> None:
+        """A worker picked the request up: waiting -> running."""
+        with self._lock:
+            self._queued -= 1
+            self._active += 1
+
+    def finish(self, service_s: float) -> None:
+        """The request finished; fold its service time into the EWMA."""
+        with self._lock:
+            self._active -= 1
+            if service_s >= 0.0:
+                if self._service_ewma_s is None:
+                    self._service_ewma_s = service_s
+                else:
+                    self._service_ewma_s += self.ewma_alpha * (
+                        service_s - self._service_ewma_s
+                    )
+
+    # -- pressure and shedding -----------------------------------------------
+
+    def under_pressure(self, excluding: int = 0) -> bool:
+        """All workers busy, or requests waiting for one.
+
+        ``excluding`` discounts requests the caller itself accounts for:
+        a worker assessing its own request passes 1, so that request
+        does not count as the load that sheds it.
+        """
+        with self._lock:
+            return (
+                self._active - excluding >= self.max_concurrency
+                or self._queued > 0
+            )
+
+    def assess_cost(self, estimated_cost: int | None, excluding: int = 0) -> str:
+        """Decide a plan's fate given its estimated cost.
+
+        Returns :data:`ADMIT` or :data:`DEGRADE`, or raises
+        :class:`~repro.errors.ServerOverloadedError` (policy ``reject``).
+        Plans are only ever shed *under pressure* (see
+        :meth:`under_pressure`); an idle server runs everything at full
+        budget.
+        """
+        if self.shed_cost_limit is None or estimated_cost is None:
+            return ADMIT
+        if estimated_cost <= self.shed_cost_limit:
+            return ADMIT
+        if not self.under_pressure(excluding=excluding):
+            return ADMIT
+        with self._lock:
+            if self.shed_policy == "degrade":
+                self.degraded += 1
+                return DEGRADE
+            self.cost_rejections += 1
+            hint = self._retry_after_locked()
+            raise ServerOverloadedError(
+                f"estimated plan cost {estimated_cost} exceeds shed limit "
+                f"{self.shed_cost_limit} under load",
+                retry_after_s=hint,
+            )
+
+    def retry_after_s(self) -> float:
+        """Current backoff hint for rejected clients."""
+        with self._lock:
+            return self._retry_after_locked()
+
+    def _retry_after_locked(self) -> float:
+        # Expected wait ≈ (queue ahead + the running batch) drained at
+        # max_concurrency requests per EWMA service time.
+        service = self._service_ewma_s if self._service_ewma_s is not None else 0.0
+        backlog = self._queued + self._active
+        hint = service * (backlog + 1) / float(self.max_concurrency)
+        return max(self.min_retry_after_s, hint)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        with self._lock:
+            return self._queued
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+    def stats(self) -> dict[str, float | int | None]:
+        with self._lock:
+            return {
+                "max_concurrency": self.max_concurrency,
+                "max_queue_depth": self.max_queue_depth,
+                "queued": self._queued,
+                "active": self._active,
+                "admitted": self.admitted,
+                "queue_rejections": self.queue_rejections,
+                "cost_rejections": self.cost_rejections,
+                "degraded": self.degraded,
+                "service_ewma_ms": (
+                    None
+                    if self._service_ewma_s is None
+                    else self._service_ewma_s * 1000.0
+                ),
+                "shed_cost_limit": self.shed_cost_limit,
+                "shed_policy": self.shed_policy,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"<AdmissionController active={self.active}/{self.max_concurrency} "
+            f"queued={self.queued}/{self.max_queue_depth}>"
+        )

@@ -1,0 +1,349 @@
+"""Seeded chaos stress for the serving layer: 64 readers vs 1 writer.
+
+:func:`run_chaos` stands up a :class:`~repro.serving.QueryServer` with a
+seeded :class:`~repro.resilience.FaultInjector` firing at every serving
+concurrency site, then interleaves a configurable swarm of reader
+threads with one mutating writer and checks the snapshot-isolation
+invariants the design promises:
+
+* **no torn reads** — every successful outcome's key sequence is
+  byte-identical (``FlexKey.sort_bytes``) to a serial evaluation of the
+  same expression at the outcome's pinned epoch.  Serial answers are
+  recorded per epoch: once before the swarm starts (epoch 0) and by the
+  writer immediately after each successful publish — legitimate because
+  versions are immutable, so a serial answer computed at any time is
+  *the* answer for that epoch;
+* **monotone epochs** — each reader's successive successful outcomes
+  never observe a decreasing epoch, and every observed epoch was
+  actually published;
+* **refcounts drain** — after the swarm and server shutdown, acquires
+  equal releases, no snapshot stays pinned, and only the current version
+  remains live;
+* **typed failures only** — injected crashes, shed requests and expired
+  deadlines surface as :class:`~repro.errors.ReproError` subclasses; any
+  other exception (or an unresolved future) is a harness failure;
+* **no hangs** — the harness carries its own watchdog: every join is
+  bounded by the config deadline and a still-alive thread is reported as
+  a failure rather than blocking forever.
+
+Everything is seeded — the injector schedule, each reader's query picks,
+and the writer's retry jitter — so a failing run replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import Counter
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+
+from repro.analysis.tv.oracle import compare_sequences
+from repro.errors import (
+    ReproError,
+    ServerClosedError,
+    ServerOverloadedError,
+    TransientStorageError,
+)
+from repro.mass.flexkey import FlexKey
+from repro.mass.loader import load_xml
+from repro.model import Axis, NodeTest
+from repro.resilience.faults import FaultInjector
+from repro.resilience.retry import with_retries
+from repro.serving.server import QueryServer
+
+#: Node-set expressions the readers draw from (over :func:`chaos_document`).
+CHAOS_EXPRESSIONS = (
+    "/site/people/person/name",
+    "//person[age]/name",
+    "//item/price",
+    "/site//name",
+    "//person[name]",
+    "/site/items/item",
+)
+
+DEFAULT_FAULT_RATES = {
+    "snapshot.acquire": 0.02,
+    "snapshot.release": 0.02,
+    "writer.publish": 0.25,
+    "worker.crash": 0.03,
+}
+
+
+def chaos_document(people: int = 12, items: int = 8) -> str:
+    parts = ["<site>", "<people>"]
+    for i in range(people):
+        parts.append(
+            f"<person><name>p{i}</name><age>{20 + i}</age></person>"
+        )
+    parts.append("</people><items>")
+    for i in range(items):
+        parts.append(f"<item><name>item{i}</name><price>{i * 3}</price></item>")
+    parts.append("</items></site>")
+    return "".join(parts)
+
+
+@dataclass
+class ChaosConfig:
+    seed: int = 0
+    readers: int = 64
+    queries_per_reader: int = 3
+    writer_batches: int = 6
+    workers: int = 2
+    max_queue_depth: int = 32
+    timeout_ms: float = 5_000.0
+    #: Wall-clock ceiling for the whole run (watchdog, not a test timeout).
+    deadline_s: float = 60.0
+    fault_rates: dict = field(default_factory=lambda: dict(DEFAULT_FAULT_RATES))
+    expressions: tuple = CHAOS_EXPRESSIONS
+    writer_pause_s: float = 0.002
+
+
+@dataclass
+class ChaosReport:
+    ok: bool
+    problems: list
+    requests: int
+    successes: int
+    error_counts: dict
+    epochs_published: list
+    epochs_observed: list
+    failed_batches: int
+    server_stats: dict
+    injector_failures: dict
+
+    def summary(self) -> str:
+        head = "chaos OK" if self.ok else f"chaos FAILED ({len(self.problems)} problems)"
+        lines = [
+            f"{head}: {self.successes}/{self.requests} requests succeeded, "
+            f"epochs {self.epochs_published}, "
+            f"{self.failed_batches} writer batches abandoned",
+            f"errors: {dict(self.error_counts)}",
+            f"injected: {dict(self.injector_failures)}",
+        ]
+        lines.extend(f"  !! {problem}" for problem in self.problems)
+        return "\n".join(lines)
+
+
+def _make_mutation(batch: int):
+    """A deterministic mutation batch, safe to re-run on a fresh clone."""
+
+    def mutate(store) -> None:
+        people = list(
+            store.axis_records(
+                FlexKey.document(), Axis.DESCENDANT, NodeTest.name_test("person")
+            )
+        )
+        if batch % 3 == 2 and len(people) > 4:
+            store.delete_subtree(people[0].key)
+            return
+        parent = people[0].key.parent() if people else store.root_element().key
+        key = store.insert_element(parent, "person")
+        store.insert_element(key, "name", text=f"chaos{batch}")
+        store.insert_element(key, "age", text=str(40 + batch))
+
+    return mutate
+
+
+def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
+    config = config or ChaosConfig()
+    started = time.monotonic()
+
+    def remaining() -> float:
+        return max(0.1, config.deadline_s - (time.monotonic() - started))
+
+    injector = FaultInjector(seed=config.seed, rates=dict(config.fault_rates))
+    store = load_xml(chaos_document(), name="chaos")
+    server = QueryServer(
+        store,
+        workers=config.workers,
+        max_queue_depth=config.max_queue_depth,
+        default_timeout_ms=config.timeout_ms,
+        fault_injector=injector,
+    )
+
+    problems: list = []
+    #: (epoch, expression) -> serial-run key sequence.
+    expected: dict = {}
+    expected_lock = threading.Lock()
+
+    def record_expected(snapshot) -> None:
+        for expression in config.expressions:
+            result = snapshot.engine.evaluate(expression)
+            with expected_lock:
+                expected[(snapshot.epoch, expression)] = list(result.keys)
+
+    # The initial epoch's serial answers, before any concurrency exists.
+    with server.manager.acquire() as snapshot:
+        initial_epoch = snapshot.epoch
+        record_expected(snapshot)
+
+    outcomes: list = []
+    outcomes_lock = threading.Lock()
+    published_epochs: list = []
+    failed_batches = [0]
+
+    def reader(index: int) -> None:
+        rng = random.Random(config.seed * 1_000_003 + index)
+        for _ in range(config.queries_per_reader):
+            expression = rng.choice(config.expressions)
+            try:
+                future = server.submit(expression)
+            except ServerOverloadedError as error:
+                with outcomes_lock:
+                    outcomes.append((index, expression, error))
+                time.sleep(rng.uniform(0.0, max(error.retry_after_s, 0.001)))
+                continue
+            except ServerClosedError as error:
+                with outcomes_lock:
+                    outcomes.append((index, expression, error))
+                return
+            try:
+                outcome = future.result(timeout=remaining())
+            except FutureTimeoutError:
+                problems.append(
+                    f"reader {index}: future for {expression!r} never resolved"
+                )
+                return
+            except ReproError as error:
+                # on_error="capture" resolves futures with outcomes; a
+                # raised ReproError here would mean the mode leaked.
+                problems.append(
+                    f"reader {index}: captured-mode future raised {error!r}"
+                )
+                continue
+            with outcomes_lock:
+                outcomes.append((index, expression, outcome))
+
+    def writer() -> None:
+        rng = random.Random(config.seed * 7_777_777 + 1)
+        for batch in range(config.writer_batches):
+            mutation = _make_mutation(batch)
+            try:
+                epoch = with_retries(
+                    lambda: server.apply_update(mutation),
+                    attempts=8,
+                    base_delay=0.001,
+                    max_delay=0.01,
+                    jitter=True,
+                    rng=rng,
+                )
+            except TransientStorageError:
+                failed_batches[0] += 1
+                continue
+            published_epochs.append(epoch)
+            # Record this epoch's serial answers.  The single writer is
+            # the only publisher, so the current version stays at
+            # ``epoch`` for the whole block; the acquire retry only
+            # absorbs injected snapshot.acquire faults.
+            try:
+                snapshot = with_retries(
+                    server.manager.acquire, attempts=10,
+                    base_delay=0.001, max_delay=0.01, jitter=True, rng=rng,
+                )
+            except ReproError as error:
+                problems.append(f"writer: cannot record epoch {epoch}: {error!r}")
+            else:
+                try:
+                    if snapshot.epoch == epoch:
+                        record_expected(snapshot)
+                    else:
+                        problems.append(
+                            f"writer: epoch moved {epoch} -> {snapshot.epoch} "
+                            "with a single writer"
+                        )
+                finally:
+                    try:
+                        snapshot.release()
+                    except TransientStorageError:
+                        # Injected snapshot.release fault — by contract the
+                        # refcount has already drained, so the recording
+                        # above stands.
+                        pass
+            time.sleep(config.writer_pause_s)
+
+    threads = [
+        threading.Thread(target=reader, args=(i,), name=f"chaos-reader-{i}")
+        for i in range(config.readers)
+    ]
+    writer_thread = threading.Thread(target=writer, name="chaos-writer")
+    for thread in threads:
+        thread.start()
+    writer_thread.start()
+    for thread in [writer_thread, *threads]:
+        thread.join(timeout=remaining())
+        if thread.is_alive():
+            problems.append(f"watchdog: {thread.name} still running at deadline")
+    server.close(timeout_s=remaining())
+
+    # -- invariants ----------------------------------------------------------
+
+    error_counts: Counter = Counter()
+    successes = 0
+    last_epoch_by_reader: dict[int, int] = {}
+    observed_epochs: set = set()
+    for index, expression, item in sorted(outcomes, key=lambda rec: rec[0]):
+        if isinstance(item, ReproError):
+            error_counts[type(item).__name__] += 1
+            continue
+        if item.error is not None:
+            error_counts[type(item.error).__name__] += 1
+            if not isinstance(item.error, ReproError):
+                problems.append(
+                    f"reader {index}: untyped error {item.error!r} for {expression!r}"
+                )
+            continue
+        successes += 1
+        observed_epochs.add(item.epoch)
+        previous = last_epoch_by_reader.get(index)
+        if previous is not None and item.epoch < previous:
+            problems.append(
+                f"reader {index}: epoch went backwards {previous} -> {item.epoch}"
+            )
+        last_epoch_by_reader[index] = item.epoch
+        serial = expected.get((item.epoch, expression))
+        if serial is None:
+            problems.append(
+                f"reader {index}: result at unpublished epoch {item.epoch} "
+                f"for {expression!r}"
+            )
+            continue
+        divergence = compare_sequences(
+            f"{expression} @ epoch {item.epoch}", list(item.result.keys), serial
+        )
+        if divergence is not None:
+            problems.append(f"torn read: {divergence}")
+
+    known_epochs = {initial_epoch, *published_epochs}
+    for epoch in observed_epochs - known_epochs:
+        problems.append(f"observed epoch {epoch} was never published")
+    if published_epochs != sorted(published_epochs):
+        problems.append(f"published epochs not monotone: {published_epochs}")
+
+    stats = server.stats()
+    snapshots = stats["snapshots"]
+    if snapshots["pinned"] != 0:
+        problems.append(f"{snapshots['pinned']} snapshots still pinned after close")
+    if snapshots["live_versions"] != 1:
+        problems.append(
+            f"{snapshots['live_versions']} versions live after close (want 1)"
+        )
+    if snapshots["acquires"] != snapshots["releases"]:
+        problems.append(
+            f"acquire/release mismatch: {snapshots['acquires']} != "
+            f"{snapshots['releases']}"
+        )
+
+    return ChaosReport(
+        ok=not problems,
+        problems=problems,
+        requests=len(outcomes),
+        successes=successes,
+        error_counts=dict(error_counts),
+        epochs_published=list(published_epochs),
+        epochs_observed=sorted(observed_epochs),
+        failed_batches=failed_batches[0],
+        server_stats=stats,
+        injector_failures=dict(injector.failures),
+    )

@@ -1,0 +1,67 @@
+"""Server-side counters, aggregated under one lock.
+
+:class:`ServerMetrics` is deliberately dumb: monotone counters plus
+cumulative latency sums, snapshotted atomically by :meth:`snapshot`.
+Percentiles are a client-side concern (the bench harness keeps raw
+per-request latencies); the server itself only needs cheap aggregates
+for its stats endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class ServerMetrics:
+    """Thread-safe request accounting for a :class:`~repro.serving.QueryServer`."""
+
+    _COUNTERS = (
+        "submitted",
+        "completed",
+        "failed",
+        "shed",
+        "degraded",
+        "partial",
+        "timeouts",
+        "deadline_expired_in_queue",
+        "worker_crashes",
+        "release_faults",
+        "updates_applied",
+        "update_failures",
+    )
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+        self.queued_s_total = 0.0
+        self.service_s_total = 0.0
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def record_outcome(
+        self, ok: bool, queued_s: float, service_s: float
+    ) -> None:
+        with self._lock:
+            if ok:
+                self.completed += 1
+            else:
+                self.failed += 1
+            self.queued_s_total += queued_s
+            self.service_s_total += service_s
+
+    def snapshot(self) -> dict[str, float | int]:
+        with self._lock:
+            out: dict[str, float | int] = {
+                name: getattr(self, name) for name in self._COUNTERS
+            }
+            finished = out["completed"] + out["failed"]
+            out["queued_ms_avg"] = (
+                self.queued_s_total / finished * 1000.0 if finished else 0.0
+            )
+            out["service_ms_avg"] = (
+                self.service_s_total / finished * 1000.0 if finished else 0.0
+            )
+            return out

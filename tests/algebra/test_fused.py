@@ -186,6 +186,15 @@ QUERIES = [
     "//item//name",
     "//people/person/address/city",
     "/descendant-or-self::node()/child::site/descendant::text()",
+    # Regression: a step after a leading // must be able to match a node
+    # whose "descendant" witness is the document node itself (the doc
+    # node consumes descendant-or-self::node() in place — it is a
+    # node()), otherwise top-level matches vanish from the fused scan.
+    "//descendant::*/child::person",
+    "//descendant::*/child::*/child::person",
+    "//descendant::*/descendant::name",
+    "//descendant::node()/child::person",
+    "//self::node()",
 ]
 
 

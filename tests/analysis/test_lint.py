@@ -710,3 +710,107 @@ class TestRuleHygiene:
             name="optimizer/optimizer.py",
         )
         assert violations == []
+
+
+class TestSnapshotRelease:
+    """VAM006: every snapshot acquire in the serving package is released."""
+
+    NAME = "serving/handlers.py"
+
+    def test_with_statement_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def serve(manager):
+                with manager.acquire() as snapshot:
+                    return snapshot.epoch
+            """,
+            name=self.NAME,
+        )
+        assert violations == []
+
+    def test_try_finally_release_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def serve(manager):
+                snapshot = manager.acquire()
+                try:
+                    return snapshot.epoch
+                finally:
+                    snapshot.release()
+            """,
+            name=self.NAME,
+        )
+        assert violations == []
+
+    def test_returning_the_pin_transfers_ownership(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def pin(manager):
+                return manager.acquire()
+            """,
+            name=self.NAME,
+        )
+        assert violations == []
+
+    def test_bare_acquire_call_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def leak(manager):
+                manager.acquire()
+            """,
+            name=self.NAME,
+        )
+        assert _rules(violations) == ["VAM006"]
+        assert "released on all exits" in violations[0].message
+
+    def test_assignment_without_finally_release_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def leak(manager):
+                snapshot = manager.acquire()
+                value = snapshot.epoch
+                snapshot.release()  # skipped if .epoch raises
+                return value
+            """,
+            name=self.NAME,
+        )
+        assert _rules(violations) == ["VAM006"]
+
+    def test_release_in_nested_function_does_not_count(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def leak(manager):
+                snapshot = manager.acquire()
+
+                def cleanup():
+                    try:
+                        pass
+                    finally:
+                        snapshot.release()
+
+                return cleanup
+            """,
+            name=self.NAME,
+        )
+        assert _rules(violations) == ["VAM006"]
+
+    def test_outside_serving_package_is_ignored(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def leak(manager):
+                manager.acquire()
+            """,
+            name="engine/handlers.py",
+        )
+        assert violations == []
+
+    def test_shipped_serving_package_is_clean(self):
+        violations = lint_paths([str(SRC_REPRO / "serving")])
+        assert _rules(violations) == []

@@ -1,0 +1,80 @@
+"""Thread-safety regression for the engine plan cache (8-thread hammer).
+
+Before the cache was put under a lock, concurrent ``evaluate`` calls
+could interleave dict mutation mid-eviction or double-compile the same
+expression.  The hammer checks both: results stay correct under eight
+threads, and each distinct (expression, options) key compiles exactly
+once — every other lookup is a hit.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine.engine import VamanaEngine
+from repro.mass.loader import load_xml
+
+DOC = """<site>
+<people>
+<person><name>Ada</name><age>36</age></person>
+<person><name>Bob</name><age>41</age></person>
+<person><name>Cyd</name></person>
+</people>
+<items><item><price>7</price></item><item><price>9</price></item></items>
+</site>"""
+
+EXPRESSIONS = {
+    "//person/name": 3,
+    "//person[age]/name": 2,
+    "//item/price": 2,
+    "/site//name": 3,
+    "//person": 3,
+}
+
+THREADS = 8
+ROUNDS = 25
+
+
+def hammer(engine, errors):
+    barrier = threading.Barrier(THREADS)
+
+    def worker() -> None:
+        try:
+            barrier.wait(timeout=30)
+            for _ in range(ROUNDS):
+                for expression, count in EXPRESSIONS.items():
+                    if len(engine.evaluate(expression)) != count:
+                        errors.append(f"wrong cardinality for {expression!r}")
+        except Exception as error:  # noqa: BLE001 - the test reports it
+            errors.append(repr(error))
+
+    threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "hammer thread hung"
+
+
+def test_eight_thread_hammer_no_corruption_no_double_compiles():
+    engine = VamanaEngine(load_xml(DOC, name="hammer"))
+    errors: list[str] = []
+    hammer(engine, errors)
+    assert not errors, errors[:5]
+    # Exactly one compile per distinct expression; every other plan
+    # lookup across all threads was served from the cache.
+    total = THREADS * ROUNDS * len(EXPRESSIONS)
+    assert engine.plan_cache_misses == len(EXPRESSIONS)
+    assert engine.plan_cache_hits == total - len(EXPRESSIONS)
+
+
+def test_hammer_with_tiny_cache_still_correct():
+    # Constant eviction pressure: misses are allowed, corruption is not.
+    engine = VamanaEngine(load_xml(DOC, name="hammer-tiny"), plan_cache_size=2)
+    errors: list[str] = []
+    hammer(engine, errors)
+    assert not errors, errors[:5]
+    total = THREADS * ROUNDS * len(EXPRESSIONS)
+    assert engine.plan_cache_hits + engine.plan_cache_misses == total

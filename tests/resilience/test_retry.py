@@ -1,0 +1,187 @@
+"""Backoff schedule refinements: full jitter, deadline caps, server hints.
+
+All tests run on fake clocks and injected sleeps — no real waiting.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ServerOverloadedError, TransientStorageError
+from repro.resilience.guard import QueryGuard
+from repro.resilience.retry import backoff_delay, with_retries
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def flaky(failures: int, error=None):
+    """Fails ``failures`` times with a transient error, then returns "ok"."""
+    state = {"left": failures}
+
+    def fn() -> str:
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise error or TransientStorageError("flaky")
+        return "ok"
+
+    return fn
+
+
+class TestBackoffDelay:
+    def test_deterministic_without_jitter(self):
+        delays = [
+            backoff_delay(k, base_delay=0.01, multiplier=2.0, max_delay=1.0)
+            for k in range(1, 5)
+        ]
+        assert delays == [0.01, 0.02, 0.04, 0.08]
+
+    def test_jitter_draws_uniform_below_ceiling(self):
+        rng = random.Random(7)
+        for attempt in range(1, 8):
+            ceiling = min(0.01 * 2.0 ** (attempt - 1), 1.0)
+            delay = backoff_delay(
+                attempt, 0.01, 2.0, 1.0, jitter=True, rng=rng
+            )
+            assert 0.0 <= delay <= ceiling
+
+    def test_jitter_is_seeded(self):
+        first = [
+            backoff_delay(k, 0.01, 2.0, 1.0, jitter=True, rng=random.Random(3))
+            for k in range(1, 4)
+        ]
+        second = [
+            backoff_delay(k, 0.01, 2.0, 1.0, jitter=True, rng=random.Random(3))
+            for k in range(1, 4)
+        ]
+        assert first == second
+
+    def test_jitter_ceiling_respects_max_delay(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            assert backoff_delay(30, 0.01, 2.0, 0.05, jitter=True, rng=rng) <= 0.05
+
+
+class TestJitteredRetries:
+    def test_jittered_sleeps_stay_below_deterministic_schedule(self):
+        slept: list[float] = []
+        result = with_retries(
+            flaky(3),
+            attempts=4,
+            base_delay=0.01,
+            multiplier=2.0,
+            max_delay=1.0,
+            jitter=True,
+            rng=random.Random(11),
+            sleep=slept.append,
+        )
+        assert result == "ok"
+        assert len(slept) == 3
+        for delay, ceiling in zip(slept, [0.01, 0.02, 0.04]):
+            assert 0.0 <= delay <= ceiling
+
+    def test_same_seed_same_sleep_schedule(self):
+        def run() -> list[float]:
+            slept: list[float] = []
+            with_retries(
+                flaky(3),
+                attempts=4,
+                jitter=True,
+                rng=random.Random(5),
+                sleep=slept.append,
+            )
+            return slept
+
+        assert run() == run()
+
+
+class TestGuardDeadlineCap:
+    def test_backoff_that_outlives_deadline_reraises_immediately(self):
+        clock = FakeClock()
+        guard = QueryGuard(timeout_ms=50, clock=clock)
+        slept: list[float] = []
+        # Second backoff would be 0.08s = 80ms > 50ms deadline remaining.
+        with pytest.raises(TransientStorageError):
+            with_retries(
+                flaky(5),
+                attempts=5,
+                base_delay=0.08,
+                multiplier=2.0,
+                max_delay=1.0,
+                sleep=slept.append,
+                guard=guard,
+            )
+        assert slept == []  # no sleep was ever allowed
+
+    def test_sleeps_allowed_while_budget_remains(self):
+        clock = FakeClock()
+        guard = QueryGuard(timeout_ms=1000, clock=clock)
+        result = with_retries(
+            flaky(2),
+            attempts=3,
+            base_delay=0.01,
+            multiplier=2.0,
+            max_delay=1.0,
+            sleep=clock.sleep,
+            guard=guard,
+        )
+        assert result == "ok"
+        assert clock.now == pytest.approx(0.03)
+
+    def test_total_retry_sleep_never_exceeds_deadline(self):
+        clock = FakeClock()
+        guard = QueryGuard(timeout_ms=100, clock=clock)
+        with pytest.raises(TransientStorageError):
+            with_retries(
+                flaky(50),
+                attempts=50,
+                base_delay=0.03,
+                multiplier=1.0,  # constant 30ms backoff
+                max_delay=1.0,
+                sleep=clock.sleep,
+                guard=guard,
+            )
+        # 3 sleeps fit (90ms); the 4th would cross 100ms and re-raises.
+        assert clock.now == pytest.approx(0.09)
+
+    def test_guard_without_deadline_never_caps(self):
+        guard = QueryGuard(max_pages=10)
+        assert with_retries(flaky(2), attempts=3, sleep=lambda _s: None, guard=guard) == "ok"
+
+
+class TestOverloadHints:
+    def test_server_hint_raises_the_backoff(self):
+        slept: list[float] = []
+        result = with_retries(
+            flaky(1, ServerOverloadedError("busy", retry_after_s=0.5)),
+            attempts=2,
+            base_delay=0.01,
+            retry_on=(ServerOverloadedError,),
+            sleep=slept.append,
+        )
+        assert result == "ok"
+        assert slept == [0.5]  # hint (0.5) beats backoff (0.01)
+
+    def test_hint_still_subject_to_deadline_cap(self):
+        clock = FakeClock()
+        guard = QueryGuard(timeout_ms=100, clock=clock)
+        with pytest.raises(ServerOverloadedError):
+            with_retries(
+                flaky(1, ServerOverloadedError("busy", retry_after_s=0.5)),
+                attempts=2,
+                base_delay=0.01,
+                retry_on=(ServerOverloadedError,),
+                sleep=clock.sleep,
+                guard=guard,
+            )
+        assert clock.now == 0.0  # never slept: 500ms hint > 100ms budget

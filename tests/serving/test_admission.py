@@ -1,0 +1,125 @@
+"""Admission control: queue depth, pressure, retry hints, cost shedding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServerOverloadedError
+from repro.serving.admission import ADMIT, DEGRADE, AdmissionController
+
+
+class TestQueueDepth:
+    def test_enqueue_until_full_then_rejects(self):
+        controller = AdmissionController(max_concurrency=2, max_queue_depth=2)
+        controller.enqueue()
+        controller.enqueue()
+        with pytest.raises(ServerOverloadedError) as info:
+            controller.enqueue()
+        assert info.value.retry_after_s > 0
+        assert controller.stats()["queue_rejections"] == 1
+
+    def test_start_frees_queue_slot(self):
+        controller = AdmissionController(max_concurrency=2, max_queue_depth=1)
+        controller.enqueue()
+        controller.start()
+        controller.enqueue()  # slot freed by start()
+        assert controller.queued == 1
+        assert controller.active == 1
+
+    def test_zero_depth_rejects_everything(self):
+        controller = AdmissionController(max_concurrency=1, max_queue_depth=0)
+        with pytest.raises(ServerOverloadedError):
+            controller.enqueue()
+
+
+class TestRetryHints:
+    def test_hint_tracks_ewma_service_time_and_backlog(self):
+        controller = AdmissionController(max_concurrency=1, max_queue_depth=8)
+        for _ in range(3):
+            controller.enqueue()
+            controller.start()
+            controller.finish(0.1)
+        # EWMA converged near 0.1s; empty backlog => ~one service time.
+        hint = controller.retry_after_s()
+        assert 0.05 <= hint <= 0.2
+        controller.enqueue()
+        controller.enqueue()
+        assert controller.retry_after_s() > hint  # backlog raises the hint
+
+    def test_hint_has_a_floor_without_history(self):
+        controller = AdmissionController(
+            max_concurrency=1, max_queue_depth=1, min_retry_after_s=0.025
+        )
+        assert controller.retry_after_s() == 0.025
+
+
+class TestPressure:
+    def test_idle_is_not_under_pressure(self):
+        controller = AdmissionController(max_concurrency=2, max_queue_depth=4)
+        assert not controller.under_pressure()
+
+    def test_all_workers_busy_is_pressure(self):
+        controller = AdmissionController(max_concurrency=1, max_queue_depth=4)
+        controller.enqueue()
+        controller.start()
+        assert controller.under_pressure()
+
+    def test_excluding_discounts_the_assessing_request(self):
+        controller = AdmissionController(max_concurrency=1, max_queue_depth=4)
+        controller.enqueue()
+        controller.start()
+        # From inside the only running request: no *other* load.
+        assert not controller.under_pressure(excluding=1)
+        controller.enqueue()
+        assert controller.under_pressure(excluding=1)  # someone is waiting
+
+
+class TestCostShedding:
+    def _pressured(self, **options) -> AdmissionController:
+        controller = AdmissionController(
+            max_concurrency=1, max_queue_depth=4, **options
+        )
+        controller.enqueue()
+        controller.start()
+        return controller
+
+    def test_no_limit_admits_everything(self):
+        controller = self._pressured()
+        assert controller.assess_cost(10**9) == ADMIT
+
+    def test_cheap_plans_admitted_even_under_pressure(self):
+        controller = self._pressured(shed_cost_limit=100)
+        assert controller.assess_cost(100) == ADMIT
+
+    def test_expensive_plan_admitted_when_idle(self):
+        controller = AdmissionController(
+            max_concurrency=2, max_queue_depth=4, shed_cost_limit=100
+        )
+        assert controller.assess_cost(101) == ADMIT
+
+    def test_expensive_plan_rejected_under_pressure(self):
+        controller = self._pressured(shed_cost_limit=100)
+        with pytest.raises(ServerOverloadedError, match="cost 101"):
+            controller.assess_cost(101)
+        assert controller.stats()["cost_rejections"] == 1
+
+    def test_degrade_policy_clamps_instead_of_rejecting(self):
+        controller = self._pressured(
+            shed_cost_limit=100, shed_policy="degrade"
+        )
+        assert controller.assess_cost(101) == DEGRADE
+        assert controller.stats()["degraded"] == 1
+
+    def test_unknown_cost_admitted(self):
+        controller = self._pressured(shed_cost_limit=100)
+        assert controller.assess_cost(None) == ADMIT
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrency=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(shed_policy="panic")

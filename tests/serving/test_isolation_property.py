@@ -1,0 +1,137 @@
+"""Property test: concurrent reads are byte-identical to serial runs.
+
+For a seeded schedule of mutations, every result a concurrent reader
+obtains from a pinned :class:`~repro.serving.StoreSnapshot` must match,
+key for key (``FlexKey.sort_bytes``), a serial evaluation of the same
+expression against a store that applied the same mutation prefix with no
+concurrency at all.  The comparison reuses the translation-validation
+differential oracle's :func:`~repro.analysis.tv.oracle.compare_sequences`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.analysis.tv.oracle import compare_sequences
+from repro.engine.engine import VamanaEngine
+from repro.mass.flexkey import FlexKey
+from repro.mass.loader import load_xml
+from repro.model import Axis, NodeTest
+from repro.serving.snapshot import SnapshotManager
+
+EXPRESSIONS = (
+    "/site/people/person/name",
+    "//person[age]/name",
+    "//person[name]",
+    "/site//name",
+    "//item/price",
+)
+
+STATES = 6  # mutation prefixes: state 0 is the unmodified document
+
+
+def base_document() -> str:
+    people = "".join(
+        f"<person><name>p{i}</name><age>{30 + i}</age></person>"
+        for i in range(6)
+    )
+    items = "".join(f"<item><price>{i}</price></item>" for i in range(4))
+    return f"<site><people>{people}</people><items>{items}</items></site>"
+
+
+def make_mutation(step: int, seed: int):
+    """A deterministic, clone-safe mutation for the given schedule step."""
+    rng = random.Random(seed * 9_973 + step)
+    delete = rng.random() < 0.3
+
+    def mutate(store) -> None:
+        people = store.root_element().key.child(0)
+        person_keys = [
+            record.key
+            for record in store.axis_records(
+                FlexKey.document(), Axis.DESCENDANT, NodeTest.name_test("person")
+            )
+        ]
+        if delete and len(person_keys) > 3:
+            store.delete_subtree(person_keys[1])
+        else:
+            key = store.insert_element(people, "person")
+            store.insert_element(key, "name", text=f"new{step}")
+            store.insert_element(key, "age", text=str(18 + step))
+
+    return mutate
+
+
+def serial_answers(seed: int) -> list[dict[str, list]]:
+    """Expected key sequences per (state, expression), fully serial."""
+    answers = []
+    store = load_xml(base_document(), name=f"serial-{seed}")
+    for state in range(STATES):
+        if state > 0:
+            make_mutation(state, seed)(store)
+        engine = VamanaEngine(store.clone())
+        answers.append(
+            {
+                expression: list(engine.evaluate(expression).keys)
+                for expression in EXPRESSIONS
+            }
+        )
+    return answers
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_concurrent_reads_match_serial_prefixes(seed):
+    expected = serial_answers(seed)
+
+    manager = SnapshotManager(load_xml(base_document(), name=f"conc-{seed}"))
+    epoch_to_state = {manager.current_epoch: 0}
+    observations: list[tuple[int, str, list]] = []
+    observations_lock = threading.Lock()
+    problems: list[str] = []
+    stop = threading.Event()
+
+    def reader(index: int) -> None:
+        rng = random.Random(seed * 101 + index)
+        while not stop.is_set():
+            with manager.acquire() as snapshot:
+                expression = rng.choice(EXPRESSIONS)
+                keys = list(snapshot.engine.evaluate(expression).keys)
+                with observations_lock:
+                    observations.append((snapshot.epoch, expression, keys))
+
+    readers = [
+        threading.Thread(target=reader, args=(i,), name=f"prop-reader-{i}")
+        for i in range(4)
+    ]
+    for thread in readers:
+        thread.start()
+    try:
+        for state in range(1, STATES):
+            epoch = manager.publish(make_mutation(state, seed))
+            epoch_to_state[epoch] = state
+    finally:
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=30)
+            if thread.is_alive():
+                problems.append(f"{thread.name} did not stop")
+
+    assert not problems, problems
+    assert len(epoch_to_state) == STATES
+    assert observations, "readers never observed anything"
+
+    for epoch, expression, keys in observations:
+        state = epoch_to_state.get(epoch)
+        assert state is not None, f"unpublished epoch {epoch} observed"
+        divergence = compare_sequences(
+            f"{expression} @ state {state}", keys, expected[state][expression]
+        )
+        assert divergence is None, divergence
+
+    # Once all pins drain only the current version remains.
+    assert manager.pinned() == 0
+    assert manager.live_versions() == 1
+    assert manager.stats()["acquires"] == manager.stats()["releases"]

@@ -1,0 +1,188 @@
+"""Epoch-snapshot isolation: freezing, pinning, publish, reclamation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SnapshotError, StorageError, TransientStorageError
+from repro.mass.loader import load_xml
+from repro.resilience.faults import FaultInjector
+from repro.serving.snapshot import SnapshotManager
+
+DOC = """<site>
+<person><name>Ada</name></person>
+<person><name>Bob</name></person>
+</site>"""
+
+
+@pytest.fixture
+def manager():
+    return SnapshotManager(load_xml(DOC, name="snap"))
+
+
+def add_person(label: str):
+    def mutate(store):
+        key = store.insert_element(store.root_element().key, "person")
+        store.insert_element(key, "name", text=label)
+
+    return mutate
+
+
+class TestFreezing:
+    def test_managed_store_rejects_direct_mutation(self, manager):
+        with manager.acquire() as snapshot:
+            with pytest.raises(StorageError, match="frozen"):
+                snapshot.store.insert_element(
+                    snapshot.store.root_element().key, "x"
+                )
+
+    def test_frozen_tree_rejects_insert_delete_bulkload(self, manager):
+        with manager.acquire() as snapshot:
+            tree = snapshot.store.node_index.tree
+            record = next(snapshot.store.node_index.scan(None, None))
+            with pytest.raises(StorageError, match="frozen"):
+                tree.insert(record.key, record)
+            with pytest.raises(StorageError, match="frozen"):
+                tree.delete(record.key)
+            with pytest.raises(StorageError, match="frozen"):
+                tree.bulk_load([])
+
+    def test_reads_still_work_on_frozen_store(self, manager):
+        with manager.acquire() as snapshot:
+            result = snapshot.engine.evaluate("//person/name")
+            assert len(result) == 2
+
+
+class TestPinning:
+    def test_acquire_release_roundtrip(self, manager):
+        snapshot = manager.acquire()
+        try:
+            assert manager.pinned() == 1
+        finally:
+            snapshot.release()
+        assert manager.pinned() == 0
+        assert manager.stats()["acquires"] == manager.stats()["releases"] == 1
+
+    def test_double_release_raises(self, manager):
+        snapshot = manager.acquire()
+        try:
+            pass
+        finally:
+            snapshot.release()
+        with pytest.raises(SnapshotError):
+            snapshot.release()
+
+    def test_use_after_release_raises(self, manager):
+        with manager.acquire() as snapshot:
+            pass
+        with pytest.raises(SnapshotError):
+            snapshot.store
+        with pytest.raises(SnapshotError):
+            snapshot.engine
+        # The epoch stays readable for bookkeeping/reporting.
+        assert isinstance(snapshot.epoch, int)
+
+    def test_context_manager_releases_on_error(self, manager):
+        with pytest.raises(RuntimeError):
+            with manager.acquire():
+                raise RuntimeError("boom")
+        assert manager.pinned() == 0
+
+
+class TestPublish:
+    def test_publish_bumps_epoch_and_is_visible_to_new_readers(self, manager):
+        before = manager.current_epoch
+        epoch = manager.publish(add_person("Eve"))
+        assert epoch > before
+        with manager.acquire() as snapshot:
+            assert snapshot.epoch == epoch
+            assert len(snapshot.engine.evaluate("//person")) == 3
+
+    def test_pinned_reader_keeps_old_version_across_publish(self, manager):
+        with manager.acquire() as old:
+            manager.publish(add_person("Eve"))
+            # The pinned snapshot still answers at its own epoch.
+            assert len(old.engine.evaluate("//person")) == 2
+            assert manager.live_versions() == 2
+        # Releasing the last pin reclaims the retired version.
+        assert manager.live_versions() == 1
+        assert manager.stats()["reclaimed"] >= 1
+
+    def test_unpinned_old_version_reclaimed_immediately(self, manager):
+        manager.publish(add_person("Eve"))
+        assert manager.live_versions() == 1
+
+    def test_noop_mutation_publishes_nothing(self, manager):
+        before = manager.stats()
+        epoch = manager.publish(lambda store: None)
+        after = manager.stats()
+        assert epoch == before["epoch"] == after["epoch"]
+        assert after["publishes"] == before["publishes"]
+        assert after["noop_publishes"] == before["noop_publishes"] + 1
+
+    def test_epochs_strictly_monotone(self, manager):
+        epochs = [manager.publish(add_person(f"p{i}")) for i in range(4)]
+        assert epochs == sorted(epochs)
+        assert len(set(epochs)) == 4
+
+    def test_failing_mutation_keeps_old_version(self, manager):
+        before = manager.current_epoch
+
+        def exploding(store):
+            store.insert_element(store.root_element().key, "person")
+            raise StorageError("mid-batch crash")
+
+        with pytest.raises(StorageError):
+            manager.publish(exploding)
+        assert manager.current_epoch == before
+        with manager.acquire() as snapshot:
+            assert len(snapshot.engine.evaluate("//person")) == 2
+
+    def test_publish_pinned_hands_ownership_to_caller(self, manager):
+        epoch, pinned = manager.publish_pinned(add_person("Eve"))
+        try:
+            assert pinned is not None and pinned.epoch == epoch
+            assert manager.pinned() == 1
+        finally:
+            pinned.release()
+        assert manager.pinned() == 0
+
+
+class TestFaultSites:
+    def test_acquire_fault_rejects_without_leaking_a_pin(self):
+        injector = FaultInjector(seed=1, rates={"snapshot.acquire": 1.0})
+        manager = SnapshotManager(load_xml(DOC), fault_injector=injector)
+        with pytest.raises(TransientStorageError):
+            manager.acquire()
+        assert manager.pinned() == 0
+        assert manager.stats()["acquires"] == 0
+
+    def test_release_fault_surfaces_but_refcount_drains(self):
+        injector = FaultInjector(seed=1, rates={"snapshot.release": 1.0})
+        manager = SnapshotManager(load_xml(DOC), fault_injector=injector)
+        snapshot = manager.acquire()
+        with pytest.raises(TransientStorageError):
+            snapshot.release()
+        assert manager.pinned() == 0
+        assert manager.stats()["releases"] == 1
+
+    def test_publish_fault_keeps_old_epoch_visible(self):
+        injector = FaultInjector(seed=1, rates={"writer.publish": 1.0})
+        manager = SnapshotManager(load_xml(DOC), fault_injector=injector)
+        before = manager.current_epoch
+        with pytest.raises(TransientStorageError):
+            manager.publish(add_person("Eve"))
+        assert manager.current_epoch == before
+        assert manager.stats()["failed_publishes"] == 1
+        with manager.acquire() as snapshot:
+            assert len(snapshot.engine.evaluate("//person")) == 2
+
+    def test_publish_retry_succeeds_after_transient_fault(self):
+        injector = FaultInjector(
+            seed=1, rates={"writer.publish": 1.0}, max_failures=1
+        )
+        manager = SnapshotManager(load_xml(DOC), fault_injector=injector)
+        with pytest.raises(TransientStorageError):
+            manager.publish(add_person("Eve"))
+        epoch = manager.publish(add_person("Eve"))
+        assert epoch == manager.current_epoch
