@@ -1,0 +1,45 @@
+"""Concurrency correctness suite for the serving stack.
+
+Two prongs guard the code PR 7 made concurrent (and ROADMAP item 2 is
+about to make *more* concurrent):
+
+* :mod:`repro.analysis.concurrency.static` — AST lockset inference over
+  ``src/repro/serving``, ``engine`` and ``mass``: guarded-field
+  consistency (**VAM007**), a whole-repo lock-order graph rejecting
+  acquire cycles (**VAM008**), and a no-blocking-under-lock rule
+  (**VAM009**).  All three register in :mod:`repro.analysis.lint` and
+  are clean on the shipped tree.
+* :mod:`repro.analysis.concurrency.instrument` — an Eraser-style dynamic
+  lockset race detector: wrapped lock primitives track each thread's
+  held set, traced shared objects move through the
+  virgin → exclusive → shared → shared-modified shadow states, and any
+  field whose candidate lockset drains to the empty set is reported.
+  ``run_chaos(race_detect=True)`` and ``python -m repro race`` run the
+  seeded chaos swarm under it.
+
+Both prongs are mutation-tested: deleting the engine's plan-cache lock
+or the snapshot manager's refcount lock must be killed by VAM007 *and*
+by the dynamic detector (see ``tests/analysis/test_concurrency_*``).
+"""
+
+from repro.analysis.concurrency.instrument import (
+    InstrumentedLock,
+    InstrumentedRLock,
+    NullLock,
+    RaceDetector,
+    RaceReport,
+)
+from repro.analysis.concurrency.static import (
+    check_concurrency,
+    check_lock_order,
+)
+
+__all__ = [
+    "InstrumentedLock",
+    "InstrumentedRLock",
+    "NullLock",
+    "RaceDetector",
+    "RaceReport",
+    "check_concurrency",
+    "check_lock_order",
+]

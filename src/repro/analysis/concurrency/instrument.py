@@ -1,0 +1,381 @@
+"""Eraser-style dynamic lockset race detection for the serving stack.
+
+The classic Eraser algorithm (Savage et al., TOCS 1997), reproduced over
+Python threads:
+
+* every lock acquire/release is intercepted so the detector knows each
+  thread's **held set** at any instant;
+* every *watched field* of an instrumented object carries a shadow state
+  moving ``virgin → exclusive → shared → shared-modified``: the creating
+  thread owns it exclusively (initialization needs no locks), the first
+  access from a second thread starts lockset refinement, and writes in
+  the shared state make it shared-modified;
+* the field's **candidate lockset** starts as "all locks" and is
+  intersected with the accessing thread's held set on every post-
+  exclusive access.  A shared-modified field whose candidate set drains
+  to the empty set has no lock that consistently protects it — a data
+  race is reported with the access locations that drained it.
+
+Instrumentation is deliberately surgical: :meth:`RaceDetector.
+instrument_serving` swaps each serving/engine module's ``threading``
+*binding* for a proxy whose ``Lock``/``RLock`` factories return wrapped
+locks, and rebinds the module-level classes (``StoreVersion``,
+``VamanaEngine``, ``SnapshotManager``, …) to traced subclasses — so
+every object the chaos swarm creates is shadowed from birth, while the
+stdlib's own internals (``concurrent.futures`` conditions, queues) stay
+untouched.  Overhead is one dict lookup per watched-field access; the
+whole thing is test-harness machinery, never imported on the serving
+hot path.
+
+:class:`NullLock` is the mutation-testing accomplice: substituting it
+for a real lock "deletes" that lock at runtime, and the detector must
+kill the mutant (see ``tests/analysis/test_concurrency_dynamic.py``).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading as _threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+_REAL_LOCK = _threading.Lock
+_REAL_RLOCK = _threading.RLock
+
+VIRGIN = "virgin"
+EXCLUSIVE = "exclusive"
+SHARED = "shared"
+SHARED_MODIFIED = "shared-modified"
+
+#: Watched fields per serving/engine class (mutable shared state only —
+#: immutable config attributes would just waste shadow slots).
+WATCHED_FIELDS = {
+    "StoreVersion": ("refcount", "retired"),
+    "SnapshotManager": (
+        "_current", "acquires", "releases", "publishes", "noop_publishes",
+        "failed_publishes", "reclaimed",
+    ),
+    "AdmissionController": (
+        "_queued", "_active", "_service_ewma_s", "admitted",
+        "queue_rejections", "cost_rejections", "degraded",
+    ),
+    "ServerMetrics": (
+        "submitted", "completed", "failed", "shed", "degraded", "partial",
+        "timeouts", "deadline_expired_in_queue", "worker_crashes",
+        "release_faults", "updates_applied", "update_failures",
+        "queued_s_total", "service_s_total",
+    ),
+    "VamanaEngine": (
+        "_plan_cache", "_plan_cache_epoch", "plan_cache_hits",
+        "plan_cache_misses", "_schema", "_schema_epoch", "_sat_cache",
+    ),
+    "QueryServer": ("_closed",),
+}
+
+
+class NullLock:
+    """A lock-shaped object that never locks — the dynamic mutant's knife."""
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        return True
+
+    def release(self) -> None:
+        return None
+
+    def __enter__(self) -> "NullLock":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def locked(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One field whose candidate lockset drained to the empty set."""
+
+    cls: str
+    field: str
+    state: str
+    locations: tuple
+
+    def render(self) -> str:
+        where = ", ".join(self.locations) if self.locations else "?"
+        return (
+            f"{self.cls}.{self.field}: lockset drained to {{}} in state "
+            f"{self.state} (accessed at {where})"
+        )
+
+
+class _Shadow:
+    __slots__ = ("state", "owner", "lockset", "locations", "reported")
+
+    def __init__(self, owner: int):
+        self.state = EXCLUSIVE
+        self.owner = owner
+        self.lockset: frozenset | None = None  # None = "all locks" (top)
+        self.locations: list[str] = []
+        self.reported = False
+
+
+class InstrumentedLock:
+    """Delegates to a real ``threading.Lock`` and tracks the holder."""
+
+    _reentrant = False
+
+    def __init__(self, detector: "RaceDetector", inner=None):
+        self._inner = inner if inner is not None else _REAL_LOCK()
+        self._detector = detector
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._detector._push(self)
+        return acquired
+
+    def release(self) -> None:
+        # Drop from the held set *before* the real release: a window
+        # where the lock is free but still credited would hide races.
+        self._detector._pop(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+class InstrumentedRLock(InstrumentedLock):
+    """Reentrant variant: the held set counts the outermost acquire once."""
+
+    _reentrant = True
+
+    def __init__(self, detector: "RaceDetector", inner=None):
+        super().__init__(detector, inner if inner is not None else _REAL_RLOCK())
+
+
+class _ThreadingProxy:
+    """A stand-in for the ``threading`` module inside instrumented modules.
+
+    Only ``Lock``/``RLock`` construction is intercepted; everything else
+    (``Thread``, ``local``, ``current_thread``, …) passes through to the
+    real module, so instrumented code behaves identically apart from the
+    bookkeeping.
+    """
+
+    def __init__(self, detector: "RaceDetector"):
+        self._detector = detector
+
+    def Lock(self):
+        return InstrumentedLock(self._detector)
+
+    def RLock(self):
+        return InstrumentedRLock(self._detector)
+
+    def __getattr__(self, name):
+        return getattr(_threading, name)
+
+
+class RaceDetector:
+    """Held-set tracking plus the Eraser shadow state machine."""
+
+    def __init__(self, max_locations: int = 4):
+        self._lock = _REAL_LOCK()  # guards shadows and reports (leaf lock)
+        self._held = _threading.local()
+        self._shadows: dict[tuple[int, str], _Shadow] = {}
+        self._anchors: dict[int, object] = {}  # keep ids stable while traced
+        self._traced_types: dict[tuple, type] = {}
+        self._max_locations = max_locations
+        self.reports: list[RaceReport] = []
+
+    # -- held-set bookkeeping ------------------------------------------------
+
+    def _held_map(self) -> dict[int, int]:
+        held = getattr(self._held, "locks", None)
+        if held is None:
+            held = {}
+            self._held.locks = held
+        return held
+
+    def held_ids(self) -> frozenset[int]:
+        return frozenset(self._held_map())
+
+    def _push(self, lock) -> None:
+        held = self._held_map()
+        key = id(lock)
+        if lock._reentrant:
+            held[key] = held.get(key, 0) + 1
+        else:
+            held[key] = 1
+
+    def _pop(self, lock) -> None:
+        held = self._held_map()
+        key = id(lock)
+        depth = held.get(key, 0)
+        if depth <= 1:
+            held.pop(key, None)
+        else:
+            held[key] = depth - 1
+
+    # -- the Eraser state machine --------------------------------------------
+
+    def on_access(self, obj, cls_name: str, field_name: str, is_write: bool) -> None:
+        frame = sys._getframe(2)
+        location = f"{frame.f_code.co_filename.rsplit('/', 1)[-1]}:{frame.f_lineno}"
+        self._record(
+            key=(id(obj), field_name),
+            cls_name=cls_name,
+            thread=_threading.get_ident(),
+            held=self.held_ids(),
+            is_write=is_write,
+            location=location,
+            anchor=obj,
+        )
+
+    def _record(
+        self,
+        key: tuple,
+        cls_name: str,
+        thread: int,
+        held: frozenset,
+        is_write: bool,
+        location: str,
+        anchor: object | None = None,
+    ) -> None:
+        with self._lock:
+            shadow = self._shadows.get(key)
+            if shadow is None:
+                shadow = _Shadow(owner=thread)
+                self._shadows[key] = shadow
+                if anchor is not None:
+                    self._anchors[key[0]] = anchor
+                shadow.locations.append(location)
+                return
+            if shadow.state == EXCLUSIVE:
+                if shadow.owner == thread:
+                    return  # initialization/ownership phase: no refinement
+                shadow.state = SHARED_MODIFIED if is_write else SHARED
+                shadow.lockset = frozenset(held)
+            else:
+                assert shadow.lockset is not None
+                shadow.lockset = shadow.lockset & held
+                if is_write and shadow.state == SHARED:
+                    shadow.state = SHARED_MODIFIED
+            if len(shadow.locations) < self._max_locations:
+                shadow.locations.append(location)
+            if (
+                shadow.state == SHARED_MODIFIED
+                and not shadow.lockset
+                and not shadow.reported
+            ):
+                shadow.reported = True
+                self.reports.append(RaceReport(
+                    cls=cls_name,
+                    field=key[1],
+                    state=shadow.state,
+                    locations=tuple(shadow.locations),
+                ))
+
+    def race_count(self) -> int:
+        with self._lock:
+            return len(self.reports)
+
+    def summaries(self) -> list[str]:
+        with self._lock:
+            return [report.render() for report in self.reports]
+
+    # -- tracing shared objects ----------------------------------------------
+
+    def trace_type(self, cls: type, fields: tuple) -> type:
+        """A subclass of ``cls`` reporting every access to ``fields``.
+
+        Works for ``__slots__`` classes too (the subclass adds no state).
+        The detector reads nothing off the instance inside the callback,
+        so tracing cannot recurse.
+        """
+        cache_key = (cls, fields)
+        traced = self._traced_types.get(cache_key)
+        if traced is not None:
+            return traced
+        watched = frozenset(fields)
+        detector = self
+        name = cls.__name__
+
+        class Traced(cls):  # type: ignore[misc, valid-type]
+            __slots__ = ()
+
+            def __getattribute__(self, attr):
+                if attr in watched:
+                    detector.on_access(self, name, attr, is_write=False)
+                return cls.__getattribute__(self, attr)
+
+            def __setattr__(self, attr, value):
+                if attr in watched:
+                    detector.on_access(self, name, attr, is_write=True)
+                cls.__setattr__(self, attr, value)
+
+        Traced.__name__ = f"Traced{name}"
+        Traced.__qualname__ = f"Traced{name}"
+        self._traced_types[cache_key] = Traced
+        return Traced
+
+    # -- wiring into the serving modules -------------------------------------
+
+    @contextmanager
+    def instrument_serving(self):
+        """Patch the serving/engine modules for the ``with`` block's extent.
+
+        * each module's ``threading`` global becomes a proxy handing out
+          instrumented locks (objects built inside the block get them);
+        * module-level class bindings are replaced with traced subclasses
+          so instances are shadowed from construction on.
+
+        Everything is restored on exit; objects created inside the block
+        keep working afterwards (wrappers hold their own references).
+        """
+        import repro.engine.database as database_mod
+        import repro.engine.engine as engine_mod
+        import repro.mass.pages as pages_mod
+        import repro.serving.admission as admission_mod
+        import repro.serving.chaos as chaos_mod
+        import repro.serving.metrics as metrics_mod
+        import repro.serving.server as server_mod
+        import repro.serving.snapshot as snapshot_mod
+
+        proxy = _ThreadingProxy(self)
+        modules = (
+            snapshot_mod, server_mod, admission_mod, metrics_mod,
+            chaos_mod, engine_mod, database_mod, pages_mod,
+        )
+        class_patches = (
+            (snapshot_mod, "StoreVersion"),
+            (snapshot_mod, "VamanaEngine"),
+            (server_mod, "SnapshotManager"),
+            (server_mod, "AdmissionController"),
+            (server_mod, "ServerMetrics"),
+            (chaos_mod, "QueryServer"),
+        )
+        saved_threading = [(mod, mod.threading) for mod in modules]
+        saved_classes = [
+            (mod, attr, getattr(mod, attr)) for mod, attr in class_patches
+        ]
+        try:
+            for mod in modules:
+                mod.threading = proxy
+            for mod, attr, original in saved_classes:
+                fields = WATCHED_FIELDS.get(attr)
+                if fields:
+                    setattr(mod, attr, self.trace_type(original, fields))
+            yield self
+        finally:
+            for mod, original in saved_threading:
+                mod.threading = original
+            for mod, attr, original in saved_classes:
+                setattr(mod, attr, original)

@@ -53,12 +53,35 @@ module under ``src/repro`` and enforces them:
     ``.acquire()`` call must release its
     :class:`~repro.serving.snapshot.StoreSnapshot` on *all* exits: as the
     context expression of a ``with`` statement, assigned to a name some
-    ``try``'s ``finally`` releases, or returned directly (ownership
-    transfer).  A pin leaked on an error path keeps a retired store
-    version alive forever.
+    ``try``'s ``finally`` releases (with the acquire *inside* that try's
+    body, or the try as the very next statement — anything else leaves a
+    leak window between acquire and the finally's protection), or
+    returned directly (ownership transfer).  A pin leaked on an error
+    path keeps a retired store version alive forever.
+
+``VAM007`` **guarded fields stay guarded** — implemented in
+    :mod:`repro.analysis.concurrency.static`.  In the serving / engine /
+    mass packages, a field of a lock-owning class that is accessed under
+    one of the class's locks anywhere must be accessed under it
+    everywhere (outside ``__init__`` and ``*_locked`` helpers), and a
+    mutable field in a lock-owning class must be written under *some*
+    class lock at least once.  ``# race-ok`` waives a line.
+
+``VAM008`` **acyclic lock order** — a whole-repo check (it sees every
+    file at once): build the graph of "lock A held while acquiring lock
+    B", following intra-repo calls transitively, and reject any cycle —
+    two threads taking the same pair of locks in opposite orders is a
+    deadlock waiting for load.
+
+``VAM009`` **no blocking under a lock** — no ``Future.result()``, queue
+    waits, socket I/O, ``sleep`` or snapshot ``publish`` while a lock is
+    held; a blocked lock-holder stalls every thread behind it.
 
 Run it as ``python -m repro.analysis.lint src/repro`` (exit status 0 means
-clean, 1 means violations, 2 means bad invocation).
+clean, 1 means violations, 2 means bad invocation).  Pass
+``--require VAM007,VAM008,VAM009`` to additionally fail (exit 2) if any
+named rule is not registered — CI uses this to prove the concurrency
+rules are actually wired in, not silently dropped.
 """
 
 from __future__ import annotations
@@ -594,6 +617,21 @@ def _is_acquire_call(node: ast.AST) -> bool:
     )
 
 
+def _stmt_blocks(scope: ast.AST):
+    """Yield every statement list in ``scope``, not entering nested defs."""
+    nodes = [scope]
+    for node in _scope_nodes(scope):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # a nested scope's blocks belong to that scope
+        nodes.append(node)
+    for node in nodes:
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(node, attr, None)
+            # IfExp/Lambda reuse the attribute names for single exprs.
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                yield block
+
+
 def _check_snapshot_release(path: str, tree: ast.AST) -> list[LintViolation]:
     """Every ``.acquire()`` in the serving package must be leak-proof.
 
@@ -603,9 +641,11 @@ def _check_snapshot_release(path: str, tree: ast.AST) -> list[LintViolation]:
 
     * the context expression of a ``with`` statement (the snapshot's
       ``__exit__`` releases the pin on all exits),
-    * assigned to a name that some ``try`` in the same function scope
-      releases in its ``finally`` block (``X = ....acquire()`` ...
-      ``finally: X.release()``),
+    * assigned to a name that some ``try`` releases in its ``finally``
+      block, with the acquire either *inside* that try's body or in the
+      statement immediately before the try — any statement between the
+      acquire and the try (a conditional return, another call that can
+      raise) is a window where the pin leaks before the finally exists,
     * returned directly (``return ....acquire()`` transfers ownership to
       the caller, who carries the same obligation).
     """
@@ -620,8 +660,10 @@ def _check_snapshot_release(path: str, tree: ast.AST) -> list[LintViolation]:
     for scope in scopes:
         with_exprs: set[int] = set()
         returned: set[int] = set()
-        released_names: set[str] = set()
+        #: (try node, names its finally releases) pairs in this scope.
+        releasing: list[tuple[ast.Try, set[str]]] = []
         assigned_to: dict[int, str | None] = {}
+        assigned_stmt: dict[int, ast.stmt] = {}
         acquires: list[ast.Call] = []
         for node in _scope_nodes(scope):
             if isinstance(node, (ast.With, ast.AsyncWith)):
@@ -630,6 +672,7 @@ def _check_snapshot_release(path: str, tree: ast.AST) -> list[LintViolation]:
             elif isinstance(node, ast.Return) and node.value is not None:
                 returned.add(id(node.value))
             elif isinstance(node, ast.Try):
+                names: set[str] = set()
                 for stmt in node.finalbody:
                     for sub in ast.walk(stmt):
                         if (
@@ -638,7 +681,9 @@ def _check_snapshot_release(path: str, tree: ast.AST) -> list[LintViolation]:
                             and sub.func.attr == "release"
                             and isinstance(sub.func.value, ast.Name)
                         ):
-                            released_names.add(sub.func.value.id)
+                            names.add(sub.func.value.id)
+                if names:
+                    releasing.append((node, names))
             elif isinstance(node, ast.Assign):
                 name = (
                     node.targets[0].id
@@ -647,18 +692,53 @@ def _check_snapshot_release(path: str, tree: ast.AST) -> list[LintViolation]:
                     else None
                 )
                 assigned_to[id(node.value)] = name
+                assigned_stmt[id(node.value)] = node
             elif isinstance(node, ast.AnnAssign) and node.value is not None:
                 assigned_to[id(node.value)] = (
                     node.target.id if isinstance(node.target, ast.Name) else None
                 )
+                assigned_stmt[id(node.value)] = node
             if _is_acquire_call(node):
                 acquires.append(node)
+        #: Statement that immediately follows each statement in its block.
+        following: dict[int, ast.stmt] = {}
+        for block in _stmt_blocks(scope):
+            for index in range(len(block) - 1):
+                following[id(block[index])] = block[index + 1]
+        #: Node ids inside each releasing try's body (protected region).
+        body_ids = [
+            (
+                {id(sub) for stmt in try_node.body for sub in ast.walk(stmt)},
+                names,
+            )
+            for try_node, names in releasing
+        ]
         for call in acquires:
             if id(call) in with_exprs or id(call) in returned:
                 continue
             name = assigned_to.get(id(call))
-            if name is not None and name in released_names:
-                continue
+            if name is not None:
+                stmt = assigned_stmt[id(call)]
+                covered = False
+                for (ids, names), (try_node, _names) in zip(body_ids, releasing):
+                    if name not in names:
+                        continue
+                    if id(stmt) in ids or following.get(id(stmt)) is try_node:
+                        covered = True
+                        break
+                if covered:
+                    continue
+                if any(name in names for _, names in releasing):
+                    violations.append(
+                        LintViolation(
+                            path, call.lineno, "VAM006",
+                            "snapshot acquire() can leak before its "
+                            "releasing try begins: move the acquire into "
+                            "the try body or make the try the very next "
+                            "statement",
+                        )
+                    )
+                    continue
             violations.append(
                 LintViolation(
                     path, call.lineno, "VAM006",
@@ -682,20 +762,51 @@ CHECKS = (
     _check_snapshot_release,
 )
 
+#: Every registered rule, for ``--require`` and the README table.
+RULE_SUMMARIES = {
+    "VAM001": "guard checkpoint threaded through operators; bounded scan cadence",
+    "VAM002": "broad exception handlers must not swallow guard interrupts",
+    "VAM003": "persistence converts raw decode errors to StorageError",
+    "VAM004": "no wall-clock calls inside operators",
+    "VAM005": "rewrite rules cite the paper and route through check_rewrite",
+    "VAM006": "snapshot pins released on all exits, no pre-try leak window",
+    "VAM007": "lock-guarded fields accessed under their lock everywhere",
+    "VAM008": "whole-repo lock acquisition order is acyclic",
+    "VAM009": "no blocking operations while holding a lock",
+}
 
-def lint_file(path: str) -> list[LintViolation]:
+
+def _parse_source(path: str):
+    """Read and parse ``path`` → (source, tree | None, violations)."""
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
+        return source, None, [
             LintViolation(path, exc.lineno or 0, "VAM000", f"syntax error: {exc.msg}")
         ]
+    return source, tree, []
+
+
+def _lint_tree(path: str, tree: ast.Module, source: str) -> list[LintViolation]:
+    """All per-file checks (everything except the repo-level VAM008)."""
+    # Imported here, not at module top: concurrency.static needs
+    # LintViolation from this module, so a top-level import would cycle.
+    from repro.analysis.concurrency.static import check_concurrency
+
     violations: list[LintViolation] = []
     for check in CHECKS:
         violations.extend(check(path, tree))
+    violations.extend(check_concurrency(path, tree, source))
     return violations
+
+
+def lint_file(path: str) -> list[LintViolation]:
+    source, tree, violations = _parse_source(path)
+    if tree is None:
+        return violations
+    return violations + _lint_tree(path, tree, source)
 
 
 def iter_python_files(paths: list[str]):
@@ -711,9 +822,20 @@ def iter_python_files(paths: list[str]):
 
 
 def lint_paths(paths: list[str]) -> list[LintViolation]:
+    from repro.analysis.concurrency.static import check_lock_order
+
     violations: list[LintViolation] = []
+    #: (path, tree, source) for every parseable file — VAM008 needs the
+    #: whole set at once to see lock orders that span modules.
+    triples: list[tuple[str, ast.Module, str]] = []
     for path in iter_python_files(paths):
-        violations.extend(lint_file(path))
+        source, tree, parse_violations = _parse_source(path)
+        violations.extend(parse_violations)
+        if tree is None:
+            continue
+        violations.extend(_lint_tree(path, tree, source))
+        triples.append((path, tree, source))
+    violations.extend(check_lock_order(triples))
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
     return violations
 
@@ -722,12 +844,29 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
         description="Check repo invariants (guard threading, exception "
-        "hygiene, persistence error conversion, injectable clocks).",
+        "hygiene, persistence error conversion, injectable clocks, "
+        "lock discipline).",
     )
     parser.add_argument(
         "paths", nargs="+", help="files or directories to lint (e.g. src/repro)"
     )
+    parser.add_argument(
+        "--require",
+        metavar="RULES",
+        help="comma-separated rule ids (e.g. VAM007,VAM008) that must be "
+        "registered in this linter; exit 2 if any is unknown",
+    )
     options = parser.parse_args(argv)
+    if options.require:
+        required = [rule.strip() for rule in options.require.split(",") if rule.strip()]
+        unknown = sorted(set(required) - set(RULE_SUMMARIES))
+        if unknown:
+            print(
+                f"error: unknown rule id(s): {', '.join(unknown)} "
+                f"(registered: {', '.join(sorted(RULE_SUMMARIES))})",
+                file=sys.stderr,
+            )
+            return 2
     for path in options.paths:
         if not os.path.exists(path):
             print(f"error: no such path: {path}", file=sys.stderr)

@@ -25,7 +25,11 @@ Commands:
   JSON response per line) over the snapshot-isolated worker pool,
 * ``bench-serving`` — measure QPS and p50/p99 latency at 1/8/64
   concurrent clients with a live writer, and write
-  ``BENCH_serving.json``.
+  ``BENCH_serving.json``,
+* ``race``     — run the seeded chaos swarm under the Eraser-style
+  dynamic race detector: every lock acquire/release and every watched
+  serving-state field access is traced, and any field whose candidate
+  lockset drains to the empty set is reported (exit 1).
 
 Files ending in ``.mass`` are treated as saved stores everywhere.
 """
@@ -265,6 +269,26 @@ def _cmd_bench_serving(args: argparse.Namespace) -> int:
     return 0 if criteria is None or criteria["ok"] else 1
 
 
+def _cmd_race(args: argparse.Namespace) -> int:
+    from repro.serving.chaos import ChaosConfig, run_chaos
+
+    options = {"seed": args.seed, "fault_rates": {}}
+    if args.quick:
+        options.update(readers=8, queries_per_reader=2, writer_batches=2)
+    if args.readers is not None:
+        options["readers"] = args.readers
+    if args.writer_batches is not None:
+        options["writer_batches"] = args.writer_batches
+    if args.workers is not None:
+        options["workers"] = args.workers
+    started = time.perf_counter()
+    report = run_chaos(ChaosConfig(**options), race_detect=True)
+    elapsed = time.perf_counter() - started
+    print(report.summary())
+    print(f"-- instrumented swarm finished in {elapsed:.2f}s", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -413,6 +437,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serving.add_argument("--seed", type=int, default=42)
     bench_serving.add_argument("-o", "--output", default="BENCH_serving.json")
     bench_serving.set_defaults(handler=_cmd_bench_serving)
+
+    race = commands.add_parser(
+        "race",
+        help="run the seeded chaos swarm under the dynamic race detector "
+        "(exit 1 on any detected race or chaos invariant failure)",
+    )
+    race.add_argument("--seed", type=int, default=0,
+                      help="swarm seed — a failing run replays exactly")
+    race.add_argument("--readers", type=int, default=None,
+                      help="reader threads (default 64, or 8 with --quick)")
+    race.add_argument("--writer-batches", type=int, default=None,
+                      help="mutation batches the writer publishes")
+    race.add_argument("--workers", type=int, default=None,
+                      help="server worker threads")
+    race.add_argument("--quick", action="store_true",
+                      help="small swarm for CI — finishes in seconds")
+    race.set_defaults(handler=_cmd_race)
     return parser
 
 

@@ -154,13 +154,19 @@ class Database:
         """COUNT over one document or the whole database (paper VI-B)."""
         if document is not None:
             return self.store(document).count(test, principal)
-        return sum(store.count(test, principal) for store in self._stores.values())
+        # Snapshot the registry under the lock; the (possibly slow) index
+        # counts then run outside it so a long count never blocks adds.
+        with self._lock:
+            stores = list(self._stores.values())
+        return sum(store.count(test, principal) for store in stores)
 
     def text_count(self, value: str, document: str | None = None) -> int:
         """TC over one document or the whole database."""
         if document is not None:
             return self.store(document).text_count(value)
-        return sum(store.text_count(value) for store in self._stores.values())
+        with self._lock:
+            stores = list(self._stores.values())
+        return sum(store.text_count(value) for store in stores)
 
     def iter_stores(self) -> Iterator[tuple[str, MassStore]]:
         with self._lock:

@@ -13,7 +13,8 @@ queries (`count`, `text_count`, scoped variants) go through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 
 from repro.mass.records import NodeKind
 
@@ -65,34 +66,125 @@ class StoreStatistics:
         return "\n".join(lines)
 
 
-@dataclass
+class _MetricsCounters:
+    """One thread's store-work tallies (see :class:`StoreMetrics`)."""
+
+    __slots__ = (
+        "record_fetches", "axis_requests", "count_calls", "value_lookups",
+        "extra",
+    )
+
+    def __init__(self) -> None:
+        self.record_fetches = 0
+        self.axis_requests = 0
+        self.count_calls = 0
+        self.value_lookups = 0
+        self.extra: dict[str, int] = {}
+
+
 class StoreMetrics:
     """Cumulative per-store work counters, resettable per query.
 
     These are the machine-independent cost measures the benchmark harness
     reports next to wall time: a plan that fetches fewer records and
     touches fewer pages is cheaper on any hardware.
+
+    Counters are kept **per thread** (the :class:`~repro.mass.pages.
+    PageStats` scheme): ``store.metrics.record_fetches += 1`` from a
+    worker thread touches only that thread's tally, so concurrent
+    increments never lose updates — the plain-``int`` version dropped
+    counts under the query server's worker pool, where two threads'
+    read-modify-write cycles interleave.  The attribute surface reads and
+    writes the *calling thread's* tally (per-query deltas stay exact on a
+    worker); :meth:`totals` is the merged-on-read cross-thread aggregate
+    and :meth:`reset` zeros every thread's tally.
     """
 
-    record_fetches: int = 0
-    axis_requests: int = 0
-    count_calls: int = 0
-    value_lookups: int = 0
-    extra: dict[str, int] = field(default_factory=dict)
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._all: list[_MetricsCounters] = []
+        self._local = threading.local()
+
+    def local_counters(self) -> _MetricsCounters:
+        """The calling thread's tally (created on first use)."""
+        counters = getattr(self._local, "counters", None)
+        if counters is None:
+            counters = _MetricsCounters()
+            self._local.counters = counters
+            with self._lock:
+                self._all.append(counters)
+        return counters
+
+    @property
+    def record_fetches(self) -> int:
+        return self.local_counters().record_fetches
+
+    @record_fetches.setter
+    def record_fetches(self, value: int) -> None:
+        self.local_counters().record_fetches = value
+
+    @property
+    def axis_requests(self) -> int:
+        return self.local_counters().axis_requests
+
+    @axis_requests.setter
+    def axis_requests(self, value: int) -> None:
+        self.local_counters().axis_requests = value
+
+    @property
+    def count_calls(self) -> int:
+        return self.local_counters().count_calls
+
+    @count_calls.setter
+    def count_calls(self, value: int) -> None:
+        self.local_counters().count_calls = value
+
+    @property
+    def value_lookups(self) -> int:
+        return self.local_counters().value_lookups
+
+    @value_lookups.setter
+    def value_lookups(self, value: int) -> None:
+        self.local_counters().value_lookups = value
+
+    @property
+    def extra(self) -> dict[str, int]:
+        return self.local_counters().extra
 
     def reset(self) -> None:
-        self.record_fetches = 0
-        self.axis_requests = 0
-        self.count_calls = 0
-        self.value_lookups = 0
-        self.extra.clear()
+        """Zero every thread's counters (dead threads' tallies included)."""
+        with self._lock:
+            tallies = list(self._all)
+        for counters in tallies:
+            counters.record_fetches = 0
+            counters.axis_requests = 0
+            counters.count_calls = 0
+            counters.value_lookups = 0
+            counters.extra.clear()
 
     def snapshot(self) -> dict[str, int]:
+        """The calling thread's tally — what per-query deltas diff."""
+        counters = self.local_counters()
         data = {
-            "record_fetches": self.record_fetches,
-            "axis_requests": self.axis_requests,
-            "count_calls": self.count_calls,
-            "value_lookups": self.value_lookups,
+            "record_fetches": counters.record_fetches,
+            "axis_requests": counters.axis_requests,
+            "count_calls": counters.count_calls,
+            "value_lookups": counters.value_lookups,
         }
-        data.update(self.extra)
+        data.update(counters.extra)
+        return data
+
+    def totals(self) -> dict[str, int]:
+        """Counters summed over every thread that ever touched the store."""
+        with self._lock:
+            tallies = list(self._all)
+        data = {
+            "record_fetches": sum(c.record_fetches for c in tallies),
+            "axis_requests": sum(c.axis_requests for c in tallies),
+            "count_calls": sum(c.count_calls for c in tallies),
+            "value_lookups": sum(c.value_lookups for c in tallies),
+        }
+        for counters in tallies:
+            for key, value in counters.extra.items():
+                data[key] = data.get(key, 0) + value
         return data

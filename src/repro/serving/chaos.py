@@ -38,6 +38,7 @@ import time
 from collections import Counter
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.analysis.tv.oracle import compare_sequences
 from repro.errors import (
@@ -98,6 +99,11 @@ class ChaosConfig:
     fault_rates: dict = field(default_factory=lambda: dict(DEFAULT_FAULT_RATES))
     expressions: tuple = CHAOS_EXPRESSIONS
     writer_pause_s: float = 0.002
+    #: Injected clock for the deadline/watchdog math, threaded through to
+    #: the server and admission controller — fake-clock testable, like
+    #: the rest of the serving package.  (Thread back-off ``sleep`` calls
+    #: stay real: they pace the OS scheduler, not the deadline logic.)
+    clock: Callable[[], float] = time.monotonic
 
 
 @dataclass
@@ -112,6 +118,8 @@ class ChaosReport:
     failed_batches: int
     server_stats: dict
     injector_failures: dict
+    #: Dynamic race-detector reports (``race_detect=True`` runs only).
+    races: list = field(default_factory=list)
 
     def summary(self) -> str:
         head = "chaos OK" if self.ok else f"chaos FAILED ({len(self.problems)} problems)"
@@ -122,6 +130,8 @@ class ChaosReport:
             f"errors: {dict(self.error_counts)}",
             f"injected: {dict(self.injector_failures)}",
         ]
+        if self.races:
+            lines.append(f"races detected: {len(self.races)}")
         lines.extend(f"  !! {problem}" for problem in self.problems)
         return "\n".join(lines)
 
@@ -146,12 +156,41 @@ def _make_mutation(batch: int):
     return mutate
 
 
-def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
+def run_chaos(
+    config: ChaosConfig | None = None,
+    race_detect: bool = False,
+    sabotage: Callable | None = None,
+) -> ChaosReport:
+    """Run the seeded swarm; optionally under the Eraser race detector.
+
+    ``race_detect=True`` wraps the whole run (server construction
+    included) in :meth:`~repro.analysis.concurrency.RaceDetector.
+    instrument_serving`; detected races land in ``ChaosReport.races``
+    and fail the report.  ``sabotage`` is the mutation-testing seam: a
+    callable invoked with the freshly built server *before* any load,
+    used by the test suite to null out one lock and prove the detector
+    kills the mutant.  Production runs never pass it.
+    """
     config = config or ChaosConfig()
-    started = time.monotonic()
+    if race_detect:
+        from repro.analysis.concurrency.instrument import RaceDetector
+
+        detector = RaceDetector()
+        with detector.instrument_serving():
+            report = _run_swarm(config, sabotage)
+        report.races = detector.summaries()
+        if report.races:
+            report.problems.extend(f"race: {race}" for race in report.races)
+            report.ok = not report.problems
+        return report
+    return _run_swarm(config, sabotage)
+
+
+def _run_swarm(config: ChaosConfig, sabotage: Callable | None) -> ChaosReport:
+    started = config.clock()
 
     def remaining() -> float:
-        return max(0.1, config.deadline_s - (time.monotonic() - started))
+        return max(0.1, config.deadline_s - (config.clock() - started))
 
     injector = FaultInjector(seed=config.seed, rates=dict(config.fault_rates))
     store = load_xml(chaos_document(), name="chaos")
@@ -161,7 +200,10 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
         max_queue_depth=config.max_queue_depth,
         default_timeout_ms=config.timeout_ms,
         fault_injector=injector,
+        clock=config.clock,
     )
+    if sabotage is not None:
+        sabotage(server)
 
     problems: list = []
     #: (epoch, expression) -> serial-run key sequence.

@@ -183,7 +183,7 @@ class QueryServer:
         without burning a worker), and
         :class:`~repro.errors.ServerClosedError` after :meth:`close`.
         """
-        if self._closed:
+        if self.closed:
             raise ServerClosedError()
         self.metrics.incr("submitted")
         try:
@@ -206,7 +206,16 @@ class QueryServer:
             on_error=self.default_on_error if on_error is None else on_error,
             enqueued_at=self.clock(),
         )
-        self._queue.put(request)
+        # The closed re-check and the enqueue are one atomic step under
+        # the close lock: ``close()`` sets ``_closed`` and pushes the stop
+        # markers under the same lock, so a request can never land behind
+        # them — which would strand its future forever once the workers
+        # have exited.
+        with self._close_lock:
+            if self._closed:
+                self.admission.abandon()
+                raise ServerClosedError()
+            self._queue.put(request)
         return request.future
 
     def evaluate(self, expression: str, **options) -> QueryOutcome:
@@ -222,7 +231,7 @@ class QueryServer:
         visible — callers may retry with
         :func:`~repro.resilience.with_retries`.
         """
-        if self._closed:
+        if self.closed:
             raise ServerClosedError()
         try:
             epoch = self.manager.publish(mutate)
@@ -241,7 +250,7 @@ class QueryServer:
         must release it — the chaos harness uses this to keep historical
         epochs addressable for differential verification.
         """
-        if self._closed:
+        if self.closed:
             raise ServerClosedError()
         try:
             published = self.manager.publish_pinned(mutate)
@@ -274,13 +283,14 @@ class QueryServer:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._close_lock:
+            return self._closed
 
     def stats(self) -> dict:
         """One atomic-ish view across the server's three accountants."""
         return {
             "workers": self.workers,
-            "closed": self._closed,
+            "closed": self.closed,
             "requests": self.metrics.snapshot(),
             "admission": self.admission.stats(),
             "snapshots": self.manager.stats(),

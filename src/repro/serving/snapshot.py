@@ -154,7 +154,8 @@ class SnapshotManager:
 
     @property
     def current_epoch(self) -> int:
-        return self._current.epoch
+        with self._lock:
+            return self._current.epoch
 
     def acquire(self) -> StoreSnapshot:
         """Pin the currently published version.
@@ -211,12 +212,16 @@ class SnapshotManager:
         self, mutate: Callable[[MassStore], None], pin: bool
     ) -> tuple[int, StoreSnapshot | None]:
         with self._write_lock:
-            base = self._current
+            # The version pointer is _lock territory even here: a reader
+            # acquiring mid-publish must never see a torn read of it.
+            with self._lock:
+                base = self._current
             try:
                 clone = base.store.clone()
                 mutate(clone)
                 if clone.epoch <= base.epoch:
-                    self.noop_publishes += 1
+                    with self._lock:
+                        self.noop_publishes += 1
                     return base.epoch, None
                 if self.fault_injector is not None:
                     self.fault_injector.on_access("writer.publish")

@@ -1,0 +1,274 @@
+"""The Eraser-style dynamic race detector: state machine, locks, tracing."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.analysis.concurrency.instrument import (
+    EXCLUSIVE,
+    SHARED,
+    SHARED_MODIFIED,
+    InstrumentedLock,
+    InstrumentedRLock,
+    NullLock,
+    RaceDetector,
+)
+
+
+def _record(detector, key, thread, held, write, where="test.py:1"):
+    detector._record(
+        key=key,
+        cls_name="Box",
+        thread=thread,
+        held=frozenset(held),
+        is_write=write,
+        location=where,
+    )
+
+
+class TestStateMachine:
+    def test_single_thread_writes_never_report(self):
+        detector = RaceDetector()
+        for _ in range(5):
+            _record(detector, ("obj", "value"), thread=1, held=(), write=True)
+        assert detector.race_count() == 0
+        assert detector._shadows[("obj", "value")].state == EXCLUSIVE
+
+    def test_second_thread_read_moves_to_shared_without_report(self):
+        detector = RaceDetector()
+        _record(detector, ("obj", "value"), thread=1, held=(), write=True)
+        _record(detector, ("obj", "value"), thread=2, held=(), write=False)
+        assert detector._shadows[("obj", "value")].state == SHARED
+        # Read-only sharing is benign even with an empty lockset.
+        assert detector.race_count() == 0
+
+    def test_second_thread_unlocked_write_reports(self):
+        detector = RaceDetector()
+        _record(detector, ("obj", "value"), thread=1, held=(), write=True)
+        _record(detector, ("obj", "value"), thread=2, held=(), write=True)
+        assert detector.race_count() == 1
+        report = detector.reports[0]
+        assert report.cls == "Box"
+        assert report.field == "value"
+        assert report.state == SHARED_MODIFIED
+        assert "Box.value" in report.render()
+
+    def test_common_lock_keeps_the_lockset_alive(self):
+        detector = RaceDetector()
+        _record(detector, ("obj", "value"), thread=1, held=(), write=True)
+        _record(detector, ("obj", "value"), thread=2, held=(10,), write=True)
+        _record(detector, ("obj", "value"), thread=1, held=(10, 20), write=True)
+        assert detector.race_count() == 0
+        assert detector._shadows[("obj", "value")].lockset == frozenset({10})
+
+    def test_lockset_draining_after_shared_write_reports(self):
+        detector = RaceDetector()
+        _record(detector, ("obj", "value"), thread=1, held=(), write=True)
+        _record(detector, ("obj", "value"), thread=2, held=(10,), write=True)
+        assert detector.race_count() == 0
+        _record(detector, ("obj", "value"), thread=1, held=(20,), write=True)
+        assert detector.race_count() == 1
+
+    def test_shared_then_write_upgrades_and_reports(self):
+        detector = RaceDetector()
+        _record(detector, ("obj", "value"), thread=1, held=(), write=False)
+        _record(detector, ("obj", "value"), thread=2, held=(), write=False)
+        assert detector._shadows[("obj", "value")].state == SHARED
+        _record(detector, ("obj", "value"), thread=2, held=(), write=True)
+        assert detector._shadows[("obj", "value")].state == SHARED_MODIFIED
+        assert detector.race_count() == 1
+
+    def test_each_field_reports_at_most_once(self):
+        detector = RaceDetector()
+        _record(detector, ("obj", "value"), thread=1, held=(), write=True)
+        for _ in range(4):
+            _record(detector, ("obj", "value"), thread=2, held=(), write=True)
+        assert detector.race_count() == 1
+
+    def test_distinct_fields_are_tracked_separately(self):
+        detector = RaceDetector()
+        _record(detector, ("obj", "a"), thread=1, held=(), write=True)
+        _record(detector, ("obj", "b"), thread=1, held=(), write=True)
+        _record(detector, ("obj", "a"), thread=2, held=(), write=True)
+        assert detector.race_count() == 1
+        assert detector.reports[0].field == "a"
+
+
+class TestInstrumentedLocks:
+    def test_acquire_release_updates_the_held_set(self):
+        detector = RaceDetector()
+        lock = InstrumentedLock(detector)
+        assert detector.held_ids() == frozenset()
+        assert lock.acquire()
+        assert detector.held_ids() == frozenset({id(lock)})
+        lock.release()
+        assert detector.held_ids() == frozenset()
+
+    def test_context_manager_protocol(self):
+        detector = RaceDetector()
+        lock = InstrumentedLock(detector)
+        with lock:
+            assert id(lock) in detector.held_ids()
+            assert lock.locked()
+        assert detector.held_ids() == frozenset()
+        assert not lock.locked()
+
+    def test_rlock_reentrancy_counts_depth(self):
+        detector = RaceDetector()
+        lock = InstrumentedRLock(detector)
+        with lock:
+            with lock:
+                assert id(lock) in detector.held_ids()
+            # Inner exit must not drop the outer hold.
+            assert id(lock) in detector.held_ids()
+        assert detector.held_ids() == frozenset()
+
+    def test_held_sets_are_per_thread(self):
+        detector = RaceDetector()
+        lock = InstrumentedLock(detector)
+        observed = []
+
+        def other():
+            observed.append(detector.held_ids())
+
+        with lock:
+            thread = threading.Thread(target=other)
+            thread.start()
+            thread.join()
+        assert observed == [frozenset()]
+
+    def test_null_lock_is_lock_shaped_but_never_locks(self):
+        null = NullLock()
+        assert null.acquire()
+        null.release()
+        with null:
+            assert not null.locked()
+
+
+class _Box:
+    def __init__(self):
+        self.value = 0
+        self.other = 0
+
+
+class _SlottedBox:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+
+class TestTraceType:
+    def test_watched_field_accesses_reach_the_detector(self):
+        detector = RaceDetector()
+        traced = detector.trace_type(_Box, ("value",))
+        box = traced()
+        box.value += 1
+        assert (id(box), "value") in detector._shadows
+
+    def test_unwatched_fields_are_not_shadowed(self):
+        detector = RaceDetector()
+        traced = detector.trace_type(_Box, ("value",))
+        box = traced()
+        box.other += 1
+        assert (id(box), "other") not in detector._shadows
+
+    def test_traced_types_are_cached(self):
+        detector = RaceDetector()
+        assert detector.trace_type(_Box, ("value",)) is detector.trace_type(
+            _Box, ("value",)
+        )
+
+    def test_slots_classes_can_be_traced(self):
+        detector = RaceDetector()
+        traced = detector.trace_type(_SlottedBox, ("value",))
+        box = traced()
+        box.value = 3
+        assert box.value == 3
+        assert (id(box), "value") in detector._shadows
+
+
+class TestRealThreads:
+    def test_unsynchronized_cross_thread_writes_are_reported(self):
+        detector = RaceDetector()
+        traced = detector.trace_type(_Box, ("value",))
+        box = traced()
+        box.value = 1  # owner thread initializes
+
+        def worker():
+            box.value += 1
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert detector.race_count() == 1
+        assert detector.reports[0].field == "value"
+
+    def test_lock_protected_cross_thread_writes_are_clean(self):
+        detector = RaceDetector()
+        traced = detector.trace_type(_Box, ("value",))
+        lock = InstrumentedLock(detector)
+        box = traced()
+        box.value = 1
+
+        def worker():
+            with lock:
+                box.value += 1
+
+        for _ in range(2):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        with lock:
+            box.value += 1
+        assert detector.race_count() == 0
+
+    def test_null_lock_mutant_is_killed(self):
+        """Replacing the real lock with NullLock must surface the race."""
+        detector = RaceDetector()
+        traced = detector.trace_type(_Box, ("value",))
+        lock = NullLock()  # the mutant: lock-shaped, protects nothing
+        box = traced()
+        box.value = 1
+
+        def worker():
+            with lock:
+                box.value += 1
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert detector.race_count() == 1
+
+
+class TestInstrumentServing:
+    def test_modules_are_patched_and_restored(self):
+        import repro.serving.server as server_mod
+        import repro.serving.snapshot as snapshot_mod
+
+        original_threading = snapshot_mod.threading
+        original_manager = server_mod.SnapshotManager
+        detector = RaceDetector()
+        with detector.instrument_serving():
+            assert snapshot_mod.threading is not original_threading
+            assert snapshot_mod.threading.Lock().__class__ is InstrumentedLock
+            assert server_mod.SnapshotManager is not original_manager
+            assert issubclass(server_mod.SnapshotManager, original_manager)
+        assert snapshot_mod.threading is original_threading
+        assert server_mod.SnapshotManager is original_manager
+
+    def test_objects_built_inside_keep_working_outside(self):
+        from repro.mass.loader import load_xml
+        from repro.serving.snapshot import SnapshotManager
+
+        detector = RaceDetector()
+        with detector.instrument_serving():
+            import repro.serving.server as server_mod
+
+            manager = server_mod.SnapshotManager(
+                load_xml("<a><b/></a>", name="t")
+            )
+            assert isinstance(manager, SnapshotManager)
+        with manager.acquire() as snapshot:
+            assert snapshot.epoch == manager.current_epoch
+        assert manager.stats()["releases"] == 1

@@ -1,0 +1,658 @@
+"""VAM007/VAM008/VAM009: static lockset and lock-order analysis.
+
+Fixtures live under a ``serving/`` (or ``engine/``) subdirectory of
+``tmp_path`` because the rules only fire inside the concurrency-checked
+packages.  The mutation tests at the bottom are the point of the suite:
+strip one real ``with self.<lock>:`` from a shipped module and VAM007
+must kill the mutant.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis.concurrency.static import lock_order_edges
+from repro.analysis.lint import lint_file, lint_paths, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def _lint_source(tmp_path: Path, source: str, name: str = "serving/module.py"):
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_file(str(target))
+
+
+def _lint_tree(tmp_path: Path, source: str, name: str = "serving/module.py"):
+    """Like ``_lint_source`` but through ``lint_paths`` so VAM008 runs."""
+    target = tmp_path / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([str(tmp_path)])
+
+
+def _rules(violations) -> list[str]:
+    return [violation.rule for violation in violations]
+
+
+class TestGuardedFieldConsistency:
+    def test_unlocked_write_next_to_locked_write_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.value += 1
+
+                def racy(self):
+                    self.value += 1
+            """,
+        )
+        assert _rules(violations) == ["VAM007"]
+        assert "Counter.value" in violations[0].message
+        assert "_lock" in violations[0].message
+
+    def test_unlocked_read_is_flagged_too(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.value += 1
+
+                def peek(self):
+                    return self.value
+            """,
+        )
+        assert _rules(violations) == ["VAM007"]
+        assert "read" in violations[0].message
+
+    def test_consistently_locked_class_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.value += 1
+
+                def peek(self):
+                    with self._lock:
+                        return self.value
+            """,
+        )
+        assert violations == []
+
+    def test_never_locked_mutable_field_is_a_dropped_lock_smell(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.log = []
+
+                def record(self, item):
+                    self.log.append(item)
+            """,
+        )
+        assert _rules(violations) == ["VAM007"]
+        assert "dropped-lock" in violations[0].message
+
+    def test_init_and_locked_suffix_methods_are_exempt(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.depth = 0
+                    self.depth = self.depth + 1
+
+                def push(self):
+                    with self._lock:
+                        self._push_locked()
+
+                def _push_locked(self):
+                    self.depth += 1
+            """,
+        )
+        assert violations == []
+
+    def test_race_ok_waiver_suppresses_the_site(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.value += 1
+
+                def racy(self):
+                    self.value += 1  # race-ok: approximate stat
+            """,
+        )
+        assert violations == []
+
+    def test_threading_local_fields_are_exempt(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+
+            class PerThread:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._local = threading.local()
+
+                def touch(self):
+                    self._local.counters = []
+            """,
+        )
+        assert violations == []
+
+    def test_class_without_locks_is_out_of_scope(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            class Plain:
+                def __init__(self):
+                    self.value = 0
+
+                def bump(self):
+                    self.value += 1
+            """,
+        )
+        assert violations == []
+
+    def test_read_only_after_init_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+
+            class Config:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.limit = 8
+
+                def read(self):
+                    return self.limit
+            """,
+        )
+        assert violations == []
+
+    def test_chained_field_write_counts_against_the_base_field(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+
+            class Table:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.rows = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self.rows[key] = value
+
+                def racy_put(self, key, value):
+                    self.rows[key] = value
+            """,
+        )
+        assert _rules(violations) == ["VAM007"]
+        assert "Table.rows" in violations[0].message
+
+    def test_out_of_scope_path_is_ignored(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.value += 1
+
+                def racy(self):
+                    self.value += 1
+            """,
+            name="misc/module.py",
+        )
+        assert violations == []
+
+
+class TestLockOrder:
+    def test_opposite_nesting_orders_are_a_cycle(self, tmp_path):
+        violations = _lint_tree(
+            tmp_path,
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """,
+        )
+        assert _rules(violations) == ["VAM008"]
+        assert "cycle" in violations[0].message
+
+    def test_consistent_order_is_clean(self, tmp_path):
+        violations = _lint_tree(
+            tmp_path,
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._a:
+                        with self._b:
+                            pass
+            """,
+        )
+        assert violations == []
+
+    def test_interprocedural_cycle_through_a_method_call(self, tmp_path):
+        violations = _lint_tree(
+            tmp_path,
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        self._take_b()
+
+                def _take_b(self):
+                    with self._b:
+                        pass
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """,
+        )
+        assert _rules(violations) == ["VAM008"]
+
+    def test_cross_class_cycle_via_constructor_typed_field(self, tmp_path):
+        violations = _lint_tree(
+            tmp_path,
+            """
+            import threading
+
+            class Inner:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def poke(self):
+                    with self._lock:
+                        pass
+
+            class Outer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.inner = Inner()
+
+                def forward(self):
+                    with self._lock:
+                        self.inner.poke()
+            """,
+            name="serving/one.py",
+        ) + _lint_tree(
+            tmp_path,
+            """
+            import threading
+
+            class Backward:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def run(self, outer):
+                    pass
+            """,
+            name="serving/two.py",
+        )
+        # One direction only: an edge, not a cycle.
+        assert violations == []
+
+    def test_reentrant_reacquire_is_not_an_ordering_cycle(self, tmp_path):
+        violations = _lint_tree(
+            tmp_path,
+            """
+            import threading
+
+            class Reentrant:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def outer(self):
+                    with self._lock:
+                        self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        pass
+            """,
+        )
+        assert violations == []
+
+
+class TestBlockingUnderLock:
+    def test_future_result_under_lock_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+
+            class Waiter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def collect(self, future):
+                    with self._lock:
+                        return future.result()
+            """,
+        )
+        assert _rules(violations) == ["VAM009"]
+        assert "Future.result" in violations[0].message
+
+    def test_sleep_under_lock_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+            import time
+
+            class Pauser:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def pause(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """,
+        )
+        assert _rules(violations) == ["VAM009"]
+
+    def test_queue_get_is_receiver_gated(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+
+            class Mixed:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._queue = object()
+                    self.table = {}
+
+                def blocked(self):
+                    with self._lock:
+                        return self._queue.get()
+
+                def fine(self, key):
+                    with self._lock:
+                        return self.table.get(key)
+            """,
+        )
+        assert _rules(violations) == ["VAM009"]
+        assert "queue wait" in violations[0].message
+
+    def test_thread_join_is_receiver_gated(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+
+            class Closer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.worker_thread = None
+
+                def blocked(self):
+                    with self._lock:
+                        self.worker_thread.join()
+
+                def fine(self, parts):
+                    with self._lock:
+                        return ", ".join(parts)
+            """,
+        )
+        assert _rules(violations) == ["VAM009"]
+        assert "thread join" in violations[0].message
+
+    def test_publish_under_lock_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+
+            class Updater:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.manager = None
+
+                def apply(self, mutate):
+                    with self._lock:
+                        return self.manager.publish(mutate)
+            """,
+        )
+        assert _rules(violations) == ["VAM009"]
+        assert "publish" in violations[0].message
+
+    def test_blocking_call_outside_the_lock_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+
+            class Waiter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.done = 0
+
+                def collect(self, future):
+                    value = future.result()
+                    with self._lock:
+                        self.done += 1
+                    return value
+            """,
+        )
+        assert violations == []
+
+    def test_module_level_function_with_local_lock_is_checked(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+            import time
+
+            def run():
+                guard = threading.Lock()
+                with guard:
+                    time.sleep(1.0)
+            """,
+        )
+        assert _rules(violations) == ["VAM009"]
+
+    def test_waiver_suppresses_blocking_site(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            import threading
+            import time
+
+            class Pauser:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def pause(self):
+                    with self._lock:
+                        time.sleep(0.1)  # race-ok: test-only throttle
+            """,
+        )
+        assert violations == []
+
+
+class TestShippedTreeAndFlags:
+    def test_shipped_tree_is_clean_for_concurrency_rules(self):
+        violations = [
+            violation
+            for violation in lint_paths([str(SRC_REPRO)])
+            if violation.rule in ("VAM007", "VAM008", "VAM009")
+        ]
+        assert violations == [], "\n".join(v.format() for v in violations)
+
+    def test_shipped_lock_order_has_the_documented_edges(self):
+        triples = []
+        for path in sorted((SRC_REPRO / "serving").glob("*.py")):
+            source = path.read_text(encoding="utf-8")
+            triples.append((str(path), ast.parse(source), source))
+        edges = lock_order_edges(triples)
+        assert edges.get("SnapshotManager._write_lock") == ["SnapshotManager._lock"]
+
+    def test_require_flag_accepts_registered_rules(self, capsys):
+        code = main(["--require", "VAM007,VAM008,VAM009", str(SRC_REPRO)])
+        assert code == 0
+
+    def test_require_flag_rejects_unknown_rules(self, capsys):
+        code = main(["--require", "VAM042", str(SRC_REPRO)])
+        assert code == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+
+# -- mutation tests: delete a real lock, the static rule must object -----------
+
+
+class _StripWith(ast.NodeTransformer):
+    """Remove ``with self.<attr>:`` items, splicing the body in place."""
+
+    def __init__(self, attr: str):
+        self.attr = attr
+        self.stripped = 0
+
+    def visit_With(self, node: ast.With):
+        self.generic_visit(node)
+        kept = []
+        for item in node.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and expr.attr == self.attr
+            ):
+                self.stripped += 1
+                continue
+            kept.append(item)
+        if kept:
+            node.items = kept
+            return node
+        return node.body
+
+
+def _mutate_module(source_path: Path, out_dir: Path, lock_attr: str) -> int:
+    """Write ``source_path`` with every ``with self.<lock_attr>:`` removed."""
+    tree = ast.parse(source_path.read_text(encoding="utf-8"))
+    stripper = _StripWith(lock_attr)
+    tree = ast.fix_missing_locations(stripper.visit(tree))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / source_path.name).write_text(ast.unparse(tree), encoding="utf-8")
+    return stripper.stripped
+
+
+class TestStaticMutantKills:
+    def test_deleting_the_plan_cache_lock_is_caught(self, tmp_path):
+        source = SRC_REPRO / "engine" / "engine.py"
+        stripped = _mutate_module(source, tmp_path / "engine", "_plan_lock")
+        assert stripped > 0, "mutation did not apply — lock attr renamed?"
+        violations = lint_paths([str(tmp_path / "engine")])
+        flagged = [v for v in violations if v.rule == "VAM007"]
+        assert flagged, "VAM007 failed to kill the plan-cache lock mutant"
+        assert any("_plan_cache" in v.message or "plan_cache" in v.message
+                   for v in flagged)
+
+    def test_deleting_the_snapshot_refcount_lock_is_caught(self, tmp_path):
+        source = SRC_REPRO / "serving" / "snapshot.py"
+        stripped = _mutate_module(source, tmp_path / "serving", "_lock")
+        assert stripped > 0, "mutation did not apply — lock attr renamed?"
+        violations = lint_paths([str(tmp_path / "serving")])
+        flagged = [v for v in violations if v.rule == "VAM007"]
+        assert flagged, "VAM007 failed to kill the snapshot lock mutant"
+        assert any("SnapshotManager" in v.message for v in flagged)
+
+    def test_the_pristine_copies_are_clean(self, tmp_path):
+        for relative in ("engine/engine.py", "serving/snapshot.py"):
+            source = SRC_REPRO / relative
+            target = tmp_path / relative
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(source.read_text(encoding="utf-8"), encoding="utf-8")
+        violations = [
+            v for v in lint_paths([str(tmp_path)]) if v.rule.startswith("VAM00")
+            and v.rule in ("VAM007", "VAM008", "VAM009")
+        ]
+        assert violations == [], "\n".join(v.format() for v in violations)

@@ -814,3 +814,108 @@ class TestSnapshotRelease:
     def test_shipped_serving_package_is_clean(self):
         violations = lint_paths([str(SRC_REPRO / "serving")])
         assert _rules(violations) == []
+
+
+class TestSnapshotReleaseLeakWindow:
+    """VAM006 strengthening: the acquire must sit inside the releasing
+    try's body, or the try must be the statement immediately after it —
+    anything in between is a window where an exception leaks the pin."""
+
+    NAME = "serving/handlers.py"
+
+    def test_acquire_inside_the_releasing_try_body_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def serve(manager):
+                snapshot = None
+                try:
+                    snapshot = manager.acquire()
+                    return snapshot.epoch
+                finally:
+                    if snapshot is not None:
+                        snapshot.release()
+            """,
+            name=self.NAME,
+        )
+        assert violations == []
+
+    def test_conditional_with_statement_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def serve(manager, fast):
+                if fast:
+                    with manager.acquire() as snapshot:
+                        return snapshot.epoch
+                return None
+            """,
+            name=self.NAME,
+        )
+        assert violations == []
+
+    def test_acquire_in_comprehension_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def pins(manager):
+                snaps = [manager.acquire() for _ in range(3)]
+                try:
+                    return len(snaps)
+                finally:
+                    for s in snaps:
+                        s.release()
+            """,
+            name=self.NAME,
+        )
+        assert _rules(violations) == ["VAM006"]
+        assert "released on all exits" in violations[0].message
+
+    def test_early_return_between_acquire_and_try_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def serve(manager, skip):
+                snapshot = manager.acquire()
+                if skip:
+                    return None
+                try:
+                    return snapshot.epoch
+                finally:
+                    snapshot.release()
+            """,
+            name=self.NAME,
+        )
+        assert _rules(violations) == ["VAM006"]
+        assert "leak before its releasing try" in violations[0].message
+
+    def test_any_statement_between_acquire_and_try_is_flagged(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def serve(manager, log):
+                snapshot = manager.acquire()
+                log.note("acquired")
+                try:
+                    return snapshot.epoch
+                finally:
+                    snapshot.release()
+            """,
+            name=self.NAME,
+        )
+        assert _rules(violations) == ["VAM006"]
+
+    def test_try_as_immediate_next_statement_is_clean(self, tmp_path):
+        violations = _lint_source(
+            tmp_path,
+            """
+            def serve(manager):
+                snapshot = manager.acquire()
+                try:
+                    return snapshot.epoch
+                finally:
+                    snapshot.release()
+            """,
+            name=self.NAME,
+        )
+        assert violations == []

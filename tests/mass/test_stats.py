@@ -1,0 +1,93 @@
+"""StoreMetrics: per-thread counters that never lose concurrent updates.
+
+The old plain-``int`` counters dropped increments under the query
+server's worker pool (two threads' read-modify-write cycles interleave).
+The per-thread scheme makes every increment thread-confined; these tests
+pin down the exact-count guarantee and the calling-thread semantics the
+engine's per-query deltas rely on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.mass.stats import StoreMetrics
+
+
+def _run_threads(target, count: int) -> None:
+    threads = [threading.Thread(target=target) for _ in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestConcurrentIncrements:
+    def test_no_increment_is_ever_lost(self):
+        metrics = StoreMetrics()
+        workers, per_worker = 8, 500
+
+        def worker():
+            for _ in range(per_worker):
+                metrics.record_fetches += 1
+                metrics.axis_requests += 1
+
+        _run_threads(worker, workers)
+        totals = metrics.totals()
+        assert totals["record_fetches"] == workers * per_worker
+        assert totals["axis_requests"] == workers * per_worker
+
+    def test_extra_counters_merge_across_threads(self):
+        metrics = StoreMetrics()
+        metrics.extra["page_reads"] = 3
+
+        def worker():
+            metrics.extra["page_reads"] = metrics.extra.get("page_reads", 0) + 4
+
+        _run_threads(worker, 2)
+        assert metrics.snapshot()["page_reads"] == 3
+        assert metrics.totals()["page_reads"] == 11
+
+
+class TestCallingThreadSemantics:
+    def test_snapshot_reports_only_the_calling_thread(self):
+        metrics = StoreMetrics()
+        metrics.record_fetches += 2
+
+        def worker():
+            metrics.record_fetches += 5
+
+        _run_threads(worker, 1)
+        # Per-query deltas diff snapshot() on the worker that ran the
+        # query — another thread's work must not bleed in.
+        assert metrics.snapshot()["record_fetches"] == 2
+        assert metrics.totals()["record_fetches"] == 7
+
+    def test_setter_routes_to_the_calling_thread(self):
+        metrics = StoreMetrics()
+        metrics.count_calls = 9
+        seen = []
+
+        def worker():
+            seen.append(metrics.count_calls)
+
+        _run_threads(worker, 1)
+        assert metrics.snapshot()["count_calls"] == 9
+        assert seen == [0]
+
+
+class TestReset:
+    def test_reset_clears_every_thread(self):
+        metrics = StoreMetrics()
+        metrics.value_lookups += 1
+        metrics.extra["x"] = 2
+
+        def worker():
+            metrics.value_lookups += 3
+
+        _run_threads(worker, 2)
+        metrics.reset()
+        totals = metrics.totals()
+        assert totals["value_lookups"] == 0
+        assert "x" not in totals
+        assert metrics.snapshot()["value_lookups"] == 0

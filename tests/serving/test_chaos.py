@@ -72,3 +72,32 @@ class TestChaosSwarm:
             "worker.crash",
         }
         assert config.expressions == CHAOS_EXPRESSIONS
+
+
+class TestInjectedClock:
+    """The chaos config's clock threads through to the server's timing."""
+
+    def test_default_clock_is_monotonic(self):
+        import time
+
+        assert ChaosConfig().clock is time.monotonic
+
+    def test_stuck_clock_reaches_the_server_metrics(self):
+        # With a frozen clock every queued/service interval measures 0.0;
+        # non-zero averages would mean the server fell back to a real
+        # clock somewhere instead of the injected one.
+        report = run_chaos(
+            ChaosConfig(
+                seed=5,
+                readers=4,
+                queries_per_reader=2,
+                writer_batches=1,
+                fault_rates={},
+                clock=lambda: 0.0,
+            )
+        )
+        assert report.ok, report.summary()
+        requests = report.server_stats["requests"]
+        assert requests["completed"] > 0
+        assert requests["queued_ms_avg"] == 0.0
+        assert requests["service_ms_avg"] == 0.0

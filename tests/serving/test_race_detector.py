@@ -1,0 +1,79 @@
+"""The chaos swarm under the dynamic race detector.
+
+The shipped serving stack must come out clean; deleting either of two
+load-bearing locks (via the ``sabotage`` seam and :class:`NullLock`)
+must produce at least one drained-lockset report.  Together with the
+static mutant kills in ``tests/analysis/test_concurrency_static.py``
+this proves both prongs actually detect the bugs they claim to.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.concurrency import NullLock
+from repro.serving.chaos import ChaosConfig, run_chaos
+
+
+def _small_config(seed: int = 3) -> ChaosConfig:
+    # No fault injection: these runs isolate lock discipline, not the
+    # typed-error paths (test_chaos covers those).
+    return ChaosConfig(
+        seed=seed,
+        readers=8,
+        queries_per_reader=2,
+        writer_batches=2,
+        workers=2,
+        fault_rates={},
+    )
+
+
+class TestShippedTreeIsRaceFree:
+    def test_chaos_swarm_detects_no_races(self):
+        report = run_chaos(_small_config(), race_detect=True)
+        assert report.races == [], "\n".join(report.races)
+        assert report.ok, report.summary()
+
+    def test_report_without_detection_has_no_races_field_noise(self):
+        report = run_chaos(_small_config())
+        assert report.races == []
+        assert report.ok, report.summary()
+
+
+class TestDynamicMutantKills:
+    def test_deleting_the_snapshot_manager_lock_is_caught(self):
+        def drop_snapshot_lock(server):
+            server.manager._lock = NullLock()
+
+        report = run_chaos(
+            _small_config(), race_detect=True, sabotage=drop_snapshot_lock
+        )
+        assert report.races, "detector failed to kill the snapshot-lock mutant"
+        assert not report.ok
+        assert any(
+            "SnapshotManager" in race or "StoreVersion" in race
+            for race in report.races
+        ), "\n".join(report.races)
+
+    def test_deleting_the_plan_cache_lock_is_caught(self):
+        def drop_plan_lock(server):
+            with server.manager.acquire() as snapshot:
+                snapshot.engine._plan_lock = NullLock()
+
+        report = run_chaos(
+            _small_config(), race_detect=True, sabotage=drop_plan_lock
+        )
+        assert report.races, "detector failed to kill the plan-cache mutant"
+        assert not report.ok
+        assert any("VamanaEngine" in race for race in report.races), \
+            "\n".join(report.races)
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_snapshot_lock_mutant_dies_across_seeds(self, seed):
+        def drop_snapshot_lock(server):
+            server.manager._lock = NullLock()
+
+        report = run_chaos(
+            _small_config(seed), race_detect=True, sabotage=drop_snapshot_lock
+        )
+        assert report.races, f"mutant survived seed {seed}"

@@ -291,6 +291,46 @@ class TestLifecycle:
         outcomes = [future.result(timeout=30) for future in futures]
         assert all(outcome.ok for outcome in outcomes)
 
+    def test_submit_racing_close_never_strands_a_future(self):
+        # Regression: submit() used to re-check _closed and then enqueue
+        # without holding the close lock, so a request admitted in that
+        # window could land behind close()'s stop markers and its future
+        # would never resolve.  Every submit must either raise
+        # ServerClosedError or return a future that resolves.
+        from repro.errors import ServerOverloadedError
+
+        for _trial in range(3):
+            server = make_server(workers=2, max_queue_depth=64)
+            futures = []
+            futures_lock = threading.Lock()
+            hammers = 4
+            barrier = threading.Barrier(hammers + 1)
+
+            def hammer():
+                barrier.wait()
+                while True:
+                    try:
+                        future = server.submit("//person")
+                    except ServerClosedError:
+                        return
+                    except ServerOverloadedError:
+                        continue
+                    with futures_lock:
+                        futures.append(future)
+
+            threads = [threading.Thread(target=hammer) for _ in range(hammers)]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            server.close()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not any(thread.is_alive() for thread in threads)
+            for future in futures:
+                outcome = future.result(timeout=5)  # raises if stranded
+                assert outcome is not None
+            assert server.manager.pinned() == 0
+
     def test_stats_shape(self):
         with make_server() as server:
             server.evaluate("//person")
