@@ -12,7 +12,8 @@ Commands:
   it: plan invariant verification, inferred operator properties, and the
   schema satisfiability verdict (exit 3 when provably empty),
 * ``fsck``     — diagnose a saved store file (checksums, record framing)
-  and optionally salvage the valid prefix to a new store,
+  and optionally salvage the valid prefix to a new store; given a shard
+  directory, verify every per-shard store and summarize the fleet,
 * ``verify-rules`` — translation validation of the rewrite-rule library:
   every rule is applied at every matching site of its query pool and the
   pre/post plans are executed (tuple and batched) over an exhaustively
@@ -29,7 +30,17 @@ Commands:
 * ``race``     — run the seeded chaos swarm under the Eraser-style
   dynamic race detector: every lock acquire/release and every watched
   serving-state field access is traced, and any field whose candidate
-  lockset drains to the empty set is reported (exit 1).
+  lockset drains to the empty set is reported (exit 1),
+* ``shard-build`` — partition a document collection (hash/round-robin)
+  or one huge document (subtree key ranges) into a shard directory,
+* ``shard-query`` — scatter a query over a shard directory's worker
+  fleet, merge and print the gathered result (``--explain`` shows the
+  routing/pruning decision and per-shard plans),
+* ``bench-shard`` — measure scatter-gather scaling at 1/2/4/8 workers
+  and write ``BENCH_shard.json``.
+
+``serve`` accepts a shard directory too — the TCP front end then fronts
+the whole worker fleet through the same line protocol.
 
 Files ending in ``.mass`` are treated as saved stores everywhere.
 """
@@ -147,6 +158,20 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
+    import os
+
+    if os.path.isdir(args.store):
+        # A shard directory: verify every per-shard store the manifest
+        # names; exit non-zero if any shard is damaged or missing.
+        from repro.sharding import fsck_shards
+
+        if args.salvage:
+            print("error: --salvage applies to single store files",
+                  file=sys.stderr)
+            return 2
+        shard_report = fsck_shards(args.store)
+        print(shard_report.describe())
+        return 0 if shard_report.ok else 1
     report = fsck_store(args.store)
     print(report.describe())
     if args.salvage:
@@ -213,7 +238,29 @@ def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
     from repro.serving import QueryServer, TcpFrontend
+
+    if os.path.isdir(args.input):
+        # A shard directory: front the worker fleet instead of one store.
+        from repro.sharding import ShardedDatabase, ShardQueryServer
+
+        database = ShardedDatabase(args.input)
+        server = ShardQueryServer(database)
+        frontend = TcpFrontend(server, host=args.host, port=args.port)
+        host, port = frontend.address
+        print(f"serving shard directory {args.input} on {host}:{port} "
+              f"({database.manifest.shard_count} shard worker(s), "
+              f"scheme {database.manifest.scheme}) — Ctrl-C to stop")
+        try:
+            frontend.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            frontend.stop()
+            server.close()
+        return 0
 
     store = _load_any(args.input)
     server = QueryServer(
@@ -267,6 +314,85 @@ def _cmd_bench_serving(args: argparse.Namespace) -> int:
     print(f"-- wrote {args.output} in {elapsed:.2f}s", file=sys.stderr)
     criteria = report.get("criteria")
     return 0 if criteria is None or criteria["ok"] else 1
+
+
+def _cmd_shard_build(args: argparse.Namespace) -> int:
+    from repro.sharding import build_shards, build_subtree_shards
+
+    stores = [(path, _load_any(path)) for path in args.inputs]
+    started = time.perf_counter()
+    if args.scheme == "subtree":
+        if len(stores) != 1:
+            print("error: --scheme subtree partitions exactly one document",
+                  file=sys.stderr)
+            return 2
+        manifest = build_subtree_shards(stores[0][1], args.output, args.shards)
+    else:
+        manifest = build_shards(stores, args.output, args.shards, args.scheme)
+    elapsed = time.perf_counter() - started
+    print(f"built {manifest.shard_count} shard(s) ({manifest.scheme}) "
+          f"from {len(stores)} document(s), {manifest.total_nodes} nodes, "
+          f"in {elapsed:.2f}s -> {args.output}")
+    for spec in manifest.shards:
+        names = ", ".join(doc["name"] for doc in spec.documents) or "(empty)"
+        print(f"  shard {spec.shard_id}: {spec.total_nodes} nodes — {names}")
+    return 0
+
+
+def _cmd_shard_query(args: argparse.Namespace) -> int:
+    from repro.sharding import ShardedDatabase
+
+    database = ShardedDatabase(args.directory)
+    try:
+        if args.explain:
+            print(database.explain(args.xpath))
+            return 0
+        started = time.perf_counter()
+        outcome = database.evaluate(
+            args.xpath,
+            timeout_ms=args.timeout,
+            max_pages=args.max_pages,
+            max_results=args.max_results,
+        )
+        elapsed = time.perf_counter() - started
+        print(outcome.describe())
+        labels = outcome.labels()
+        limit = args.limit if args.limit > 0 else len(labels)
+        for label in labels[:limit]:
+            print(f"  {label}")
+        if len(labels) > limit:
+            print(f"  ... and {len(labels) - limit} more")
+        print(f"-- {elapsed * 1000:.1f} ms, counters "
+              f"{ {k: v for k, v in sorted(outcome.counters.items())} }",
+              file=sys.stderr)
+        return 0 if outcome.ok else 1
+    finally:
+        database.close()
+
+
+def _cmd_bench_shard(args: argparse.Namespace) -> int:
+    from repro.bench.shard import run_shard_bench, summarize, write_report
+
+    workers = None
+    if args.workers:
+        try:
+            workers = tuple(int(part) for part in args.workers.split(",") if part.strip())
+        except ValueError:
+            print(f"error: --workers expects comma-separated integers, got {args.workers!r}", file=sys.stderr)
+            return 2
+        if not workers or any(count < 1 for count in workers):
+            print(f"error: --workers values must be positive, got {args.workers!r}", file=sys.stderr)
+            return 2
+    started = time.perf_counter()
+    options = {"quick": args.quick, "seed": args.seed}
+    if workers is not None:
+        options["worker_counts"] = workers
+    report = run_shard_bench(**options)
+    elapsed = time.perf_counter() - started
+    write_report(report, args.output)
+    print(summarize(report))
+    print(f"-- wrote {args.output} in {elapsed:.2f}s", file=sys.stderr)
+    return 0 if report["criteria"]["ok"] else 1
 
 
 def _cmd_race(args: argparse.Namespace) -> int:
@@ -347,9 +473,10 @@ def build_parser() -> argparse.ArgumentParser:
     check.set_defaults(handler=_cmd_check)
 
     fsck = commands.add_parser(
-        "fsck", help="check a .mass store file for corruption"
+        "fsck", help="check a .mass store file (or every store in a "
+        "shard directory) for corruption"
     )
-    fsck.add_argument("store", help=".mass store file")
+    fsck.add_argument("store", help=".mass store file or shard directory")
     fsck.add_argument("--salvage", metavar="OUT", default=None,
                       help="write the recoverable record prefix to OUT")
     fsck.set_defaults(handler=_cmd_fsck)
@@ -437,6 +564,55 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serving.add_argument("--seed", type=int, default=42)
     bench_serving.add_argument("-o", "--output", default="BENCH_serving.json")
     bench_serving.set_defaults(handler=_cmd_bench_serving)
+
+    shard_build = commands.add_parser(
+        "shard-build",
+        help="partition documents into a shard directory (hash/round-robin "
+        "by document, or one document by subtree key ranges)",
+    )
+    shard_build.add_argument("inputs", nargs="+",
+                             help="XML files or .mass stores")
+    shard_build.add_argument("-o", "--output", required=True,
+                             help="shard directory to create")
+    shard_build.add_argument("--shards", type=int, default=4)
+    shard_build.add_argument("--scheme",
+                             choices=("hash", "round_robin", "subtree"),
+                             default="hash")
+    shard_build.set_defaults(handler=_cmd_shard_build)
+
+    shard_query = commands.add_parser(
+        "shard-query",
+        help="evaluate an XPath query scatter-gather over a shard "
+        "directory (one worker process per shard)",
+    )
+    shard_query.add_argument("directory", help="shard directory")
+    shard_query.add_argument("xpath", help="XPath 1.0 expression")
+    shard_query.add_argument("--explain", action="store_true",
+                             help="print the routing decision and each "
+                             "contacted shard's plan")
+    shard_query.add_argument("--limit", type=int, default=20,
+                             help="max result labels to print (0 = all)")
+    shard_query.add_argument("--timeout", type=float, default=None,
+                             metavar="MS", help="per-shard deadline")
+    shard_query.add_argument("--max-pages", type=int, default=None,
+                             metavar="N", help="per-shard page budget")
+    shard_query.add_argument("--max-results", type=int, default=None,
+                             metavar="N", help="per-shard result cap")
+    shard_query.set_defaults(handler=_cmd_shard_query)
+
+    bench_shard = commands.add_parser(
+        "bench-shard",
+        help="benchmark scatter-gather over 1/2/4/8 shard workers and "
+        "write BENCH_shard.json (exit 1 if the scaling criteria fail)",
+    )
+    bench_shard.add_argument("--quick", action="store_true",
+                             help="tiny collection — finishes in seconds")
+    bench_shard.add_argument("--workers", default=None,
+                             help="comma-separated worker counts "
+                             "(default 1,2,4,8)")
+    bench_shard.add_argument("--seed", type=int, default=42)
+    bench_shard.add_argument("-o", "--output", default="BENCH_shard.json")
+    bench_shard.set_defaults(handler=_cmd_bench_shard)
 
     race = commands.add_parser(
         "race",

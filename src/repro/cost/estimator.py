@@ -392,3 +392,69 @@ def plan_cost(plan: QueryPlan) -> int:
             elif node.cost.tuples_out is not None:
                 total += node.cost.tuples_out
     return total
+
+
+# -- scatter routing (partitioned execution) -----------------------------------
+
+
+@dataclass(frozen=True)
+class FanoutDecision:
+    """Which shards a query should be scattered to, and why.
+
+    Produced by :func:`estimate_fanout` from each shard's name-index
+    statistics (recorded in the shard manifest at build time).  ``mode``
+    is ``"scatter"`` (several shards can contribute), ``"single"``
+    (exactly one can — skip the fan-out machinery and its merge), or
+    ``"empty"`` (none can — the query is answered without contacting any
+    worker).
+    """
+
+    mode: str
+    shard_ids: tuple[int, ...]
+    per_shard_cost: dict[int, float]
+    reason: str
+
+
+def estimate_fanout(
+    shard_name_counts: dict[int, dict[str, int]],
+    branch_names: list[list[str]],
+) -> FanoutDecision:
+    """Route a query across shards from per-shard name statistics.
+
+    ``branch_names`` lists, per union branch, the name-index names the
+    branch requires on its *main path* (empty when the query was not
+    analyzable — then every shard is a candidate).  The estimate per
+    shard mirrors the paper's COUNT bound: a branch can emit at most
+    ``min(COUNT(name))`` over its required names, and a shard whose
+    bound is zero for every branch provably contributes nothing — it is
+    dropped from the fan-out exactly like an unsatisfiable shard, but on
+    statistics rather than schema structure.
+    """
+    costs: dict[int, float] = {}
+    for shard_id, counts in shard_name_counts.items():
+        if not branch_names:
+            # No routing signal: assume the shard's whole population.
+            costs[shard_id] = float(sum(counts.values()))
+            continue
+        bound = 0.0
+        for names in branch_names:
+            if not names:
+                bound += float(sum(counts.values()))
+                continue
+            branch_bound = min(float(counts.get(name, 0)) for name in names)
+            bound += branch_bound
+        costs[shard_id] = bound
+    chosen = tuple(sorted(s for s, cost in costs.items() if cost > 0.0))
+    if not chosen and not branch_names:
+        chosen = tuple(sorted(costs))
+    if not chosen:
+        mode, reason = "empty", "no shard holds the required names"
+    elif len(chosen) == 1:
+        mode = "single"
+        reason = f"only shard {chosen[0]} holds the required names"
+    else:
+        mode = "scatter"
+        reason = f"{len(chosen)}/{len(shard_name_counts)} shards hold candidates"
+    return FanoutDecision(
+        mode=mode, shard_ids=chosen, per_shard_cost=costs, reason=reason
+    )

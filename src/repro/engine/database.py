@@ -171,3 +171,21 @@ class Database:
     def iter_stores(self) -> Iterator[tuple[str, MassStore]]:
         with self._lock:
             return iter(list(self._stores.items()))
+
+    # -- partitioned execution -----------------------------------------------------
+
+    def to_sharded(self, directory: str, shards: int, scheme: str = "hash"):
+        """Partition this collection into ``directory`` and open it.
+
+        Writes one crash-safe ``.mass`` file per document under per-shard
+        subdirectories plus a manifest (see
+        :mod:`repro.sharding.partitioner`), then returns a live
+        :class:`~repro.sharding.coordinator.ShardedDatabase` — one worker
+        process per shard, ready to evaluate.  The caller owns the
+        returned database's lifecycle (``close()`` stops the fleet); this
+        registry keeps serving its in-process engines unchanged.
+        """
+        from repro.sharding import ShardedDatabase, build_shards
+
+        build_shards(self.iter_stores(), directory, shards, scheme)
+        return ShardedDatabase(directory)

@@ -141,6 +141,27 @@ class SnapshotError(ServingError):
     """Snapshot lifecycle misuse (double release, use after release)."""
 
 
+class ShardingError(ReproError):
+    """Raised by the partitioned-execution layer (:mod:`repro.sharding`)."""
+
+
+class ShardWorkerCrashError(ShardingError):
+    """A shard worker process died (killed, crashed, or chaos-injected)
+    while the coordinator was waiting on it.  Captured per shard into the
+    query's :class:`~repro.sharding.coordinator.ShardedOutcome`, so one
+    dead worker yields a typed partial result instead of a hung gather."""
+
+    def __init__(self, shard_id: int, detail: str = ""):
+        self.shard_id = shard_id
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"shard {shard_id} worker crashed{suffix}")
+
+
+class ShardProtocolError(ShardingError):
+    """The coordinator received a frame it cannot interpret — a version
+    mismatch or a corrupted pipe, never a normal failure mode."""
+
+
 class OptimizerError(ReproError):
     """Raised when a rewrite rule produces an inconsistent plan."""
 

@@ -138,6 +138,38 @@ def encode_components(components: Sequence[Component]) -> bytes:
     return bytes(out)
 
 
+def decode_sort_bytes(data: bytes) -> "FlexKey":
+    """Inverse of :attr:`FlexKey.sort_bytes` for *stored* keys.
+
+    The coordinator of a sharded database receives result keys from
+    worker processes as raw ``sort_bytes`` (the merge compares them
+    without decoding); this reconstructs the key when the structure is
+    needed (labels, record fetches).  Sentinel encodings (the reserved
+    integer ``0`` of subtree upper bounds) are not valid input — they are
+    never stored, so they never cross the wire.
+    """
+    components: list[Component] = []
+    parts: list[int] = []
+    offset = 0
+    size = len(data)
+    while offset < size:
+        length = data[offset]
+        offset += 1
+        if length == 0:
+            components.append(tuple(parts))
+            parts = []
+            continue
+        if offset + length > size:
+            raise ValueError(f"truncated FLEX byte encoding at offset {offset}")
+        parts.append(int.from_bytes(data[offset : offset + length], "big"))
+        offset += length
+    if parts:
+        raise ValueError("FLEX byte encoding missing component terminator")
+    key = FlexKey(tuple(components))
+    key._sort_bytes = bytes(data)
+    return key
+
+
 def component_after(component: Component) -> Component:
     """Return a single-integer component strictly above ``component``."""
     return (component[0] + 1,)

@@ -55,6 +55,16 @@ SERVING_FAULT_SITES = (
     "worker.crash",
 )
 
+#: The partitioned-execution layer's chaos sites.  ``shard.worker.crash``
+#: is consulted by each shard worker at the top of query handling and —
+#: unlike every other site — *hard-kills the worker process*
+#: (``os._exit``) instead of raising, so the coordinator's crash capture
+#: is exercised by a real process death: closed pipe, nonzero exit code,
+#: no Python cleanup.  Seeds are decorrelated per shard and per respawn
+#: by the coordinator, so a fleet under chaos fails shard-by-shard, not
+#: in lockstep.
+SHARD_FAULT_SITES = ("shard.worker.crash",)
+
 
 def corrupt_bytes(data: bytes, offsets: Iterable[int], xor_mask: int = 0xFF) -> bytes:
     """Return ``data`` with the byte at each offset XOR-flipped."""

@@ -1,0 +1,62 @@
+"""Partitioned collections with multiprocess scatter-gather execution.
+
+ROADMAP item 2: shard a database of documents (or one huge document split
+by FLEX-key subtree ranges) across ``multiprocessing`` worker processes,
+each owning its own crash-safe ``.mass`` files and
+:class:`~repro.engine.engine.VamanaEngine`.  A coordinator analyzes the
+query once, prunes shards that provably cannot contribute, scatters the
+expression to the survivors over a pickle-free framed pipe protocol, and
+merges the streamed result blocks back into global document order with a
+k-way heap merge on :attr:`~repro.mass.flexkey.FlexKey.sort_bytes` —
+the order-preserving byte encoding makes the cross-shard merge a pure
+byte comparison (modeled on Apache VXQuery's data-parallel partitioned
+evaluation).
+
+Public surface:
+
+* :func:`~repro.sharding.partitioner.build_shards` /
+  :func:`~repro.sharding.partitioner.load_manifest` — partition documents
+  (hash / round-robin by name, or one document by subtree key ranges)
+  into a shard directory with a JSON manifest.
+* :class:`~repro.sharding.coordinator.ShardedDatabase` — open a shard
+  directory, spawn one worker process per shard, and evaluate queries
+  scatter-gather with per-shard guards, shard pruning, COUNT()
+  short-circuiting and worker-crash capture.
+* :func:`~repro.sharding.merge.kway_merge` — the tournament merge over
+  per-shard block iterators.
+* :func:`~repro.sharding.partitioner.fsck_shards` — verify every
+  per-shard store file (``repro fsck <dir>``).
+* :class:`~repro.sharding.serving.ShardQueryServer` — the serving bridge
+  that lets :class:`~repro.serving.frontend.TcpFrontend` sit in front of
+  a sharded database.
+"""
+
+from repro.sharding.coordinator import ShardedDatabase, ShardedOutcome, ShardStatus
+from repro.sharding.merge import kway_merge
+from repro.sharding.partitioner import (
+    ShardFsckReport,
+    ShardManifest,
+    ShardSpec,
+    build_shards,
+    build_subtree_shards,
+    fsck_shards,
+    load_manifest,
+    partition_names,
+)
+from repro.sharding.serving import ShardQueryServer
+
+__all__ = [
+    "ShardedDatabase",
+    "ShardedOutcome",
+    "ShardStatus",
+    "ShardFsckReport",
+    "ShardManifest",
+    "ShardSpec",
+    "ShardQueryServer",
+    "build_shards",
+    "build_subtree_shards",
+    "fsck_shards",
+    "kway_merge",
+    "load_manifest",
+    "partition_names",
+]

@@ -1,0 +1,54 @@
+"""K-way tournament merge over per-shard result streams.
+
+Shard results arrive as independently ordered streams of
+``(document, sort_bytes)`` pairs — FLEX keys already serialized to their
+order-preserving byte encoding, so global document order is exactly
+lexicographic byte order and the merge never decodes a key.  A binary
+heap keyed on the head of each stream yields the global order in
+``O(total · log shards)`` comparisons while holding only one buffered
+block per shard (the streams are lazy; upstream credit-window flow
+control bounds what sits behind them).
+
+Collection partitioning assigns whole documents to shards and subtree
+partitioning hands each shard a disjoint owned key range, so duplicates
+across streams indicate a partitioning bug rather than a normal overlap;
+``dedup=True`` (the default) drops exact adjacent duplicates anyway,
+mirroring the set semantics of the unsharded engine's union merge.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, TypeVar
+
+Item = TypeVar("Item")
+
+
+def kway_merge(
+    streams: Iterable[Iterator[Item]], dedup: bool = True
+) -> Iterator[Item]:
+    """Merge already-sorted streams into one sorted stream.
+
+    Items must be mutually comparable (the coordinator feeds
+    ``(doc_name_bytes, sort_bytes)`` tuples).  With ``dedup`` the merged
+    stream drops items equal to their predecessor — cheap because equal
+    items are adjacent in merged order.
+    """
+    heap: list[tuple[Item, int, Iterator[Item]]] = []
+    for order, stream in enumerate(iter(s) for s in streams):
+        first = next(stream, None)
+        if first is not None:
+            heap.append((first, order, stream))
+    heapq.heapify(heap)
+    previous: Item | None = None
+    while heap:
+        item, order, stream = heap[0]
+        successor = next(stream, None)
+        if successor is None:
+            heapq.heappop(heap)
+        else:
+            heapq.heapreplace(heap, (successor, order, stream))
+        if dedup and previous is not None and item == previous:
+            continue
+        previous = item
+        yield item

@@ -1,0 +1,125 @@
+"""Framed pipe protocol between the shard coordinator and its workers.
+
+The scatter-gather layer deliberately avoids pickle on the wire: a worker
+is a separate trust and failure domain, and the protocol must stay
+debuggable and version-checkable after a crash.  Every message is one
+``Connection.send_bytes`` frame tagged by its first byte:
+
+* ``J`` — a UTF-8 JSON control message (``{"op": ..., "id": ...}``),
+* ``K`` — a key block: ``u32 request id | u32 count`` followed by
+  ``count`` entries of ``u16 length | sort_bytes``.  Key blocks carry
+  result keys as their order-preserving byte encoding — exactly what the
+  coordinator's k-way merge compares, so nothing is decoded on the hot
+  path.
+
+Control messages (coordinator → worker)::
+
+    {"op": "query", "id": n, "expr": ..., "mode": "keys"|"count",
+     "timeout_ms": ..., "max_pages": ..., "max_results": ...,
+     "block": N, "window": W}
+    {"op": "credit", "id": n, "n": k}      # flow control: k more blocks
+    {"op": "cancel", "id": n}
+    {"op": "explain", "id": n, "expr": ...}
+    {"op": "ping"} / {"op": "close"}
+
+and (worker → coordinator)::
+
+    {"op": "doc", "id": n, "doc": name}    # blocks that follow belong here
+    {"op": "doc_error", "id": n, "doc": name, "error": type, "message": m,
+     "partial": bool}
+    {"op": "count_result", "id": n, "total": c, "per_doc": {...}}
+    {"op": "done", "id": n, "counters": {...}, "epochs": {...}}
+    {"op": "explained", "id": n, "text": ...} / {"op": "pong"}
+
+Flow control is a credit window: a worker may have at most ``window``
+unconsumed key blocks in flight and then blocks until the coordinator
+acknowledges one with a credit — so no shard's full result is ever
+buffered at the coordinator, however skewed the shard sizes are.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Iterable
+
+from repro.errors import ShardProtocolError
+
+#: Protocol version, checked in the worker hello; bumped on any frame
+#: format change so a stale worker binary fails loudly, not subtly.
+PROTOCOL_VERSION = 1
+
+JSON_TAG = 0x4A  # 'J'
+BLOCK_TAG = 0x4B  # 'K'
+
+#: Default number of key blocks a worker may send before waiting for a
+#: credit.  Bounds coordinator-side buffering per shard at
+#: ``window * block size`` keys.
+DEFAULT_WINDOW = 8
+
+#: Default keys per block frame.
+DEFAULT_BLOCK_KEYS = 512
+
+
+def encode_json(payload: dict) -> bytes:
+    return b"J" + json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def encode_block(request_id: int, keys: Iterable[bytes]) -> bytes:
+    """Frame one block of ``sort_bytes`` entries."""
+    entries = list(keys)
+    chunks = [b"K", struct.pack("<II", request_id, len(entries))]
+    for key in entries:
+        if len(key) > 0xFFFF:
+            raise ShardProtocolError(f"key encoding too large: {len(key)} bytes")
+        chunks.append(struct.pack("<H", len(key)))
+        chunks.append(key)
+    return b"".join(chunks)
+
+
+def decode_frame(frame: bytes) -> tuple[str, object]:
+    """``("json", dict)`` or ``("block", (request_id, [sort_bytes...]))``."""
+    if not frame:
+        raise ShardProtocolError("empty frame")
+    tag = frame[0]
+    if tag == JSON_TAG:
+        try:
+            payload = json.loads(frame[1:].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ShardProtocolError(f"bad JSON frame: {error}") from error
+        if not isinstance(payload, dict) or "op" not in payload:
+            raise ShardProtocolError("JSON frame must be an object with an 'op'")
+        return "json", payload
+    if tag == BLOCK_TAG:
+        try:
+            request_id, count = struct.unpack_from("<II", frame, 1)
+            keys: list[bytes] = []
+            offset = 9
+            for _ in range(count):
+                (length,) = struct.unpack_from("<H", frame, offset)
+                offset += 2
+                end = offset + length
+                if end > len(frame):
+                    raise ShardProtocolError("key block runs past frame end")
+                keys.append(frame[offset:end])
+                offset = end
+            if offset != len(frame):
+                raise ShardProtocolError(
+                    f"key block has {len(frame) - offset} trailing bytes"
+                )
+        except struct.error as error:
+            raise ShardProtocolError(f"bad key block frame: {error}") from error
+        return "block", (request_id, keys)
+    raise ShardProtocolError(f"unknown frame tag {tag:#04x}")
+
+
+def send_json(conn, payload: dict) -> None:
+    conn.send_bytes(encode_json(payload))
+
+
+def send_block(conn, request_id: int, keys: Iterable[bytes]) -> None:
+    conn.send_bytes(encode_block(request_id, keys))
+
+
+def recv_frame(conn) -> tuple[str, object]:
+    return decode_frame(conn.recv_bytes())

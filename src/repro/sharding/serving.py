@@ -1,0 +1,113 @@
+"""Serving bridge: a sharded database behind the TCP frontend.
+
+:class:`ShardQueryServer` gives a :class:`ShardedDatabase` the same
+evaluate/stats surface that :class:`repro.serving.frontend.TcpFrontend`
+expects from a :class:`repro.serving.server.QueryServer`, so ``repro
+serve --shard-dir`` fronts a whole worker fleet with the existing line
+protocol — clients cannot tell whether one engine or eight processes
+answered.
+
+The coordinator's pipes are single-owner, so fleet evaluation is
+serialized under a lock; concurrency *within* a query comes from the
+worker processes.  Failures keep ``on_error="capture"`` semantics: a
+crashed worker or a per-document error surfaces as a typed, partial
+:class:`~repro.serving.server.QueryOutcome` instead of a hung socket.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ReproError, ServerClosedError
+from repro.serving.server import QueryOutcome
+from repro.sharding.coordinator import ShardedDatabase, ShardedOutcome
+
+
+class ShardQueryServer:
+    """Adapts a :class:`ShardedDatabase` to the serving frontends."""
+
+    def __init__(self, database: ShardedDatabase):
+        self.database = database
+        self._lock = threading.Lock()
+        self._closed = False
+        self._served = 0
+
+    # -- QueryServer surface -------------------------------------------------
+
+    def evaluate(
+        self,
+        expression: str,
+        timeout_ms: float | None = None,
+        max_pages: int | None = None,
+        max_results: int | None = None,
+        on_error: str = "capture",
+        **_ignored,
+    ) -> QueryOutcome:
+        started = time.monotonic()
+        if self._closed:
+            error = ServerClosedError("shard server is closed")
+            if on_error == "raise":
+                raise error
+            return QueryOutcome(expression=expression, ok=False, error=error)
+        queued = time.monotonic()
+        with self._lock:
+            queued_s = time.monotonic() - queued
+            try:
+                outcome = self.database.evaluate(
+                    expression,
+                    timeout_ms=timeout_ms,
+                    max_pages=max_pages,
+                    max_results=max_results,
+                    on_error="capture",
+                )
+            except ReproError as error:
+                if on_error == "raise":
+                    raise
+                return QueryOutcome(
+                    expression=expression,
+                    ok=False,
+                    error=error,
+                    queued_s=queued_s,
+                    service_s=time.monotonic() - started,
+                )
+            self._served += 1
+        return self._to_outcome(outcome, queued_s, started, on_error)
+
+    def _to_outcome(
+        self,
+        outcome: ShardedOutcome,
+        queued_s: float,
+        started: float,
+        on_error: str,
+    ) -> QueryOutcome:
+        error = outcome.first_error()
+        if error is not None and on_error == "raise":
+            raise error
+        return QueryOutcome(
+            expression=outcome.expression,
+            ok=outcome.ok,
+            epoch=0,  # shard stores are immutable once built
+            result=outcome if outcome.ok or outcome.rows else None,
+            error=error,
+            partial=outcome.partial,
+            queued_s=queued_s,
+            service_s=time.monotonic() - started,
+        )
+
+    def stats(self) -> dict:
+        data = self.database.stats()
+        data["served"] = self._served
+        data["closed"] = self._closed
+        return data
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self.database.close()
+
+    def __enter__(self) -> "ShardQueryServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,326 @@
+"""The shard worker process: one process, one shard's stores and engines.
+
+:func:`worker_main` is the child-process entry point.  It opens the
+shard's crash-safe ``.mass`` files, builds one
+:class:`~repro.engine.engine.VamanaEngine` per document (each with its
+own plan cache, warmed across queries), and serves the coordinator's
+framed pipe protocol (:mod:`repro.sharding.protocol`) until told to
+close.
+
+Per query the worker:
+
+* arms one :class:`~repro.resilience.guard.QueryGuard` for the whole
+  shard (the coordinator's per-shard budget — deadline, page and result
+  caps all enforce locally, inside this process),
+* evaluates the expression against each of its documents, streaming
+  result keys as ``sort_bytes`` blocks under credit-window flow control
+  (at most ``window`` unacknowledged blocks in flight),
+* filters to its owned key range when the shard is a subtree slice, so
+  replicated spine nodes are reported by exactly one shard,
+* captures per-document failures as typed ``doc_error`` messages —
+  ``on_error="capture"`` semantics, one bad document never poisons the
+  shard — and finishes with a ``done`` message carrying the shard's
+  aggregated work counters for the coordinator's fleet metrics.
+
+Chaos: the ``shard.worker.crash`` fault site consults a seeded
+:class:`~repro.resilience.faults.FaultInjector` at the top of query
+handling and *hard-kills the process* (``os._exit``) when it fires —
+exercising the coordinator's crash capture exactly the way a real worker
+death would, with no Python cleanup softening the blow.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+from repro.engine.engine import VamanaEngine
+from repro.errors import ReproError
+from repro.mass.persistence import open_store
+from repro.resilience.faults import FaultInjector
+from repro.resilience.guard import QueryGuard
+from repro.sharding import protocol
+from repro.sharding.protocol import recv_frame, send_block, send_json
+
+#: The chaos site consulted once per query; when it fires the process
+#: dies with ``os._exit`` — no exception, no flush, no goodbye.
+CRASH_SITE = "shard.worker.crash"
+
+
+class _Cancelled(Exception):
+    """Internal: the coordinator cancelled the in-flight request."""
+
+
+class _ShardWorker:
+    def __init__(self, conn, config: dict):
+        self.conn = conn
+        self.shard_id = int(config["shard_id"])
+        directory = config["directory"]
+        lo = config.get("range_lo")
+        hi = config.get("range_hi")
+        self.range_lo: bytes | None = bytes.fromhex(lo) if lo else None
+        self.range_hi: bytes | None = bytes.fromhex(hi) if hi else None
+        self.injector: FaultInjector | None = None
+        rates = config.get("fault_rates") or {}
+        if rates:
+            self.injector = FaultInjector(
+                seed=int(config.get("fault_seed", 0)),
+                rates=dict(rates),
+                max_failures=config.get("fault_max_failures"),
+            )
+        self._directory = directory
+        self._documents = sorted(
+            config["documents"], key=lambda entry: entry["name"]
+        )
+        # Stores open lazily on the first query so the hello handshake is
+        # instant no matter how large the shard is.
+        self._engines: list[tuple[str, VamanaEngine]] | None = None
+
+    @property
+    def engines(self) -> list[tuple[str, VamanaEngine]]:
+        if self._engines is None:
+            engines = []
+            for doc in self._documents:
+                store = open_store(os.path.join(self._directory, doc["file"]))
+                store.name = doc["name"]
+                engines.append((doc["name"], VamanaEngine(store)))
+            self._engines = engines
+        return self._engines
+
+    # -- chaos ---------------------------------------------------------------
+
+    def _maybe_crash(self) -> None:
+        if self.injector is None:
+            return
+        self.injector.accesses[CRASH_SITE] += 1
+        if self.injector.should_fail(CRASH_SITE):
+            self.injector.failures[CRASH_SITE] += 1
+            os._exit(17)
+
+    # -- owned-range filtering ----------------------------------------------
+
+    def _owns(self, sort_bytes: bytes) -> bool:
+        if self.range_lo is not None and sort_bytes < self.range_lo:
+            return False
+        if self.range_hi is not None and sort_bytes >= self.range_hi:
+            return False
+        return True
+
+    # -- serving loop --------------------------------------------------------
+
+    def run(self) -> None:
+        send_json(
+            self.conn,
+            {
+                "op": "hello",
+                "shard": self.shard_id,
+                "version": protocol.PROTOCOL_VERSION,
+                "pid": os.getpid(),
+                "documents": [doc["name"] for doc in self._documents],
+            },
+        )
+        # Open the shard's stores now, after the (instant) hello but
+        # before serving: a pong therefore certifies the shard is warm,
+        # and query deadlines never pay for store deserialization.
+        self.engines
+        while True:
+            try:
+                kind, payload = recv_frame(self.conn)
+            except (EOFError, OSError):
+                return  # coordinator went away; nothing left to serve
+            if kind != "json":
+                continue  # stray key block: only workers send those
+            op = payload.get("op")
+            if op == "close":
+                send_json(self.conn, {"op": "closed"})
+                return
+            if op == "ping":
+                send_json(self.conn, {"op": "pong", "shard": self.shard_id})
+            elif op == "query":
+                self._handle_query(payload)
+            elif op == "explain":
+                self._handle_explain(payload)
+            # credit / cancel for a finished request: stale, ignore.
+
+    # -- queries -------------------------------------------------------------
+
+    def _handle_query(self, payload: dict) -> None:
+        request_id = int(payload["id"])
+        self._maybe_crash()
+        for _, engine in self.engines:
+            engine.store.reset_metrics()
+        guard = None
+        if any(
+            payload.get(knob) is not None
+            for knob in ("timeout_ms", "max_pages", "max_results")
+        ):
+            guard = QueryGuard(
+                timeout_ms=payload.get("timeout_ms"),
+                max_pages=payload.get("max_pages"),
+                max_results=payload.get("max_results"),
+            )
+        try:
+            if payload.get("mode") == "count":
+                self._run_count(request_id, payload, guard)
+            else:
+                self._run_keys(request_id, payload, guard)
+        except _Cancelled:
+            send_json(self.conn, {"op": "done", "id": request_id, "cancelled": True})
+            return
+        send_json(
+            self.conn,
+            {
+                "op": "done",
+                "id": request_id,
+                "counters": self._fleet_counters(),
+                "epochs": {
+                    name: engine.store.epoch for name, engine in self.engines
+                },
+            },
+        )
+
+    def _run_keys(self, request_id: int, payload: dict, guard) -> None:
+        expr = payload["expr"]
+        block_keys = int(payload.get("block") or protocol.DEFAULT_BLOCK_KEYS)
+        window = int(payload.get("window") or protocol.DEFAULT_WINDOW)
+        for name, engine in self.engines:
+            try:
+                result = engine.evaluate(expr, guard=guard)
+            except ReproError as error:
+                send_json(
+                    self.conn,
+                    {
+                        "op": "doc_error",
+                        "id": request_id,
+                        "doc": name,
+                        "error": type(error).__name__,
+                        "message": str(error),
+                        "partial": False,
+                    },
+                )
+                continue
+            send_json(self.conn, {"op": "doc", "id": request_id, "doc": name})
+            owned = (
+                key.sort_bytes
+                for key in result.keys
+                if self._owns(key.sort_bytes)
+            )
+            self._stream_blocks(request_id, owned, block_keys, window)
+
+    def _stream_blocks(
+        self, request_id: int, keys: Iterator[bytes], block_keys: int, window: int
+    ) -> None:
+        """Send key blocks, never more than ``window`` unacknowledged."""
+        credits = window
+        block: list[bytes] = []
+
+        def flush() -> None:
+            nonlocal credits
+            while credits <= 0:
+                credits += self._absorb_control(request_id)
+            send_block(self.conn, request_id, block)
+            credits -= 1
+            block.clear()
+
+        for sort_bytes in keys:
+            block.append(sort_bytes)
+            if len(block) >= block_keys:
+                while self.conn.poll(0):  # sweep pending credits/cancel
+                    credits += self._absorb_control(request_id)
+                flush()
+        if block:
+            flush()
+
+    def _absorb_control(self, request_id: int) -> int:
+        """Block for one control message; return the credits it granted."""
+        try:
+            kind, payload = recv_frame(self.conn)
+        except (EOFError, OSError):
+            raise _Cancelled() from None
+        if kind != "json":
+            return 0
+        op = payload.get("op")
+        if op == "cancel" and payload.get("id") == request_id:
+            raise _Cancelled()
+        if op == "close":
+            os._exit(0)
+        if op == "credit" and payload.get("id") == request_id:
+            return int(payload.get("n", 1))
+        return 0
+
+    def _run_count(self, request_id: int, payload: dict, guard) -> None:
+        expr = payload["expr"]
+        inner = payload.get("inner")
+        per_doc: dict[str, float] = {}
+        errors = []
+        for name, engine in self.engines:
+            try:
+                if inner and (self.range_lo is not None or self.range_hi is not None):
+                    # A subtree slice must count only the keys it owns —
+                    # the replicated spine would otherwise be counted by
+                    # every shard.
+                    result = engine.evaluate(inner, guard=guard)
+                    per_doc[name] = float(
+                        sum(1 for key in result.keys if self._owns(key.sort_bytes))
+                    )
+                else:
+                    value = engine.evaluate_value(expr)
+                    per_doc[name] = float(value if not isinstance(value, list) else len(value))
+            except ReproError as error:
+                errors.append(
+                    {
+                        "doc": name,
+                        "error": type(error).__name__,
+                        "message": str(error),
+                    }
+                )
+        send_json(
+            self.conn,
+            {
+                "op": "count_result",
+                "id": request_id,
+                "total": sum(per_doc.values()),
+                "per_doc": per_doc,
+                "errors": errors,
+            },
+        )
+
+    # -- explain / metrics ----------------------------------------------------
+
+    def _handle_explain(self, payload: dict) -> None:
+        request_id = int(payload["id"])
+        sections = []
+        for name, engine in self.engines:
+            try:
+                sections.append(f"document {name!r}:\n{engine.explain(payload['expr'])}")
+            except ReproError as error:
+                sections.append(f"document {name!r}: {type(error).__name__}: {error}")
+        send_json(
+            self.conn,
+            {
+                "op": "explained",
+                "id": request_id,
+                "text": "\n\n".join(sections) or "(empty shard)",
+            },
+        )
+
+    def _fleet_counters(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for _, engine in self.engines:
+            for counter, value in engine.store.io_snapshot().items():
+                if isinstance(value, (int, float)):
+                    totals[counter] = totals.get(counter, 0) + int(value)
+        return totals
+
+
+def worker_main(conn, config: dict) -> None:
+    """Child-process entry point (must stay module-level: spawn-safe)."""
+    try:
+        _ShardWorker(conn, config).run()
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -1,0 +1,44 @@
+"""Shared sharding fixtures: a small multi-document collection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.database import Database
+from repro.mass.loader import load_xml
+from repro.xmark.generator import generate_document
+
+#: Deliberately non-XMark: pruning should isolate its queries.
+LIBRARY_DOC = (
+    "<library><shelf><book><title>One</title></book>"
+    "<book><title>Two</title></book></shelf></library>"
+)
+
+
+@pytest.fixture(scope="session")
+def collection_stores():
+    """Four small XMark documents plus one odd document."""
+    stores = []
+    for index in range(4):
+        name = f"auction-{index}"
+        xml = generate_document(factor=0.002, seed=100 + index)
+        stores.append((name, load_xml(xml, name=name)))
+    stores.append(("library", load_xml(LIBRARY_DOC, name="library")))
+    return stores
+
+
+@pytest.fixture(scope="session")
+def collection_db(collection_stores):
+    """The unsharded reference: same documents in one in-process Database."""
+    db = Database()
+    for name, store in collection_stores:
+        db.add_store(name, store)
+    return db
+
+
+def reference_rows(db, expression):
+    """The unsharded engine's answer as merged (document, sort_bytes) rows."""
+    rows = []
+    for name, result in sorted(db.evaluate(expression).items()):
+        rows.extend((name, key.sort_bytes) for key in result.keys)
+    return rows

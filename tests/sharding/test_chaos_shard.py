@@ -1,0 +1,143 @@
+"""Worker-death chaos: a killed shard must become a typed partial result.
+
+The gather loop's contract: a worker that dies mid-query (hard kill or
+the seeded ``shard.worker.crash`` site, which ``os._exit``s the process)
+surfaces as a :class:`~repro.errors.ShardWorkerCrashError` captured in
+that shard's status — within the deadline, with the surviving shards'
+rows intact, with the dead worker respawned for the next query, and with
+no child process left after ``close()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.errors import ShardWorkerCrashError
+from repro.sharding import ShardedDatabase, build_shards
+
+
+@pytest.fixture()
+def shard_dir(collection_stores, tmp_path):
+    directory = str(tmp_path / "shards")
+    build_shards(collection_stores, directory, 4, "round_robin")
+    return directory
+
+
+def _own_children():
+    return multiprocessing.active_children()
+
+
+class TestInjectedCrash:
+    def test_crash_site_yields_typed_partial_outcome(self, shard_dir):
+        db = ShardedDatabase(
+            shard_dir,
+            fault_rates={"shard.worker.crash": 0.5},
+            fault_seed=2,
+        )
+        try:
+            started = time.monotonic()
+            outcome = db.evaluate("//person/name", timeout_ms=5000)
+            elapsed = time.monotonic() - started
+            assert elapsed < 8.0, "gather loop hung on the dead worker"
+            crashed = [
+                status
+                for status in outcome.shard_status
+                if isinstance(status.error, ShardWorkerCrashError)
+            ]
+            survivors = [
+                status for status in outcome.shard_status if status.state == "ok"
+            ]
+            assert crashed, "seeded chaos fired no crash"
+            assert survivors, "seeded chaos killed every shard"
+            assert outcome.partial and not outcome.ok
+            assert outcome.rows, "surviving shards' rows were lost"
+            assert db.stats()["crashes_captured"] >= len(crashed)
+        finally:
+            db.close()
+
+    def test_crashed_worker_is_respawned(self, shard_dir):
+        db = ShardedDatabase(
+            shard_dir,
+            fault_rates={"shard.worker.crash": 1.0},
+            fault_seed=0,
+        )
+        try:
+            first = db.evaluate("//person/name", timeout_ms=5000)
+            assert first.partial
+            assert all(
+                isinstance(status.error, ShardWorkerCrashError)
+                for status in first.shard_status
+            )
+            # Every worker crashed and was respawned: the fleet answers
+            # pings (the crash site only arms on query dispatch), and a
+            # second query is captured again rather than hanging.
+            assert all(db.ping().values())
+            stats = db.stats()
+            assert stats["respawns"] >= db.manifest.shard_count
+            assert stats["workers_alive"] == db.manifest.shard_count
+            second = db.evaluate("//person/name", timeout_ms=5000)
+            assert second.partial and second.failures
+        finally:
+            db.close()
+
+
+class TestHardKill:
+    def test_sigkilled_worker_is_captured_not_hung(self, shard_dir):
+        db = ShardedDatabase(shard_dir)
+        try:
+            victim = db.workers[1]
+            victim.process.kill()
+            victim.process.join(timeout=5)
+            started = time.monotonic()
+            outcome = db.evaluate("//person/name", timeout_ms=5000)
+            elapsed = time.monotonic() - started
+            assert elapsed < 8.0
+            assert outcome.rows, "other shards must still answer"
+            # The dead worker was respawned before (or after) the query;
+            # either way the next query is whole again.
+            followup = db.evaluate("//person/name", timeout_ms=5000)
+            assert followup.ok, followup.describe()
+        finally:
+            db.close()
+
+    def test_dead_worker_is_healed_before_scatter(self, shard_dir):
+        db = ShardedDatabase(shard_dir)
+        try:
+            # A worker found dead *before* the scatter is respawned
+            # transparently: the query comes back whole, not partial.
+            victim = db.workers[0]
+            victim.process.kill()
+            victim.process.join(timeout=5)
+            outcome = db.evaluate("//person/name", timeout_ms=5000)
+            assert outcome.ok, outcome.describe()
+            assert db.stats()["respawns"] >= 1
+        finally:
+            db.close()
+
+
+class TestNoZombies:
+    def test_close_leaves_no_children(self, shard_dir):
+        db = ShardedDatabase(shard_dir)
+        db.evaluate("//person/name")
+        assert db.stats()["workers_alive"] == 4
+        db.close()
+        deadline = time.monotonic() + 5.0
+        while _own_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not _own_children(), "worker processes survived close()"
+
+    def test_close_after_crashes_leaves_no_children(self, shard_dir):
+        db = ShardedDatabase(
+            shard_dir,
+            fault_rates={"shard.worker.crash": 1.0},
+            fault_seed=1,
+        )
+        db.evaluate("//person/name", timeout_ms=5000)
+        db.close()
+        deadline = time.monotonic() + 5.0
+        while _own_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not _own_children()

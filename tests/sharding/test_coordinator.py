@@ -1,0 +1,201 @@
+"""Scatter-gather coordinator: differential identity, pruning, budgets.
+
+The acceptance bar: for every worker count, the sharded answer must be
+*byte-identical* to the unsharded :class:`~repro.engine.database.Database`
+— same documents, same keys, same order — and ``count()`` must sum
+exactly.  Routing evidence (pruned/contacted shards) and fleet-metric
+aggregation ride on the same fixtures.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import BudgetExceededError, ShardingError
+from repro.sharding import ShardedDatabase, build_shards, build_subtree_shards
+from repro.sharding.coordinator import main_path_names, split_count_expression
+
+from tests.sharding.conftest import reference_rows
+
+QUERIES = [
+    "//person/address",
+    "//watches/watch/ancestor::person",
+    "/descendant::name/parent::*/self::person/address",
+    "//itemref/following-sibling::price/parent::*",
+    "//province[text()='Vermont']/ancestor::person",
+    "//open_auction//description//text()",  # deep predicate-free chain
+    "/site/people/person[@id]/name",
+]
+
+
+@pytest.fixture(scope="module", params=[1, 2, 4, 8])
+def sharded(request, collection_stores, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp(f"shards-{request.param}"))
+    build_shards(collection_stores, directory, request.param, "round_robin")
+    db = ShardedDatabase(directory)
+    yield db
+    db.close()
+
+
+class TestDifferentialIdentity:
+    @pytest.mark.parametrize("expression", QUERIES)
+    def test_rows_byte_identical_to_unsharded(
+        self, sharded, collection_db, expression
+    ):
+        outcome = sharded.evaluate(expression)
+        assert outcome.ok, outcome.describe()
+        assert outcome.rows == reference_rows(collection_db, expression)
+
+    @pytest.mark.parametrize(
+        "expression", ["count(//item)", "count(//person)", "count(//book)"]
+    )
+    def test_counts_sum_exactly(self, sharded, collection_db, expression):
+        outcome = sharded.evaluate(expression)
+        assert outcome.mode == "count"
+        inner = expression[len("count(") : -1]
+        expected = sum(
+            len(result) for result in collection_db.evaluate(inner).values()
+        )
+        assert outcome.count == expected
+        assert sum(outcome.per_document_counts.values()) == expected
+
+    def test_random_hash_assignment_also_identical(
+        self, collection_stores, collection_db, tmp_path
+    ):
+        rng = random.Random(5)
+        for trial in range(3):
+            shards = rng.choice([2, 3, 5])
+            directory = str(tmp_path / f"t{trial}")
+            build_shards(collection_stores, directory, shards, "hash")
+            with ShardedDatabase(directory) as db:
+                for expression in QUERIES[:3]:
+                    assert db.evaluate(expression).rows == reference_rows(
+                        collection_db, expression
+                    )
+
+
+class TestSubtreeIdentity:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_range_partitioned_document_is_identical(
+        self, xmark_store, tmp_path, shards
+    ):
+        from repro.engine.engine import VamanaEngine
+
+        engine = VamanaEngine(xmark_store)
+        directory = str(tmp_path / f"sub{shards}")
+        build_subtree_shards(xmark_store, directory, shards)
+        with ShardedDatabase(directory) as db:
+            for expression in [
+                "/site/people/person/name",
+                "//item/name",
+                "//person[@id]",
+            ]:
+                expected = [
+                    (xmark_store.name, key.sort_bytes)
+                    for key in engine.evaluate(expression).keys
+                ]
+                assert db.evaluate(expression).rows == expected
+            count = db.evaluate("count(//item)")
+            assert count.count == engine.evaluate_value("count(//item)")
+
+
+class TestRouting:
+    def test_pruning_isolates_the_odd_document(self, sharded):
+        outcome = sharded.evaluate("//book/title")
+        assert outcome.ok
+        assert {doc for doc, _ in outcome.rows} == {"library"}
+        assert outcome.shards_contacted == 1
+        assert outcome.shards_contacted + outcome.shards_pruned == (
+            sharded.manifest.shard_count
+        )
+
+    def test_unsatisfiable_query_contacts_nobody(self, sharded):
+        outcome = sharded.evaluate("//no_such_element_anywhere")
+        assert outcome.ok
+        assert outcome.rows == []
+        assert outcome.shards_contacted == 0
+
+    def test_count_query_prunes_too(self, sharded):
+        outcome = sharded.evaluate("count(//book)")
+        assert outcome.count == 2
+        assert outcome.shards_contacted <= 1
+
+    def test_route_metadata_present(self, sharded):
+        outcome = sharded.evaluate("//person/address")
+        assert outcome.route in ("scatter", "single")
+        assert outcome.route_reason
+        assert "shards" in outcome.describe()
+
+
+class TestHelpers:
+    def test_split_count_expression(self):
+        assert split_count_expression("count(//a/b)") is not None
+        assert split_count_expression("//a/b") is None
+        assert split_count_expression("count(//a) + 1") is None
+        assert split_count_expression("sum(//a)") is None
+
+    def test_main_path_names(self):
+        assert main_path_names("/site/people/person") == [
+            ["site", "people", "person"]
+        ]
+        assert main_path_names("//person[@id]/name") == [["person", "name"]]
+        branches = main_path_names("//a | //b")
+        assert sorted(branches) == [["a"], ["b"]]
+        assert main_path_names("//person/@id") == [["person", "@id"]]
+
+
+class TestFleetMetrics:
+    def test_counters_aggregate_across_workers(self, sharded):
+        outcome = sharded.evaluate("//person/address")
+        if sharded.manifest.shard_count == 1:
+            assert len(outcome.per_shard_counters) == 1
+        assert outcome.counters.get("logical_reads", 0) > 0
+        assert sum(
+            counters.get("logical_reads", 0)
+            for counters in outcome.per_shard_counters.values()
+        ) == outcome.counters["logical_reads"]
+        stats = sharded.stats()
+        assert stats["fleet_counters"]["logical_reads"] > 0
+        assert stats["workers_alive"] == sharded.manifest.shard_count
+
+    def test_explain_reports_route_and_plans(self, sharded):
+        text = sharded.explain("//person/address")
+        assert "route:" in text
+        assert "shard" in text
+
+
+class TestBudgetsAndErrors:
+    def test_page_budget_captured_per_document(self, sharded):
+        outcome = sharded.evaluate("//person/address", max_pages=1)
+        assert not outcome.ok
+        assert outcome.partial
+        names = {name for status in outcome.failures
+                 for _, name, _ in status.doc_errors}
+        assert "BudgetExceededError" in names
+
+    def test_on_error_raise_propagates_typed(self, sharded):
+        with pytest.raises(BudgetExceededError):
+            sharded.evaluate("//person/address", max_pages=1, on_error="raise")
+
+    def test_closed_database_refuses_queries(
+        self, collection_stores, tmp_path
+    ):
+        directory = str(tmp_path / "closing")
+        build_shards(collection_stores, directory, 2, "round_robin")
+        db = ShardedDatabase(directory)
+        db.close()
+        db.close()  # idempotent
+        with pytest.raises(ShardingError):
+            db.evaluate("//person")
+
+
+class TestDatabaseBridge:
+    def test_to_sharded_round_trip(self, collection_db, tmp_path):
+        directory = str(tmp_path / "bridge")
+        with collection_db.to_sharded(directory, shards=3) as db:
+            expression = "//person/name"
+            assert db.evaluate(expression).rows == reference_rows(
+                collection_db, expression
+            )

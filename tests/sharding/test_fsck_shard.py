@@ -1,0 +1,78 @@
+"""fsck over shard directories: per-shard summary, damage detection, CLI."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.resilience import corrupt_file
+from repro.sharding import build_shards, fsck_shards
+
+
+@pytest.fixture()
+def shard_dir(collection_stores, tmp_path):
+    directory = str(tmp_path / "shards")
+    build_shards(collection_stores, directory, 3, "round_robin")
+    return directory
+
+
+def _first_store_file(directory):
+    for root, _dirs, files in os.walk(directory):
+        for name in sorted(files):
+            if name.endswith(".mass"):
+                return os.path.join(root, name)
+    raise AssertionError("no shard store files found")
+
+
+class TestFsckShards:
+    def test_healthy_directory_is_ok(self, shard_dir):
+        report = fsck_shards(shard_dir)
+        assert report.ok
+        assert not report.missing
+        assert len({shard for shard, _, _ in report.reports}) == 3
+        text = report.describe()
+        assert "shard" in text and "ok" in text
+
+    def test_corruption_is_detected_and_attributed(self, shard_dir):
+        path = _first_store_file(shard_dir)
+        corrupt_file(path, [os.path.getsize(path) // 2])
+        report = fsck_shards(shard_dir)
+        assert not report.ok
+        damaged_paths = [item[1] for item in report.damaged]
+        assert os.path.relpath(path, shard_dir) in damaged_paths
+        assert "damaged" in report.describe().lower()
+
+    def test_missing_file_is_reported(self, shard_dir):
+        path = _first_store_file(shard_dir)
+        os.remove(path)
+        report = fsck_shards(shard_dir)
+        assert not report.ok
+        missing_files = [item[1] for item in report.missing]
+        assert os.path.relpath(path, shard_dir) in missing_files
+
+    def test_missing_manifest_raises(self, tmp_path):
+        from repro.errors import ShardingError
+
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ShardingError):
+            fsck_shards(str(empty))
+
+
+class TestFsckCli:
+    def test_cli_healthy_directory_exit_zero(self, shard_dir, capsys):
+        assert main(["fsck", shard_dir]) == 0
+        output = capsys.readouterr().out
+        assert "shard" in output
+
+    def test_cli_damaged_directory_exit_one(self, shard_dir, capsys):
+        path = _first_store_file(shard_dir)
+        corrupt_file(path, [os.path.getsize(path) // 2])
+        assert main(["fsck", shard_dir]) == 1
+
+    def test_cli_rejects_salvage_for_directories(self, shard_dir, tmp_path, capsys):
+        out = str(tmp_path / "salvaged")
+        assert main(["fsck", shard_dir, "--salvage", out]) == 2
+        assert "salvage" in capsys.readouterr().err

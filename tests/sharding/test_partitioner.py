@@ -1,0 +1,163 @@
+"""Partitioner: placement schemes, manifest round-trip, subtree splits."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ShardingError
+from repro.mass.flexkey import decode_sort_bytes
+from repro.mass.loader import load_xml
+from repro.mass.persistence import open_store
+from repro.sharding import (
+    build_shards,
+    build_subtree_shards,
+    load_manifest,
+    partition_names,
+)
+from repro.sharding.partitioner import MANIFEST_NAME
+
+
+class TestPartitionNames:
+    def test_round_robin_balances_exactly(self):
+        names = [f"doc{i}" for i in range(10)]
+        placement = partition_names(names, 4, "round_robin")
+        sizes = [list(placement.values()).count(s) for s in range(4)]
+        assert sorted(sizes) == [2, 2, 3, 3]
+
+    def test_hash_is_stable_across_calls(self):
+        names = [f"doc{i}" for i in range(50)]
+        assert partition_names(names, 8, "hash") == partition_names(
+            names, 8, "hash"
+        )
+
+    def test_hash_ignores_input_order(self):
+        names = [f"doc{i}" for i in range(20)]
+        assert partition_names(names, 4, "hash") == partition_names(
+            list(reversed(names)), 4, "hash"
+        )
+
+    def test_rejects_bad_scheme_and_counts(self):
+        with pytest.raises(ShardingError):
+            partition_names(["a"], 0)
+        with pytest.raises(ShardingError):
+            partition_names(["a"], 2, "zigzag")
+
+
+class TestBuildShards:
+    def test_layout_and_manifest_round_trip(self, collection_stores, tmp_path):
+        directory = str(tmp_path / "shards")
+        manifest = build_shards(collection_stores, directory, 3, "round_robin")
+        assert os.path.exists(os.path.join(directory, MANIFEST_NAME))
+        loaded = load_manifest(directory)
+        assert loaded.scheme == "round_robin"
+        assert loaded.shard_count == 3
+        assert sorted(loaded.document_names()) == sorted(
+            name for name, _ in collection_stores
+        )
+        # Every named file exists and opens as a healthy store.
+        for spec in loaded.shards:
+            for doc in spec.documents:
+                store = open_store(os.path.join(directory, doc["file"]))
+                assert len(store.node_index) == doc["nodes"]
+        assert manifest.total_nodes == sum(
+            len(store.node_index) for _, store in collection_stores
+        )
+
+    def test_manifest_vocabulary_and_counts(self, collection_stores, tmp_path):
+        directory = str(tmp_path / "shards")
+        build_shards(collection_stores, directory, 2, "round_robin")
+        manifest = load_manifest(directory)
+        by_doc = dict(collection_stores)
+        for spec in manifest.shards:
+            elements = set(spec.elements)
+            for doc in spec.documents:
+                store = by_doc[doc["name"]]
+                for name in store.name_index.distinct_names():
+                    if name.startswith("@"):
+                        assert name[1:] in spec.attributes
+                    elif not name.startswith(("#", "?")):
+                        assert name in elements
+                    assert spec.name_counts[name] >= store.name_index.count(name)
+
+    def test_empty_shards_are_legal(self, tmp_path):
+        store = load_xml("<r><a/></r>", name="only")
+        directory = str(tmp_path / "shards")
+        manifest = build_shards([("only", store)], directory, 4, "hash")
+        assert manifest.shard_count == 4
+        populated = [spec for spec in manifest.shards if spec.documents]
+        assert len(populated) == 1
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        store = load_xml("<r/>", name="d")
+        with pytest.raises(ShardingError):
+            build_shards(
+                [("d", store), ("d", store)], str(tmp_path / "s"), 2
+            )
+
+    def test_hostile_document_names_stay_on_disk(self, tmp_path):
+        store = load_xml("<r><x/></r>", name="weird")
+        directory = str(tmp_path / "shards")
+        manifest = build_shards(
+            [("../../etc/passwd", store), ("a b/c", store.clone())],
+            directory,
+            1,
+        )
+        for spec in manifest.shards:
+            for doc in spec.documents:
+                path = os.path.join(directory, doc["file"])
+                assert os.path.realpath(path).startswith(
+                    os.path.realpath(directory)
+                )
+                assert os.path.exists(path)
+
+    def test_corrupt_manifest_raises_typed(self, tmp_path):
+        directory = tmp_path / "shards"
+        directory.mkdir()
+        (directory / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(ShardingError):
+            load_manifest(str(directory))
+        with pytest.raises(ShardingError):
+            load_manifest(str(tmp_path / "nowhere"))
+
+
+class TestSubtreeShards:
+    def test_ranges_cover_and_are_disjoint(self, xmark_store, tmp_path):
+        directory = str(tmp_path / "shards")
+        manifest = build_subtree_shards(xmark_store, directory, 4)
+        assert manifest.is_range_partitioned
+        edges = [spec.owned_range() for spec in manifest.shards]
+        assert edges[0][0] is None and edges[-1][1] is None
+        for (left_lo, left_hi), (right_lo, right_hi) in zip(edges, edges[1:]):
+            assert left_hi == right_lo  # half-open ranges tile the keyspace
+
+    def test_spine_replicated_and_ownership_filters(self, xmark_store, tmp_path):
+        directory = str(tmp_path / "shards")
+        manifest = build_subtree_shards(xmark_store, directory, 3)
+        for spec in manifest.shards:
+            store = open_store(os.path.join(directory, spec.documents[0]["file"]))
+            assert store.root_element().name == "site"
+        # Every original record is owned by exactly one shard.
+        total_owned = 0
+        for spec in manifest.shards:
+            lo, hi = spec.owned_range()
+            for record in xmark_store.node_index.scan(None, None):
+                blob = record.key.sort_bytes
+                if (lo is None or blob >= lo) and (hi is None or blob < hi):
+                    total_owned += 1
+        assert total_owned == len(xmark_store.node_index)
+
+    def test_split_keys_sit_at_depth_two(self, xmark_store, tmp_path):
+        directory = str(tmp_path / "shards")
+        manifest = build_subtree_shards(xmark_store, directory, 4)
+        for spec in manifest.shards[1:]:
+            lo, _ = spec.owned_range()
+            key = decode_sort_bytes(lo)
+            assert key.depth == 2  # splits align to document-element children
+
+    def test_too_many_shards_rejected(self, tmp_path):
+        store = load_xml("<r><a/><b/></r>", name="tiny")
+        with pytest.raises(ShardingError):
+            build_subtree_shards(store, str(tmp_path / "s"), 5)

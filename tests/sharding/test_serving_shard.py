@@ -1,0 +1,66 @@
+"""Serving a sharded collection over the existing TCP line protocol."""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.serving.frontend import TcpFrontend, outcome_to_wire
+from repro.sharding import ShardQueryServer, ShardedDatabase, build_shards
+
+
+@pytest.fixture(scope="module")
+def shard_server(collection_stores, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("serving-shards"))
+    build_shards(collection_stores, directory, 2, "round_robin")
+    with ShardedDatabase(directory) as db:
+        with ShardQueryServer(db) as server:
+            yield server
+
+
+class TestShardQueryServer:
+    def test_evaluate_returns_query_outcome(self, shard_server):
+        outcome = shard_server.evaluate("//person/name", timeout_ms=10_000)
+        assert outcome.ok
+        assert len(outcome.result) > 0
+        assert outcome.error is None
+        wire = outcome_to_wire(outcome)
+        assert wire["ok"] and wire["count"] == len(outcome.result)
+        assert wire["labels"]
+
+    def test_error_outcome_is_captured(self, shard_server):
+        outcome = shard_server.evaluate("//person/name", max_results=1)
+        assert not outcome.ok
+        assert outcome.partial
+        assert type(outcome.error).__name__ == "BudgetExceededError"
+
+    def test_stats_merges_server_and_fleet(self, shard_server):
+        shard_server.evaluate("//person/name")
+        stats = shard_server.stats()
+        assert stats["served"] >= 1
+        assert stats["shards"] == 2
+        assert stats["workers_alive"] == 2
+
+
+class TestTcpOverShards:
+    def test_line_protocol_end_to_end(self, shard_server):
+        with TcpFrontend(shard_server, port=0) as frontend:
+            host, port = frontend.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                stream = sock.makefile("rw", encoding="utf-8")
+                stream.write("//book/title\n")
+                stream.flush()
+                response = json.loads(stream.readline())
+                assert response["ok"] and response["count"] == 2
+                stream.write(
+                    json.dumps({"xpath": "count(//person)"}) + "\n"
+                )
+                stream.flush()
+                response = json.loads(stream.readline())
+                assert response["ok"]
+                stream.write("!stats\n")
+                stream.flush()
+                stats = json.loads(stream.readline())
+                assert stats["shards"] == 2
