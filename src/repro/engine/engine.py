@@ -412,19 +412,31 @@ class VamanaEngine:
         result.metrics.plan_cache_misses = 0 if cache_hit else 1
         return result
 
-    def evaluate_value(self, expression: str, context: FlexKey | None = None):
+    def evaluate_value(
+        self,
+        expression: str,
+        context: FlexKey | None = None,
+        guard: QueryGuard | None = None,
+    ):
         """Evaluate a general (non-node-set) XPath expression.
 
         Returns a Python bool/float/str, or a list of keys if the
-        expression turns out to be a node-set after all.
+        expression turns out to be a node-set after all.  A ``guard``
+        governs the embedded node-set evaluations exactly as in
+        :meth:`evaluate` — ``count(//a)`` under a page budget trips the
+        same :class:`~repro.errors.BudgetExceededError`.
         """
         tree = parse_xpath(expression)
         if isinstance(tree, (ast.LocationPath, ast.UnionExpr)):
-            return list(self.evaluate(expression, context=context))
+            return list(self.evaluate(expression, context=context, guard=guard))
+        if guard is not None:
+            guard.bind(self.store)
         expr = build_expr(tree)
-        evaluator = ExpressionEvaluator(self.store)
+        evaluator = ExpressionEvaluator(self.store, guard=guard)
         eval_context = EvalContext(
-            self.store, context if context is not None else FlexKey.document()
+            self.store,
+            context if context is not None else FlexKey.document(),
+            guard=guard,
         )
         value = evaluator.evaluate(expr, eval_context)
         if isinstance(value, NodeSetValue):

@@ -98,8 +98,11 @@ def revive_error(name: str, message: str) -> ReproError:
     if cls is None:
         return ExecutionError(f"{name}: {message}")
     try:
+        # Classes with structured constructors reject a bare message —
+        # TypeError for a wrong arity, ValueError when the message lands
+        # in a numeric slot (QueryTimeoutError formats timeout_ms).
         return cls(message)  # type: ignore[call-arg]
-    except TypeError:
+    except (TypeError, ValueError):
         error = cls.__new__(cls)
         Exception.__init__(error, message)
         return error
@@ -163,6 +166,181 @@ def main_path_names(expression: str) -> list[list[str]]:
                     names.append(name)
         result.append(names)
     return result
+
+
+# -- subtree-manifest safety ---------------------------------------------------
+
+#: Axes whose result set spans the whole document from any context node;
+#: a range-partitioned worker only sees its own slice, so these can
+#: never evaluate correctly shard-locally.
+_SPANNING_AXES = (ast.Axis.FOLLOWING, ast.Axis.PRECEDING)
+
+#: Axes that select among a node's siblings — broken when the context
+#: node sits at the split depth (its siblings may live on another shard).
+_SIBLING_AXES = (ast.Axis.FOLLOWING_SIBLING, ast.Axis.PRECEDING_SIBLING)
+
+#: Subtree split points sit between the document element's children, so
+#: every node at depth <= _SPLIT_DEPTH may have siblings (or positional
+#: peers) on another shard.  Complete subtrees hang below that depth.
+_SPLIT_DEPTH = 2
+
+
+def _iter_expr_nodes(node: ast.XPathNode):
+    """Every node of a predicate/expression tree, including nested paths."""
+    yield node
+    if isinstance(node, ast.LocationPath):
+        for step in node.steps:
+            yield from _iter_expr_nodes(step)
+    elif isinstance(node, ast.Step):
+        for predicate in node.predicates:
+            yield from _iter_expr_nodes(predicate)
+    elif isinstance(node, (ast.Comparison, ast.AndExpr, ast.OrExpr, ast.BinaryOp)):
+        yield from _iter_expr_nodes(node.left)
+        yield from _iter_expr_nodes(node.right)
+    elif isinstance(node, ast.Negate):
+        yield from _iter_expr_nodes(node.operand)
+    elif isinstance(node, ast.FunctionCall):
+        for arg in node.args:
+            yield from _iter_expr_nodes(arg)
+    elif isinstance(node, ast.UnionExpr):
+        for branch in node.branches:
+            yield from _iter_expr_nodes(branch)
+    elif isinstance(node, ast.PathExpr):
+        yield from _iter_expr_nodes(node.primary)
+        for predicate in node.predicates:
+            yield from _iter_expr_nodes(predicate)
+        for step in node.steps:
+            yield from _iter_expr_nodes(step)
+
+
+def _is_positional(predicate: ast.XPathNode) -> bool:
+    """A bare number, or any ``position()``/``last()`` use inside."""
+    if isinstance(predicate, ast.NumberLiteral):
+        return True
+    return any(
+        isinstance(node, ast.FunctionCall) and node.name in ("position", "last")
+        for node in _iter_expr_nodes(predicate)
+    )
+
+
+def _step_depths(
+    axis: ast.Axis, lo: int, hi: int | None
+) -> tuple[int, int | None]:
+    """Attainable node-depth interval after one step from ``[lo, hi]``.
+
+    ``hi=None`` means unbounded.  The analysis only needs to be sound
+    (never under-approximate the interval), not tight.
+    """
+    if axis in (ast.Axis.CHILD, ast.Axis.ATTRIBUTE, ast.Axis.NAMESPACE):
+        return lo + 1, None if hi is None else hi + 1
+    if axis is ast.Axis.DESCENDANT:
+        return lo + 1, None
+    if axis is ast.Axis.DESCENDANT_OR_SELF:
+        return lo, None
+    if axis is ast.Axis.SELF or axis in _SIBLING_AXES:
+        return lo, hi
+    if axis is ast.Axis.PARENT:
+        return max(lo - 1, 0), None if hi is None else max(hi - 1, 0)
+    if axis is ast.Axis.ANCESTOR:
+        return 0, None if hi is None else max(hi - 1, 0)
+    if axis is ast.Axis.ANCESTOR_OR_SELF:
+        return 0, hi
+    return 0, None  # following / preceding: anywhere in the document
+
+
+def _depth_may_reach_split(lo: int, hi: int | None) -> bool:
+    return lo <= _SPLIT_DEPTH and (hi is None or hi >= _SPLIT_DEPTH)
+
+
+def _scan_steps(
+    steps: tuple[ast.Step, ...], lo: int, hi: int | None, hazards: list[str]
+) -> None:
+    for step in steps:
+        axis = step.axis
+        if axis in _SPANNING_AXES:
+            hazards.append(
+                f"{axis.value}:: spans the whole document, which is split "
+                "across shards"
+            )
+        node_lo, node_hi = _step_depths(axis, lo, hi)
+        if axis in _SIBLING_AXES and _depth_may_reach_split(lo, hi):
+            hazards.append(
+                f"{axis.value}:: from a node at or above the split depth "
+                f"({_SPLIT_DEPTH}) may cross a shard boundary"
+            )
+        if any(_is_positional(predicate) for predicate in step.predicates):
+            if axis in (ast.Axis.DESCENDANT, ast.Axis.DESCENDANT_OR_SELF):
+                hazards.append(
+                    f"positional predicate on {axis.value}:: counts over the "
+                    "whole document, which is split across shards"
+                )
+            elif _depth_may_reach_split(node_lo, node_hi):
+                hazards.append(
+                    "positional predicate may select among nodes at or "
+                    f"above the split depth ({_SPLIT_DEPTH}), whose peers "
+                    "may live on another shard"
+                )
+        for predicate in step.predicates:
+            _scan_expr(predicate, node_lo, node_hi, hazards)
+        lo, hi = node_lo, node_hi
+
+
+def _scan_expr(
+    node: ast.XPathNode, lo: int, hi: int | None, hazards: list[str]
+) -> None:
+    if isinstance(node, ast.LocationPath):
+        if node.absolute:
+            _scan_steps(node.steps, 0, 0, hazards)
+        else:
+            _scan_steps(node.steps, lo, hi, hazards)
+    elif isinstance(node, (ast.Comparison, ast.AndExpr, ast.OrExpr, ast.BinaryOp)):
+        _scan_expr(node.left, lo, hi, hazards)
+        _scan_expr(node.right, lo, hi, hazards)
+    elif isinstance(node, ast.Negate):
+        _scan_expr(node.operand, lo, hi, hazards)
+    elif isinstance(node, ast.FunctionCall):
+        for arg in node.args:
+            _scan_expr(arg, lo, hi, hazards)
+    elif isinstance(node, ast.UnionExpr):
+        for branch in node.branches:
+            _scan_expr(branch, lo, hi, hazards)
+    elif isinstance(node, ast.PathExpr):
+        _scan_expr(node.primary, lo, hi, hazards)
+        # The filter's result depth is unknown: scan conservatively.
+        for predicate in node.predicates:
+            _scan_expr(predicate, 0, None, hazards)
+        _scan_steps(node.steps, 0, None, hazards)
+
+
+def subtree_hazards(expression: str) -> list[str]:
+    """Constructs that break shard-local evaluation on a subtree manifest.
+
+    Range partitioning splits one document at depth-``_SPLIT_DEPTH``
+    child boundaries, so each worker evaluates against only its slice of
+    the document element's children.  Three construct families would
+    silently merge wrong answers and are detected here (by a
+    conservative attainable-depth analysis) so the coordinator can
+    reject them instead:
+
+    * positional predicates (``[2]``, ``position()``, ``last()``) that
+      may select among nodes at or above the split depth, or that count
+      over a document-spanning axis — each shard would number its local
+      slice from 1;
+    * sibling axes from context nodes at or above the split depth — the
+      siblings may live on another shard;
+    * ``following::`` / ``preceding::`` anywhere — by definition they
+      span the whole document.
+
+    Collection-partitioned manifests never split inside a document and
+    are unaffected.  Returns human-readable reasons, empty when safe.
+    """
+    try:
+        tree = parse_xpath(expression)
+    except ReproError:
+        return []  # let evaluation surface the parse error itself
+    hazards: list[str] = []
+    _scan_expr(tree, 0, 0, hazards)
+    return hazards
 
 
 # -- outcome model -------------------------------------------------------------
@@ -434,6 +612,7 @@ class ShardedDatabase:
     ):
         self._closed = False
         self.workers: list[_WorkerHandle] = []
+        self._workers_by_id: dict[int, _WorkerHandle] = {}
         self.manifest: ShardManifest = load_manifest(directory)
         self.directory = directory
         self.gather_timeout_s = gather_timeout_s
@@ -449,7 +628,12 @@ class ShardedDatabase:
         }
         try:
             for spec in self.manifest.shards:
-                self.workers.append(_WorkerHandle(spec, directory, fault_config))
+                handle = _WorkerHandle(spec, directory, fault_config)
+                self.workers.append(handle)
+                # Shards are addressed by manifest id, never list position
+                # — a hand-edited or reordered manifest must still route
+                # each query to the worker that owns the shard.
+                self._workers_by_id[spec.shard_id] = handle
         except ReproError:
             self.close()  # don't leak the workers that did spawn
             raise
@@ -479,6 +663,26 @@ class ShardedDatabase:
     def _ensure_open(self) -> None:
         if self._closed:
             raise ShardingError("sharded database is closed")
+
+    def _worker(self, shard_id: int) -> _WorkerHandle:
+        handle = self._workers_by_id.get(shard_id)
+        if handle is None:
+            raise ShardingError(f"manifest names no shard with id {shard_id}")
+        return handle
+
+    def _check_supported(self, expression: str) -> None:
+        """Reject constructs a range-partitioned fleet cannot answer."""
+        if not self.manifest.is_range_partitioned:
+            return
+        hazards = subtree_hazards(expression)
+        if hazards:
+            raise ShardingError(
+                f"{expression!r} is not supported on a subtree-partitioned "
+                f"shard directory: {hazards[0]}.  Positional predicates, "
+                "sibling axes near the split depth, and following::/"
+                "preceding:: would evaluate against one shard's slice of "
+                "the document; evaluate against the unsharded store instead."
+            )
 
     # -- pruning / routing --------------------------------------------------
 
@@ -548,6 +752,7 @@ class ShardedDatabase:
     ) -> ShardedOutcome:
         """Scatter one query, gather and merge; budgets apply per shard."""
         self._ensure_open()
+        self._check_supported(expression)
         started = time.monotonic()
         self._queries += 1
         self._request_id += 1
@@ -566,7 +771,7 @@ class ShardedDatabase:
         by_id = {status.shard_id: status for status in statuses}
         runs: list[_ShardRun] = []
         for shard_id in targets:
-            handle = self.workers[shard_id]
+            handle = self._worker(shard_id)
             status = by_id[shard_id]
             if not handle.alive:
                 try:
@@ -744,6 +949,7 @@ class ShardedDatabase:
     def explain(self, expression: str, timeout_s: float = 30.0) -> str:
         """Routing decision plus each contacted shard's plan."""
         self._ensure_open()
+        self._check_supported(expression)
         statuses, targets = self.plan_route(expression)
         lines = [f"route: {len(targets)}/{self.manifest.shard_count} shards"]
         for status in statuses:
@@ -757,7 +963,7 @@ class ShardedDatabase:
         request_id = self._request_id
         deadline = time.monotonic() + timeout_s
         for shard_id in targets:
-            handle = self.workers[shard_id]
+            handle = self._worker(shard_id)
             if not handle.alive:
                 continue
             try:

@@ -202,10 +202,19 @@ def load_manifest(directory: str) -> ShardManifest:
         raise ShardingError(
             f"{path}: unsupported manifest format {data.get('format')!r}"
         )
+    shards = [ShardSpec.from_json(entry) for entry in data["shards"]]
+    # Shard ids are the routing addresses; a duplicated id would make a
+    # query's target ambiguous.  Order and contiguity are NOT required —
+    # the coordinator looks workers up by id, never by list position.
+    seen: set[int] = set()
+    for spec in shards:
+        if spec.shard_id in seen:
+            raise ShardingError(f"{path}: duplicate shard id {spec.shard_id}")
+        seen.add(spec.shard_id)
     return ShardManifest(
         directory=directory,
         scheme=data["scheme"],
-        shards=[ShardSpec.from_json(entry) for entry in data["shards"]],
+        shards=shards,
     )
 
 

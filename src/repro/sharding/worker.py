@@ -182,7 +182,10 @@ class _ShardWorker:
     def _run_keys(self, request_id: int, payload: dict, guard) -> None:
         expr = payload["expr"]
         block_keys = int(payload.get("block") or protocol.DEFAULT_BLOCK_KEYS)
-        window = int(payload.get("window") or protocol.DEFAULT_WINDOW)
+        # One credit window per *request*, shared across the shard's
+        # documents — the protocol bounds unacknowledged blocks in
+        # flight, and a multi-document shard gets no extra allowance.
+        credits = int(payload.get("window") or protocol.DEFAULT_WINDOW)
         for name, engine in self.engines:
             try:
                 result = engine.evaluate(expr, guard=guard)
@@ -205,13 +208,12 @@ class _ShardWorker:
                 for key in result.keys
                 if self._owns(key.sort_bytes)
             )
-            self._stream_blocks(request_id, owned, block_keys, window)
+            credits = self._stream_blocks(request_id, owned, block_keys, credits)
 
     def _stream_blocks(
-        self, request_id: int, keys: Iterator[bytes], block_keys: int, window: int
-    ) -> None:
-        """Send key blocks, never more than ``window`` unacknowledged."""
-        credits = window
+        self, request_id: int, keys: Iterator[bytes], block_keys: int, credits: int
+    ) -> int:
+        """Send key blocks within ``credits``; return the credits left."""
         block: list[bytes] = []
 
         def flush() -> None:
@@ -230,6 +232,7 @@ class _ShardWorker:
                 flush()
         if block:
             flush()
+        return credits
 
     def _absorb_control(self, request_id: int) -> int:
         """Block for one control message; return the credits it granted."""
@@ -264,7 +267,9 @@ class _ShardWorker:
                         sum(1 for key in result.keys if self._owns(key.sort_bytes))
                     )
                 else:
-                    value = engine.evaluate_value(expr)
+                    # The same per-shard budget governs count mode: the
+                    # guard threads into the embedded node-set scans.
+                    value = engine.evaluate_value(expr, guard=guard)
                     per_doc[name] = float(value if not isinstance(value, list) else len(value))
             except ReproError as error:
                 errors.append(
